@@ -1,0 +1,68 @@
+//! Ablation benches for the design choices called out in DESIGN.md §5.
+//!
+//! * **Traversal vs naive Monte Carlo** — the paper's own Algorithm 3.1
+//!   improvement ("average speed-up of factor 3.4").
+//! * **Diffusion inner solver** — exact bisection (ours) vs the paper's
+//!   damped fixed-point iteration.
+//! * **Sequential vs parallel Monte Carlo** — the crossbeam-based trial
+//!   splitting (not in the paper; included to quantify its benefit).
+
+use biorank_bench::abcc8_case;
+use biorank_rank::{Diffusion, InnerSolver, NaiveMc, Ranker, TraversalMc};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn mc_sampling(c: &mut Criterion) {
+    let case = abcc8_case();
+    let q = &case.result.query;
+    let mut group = c.benchmark_group("ablation_mc_sampling");
+    group.sample_size(20);
+    group.bench_function("naive_5000", |b| {
+        b.iter(|| NaiveMc::new(5_000, 1).score(black_box(q)).expect("scores"))
+    });
+    group.bench_function("traversal_5000", |b| {
+        b.iter(|| TraversalMc::new(5_000, 1).score(black_box(q)).expect("scores"))
+    });
+    group.finish();
+}
+
+fn diffusion_solver(c: &mut Criterion) {
+    let case = abcc8_case();
+    let q = &case.result.query;
+    let mut group = c.benchmark_group("ablation_diffusion_solver");
+    group.bench_function("bisection", |b| {
+        b.iter(|| {
+            Diffusion::auto()
+                .with_solver(InnerSolver::Bisection)
+                .score(black_box(q))
+                .expect("scores")
+        })
+    });
+    group.bench_function("fixed_point", |b| {
+        b.iter(|| {
+            Diffusion::auto()
+                .with_solver(InnerSolver::FixedPoint)
+                .score(black_box(q))
+                .expect("scores")
+        })
+    });
+    group.finish();
+}
+
+fn mc_parallelism(c: &mut Criterion) {
+    let case = abcc8_case();
+    let q = &case.result.query;
+    let mut group = c.benchmark_group("ablation_mc_parallelism");
+    group.sample_size(10);
+    let mc = TraversalMc::new(50_000, 1);
+    group.bench_function("sequential_50000", |b| {
+        b.iter(|| mc.score(black_box(q)).expect("scores"))
+    });
+    group.bench_function("parallel4_50000", |b| {
+        b.iter(|| mc.score_parallel(black_box(q), 4).expect("scores"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, mc_sampling, diffusion_solver, mc_parallelism);
+criterion_main!(benches);

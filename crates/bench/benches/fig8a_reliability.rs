@@ -1,0 +1,42 @@
+//! Fig. 8a: time to compute reliability scores for a whole query graph
+//! under the six strategies the paper compares.
+//!
+//! Paper result (2008 hardware, msec): M1 731, M2 74, C 97, R&M1 151,
+//! R&M2 18, R&C 20 — reduction + 1000-trial Monte Carlo is the fastest,
+//! beating even the closed solution. Absolute numbers differ on modern
+//! hardware; the ordering is the reproduced artifact.
+
+use biorank_bench::abcc8_case;
+use biorank_rank::{ClosedReliability, NaiveMc, Ranker, ReducedMc, TraversalMc};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn fig8a(c: &mut Criterion) {
+    let case = abcc8_case();
+    let q = &case.result.query;
+    let mut group = c.benchmark_group("fig8a");
+    group.sample_size(20);
+
+    group.bench_function("M1_traversal_mc_10000", |b| {
+        b.iter(|| TraversalMc::new(10_000, 1).score(black_box(q)).expect("scores"))
+    });
+    group.bench_function("M2_traversal_mc_1000", |b| {
+        b.iter(|| TraversalMc::new(1_000, 1).score(black_box(q)).expect("scores"))
+    });
+    group.bench_function("C_closed_solution", |b| {
+        b.iter(|| ClosedReliability::default().score(black_box(q)).expect("scores"))
+    });
+    group.bench_function("R&M1_reduce_mc_10000", |b| {
+        b.iter(|| ReducedMc::new(10_000, 1).score(black_box(q)).expect("scores"))
+    });
+    group.bench_function("R&M2_reduce_mc_1000", |b| {
+        b.iter(|| ReducedMc::new(1_000, 1).score(black_box(q)).expect("scores"))
+    });
+    group.bench_function("naive_mc_10000", |b| {
+        b.iter(|| NaiveMc::new(10_000, 1).score(black_box(q)).expect("scores"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, fig8a);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Fig. 8b: time per query graph for the five ranking methods.
+//!
+//! Paper result (msec): Rel 17.9, Prop 5.2, Diff 5.8, InEdge 0.5,
+//! PathC 1.0 — probabilistic ranking within 1–2 orders of magnitude of
+//! the deterministic metrics, all well under 100 msec.
+
+use biorank_bench::abcc8_case;
+use biorank_rank::{Diffusion, InEdge, PathCount, Propagation, Ranker, ReducedMc};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn fig8b(c: &mut Criterion) {
+    let case = abcc8_case();
+    let q = &case.result.query;
+    let mut group = c.benchmark_group("fig8b");
+    group.sample_size(30);
+
+    group.bench_function("Rel_reduce_mc_1000", |b| {
+        b.iter(|| ReducedMc::new(1_000, 1).score(black_box(q)).expect("scores"))
+    });
+    group.bench_function("Prop", |b| {
+        b.iter(|| Propagation::auto().score(black_box(q)).expect("scores"))
+    });
+    group.bench_function("Diff", |b| {
+        b.iter(|| Diffusion::auto().score(black_box(q)).expect("scores"))
+    });
+    group.bench_function("InEdge", |b| {
+        b.iter(|| InEdge.score(black_box(q)).expect("scores"))
+    });
+    group.bench_function("PathC", |b| {
+        b.iter(|| PathCount.score(black_box(q)).expect("scores"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, fig8b);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Microbenchmarks of the graph substrate and the evaluation metric.
+
+use biorank_bench::abcc8_case;
+use biorank_eval::average_precision;
+use biorank_graph::{generate, reduction, topo};
+use biorank_rank::{InEdge, Ranker, Ranking};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn graph_ops(c: &mut Criterion) {
+    let case = abcc8_case();
+    let q = &case.result.query;
+    let mut group = c.benchmark_group("primitives_graph");
+    group.bench_function("toposort", |b| {
+        b.iter(|| topo::toposort(black_box(q.graph())).expect("dag"))
+    });
+    group.bench_function("count_paths", |b| {
+        b.iter(|| topo::count_paths_from(black_box(q.graph()), q.source()).expect("dag"))
+    });
+    group.bench_function("reduce_query_graph", |b| {
+        b.iter(|| {
+            let mut g = q.clone();
+            let src = g.source();
+            let answers = g.answers().to_vec();
+            reduction::reduce(g.graph_mut(), src, &answers)
+        })
+    });
+    group.bench_function("clone_and_prune", |b| {
+        b.iter(|| {
+            let mut g = q.clone();
+            g.prune()
+        })
+    });
+    group.finish();
+}
+
+fn workflow_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("primitives_generate");
+    let params = generate::WorkflowParams::default();
+    group.bench_function("layered_workflow", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            generate::layered_workflow(black_box(&params), seed)
+        })
+    });
+    group.finish();
+}
+
+fn evaluation_metric(c: &mut Criterion) {
+    let case = abcc8_case();
+    let q = &case.result.query;
+    let scores = InEdge.score(q).expect("scores"); // integer scores → many ties
+    let mut group = c.benchmark_group("primitives_metric");
+    group.bench_function("rank_with_ties", |b| {
+        b.iter(|| Ranking::rank(black_box(scores.answers(q))))
+    });
+    let ranking = Ranking::rank(scores.answers(q));
+    group.bench_function("tie_aware_ap", |b| {
+        b.iter(|| average_precision(black_box(&ranking), |n| case.is_relevant(n)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, graph_ops, workflow_generation, evaluation_metric);
+criterion_main!(benches);

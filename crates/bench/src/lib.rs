@@ -1,0 +1,31 @@
+//! # biorank-bench
+//!
+//! Criterion benchmarks for the BioRank reproduction. Each bench target
+//! maps to a paper artifact (see `DESIGN.md` §4):
+//!
+//! * `fig8a_reliability` — the reliability evaluation strategies of
+//!   Fig. 8a (naive/traversal Monte Carlo at 10⁴ and 10³ trials, closed
+//!   solution, each with and without graph reduction).
+//! * `fig8b_methods` — the five ranking methods of Fig. 8b.
+//! * `ablations` — design-choice ablations called out in DESIGN.md §5:
+//!   traversal vs naive sampling, diffusion's bisection vs fixed-point
+//!   inner solver, sequential vs parallel Monte Carlo.
+//! * `primitives` — graph substrate microbenchmarks (toposort, path
+//!   counting, reductions, tie-aware AP).
+
+use biorank_eval::{build_cases, Scenario, ScenarioCase};
+use biorank_sources::{World, WorldParams};
+
+/// The 20 scenario-1 query graphs the paper times (its "largest").
+pub fn scenario1_cases() -> Vec<ScenarioCase> {
+    let world = World::generate(WorldParams::default());
+    build_cases(&world, Scenario::WellKnown).expect("scenario 1 integrates")
+}
+
+/// A single representative case (ABCC8 — the running example).
+pub fn abcc8_case() -> ScenarioCase {
+    scenario1_cases()
+        .into_iter()
+        .next()
+        .expect("scenario 1 has cases")
+}

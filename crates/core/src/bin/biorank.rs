@@ -1,0 +1,294 @@
+//! The `biorank` command-line tool.
+//!
+//! ```text
+//! biorank proteins                      list queryable proteins
+//! biorank query <PROTEIN> [options]     rank a protein's candidate functions
+//! biorank explain <PROTEIN> <GO>       show the evidence paths behind one answer
+//! biorank topk <PROTEIN> <K>           adaptive top-k with a confidence certificate
+//! biorank scenarios                     the paper's Fig. 5 evaluation
+//!
+//! query options:
+//!   --method rel|prop|diff|inedge|pathc   ranking semantics (default rel)
+//!   --top N                               rows to print (default 10)
+//!   --extended                            use the full 11-source federation
+//!   --seed S                              world seed (default paper seed)
+//! ```
+
+use std::process::ExitCode;
+
+use biorank::prelude::*;
+use biorank::rank::{explain::explain, TopK};
+use biorank::schema::biorank_schema_full;
+
+struct Options {
+    method: String,
+    top: usize,
+    extended: bool,
+    seed: u64,
+    positional: Vec<String>,
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        method: "rel".to_string(),
+        top: 10,
+        extended: false,
+        seed: 0xB10_C0DE,
+        positional: Vec::new(),
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--method" => {
+                i += 1;
+                opts.method = args
+                    .get(i)
+                    .ok_or("--method needs a value")?
+                    .to_lowercase();
+            }
+            "--top" => {
+                i += 1;
+                opts.top = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--top needs a number")?;
+            }
+            "--seed" => {
+                i += 1;
+                opts.seed = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--seed needs a number")?;
+            }
+            "--extended" => opts.extended = true,
+            flag if flag.starts_with("--") => {
+                return Err(format!("unknown flag {flag}"));
+            }
+            other => opts.positional.push(other.to_string()),
+        }
+        i += 1;
+    }
+    Ok(opts)
+}
+
+fn build(opts: &Options) -> (World, Mediator) {
+    let world = World::generate(WorldParams {
+        seed: opts.seed,
+        extended: opts.extended,
+        ..WorldParams::default()
+    });
+    let schema = if opts.extended {
+        biorank_schema_full().schema
+    } else {
+        biorank_schema_with_ontology().schema
+    };
+    let mediator = Mediator::new(schema, world.registry());
+    (world, mediator)
+}
+
+fn ranker_for(method: &str) -> Result<Box<dyn Ranker + Send + Sync>, String> {
+    Ok(match method {
+        "rel" | "reliability" => Box::new(ReducedMc::new(10_000, 42)),
+        "prop" | "propagation" => Box::new(Propagation::auto()),
+        "diff" | "diffusion" => Box::new(Diffusion::auto()),
+        "inedge" => Box::new(InEdge),
+        "pathc" | "pathcount" => Box::new(PathCount),
+        other => return Err(format!("unknown method {other:?}")),
+    })
+}
+
+fn cmd_proteins(opts: &Options) -> Result<(), String> {
+    let (world, _) = build(opts);
+    println!("{:<10} {:<14} {:>10}", "Protein", "Kind", "Candidates");
+    for p in &world.profiles {
+        let kind = match p.kind {
+            biorank::sources::ProteinKind::WellStudied => "well-studied",
+            biorank::sources::ProteinKind::Hypothetical => "hypothetical",
+        };
+        println!("{:<10} {:<14} {:>10}", p.name, kind, p.functions.len());
+    }
+    Ok(())
+}
+
+fn cmd_query(opts: &Options) -> Result<(), String> {
+    let protein = opts
+        .positional
+        .first()
+        .ok_or("usage: biorank query <PROTEIN>")?;
+    let (world, mediator) = build(opts);
+    let result = mediator
+        .execute(&ExploratoryQuery::protein_functions(protein))
+        .map_err(|e| e.to_string())?;
+    let q = &result.query;
+    let ranker = ranker_for(&opts.method)?;
+    let scores = ranker.score(q).map_err(|e| e.to_string())?;
+    let ranking = Ranking::rank(scores.answers(q));
+    println!(
+        "{protein}: {} candidate functions ({} graph nodes, {} edges), method {}",
+        q.answers().len(),
+        q.graph().node_count(),
+        q.graph().edge_count(),
+        ranker.name()
+    );
+    let gold = world.iproclass.functions(protein);
+    for entry in ranking.entries().iter().take(opts.top) {
+        let key = result.answer_key(entry.node).unwrap_or("?");
+        let label = result.label(entry.node);
+        let known = GoTerm::parse(key)
+            .map(|t| gold.contains(&t))
+            .unwrap_or(false);
+        println!(
+            "{:>6}  {:<12} {:<42} {:>8.4}{}",
+            entry.to_string(),
+            key,
+            truncate(label, 42),
+            entry.score,
+            if known { "  [iProClass]" } else { "" }
+        );
+    }
+    Ok(())
+}
+
+fn cmd_explain(opts: &Options) -> Result<(), String> {
+    let protein = opts
+        .positional
+        .first()
+        .ok_or("usage: biorank explain <PROTEIN> <GO>")?;
+    let go_key = opts
+        .positional
+        .get(1)
+        .ok_or("usage: biorank explain <PROTEIN> <GO:xxxxxxx>")?;
+    let (_, mediator) = build(opts);
+    let result = mediator
+        .execute(&ExploratoryQuery::protein_functions(protein))
+        .map_err(|e| e.to_string())?;
+    let q = &result.query;
+    let answer = q
+        .answers()
+        .iter()
+        .copied()
+        .find(|&a| result.answer_key(a) == Some(go_key.as_str()))
+        .ok_or_else(|| format!("{go_key} is not a candidate function of {protein}"))?;
+    let ex = explain(q, answer, Some(32)).map_err(|e| e.to_string())?;
+    println!(
+        "{} ({}) for {protein}:",
+        go_key,
+        result.label(answer)
+    );
+    println!(
+        "  reliability {:.4}; {} evidence path{}{}; independent-paths bound {:.4}",
+        ex.reliability,
+        ex.paths.len(),
+        if ex.paths.len() == 1 { "" } else { "s" },
+        if ex.truncated { " (truncated)" } else { "" },
+        ex.independent_paths_score
+    );
+    // The explanation subgraph carries its own labels.
+    let st = q.single_target(answer).map_err(|e| e.to_string())?;
+    for (i, path) in ex.paths.iter().enumerate().take(opts.top) {
+        let hops: Vec<&str> = path
+            .nodes
+            .iter()
+            .map(|&n| st.graph.node_label(n))
+            .collect();
+        println!("  #{:<2} p={:.4}  {}", i + 1, path.probability, hops.join(" → "));
+    }
+    Ok(())
+}
+
+fn cmd_topk(opts: &Options) -> Result<(), String> {
+    let protein = opts
+        .positional
+        .first()
+        .ok_or("usage: biorank topk <PROTEIN> <K>")?;
+    let k: usize = opts
+        .positional
+        .get(1)
+        .and_then(|v| v.parse().ok())
+        .ok_or("usage: biorank topk <PROTEIN> <K>")?;
+    let (_, mediator) = build(opts);
+    let result = mediator
+        .execute(&ExploratoryQuery::protein_functions(protein))
+        .map_err(|e| e.to_string())?;
+    let out = TopK::new(k)
+        .run(&result.query)
+        .map_err(|e| e.to_string())?;
+    println!(
+        "top-{k} of {} candidates after {} trials ({}):",
+        result.query.answers().len(),
+        out.trials_used,
+        if out.certified {
+            "95% rank certificate reached"
+        } else {
+            "trial ceiling hit, boundary still ambiguous"
+        }
+    );
+    for (i, (n, score)) in out.top.iter().enumerate() {
+        println!(
+            "{:>3}  {:<12} {:<42} {score:.4}",
+            i + 1,
+            result.answer_key(*n).unwrap_or("?"),
+            truncate(result.label(*n), 42)
+        );
+    }
+    if let Some(r) = out.runner_up {
+        println!("     (best excluded answer: {r:.4})");
+    }
+    Ok(())
+}
+
+fn cmd_scenarios(opts: &Options) -> Result<(), String> {
+    let world = World::generate(WorldParams {
+        seed: opts.seed,
+        ..WorldParams::default()
+    });
+    let rankers = biorank::rank::paper_rankers(10_000, opts.seed);
+    for scenario in Scenario::ALL {
+        let cases = build_cases(&world, scenario).map_err(|e| e.to_string())?;
+        let mut results = evaluate(&rankers, &cases).map_err(|e| e.to_string())?;
+        results.push(random_baseline(&cases));
+        let title = format!("{} ({} proteins)", scenario.title(), cases.len());
+        println!("{}", biorank::eval::report::ap_table(&title, &results));
+    }
+    Ok(())
+}
+
+fn truncate(s: &str, n: usize) -> String {
+    if s.chars().count() <= n {
+        s.to_string()
+    } else {
+        let cut: String = s.chars().take(n - 1).collect();
+        format!("{cut}…")
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first().cloned() else {
+        eprintln!("usage: biorank <proteins|query|explain|topk|scenarios> [args]");
+        eprintln!("see `biorank --help` in the README for details");
+        return ExitCode::FAILURE;
+    };
+    let opts = match parse_args(&args[1..]) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let run = match command.as_str() {
+        "proteins" => cmd_proteins(&opts),
+        "query" => cmd_query(&opts),
+        "explain" => cmd_explain(&opts),
+        "topk" => cmd_topk(&opts),
+        "scenarios" => cmd_scenarios(&opts),
+        other => Err(format!("unknown command {other:?}")),
+    };
+    match run {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,295 @@
+//! Average precision, with analytic handling of ties (paper §4).
+//!
+//! BioRank's evaluation metric is average precision at 100% recall.
+//! Tied scores yield only a partial order, so the paper uses the method
+//! of McSherry & Najork (ECIR 2008): "calculate the mean AP over all
+//! possible permutations". [`average_precision`] implements the exact
+//! closed form of that expectation; a brute-force permutation test in
+//! this module validates it.
+//!
+//! [`random_ap`] is Definition 4.1 — the expected AP of an arbitrarily
+//! ordered list — used as the "Random" baseline in every figure.
+
+use biorank_rank::{Ranking, TieGroup};
+
+/// Exact expected average precision of a tie-grouped ranking.
+///
+/// For a tie group starting at (1-based) rank `s+1` with `n` items of
+/// which `r` are relevant, preceded by `c` relevant items, each
+/// within-group position `i` contributes
+/// `(r/n)·(c + 1 + (i−1)(r−1)/(n−1)) / (s+i)` to the expected sum of
+/// `P@rank · rel`, because under a uniform random permutation of the
+/// group the item at position `i` is relevant with probability `r/n`
+/// and, conditioned on that, carries on average `(i−1)(r−1)/(n−1)`
+/// relevant predecessors within the group.
+///
+/// Returns `None` when the ranking contains no relevant items (AP is
+/// undefined; the paper's scenarios always have at least one).
+pub fn average_precision_groups(groups: &[TieGroup]) -> Option<f64> {
+    let total_relevant: usize = groups.iter().map(|g| g.relevant).sum();
+    if total_relevant == 0 {
+        return None;
+    }
+    let mut cum_relevant = 0usize; // relevant items before this group
+    let mut sum = 0.0f64;
+    for g in groups {
+        let s = (g.rank_lo - 1) as f64;
+        let n = g.size as f64;
+        let r = g.relevant as f64;
+        if g.relevant > 0 {
+            let c = cum_relevant as f64;
+            for i in 1..=g.size {
+                let i_f = i as f64;
+                let within = if g.size == 1 {
+                    1.0
+                } else {
+                    1.0 + (i_f - 1.0) * (r - 1.0) / (n - 1.0)
+                };
+                sum += (r / n) * (c + within) / (s + i_f);
+            }
+        }
+        cum_relevant += g.relevant;
+    }
+    Some(sum / total_relevant as f64)
+}
+
+/// Expected AP of a [`Ranking`] under the tie-permutation semantics.
+pub fn average_precision(
+    ranking: &Ranking,
+    is_relevant: impl Fn(biorank_graph::NodeId) -> bool,
+) -> Option<f64> {
+    let groups = ranking.tie_groups(is_relevant);
+    average_precision_groups(&groups)
+}
+
+/// Plain AP of a fully ordered relevance vector (no ties) — the textbook
+/// definition `AP = (1/k)·Σ P@i · relᵢ`.
+pub fn average_precision_strict(rel: &[bool]) -> Option<f64> {
+    let k = rel.iter().filter(|&&r| r).count();
+    if k == 0 {
+        return None;
+    }
+    let mut hits = 0usize;
+    let mut sum = 0.0;
+    for (i, &r) in rel.iter().enumerate() {
+        if r {
+            hits += 1;
+            sum += hits as f64 / (i + 1) as f64;
+        }
+    }
+    Some(sum / k as f64)
+}
+
+/// Definition 4.1: expected AP of a randomly sorted list with `k`
+/// relevant among `n` items.
+///
+/// `APrand(k, n) = Σᵢ ((k−1)(i−1) + (n−1)) / (i·(n−1)·n)`.
+pub fn random_ap(k: usize, n: usize) -> Option<f64> {
+    if k == 0 || n == 0 || k > n {
+        return None;
+    }
+    if n == 1 {
+        return Some(1.0);
+    }
+    let (kf, nf) = (k as f64, n as f64);
+    let sum: f64 = (1..=n)
+        .map(|i| {
+            let i_f = i as f64;
+            ((kf - 1.0) * (i_f - 1.0) + (nf - 1.0)) / (i_f * (nf - 1.0) * nf)
+        })
+        .sum();
+    Some(sum)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use biorank_graph::NodeId;
+
+    fn n(i: usize) -> NodeId {
+        NodeId::from_index(i)
+    }
+
+    /// Brute-force expected AP over all permutations of tied groups.
+    fn brute_force_expected_ap(scored: &[(usize, f64)], relevant: &[usize]) -> f64 {
+        // Enumerate permutations of the whole list that respect the
+        // score order (i.e. permute within tie groups only).
+        let mut sorted: Vec<(usize, f64)> = scored.to_vec();
+        sorted.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+        // Collect tie groups (runs of equal scores).
+        let mut groups: Vec<Vec<usize>> = Vec::new();
+        let mut last_score = f64::INFINITY;
+        for &(id, score) in &sorted {
+            if score == last_score {
+                groups.last_mut().expect("non-empty on equal score").push(id);
+            } else {
+                groups.push(vec![id]);
+                last_score = score;
+            }
+        }
+        // Recursively expand permutations of each group.
+        fn perms(items: &[usize]) -> Vec<Vec<usize>> {
+            if items.len() <= 1 {
+                return vec![items.to_vec()];
+            }
+            let mut out = Vec::new();
+            for (i, &x) in items.iter().enumerate() {
+                let mut rest = items.to_vec();
+                rest.remove(i);
+                for mut p in perms(&rest) {
+                    p.insert(0, x);
+                    out.push(p);
+                }
+            }
+            out
+        }
+        let group_perms: Vec<Vec<Vec<usize>>> = groups.iter().map(|g| perms(g)).collect();
+        let mut total = 0.0;
+        let mut count = 0usize;
+        let mut idx = vec![0usize; group_perms.len()];
+        loop {
+            let order: Vec<usize> = idx
+                .iter()
+                .enumerate()
+                .flat_map(|(gi, &pi)| group_perms[gi][pi].clone())
+                .collect();
+            let rel: Vec<bool> = order.iter().map(|i| relevant.contains(i)).collect();
+            total += average_precision_strict(&rel).unwrap_or(0.0);
+            count += 1;
+            // Odometer increment.
+            let mut carry = true;
+            for (gi, pi) in idx.iter_mut().enumerate() {
+                if carry {
+                    *pi += 1;
+                    if *pi == group_perms[gi].len() {
+                        *pi = 0;
+                    } else {
+                        carry = false;
+                    }
+                }
+            }
+            if carry {
+                break;
+            }
+        }
+        total / count as f64
+    }
+
+    #[test]
+    fn strict_ap_textbook_example() {
+        // rel = [1, 0, 1]: AP = (1/1 + 2/3) / 2 = 5/6.
+        let ap = average_precision_strict(&[true, false, true]).unwrap();
+        assert!((ap - 5.0 / 6.0).abs() < 1e-12);
+        assert_eq!(average_precision_strict(&[false, false]), None);
+        assert_eq!(average_precision_strict(&[true]).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn tie_free_ranking_matches_strict_ap() {
+        let ranking = Ranking::rank(vec![
+            (n(0), 0.9),
+            (n(1), 0.7),
+            (n(2), 0.5),
+            (n(3), 0.3),
+        ]);
+        let relevant = |x: NodeId| x == n(0) || x == n(2);
+        let tie_aware = average_precision(&ranking, relevant).unwrap();
+        let strict =
+            average_precision_strict(&ranking.relevance_vector(relevant)).unwrap();
+        assert!((tie_aware - strict).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tied_ap_matches_brute_force_small() {
+        // 5 items: one leader, a 3-way tie, one trailer; relevance mixed.
+        let scored = [(0, 0.9), (1, 0.5), (2, 0.5), (3, 0.5), (4, 0.1)];
+        let relevant = [1usize, 4];
+        let brute = brute_force_expected_ap(&scored, &relevant);
+        let ranking =
+            Ranking::rank(scored.iter().map(|&(i, s)| (n(i), s)).collect());
+        let fast = average_precision(&ranking, |x| {
+            relevant.contains(&x.index())
+        })
+        .unwrap();
+        assert!((brute - fast).abs() < 1e-9, "brute {brute} vs fast {fast}");
+    }
+
+    #[test]
+    fn tied_ap_matches_brute_force_all_tied() {
+        let scored = [(0, 0.5), (1, 0.5), (2, 0.5), (3, 0.5)];
+        let relevant = [0usize, 2];
+        let brute = brute_force_expected_ap(&scored, &relevant);
+        let ranking =
+            Ranking::rank(scored.iter().map(|&(i, s)| (n(i), s)).collect());
+        let fast =
+            average_precision(&ranking, |x| relevant.contains(&x.index())).unwrap();
+        assert!((brute - fast).abs() < 1e-9, "brute {brute} vs fast {fast}");
+    }
+
+    #[test]
+    fn all_tied_ap_equals_random_ap() {
+        // A single all-tied group IS a random ordering.
+        let scored: Vec<(NodeId, f64)> = (0..10).map(|i| (n(i), 1.0)).collect();
+        let ranking = Ranking::rank(scored);
+        let ap = average_precision(&ranking, |x| x.index() < 3).unwrap();
+        let rand = random_ap(3, 10).unwrap();
+        assert!((ap - rand).abs() < 1e-12, "{ap} vs {rand}");
+    }
+
+    #[test]
+    fn random_ap_edge_cases() {
+        assert_eq!(random_ap(0, 10), None);
+        assert_eq!(random_ap(5, 0), None);
+        assert_eq!(random_ap(11, 10), None);
+        assert_eq!(random_ap(1, 1).unwrap(), 1.0);
+        // All relevant: AP = 1 regardless of order.
+        assert!((random_ap(7, 7).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn random_ap_matches_simulation() {
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        let (k, nn) = (4, 15);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+        let mut rel: Vec<bool> = (0..nn).map(|i| i < k).collect();
+        let mut total = 0.0;
+        let m = 20_000;
+        for _ in 0..m {
+            rel.shuffle(&mut rng);
+            total += average_precision_strict(&rel).unwrap();
+        }
+        let sim = total / m as f64;
+        let formula = random_ap(k, nn).unwrap();
+        assert!((sim - formula).abs() < 0.01, "sim {sim} vs formula {formula}");
+    }
+
+    #[test]
+    fn random_ap_for_abcc8_shape() {
+        // 13 relevant of 97: the kind of ratio behind the paper's 0.42
+        // scenario-1 random mean (averaged over 20 proteins with
+        // ratios 13%-63%).
+        let ap = random_ap(13, 97).unwrap();
+        assert!(ap > 0.1 && ap < 0.2, "ap = {ap}");
+    }
+
+    #[test]
+    fn perfect_ranking_has_ap_one() {
+        let scored: Vec<(NodeId, f64)> =
+            (0..8).map(|i| (n(i), 1.0 - 0.1 * i as f64)).collect();
+        let ranking = Ranking::rank(scored);
+        let ap = average_precision(&ranking, |x| x.index() < 3).unwrap();
+        assert!((ap - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn groups_api_direct() {
+        use biorank_rank::TieGroup;
+        // One group of 2 with 1 relevant: E[AP] over [R,N] and [N,R]
+        // = (1 + 1/2) / 2 = 0.75.
+        let groups = [TieGroup { rank_lo: 1, size: 2, relevant: 1 }];
+        let ap = average_precision_groups(&groups).unwrap();
+        assert!((ap - 0.75).abs() < 1e-12);
+        assert_eq!(average_precision_groups(&[]), None);
+    }
+}

@@ -1,0 +1,92 @@
+//! # biorank-eval
+//!
+//! Evaluation machinery for the BioRank reproduction ("Integrating and
+//! Ranking Uncertain Scientific Data", Detwiler et al., ICDE 2009, §4):
+//!
+//! * [`ap`] — average precision at 100% recall, with the analytic
+//!   tie-permutation expectation of McSherry & Najork and the
+//!   random-ordering baseline of Definition 4.1.
+//! * [`scenario`] — the three evaluation scenarios built from a
+//!   generated world.
+//! * [`perturb`] — log-odds Gaussian perturbation for the multi-way
+//!   sensitivity analysis (Fig. 6).
+//! * [`harness`] — runs rankers over scenarios and summarizes AP.
+//! * [`stats`] / [`report`] — summary statistics and ASCII tables.
+//!
+//! ```
+//! // Definition 4.1: expected AP of a randomly ordered list.
+//! let ap = biorank_eval::random_ap(13, 97).unwrap();
+//! assert!(ap > 0.1 && ap < 0.2);
+//! ```
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod ap;
+pub mod harness;
+pub mod perturb;
+pub mod report;
+pub mod scenario;
+pub mod stats;
+
+pub use ap::{average_precision, average_precision_strict, random_ap};
+pub use harness::{
+    case_ap, case_ap_on_graph, evaluate, random_assignment_ap, random_baseline, sensitivity_ap,
+    MethodAp,
+};
+pub use scenario::{build_cases, Scenario, ScenarioCase};
+pub use stats::{summarize, Summary};
+
+use std::fmt;
+
+/// Errors produced during evaluation.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Error {
+    /// Integration failed while building scenario cases.
+    Mediator(biorank_mediator::Error),
+    /// A ranking method failed.
+    Rank(biorank_rank::Error),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Mediator(e) => write!(f, "integration failed: {e}"),
+            Error::Rank(e) => write!(f, "ranking failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Mediator(e) => Some(e),
+            Error::Rank(e) => Some(e),
+        }
+    }
+}
+
+impl From<biorank_mediator::Error> for Error {
+    fn from(e: biorank_mediator::Error) -> Self {
+        Error::Mediator(e)
+    }
+}
+
+impl From<biorank_rank::Error> for Error {
+    fn from(e: biorank_rank::Error) -> Self {
+        Error::Rank(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_wrapping() {
+        let e: Error = biorank_rank::Error::ZeroTrials.into();
+        assert!(e.to_string().contains("ranking failed"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,189 @@
+//! Log-odds perturbation of input probabilities (paper §4, sensitivity
+//! analysis).
+//!
+//! "Normally distributed random noise is added to a log-odds probability
+//! then converted back to a probability. This approach avoids the need
+//! for range checks and enables control over the amount of noise added"
+//! (following Henrion et al., UAI 1996):
+//!
+//! ```text
+//! p′ = Lo⁻¹(Lo(p) + e),    e ~ Normal(0, σ)
+//! ```
+//!
+//! The multi-way analysis perturbs *all* node and edge probabilities of
+//! a query graph simultaneously — "representative of our situation where
+//! all parameters may be imprecise."
+
+use biorank_graph::{Prob, QueryGraph};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Log-odds (logit) of a probability in the open interval.
+fn log_odds(p: f64) -> f64 {
+    (p / (1.0 - p)).ln()
+}
+
+/// Inverse log-odds (logistic).
+fn inv_log_odds(x: f64) -> f64 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+/// A standard Gaussian sample via Box–Muller (the allowed crate set has
+/// no `rand_distr`).
+fn gaussian(rng: &mut StdRng) -> f64 {
+    // Avoid ln(0) by sampling u1 from the half-open (0, 1].
+    let u1 = 1.0 - rng.gen::<f64>();
+    let u2 = rng.gen::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Perturbs one probability with log-odds Gaussian noise of standard
+/// deviation `sigma`.
+///
+/// Exact 0 and 1 are fixed points of the transform (their log-odds are
+/// infinite), which matches the paper's setup: deterministic facts like
+/// foreign-key links (`qr = 1`) stay deterministic under perturbation.
+pub fn perturb_prob(p: Prob, sigma: f64, rng: &mut StdRng) -> Prob {
+    let v = p.get();
+    if v <= 0.0 || v >= 1.0 || sigma == 0.0 {
+        return p;
+    }
+    let e = gaussian(rng) * sigma;
+    Prob::clamped(inv_log_odds(log_odds(v) + e))
+}
+
+/// Returns a copy of the query graph with every node and edge
+/// probability perturbed (multi-way sensitivity analysis).
+pub fn perturb_query_graph(q: &QueryGraph, sigma: f64, seed: u64) -> QueryGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = q.clone();
+    out.graph_mut()
+        .map_node_probs(|_, p| perturb_prob(p, sigma, &mut rng));
+    out.graph_mut()
+        .map_edge_probs(|_, p| perturb_prob(p, sigma, &mut rng));
+    out
+}
+
+/// Returns a copy with every (non-degenerate) probability replaced by an
+/// independent Uniform(0, 1) draw — the "Random" probability-assignment
+/// baseline of Fig. 6.
+pub fn randomize_query_graph(q: &QueryGraph, seed: u64) -> QueryGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = q.clone();
+    out.graph_mut().map_node_probs(|_, p| {
+        if p.is_zero() || p.is_one() {
+            p
+        } else {
+            Prob::clamped(rng.gen::<f64>())
+        }
+    });
+    out.graph_mut().map_edge_probs(|_, p| {
+        if p.is_zero() || p.is_one() {
+            p
+        } else {
+            Prob::clamped(rng.gen::<f64>())
+        }
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use biorank_graph::ProbGraph;
+
+    #[test]
+    fn log_odds_round_trips() {
+        for v in [0.01, 0.3, 0.5, 0.77, 0.99] {
+            assert!((inv_log_odds(log_odds(v)) - v).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn zero_sigma_is_identity() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let p = Prob::new(0.37).unwrap();
+        assert_eq!(perturb_prob(p, 0.0, &mut rng).get(), 0.37);
+    }
+
+    #[test]
+    fn extremes_are_fixed_points() {
+        let mut rng = StdRng::seed_from_u64(2);
+        assert_eq!(perturb_prob(Prob::ZERO, 3.0, &mut rng).get(), 0.0);
+        assert_eq!(perturb_prob(Prob::ONE, 3.0, &mut rng).get(), 1.0);
+    }
+
+    #[test]
+    fn perturbation_stays_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..2000 {
+            let p = perturb_prob(Prob::new(0.5).unwrap(), 3.0, &mut rng);
+            assert!((0.0..=1.0).contains(&p.get()));
+        }
+    }
+
+    #[test]
+    fn noise_is_roughly_unbiased_in_log_odds() {
+        // Mean of perturbed logits ≈ original logit.
+        let mut rng = StdRng::seed_from_u64(4);
+        let p0 = 0.3f64;
+        let m = 20_000;
+        let mean_logit: f64 = (0..m)
+            .map(|_| log_odds(perturb_prob(Prob::new(p0).unwrap(), 1.0, &mut rng).get()))
+            .sum::<f64>()
+            / m as f64;
+        assert!((mean_logit - log_odds(p0)).abs() < 0.05, "{mean_logit}");
+    }
+
+    #[test]
+    fn gaussian_moments() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let m = 50_000;
+        let samples: Vec<f64> = (0..m).map(|_| gaussian(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / m as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / m as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    fn tiny_query() -> QueryGraph {
+        let mut g = ProbGraph::new();
+        let s = g.add_node(Prob::ONE);
+        let t = g.add_node(Prob::new(0.5).unwrap());
+        g.add_edge(s, t, Prob::new(0.5).unwrap()).unwrap();
+        QueryGraph::new(g, s, vec![t]).unwrap()
+    }
+
+    #[test]
+    fn graph_perturbation_is_seed_deterministic() {
+        let q = tiny_query();
+        let a = perturb_query_graph(&q, 1.0, 7);
+        let b = perturb_query_graph(&q, 1.0, 7);
+        let t = q.answers()[0];
+        assert_eq!(a.graph().node_p(t).get(), b.graph().node_p(t).get());
+        let c = perturb_query_graph(&q, 1.0, 8);
+        assert_ne!(a.graph().node_p(t).get(), c.graph().node_p(t).get());
+    }
+
+    #[test]
+    fn randomize_replaces_interior_probs_only() {
+        let q = tiny_query();
+        let r = randomize_query_graph(&q, 3);
+        assert_eq!(r.graph().node_p(q.source()).get(), 1.0, "p=1 stays");
+        let t = q.answers()[0];
+        // Interior probability was (almost surely) replaced.
+        assert_ne!(r.graph().node_p(t).get(), 0.5);
+    }
+
+    #[test]
+    fn larger_sigma_spreads_more() {
+        let spread = |sigma: f64| {
+            let mut rng = StdRng::seed_from_u64(11);
+            let vals: Vec<f64> = (0..4000)
+                .map(|_| perturb_prob(Prob::new(0.5).unwrap(), sigma, &mut rng).get())
+                .collect();
+            crate::stats::std_dev(&vals)
+        };
+        assert!(spread(0.5) < spread(2.0));
+    }
+}

@@ -1,0 +1,90 @@
+//! Small descriptive statistics used by the experiment harness.
+
+/// Sample mean. Returns 0 for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Sample standard deviation (n−1 denominator). Returns 0 for fewer than
+/// two samples.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    let var = xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / (xs.len() - 1) as f64;
+    var.sqrt()
+}
+
+/// Half-width of the normal-approximation 95% confidence interval for
+/// the mean.
+pub fn ci95_half_width(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    1.96 * std_dev(xs) / (xs.len() as f64).sqrt()
+}
+
+/// Summary of a sample.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Summary {
+    /// Sample size.
+    pub n: usize,
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation.
+    pub std_dev: f64,
+    /// 95% CI half-width for the mean.
+    pub ci95: f64,
+}
+
+/// Summarizes a sample.
+pub fn summarize(xs: &[f64]) -> Summary {
+    Summary {
+        n: xs.len(),
+        mean: mean(xs),
+        std_dev: std_dev(xs),
+        ci95: ci95_half_width(xs),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_std_basic() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs) - 5.0).abs() < 1e-12);
+        // Sample std dev with n-1: sqrt(32/7).
+        assert!((std_dev(&xs) - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(std_dev(&[]), 0.0);
+        assert_eq!(std_dev(&[1.0]), 0.0);
+        assert_eq!(ci95_half_width(&[1.0]), 0.0);
+    }
+
+    #[test]
+    fn summary_is_consistent() {
+        let xs = [1.0, 2.0, 3.0];
+        let s = summarize(&xs);
+        assert_eq!(s.n, 3);
+        assert!((s.mean - 2.0).abs() < 1e-12);
+        assert!((s.std_dev - 1.0).abs() < 1e-12);
+        assert!((s.ci95 - 1.96 / 3.0f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ci_shrinks_with_sample_size() {
+        let small = [0.0, 1.0, 0.0, 1.0];
+        let large: Vec<f64> = (0..100).map(|i| (i % 2) as f64).collect();
+        assert!(ci95_half_width(&large) < ci95_half_width(&small));
+    }
+}

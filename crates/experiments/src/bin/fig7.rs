@@ -1,0 +1,63 @@
+//! Fig. 7: speed of convergence of the Monte Carlo reliability
+//! estimator. Mean and stdev of scenario-1 AP as a function of the
+//! number of trials n ∈ {1, 3, 10, …, 10⁵}, over m repetitions, with the
+//! closed-solution AP and the random baseline as reference lines.
+//!
+//! Paper finding: "already 1000 trials achieve high average accuracy",
+//! consistent with the Theorem 3.1 bound (ε = 0.02, δ = 0.05 → ~10⁴).
+//!
+//! Usage: `fig7 [reps]` (default 20; the paper used m = 100).
+
+use biorank_eval::report::table;
+use biorank_eval::{build_cases, case_ap, random_baseline, stats, Scenario};
+use biorank_experiments::{default_world, DEFAULT_SEED};
+use biorank_rank::{bounds, ClosedReliability, ReducedMc};
+
+fn main() {
+    let reps: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(20);
+    println!(
+        "Theorem 3.1: n(ε=0.02, δ=0.05) = {} trials",
+        bounds::trials_needed(0.02, 0.05).expect("valid parameters")
+    );
+    let world = default_world();
+    let cases = build_cases(&world, Scenario::WellKnown).expect("integration succeeds");
+
+    // Reference lines.
+    let closed = ClosedReliability::default();
+    let mut closed_aps = Vec::new();
+    for case in &cases {
+        if let Some(ap) = case_ap(&closed, case).expect("closed evaluation") {
+            closed_aps.push(ap);
+        }
+    }
+    let closed_mean = stats::mean(&closed_aps);
+    let random_mean = random_baseline(&cases).summary.mean;
+
+    let mut rows = Vec::new();
+    for &trials in &[1u32, 3, 10, 30, 100, 300, 1_000, 3_000, 10_000, 100_000] {
+        let mut means = Vec::with_capacity(reps);
+        for rep in 0..reps {
+            let ranker = ReducedMc::new(trials, DEFAULT_SEED + rep as u64);
+            let mut aps = Vec::with_capacity(cases.len());
+            for case in &cases {
+                if let Some(ap) = case_ap(&ranker, case).expect("MC evaluation") {
+                    aps.push(ap);
+                }
+            }
+            means.push(stats::mean(&aps));
+        }
+        let s = stats::summarize(&means);
+        rows.push(vec![
+            trials.to_string(),
+            format!("{:.3}", s.mean),
+            format!("{:.3}", s.std_dev),
+        ]);
+    }
+    println!("Scenario 1 AP vs number of Monte Carlo trials (m = {reps}):");
+    println!("{}", table(&["Trials", "Mean AP", "Stdv"], &rows));
+    println!("closed-solution reference: {closed_mean:.3}");
+    println!("random-ordering reference: {random_mean:.3}");
+}

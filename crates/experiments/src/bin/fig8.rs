@@ -1,0 +1,155 @@
+//! Fig. 8: efficiency of query evaluation on the 20 scenario-1 query
+//! graphs.
+//!
+//! (a) Reliability strategies: M1 = traversal MC 10000 trials,
+//!     M2 = traversal MC 1000 trials, C = closed solution (reductions +
+//!     factoring fallback), and each preceded by graph reduction (R&).
+//!     Also reported: the naive-MC baseline (the paper's 3.4× claim) and
+//!     the average graph shrinkage from reductions (the −78% claim).
+//! (b) The five ranking methods (reliability = R&M2, the paper's
+//!     benchmark configuration).
+//!
+//! Absolute times are machine-specific; the orderings are the result.
+
+use std::time::Instant;
+
+/// A named scoring closure timed over the scenario cases.
+type Timed<'a> = (&'a str, Box<dyn Fn(&ScenarioCase)>);
+
+use biorank_eval::report::table;
+use biorank_eval::{build_cases, Scenario, ScenarioCase};
+use biorank_experiments::{default_world, DEFAULT_SEED};
+use biorank_graph::reduction;
+use biorank_rank::{
+    ClosedReliability, Diffusion, InEdge, NaiveMc, PathCount, Propagation, Ranker, ReducedMc,
+    TraversalMc,
+};
+
+/// Mean wall-clock milliseconds of `f` over all cases, repeated
+/// `reps` times each.
+fn time_ms(cases: &[ScenarioCase], reps: usize, mut f: impl FnMut(&ScenarioCase)) -> f64 {
+    // Warm-up pass.
+    for case in cases {
+        f(case);
+    }
+    let start = Instant::now();
+    for _ in 0..reps {
+        for case in cases {
+            f(case);
+        }
+    }
+    start.elapsed().as_secs_f64() * 1000.0 / (reps * cases.len()) as f64
+}
+
+fn main() {
+    let reps: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(3);
+    let world = default_world();
+    let cases = build_cases(&world, Scenario::WellKnown).expect("integration succeeds");
+
+    let avg_nodes: f64 = cases
+        .iter()
+        .map(|c| c.result.query.graph().node_count() as f64)
+        .sum::<f64>()
+        / cases.len() as f64;
+    let avg_edges: f64 = cases
+        .iter()
+        .map(|c| c.result.query.graph().edge_count() as f64)
+        .sum::<f64>()
+        / cases.len() as f64;
+    println!("20 query graphs: avg {avg_nodes:.0} nodes, {avg_edges:.0} edges");
+
+    // Reduction shrinkage (the paper's −78% on raw integration graphs;
+    // our mediator already prunes dead branches during integration, so
+    // we report both the rule-only and the combined shrinkage).
+    let mut rule_shrink = Vec::new();
+    let mut combined_shrink = Vec::new();
+    for case in &cases {
+        let mut q = case.result.query.clone();
+        let src = q.source();
+        let answers = q.answers().to_vec();
+        let stats = reduction::reduce(q.graph_mut(), src, &answers);
+        rule_shrink.push(stats.shrink_ratio());
+        let raw = (case.result.stats.nodes_raw + case.result.stats.edges_raw) as f64;
+        let after = (stats.nodes_after + stats.edges_after) as f64;
+        combined_shrink.push(1.0 - after / raw);
+    }
+    let avg = |v: &[f64]| 100.0 * v.iter().sum::<f64>() / v.len() as f64;
+    println!(
+        "reduction rules remove {:.0}% of the pruned graphs; prune+reduce \
+         removes {:.0}% of the raw integration graphs (paper: 78%)\n",
+        avg(&rule_shrink),
+        avg(&combined_shrink)
+    );
+
+    // (a) reliability strategies.
+    let strategies: Vec<Timed<'_>> = vec![
+        ("naive M1", Box::new(|c: &ScenarioCase| {
+            let _ = NaiveMc::new(10_000, DEFAULT_SEED).score(&c.result.query);
+        })),
+        ("M1", Box::new(|c: &ScenarioCase| {
+            let _ = TraversalMc::new(10_000, DEFAULT_SEED).score(&c.result.query);
+        })),
+        ("M2", Box::new(|c: &ScenarioCase| {
+            let _ = TraversalMc::new(1_000, DEFAULT_SEED).score(&c.result.query);
+        })),
+        ("C", Box::new(|c: &ScenarioCase| {
+            let _ = ClosedReliability::default().score(&c.result.query);
+        })),
+        ("R&M1", Box::new(|c: &ScenarioCase| {
+            let _ = ReducedMc::new(10_000, DEFAULT_SEED).score(&c.result.query);
+        })),
+        ("R&M2", Box::new(|c: &ScenarioCase| {
+            let _ = ReducedMc::new(1_000, DEFAULT_SEED).score(&c.result.query);
+        })),
+    ];
+    let mut rows = Vec::new();
+    let mut naive_ms = 0.0;
+    let mut m1_ms = 0.0;
+    let mut rm1_ms = 0.0;
+    for (name, f) in &strategies {
+        let ms = time_ms(&cases, reps, |c| f(c));
+        match *name {
+            "naive M1" => naive_ms = ms,
+            "M1" => m1_ms = ms,
+            "R&M1" => rm1_ms = ms,
+            _ => {}
+        }
+        rows.push(vec![name.to_string(), format!("{ms:.2}")]);
+    }
+    println!("(a) Reliability strategies (mean msec per query graph):");
+    println!("{}", table(&["Method", "Time [ms]"], &rows));
+    println!(
+        "traversal-vs-naive speed-up: {:.1}x (paper: 3.4x); reduction+MC vs naive: {:.1}x (paper: 13.4x)\n",
+        naive_ms / m1_ms,
+        naive_ms / rm1_ms
+    );
+
+    // (b) the five ranking methods.
+    let methods: Vec<Timed<'_>> = vec![
+        ("Rel", Box::new(|c: &ScenarioCase| {
+            let _ = ReducedMc::new(1_000, DEFAULT_SEED).score(&c.result.query);
+        })),
+        ("Prop", Box::new(|c: &ScenarioCase| {
+            let _ = Propagation::auto().score(&c.result.query);
+        })),
+        ("Diff", Box::new(|c: &ScenarioCase| {
+            let _ = Diffusion::auto().score(&c.result.query);
+        })),
+        ("InEdge", Box::new(|c: &ScenarioCase| {
+            let _ = InEdge.score(&c.result.query);
+        })),
+        ("PathC", Box::new(|c: &ScenarioCase| {
+            let _ = PathCount.score(&c.result.query);
+        })),
+    ];
+    let mut rows = Vec::new();
+    for (name, f) in &methods {
+        let ms = time_ms(&cases, reps, |c| f(c));
+        rows.push(vec![name.to_string(), format!("{ms:.3}")]);
+    }
+    println!("(b) The five ranking methods (mean msec per query graph):");
+    println!("{}", table(&["Method", "Time [ms]"], &rows));
+}

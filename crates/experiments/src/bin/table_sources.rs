@@ -1,0 +1,43 @@
+//! §2 catalog artifacts: the 11-source table and the two
+//! uncertainty-to-probability transformation tables (`pr` for EntrezGene
+//! status codes and AmiGO evidence codes), plus reference points of the
+//! e-value transform.
+
+use biorank_eval::report::table;
+use biorank_schema::{evalue_to_prob, source_catalog, EvidenceCode, StatusCode};
+
+fn main() {
+    println!("Source catalog (paper §2)");
+    let rows: Vec<Vec<String>> = source_catalog()
+        .iter()
+        .map(|s| {
+            vec![
+                s.name.to_string(),
+                s.entity_sets.to_string(),
+                s.relationships.to_string(),
+            ]
+        })
+        .collect();
+    println!("{}", table(&["Source", "#E", "#R"], &rows));
+
+    println!("EntrezGene StatusCode → pr");
+    let rows: Vec<Vec<String>> = StatusCode::ALL
+        .iter()
+        .map(|c| vec![c.to_string(), format!("{:.1}", c.pr().get())])
+        .collect();
+    println!("{}", table(&["StatusCode", "pr"], &rows));
+
+    println!("AmiGO EvidenceCode → pr");
+    let rows: Vec<Vec<String>> = EvidenceCode::ALL
+        .iter()
+        .map(|c| vec![c.to_string(), format!("{:.1}", c.pr().get())])
+        .collect();
+    println!("{}", table(&["EvidenceCode", "pr"], &rows));
+
+    println!("e-value → qr = −(1/300)·ln(e)");
+    let rows: Vec<Vec<String>> = [1.0, 1e-10, 1e-30, 1e-65, 1e-100, 1e-130, 1e-300]
+        .iter()
+        .map(|&e| vec![format!("{e:.0e}"), format!("{:.3}", evalue_to_prob(e).get())])
+        .collect();
+    println!("{}", table(&["e-value", "qr"], &rows));
+}

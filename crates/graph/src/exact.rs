@@ -1,0 +1,470 @@
+//! Exact source–target reliability.
+//!
+//! Network reliability is #P-hard in general (Valiant 1979, cited in
+//! §3.1), so these engines are exponential in the worst case. They exist
+//! for two reasons:
+//!
+//! * [`enumerate`] — brute-force possible-worlds enumeration, the direct
+//!   implementation of the semantics ("each subgraph of the network graph
+//!   is a world", §3.1). It is the ground truth every other evaluator
+//!   (Monte Carlo, reductions, factoring) is tested against. Limited to
+//!   ~28 uncertain elements.
+//! * [`factoring`] — reduction-accelerated conditioning on edges. On the
+//!   paper's workflow-shaped query graphs the reductions do almost all of
+//!   the work (Theorem 3.2), so this is fast in practice and serves as
+//!   the "closed solution" evaluator `C` in Fig. 8a whenever a graph is
+//!   fully reducible, with graceful fallback when it is not.
+
+use crate::{reach, reduction, Error, NodeId, Prob, ProbGraph};
+
+/// Maximum number of uncertain elements [`enumerate`] accepts.
+pub const MAX_ENUMERATED_ELEMENTS: usize = 28;
+
+/// Exact reliability by enumerating all possible worlds.
+///
+/// An element (node or edge) is *uncertain* when its probability is
+/// strictly between 0 and 1; certain elements are folded out of the
+/// enumeration. Returns [`Error::TooLarge`] when more than
+/// [`MAX_ENUMERATED_ELEMENTS`] uncertain elements remain.
+pub fn enumerate(g: &ProbGraph, source: NodeId, target: NodeId) -> Result<f64, Error> {
+    if !g.node_alive(source) {
+        return Err(Error::NoSuchNode(source));
+    }
+    if !g.node_alive(target) {
+        return Err(Error::NoSuchNode(target));
+    }
+    // Collect uncertain elements. Zero-probability elements are treated
+    // as absent outright.
+    let mut var_nodes = Vec::new();
+    let mut var_edges = Vec::new();
+    for n in g.nodes() {
+        let p = g.node_p(n).get();
+        if p > 0.0 && p < 1.0 {
+            var_nodes.push(n);
+        }
+    }
+    for e in g.edges() {
+        let q = g.edge_q(e).get();
+        if q > 0.0 && q < 1.0 {
+            var_edges.push(e);
+        }
+    }
+    let k = var_nodes.len() + var_edges.len();
+    if k > MAX_ENUMERATED_ELEMENTS {
+        return Err(Error::TooLarge {
+            elements: k,
+            limit: MAX_ENUMERATED_ELEMENTS,
+        });
+    }
+
+    let bound = g.node_bound();
+    let mut node_on = vec![false; bound];
+    let mut edge_on = vec![false; g.edge_bound()];
+    for n in g.nodes() {
+        node_on[n.index()] = g.node_p(n).is_one();
+    }
+    for e in g.edges() {
+        edge_on[e.index()] = g.edge_q(e).is_one();
+    }
+
+    let mut total = 0.0f64;
+    let worlds = 1u64 << k;
+    let mut stack = Vec::with_capacity(bound);
+    let mut seen = vec![false; bound];
+    for world in 0..worlds {
+        let mut weight = 1.0f64;
+        for (bit, &n) in var_nodes.iter().enumerate() {
+            let on = world & (1 << bit) != 0;
+            let p = g.node_p(n).get();
+            node_on[n.index()] = on;
+            weight *= if on { p } else { 1.0 - p };
+        }
+        for (bit, &e) in var_edges.iter().enumerate() {
+            let on = world & (1 << (bit + var_nodes.len())) != 0;
+            let q = g.edge_q(e).get();
+            edge_on[e.index()] = on;
+            weight *= if on { q } else { 1.0 - q };
+        }
+        if weight == 0.0 {
+            continue;
+        }
+        if world_connects(
+            g, source, target, &node_on, &edge_on, &mut stack, &mut seen,
+        ) {
+            total += weight;
+        }
+    }
+    Ok(total)
+}
+
+/// DFS in one sampled world: is `target` reachable from `source` through
+/// present nodes/edges, with both endpoints present?
+fn world_connects(
+    g: &ProbGraph,
+    source: NodeId,
+    target: NodeId,
+    node_on: &[bool],
+    edge_on: &[bool],
+    stack: &mut Vec<NodeId>,
+    seen: &mut [bool],
+) -> bool {
+    seen.fill(false);
+    if !node_on[source.index()] || !node_on[target.index()] {
+        return false;
+    }
+    if source == target {
+        return true;
+    }
+    stack.clear();
+    stack.push(source);
+    seen[source.index()] = true;
+    while let Some(x) = stack.pop() {
+        for e in g.out_edges(x) {
+            if !edge_on[e.index()] {
+                continue;
+            }
+            let y = g.edge_dst(e);
+            if !node_on[y.index()] || seen[y.index()] {
+                continue;
+            }
+            if y == target {
+                return true;
+            }
+            seen[y.index()] = true;
+            stack.push(y);
+        }
+    }
+    false
+}
+
+/// Exact reliability by reductions + edge factoring.
+///
+/// Algorithm: prune to the relevant subgraph, run the reduction rules,
+/// and if the graph is not yet trivial, pick an uncertain out-edge of the
+/// source and condition on it:
+/// `R = q·R(G | e present) + (1−q)·R(G − e)`.
+/// Conditioning an edge `(s, w)` present merges `w` into `s` (directed
+/// contraction is sound only at the source, which is always reached).
+/// Node probabilities are removed up front by [`reify`].
+///
+/// `budget` caps the number of factoring branches; `None` means the
+/// default of 1 << 22. Returns [`Error::TooLarge`] when exceeded.
+pub fn factoring(
+    g: &ProbGraph,
+    source: NodeId,
+    target: NodeId,
+    budget: Option<u64>,
+) -> Result<f64, Error> {
+    if !g.node_alive(source) {
+        return Err(Error::NoSuchNode(source));
+    }
+    if !g.node_alive(target) {
+        return Err(Error::NoSuchNode(target));
+    }
+    if source == target {
+        return Ok(g.node_p(source).get());
+    }
+    let reified = reify(g, &[source, target]);
+    let mut budget = budget.unwrap_or(1 << 22);
+    // In the reified graph the answer is "out(target) reachable from
+    // in(source)"; in(source) presence encodes p(source).
+    let (rs, rt) = (reified.input(source), reified.output(target));
+    factor_rec(reified.graph, rs, rt, &mut budget)
+}
+
+fn factor_rec(
+    mut g: ProbGraph,
+    source: NodeId,
+    target: NodeId,
+    budget: &mut u64,
+) -> Result<f64, Error> {
+    if *budget == 0 {
+        return Err(Error::TooLarge {
+            elements: usize::MAX,
+            limit: 0,
+        });
+    }
+    *budget -= 1;
+
+    reach::prune_to_relevant(&mut g, source, &[target]);
+    if !g.node_alive(target) {
+        return Ok(0.0);
+    }
+    match reduction::closed_form_in_place(&mut g, source, target) {
+        Some(r) => return Ok(r),
+        None => { /* stuck: factor */ }
+    }
+    // Choose an out-edge of the source to condition on. After reduction
+    // the source has ≥ 2 out-edges here (otherwise serial collapse or the
+    // trivial case would have fired).
+    let e = g
+        .out_edges(source)
+        .next()
+        .expect("reduced non-trivial graph has source out-edges");
+    let (_, w, q) = g.edge(e);
+    let q = q.get();
+
+    // Branch 1: edge absent.
+    let mut g_absent = g.clone();
+    g_absent.remove_edge(e);
+    let r_absent = if q < 1.0 {
+        factor_rec(g_absent, source, target, budget)?
+    } else {
+        0.0
+    };
+
+    // Branch 2: edge present — contract w into source.
+    let r_present = if q > 0.0 {
+        if w == target {
+            // Target reached with certainty in this branch (reified
+            // target carries no node probability).
+            1.0
+        } else {
+            contract_into_source(&mut g, source, w);
+            factor_rec(g, source, target, budget)?
+        }
+    } else {
+        0.0
+    };
+
+    Ok(q * r_present + (1.0 - q) * r_absent)
+}
+
+/// Merges node `w` into `source`: `w`'s out-edges are re-sourced at
+/// `source`; edges into `w` are dropped (irrelevant once `w` is certainly
+/// reached); `w` is removed.
+fn contract_into_source(g: &mut ProbGraph, source: NodeId, w: NodeId) {
+    debug_assert!(g.node_p(w).is_one(), "contract requires reified nodes");
+    let outs: Vec<(NodeId, Prob)> = g.out_edges(w).map(|e| (g.edge_dst(e), g.edge_q(e))).collect();
+    g.remove_node(w);
+    for (dst, q) in outs {
+        if dst != source {
+            g.add_edge(source, dst, q)
+                .expect("contraction endpoints are live");
+        }
+    }
+}
+
+/// A reified copy of a graph: every node `x` with `p(x) < 1` is split
+/// into `in(x) → out(x)` with edge probability `p(x)`, making all node
+/// probabilities 1 (the standard reduction of node failures to the edge
+/// version of the reliability problem, paper §3.1).
+pub struct Reified {
+    /// The reified graph (all node probabilities are 1).
+    pub graph: ProbGraph,
+    input_of: Vec<NodeId>,
+    output_of: Vec<NodeId>,
+}
+
+impl Reified {
+    /// The in-node of original node `n` (edges into `n` land here).
+    pub fn input(&self, n: NodeId) -> NodeId {
+        self.input_of[n.index()]
+    }
+
+    /// The out-node of original node `n` (edges out of `n` leave here;
+    /// `n` is "present and reached" iff this node is reached).
+    pub fn output(&self, n: NodeId) -> NodeId {
+        self.output_of[n.index()]
+    }
+}
+
+/// Reifies node probabilities into edges. Nodes listed in `split_even_if_certain`
+/// are split regardless of their probability so callers can rely on
+/// having distinct in/out handles for them.
+pub fn reify(g: &ProbGraph, split_even_if_certain: &[NodeId]) -> Reified {
+    let bound = g.node_bound();
+    let mut out_graph = ProbGraph::with_capacity(g.node_count() * 2, g.edge_count() + g.node_count());
+    let sentinel = NodeId::from_index(0);
+    let mut input_of = vec![sentinel; bound];
+    let mut output_of = vec![sentinel; bound];
+    let force: Vec<bool> = {
+        let mut f = vec![false; bound];
+        for &n in split_even_if_certain {
+            f[n.index()] = true;
+        }
+        f
+    };
+    for n in g.nodes() {
+        let p = g.node_p(n);
+        let label = g.node_label(n).to_string();
+        if p.is_one() && !force[n.index()] {
+            let v = out_graph.add_labeled_node(Prob::ONE, label);
+            input_of[n.index()] = v;
+            output_of[n.index()] = v;
+        } else {
+            let vin = out_graph.add_labeled_node(Prob::ONE, format!("{label}#in"));
+            let vout = out_graph.add_labeled_node(Prob::ONE, format!("{label}#out"));
+            out_graph
+                .add_edge(vin, vout, p)
+                .expect("reified split edge");
+            input_of[n.index()] = vin;
+            output_of[n.index()] = vout;
+        }
+    }
+    for e in g.edges() {
+        let (u, v, q) = g.edge(e);
+        out_graph
+            .add_edge(output_of[u.index()], input_of[v.index()], q)
+            .expect("reified edge endpoints exist");
+    }
+    Reified {
+        graph: out_graph,
+        input_of,
+        output_of,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(v: f64) -> Prob {
+        Prob::new(v).unwrap()
+    }
+
+    #[test]
+    fn single_edge_reliability() {
+        let mut g = ProbGraph::new();
+        let s = g.add_node(p(1.0));
+        let t = g.add_node(p(0.5));
+        g.add_edge(s, t, p(0.8)).unwrap();
+        let r = enumerate(&g, s, t).unwrap();
+        assert!((r - 0.4).abs() < 1e-12);
+        let rf = factoring(&g, s, t, None).unwrap();
+        assert!((rf - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unreachable_target_is_zero() {
+        let mut g = ProbGraph::new();
+        let s = g.add_node(p(1.0));
+        let t = g.add_node(p(1.0));
+        assert_eq!(enumerate(&g, s, t).unwrap(), 0.0);
+        assert_eq!(factoring(&g, s, t, None).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn source_equals_target() {
+        let mut g = ProbGraph::new();
+        let s = g.add_node(p(0.3));
+        assert!((enumerate(&g, s, s).unwrap() - 0.3).abs() < 1e-12);
+        assert!((factoring(&g, s, s, None).unwrap() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fig4a_serial_parallel_graph() {
+        // Fig 4a: s →(0.5) u' then two parallel certain 2-hop paths to u.
+        // Reliability = 0.5 (shared first edge dominates).
+        let mut g = ProbGraph::new();
+        let s = g.add_node(p(1.0));
+        let m = g.add_node(p(1.0));
+        let a = g.add_node(p(1.0));
+        let b = g.add_node(p(1.0));
+        let u = g.add_node(p(1.0));
+        g.add_edge(s, m, p(0.5)).unwrap();
+        g.add_edge(m, a, p(1.0)).unwrap();
+        g.add_edge(m, b, p(1.0)).unwrap();
+        g.add_edge(a, u, p(1.0)).unwrap();
+        g.add_edge(b, u, p(1.0)).unwrap();
+        let r = enumerate(&g, s, u).unwrap();
+        assert!((r - 0.5).abs() < 1e-12);
+        let rf = factoring(&g, s, u, None).unwrap();
+        assert!((rf - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wheatstone_bridge_exact_value() {
+        // All-0.5 directed Wheatstone bridge (Fig. 4b / Fig. 2c).
+        // Known value: paper reports reliability 0.469 for Fig 4b's
+        // bridge with q=0.5 everywhere... computed here independently by
+        // both engines; they must agree to 1e-12.
+        let (g, s, t) = reduction::wheatstone(p(0.5));
+        let r1 = enumerate(&g, s, t).unwrap();
+        let r2 = factoring(&g, s, t, None).unwrap();
+        assert!((r1 - r2).abs() < 1e-12, "enumerate {r1} vs factoring {r2}");
+        // Directed bridge, five 0.5 edges:
+        // paths s→a→t, s→b→t, s→a→b→t. Exact by conditioning on (a,b):
+        // present: (s→a)(a→t or b→t reached via a→b? careful) — rely on
+        // the enumeration value instead; just sanity-bound it.
+        assert!(r1 > 0.40 && r1 < 0.55, "bridge reliability {r1}");
+        // Paper Fig. 4b reports 0.469 for this topology.
+        assert!((r1 - 0.46875).abs() < 1e-9);
+    }
+
+    #[test]
+    fn node_failures_reduce_reliability() {
+        // Diamond with flaky middle nodes.
+        let mut g = ProbGraph::new();
+        let s = g.add_node(p(1.0));
+        let a = g.add_node(p(0.5));
+        let b = g.add_node(p(0.5));
+        let t = g.add_node(p(1.0));
+        g.add_edge(s, a, p(1.0)).unwrap();
+        g.add_edge(s, b, p(1.0)).unwrap();
+        g.add_edge(a, t, p(1.0)).unwrap();
+        g.add_edge(b, t, p(1.0)).unwrap();
+        // P(at least one of a,b alive) = 0.75.
+        let r = enumerate(&g, s, t).unwrap();
+        assert!((r - 0.75).abs() < 1e-12);
+        let rf = factoring(&g, s, t, None).unwrap();
+        assert!((rf - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn enumerate_rejects_oversized_graphs() {
+        let mut g = ProbGraph::new();
+        let s = g.add_node(p(1.0));
+        let t = g.add_node(p(1.0));
+        let mut prev = s;
+        for _ in 0..40 {
+            let n = g.add_node(p(0.5));
+            g.add_edge(prev, n, p(0.5)).unwrap();
+            prev = n;
+        }
+        g.add_edge(prev, t, p(0.5)).unwrap();
+        assert!(matches!(
+            enumerate(&g, s, t),
+            Err(Error::TooLarge { .. })
+        ));
+        // Factoring handles it fine (chain reduces to one edge).
+        let r = factoring(&g, s, t, None).unwrap();
+        assert!(r > 0.0 && r < 1e-9, "0.5^41 ≈ 4.5e-13, got {r}");
+    }
+
+    #[test]
+    fn reify_splits_uncertain_nodes_only() {
+        let mut g = ProbGraph::new();
+        let a = g.add_node(p(1.0));
+        let b = g.add_node(p(0.5));
+        g.add_edge(a, b, p(0.7)).unwrap();
+        let r = reify(&g, &[]);
+        assert_eq!(r.graph.node_count(), 3); // a, b_in, b_out
+        assert_eq!(r.graph.edge_count(), 2);
+        assert_eq!(r.input(a), r.output(a));
+        assert_ne!(r.input(b), r.output(b));
+        for n in r.graph.nodes() {
+            assert!(r.graph.node_p(n).is_one());
+        }
+    }
+
+    #[test]
+    fn reify_preserves_reliability() {
+        let mut g = ProbGraph::new();
+        let s = g.add_node(p(1.0));
+        let a = g.add_node(p(0.6));
+        let b = g.add_node(p(0.7));
+        let t = g.add_node(p(0.8));
+        g.add_edge(s, a, p(0.5)).unwrap();
+        g.add_edge(s, b, p(0.5)).unwrap();
+        g.add_edge(a, t, p(0.5)).unwrap();
+        g.add_edge(b, t, p(0.5)).unwrap();
+        let direct = enumerate(&g, s, t).unwrap();
+        let re = reify(&g, &[s, t]);
+        let via_reified = enumerate(&re.graph, re.input(s), re.output(t)).unwrap();
+        assert!(
+            (direct - via_reified).abs() < 1e-12,
+            "direct {direct} vs reified {via_reified}"
+        );
+    }
+}

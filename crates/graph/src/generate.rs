@@ -1,0 +1,311 @@
+//! Seeded random graph generators.
+//!
+//! The paper evaluates on "convergent, scientific workflow graphs"
+//! (Discussion §5): layered DAGs in which alternative paths fan out from
+//! a query node and re-converge on answer nodes. These generators produce
+//! such graphs (plus trees and series-parallel graphs used by unit and
+//! property tests) deterministically from a seed.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{NodeId, Prob, ProbGraph, QueryGraph};
+
+/// Parameters for [`layered_workflow`].
+#[derive(Clone, Debug)]
+pub struct WorkflowParams {
+    /// Number of intermediate layers between source and answers.
+    pub layers: usize,
+    /// Nodes per intermediate layer.
+    pub width: usize,
+    /// Number of answer nodes.
+    pub answers: usize,
+    /// Probability that a node connects to any given node of the next
+    /// layer (fan-out density).
+    pub density: f64,
+    /// Range of node presence probabilities.
+    pub node_prob: (f64, f64),
+    /// Range of edge presence probabilities.
+    pub edge_prob: (f64, f64),
+}
+
+impl Default for WorkflowParams {
+    fn default() -> Self {
+        WorkflowParams {
+            layers: 3,
+            width: 12,
+            answers: 8,
+            density: 0.3,
+            node_prob: (0.3, 1.0),
+            edge_prob: (0.3, 1.0),
+        }
+    }
+}
+
+fn sample_prob(rng: &mut StdRng, range: (f64, f64)) -> Prob {
+    let (lo, hi) = range;
+    Prob::clamped(if lo >= hi { lo } else { rng.gen_range(lo..hi) })
+}
+
+/// Generates a layered convergent workflow query graph.
+///
+/// The source sits in layer 0, `layers` intermediate layers follow, and
+/// the answer nodes form the final layer. Every node is guaranteed at
+/// least one outgoing edge to the next layer (so all answers are
+/// plausibly reachable) plus density-controlled extras, which creates the
+/// converging/diverging path structure of Fig. 1.
+pub fn layered_workflow(params: &WorkflowParams, seed: u64) -> QueryGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = ProbGraph::new();
+    let source = g.add_labeled_node(Prob::ONE, "query");
+    let mut prev: Vec<NodeId> = vec![source];
+    for layer in 0..params.layers {
+        let mut cur = Vec::with_capacity(params.width);
+        for i in 0..params.width {
+            let p = sample_prob(&mut rng, params.node_prob);
+            cur.push(g.add_labeled_node(p, format!("L{layer}N{i}")));
+        }
+        connect_layers(&mut g, &mut rng, &prev, &cur, params);
+        prev = cur;
+    }
+    let mut answers = Vec::with_capacity(params.answers);
+    for i in 0..params.answers {
+        let p = sample_prob(&mut rng, params.node_prob);
+        answers.push(g.add_labeled_node(p, format!("answer{i}")));
+    }
+    connect_layers(&mut g, &mut rng, &prev, &answers, params);
+    let mut q = QueryGraph::new(g, source, answers).expect("generated graph is valid");
+    q.prune();
+    q
+}
+
+fn connect_layers(
+    g: &mut ProbGraph,
+    rng: &mut StdRng,
+    from: &[NodeId],
+    to: &[NodeId],
+    params: &WorkflowParams,
+) {
+    for &u in from {
+        let mut connected = false;
+        for &v in to {
+            if rng.gen_bool(params.density.clamp(0.0, 1.0)) {
+                let q = sample_prob(rng, params.edge_prob);
+                g.add_edge(u, v, q).expect("layer edge");
+                connected = true;
+            }
+        }
+        if !connected {
+            let v = to[rng.gen_range(0..to.len())];
+            let q = sample_prob(rng, params.edge_prob);
+            g.add_edge(u, v, q).expect("fallback layer edge");
+        }
+    }
+}
+
+/// Generates a random rooted tree with `n` nodes (root is the source).
+///
+/// Trees are the graphs on which Proposition 3.1 says reliability and
+/// propagation coincide; property tests lean on this generator.
+pub fn random_tree(n: usize, seed: u64, node_prob: (f64, f64), edge_prob: (f64, f64)) -> (ProbGraph, NodeId) {
+    assert!(n >= 1, "tree needs at least a root");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = ProbGraph::new();
+    let root = g.add_labeled_node(Prob::ONE, "root");
+    let mut nodes = vec![root];
+    for i in 1..n {
+        let parent = nodes[rng.gen_range(0..nodes.len())];
+        let p = sample_prob(&mut rng, node_prob);
+        let child = g.add_labeled_node(p, format!("t{i}"));
+        let q = sample_prob(&mut rng, edge_prob);
+        g.add_edge(parent, child, q).expect("tree edge");
+        nodes.push(child);
+    }
+    (g, root)
+}
+
+/// Generates a random DAG on `n` nodes where each ordered pair `(i, j)`,
+/// `i < j`, is an edge with probability `density`. Node 0 is returned as
+/// the source.
+pub fn random_dag(
+    n: usize,
+    density: f64,
+    seed: u64,
+    node_prob: (f64, f64),
+    edge_prob: (f64, f64),
+) -> (ProbGraph, NodeId) {
+    assert!(n >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = ProbGraph::new();
+    let mut ids = Vec::with_capacity(n);
+    for i in 0..n {
+        let p = if i == 0 {
+            Prob::ONE
+        } else {
+            sample_prob(&mut rng, node_prob)
+        };
+        ids.push(g.add_labeled_node(p, format!("d{i}")));
+    }
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if rng.gen_bool(density.clamp(0.0, 1.0)) {
+                let q = sample_prob(&mut rng, edge_prob);
+                g.add_edge(ids[i], ids[j], q).expect("dag edge");
+            }
+        }
+    }
+    (g, ids[0])
+}
+
+/// Generates a *divergent star* query graph: every answer hangs off the
+/// source through its own private chain — "entries from different
+/// databases cannot be linked together" (paper Discussion §5).
+///
+/// On such graphs InEdge and PathCount are useless (every answer has
+/// exactly one in-edge and one path); only the strength of each chain
+/// can rank. Chain `i` has `hops` edges whose probabilities are drawn
+/// from `edge_prob`.
+pub fn divergent_star(
+    answers: usize,
+    hops: usize,
+    seed: u64,
+    node_prob: (f64, f64),
+    edge_prob: (f64, f64),
+) -> QueryGraph {
+    assert!(answers >= 1 && hops >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = ProbGraph::new();
+    let source = g.add_labeled_node(Prob::ONE, "query");
+    let mut answer_ids = Vec::with_capacity(answers);
+    for i in 0..answers {
+        let mut prev = source;
+        for h in 0..hops - 1 {
+            let n = g.add_labeled_node(
+                sample_prob(&mut rng, node_prob),
+                format!("chain{i}hop{h}"),
+            );
+            g.add_edge(prev, n, sample_prob(&mut rng, edge_prob))
+                .expect("chain edge");
+            prev = n;
+        }
+        let t = g.add_labeled_node(sample_prob(&mut rng, node_prob), format!("answer{i}"));
+        g.add_edge(prev, t, sample_prob(&mut rng, edge_prob))
+            .expect("final chain edge");
+        answer_ids.push(t);
+    }
+    QueryGraph::new(g, source, answer_ids).expect("star query graph")
+}
+
+/// Builds a series-parallel graph by recursive composition, `depth`
+/// levels deep. Series-parallel graphs are exactly the fully reducible
+/// ones, so `closed_form` must always solve them — a property test
+/// exploits this.
+pub fn series_parallel(depth: usize, seed: u64) -> (ProbGraph, NodeId, NodeId) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = ProbGraph::new();
+    let s = g.add_labeled_node(Prob::ONE, "s");
+    let t = g.add_labeled_node(Prob::clamped(rng.gen_range(0.3..1.0)), "t");
+    grow_sp(&mut g, &mut rng, s, t, depth);
+    (g, s, t)
+}
+
+fn grow_sp(g: &mut ProbGraph, rng: &mut StdRng, u: NodeId, v: NodeId, depth: usize) {
+    if depth == 0 {
+        let q = Prob::clamped(rng.gen_range(0.1..1.0));
+        g.add_edge(u, v, q).expect("sp edge");
+        return;
+    }
+    if rng.gen_bool(0.5) {
+        // Series: u → m → v.
+        let m = g.add_node(Prob::clamped(rng.gen_range(0.3..1.0)));
+        grow_sp(g, rng, u, m, depth - 1);
+        grow_sp(g, rng, m, v, depth - 1);
+    } else {
+        // Parallel: two independent u→v compositions.
+        grow_sp(g, rng, u, v, depth - 1);
+        grow_sp(g, rng, u, v, depth - 1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{exact, reduction, topo};
+
+    #[test]
+    fn workflow_is_a_dag_with_reachable_answers() {
+        let q = layered_workflow(&WorkflowParams::default(), 7);
+        assert!(topo::is_dag(q.graph()));
+        assert!(!q.answers().is_empty());
+        let reach = crate::reach::reachable_from(q.graph(), q.source());
+        for &a in q.answers() {
+            assert!(reach[a.index()], "answer {a} unreachable");
+        }
+    }
+
+    #[test]
+    fn workflow_is_deterministic_in_seed() {
+        let a = layered_workflow(&WorkflowParams::default(), 99);
+        let b = layered_workflow(&WorkflowParams::default(), 99);
+        assert_eq!(a.graph().node_count(), b.graph().node_count());
+        assert_eq!(a.graph().edge_count(), b.graph().edge_count());
+        let c = layered_workflow(&WorkflowParams::default(), 100);
+        // Overwhelmingly likely to differ.
+        assert!(
+            a.graph().edge_count() != c.graph().edge_count()
+                || a.graph().node_count() != c.graph().node_count()
+                || {
+                    let ea: Vec<_> = a.graph().edges().map(|e| a.graph().edge_q(e).get()).collect();
+                    let ec: Vec<_> = c.graph().edges().map(|e| c.graph().edge_q(e).get()).collect();
+                    ea != ec
+                }
+        );
+    }
+
+    #[test]
+    fn tree_has_n_minus_one_edges_and_is_dag() {
+        let (g, root) = random_tree(40, 3, (0.3, 1.0), (0.3, 1.0));
+        assert_eq!(g.node_count(), 40);
+        assert_eq!(g.edge_count(), 39);
+        assert!(topo::is_dag(&g));
+        let reach = crate::reach::reachable_from(&g, root);
+        assert!(reach.iter().filter(|&&b| b).count() == 40);
+    }
+
+    #[test]
+    fn random_dag_is_acyclic() {
+        let (g, _) = random_dag(30, 0.2, 5, (0.3, 1.0), (0.3, 1.0));
+        assert!(topo::is_dag(&g));
+    }
+
+    #[test]
+    fn divergent_star_shape() {
+        let q = divergent_star(6, 3, 9, (0.3, 1.0), (0.3, 1.0));
+        assert_eq!(q.answers().len(), 6);
+        // One private chain per answer: n = 1 + answers·hops nodes.
+        assert_eq!(q.graph().node_count(), 1 + 6 * 3);
+        assert_eq!(q.graph().edge_count(), 6 * 3);
+        for &a in q.answers() {
+            assert_eq!(q.graph().in_degree(a), 1, "single evidence path");
+        }
+        assert!(topo::is_dag(q.graph()));
+    }
+
+    #[test]
+    fn series_parallel_always_solves_closed_form() {
+        for seed in 0..20 {
+            let (g, s, t) = series_parallel(4, seed);
+            match reduction::closed_form(g.clone(), s, t) {
+                reduction::ClosedForm::Solved(r) => {
+                    assert!((0.0..=1.0).contains(&r), "r = {r}");
+                    // Cross-check against factoring.
+                    let rf = exact::factoring(&g, s, t, None).unwrap();
+                    assert!((r - rf).abs() < 1e-9, "closed {r} vs factoring {rf}");
+                }
+                reduction::ClosedForm::Stuck { nodes, edges } => {
+                    panic!("series-parallel stuck at {nodes} nodes / {edges} edges (seed {seed})")
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,135 @@
+//! # biorank-graph
+//!
+//! Probabilistic entity and query graphs — the data-model substrate of
+//! the BioRank reproduction ("Integrating and Ranking Uncertain
+//! Scientific Data", Detwiler et al., ICDE 2009).
+//!
+//! The paper represents integrated scientific data as a *probabilistic
+//! entity graph* `G = (N, E, p, q)` (Definition 2.1): records become
+//! nodes with presence probability `p(i) = ps(i)·pr(i)`, relationships
+//! become edges with `q(i,j) = qs(i,j)·qr(i,j)`. An exploratory query
+//! turns this into a *probabilistic query graph* (Definition 2.3) with a
+//! query node `s` and an answer set `A`.
+//!
+//! This crate provides:
+//!
+//! * [`ProbGraph`] / [`QueryGraph`] — tombstoning arena graph store with
+//!   per-node/per-edge probabilities.
+//! * [`reach`] — reachability closures and relevant-subgraph pruning.
+//! * [`topo`] — toposort, longest paths, and s→t path counting (the
+//!   backbone of the PathCount ranking semantics).
+//! * [`reduction`] — the three reliability-preserving rewrite rules of
+//!   §3.1(2) and the closed-form evaluator of §3.1(3).
+//! * [`exact`] — ground-truth reliability via world enumeration, plus a
+//!   reduction-accelerated factoring evaluator.
+//! * [`generate`] — seeded workflow/tree/DAG/series-parallel generators.
+//!
+//! ```
+//! use biorank_graph::{exact, reduction, Prob, ProbGraph};
+//!
+//! // A diamond: two 0.25-probability paths from s to t.
+//! let mut g = ProbGraph::new();
+//! let s = g.add_node(Prob::ONE);
+//! let a = g.add_node(Prob::ONE);
+//! let b = g.add_node(Prob::ONE);
+//! let t = g.add_node(Prob::ONE);
+//! for (u, v) in [(s, a), (s, b), (a, t), (b, t)] {
+//!     g.add_edge(u, v, Prob::HALF).unwrap();
+//! }
+//! // Exact source–target reliability: 1 − (1 − 0.25)² = 0.4375.
+//! let r = exact::enumerate(&g, s, t).unwrap();
+//! assert!((r - 0.4375).abs() < 1e-12);
+//! // The reduction rules solve the same value in closed form.
+//! assert_eq!(
+//!     reduction::closed_form(g, s, t),
+//!     reduction::ClosedForm::Solved(r)
+//! );
+//! ```
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod graph;
+mod ids;
+mod prob;
+mod query;
+
+pub mod exact;
+pub mod generate;
+pub mod reach;
+pub mod reduction;
+pub mod topo;
+
+pub use graph::ProbGraph;
+pub use ids::{EdgeId, NodeId};
+pub use prob::Prob;
+pub use query::{QueryGraph, SingleTarget};
+
+use std::fmt;
+
+/// Errors produced by graph construction and the exact evaluators.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Error {
+    /// A probability value outside `[0, 1]` (or NaN).
+    InvalidProbability(f64),
+    /// An operation referenced a node that does not exist or was removed.
+    NoSuchNode(NodeId),
+    /// Self-loops are rejected: they can never affect s→t connectivity.
+    SelfLoop(NodeId),
+    /// A query graph requires at least one answer node.
+    EmptyAnswerSet,
+    /// The graph contains a directed cycle where a DAG is required.
+    CycleDetected,
+    /// An exact computation exceeded its size budget.
+    TooLarge {
+        /// Number of uncertain elements (or `usize::MAX` when a branch
+        /// budget, rather than an element count, was exhausted).
+        elements: usize,
+        /// The configured limit.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidProbability(v) => {
+                write!(f, "invalid probability {v}: must be finite and in [0, 1]")
+            }
+            Error::NoSuchNode(n) => write!(f, "node {n} does not exist or was removed"),
+            Error::SelfLoop(n) => write!(f, "self-loop on node {n} rejected"),
+            Error::EmptyAnswerSet => write!(f, "query graph requires a non-empty answer set"),
+            Error::CycleDetected => write!(f, "graph contains a directed cycle"),
+            Error::TooLarge { elements, limit } => write!(
+                f,
+                "exact computation too large: {elements} uncertain elements (limit {limit})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = Error::InvalidProbability(1.5);
+        assert!(e.to_string().contains("1.5"));
+        let e = Error::TooLarge {
+            elements: 40,
+            limit: 28,
+        };
+        assert!(e.to_string().contains("40"));
+        assert!(e.to_string().contains("28"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&Error::CycleDetected);
+    }
+}

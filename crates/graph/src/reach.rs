@@ -1,0 +1,186 @@
+//! Reachability utilities over [`ProbGraph`].
+//!
+//! Exploratory queries (paper Definition 2.2) retrieve everything
+//! reachable from the query node; the ranking algorithms then operate on
+//! the *relevant* subgraph — nodes that lie on at least one path from the
+//! source to some answer node. This module provides forward/backward
+//! closures and the relevant-subgraph extraction.
+
+use crate::{NodeId, ProbGraph};
+
+/// Nodes reachable from `s` (including `s`), as a dense bitmap indexed by
+/// [`NodeId::index`].
+pub fn reachable_from(g: &ProbGraph, s: NodeId) -> Vec<bool> {
+    let mut seen = vec![false; g.node_bound()];
+    if !g.node_alive(s) {
+        return seen;
+    }
+    let mut stack = vec![s];
+    seen[s.index()] = true;
+    while let Some(x) = stack.pop() {
+        for y in g.successors(x) {
+            if !seen[y.index()] {
+                seen[y.index()] = true;
+                stack.push(y);
+            }
+        }
+    }
+    seen
+}
+
+/// Nodes from which some node in `targets` is reachable (including the
+/// targets themselves), as a dense bitmap.
+pub fn coreachable(g: &ProbGraph, targets: &[NodeId]) -> Vec<bool> {
+    let mut seen = vec![false; g.node_bound()];
+    let mut stack = Vec::with_capacity(targets.len());
+    for &t in targets {
+        if g.node_alive(t) && !seen[t.index()] {
+            seen[t.index()] = true;
+            stack.push(t);
+        }
+    }
+    while let Some(x) = stack.pop() {
+        for y in g.predecessors(x) {
+            if !seen[y.index()] {
+                seen[y.index()] = true;
+                stack.push(y);
+            }
+        }
+    }
+    seen
+}
+
+/// `true` when a directed path `s → t` exists (ignoring probabilities).
+pub fn has_path(g: &ProbGraph, s: NodeId, t: NodeId) -> bool {
+    if s == t {
+        return g.node_alive(s);
+    }
+    reachable_from(g, s)
+        .get(t.index())
+        .copied()
+        .unwrap_or(false)
+}
+
+/// Removes every node that is not on some `s → target` path.
+///
+/// A node is *relevant* iff it is reachable from `s` **and** co-reaches at
+/// least one target. The source and reachable targets are always kept.
+/// Returns the number of removed nodes.
+pub fn prune_to_relevant(g: &mut ProbGraph, s: NodeId, targets: &[NodeId]) -> usize {
+    let fwd = reachable_from(g, s);
+    let mut keep_targets: Vec<NodeId> = targets
+        .iter()
+        .copied()
+        .filter(|t| fwd.get(t.index()).copied().unwrap_or(false))
+        .collect();
+    keep_targets.sort_unstable();
+    keep_targets.dedup();
+    let bwd = coreachable(g, &keep_targets);
+    let doomed: Vec<NodeId> = g
+        .nodes()
+        .filter(|n| *n != s && !(fwd[n.index()] && bwd[n.index()]))
+        .collect();
+    let removed = doomed.len();
+    for n in doomed {
+        g.remove_node(n);
+    }
+    removed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Prob;
+
+    fn p(v: f64) -> Prob {
+        Prob::new(v).unwrap()
+    }
+
+    /// s → a → t, plus stranded node `x` and dead-end branch a → d.
+    fn diamond_with_junk() -> (ProbGraph, NodeId, NodeId, NodeId, NodeId, NodeId) {
+        let mut g = ProbGraph::new();
+        let s = g.add_node(p(1.0));
+        let a = g.add_node(p(0.5));
+        let t = g.add_node(p(0.5));
+        let d = g.add_node(p(0.5)); // reachable, does not co-reach t
+        let x = g.add_node(p(0.5)); // completely stranded
+        g.add_edge(s, a, p(0.9)).unwrap();
+        g.add_edge(a, t, p(0.9)).unwrap();
+        g.add_edge(a, d, p(0.9)).unwrap();
+        (g, s, a, t, d, x)
+    }
+
+    #[test]
+    fn reachable_from_explores_forward_only() {
+        let (g, s, a, t, d, x) = diamond_with_junk();
+        let r = reachable_from(&g, s);
+        assert!(r[s.index()] && r[a.index()] && r[t.index()] && r[d.index()]);
+        assert!(!r[x.index()]);
+        let r2 = reachable_from(&g, t);
+        assert!(r2[t.index()] && !r2[s.index()]);
+    }
+
+    #[test]
+    fn coreachable_explores_backward() {
+        let (g, s, a, t, d, x) = diamond_with_junk();
+        let c = coreachable(&g, &[t]);
+        assert!(c[t.index()] && c[a.index()] && c[s.index()]);
+        assert!(!c[d.index()] && !c[x.index()]);
+    }
+
+    #[test]
+    fn has_path_basic() {
+        let (g, s, _, t, _, x) = diamond_with_junk();
+        assert!(has_path(&g, s, t));
+        assert!(!has_path(&g, t, s));
+        assert!(!has_path(&g, s, x));
+        assert!(has_path(&g, s, s));
+    }
+
+    #[test]
+    fn prune_keeps_only_st_paths() {
+        let (mut g, s, a, t, d, x) = diamond_with_junk();
+        let removed = prune_to_relevant(&mut g, s, &[t]);
+        assert_eq!(removed, 2);
+        assert!(g.node_alive(s) && g.node_alive(a) && g.node_alive(t));
+        assert!(!g.node_alive(d) && !g.node_alive(x));
+        g.check_invariants();
+    }
+
+    #[test]
+    fn prune_with_unreachable_target_empties_graph() {
+        let mut g = ProbGraph::new();
+        let s = g.add_node(p(1.0));
+        let t = g.add_node(p(1.0)); // no edge s → t
+        let removed = prune_to_relevant(&mut g, s, &[t]);
+        assert_eq!(removed, 1);
+        assert!(g.node_alive(s));
+        assert!(!g.node_alive(t));
+    }
+
+    #[test]
+    fn prune_with_multiple_targets_keeps_union() {
+        let mut g = ProbGraph::new();
+        let s = g.add_node(p(1.0));
+        let a = g.add_node(p(0.5));
+        let t1 = g.add_node(p(0.5));
+        let t2 = g.add_node(p(0.5));
+        g.add_edge(s, a, p(0.5)).unwrap();
+        g.add_edge(a, t1, p(0.5)).unwrap();
+        g.add_edge(s, t2, p(0.5)).unwrap();
+        let removed = prune_to_relevant(&mut g, s, &[t1, t2]);
+        assert_eq!(removed, 0);
+        assert_eq!(g.node_count(), 4);
+    }
+
+    #[test]
+    fn reachability_respects_removed_edges() {
+        let mut g = ProbGraph::new();
+        let s = g.add_node(p(1.0));
+        let t = g.add_node(p(1.0));
+        let e = g.add_edge(s, t, p(0.5)).unwrap();
+        assert!(has_path(&g, s, t));
+        g.remove_edge(e);
+        assert!(!has_path(&g, s, t));
+    }
+}

@@ -1,0 +1,476 @@
+//! Reliability-preserving graph reductions (paper §3.1(2)).
+//!
+//! Three rewrite rules, applied to a fixpoint:
+//!
+//! 1. **Delete inaccessible nodes** — a sink node (no outgoing edges) that
+//!    is not a target can never lie on a source→target path; remove it.
+//!    We additionally remove *orphan* nodes (no incoming edges, not the
+//!    source), which is sound for the same reason and makes the rules
+//!    confluent with query graphs that were not pre-pruned.
+//! 2. **Collapse serial paths** — a node `x` with a single in-edge `(y,x)`
+//!    and single out-edge `(x,z)` is replaced by an edge `(y,z)` with
+//!    `q = q(y,x) · p(x) · q(x,z)`.
+//! 3. **Collapse parallel paths** — multiple edges `x → y` merge into one
+//!    with `q = 1 − ∏ᵢ(1 − qᵢ)`.
+//!
+//! All three preserve the source–target reliability for every protected
+//! node (proved in the network-reliability literature; exercised here by
+//! property tests against exact world enumeration). On the paper's
+//! scientific-workflow graphs they remove ~78% of elements (§4), which we
+//! reproduce in `biorank-experiments fig8`.
+
+use crate::{EdgeId, NodeId, Prob, ProbGraph};
+
+/// Counters describing one [`reduce`] run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ReductionStats {
+    /// Live nodes before reduction.
+    pub nodes_before: usize,
+    /// Live edges before reduction.
+    pub edges_before: usize,
+    /// Live nodes after reduction.
+    pub nodes_after: usize,
+    /// Live edges after reduction.
+    pub edges_after: usize,
+    /// Applications of the serial-path rule.
+    pub serial_collapses: usize,
+    /// Applications of the parallel-path rule (edges merged away).
+    pub parallel_merges: usize,
+    /// Non-target sinks and non-source orphans deleted.
+    pub dead_nodes_deleted: usize,
+    /// Fixpoint rounds executed.
+    pub rounds: usize,
+}
+
+impl ReductionStats {
+    /// Fraction of nodes+edges removed, in `[0, 1]`.
+    ///
+    /// The paper reports −78% on its 20 scenario-1 query graphs.
+    pub fn shrink_ratio(&self) -> f64 {
+        let before = (self.nodes_before + self.edges_before) as f64;
+        if before == 0.0 {
+            return 0.0;
+        }
+        let after = (self.nodes_after + self.edges_after) as f64;
+        1.0 - after / before
+    }
+}
+
+/// Applies the three reduction rules to a fixpoint.
+///
+/// `source` and every node in `protected` (the targets) are never
+/// deleted or collapsed. The graph is modified in place; ids of surviving
+/// elements are stable. Returns the rule-application statistics.
+pub fn reduce(g: &mut ProbGraph, source: NodeId, protected: &[NodeId]) -> ReductionStats {
+    let mut stats = ReductionStats {
+        nodes_before: g.node_count(),
+        edges_before: g.edge_count(),
+        ..ReductionStats::default()
+    };
+    let mut is_protected = vec![false; g.node_bound()];
+    if source.index() < is_protected.len() {
+        is_protected[source.index()] = true;
+    }
+    for &t in protected {
+        if t.index() < is_protected.len() {
+            is_protected[t.index()] = true;
+        }
+    }
+
+    loop {
+        stats.rounds += 1;
+        let mut changed = false;
+        changed |= delete_dead_nodes(g, source, &is_protected, &mut stats);
+        changed |= collapse_serial(g, &is_protected, &mut stats);
+        changed |= merge_parallel(g, &mut stats);
+        if !changed {
+            break;
+        }
+    }
+
+    stats.nodes_after = g.node_count();
+    stats.edges_after = g.edge_count();
+    debug_assert!({
+        g.check_invariants();
+        true
+    });
+    stats
+}
+
+/// Rule 1: delete non-protected sinks and non-source orphans, cascading.
+fn delete_dead_nodes(
+    g: &mut ProbGraph,
+    source: NodeId,
+    is_protected: &[bool],
+    stats: &mut ReductionStats,
+) -> bool {
+    let mut worklist: Vec<NodeId> = g
+        .nodes()
+        .filter(|n| !is_protected[n.index()] && (g.out_degree(*n) == 0 || g.in_degree(*n) == 0))
+        .collect();
+    let mut any = false;
+    while let Some(n) = worklist.pop() {
+        if !g.node_alive(n) || is_protected[n.index()] || n == source {
+            continue;
+        }
+        if g.out_degree(n) != 0 && g.in_degree(n) != 0 {
+            continue; // degree changed since scheduling
+        }
+        // Neighbors may become dead once n goes away.
+        let neighbors: Vec<NodeId> = g.predecessors(n).chain(g.successors(n)).collect();
+        g.remove_node(n);
+        stats.dead_nodes_deleted += 1;
+        any = true;
+        for m in neighbors {
+            if g.node_alive(m)
+                && !is_protected[m.index()]
+                && (g.out_degree(m) == 0 || g.in_degree(m) == 0)
+            {
+                worklist.push(m);
+            }
+        }
+    }
+    any
+}
+
+/// Rule 2: collapse every serial node (1 in-edge, 1 out-edge).
+fn collapse_serial(
+    g: &mut ProbGraph,
+    is_protected: &[bool],
+    stats: &mut ReductionStats,
+) -> bool {
+    let mut any = false;
+    let candidates: Vec<NodeId> = g
+        .nodes()
+        .filter(|n| !is_protected[n.index()])
+        .collect();
+    let mut worklist = candidates;
+    while let Some(x) = worklist.pop() {
+        if !g.node_alive(x) || is_protected[x.index()] {
+            continue;
+        }
+        if g.in_degree(x) != 1 || g.out_degree(x) != 1 {
+            continue;
+        }
+        let e_in = g.in_edges(x).next().expect("in_degree == 1");
+        let e_out = g.out_edges(x).next().expect("out_degree == 1");
+        let y = g.edge_src(e_in);
+        let z = g.edge_dst(e_out);
+        let q = g.edge_q(e_in).and(g.node_p(x)).and(g.edge_q(e_out));
+        g.remove_node(x);
+        stats.serial_collapses += 1;
+        any = true;
+        if y != z {
+            g.add_edge(y, z, q)
+                .expect("serial endpoints are live distinct nodes");
+            // y or z may have become serial themselves.
+            worklist.push(y);
+            worklist.push(z);
+        }
+        // If y == z the collapse found a 2-cycle through x; the would-be
+        // self-loop never affects s→t connectivity, so it is dropped
+        // (y/z degrees shrank — they may now be dead or serial).
+    }
+    any
+}
+
+/// Rule 3: merge parallel edges per (src, dst) pair with noisy-or.
+fn merge_parallel(g: &mut ProbGraph, stats: &mut ReductionStats) -> bool {
+    let mut any = false;
+    let nodes: Vec<NodeId> = g.nodes().collect();
+    for x in nodes {
+        loop {
+            // Find one duplicated destination among x's out-edges.
+            let out: Vec<EdgeId> = g.out_edges(x).collect();
+            if out.len() < 2 {
+                break;
+            }
+            let mut seen: Vec<(NodeId, EdgeId)> = Vec::with_capacity(out.len());
+            let mut dup: Option<(EdgeId, EdgeId)> = None;
+            for e in out {
+                let d = g.edge_dst(e);
+                if let Some(&(_, first)) = seen.iter().find(|(dst, _)| *dst == d) {
+                    dup = Some((first, e));
+                    break;
+                }
+                seen.push((d, e));
+            }
+            let Some((e1, e2)) = dup else { break };
+            let q = g.edge_q(e1).or(g.edge_q(e2));
+            let dst = g.edge_dst(e1);
+            g.remove_edge(e1);
+            g.remove_edge(e2);
+            g.add_edge(x, dst, q)
+                .expect("merged edge endpoints are live");
+            stats.parallel_merges += 1;
+            any = true;
+        }
+    }
+    any
+}
+
+/// Outcome of attempting the closed-form reliability evaluation of one
+/// source→target subgraph (paper §3.1(3)).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ClosedForm {
+    /// The subgraph fully reduced; the reliability is this value.
+    Solved(f64),
+    /// Reductions got stuck (e.g. a Wheatstone bridge remains); the
+    /// residual graph has this many live nodes and edges.
+    Stuck {
+        /// Live nodes in the residual graph.
+        nodes: usize,
+        /// Live edges in the residual graph.
+        edges: usize,
+    },
+}
+
+/// Tries to compute the exact `source → target` reliability purely via
+/// reductions.
+///
+/// The graph is consumed (reduced in place on a clone by callers that
+/// need to keep it). Fully reducible instances — per Theorem 3.2, any
+/// instance of a reducible schema — end as a single `source → target`
+/// edge whose probability, times the endpoint node probabilities, is the
+/// reliability `r(t) = p(s) · q(s,t) · p(t)`.
+pub fn closed_form(mut g: ProbGraph, source: NodeId, target: NodeId) -> ClosedForm {
+    if source == target {
+        return ClosedForm::Solved(g.node_p(source).get());
+    }
+    crate::reach::prune_to_relevant(&mut g, source, &[target]);
+    if !g.node_alive(target) {
+        return ClosedForm::Solved(0.0);
+    }
+    match closed_form_in_place(&mut g, source, target) {
+        Some(r) => ClosedForm::Solved(r),
+        None => ClosedForm::Stuck {
+            nodes: g.node_count(),
+            edges: g.edge_count(),
+        },
+    }
+}
+
+/// Runs the reduction rules in place and, if the graph became the trivial
+/// `source → target` single edge, returns the reliability. Returns `None`
+/// when the rules got stuck. Callers must have pruned the graph to the
+/// relevant subgraph with a live target first.
+pub(crate) fn closed_form_in_place(
+    g: &mut ProbGraph,
+    source: NodeId,
+    target: NodeId,
+) -> Option<f64> {
+    reduce(g, source, &[target]);
+    if g.node_count() == 2 && g.edge_count() == 1 {
+        let e = g.edges().next().expect("edge_count == 1");
+        let (s, t, q) = g.edge(e);
+        debug_assert_eq!((s, t), (source, target));
+        Some(g.node_p(s).and(q).and(g.node_p(t)).get())
+    } else {
+        None
+    }
+}
+
+/// Builds the Wheatstone bridge of Fig. 2c: the canonical irreducible
+/// graph on which the rules get stuck. All probabilities are `prob`.
+///
+/// Returns `(graph, source, target)`.
+pub fn wheatstone(prob: Prob) -> (ProbGraph, NodeId, NodeId) {
+    let mut g = ProbGraph::new();
+    let s = g.add_labeled_node(Prob::ONE, "s");
+    let a = g.add_labeled_node(Prob::ONE, "a");
+    let b = g.add_labeled_node(Prob::ONE, "b");
+    let t = g.add_labeled_node(Prob::ONE, "t");
+    for (u, v) in [(s, a), (s, b), (a, b), (a, t), (b, t)] {
+        g.add_edge(u, v, prob).expect("bridge edges are valid");
+    }
+    (g, s, t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(v: f64) -> Prob {
+        Prob::new(v).unwrap()
+    }
+
+    #[test]
+    fn serial_chain_reduces_to_single_edge() {
+        // s →.8 x(p=.5) →.6 t   ⇒  q = .8·.5·.6 = .24
+        let mut g = ProbGraph::new();
+        let s = g.add_node(p(1.0));
+        let x = g.add_node(p(0.5));
+        let t = g.add_node(p(0.9));
+        g.add_edge(s, x, p(0.8)).unwrap();
+        g.add_edge(x, t, p(0.6)).unwrap();
+        let stats = reduce(&mut g, s, &[t]);
+        assert_eq!(stats.serial_collapses, 1);
+        assert_eq!(g.node_count(), 2);
+        assert_eq!(g.edge_count(), 1);
+        let e = g.edges().next().unwrap();
+        assert!((g.edge_q(e).get() - 0.24).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parallel_edges_merge_with_noisy_or() {
+        let mut g = ProbGraph::new();
+        let s = g.add_node(p(1.0));
+        let t = g.add_node(p(1.0));
+        g.add_edge(s, t, p(0.5)).unwrap();
+        g.add_edge(s, t, p(0.5)).unwrap();
+        let stats = reduce(&mut g, s, &[t]);
+        assert_eq!(stats.parallel_merges, 1);
+        assert_eq!(g.edge_count(), 1);
+        let e = g.edges().next().unwrap();
+        assert!((g.edge_q(e).get() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn diamond_fully_reduces() {
+        // s → a → t and s → b → t, all q=0.5, inner p=1.
+        let mut g = ProbGraph::new();
+        let s = g.add_node(p(1.0));
+        let a = g.add_node(p(1.0));
+        let b = g.add_node(p(1.0));
+        let t = g.add_node(p(1.0));
+        g.add_edge(s, a, p(0.5)).unwrap();
+        g.add_edge(a, t, p(0.5)).unwrap();
+        g.add_edge(s, b, p(0.5)).unwrap();
+        g.add_edge(b, t, p(0.5)).unwrap();
+        match closed_form(g, s, t) {
+            // per-branch 0.25; noisy-or: 1 − 0.75² = 0.4375
+            ClosedForm::Solved(r) => assert!((r - 0.4375).abs() < 1e-12),
+            other => panic!("expected solved, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wheatstone_bridge_is_stuck() {
+        let (g, s, t) = wheatstone(p(0.5));
+        match closed_form(g, s, t) {
+            ClosedForm::Stuck { nodes, edges } => {
+                assert_eq!(nodes, 4);
+                assert_eq!(edges, 5);
+            }
+            other => panic!("bridge must be irreducible, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dead_branches_are_deleted_cascading() {
+        // s → t, plus s → a → b (dead chain: b is a non-target sink).
+        let mut g = ProbGraph::new();
+        let s = g.add_node(p(1.0));
+        let t = g.add_node(p(1.0));
+        let a = g.add_node(p(0.5));
+        let b = g.add_node(p(0.5));
+        g.add_edge(s, t, p(0.5)).unwrap();
+        g.add_edge(s, a, p(0.5)).unwrap();
+        g.add_edge(a, b, p(0.5)).unwrap();
+        let stats = reduce(&mut g, s, &[t]);
+        assert_eq!(stats.dead_nodes_deleted, 2);
+        assert_eq!(g.node_count(), 2);
+    }
+
+    #[test]
+    fn orphan_nodes_are_deleted() {
+        // x → t where x is not the source: x is an orphan.
+        let mut g = ProbGraph::new();
+        let s = g.add_node(p(1.0));
+        let t = g.add_node(p(1.0));
+        let x = g.add_node(p(0.5));
+        g.add_edge(s, t, p(0.5)).unwrap();
+        g.add_edge(x, t, p(0.5)).unwrap();
+        let stats = reduce(&mut g, s, &[t]);
+        assert!(stats.dead_nodes_deleted >= 1);
+        assert!(!g.node_alive(x));
+    }
+
+    #[test]
+    fn source_and_targets_are_never_removed() {
+        // Isolated source and target: nothing to do, but both survive.
+        let mut g = ProbGraph::new();
+        let s = g.add_node(p(1.0));
+        let t = g.add_node(p(1.0));
+        reduce(&mut g, s, &[t]);
+        assert!(g.node_alive(s) && g.node_alive(t));
+    }
+
+    #[test]
+    fn two_cycle_through_serial_node_is_dropped() {
+        // y ⇄ x: x serial with in (y,x), out (x,y) — collapse would form a
+        // self loop; it must be dropped, then y dies as a dead end.
+        let mut g = ProbGraph::new();
+        let s = g.add_node(p(1.0));
+        let t = g.add_node(p(1.0));
+        let y = g.add_node(p(0.5));
+        let x = g.add_node(p(0.5));
+        g.add_edge(s, t, p(0.5)).unwrap();
+        g.add_edge(s, y, p(0.5)).unwrap();
+        g.add_edge(y, x, p(0.5)).unwrap();
+        g.add_edge(x, y, p(0.5)).unwrap();
+        let stats = reduce(&mut g, s, &[t]);
+        assert_eq!(g.node_count(), 2, "stats: {stats:?}");
+        g.check_invariants();
+    }
+
+    #[test]
+    fn closed_form_unreachable_target_is_zero() {
+        let mut g = ProbGraph::new();
+        let s = g.add_node(p(1.0));
+        let t = g.add_node(p(0.9));
+        let _ = g.add_node(p(0.5));
+        assert_eq!(closed_form(g, s, t), ClosedForm::Solved(0.0));
+    }
+
+    #[test]
+    fn closed_form_source_equals_target() {
+        let mut g = ProbGraph::new();
+        let s = g.add_node(p(0.7));
+        assert_eq!(closed_form(g.clone(), s, s), ClosedForm::Solved(0.7));
+        let _ = g;
+    }
+
+    #[test]
+    fn closed_form_includes_node_probs() {
+        // s(1) →.8 t(.5): r = 1 · .8 · .5
+        let mut g = ProbGraph::new();
+        let s = g.add_node(p(1.0));
+        let t = g.add_node(p(0.5));
+        g.add_edge(s, t, p(0.8)).unwrap();
+        match closed_form(g, s, t) {
+            ClosedForm::Solved(r) => assert!((r - 0.4).abs() < 1e-12),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn stats_shrink_ratio() {
+        let stats = ReductionStats {
+            nodes_before: 100,
+            edges_before: 100,
+            nodes_after: 11,
+            edges_after: 33,
+            ..Default::default()
+        };
+        assert!((stats.shrink_ratio() - 0.78).abs() < 1e-12);
+        assert_eq!(ReductionStats::default().shrink_ratio(), 0.0);
+    }
+
+    #[test]
+    fn long_chain_collapses_in_one_reduce_call() {
+        let mut g = ProbGraph::new();
+        let s = g.add_node(p(1.0));
+        let mut prev = s;
+        for _ in 0..50 {
+            let n = g.add_node(p(0.99));
+            g.add_edge(prev, n, p(0.9)).unwrap();
+            prev = n;
+        }
+        let t = prev;
+        let stats = reduce(&mut g, s, &[t]);
+        assert_eq!(stats.serial_collapses, 49);
+        assert_eq!(g.node_count(), 2);
+        assert_eq!(g.edge_count(), 1);
+    }
+}

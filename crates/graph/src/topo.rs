@@ -1,0 +1,235 @@
+//! Topological ordering, cycle detection and path counting.
+//!
+//! The paper's query graphs are convergent scientific-workflow DAGs
+//! (Discussion §5); two of the five ranking semantics depend on that
+//! structure: *PathCount* is only defined on DAGs (cycles yield infinite
+//! path counts, §3.5), and *Propagation* reaches its fixpoint after
+//! `longest-path` iterations on a DAG (§3.2).
+
+use crate::{Error, NodeId, ProbGraph};
+
+/// Returns live nodes in topological order, or [`Error::CycleDetected`].
+///
+/// Kahn's algorithm over the live subgraph; stable with respect to node
+/// ids (lower ids dequeue first) so results are deterministic.
+pub fn toposort(g: &ProbGraph) -> Result<Vec<NodeId>, Error> {
+    let bound = g.node_bound();
+    let mut indeg = vec![0usize; bound];
+    let mut order = Vec::with_capacity(g.node_count());
+    for n in g.nodes() {
+        indeg[n.index()] = g.in_degree(n);
+    }
+    // Min-heap on ids for determinism; graphs are small enough that the
+    // O(log n) per pop is irrelevant next to the ranking algorithms.
+    let mut ready: std::collections::BinaryHeap<std::cmp::Reverse<NodeId>> = g
+        .nodes()
+        .filter(|n| indeg[n.index()] == 0)
+        .map(std::cmp::Reverse)
+        .collect();
+    while let Some(std::cmp::Reverse(n)) = ready.pop() {
+        order.push(n);
+        for y in g.successors(n) {
+            indeg[y.index()] -= 1;
+            if indeg[y.index()] == 0 {
+                ready.push(std::cmp::Reverse(y));
+            }
+        }
+    }
+    if order.len() == g.node_count() {
+        Ok(order)
+    } else {
+        Err(Error::CycleDetected)
+    }
+}
+
+/// `true` when the live subgraph is acyclic.
+pub fn is_dag(g: &ProbGraph) -> bool {
+    toposort(g).is_ok()
+}
+
+/// Length (in edges) of the longest simple path starting at `s`.
+///
+/// Used to size the iteration count of the propagation/diffusion
+/// fixpoints: on a DAG, propagation is exact after this many rounds.
+/// Returns [`Error::CycleDetected`] on cyclic graphs.
+pub fn longest_path_from(g: &ProbGraph, s: NodeId) -> Result<usize, Error> {
+    let order = toposort(g)?;
+    let mut dist = vec![None::<usize>; g.node_bound()];
+    if g.node_alive(s) {
+        dist[s.index()] = Some(0);
+    }
+    let mut best = 0usize;
+    for &x in &order {
+        let Some(dx) = dist[x.index()] else { continue };
+        for y in g.successors(x) {
+            let cand = dx + 1;
+            if dist[y.index()].map_or(true, |d| d < cand) {
+                dist[y.index()] = Some(cand);
+                best = best.max(cand);
+            }
+        }
+    }
+    Ok(best)
+}
+
+/// Number of distinct directed paths from `s` to every node.
+///
+/// `counts[n]` is the number of `s → n` paths (`counts[s] = 1`), counted
+/// with edge multiplicity — two parallel edges contribute two paths, in
+/// line with the paper's PathCount semantics illustrated in Fig. 4a.
+/// Saturates at `u128::MAX` instead of overflowing.
+/// Returns [`Error::CycleDetected`] on cyclic graphs (infinite counts).
+pub fn count_paths_from(g: &ProbGraph, s: NodeId) -> Result<Vec<u128>, Error> {
+    let order = toposort(g)?;
+    let mut counts = vec![0u128; g.node_bound()];
+    if g.node_alive(s) {
+        counts[s.index()] = 1;
+    }
+    for &x in &order {
+        let cx = counts[x.index()];
+        if cx == 0 {
+            continue;
+        }
+        for e in g.out_edges(x) {
+            let y = g.edge_dst(e);
+            counts[y.index()] = counts[y.index()].saturating_add(cx);
+        }
+    }
+    Ok(counts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Prob;
+
+    fn p(v: f64) -> Prob {
+        Prob::new(v).unwrap()
+    }
+
+    fn diamond() -> (ProbGraph, NodeId, NodeId, NodeId, NodeId) {
+        // s → a → t, s → b → t
+        let mut g = ProbGraph::new();
+        let s = g.add_node(p(1.0));
+        let a = g.add_node(p(1.0));
+        let b = g.add_node(p(1.0));
+        let t = g.add_node(p(1.0));
+        g.add_edge(s, a, p(0.5)).unwrap();
+        g.add_edge(s, b, p(0.5)).unwrap();
+        g.add_edge(a, t, p(0.5)).unwrap();
+        g.add_edge(b, t, p(0.5)).unwrap();
+        (g, s, a, b, t)
+    }
+
+    #[test]
+    fn toposort_orders_diamond() {
+        let (g, s, a, b, t) = diamond();
+        let order = toposort(&g).unwrap();
+        let pos =
+            |n: NodeId| order.iter().position(|&x| x == n).unwrap();
+        assert!(pos(s) < pos(a) && pos(s) < pos(b));
+        assert!(pos(a) < pos(t) && pos(b) < pos(t));
+        assert_eq!(order.len(), 4);
+    }
+
+    #[test]
+    fn toposort_detects_cycle() {
+        let mut g = ProbGraph::new();
+        let a = g.add_node(p(1.0));
+        let b = g.add_node(p(1.0));
+        g.add_edge(a, b, p(0.5)).unwrap();
+        g.add_edge(b, a, p(0.5)).unwrap();
+        assert!(matches!(toposort(&g), Err(Error::CycleDetected)));
+        assert!(!is_dag(&g));
+    }
+
+    #[test]
+    fn toposort_skips_dead_nodes() {
+        let (mut g, _, a, _, _) = diamond();
+        g.remove_node(a);
+        let order = toposort(&g).unwrap();
+        assert_eq!(order.len(), 3);
+        assert!(!order.contains(&a));
+    }
+
+    #[test]
+    fn longest_path_on_diamond_is_two() {
+        let (g, s, _, _, _) = diamond();
+        assert_eq!(longest_path_from(&g, s).unwrap(), 2);
+    }
+
+    #[test]
+    fn longest_path_chain() {
+        let mut g = ProbGraph::new();
+        let mut prev = g.add_node(p(1.0));
+        let s = prev;
+        for _ in 0..9 {
+            let n = g.add_node(p(1.0));
+            g.add_edge(prev, n, p(0.5)).unwrap();
+            prev = n;
+        }
+        assert_eq!(longest_path_from(&g, s).unwrap(), 9);
+        // From the tail, nothing is ahead.
+        assert_eq!(longest_path_from(&g, prev).unwrap(), 0);
+    }
+
+    #[test]
+    fn count_paths_diamond() {
+        let (g, s, a, b, t) = diamond();
+        let counts = count_paths_from(&g, s).unwrap();
+        assert_eq!(counts[s.index()], 1);
+        assert_eq!(counts[a.index()], 1);
+        assert_eq!(counts[b.index()], 1);
+        assert_eq!(counts[t.index()], 2);
+    }
+
+    #[test]
+    fn count_paths_counts_parallel_edges() {
+        let mut g = ProbGraph::new();
+        let s = g.add_node(p(1.0));
+        let t = g.add_node(p(1.0));
+        g.add_edge(s, t, p(0.5)).unwrap();
+        g.add_edge(s, t, p(0.5)).unwrap();
+        let counts = count_paths_from(&g, s).unwrap();
+        assert_eq!(counts[t.index()], 2);
+    }
+
+    #[test]
+    fn count_paths_grows_exponentially_on_ladder() {
+        // k stacked diamonds: 2^k paths.
+        let mut g = ProbGraph::new();
+        let mut cur = g.add_node(p(1.0));
+        let s = cur;
+        for _ in 0..20 {
+            let a = g.add_node(p(1.0));
+            let b = g.add_node(p(1.0));
+            let j = g.add_node(p(1.0));
+            g.add_edge(cur, a, p(0.5)).unwrap();
+            g.add_edge(cur, b, p(0.5)).unwrap();
+            g.add_edge(a, j, p(0.5)).unwrap();
+            g.add_edge(b, j, p(0.5)).unwrap();
+            cur = j;
+        }
+        let counts = count_paths_from(&g, s).unwrap();
+        assert_eq!(counts[cur.index()], 1 << 20);
+    }
+
+    #[test]
+    fn count_paths_rejects_cycles() {
+        let mut g = ProbGraph::new();
+        let a = g.add_node(p(1.0));
+        let b = g.add_node(p(1.0));
+        g.add_edge(a, b, p(0.5)).unwrap();
+        g.add_edge(b, a, p(0.5)).unwrap();
+        assert!(count_paths_from(&g, a).is_err());
+    }
+
+    #[test]
+    fn count_paths_unreachable_is_zero() {
+        let mut g = ProbGraph::new();
+        let s = g.add_node(p(1.0));
+        let lonely = g.add_node(p(1.0));
+        let counts = count_paths_from(&g, s).unwrap();
+        assert_eq!(counts[lonely.index()], 0);
+    }
+}

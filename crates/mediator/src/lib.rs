@@ -1,0 +1,99 @@
+//! # biorank-mediator
+//!
+//! Exploratory-query execution for the BioRank reproduction
+//! ("Integrating and Ranking Uncertain Scientific Data", Detwiler et
+//! al., ICDE 2009, §2).
+//!
+//! An exploratory query `(P.attr = "value", {P1, …, Pn})` selects
+//! records of an input entity set by keyword, then "follows all links
+//! recursively to find all reachable records and returns those entities
+//! that are in P1, …, Pn". The mediator materializes this walk as a
+//! *probabilistic query graph*: each integrated record becomes a node
+//! with `p = ps·pr`, each relationship instance an edge with
+//! `q = qs·qr`, a synthetic query node `s` fans out to the keyword
+//! matches, and the answer set `A` holds the reached output records.
+//!
+//! ```
+//! use biorank_mediator::{ExploratoryQuery, Mediator};
+//! use biorank_schema::biorank_schema_with_ontology;
+//! use biorank_sources::{World, WorldParams};
+//!
+//! let world = World::generate(WorldParams::default());
+//! let mediator = Mediator::new(biorank_schema_with_ontology().schema, world.registry());
+//! let result = mediator
+//!     .execute(&ExploratoryQuery::protein_functions("GALT"))
+//!     .unwrap();
+//! assert_eq!(result.query.answers().len(), 15); // Table 1: GALT → 15
+//! ```
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod mediate;
+mod query;
+
+pub use mediate::{IntegrationResult, IntegrationStats, Mediator};
+pub use query::ExploratoryQuery;
+
+use std::fmt;
+
+/// Errors produced during integration.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Error {
+    /// The query references an entity set absent from the mediated
+    /// schema.
+    UnknownEntitySet(String),
+    /// A source emitted a link whose relationship is not in the schema.
+    UnknownRelationship(String),
+    /// The keyword matched nothing in the input entity set.
+    NoMatches {
+        /// Input entity set.
+        entity_set: String,
+        /// Search keyword.
+        value: String,
+    },
+    /// The walk found no records of any output entity set.
+    EmptyAnswerSet,
+    /// Node budget exceeded during expansion (runaway link structure).
+    BudgetExceeded {
+        /// The configured maximum node count.
+        max_nodes: usize,
+    },
+    /// Underlying graph error.
+    Graph(biorank_graph::Error),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::UnknownEntitySet(n) => write!(f, "entity set {n:?} not in mediated schema"),
+            Error::UnknownRelationship(n) => {
+                write!(f, "relationship {n:?} not in mediated schema")
+            }
+            Error::NoMatches { entity_set, value } => {
+                write!(f, "no records in {entity_set} match {value:?}")
+            }
+            Error::EmptyAnswerSet => write!(f, "query reached no output records"),
+            Error::BudgetExceeded { max_nodes } => {
+                write!(f, "integration exceeded the {max_nodes}-node budget")
+            }
+            Error::Graph(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Graph(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<biorank_graph::Error> for Error {
+    fn from(e: biorank_graph::Error) -> Self {
+        Error::Graph(e)
+    }
+}

@@ -1,0 +1,125 @@
+//! Theorem 3.1: how many Monte Carlo trials are enough?
+//!
+//! "Assume the scores of two nodes i and j are r(i) and r(j), with
+//! r(i) = r(j) + ε (ε > 0). Running n independent random trials for each
+//! node suffices to guarantee that the simulated scores are not
+//! incorrectly ranked with probability at least 1 − δ, where
+//! n ≥ (1+ε)³ / (ε²(1 + ε/3)) · ln(1/δ)."
+//!
+//! The proof (paper Appendix A) applies Bennett's inequality to the
+//! per-trial difference variable Xᵢ ∈ {−1, 0, 1}. With 95% confidence
+//! and separation ε = 0.02, about 10⁴ trials suffice — the number the
+//! convergence experiment (Fig. 7) validates empirically.
+
+use crate::Error;
+
+/// The trial-count bound of Theorem 3.1.
+///
+/// `epsilon` is the smallest score difference that must be ranked
+/// correctly; `delta` is the allowed failure probability. Both must be
+/// in `(0, 1)`.
+pub fn trials_needed(epsilon: f64, delta: f64) -> Result<u64, Error> {
+    if !(epsilon > 0.0 && epsilon < 1.0) {
+        return Err(Error::InvalidParameter {
+            name: "epsilon",
+            value: epsilon,
+        });
+    }
+    if !(delta > 0.0 && delta < 1.0) {
+        return Err(Error::InvalidParameter {
+            name: "delta",
+            value: delta,
+        });
+    }
+    let e = epsilon;
+    let n = (1.0 + e).powi(3) / (e * e * (1.0 + e / 3.0)) * (1.0 / delta).ln();
+    Ok(n.ceil() as u64)
+}
+
+/// Inverts the bound: the separation ε that `trials` trials resolve at
+/// failure probability `delta` (by bisection; the bound is monotone
+/// decreasing in ε).
+pub fn resolvable_epsilon(trials: u64, delta: f64) -> Result<f64, Error> {
+    if trials == 0 {
+        return Err(Error::ZeroTrials);
+    }
+    if !(delta > 0.0 && delta < 1.0) {
+        return Err(Error::InvalidParameter {
+            name: "delta",
+            value: delta,
+        });
+    }
+    let (mut lo, mut hi) = (1e-9, 1.0 - 1e-9);
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        let needed = trials_needed(mid, delta)?;
+        if needed > trials {
+            lo = mid; // need a larger separation for this few trials
+        } else {
+            hi = mid;
+        }
+    }
+    Ok(hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_is_about_ten_thousand() {
+        // "Choosing a 95% confidence and separable difference between
+        // two scores ε = 0.02, we learn that 10,000 trials should be
+        // enough."
+        let n = trials_needed(0.02, 0.05).unwrap();
+        assert!((7_000..=10_000).contains(&n), "n = {n}");
+    }
+
+    #[test]
+    fn bound_is_monotone_in_epsilon() {
+        let a = trials_needed(0.01, 0.05).unwrap();
+        let b = trials_needed(0.02, 0.05).unwrap();
+        let c = trials_needed(0.1, 0.05).unwrap();
+        assert!(a > b && b > c, "{a} {b} {c}");
+    }
+
+    #[test]
+    fn bound_is_monotone_in_delta() {
+        let strict = trials_needed(0.02, 0.01).unwrap();
+        let loose = trials_needed(0.02, 0.2).unwrap();
+        assert!(strict > loose);
+    }
+
+    #[test]
+    fn invalid_parameters_are_rejected() {
+        assert!(trials_needed(0.0, 0.05).is_err());
+        assert!(trials_needed(1.0, 0.05).is_err());
+        assert!(trials_needed(0.02, 0.0).is_err());
+        assert!(trials_needed(0.02, 1.0).is_err());
+        assert!(trials_needed(f64::NAN, 0.05).is_err());
+    }
+
+    #[test]
+    fn epsilon_inversion_round_trips() {
+        for &(e, d) in &[(0.02, 0.05), (0.05, 0.01), (0.1, 0.1)] {
+            let n = trials_needed(e, d).unwrap();
+            let back = resolvable_epsilon(n, d).unwrap();
+            assert!(
+                back <= e + 1e-3,
+                "ε={e}: n={n} trials should resolve ε'={back} ≤ ε"
+            );
+        }
+    }
+
+    #[test]
+    fn resolvable_epsilon_shrinks_with_trials() {
+        let few = resolvable_epsilon(100, 0.05).unwrap();
+        let many = resolvable_epsilon(100_000, 0.05).unwrap();
+        assert!(many < few);
+    }
+
+    #[test]
+    fn zero_trials_rejected() {
+        assert!(matches!(resolvable_epsilon(0, 0.05), Err(Error::ZeroTrials)));
+    }
+}

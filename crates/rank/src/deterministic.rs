@@ -1,0 +1,142 @@
+//! The two deterministic benchmark rankings (paper §3.4–3.5).
+//!
+//! * **InEdge** — the "cardinality" metric of Lacroix et al.: the number
+//!   of incoming edges of a target node. Very fast, but ignores evidence
+//!   strength, only sees the immediate neighborhood, and its integer
+//!   scores produce many ties.
+//! * **PathCount** — the number of distinct paths from the query node,
+//!   measuring connectivity of the whole intervening subgraph. Only
+//!   defined on DAGs ("cycles lead to infinite PathCounts").
+
+use biorank_graph::{topo, QueryGraph};
+
+use crate::{Error, Ranker, Scores};
+
+/// §3.4: in-degree as relevance.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct InEdge;
+
+impl Ranker for InEdge {
+    fn name(&self) -> &'static str {
+        "InEdge"
+    }
+
+    fn score(&self, q: &QueryGraph) -> Result<Scores, Error> {
+        let g = q.graph();
+        let mut scores = Scores::zeroed(g.node_bound());
+        for n in g.nodes() {
+            scores.set(n, g.in_degree(n) as f64);
+        }
+        Ok(scores)
+    }
+}
+
+/// §3.5: number of source→target paths as relevance.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PathCount;
+
+impl Ranker for PathCount {
+    fn name(&self) -> &'static str {
+        "PathC"
+    }
+
+    fn score(&self, q: &QueryGraph) -> Result<Scores, Error> {
+        let counts = topo::count_paths_from(q.graph(), q.source())?;
+        Ok(Scores::from_vec(
+            counts.iter().map(|&c| c as f64).collect(),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use biorank_graph::{NodeId, Prob, ProbGraph};
+
+    fn p(v: f64) -> Prob {
+        Prob::new(v).unwrap()
+    }
+
+    /// Fig. 4a: both InEdge and PathCount score u as 2.
+    fn fig4a() -> (QueryGraph, NodeId) {
+        let mut g = ProbGraph::new();
+        let s = g.add_node(p(1.0));
+        let m = g.add_node(p(1.0));
+        let a = g.add_node(p(1.0));
+        let b = g.add_node(p(1.0));
+        let u = g.add_node(p(1.0));
+        g.add_edge(s, m, p(0.5)).unwrap();
+        g.add_edge(m, a, p(1.0)).unwrap();
+        g.add_edge(m, b, p(1.0)).unwrap();
+        g.add_edge(a, u, p(1.0)).unwrap();
+        g.add_edge(b, u, p(1.0)).unwrap();
+        (QueryGraph::new(g, s, vec![u]).unwrap(), u)
+    }
+
+    /// Fig. 4b: Wheatstone bridge; InEdge = 2, PathCount = 3.
+    fn fig4b() -> (QueryGraph, NodeId) {
+        let (g, s, t) = biorank_graph::reduction::wheatstone(p(0.5));
+        (QueryGraph::new(g, s, vec![t]).unwrap(), t)
+    }
+
+    #[test]
+    fn fig4a_scores_match_paper() {
+        let (q, u) = fig4a();
+        assert_eq!(InEdge.score(&q).unwrap().get(u), 2.0);
+        assert_eq!(PathCount.score(&q).unwrap().get(u), 2.0);
+    }
+
+    #[test]
+    fn fig4b_scores_match_paper() {
+        let (q, t) = fig4b();
+        assert_eq!(InEdge.score(&q).unwrap().get(t), 2.0);
+        assert_eq!(PathCount.score(&q).unwrap().get(t), 3.0);
+    }
+
+    #[test]
+    fn inedge_ignores_probabilities() {
+        let mut g = ProbGraph::new();
+        let s = g.add_node(p(1.0));
+        let t = g.add_node(p(0.01));
+        g.add_edge(s, t, p(0.0001)).unwrap();
+        let q = QueryGraph::new(g, s, vec![t]).unwrap();
+        assert_eq!(InEdge.score(&q).unwrap().get(t), 1.0);
+    }
+
+    #[test]
+    fn pathcount_rejects_cycles() {
+        let mut g = ProbGraph::new();
+        let s = g.add_node(p(1.0));
+        let a = g.add_node(p(1.0));
+        let b = g.add_node(p(1.0));
+        g.add_edge(s, a, p(0.5)).unwrap();
+        g.add_edge(a, b, p(0.5)).unwrap();
+        g.add_edge(b, a, p(0.5)).unwrap();
+        let q = QueryGraph::new(g, s, vec![b]).unwrap();
+        assert!(matches!(
+            PathCount.score(&q),
+            Err(Error::Graph(biorank_graph::Error::CycleDetected))
+        ));
+    }
+
+    #[test]
+    fn inedge_handles_cycles_fine() {
+        let mut g = ProbGraph::new();
+        let s = g.add_node(p(1.0));
+        let a = g.add_node(p(1.0));
+        g.add_edge(s, a, p(0.5)).unwrap();
+        let b = g.add_node(p(1.0));
+        g.add_edge(a, b, p(0.5)).unwrap();
+        g.add_edge(b, a, p(0.5)).unwrap();
+        let q = QueryGraph::new(g, s, vec![b]).unwrap();
+        let scores = InEdge.score(&q).unwrap();
+        assert_eq!(scores.get(a), 2.0);
+        assert_eq!(scores.get(b), 1.0);
+    }
+
+    #[test]
+    fn pathcount_source_is_one() {
+        let (q, _) = fig4a();
+        assert_eq!(PathCount.score(&q).unwrap().get(q.source()), 1.0);
+    }
+}

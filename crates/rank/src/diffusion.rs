@@ -1,0 +1,318 @@
+//! The diffusion semantics (paper §3.3, Algorithm 3.3).
+//!
+//! Diffusion keeps propagation's locality but accumulates evidence
+//! *additively* and only lets relevance "flow" downhill: relevance moves
+//! from `x` to `y` along `(x,y)` only to the extent that `r(x)` exceeds
+//! the incoming level `r̄(y)`:
+//!
+//! ```text
+//! r̄(y) = Σ_{(x,y)∈E} max((r(x) − r̄(y)) · q(x,y), 0)
+//! r(y)  = r̄(y) · p(y),      r(s) = 1
+//! ```
+//!
+//! `r̄(y)` is defined implicitly; the paper solves it with an inner
+//! iterative loop (`solve` in Algorithm 3.3, O(nm) total). We solve it
+//! exactly by bisection: `f(v) = Σ max((r(x)−v)·q, 0) − v` is continuous
+//! and strictly decreasing with `f(0) ≥ 0`, so it has a unique root in
+//! `[0, Σ r(x)·q]`. An ablation bench compares bisection against the
+//! paper's fixed-point inner loop.
+//!
+//! Diffusion "tends to favor nodes that have fewer stronger paths over
+//! nodes with more but weaker paths" and is strongly path-length
+//! dependent — exactly the behaviour scenario 2 exposes.
+
+use biorank_graph::{topo, QueryGraph};
+
+use crate::{Error, Ranker, Scores};
+
+/// How the implicit `r̄(y)` equation is solved.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum InnerSolver {
+    /// Exact bisection on the monotone residual (default).
+    Bisection,
+    /// The paper's fixed-point iteration `v ← Σ max((r(x)−v)q, 0)`,
+    /// damped by ½ to guarantee convergence, stopped at `1e-12` or 200
+    /// rounds.
+    FixedPoint,
+}
+
+/// Algorithm 3.3: relevance diffusion.
+#[derive(Clone, Copy, Debug)]
+pub struct Diffusion {
+    /// Outer iterations. `None` = automatic (longest path on DAGs,
+    /// [`Diffusion::DEFAULT_CYCLIC_ITERATIONS`] otherwise).
+    pub iterations: Option<usize>,
+    /// Inner solver choice.
+    pub solver: InnerSolver,
+}
+
+impl Diffusion {
+    /// Outer iterations used on cyclic graphs in automatic mode.
+    pub const DEFAULT_CYCLIC_ITERATIONS: usize = 100;
+
+    /// Automatic iteration count with exact bisection (recommended).
+    pub fn auto() -> Self {
+        Diffusion {
+            iterations: None,
+            solver: InnerSolver::Bisection,
+        }
+    }
+
+    /// Fixed outer iteration count.
+    pub fn with_iterations(n: usize) -> Self {
+        Diffusion {
+            iterations: Some(n),
+            solver: InnerSolver::Bisection,
+        }
+    }
+
+    /// Uses the paper's inner fixed-point loop instead of bisection.
+    #[must_use]
+    pub fn with_solver(mut self, solver: InnerSolver) -> Self {
+        self.solver = solver;
+        self
+    }
+
+    fn resolve_iterations(&self, q: &QueryGraph) -> usize {
+        match self.iterations {
+            Some(n) => n,
+            None => topo::longest_path_from(q.graph(), q.source())
+                .map(|l| l.max(1))
+                .unwrap_or(Self::DEFAULT_CYCLIC_ITERATIONS),
+        }
+    }
+}
+
+impl Default for Diffusion {
+    fn default() -> Self {
+        Self::auto()
+    }
+}
+
+/// Solves `v = Σᵢ max((rᵢ − v)·qᵢ, 0)` for `v ≥ 0`.
+///
+/// `inputs` are the `(r(x), q(x,y))` pairs of the incoming edges.
+fn solve_rbar(inputs: &[(f64, f64)], solver: InnerSolver) -> f64 {
+    let hi0: f64 = inputs.iter().map(|&(r, q)| (r * q).max(0.0)).sum();
+    if hi0 <= 0.0 {
+        return 0.0;
+    }
+    let f = |v: f64| -> f64 {
+        inputs
+            .iter()
+            .map(|&(r, q)| ((r - v) * q).max(0.0))
+            .sum::<f64>()
+            - v
+    };
+    match solver {
+        InnerSolver::Bisection => {
+            let (mut lo, mut hi) = (0.0f64, hi0);
+            // f(0) = hi0 > 0, f(hi0) ≤ 0 (each term ≤ r·q yet −v = −hi0).
+            for _ in 0..100 {
+                let mid = 0.5 * (lo + hi);
+                if f(mid) > 0.0 {
+                    lo = mid;
+                } else {
+                    hi = mid;
+                }
+                if hi - lo < 1e-14 {
+                    break;
+                }
+            }
+            0.5 * (lo + hi)
+        }
+        InnerSolver::FixedPoint => {
+            let mut v = 0.0f64;
+            for _ in 0..200 {
+                let next: f64 = inputs
+                    .iter()
+                    .map(|&(r, q)| ((r - v) * q).max(0.0))
+                    .sum();
+                // Damping keeps the iteration from oscillating when the
+                // sum of edge weights exceeds 1.
+                let damped = 0.5 * (v + next);
+                if (damped - v).abs() < 1e-12 {
+                    v = damped;
+                    break;
+                }
+                v = damped;
+            }
+            v
+        }
+    }
+}
+
+impl Ranker for Diffusion {
+    fn name(&self) -> &'static str {
+        "Diff"
+    }
+
+    fn score(&self, q: &QueryGraph) -> Result<Scores, Error> {
+        let g = q.graph();
+        let s = q.source();
+        let bound = g.node_bound();
+        let iterations = self.resolve_iterations(q);
+
+        let mut r = vec![0.0f64; bound];
+        r[s.index()] = 1.0;
+        let mut next = r.clone();
+        let mut inputs: Vec<(f64, f64)> = Vec::new();
+        for _ in 0..iterations {
+            for y in g.nodes() {
+                if y == s {
+                    continue;
+                }
+                inputs.clear();
+                for e in g.in_edges(y) {
+                    let x = g.edge_src(e);
+                    inputs.push((r[x.index()], g.edge_q(e).get()));
+                }
+                let rbar = solve_rbar(&inputs, self.solver);
+                next[y.index()] = rbar * g.node_p(y).get();
+            }
+            std::mem::swap(&mut r, &mut next);
+        }
+        Ok(Scores::from_vec(r))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use biorank_graph::{NodeId, Prob, ProbGraph};
+
+    fn p(v: f64) -> Prob {
+        Prob::new(v).unwrap()
+    }
+
+    /// Fig. 4a graph.
+    fn fig4a() -> (QueryGraph, NodeId) {
+        let mut g = ProbGraph::new();
+        let s = g.add_node(p(1.0));
+        let m = g.add_node(p(1.0));
+        let a = g.add_node(p(1.0));
+        let b = g.add_node(p(1.0));
+        let u = g.add_node(p(1.0));
+        g.add_edge(s, m, p(0.5)).unwrap();
+        g.add_edge(m, a, p(1.0)).unwrap();
+        g.add_edge(m, b, p(1.0)).unwrap();
+        g.add_edge(a, u, p(1.0)).unwrap();
+        g.add_edge(b, u, p(1.0)).unwrap();
+        (QueryGraph::new(g, s, vec![u]).unwrap(), u)
+    }
+
+    #[test]
+    fn fig4a_diffusion_is_0_11() {
+        // Paper Fig. 4a: diffusion r = 0.11. Analytically:
+        // r̄(m) solves r̄ = (1−r̄)·0.5 ⇒ 1/3; r(m) = 1/3.
+        // r̄(a) = r̄(b) solves r̄ = (1/3 − r̄)·1 ⇒ 1/6.
+        // r̄(u) solves r̄ = 2·(1/6 − r̄) ⇒ 1/9 ≈ 0.111.
+        let (q, u) = fig4a();
+        let r = Diffusion::auto().score(&q).unwrap().get(u);
+        assert!((r - 1.0 / 9.0).abs() < 1e-9, "r = {r}");
+    }
+
+    #[test]
+    fn single_edge_splits_relevance() {
+        // s →1.0 t: r̄(t) solves v = (1 − v)·1 ⇒ 0.5.
+        let mut g = ProbGraph::new();
+        let s = g.add_node(p(1.0));
+        let t = g.add_node(p(1.0));
+        g.add_edge(s, t, p(1.0)).unwrap();
+        let q = QueryGraph::new(g, s, vec![t]).unwrap();
+        let r = Diffusion::auto().score(&q).unwrap().get(t);
+        assert!((r - 0.5).abs() < 1e-9, "r = {r}");
+    }
+
+    #[test]
+    fn no_incoming_flow_is_zero() {
+        let mut g = ProbGraph::new();
+        let s = g.add_node(p(1.0));
+        let t = g.add_node(p(1.0));
+        let island = g.add_node(p(1.0));
+        g.add_edge(s, t, p(0.5)).unwrap();
+        let q = QueryGraph::new(g, s, vec![t, island]).unwrap();
+        let scores = Diffusion::auto().score(&q).unwrap();
+        assert_eq!(scores.get(island), 0.0);
+    }
+
+    #[test]
+    fn fixed_point_matches_bisection() {
+        let (q, u) = fig4a();
+        let bis = Diffusion::auto().score(&q).unwrap().get(u);
+        let fp = Diffusion::auto()
+            .with_solver(InnerSolver::FixedPoint)
+            .score(&q)
+            .unwrap()
+            .get(u);
+        assert!((bis - fp).abs() < 1e-6, "bisection {bis} vs fixed point {fp}");
+    }
+
+    #[test]
+    fn favors_one_strong_path_over_many_weak() {
+        // Target A: one strong direct path (q=0.9).
+        // Target B: three weak 1-hop paths (q=0.3 each).
+        // Propagation would score B ≈ 1−0.7³ = 0.657 < 0.9, diffusion
+        // even more decisively: A gets 0.45, B gets r̄ = 3(0.3)(1−...)
+        let mut g = ProbGraph::new();
+        let s = g.add_node(p(1.0));
+        let a = g.add_node(p(1.0));
+        let b = g.add_node(p(1.0));
+        g.add_edge(s, a, p(0.9)).unwrap();
+        for _ in 0..3 {
+            let m = g.add_node(p(1.0));
+            g.add_edge(s, m, p(0.3)).unwrap();
+            g.add_edge(m, b, p(0.3)).unwrap();
+        }
+        let q = QueryGraph::new(g, s, vec![a, b]).unwrap();
+        let scores = Diffusion::auto().score(&q).unwrap();
+        assert!(
+            scores.get(a) > scores.get(b),
+            "diffusion must favor the strong path: a={} b={}",
+            scores.get(a),
+            scores.get(b)
+        );
+    }
+
+    #[test]
+    fn node_probability_scales_result() {
+        let mut g = ProbGraph::new();
+        let s = g.add_node(p(1.0));
+        let t = g.add_node(p(0.4));
+        g.add_edge(s, t, p(1.0)).unwrap();
+        let q = QueryGraph::new(g, s, vec![t]).unwrap();
+        let r = Diffusion::auto().score(&q).unwrap().get(t);
+        assert!((r - 0.5 * 0.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cyclic_graph_terminates() {
+        let mut g = ProbGraph::new();
+        let s = g.add_node(p(1.0));
+        let a = g.add_node(p(1.0));
+        let b = g.add_node(p(1.0));
+        g.add_edge(s, a, p(0.5)).unwrap();
+        g.add_edge(a, b, p(0.5)).unwrap();
+        g.add_edge(b, a, p(0.5)).unwrap();
+        let q = QueryGraph::new(g, s, vec![b]).unwrap();
+        let r = Diffusion::auto().score(&q).unwrap();
+        assert!(r.get(b) > 0.0 && r.get(b) <= 1.0);
+    }
+
+    #[test]
+    fn solve_rbar_empty_and_zero_inputs() {
+        assert_eq!(solve_rbar(&[], InnerSolver::Bisection), 0.0);
+        assert_eq!(solve_rbar(&[(0.0, 0.5)], InnerSolver::Bisection), 0.0);
+        assert_eq!(solve_rbar(&[(0.5, 0.0)], InnerSolver::Bisection), 0.0);
+    }
+
+    #[test]
+    fn solve_rbar_is_a_root() {
+        let inputs = [(0.8, 0.7), (0.3, 0.9), (0.6, 0.2)];
+        for solver in [InnerSolver::Bisection, InnerSolver::FixedPoint] {
+            let v = solve_rbar(&inputs, solver);
+            let back: f64 = inputs.iter().map(|&(r, q)| ((r - v) * q).max(0.0)).sum();
+            assert!((back - v).abs() < 1e-6, "{solver:?}: v={v}, f(v)+v={back}");
+        }
+    }
+}

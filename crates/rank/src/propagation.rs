@@ -1,0 +1,210 @@
+//! The propagation semantics (paper §3.2, Algorithm 3.2).
+//!
+//! Relevance "propagates" along edges from the query node, PageRank-style
+//! but with noisy-or accumulation; the score of a node depends only on
+//! its parents and ignores correlations between them:
+//!
+//! ```text
+//! r(y) = (1 − ∏_{(x,y)∈E} (1 − r(x)·q(x,y))) · p(y),    r(s) = 1
+//! ```
+//!
+//! On a tree rooted at the source, propagation equals reliability
+//! (Proposition 3.1 — property-tested in `tests/prop_semantics.rs`); on
+//! general graphs it over-counts shared evidence, so propagation scores
+//! dominate reliability scores. On DAGs the fixpoint is reached after
+//! `longest-path` synchronous rounds, which is why the paper notes the
+//! iteration "actually reaches equilibrium already after the maximum
+//! pathlength"; cyclic graphs "unfold the cycle into an infinite
+//! sequence of independent paths" and must be truncated at a fixed
+//! iteration count.
+
+use biorank_graph::{topo, QueryGraph};
+
+use crate::{Error, Ranker, Scores};
+
+/// Algorithm 3.2: iterative relevance propagation.
+#[derive(Clone, Copy, Debug)]
+pub struct Propagation {
+    /// Number of synchronous iterations. `None` = automatic: longest
+    /// path length on DAGs (exact fixpoint), [`Propagation::DEFAULT_CYCLIC_ITERATIONS`]
+    /// on cyclic graphs.
+    pub iterations: Option<usize>,
+}
+
+impl Propagation {
+    /// Iterations used on cyclic graphs in automatic mode.
+    pub const DEFAULT_CYCLIC_ITERATIONS: usize = 100;
+
+    /// Automatic iteration count (recommended).
+    pub fn auto() -> Self {
+        Propagation { iterations: None }
+    }
+
+    /// Fixed iteration count (the paper's Algorithm 3.2 signature).
+    pub fn with_iterations(n: usize) -> Self {
+        Propagation {
+            iterations: Some(n),
+        }
+    }
+
+    fn resolve_iterations(&self, q: &QueryGraph) -> usize {
+        match self.iterations {
+            Some(n) => n,
+            None => topo::longest_path_from(q.graph(), q.source())
+                .map(|l| l.max(1))
+                .unwrap_or(Self::DEFAULT_CYCLIC_ITERATIONS),
+        }
+    }
+}
+
+impl Default for Propagation {
+    fn default() -> Self {
+        Self::auto()
+    }
+}
+
+impl Ranker for Propagation {
+    fn name(&self) -> &'static str {
+        "Prop"
+    }
+
+    fn score(&self, q: &QueryGraph) -> Result<Scores, Error> {
+        let g = q.graph();
+        let s = q.source();
+        let bound = g.node_bound();
+        let iterations = self.resolve_iterations(q);
+
+        let mut r = vec![0.0f64; bound];
+        r[s.index()] = 1.0;
+        let mut next = r.clone();
+        for _ in 0..iterations {
+            for y in g.nodes() {
+                if y == s {
+                    continue;
+                }
+                let mut fail_all = 1.0f64;
+                for e in g.in_edges(y) {
+                    let x = g.edge_src(e);
+                    fail_all *= 1.0 - r[x.index()] * g.edge_q(e).get();
+                }
+                next[y.index()] = (1.0 - fail_all) * g.node_p(y).get();
+            }
+            // Synchronous update: r* computed wholly from the previous r.
+            std::mem::swap(&mut r, &mut next);
+        }
+        Ok(Scores::from_vec(r))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use biorank_graph::{NodeId, Prob, ProbGraph};
+
+    fn p(v: f64) -> Prob {
+        Prob::new(v).unwrap()
+    }
+
+    /// Fig. 4a: s →(0.5) m, then two parallel certain 2-hop paths to u.
+    fn fig4a() -> (QueryGraph, NodeId) {
+        let mut g = ProbGraph::new();
+        let s = g.add_node(p(1.0));
+        let m = g.add_node(p(1.0));
+        let a = g.add_node(p(1.0));
+        let b = g.add_node(p(1.0));
+        let u = g.add_node(p(1.0));
+        g.add_edge(s, m, p(0.5)).unwrap();
+        g.add_edge(m, a, p(1.0)).unwrap();
+        g.add_edge(m, b, p(1.0)).unwrap();
+        g.add_edge(a, u, p(1.0)).unwrap();
+        g.add_edge(b, u, p(1.0)).unwrap();
+        (QueryGraph::new(g, s, vec![u]).unwrap(), u)
+    }
+
+    #[test]
+    fn fig4a_propagation_is_0_75() {
+        // The paper's Fig. 4a reports propagation r = 0.75 where
+        // reliability is 0.5: the two paths share the 0.5 edge but are
+        // treated as independent.
+        let (q, u) = fig4a();
+        let r = Propagation::auto().score(&q).unwrap().get(u);
+        assert!((r - 0.75).abs() < 1e-12, "r = {r}");
+    }
+
+    #[test]
+    fn source_score_is_one() {
+        let (q, _) = fig4a();
+        let s = Propagation::auto().score(&q).unwrap();
+        assert_eq!(s.get(q.source()), 1.0);
+    }
+
+    #[test]
+    fn chain_multiplies() {
+        // s →.8 x(.5) →.6 t(.9): prop(t) = (0.8·0.5·0.6)·0.9... step by
+        // step: r(x) = 0.8·0.5 = 0.4; r(t) = 0.4·0.6·0.9 = 0.216.
+        let mut g = ProbGraph::new();
+        let s = g.add_node(p(1.0));
+        let x = g.add_node(p(0.5));
+        let t = g.add_node(p(0.9));
+        g.add_edge(s, x, p(0.8)).unwrap();
+        g.add_edge(x, t, p(0.6)).unwrap();
+        let q = QueryGraph::new(g, s, vec![t]).unwrap();
+        let r = Propagation::auto().score(&q).unwrap().get(t);
+        assert!((r - 0.216).abs() < 1e-12, "r = {r}");
+    }
+
+    #[test]
+    fn too_few_iterations_underestimate() {
+        let (q, u) = fig4a();
+        // Path length to u is 3; a single iteration cannot reach it.
+        let r1 = Propagation::with_iterations(1).score(&q).unwrap().get(u);
+        assert_eq!(r1, 0.0);
+        let r3 = Propagation::with_iterations(3).score(&q).unwrap().get(u);
+        assert!((r3 - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn extra_iterations_are_stable_on_dags() {
+        let (q, u) = fig4a();
+        let r3 = Propagation::with_iterations(3).score(&q).unwrap().get(u);
+        let r50 = Propagation::with_iterations(50).score(&q).unwrap().get(u);
+        assert_eq!(r3, r50);
+    }
+
+    #[test]
+    fn cycles_inflate_scores() {
+        // s → a ⇄ b → t: each iteration pumps more relevance around the
+        // loop; the paper calls this out as the propagation pathology.
+        let mut g = ProbGraph::new();
+        let s = g.add_node(p(1.0));
+        let a = g.add_node(p(1.0));
+        let b = g.add_node(p(1.0));
+        let t = g.add_node(p(1.0));
+        g.add_edge(s, a, p(0.5)).unwrap();
+        g.add_edge(a, b, p(0.9)).unwrap();
+        g.add_edge(b, a, p(0.9)).unwrap();
+        g.add_edge(b, t, p(0.5)).unwrap();
+        let q = QueryGraph::new(g, s, vec![t]).unwrap();
+        let few = Propagation::with_iterations(4).score(&q).unwrap().get(t);
+        let many = Propagation::with_iterations(200).score(&q).unwrap().get(t);
+        assert!(many > few, "cycle should inflate: {few} vs {many}");
+        // Exact reliability is below the inflated propagation score.
+        let truth = biorank_graph::exact::enumerate(q.graph(), q.source(), t).unwrap();
+        assert!(many > truth);
+    }
+
+    #[test]
+    fn auto_mode_handles_cycles() {
+        let mut g = ProbGraph::new();
+        let s = g.add_node(p(1.0));
+        let a = g.add_node(p(1.0));
+        g.add_edge(s, a, p(0.5)).unwrap();
+        let b = g.add_node(p(1.0));
+        g.add_edge(a, b, p(0.5)).unwrap();
+        g.add_edge(b, a, p(0.5)).unwrap();
+        let q = QueryGraph::new(g, s, vec![b]).unwrap();
+        // Must not loop forever or error.
+        let r = Propagation::auto().score(&q).unwrap();
+        assert!(r.get(b) > 0.0);
+    }
+}

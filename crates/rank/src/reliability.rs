@@ -1,0 +1,273 @@
+//! Reliability ranking strategies beyond plain Monte Carlo (§3.1(2-3)).
+//!
+//! * [`ReducedMc`] — run the graph reductions on the whole query graph
+//!   (protecting the source and the answer set), then Monte Carlo on the
+//!   shrunken graph. This is the paper's fastest configuration
+//!   ("R&M2" in Fig. 8a: reduction + 1000 trials beats even the closed
+//!   solution).
+//! * [`ClosedReliability`] — the per-target evaluation of §3.1(3): for
+//!   each answer node, prune to its subgraph and apply the reduction
+//!   rules; fully reducible instances (Theorem 3.2) yield the exact
+//!   score directly. When the rules get stuck the evaluator falls back
+//!   to exact factoring, and as a last resort to traversal Monte Carlo —
+//!   so it is total on every input while remaining exact whenever the
+//!   paper's theory applies.
+
+use biorank_graph::{exact, reduction, QueryGraph};
+
+use crate::{Error, Ranker, Scores, TraversalMc};
+
+/// Graph reductions followed by traversal Monte Carlo.
+#[derive(Clone, Copy, Debug)]
+pub struct ReducedMc {
+    /// Monte Carlo trials on the reduced graph.
+    pub trials: u32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl ReducedMc {
+    /// Creates the strategy with the given trial count and seed.
+    pub fn new(trials: u32, seed: u64) -> Self {
+        ReducedMc { trials, seed }
+    }
+
+    /// Scores and also returns the reduction statistics (used by the
+    /// Fig. 8a experiment to report the −78% shrinkage).
+    pub fn score_with_stats(
+        &self,
+        q: &QueryGraph,
+    ) -> Result<(Scores, reduction::ReductionStats), Error> {
+        let mut reduced = q.clone();
+        let source = reduced.source();
+        let answers: Vec<_> = reduced.answers().to_vec();
+        let stats = reduction::reduce(reduced.graph_mut(), source, &answers);
+        let scores = TraversalMc::new(self.trials, self.seed).score(&reduced)?;
+        // Scores are indexed by node id; protected nodes (source +
+        // answers) survive reduction with stable ids, so the score
+        // vector is directly usable for the answer set.
+        Ok((scores, stats))
+    }
+}
+
+impl Ranker for ReducedMc {
+    fn name(&self) -> &'static str {
+        "Rel(R&MC)"
+    }
+
+    fn score(&self, q: &QueryGraph) -> Result<Scores, Error> {
+        self.score_with_stats(q).map(|(s, _)| s)
+    }
+}
+
+/// Per-target closed-form reliability with exact fallbacks.
+#[derive(Clone, Copy, Debug)]
+pub struct ClosedReliability {
+    /// Branch budget for the factoring fallback.
+    pub factoring_budget: u64,
+    /// Trials for the Monte Carlo last resort.
+    pub fallback_trials: u32,
+    /// Seed for the Monte Carlo last resort.
+    pub seed: u64,
+}
+
+impl Default for ClosedReliability {
+    fn default() -> Self {
+        ClosedReliability {
+            factoring_budget: 1 << 20,
+            fallback_trials: 10_000,
+            seed: 0xB10_4A4C,
+        }
+    }
+}
+
+/// How each answer's score was obtained, for the efficiency experiments.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SolveMode {
+    /// Reduction rules alone produced the exact value (Theorem 3.2 case).
+    Closed,
+    /// Exact factoring finished within budget.
+    Factoring,
+    /// Monte Carlo estimate (budget exhausted).
+    MonteCarlo,
+}
+
+impl ClosedReliability {
+    /// Scores all answers, reporting how each was solved.
+    pub fn score_with_modes(&self, q: &QueryGraph) -> Result<(Scores, Vec<SolveMode>), Error> {
+        let mut scores = Scores::zeroed(q.graph().node_bound());
+        let mut modes = Vec::with_capacity(q.answers().len());
+        for &t in q.answers() {
+            let st = q.single_target(t)?;
+            let Some(target) = st.target else {
+                scores.set(t, 0.0);
+                modes.push(SolveMode::Closed);
+                continue;
+            };
+            match reduction::closed_form(st.graph.clone(), st.source, target) {
+                reduction::ClosedForm::Solved(r) => {
+                    scores.set(t, r);
+                    modes.push(SolveMode::Closed);
+                }
+                reduction::ClosedForm::Stuck { .. } => {
+                    match exact::factoring(&st.graph, st.source, target, Some(self.factoring_budget))
+                    {
+                        Ok(r) => {
+                            scores.set(t, r);
+                            modes.push(SolveMode::Factoring);
+                        }
+                        Err(biorank_graph::Error::TooLarge { .. }) => {
+                            let sub = QueryGraph::new(st.graph, st.source, vec![target])?;
+                            let est = TraversalMc::new(self.fallback_trials, self.seed)
+                                .score(&sub)?;
+                            scores.set(t, est.get(target));
+                            modes.push(SolveMode::MonteCarlo);
+                        }
+                        Err(e) => return Err(e.into()),
+                    }
+                }
+            }
+        }
+        Ok((scores, modes))
+    }
+}
+
+impl Ranker for ClosedReliability {
+    fn name(&self) -> &'static str {
+        "Rel(closed)"
+    }
+
+    fn score(&self, q: &QueryGraph) -> Result<Scores, Error> {
+        self.score_with_modes(q).map(|(s, _)| s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use biorank_graph::{generate, NodeId, Prob, ProbGraph};
+
+    fn p(v: f64) -> Prob {
+        Prob::new(v).unwrap()
+    }
+
+    fn diamond() -> (QueryGraph, NodeId) {
+        let mut g = ProbGraph::new();
+        let s = g.add_node(p(1.0));
+        let a = g.add_node(p(1.0));
+        let b = g.add_node(p(1.0));
+        let t = g.add_node(p(1.0));
+        g.add_edge(s, a, p(0.5)).unwrap();
+        g.add_edge(s, b, p(0.5)).unwrap();
+        g.add_edge(a, t, p(0.5)).unwrap();
+        g.add_edge(b, t, p(0.5)).unwrap();
+        (QueryGraph::new(g, s, vec![t]).unwrap(), t)
+    }
+
+    #[test]
+    fn closed_solves_diamond_exactly() {
+        let (q, t) = diamond();
+        let (scores, modes) = ClosedReliability::default().score_with_modes(&q).unwrap();
+        assert_eq!(modes, vec![SolveMode::Closed]);
+        assert!((scores.get(t) - 0.4375).abs() < 1e-12);
+    }
+
+    #[test]
+    fn closed_falls_back_on_wheatstone() {
+        let (g, s, t) = reduction::wheatstone(p(0.5));
+        let truth = exact::enumerate(&g, s, t).unwrap();
+        let q = QueryGraph::new(g, s, vec![t]).unwrap();
+        let (scores, modes) = ClosedReliability::default().score_with_modes(&q).unwrap();
+        assert_eq!(modes, vec![SolveMode::Factoring]);
+        assert!((scores.get(t) - truth).abs() < 1e-9);
+    }
+
+    #[test]
+    fn closed_handles_unreachable_answers() {
+        let mut g = ProbGraph::new();
+        let s = g.add_node(p(1.0));
+        let t = g.add_node(p(1.0));
+        let island = g.add_node(p(1.0));
+        g.add_edge(s, t, p(0.9)).unwrap();
+        let q = QueryGraph::new(g, s, vec![t, island]).unwrap();
+        let (scores, _) = ClosedReliability::default().score_with_modes(&q).unwrap();
+        assert!((scores.get(t) - 0.9).abs() < 1e-12);
+        assert_eq!(scores.get(island), 0.0);
+    }
+
+    #[test]
+    fn reduced_mc_matches_plain_mc_statistically() {
+        let params = generate::WorkflowParams::default();
+        let q = generate::layered_workflow(&params, 21);
+        let plain = TraversalMc::new(30_000, 1).score(&q).unwrap();
+        let (reduced, stats) = ReducedMc::new(30_000, 2).score_with_stats(&q).unwrap();
+        assert!(stats.shrink_ratio() > 0.0, "workflow graphs must shrink");
+        for &a in q.answers() {
+            let d = (plain.get(a) - reduced.get(a)).abs();
+            assert!(d < 0.02, "answer {a}: plain {} vs reduced {}", plain.get(a), reduced.get(a));
+        }
+    }
+
+    #[test]
+    fn closed_falls_back_to_monte_carlo_when_budget_exhausted() {
+        // A dense random DAG is irreducible; with a factoring budget of
+        // 1 the evaluator must fall back to Monte Carlo and still
+        // produce a sane estimate.
+        let (g, s) = generate::random_dag(14, 0.5, 3, (0.5, 1.0), (0.3, 0.9));
+        let t = g.nodes().last().unwrap();
+        let q = QueryGraph::new(g, s, vec![t]).unwrap();
+        let strategy = ClosedReliability {
+            factoring_budget: 1,
+            fallback_trials: 60_000,
+            seed: 5,
+        };
+        let (scores, modes) = strategy.score_with_modes(&q).unwrap();
+        assert_eq!(modes, vec![SolveMode::MonteCarlo]);
+        let truth = ClosedReliability::default().score(&q).unwrap().get(t);
+        assert!(
+            (scores.get(t) - truth).abs() < 0.02,
+            "MC fallback {} vs exact {truth}",
+            scores.get(t)
+        );
+    }
+
+    #[test]
+    fn divergent_star_only_probabilistic_methods_discriminate() {
+        // Paper Discussion §5: on divergent star schemas "InEdge and
+        // PathCount cannot be used as each piece of evidence has only
+        // exactly one path and taking into account the strength of each
+        // individual path is the only way to rank results."
+        let q = generate::divergent_star(8, 3, 11, (0.4, 1.0), (0.2, 0.95));
+        let rel = ClosedReliability::default().score(&q).unwrap();
+        let inedge = crate::InEdge.score(&q).unwrap();
+        let pathc = crate::PathCount.score(&q).unwrap();
+        let rel_values: Vec<f64> = q.answers().iter().map(|&a| rel.get(a)).collect();
+        let distinct = {
+            let mut v = rel_values.clone();
+            v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            v.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
+            v.len()
+        };
+        assert!(distinct > 1, "reliability must discriminate chains");
+        for &a in q.answers() {
+            assert_eq!(inedge.get(a), 1.0, "InEdge ties every answer");
+            assert_eq!(pathc.get(a), 1.0, "PathCount ties every answer");
+        }
+    }
+
+    #[test]
+    fn closed_matches_mc_on_workflows() {
+        let q = generate::layered_workflow(&generate::WorkflowParams::default(), 33);
+        let exact_scores = ClosedReliability::default().score(&q).unwrap();
+        let mc = TraversalMc::new(60_000, 8).score(&q).unwrap();
+        for &a in q.answers() {
+            let d = (exact_scores.get(a) - mc.get(a)).abs();
+            assert!(
+                d < 0.015,
+                "answer {a}: closed {} vs MC {}",
+                exact_scores.get(a),
+                mc.get(a)
+            );
+        }
+    }
+}

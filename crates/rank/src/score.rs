@@ -1,0 +1,116 @@
+//! Relevance scores and the `Ranker` abstraction.
+//!
+//! A relevance function (paper Definition 2.4) maps every node of a
+//! probabilistic query graph to a score; the induced partial order on
+//! the answer set is the ranking shown to the user. All five semantics
+//! of §3 implement [`Ranker`].
+
+use biorank_graph::{NodeId, QueryGraph};
+
+use crate::Error;
+
+/// A dense per-node score vector produced by a ranking method.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Scores {
+    by_node: Vec<f64>,
+}
+
+impl Scores {
+    /// Creates a zeroed score vector able to index every node of `g`.
+    pub fn zeroed(bound: usize) -> Self {
+        Scores {
+            by_node: vec![0.0; bound],
+        }
+    }
+
+    /// Wraps an existing vector (must be sized to the graph's
+    /// [`biorank_graph::ProbGraph::node_bound`]).
+    pub fn from_vec(by_node: Vec<f64>) -> Self {
+        Scores { by_node }
+    }
+
+    /// Score of node `n` (0.0 for never-scored nodes).
+    pub fn get(&self, n: NodeId) -> f64 {
+        self.by_node.get(n.index()).copied().unwrap_or(0.0)
+    }
+
+    /// Sets the score of node `n`.
+    pub fn set(&mut self, n: NodeId, score: f64) {
+        self.by_node[n.index()] = score;
+    }
+
+    /// The raw per-node vector.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.by_node
+    }
+
+    /// Scores of the answer set, in answer order.
+    pub fn answers(&self, q: &QueryGraph) -> Vec<(NodeId, f64)> {
+        q.answers().iter().map(|&a| (a, self.get(a))).collect()
+    }
+}
+
+/// A ranking semantics over probabilistic query graphs.
+pub trait Ranker {
+    /// Short method name as used in the paper's figures
+    /// (`"Rel"`, `"Prop"`, `"Diff"`, `"InEdge"`, `"PathC"`).
+    fn name(&self) -> &'static str;
+
+    /// Computes relevance scores for all nodes of the query graph.
+    fn score(&self, q: &QueryGraph) -> Result<Scores, Error>;
+}
+
+impl<R: Ranker + ?Sized> Ranker for &R {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+    fn score(&self, q: &QueryGraph) -> Result<Scores, Error> {
+        (**self).score(q)
+    }
+}
+
+impl Ranker for Box<dyn Ranker + Send + Sync> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+    fn score(&self, q: &QueryGraph) -> Result<Scores, Error> {
+        (**self).score(q)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use biorank_graph::{Prob, ProbGraph};
+
+    #[test]
+    fn scores_get_set_roundtrip() {
+        let mut s = Scores::zeroed(4);
+        let n = NodeId::from_index(2);
+        assert_eq!(s.get(n), 0.0);
+        s.set(n, 0.5);
+        assert_eq!(s.get(n), 0.5);
+        assert_eq!(s.as_slice(), &[0.0, 0.0, 0.5, 0.0]);
+    }
+
+    #[test]
+    fn out_of_bounds_get_is_zero() {
+        let s = Scores::zeroed(1);
+        assert_eq!(s.get(NodeId::from_index(9)), 0.0);
+    }
+
+    #[test]
+    fn answers_projects_in_order() {
+        let mut g = ProbGraph::new();
+        let s = g.add_node(Prob::ONE);
+        let a = g.add_node(Prob::ONE);
+        let b = g.add_node(Prob::ONE);
+        g.add_edge(s, a, Prob::HALF).unwrap();
+        g.add_edge(s, b, Prob::HALF).unwrap();
+        let q = QueryGraph::new(g, s, vec![b, a]).unwrap();
+        let mut sc = Scores::zeroed(3);
+        sc.set(a, 0.1);
+        sc.set(b, 0.9);
+        assert_eq!(sc.answers(&q), vec![(b, 0.9), (a, 0.1)]);
+    }
+}

@@ -1,0 +1,250 @@
+//! Rankings with tie intervals.
+//!
+//! "Scoring functions sometimes lead to ties between functions and,
+//! therefore, only partial orderings in the result list" (§4). Tables 2
+//! and 3 of the paper report ranks as intervals like `34-97`; this module
+//! produces exactly that representation from a score vector.
+
+use std::fmt;
+
+use biorank_graph::NodeId;
+
+/// Relative tolerance used to group floating-point scores into ties.
+///
+/// Deterministic methods (InEdge, PathCount) produce exactly equal
+/// scores; Monte Carlo estimates of genuinely tied reliabilities differ
+/// by sampling noise, so exact comparison is still the right default —
+/// callers can pass an epsilon to [`rank_with_epsilon`] when they want
+/// noise-tolerant grouping.
+pub const DEFAULT_EPSILON: f64 = 0.0;
+
+/// One ranked answer: its score and the rank interval of its tie group.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RankedEntry {
+    /// The answer node.
+    pub node: NodeId,
+    /// Its relevance score.
+    pub score: f64,
+    /// First rank of the tie group (1-based, inclusive).
+    pub rank_lo: usize,
+    /// Last rank of the tie group (1-based, inclusive).
+    pub rank_hi: usize,
+}
+
+impl RankedEntry {
+    /// `true` when this entry is tied with at least one other.
+    pub fn is_tied(&self) -> bool {
+        self.rank_lo != self.rank_hi
+    }
+}
+
+impl fmt::Display for RankedEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_tied() {
+            write!(f, "{}-{}", self.rank_lo, self.rank_hi)
+        } else {
+            write!(f, "{}", self.rank_lo)
+        }
+    }
+}
+
+/// A complete ranking of an answer set, descending by score.
+#[derive(Clone, Debug, Default)]
+pub struct Ranking {
+    entries: Vec<RankedEntry>,
+}
+
+impl Ranking {
+    /// Ranks `(node, score)` pairs descending by score with exact tie
+    /// grouping.
+    pub fn rank(scored: Vec<(NodeId, f64)>) -> Ranking {
+        Self::rank_with_epsilon(scored, DEFAULT_EPSILON)
+    }
+
+    /// Ranks with an absolute tolerance: consecutive scores within
+    /// `epsilon` of the group leader are tied.
+    pub fn rank_with_epsilon(mut scored: Vec<(NodeId, f64)>, epsilon: f64) -> Ranking {
+        // Descending score; ties broken by node id for determinism of
+        // iteration order (the rank interval still reflects the tie).
+        scored.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.cmp(&b.0))
+        });
+        let mut entries = Vec::with_capacity(scored.len());
+        let mut i = 0;
+        while i < scored.len() {
+            let leader = scored[i].1;
+            let mut j = i + 1;
+            while j < scored.len() && (leader - scored[j].1).abs() <= epsilon {
+                j += 1;
+            }
+            for &(node, score) in &scored[i..j] {
+                entries.push(RankedEntry {
+                    node,
+                    score,
+                    rank_lo: i + 1,
+                    rank_hi: j,
+                });
+            }
+            i = j;
+        }
+        Ranking { entries }
+    }
+
+    /// Entries in rank order (best first).
+    pub fn entries(&self) -> &[RankedEntry] {
+        &self.entries
+    }
+
+    /// Number of ranked answers.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when no answers were ranked.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The rank interval of a given node, if present.
+    pub fn rank_of(&self, node: NodeId) -> Option<&RankedEntry> {
+        self.entries.iter().find(|e| e.node == node)
+    }
+
+    /// The relevance labels (1 = relevant) in rank order for a predicate,
+    /// used to feed average-precision computations.
+    pub fn relevance_vector(&self, is_relevant: impl Fn(NodeId) -> bool) -> Vec<bool> {
+        self.entries.iter().map(|e| is_relevant(e.node)).collect()
+    }
+
+    /// Tie-group sizes in rank order, paired with the number of relevant
+    /// answers in each group — the exact inputs the tie-aware average
+    /// precision of McSherry & Najork needs.
+    pub fn tie_groups(&self, is_relevant: impl Fn(NodeId) -> bool) -> Vec<TieGroup> {
+        let mut groups: Vec<TieGroup> = Vec::new();
+        for e in &self.entries {
+            match groups.last_mut() {
+                Some(g) if g.rank_lo == e.rank_lo => {
+                    g.size += 1;
+                    if is_relevant(e.node) {
+                        g.relevant += 1;
+                    }
+                }
+                _ => groups.push(TieGroup {
+                    rank_lo: e.rank_lo,
+                    size: 1,
+                    relevant: usize::from(is_relevant(e.node)),
+                }),
+            }
+        }
+        groups
+    }
+}
+
+/// A maximal run of tied answers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TieGroup {
+    /// First rank of the group (1-based).
+    pub rank_lo: usize,
+    /// Number of answers in the group.
+    pub size: usize,
+    /// Number of relevant answers in the group.
+    pub relevant: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: usize) -> NodeId {
+        NodeId::from_index(i)
+    }
+
+    #[test]
+    fn distinct_scores_rank_strictly() {
+        let r = Ranking::rank(vec![(n(0), 0.1), (n(1), 0.9), (n(2), 0.5)]);
+        let ranks: Vec<(usize, usize)> =
+            r.entries().iter().map(|e| (e.rank_lo, e.rank_hi)).collect();
+        assert_eq!(ranks, vec![(1, 1), (2, 2), (3, 3)]);
+        assert_eq!(r.entries()[0].node, n(1));
+        assert_eq!(r.entries()[2].node, n(0));
+    }
+
+    #[test]
+    fn exact_ties_share_an_interval() {
+        let r = Ranking::rank(vec![
+            (n(0), 0.5),
+            (n(1), 0.5),
+            (n(2), 0.9),
+            (n(3), 0.5),
+            (n(4), 0.1),
+        ]);
+        // node 2 alone at rank 1; nodes 0,1,3 tied at 2-4; node 4 at 5.
+        assert_eq!(r.rank_of(n(2)).unwrap().rank_lo, 1);
+        let e = r.rank_of(n(1)).unwrap();
+        assert_eq!((e.rank_lo, e.rank_hi), (2, 4));
+        assert!(e.is_tied());
+        assert_eq!(e.to_string(), "2-4");
+        assert_eq!(r.rank_of(n(4)).unwrap().rank_lo, 5);
+    }
+
+    #[test]
+    fn epsilon_grouping_tolerates_noise() {
+        let r = Ranking::rank_with_epsilon(
+            vec![(n(0), 0.5000), (n(1), 0.5001), (n(2), 0.40)],
+            0.001,
+        );
+        let e = r.rank_of(n(0)).unwrap();
+        assert_eq!((e.rank_lo, e.rank_hi), (1, 2));
+        assert_eq!(r.rank_of(n(2)).unwrap().rank_lo, 3);
+    }
+
+    #[test]
+    fn all_tied_is_one_interval() {
+        let r = Ranking::rank(vec![(n(0), 2.0), (n(1), 2.0), (n(2), 2.0)]);
+        for e in r.entries() {
+            assert_eq!((e.rank_lo, e.rank_hi), (1, 3));
+        }
+    }
+
+    #[test]
+    fn tie_groups_count_relevant() {
+        let r = Ranking::rank(vec![
+            (n(0), 0.9),
+            (n(1), 0.5),
+            (n(2), 0.5),
+            (n(3), 0.5),
+            (n(4), 0.2),
+        ]);
+        let groups = r.tie_groups(|x| x == n(2) || x == n(0));
+        assert_eq!(
+            groups,
+            vec![
+                TieGroup { rank_lo: 1, size: 1, relevant: 1 },
+                TieGroup { rank_lo: 2, size: 3, relevant: 1 },
+                TieGroup { rank_lo: 5, size: 1, relevant: 0 },
+            ]
+        );
+    }
+
+    #[test]
+    fn relevance_vector_in_rank_order() {
+        let r = Ranking::rank(vec![(n(0), 0.2), (n(1), 0.8)]);
+        assert_eq!(r.relevance_vector(|x| x == n(0)), vec![false, true]);
+    }
+
+    #[test]
+    fn empty_ranking() {
+        let r = Ranking::rank(vec![]);
+        assert!(r.is_empty());
+        assert_eq!(r.len(), 0);
+    }
+
+    #[test]
+    fn nan_scores_do_not_panic() {
+        // NaN compares Equal here; ranking remains total and stable.
+        let r = Ranking::rank(vec![(n(0), f64::NAN), (n(1), 0.5)]);
+        assert_eq!(r.len(), 2);
+    }
+}

@@ -1,0 +1,86 @@
+//! # biorank-schema
+//!
+//! The mediated Entity-Relationship schema layer of the BioRank
+//! reproduction ("Integrating and Ranking Uncertain Scientific Data",
+//! Detwiler et al., ICDE 2009):
+//!
+//! * [`Schema`] / [`EntitySetDef`] / [`RelationshipDef`] — the E/R model
+//!   of paper §2, with set-level confidences `ps` and `qs`.
+//! * [`Cardinality`] — relationship types `[1:1]`, `[1:n]`, `[n:1]`,
+//!   `[m:n]` and their composition algebra (§3.1(3)).
+//! * [`reducible`] — the Theorem 3.2 reducibility checker, including the
+//!   per-answer-node refinement used in the efficiency study.
+//! * [`metrics`] — the uncertainty-to-probability transformation
+//!   functions: status-code and evidence-code tables and the e-value
+//!   mapping `qr = −(1/300)·ln(e)`.
+//! * [`catalog`] — the 11-source table and the Fig. 1 query schema.
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod catalog;
+mod cardinality;
+mod er;
+pub mod metrics;
+pub mod reducible;
+
+pub use cardinality::{Cardinality, Composition};
+pub use catalog::{
+    biorank_schema, biorank_schema_full, biorank_schema_with_ontology, source_catalog,
+    BiorankSchema, SourceDecl,
+};
+pub use er::{EntitySetDef, EntitySetId, RelationshipDef, RelationshipId, Schema};
+pub use metrics::{evalue_to_prob, prob_to_evalue, EvidenceCode, StatusCode};
+pub use reducible::{check_query_reducible, check_reducible, ComposeHints, Reducibility, Step};
+
+use std::fmt;
+
+/// Errors produced by schema construction.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Error {
+    /// An entity set or relationship name was declared twice.
+    DuplicateName(String),
+    /// A relationship referenced an entity set that does not exist.
+    UnknownEntitySet(String),
+    /// An invalid probability value (delegated from the graph layer).
+    Graph(biorank_graph::Error),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::DuplicateName(n) => write!(f, "duplicate schema name {n:?}"),
+            Error::UnknownEntitySet(n) => write!(f, "unknown entity set {n}"),
+            Error::Graph(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Graph(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<biorank_graph::Error> for Error {
+    fn from(e: biorank_graph::Error) -> Self {
+        Error::Graph(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display_and_source() {
+        let e = Error::DuplicateName("X".into());
+        assert!(e.to_string().contains('X'));
+        let e: Error = biorank_graph::Error::EmptyAnswerSet.into();
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,631 @@
+//! Theorem 3.2 — deciding whether an E/R schema is *reducible*.
+//!
+//! A schema is reducible when every data-graph instance of it collapses
+//! completely under the three reduction rules of `biorank_graph::reduction`,
+//! so that source–target reliability has a tractable closed form.
+//!
+//! The theorem gives two constructors:
+//!
+//! * **Part A** — a tree consisting only of `[1:n]` relationships is
+//!   reducible.
+//! * **Part B** — if an entity set `P` has exactly one incoming `[1:n]`
+//!   relationship `Q` and exactly one outgoing `[n:1]` relationship `Q′`,
+//!   and the composition `Q ∘ Q′` is known (by algebra or by *domain
+//!   knowledge*) to be `[1:n]` or `[n:1]` but not `[m:n]`, then `S` is
+//!   reducible iff the schema with `P` contracted is.
+//!
+//! The checker implements both parts with backtracking over the choice of
+//! `P` (the theorem's key insight is that *order of composition matters*,
+//! Fig. 3). It is sound but — like the theorem — not complete: `Unknown`
+//! means "the theorem does not apply", not "irreducible".
+//!
+//! [`check_query_reducible`] adds the observation from the efficiency
+//! study (§4, item 1): from the point of view of a **single answer
+//! node**, every relationship into the answer entity set is effectively
+//! `[n:1]` — at the data level all edges into one target node that share
+//! a left record are parallel and merge under rule 3. With that
+//! refinement the paper's Fig. 1 query schema, irreducible as a whole
+//! because of its final `[n:m]` relation, solves in closed form per
+//! answer — "our theory proves to be right and useful".
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Cardinality, Composition, EntitySetId, Schema};
+
+/// Domain-knowledge hints resolving ambiguous `[1:n] ∘ [n:1]`
+/// compositions, keyed by the pair of relationship names.
+///
+/// Composed relationships are named `"left∘right"` and merged parallel
+/// relationships `"left∥right"`, so hints can chain.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct ComposeHints {
+    map: BTreeMap<(String, String), Cardinality>,
+}
+
+impl ComposeHints {
+    /// No hints: only the unconditional algebra applies.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Declares that `left ∘ right` has the given cardinality.
+    pub fn declare(&mut self, left: &str, right: &str, card: Cardinality) -> &mut Self {
+        self.map
+            .insert((left.to_string(), right.to_string()), card);
+        self
+    }
+
+    fn lookup(&self, left: &str, right: &str) -> Option<Cardinality> {
+        self.map.get(&(left.to_string(), right.to_string())).copied()
+    }
+}
+
+/// One step in a successful reducibility derivation.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Step {
+    /// The residual schema is a `[1:n]` tree, possibly with terminal
+    /// per-target `[n:1]` relationships (Theorem 3.2 Part A).
+    TreeBase,
+    /// Parallel relationships between the same entity pair were merged.
+    MergeParallel {
+        /// First merged relationship name.
+        left: String,
+        /// Second merged relationship name.
+        right: String,
+        /// Cardinality of the merged relationship.
+        merged: Cardinality,
+    },
+    /// Entity set `entity` was contracted via Part B.
+    Contract {
+        /// The contracted entity set name.
+        entity: String,
+        /// Name of the incoming relationship `Q`.
+        incoming: String,
+        /// Name of the outgoing relationship `Q′`.
+        outgoing: String,
+        /// Cardinality of the composition `Q ∘ Q′`.
+        composed: Cardinality,
+    },
+}
+
+/// Result of a reducibility check.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Reducibility {
+    /// The schema is reducible; `steps` is a derivation witness.
+    Reducible {
+        /// The derivation, outermost step first.
+        steps: Vec<Step>,
+    },
+    /// Theorem 3.2 does not apply (instances may still happen to reduce,
+    /// but no closed form is guaranteed).
+    Unknown {
+        /// Entity sets remaining in the stuck residual view.
+        residual_entities: Vec<String>,
+    },
+}
+
+impl Reducibility {
+    /// `true` when reducible.
+    pub fn is_reducible(&self) -> bool {
+        matches!(self, Reducibility::Reducible { .. })
+    }
+}
+
+/// A lightweight working copy of the query-relevant part of a schema.
+#[derive(Clone, Debug)]
+struct View {
+    entities: Vec<String>,
+    alive: Vec<bool>,
+    rels: Vec<ViewRel>,
+    /// In per-target mode, the answer entity set viewed as one node.
+    single_target: Option<usize>,
+}
+
+#[derive(Clone, Debug)]
+struct ViewRel {
+    name: String,
+    from: usize,
+    to: usize,
+    card: Cardinality,
+    alive: bool,
+}
+
+impl View {
+    fn from_schema(schema: &Schema, root: EntitySetId, single_target: Option<EntitySetId>) -> View {
+        // Keep only entity sets reachable from the root by following
+        // relationships forward (the direction exploratory queries walk).
+        let n = schema.entity_set_count();
+        let mut reach = vec![false; n];
+        reach[root.0] = true;
+        let mut stack = vec![root.0];
+        while let Some(x) = stack.pop() {
+            for (_, r) in schema.outgoing(EntitySetId(x)) {
+                if !reach[r.to.0] {
+                    reach[r.to.0] = true;
+                    stack.push(r.to.0);
+                }
+            }
+        }
+        let entities = (0..n)
+            .map(|i| schema.entity_set(EntitySetId(i)).name.clone())
+            .collect();
+        let single_target = single_target.map(|t| t.0);
+        let rels = schema
+            .relationships()
+            .filter(|(_, r)| reach[r.from.0] && reach[r.to.0])
+            .map(|(_, r)| ViewRel {
+                name: r.name.clone(),
+                from: r.from.0,
+                to: r.to.0,
+                // Per-target mode: any relation into the single answer
+                // node is [n:1] after parallel-edge merging.
+                card: if single_target == Some(r.to.0) {
+                    Cardinality::ManyToOne
+                } else {
+                    r.cardinality
+                },
+                alive: true,
+            })
+            .collect();
+        View {
+            entities,
+            alive: reach,
+            rels,
+            single_target,
+        }
+    }
+
+    fn live_rels(&self) -> impl Iterator<Item = usize> + '_ {
+        self.rels
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.alive)
+            .map(|(i, _)| i)
+    }
+
+    fn in_rels(&self, e: usize) -> Vec<usize> {
+        self.live_rels().filter(|&i| self.rels[i].to == e).collect()
+    }
+
+    fn out_rels(&self, e: usize) -> Vec<usize> {
+        self.live_rels().filter(|&i| self.rels[i].from == e).collect()
+    }
+
+    /// Part A base case, extended for per-target mode.
+    ///
+    /// The view must be an acyclic graph with exactly one root where
+    /// every non-root entity (other than the single target) has exactly
+    /// one incoming relationship, every relationship not entering the
+    /// single target is `[1:n]`/`[1:1]`, and relationships into the
+    /// single target may also be `[n:1]` (their data edges funnel into
+    /// one node and collapse by serial+parallel reduction).
+    fn is_reducible_base(&self) -> bool {
+        let live: Vec<usize> = (0..self.entities.len())
+            .filter(|&i| self.alive[i])
+            .collect();
+        if live.is_empty() {
+            return false;
+        }
+        for i in self.live_rels() {
+            let r = &self.rels[i];
+            let into_target = self.single_target == Some(r.to);
+            let ok = match r.card {
+                Cardinality::OneToMany | Cardinality::OneToOne => true,
+                Cardinality::ManyToOne => into_target,
+                Cardinality::ManyToMany => false,
+            };
+            if !ok {
+                return false;
+            }
+        }
+        let mut indeg = vec![0usize; self.entities.len()];
+        for i in self.live_rels() {
+            indeg[self.rels[i].to] += 1;
+        }
+        let roots: Vec<usize> = live.iter().copied().filter(|&e| indeg[e] == 0).collect();
+        if roots.len() != 1 {
+            return false;
+        }
+        let root = roots[0];
+        for &e in &live {
+            if e == root || self.single_target == Some(e) {
+                continue;
+            }
+            if indeg[e] != 1 {
+                return false;
+            }
+        }
+        self.is_acyclic()
+    }
+
+    fn is_acyclic(&self) -> bool {
+        // Kahn over the live view.
+        let mut indeg = vec![0usize; self.entities.len()];
+        let mut live_count = 0usize;
+        for (i, &a) in self.alive.iter().enumerate() {
+            if a {
+                live_count += 1;
+                indeg[i] = 0;
+            }
+        }
+        for i in self.live_rels() {
+            indeg[self.rels[i].to] += 1;
+        }
+        let mut queue: Vec<usize> = (0..self.entities.len())
+            .filter(|&i| self.alive[i] && indeg[i] == 0)
+            .collect();
+        let mut seen = 0usize;
+        while let Some(x) = queue.pop() {
+            seen += 1;
+            for i in self.live_rels() {
+                if self.rels[i].from == x {
+                    indeg[self.rels[i].to] -= 1;
+                    if indeg[self.rels[i].to] == 0 {
+                        queue.push(self.rels[i].to);
+                    }
+                }
+            }
+        }
+        seen == live_count
+    }
+
+    /// Merges one pair of parallel relationships (same from/to).
+    ///
+    /// The merged cardinality is `[n:1]` when both enter the single
+    /// target (all data edges converge on one node and rule 3 merges
+    /// them), `[m:n]` otherwise (conservative: unions of functional
+    /// relations need not be functional).
+    fn merge_one_parallel(&mut self) -> Option<Step> {
+        let live: Vec<usize> = self.live_rels().collect();
+        for (ai, &a) in live.iter().enumerate() {
+            for &b in &live[ai + 1..] {
+                if self.rels[a].from == self.rels[b].from && self.rels[a].to == self.rels[b].to {
+                    let merged_card = if self.single_target == Some(self.rels[a].to) {
+                        Cardinality::ManyToOne
+                    } else {
+                        Cardinality::ManyToMany
+                    };
+                    let step = Step::MergeParallel {
+                        left: self.rels[a].name.clone(),
+                        right: self.rels[b].name.clone(),
+                        merged: merged_card,
+                    };
+                    let merged = ViewRel {
+                        name: format!("{}∥{}", self.rels[a].name, self.rels[b].name),
+                        from: self.rels[a].from,
+                        to: self.rels[a].to,
+                        card: merged_card,
+                        alive: true,
+                    };
+                    self.rels[a].alive = false;
+                    self.rels[b].alive = false;
+                    self.rels.push(merged);
+                    return Some(step);
+                }
+            }
+        }
+        None
+    }
+}
+
+/// Checks Theorem 3.2 on the part of `schema` reachable from `root`.
+pub fn check_reducible(schema: &Schema, root: EntitySetId, hints: &ComposeHints) -> Reducibility {
+    let view = View::from_schema(schema, root, None);
+    run_check(view, hints)
+}
+
+/// Checks reducibility of the query schema *per answer node* (§4,
+/// Efficiency item 1): every relationship into `answer_set` is viewed as
+/// `[n:1]`, and ambiguous compositions ending at the answer set resolve
+/// to `[n:1]` automatically.
+pub fn check_query_reducible(
+    schema: &Schema,
+    root: EntitySetId,
+    answer_set: EntitySetId,
+    hints: &ComposeHints,
+) -> Reducibility {
+    let view = View::from_schema(schema, root, Some(answer_set));
+    run_check(view, hints)
+}
+
+fn run_check(mut view: View, hints: &ComposeHints) -> Reducibility {
+    let mut steps = Vec::new();
+    while let Some(step) = view.merge_one_parallel() {
+        steps.push(step);
+    }
+    match search(&view, hints, 0) {
+        Some(mut tail) => {
+            steps.append(&mut tail);
+            Reducibility::Reducible { steps }
+        }
+        None => Reducibility::Unknown {
+            residual_entities: (0..view.entities.len())
+                .filter(|&i| view.alive[i])
+                .map(|i| view.entities[i].clone())
+                .collect(),
+        },
+    }
+}
+
+const MAX_DEPTH: usize = 64;
+
+fn search(view: &View, hints: &ComposeHints, depth: usize) -> Option<Vec<Step>> {
+    if depth > MAX_DEPTH {
+        return None;
+    }
+    if view.is_reducible_base() {
+        return Some(vec![Step::TreeBase]);
+    }
+    // Part B: try every contractible entity set, backtracking.
+    let candidates: Vec<usize> = (0..view.entities.len())
+        .filter(|&e| view.alive[e] && view.single_target != Some(e))
+        .collect();
+    for p in candidates {
+        let ins = view.in_rels(p);
+        let outs = view.out_rels(p);
+        if ins.len() != 1 || outs.len() != 1 {
+            continue;
+        }
+        let (qi, qo) = (ins[0], outs[0]);
+        let cin = view.rels[qi].card;
+        let cout = view.rels[qo].card;
+        // Q must be [1:n] (or [1:1] as its sub-case), Q′ must be [n:1].
+        if !matches!(cin, Cardinality::OneToMany | Cardinality::OneToOne) {
+            continue;
+        }
+        if !matches!(cout, Cardinality::ManyToOne | Cardinality::OneToOne) {
+            continue;
+        }
+        let into_target = view.single_target == Some(view.rels[qo].to);
+        let composed = match cin.compose(cout) {
+            Composition::Always(c) => Some(c),
+            Composition::NeedsDomainKnowledge => {
+                if into_target {
+                    // Composite relation into one answer node: the data
+                    // edges collapse to at most one per left record.
+                    Some(Cardinality::ManyToOne)
+                } else {
+                    hints.lookup(&view.rels[qi].name, &view.rels[qo].name)
+                }
+            }
+        };
+        let Some(composed) = composed else { continue };
+        if composed == Cardinality::ManyToMany {
+            continue; // Part B explicitly excludes [m:n] compositions.
+        }
+        // A self-loop composition only arises on cyclic schemas — skip.
+        if view.rels[qi].from == view.rels[qo].to {
+            continue;
+        }
+        let mut next = view.clone();
+        next.rels[qi].alive = false;
+        next.rels[qo].alive = false;
+        next.alive[p] = false;
+        next.rels.push(ViewRel {
+            name: format!("{}∘{}", view.rels[qi].name, view.rels[qo].name),
+            from: view.rels[qi].from,
+            to: view.rels[qo].to,
+            card: composed,
+            alive: true,
+        });
+        let mut merge_steps = Vec::new();
+        while let Some(s) = next.merge_one_parallel() {
+            merge_steps.push(s);
+        }
+        if let Some(tail) = search(&next, hints, depth + 1) {
+            let mut steps = vec![Step::Contract {
+                entity: view.entities[p].clone(),
+                incoming: view.rels[qi].name.clone(),
+                outgoing: view.rels[qo].name.clone(),
+                composed,
+            }];
+            steps.extend(merge_steps);
+            steps.extend(tail);
+            return Some(steps);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Cardinality::*;
+
+    /// Builds the chain schema of Fig. 3a:
+    /// 0 –[1:n]→ 1 –[n:1]→ 2 –[1:n]→ 3 –[n:1]→ 4 –[1:n]→ 5
+    /// with hints making the inner compositions collapse as in the figure.
+    fn fig3a() -> (Schema, EntitySetId, ComposeHints) {
+        let mut s = Schema::new();
+        let ids: Vec<_> = (0..6)
+            .map(|i| s.entity(&format!("P{i}"), "src", &[], 1.0).unwrap())
+            .collect();
+        s.relationship("q01", ids[0], ids[1], OneToMany, 1.0).unwrap();
+        s.relationship("q12", ids[1], ids[2], ManyToOne, 1.0).unwrap();
+        s.relationship("q23", ids[2], ids[3], OneToMany, 1.0).unwrap();
+        s.relationship("q34", ids[3], ids[4], ManyToOne, 1.0).unwrap();
+        s.relationship("q45", ids[4], ids[5], OneToMany, 1.0).unwrap();
+        let mut hints = ComposeHints::none();
+        // Innermost compositions first (the theorem's key insight is
+        // that order matters); both resolve so that the residual chain
+        // ends as a [1:n] tree.
+        hints.declare("q01", "q12", OneToMany);
+        hints.declare("q23", "q34", ManyToOne);
+        hints.declare("q01∘q12", "q23∘q34", OneToMany);
+        (s, ids[0], hints)
+    }
+
+    #[test]
+    fn part_a_tree_of_one_to_many() {
+        let mut s = Schema::new();
+        let a = s.entity("A", "x", &[], 1.0).unwrap();
+        let b = s.entity("B", "x", &[], 1.0).unwrap();
+        let c = s.entity("C", "x", &[], 1.0).unwrap();
+        s.relationship("ab", a, b, OneToMany, 1.0).unwrap();
+        s.relationship("ac", a, c, OneToMany, 1.0).unwrap();
+        let r = check_reducible(&s, a, &ComposeHints::none());
+        assert_eq!(
+            r,
+            Reducibility::Reducible {
+                steps: vec![Step::TreeBase]
+            }
+        );
+    }
+
+    #[test]
+    fn many_to_many_chain_is_unknown() {
+        // Fig 2a: 0 –[1:n]→ 1 –[n:m]→ 2 –[n:1]→ 3 is irreducible.
+        let mut s = Schema::new();
+        let ids: Vec<_> = (0..4)
+            .map(|i| s.entity(&format!("P{i}"), "x", &[], 1.0).unwrap())
+            .collect();
+        s.relationship("q01", ids[0], ids[1], OneToMany, 1.0).unwrap();
+        s.relationship("q12", ids[1], ids[2], ManyToMany, 1.0).unwrap();
+        s.relationship("q23", ids[2], ids[3], ManyToOne, 1.0).unwrap();
+        let r = check_reducible(&s, ids[0], &ComposeHints::none());
+        assert!(!r.is_reducible(), "got {r:?}");
+    }
+
+    #[test]
+    fn fig2b_one_to_n_then_n_to_1_needs_hints() {
+        // Fig 2b: 0 –[1:n]→ 1 –[1:n]→ 2 –[n:1]→ 3 –[n:1]→ 4 may be
+        // irreducible: without hints the checker must say Unknown.
+        let mut s = Schema::new();
+        let ids: Vec<_> = (0..5)
+            .map(|i| s.entity(&format!("P{i}"), "x", &[], 1.0).unwrap())
+            .collect();
+        s.relationship("q01", ids[0], ids[1], OneToMany, 1.0).unwrap();
+        s.relationship("q12", ids[1], ids[2], OneToMany, 1.0).unwrap();
+        s.relationship("q23", ids[2], ids[3], ManyToOne, 1.0).unwrap();
+        s.relationship("q34", ids[3], ids[4], ManyToOne, 1.0).unwrap();
+        let r = check_reducible(&s, ids[0], &ComposeHints::none());
+        assert!(!r.is_reducible(), "got {r:?}");
+    }
+
+    #[test]
+    fn fig3a_reducible_with_hints() {
+        let (s, root, hints) = fig3a();
+        let r = check_reducible(&s, root, &hints);
+        assert!(r.is_reducible(), "got {r:?}");
+    }
+
+    #[test]
+    fn fig3a_unknown_without_hints() {
+        let (s, root, _) = fig3a();
+        let r = check_reducible(&s, root, &ComposeHints::none());
+        assert!(!r.is_reducible());
+    }
+
+    #[test]
+    fn fig3b_m_n_composition_blocks() {
+        // Same chain, but the first composition is declared [m:n]:
+        // Part B must not fire through it (Fig. 3b).
+        let (s, root, _) = fig3a();
+        let mut hints = ComposeHints::none();
+        hints.declare("q01", "q12", ManyToMany);
+        hints.declare("q23", "q34", ManyToOne);
+        let r = check_reducible(&s, root, &hints);
+        assert!(!r.is_reducible(), "m:n composition must block Part B");
+    }
+
+    #[test]
+    fn contraction_chains_through_hints() {
+        // 0 –[1:n]→ 1 –[n:1]→ 2 –[n:1]→ 3 with hints resolving both
+        // compositions.
+        let mut s = Schema::new();
+        let ids: Vec<_> = (0..4)
+            .map(|i| s.entity(&format!("P{i}"), "x", &[], 1.0).unwrap())
+            .collect();
+        s.relationship("q01", ids[0], ids[1], OneToMany, 1.0).unwrap();
+        s.relationship("q12", ids[1], ids[2], ManyToOne, 1.0).unwrap();
+        s.relationship("q23", ids[2], ids[3], ManyToOne, 1.0).unwrap();
+        let mut hints = ComposeHints::none();
+        hints.declare("q01", "q12", OneToMany);
+        hints.declare("q01∘q12", "q23", OneToMany);
+        let r = check_reducible(&s, ids[0], &hints);
+        assert!(r.is_reducible(), "got {r:?}");
+    }
+
+    #[test]
+    fn single_entity_root_is_reducible() {
+        let mut s = Schema::new();
+        let a = s.entity("A", "x", &[], 1.0).unwrap();
+        let r = check_reducible(&s, a, &ComposeHints::none());
+        assert!(r.is_reducible());
+    }
+
+    #[test]
+    fn unreachable_entities_are_ignored() {
+        let mut s = Schema::new();
+        let a = s.entity("A", "x", &[], 1.0).unwrap();
+        let b = s.entity("B", "x", &[], 1.0).unwrap();
+        let c = s.entity("C", "x", &[], 1.0).unwrap();
+        s.relationship("ab", a, b, OneToMany, 1.0).unwrap();
+        // C only points INTO the reachable part; it is not reachable
+        // from A and must not affect the answer.
+        s.relationship("cb", c, b, ManyToMany, 1.0).unwrap();
+        let r = check_reducible(&s, a, &ComposeHints::none());
+        assert!(r.is_reducible(), "got {r:?}");
+    }
+
+    #[test]
+    fn query_view_retypes_final_relationship() {
+        // 0 –[1:n]→ 1 –[m:n]→ 2 (answers): whole schema unknown, but per
+        // answer node the final [m:n] becomes [n:1] and the ambiguous
+        // composition into the target auto-resolves.
+        let mut s = Schema::new();
+        let ids: Vec<_> = (0..3)
+            .map(|i| s.entity(&format!("P{i}"), "x", &[], 1.0).unwrap())
+            .collect();
+        s.relationship("q01", ids[0], ids[1], OneToMany, 1.0).unwrap();
+        s.relationship("q12", ids[1], ids[2], ManyToMany, 1.0).unwrap();
+        assert!(!check_reducible(&s, ids[0], &ComposeHints::none()).is_reducible());
+        let r = check_query_reducible(&s, ids[0], ids[2], &ComposeHints::none());
+        assert!(r.is_reducible(), "got {r:?}");
+    }
+
+    #[test]
+    fn parallel_relationships_merge_to_m_n_without_target() {
+        let mut s = Schema::new();
+        let a = s.entity("A", "x", &[], 1.0).unwrap();
+        let b = s.entity("B", "x", &[], 1.0).unwrap();
+        s.relationship("r1", a, b, OneToMany, 1.0).unwrap();
+        s.relationship("r2", a, b, ManyToOne, 1.0).unwrap();
+        let r = check_reducible(&s, a, &ComposeHints::none());
+        assert!(!r.is_reducible());
+        // Per-target, the same pair merges to [n:1] and reduces.
+        let r = check_query_reducible(&s, a, b, &ComposeHints::none());
+        assert!(r.is_reducible(), "got {r:?}");
+    }
+
+    #[test]
+    fn diamond_of_branches_reduces_per_target() {
+        // root fans out to two chains that converge on the answers —
+        // the archetypal BioRank query shape.
+        let mut s = Schema::new();
+        let root = s.entity("Root", "x", &[], 1.0).unwrap();
+        let l = s.entity("L", "x", &[], 1.0).unwrap();
+        let rgt = s.entity("R", "x", &[], 1.0).unwrap();
+        let t = s.entity("T", "x", &[], 1.0).unwrap();
+        s.relationship("rl", root, l, OneToMany, 1.0).unwrap();
+        s.relationship("rr", root, rgt, OneToMany, 1.0).unwrap();
+        s.relationship("lt", l, t, ManyToMany, 1.0).unwrap();
+        s.relationship("rt", rgt, t, ManyToMany, 1.0).unwrap();
+        assert!(!check_reducible(&s, root, &ComposeHints::none()).is_reducible());
+        let r = check_query_reducible(&s, root, t, &ComposeHints::none());
+        assert!(r.is_reducible(), "got {r:?}");
+    }
+
+    #[test]
+    fn cyclic_schema_is_unknown() {
+        let mut s = Schema::new();
+        let a = s.entity("A", "x", &[], 1.0).unwrap();
+        let b = s.entity("B", "x", &[], 1.0).unwrap();
+        s.relationship("ab", a, b, OneToMany, 1.0).unwrap();
+        s.relationship("ba", b, a, OneToMany, 1.0).unwrap();
+        let r = check_reducible(&s, a, &ComposeHints::none());
+        assert!(!r.is_reducible());
+    }
+}

@@ -1,0 +1,40 @@
+//! # biorank-sources
+//!
+//! The synthetic biological data-source substrate of the BioRank
+//! reproduction ("Integrating and Ranking Uncertain Scientific Data",
+//! Detwiler et al., ICDE 2009).
+//!
+//! The paper integrated 11 live web databases (June 2007 snapshots) and
+//! used human curation (iProClass + PubMed searches) as ground truth.
+//! Neither is available to a reproduction, so this crate *generates* a
+//! deterministic world with the same population structure and — more
+//! importantly — the same evidence topology:
+//!
+//! * [`go`] — a Gene Ontology universe seeded with the paper's named
+//!   terms.
+//! * [`paper_data`] — Tables 1–3 lifted verbatim (protein names,
+//!   function counts, answer-set sizes).
+//! * [`evidence`] — the generative model: per-class path-count /
+//!   strength / path-kind profiles whose defaults reproduce the paper's
+//!   scenario shapes.
+//! * [`source`] — the `Source` trait and `Registry` the mediator
+//!   integrates over.
+//! * [`tables`] — in-memory implementations of EntrezProtein, Pfam,
+//!   TIGRFAM, NCBIBlast, EntrezGene, AmiGO and iProClass.
+//! * [`world`] — `World::generate(params)`: everything wired together.
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod evidence;
+pub mod go;
+pub mod paper_data;
+pub mod source;
+pub mod tables;
+pub mod world;
+
+pub use evidence::{ClassProfile, EvidenceModel, FunctionClass, KindWeights, PathKind};
+pub use go::{GoTerm, GoUniverse};
+pub use source::{Link, Record, Registry, Source};
+pub use tables::{PdbSource, UniProtSource};
+pub use world::{ProteinKind, ProteinProfile, World, WorldParams};

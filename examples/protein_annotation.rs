@@ -1,0 +1,62 @@
+//! Functional protein annotation — the paper's motivating workload.
+//!
+//! Plays through the §1 story: a researcher looks for *new, possibly
+//! yet unknown* functions of a well-studied protein. Well-known
+//! functions are easy (redundant evidence everywhere); the valuable
+//! output is the less-known functions with few-but-strong evidence,
+//! which only the probabilistic rankings surface.
+//!
+//! ```sh
+//! cargo run --release --example protein_annotation
+//! ```
+
+use biorank::prelude::*;
+use biorank::sources::paper_data;
+
+fn main() {
+    let world = World::generate(WorldParams::default());
+    let mediator = Mediator::new(biorank_schema_with_ontology().schema, world.registry());
+
+    for protein in ["ABCC8", "CFTR", "EYA1"] {
+        let result = mediator
+            .execute(&ExploratoryQuery::protein_functions(protein))
+            .expect("integration succeeds");
+        let q = &result.query;
+        let gold = world.iproclass.functions(protein).to_vec();
+        let new_functions: Vec<GoTerm> = paper_data::table2_functions(protein);
+
+        println!(
+            "\n=== {protein}: {} candidates, {} well-known, {} recently published ===",
+            q.answers().len(),
+            gold.len(),
+            new_functions.len()
+        );
+
+        // Rank by reliability and by the deterministic InEdge baseline.
+        let rel = ReducedMc::new(10_000, 7).score(q).expect("reliability");
+        let inedge = InEdge.score(q).expect("inedge");
+        let rel_ranking = Ranking::rank(rel.answers(q));
+        let inedge_ranking = Ranking::rank(inedge.answers(q));
+
+        println!("recently published functions (not yet in iProClass):");
+        for go in &new_functions {
+            let key = go.to_string();
+            let node = q
+                .answers()
+                .iter()
+                .copied()
+                .find(|&a| result.answer_key(a) == Some(key.as_str()))
+                .expect("published function is a candidate");
+            let r = rel_ranking.rank_of(node).expect("ranked");
+            let d = inedge_ranking.rank_of(node).expect("ranked");
+            println!(
+                "  {key} ({}): reliability rank {r}, InEdge rank {d}",
+                world.go.name(*go).unwrap_or("?"),
+            );
+        }
+        println!(
+            "→ a researcher scanning the top of the reliability ranking finds \
+             the new functions; the redundancy-counting ranking buries them."
+        );
+    }
+}

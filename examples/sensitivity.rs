@@ -1,0 +1,62 @@
+//! Sensitivity analysis — how robust are rankings to wrong input
+//! probabilities?
+//!
+//! BioRank's probabilities were set by domain experts; the paper (§4)
+//! asks whether slightly different estimates would change the results,
+//! and answers with a multi-way perturbation study: add Gaussian noise
+//! to the log-odds of *every* probability and re-rank.
+//!
+//! ```sh
+//! cargo run --release --example sensitivity [SIGMA] [REPS]
+//! ```
+
+use biorank::eval::{perturb, sensitivity_ap};
+use biorank::prelude::*;
+
+fn main() {
+    let sigma: f64 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(1.0);
+    let reps: usize = std::env::args()
+        .nth(2)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(10);
+
+    let world = World::generate(WorldParams::default());
+    let cases = build_cases(&world, Scenario::Hypothetical).expect("scenario 3 builds");
+    let ranker = Propagation::auto();
+
+    // Show the perturbation on one concrete graph first.
+    let case = &cases[0];
+    let perturbed = perturb::perturb_query_graph(&case.result.query, sigma, 1);
+    let q0 = &case.result.query;
+    let a0 = q0.answers()[0];
+    println!(
+        "example: answer node {} probability {:.3} → {:.3} after σ={sigma} log-odds noise",
+        case.result.answer_key(a0).unwrap_or("?"),
+        q0.graph().node_p(a0).get(),
+        perturbed.graph().node_p(a0).get(),
+    );
+
+    // The full study on scenario 3.
+    let baseline = evaluate(
+        &[Box::new(ranker) as Box<dyn Ranker + Send + Sync>],
+        &cases,
+    )
+    .expect("baseline evaluation")[0]
+        .summary
+        .mean;
+    println!("scenario 3, propagation: default AP = {baseline:.3}");
+    for s in [0.5, 1.0, 2.0, 3.0] {
+        let out = sensitivity_ap(&ranker, &cases, s, reps, 42).expect("sensitivity run");
+        println!(
+            "σ = {s:<4} mean AP = {:.3} (±{:.3} over {reps} repetitions)",
+            out.mean, out.std_dev
+        );
+    }
+    println!(
+        "→ ranking quality degrades gracefully: expert-estimated \
+         probabilities do not need to be precise (paper §4, Fig. 6)."
+    );
+}

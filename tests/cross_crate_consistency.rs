@@ -1,0 +1,177 @@
+//! Cross-crate consistency: the same quantities computed through
+//! different layers must agree.
+
+use biorank::eval::{average_precision, random_ap};
+use biorank::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Reliability computed four ways on mediator-produced graphs.
+#[test]
+fn four_reliability_evaluators_agree_on_small_queries() {
+    let world = World::generate(WorldParams::default());
+    let m = Mediator::new(biorank_schema_with_ontology().schema, world.registry());
+    // CNTS and GALT have the smallest answer sets in Table 1.
+    for protein in ["CNTS", "GALT", "GLDC"] {
+        let result = m
+            .execute(&ExploratoryQuery::protein_functions(protein))
+            .expect("integration succeeds");
+        let q = &result.query;
+        let closed = ClosedReliability::default().score(q).expect("closed");
+        let mc = TraversalMc::new(80_000, 17).score(q).expect("mc");
+        for &a in q.answers() {
+            let c = closed.get(a);
+            // Factoring/enumeration ground truth per answer.
+            let st = q.single_target(a).expect("single target");
+            if let Some(t) = st.target {
+                let truth = biorank::graph::exact::factoring(&st.graph, st.source, t, None)
+                    .expect("factoring");
+                assert!((c - truth).abs() < 1e-9, "{protein}/{a}: closed {c} vs {truth}");
+            }
+            assert!((c - mc.get(a)).abs() < 0.02, "{protein}/{a}: closed {c} vs MC");
+        }
+    }
+}
+
+/// Theorem 3.2 in action: the plain Fig. 1 schema is per-answer
+/// reducible, so EVERY answer of EVERY query against it must be solved
+/// by the reduction rules alone — no factoring, no Monte Carlo.
+#[test]
+fn plain_fig1_instances_always_solve_closed_form() {
+    use biorank::rank::SolveMode;
+    let world = World::generate(WorldParams::default());
+    let m = Mediator::new(biorank::schema::biorank_schema().schema, world.registry());
+    for protein in ["ABCC8", "ATP7A", "MLH1", "DP0843", "SO_0599"] {
+        let result = m
+            .execute(&ExploratoryQuery::protein_functions(protein))
+            .expect("integration succeeds");
+        let (_, modes) = ClosedReliability::default()
+            .score_with_modes(&result.query)
+            .expect("closed evaluation");
+        assert!(
+            modes.iter().all(|&mode| mode == SolveMode::Closed),
+            "{protein}: some answers needed fallback: {modes:?}"
+        );
+    }
+}
+
+/// Propagation == reliability exactly on instances of the plain Fig. 1
+/// schema (no ontology links): those per-answer graphs are
+/// series-parallel, so the local semantics loses nothing.
+#[test]
+fn plain_fig1_graphs_make_propagation_exact() {
+    let world = World::generate(WorldParams::default());
+    let m = Mediator::new(biorank::schema::biorank_schema().schema, world.registry());
+    let result = m
+        .execute(&ExploratoryQuery::protein_functions("AGPAT2"))
+        .expect("integration succeeds");
+    let q = &result.query;
+    let prop = Propagation::auto().score(q).expect("prop");
+    let rel = ClosedReliability::default().score(q).expect("rel");
+    for &a in q.answers() {
+        assert!(
+            (prop.get(a) - rel.get(a)).abs() < 1e-9,
+            "answer {a}: prop {} vs rel {}",
+            prop.get(a),
+            rel.get(a)
+        );
+    }
+}
+
+/// With ontology links the graphs stop being series-parallel and
+/// propagation must dominate reliability (strictly somewhere).
+#[test]
+fn ontology_links_create_propagation_overcounting() {
+    let world = World::generate(WorldParams::default());
+    let m = Mediator::new(biorank_schema_with_ontology().schema, world.registry());
+    let mut strict_somewhere = false;
+    for protein in ["ABCC8", "ATP7A", "MLH1"] {
+        let result = m
+            .execute(&ExploratoryQuery::protein_functions(protein))
+            .expect("integration succeeds");
+        let q = &result.query;
+        let prop = Propagation::auto().score(q).expect("prop");
+        let rel = ClosedReliability::default().score(q).expect("rel");
+        for &a in q.answers() {
+            assert!(
+                prop.get(a) >= rel.get(a) - 1e-9,
+                "{protein}/{a}: propagation below reliability"
+            );
+            if prop.get(a) > rel.get(a) + 1e-6 {
+                strict_somewhere = true;
+            }
+        }
+    }
+    assert!(strict_somewhere, "expected at least one strict inequality");
+}
+
+/// The analytic tie-aware AP equals the empirical mean over sampled
+/// permutations on a real ranking with ties.
+#[test]
+fn analytic_tie_ap_matches_sampled_permutations() {
+    let world = World::generate(WorldParams::default());
+    let cases = build_cases(&world, Scenario::WellKnown).expect("cases build");
+    let case = &cases[2]; // AGPAT2: 16 answers, many InEdge ties
+    let q = &case.result.query;
+    let scores = InEdge.score(q).expect("inedge");
+    let ranking = Ranking::rank(scores.answers(q));
+    let analytic = average_precision(&ranking, |n| case.is_relevant(n)).expect("some relevant");
+
+    // Sample permutations: shuffle within tie groups.
+    let mut rng = StdRng::seed_from_u64(5);
+    let trials = 30_000;
+    let mut total = 0.0;
+    for _ in 0..trials {
+        let mut rel_flags: Vec<bool> = Vec::with_capacity(ranking.len());
+        let entries = ranking.entries();
+        let mut i = 0;
+        while i < entries.len() {
+            let lo = entries[i].rank_lo;
+            let mut group: Vec<bool> = entries
+                .iter()
+                .filter(|e| e.rank_lo == lo)
+                .map(|e| case.is_relevant(e.node))
+                .collect();
+            // Fisher-Yates.
+            for k in (1..group.len()).rev() {
+                group.swap(k, rng.gen_range(0..=k));
+            }
+            i += group.len();
+            rel_flags.extend(group);
+        }
+        total += biorank::eval::average_precision_strict(&rel_flags).unwrap_or(0.0);
+    }
+    let sampled = total / f64::from(trials);
+    assert!(
+        (analytic - sampled).abs() < 0.01,
+        "analytic {analytic} vs sampled {sampled}"
+    );
+}
+
+/// Definition 4.1 equals the all-tied special case of the tie-aware AP
+/// on real answer-set sizes.
+#[test]
+fn random_ap_consistency_on_real_sizes() {
+    let world = World::generate(WorldParams::default());
+    for scenario in Scenario::ALL {
+        let cases = build_cases(&world, scenario).expect("cases build");
+        for case in cases {
+            let (k, n) = (case.relevant_count(), case.answer_count());
+            if k == 0 {
+                continue;
+            }
+            let direct = random_ap(k, n).expect("valid");
+            // All-tied ranking through the generic machinery.
+            let q = &case.result.query;
+            let tied: Vec<(NodeId, f64)> = q.answers().iter().map(|&a| (a, 1.0)).collect();
+            let ranking = Ranking::rank(tied);
+            let via_ties =
+                average_precision(&ranking, |x| case.is_relevant(x)).expect("some relevant");
+            assert!(
+                (direct - via_ties).abs() < 1e-12,
+                "{}: {direct} vs {via_ties}",
+                case.protein
+            );
+        }
+    }
+}

@@ -1,0 +1,176 @@
+//! Tests of the full 11-source federation (extended world mode):
+//! PIRSF, SuperFamily, CDD, UniProt and PDB joining the Fig. 1 sources.
+
+use biorank::prelude::*;
+use biorank::schema::biorank_schema_full;
+
+fn extended_world() -> World {
+    World::generate(WorldParams {
+        extended: true,
+        ..WorldParams::default()
+    })
+}
+
+#[test]
+fn extended_schema_matches_catalog_names() {
+    let b = biorank_schema_full();
+    let catalog: Vec<&str> = biorank::schema::source_catalog()
+        .iter()
+        .map(|s| s.name)
+        .collect();
+    // Every catalog source except the matching-name differences
+    // (TigrFam entity vs TIGRFAM source) is represented by an entity
+    // set whose declared source is in the catalog.
+    for (_, es) in b.schema.entity_sets() {
+        if es.source == "Mediator" {
+            continue; // the synthetic query entity set
+        }
+        assert!(
+            catalog.contains(&es.source.as_str()),
+            "entity set {} declares unknown source {}",
+            es.name,
+            es.source
+        );
+    }
+    assert_eq!(b.schema.entity_set_count(), 12); // 7 + 5 new
+}
+
+#[test]
+fn extended_world_populates_new_sources() {
+    let w = extended_world();
+    assert!(!w.pirsf.hits.is_empty());
+    assert!(!w.superfamily.hits.is_empty());
+    assert!(!w.cdd.hits.is_empty());
+    assert!(!w.uniprot.records.is_empty());
+    assert!(!w.pdb.structures.is_empty());
+    // Default world keeps them empty, so the tuned headline experiments
+    // are untouched.
+    let plain = World::generate(WorldParams::default());
+    assert!(plain.pirsf.hits.is_empty());
+    assert!(plain.pdb.structures.is_empty());
+}
+
+#[test]
+fn extended_integration_preserves_answer_sets() {
+    // More corroborating sources must not change WHAT is found — only
+    // how strongly it is scored (candidate terms are fixed by ground
+    // truth).
+    let w = extended_world();
+    let full = Mediator::new(biorank_schema_full().schema, w.registry());
+    let plain_w = World::generate(WorldParams::default());
+    let plain = Mediator::new(biorank_schema_with_ontology().schema, plain_w.registry());
+    for protein in ["ABCC8", "GALT", "DP0843"] {
+        let q = ExploratoryQuery::protein_functions(protein);
+        let a = full.execute(&q).expect("extended integrates");
+        let b = plain.execute(&q).expect("plain integrates");
+        assert_eq!(
+            a.query.answers().len(),
+            b.query.answers().len(),
+            "{protein}: answer set size must be identical"
+        );
+        assert!(
+            a.stats.nodes > b.stats.nodes,
+            "{protein}: extended graph should be larger"
+        );
+    }
+}
+
+#[test]
+fn pirsf_corroboration_strengthens_true_functions() {
+    let w = extended_world();
+    let full = Mediator::new(biorank_schema_full().schema, w.registry());
+    let plain = Mediator::new(biorank_schema_with_ontology().schema, w.registry());
+    let q = ExploratoryQuery::protein_functions("GALT");
+    let with = full.execute(&q).expect("extended integrates");
+    let without = plain.execute(&q).expect("plain integrates");
+    let rel_with = ClosedReliability::default()
+        .score(&with.query)
+        .expect("scores");
+    let rel_without = ClosedReliability::default()
+        .score(&without.query)
+        .expect("scores");
+    // The PIRSF family annotates the strongest true functions; at least
+    // one of them must gain score.
+    let pirsf_terms: Vec<String> = w
+        .pirsf
+        .annotations
+        .values()
+        .flatten()
+        .map(|t| t.to_string())
+        .collect();
+    let gained = with
+        .query
+        .answers()
+        .iter()
+        .filter(|&&a| {
+            let Some(key) = with.answer_key(a) else { return false };
+            if !pirsf_terms.iter().any(|t| t == key) {
+                return false;
+            }
+            let before = without
+                .query
+                .answers()
+                .iter()
+                .find(|&&b| without.answer_key(b) == Some(key))
+                .map(|&b| rel_without.get(b))
+                .unwrap_or(0.0);
+            rel_with.get(a) > before + 1e-6
+        })
+        .count();
+    assert!(gained > 0, "PIRSF corroboration must lift some score");
+}
+
+#[test]
+fn pdb_structures_are_pruned_leaves() {
+    let w = extended_world();
+    let full = Mediator::new(biorank_schema_full().schema, w.registry());
+    // Pick a protein that has PDB structures.
+    let protein = w
+        .pdb
+        .structures
+        .keys()
+        .next()
+        .expect("some protein has structures")
+        .clone();
+    let r = full
+        .execute(&ExploratoryQuery::protein_functions(&protein))
+        .expect("integration succeeds");
+    // Structures were fetched during integration...
+    assert!(
+        r.stats.nodes_raw > r.stats.nodes,
+        "raw graph contains prunable records"
+    );
+    // ...but no PDB record survives into the query graph (they are
+    // answer-less leaves).
+    for rec in r.records.values() {
+        assert_ne!(rec.entity_set, "PDB", "PDB leaf {} survived pruning", rec.key);
+    }
+}
+
+#[test]
+fn uniprot_gives_second_certain_path_to_gene_annotations() {
+    let w = extended_world();
+    let full = Mediator::new(biorank_schema_full().schema, w.registry());
+    let r = full
+        .execute(&ExploratoryQuery::protein_functions("ABCC8"))
+        .expect("integration succeeds");
+    // Exactly one UniProt record node in the graph.
+    let uniprot_nodes: Vec<_> = r
+        .records
+        .iter()
+        .filter(|(_, rec)| rec.entity_set == "UniProt")
+        .collect();
+    assert_eq!(uniprot_nodes.len(), 1);
+    // The self gene is now reachable via blast AND via UniProt: it has
+    // at least two in-edges.
+    let gene_node = r
+        .records
+        .iter()
+        .find(|(_, rec)| rec.entity_set == "EntrezGene" && rec.key == "EG:ABCC8")
+        .map(|(&n, _)| n)
+        .expect("self gene integrated");
+    assert!(
+        r.query.graph().in_degree(gene_node) >= 2,
+        "self gene should be doubly cross-referenced"
+    );
+}

@@ -1,0 +1,125 @@
+//! End-to-end pipeline tests: world generation → mediation → ranking →
+//! evaluation, across crate boundaries.
+
+use biorank::prelude::*;
+
+fn world() -> World {
+    World::generate(WorldParams::default())
+}
+
+fn mediator(world: &World) -> Mediator {
+    Mediator::new(biorank_schema_with_ontology().schema, world.registry())
+}
+
+#[test]
+fn full_pipeline_for_one_protein() {
+    let w = world();
+    let m = mediator(&w);
+    let result = m
+        .execute(&ExploratoryQuery::protein_functions("ABCC8"))
+        .expect("integration succeeds");
+    let q = &result.query;
+
+    // Graph sanity.
+    assert!(biorank::graph::topo::is_dag(q.graph()));
+    assert_eq!(q.answers().len(), 97);
+    q.graph().check_invariants();
+
+    // Every ranking method produces a full ranking.
+    let rankers: Vec<Box<dyn Ranker + Send + Sync>> = vec![
+        Box::new(TraversalMc::new(2_000, 1)),
+        Box::new(ReducedMc::new(2_000, 1)),
+        Box::new(ClosedReliability::default()),
+        Box::new(Propagation::auto()),
+        Box::new(Diffusion::auto()),
+        Box::new(InEdge),
+        Box::new(PathCount),
+    ];
+    for r in rankers {
+        let scores = r.score(q).unwrap_or_else(|e| panic!("{}: {e}", r.name()));
+        let ranking = Ranking::rank(scores.answers(q));
+        assert_eq!(ranking.len(), 97, "{}", r.name());
+    }
+}
+
+#[test]
+fn reliability_strategies_agree_end_to_end() {
+    let w = world();
+    let m = mediator(&w);
+    let result = m
+        .execute(&ExploratoryQuery::protein_functions("GCH1"))
+        .expect("integration succeeds");
+    let q = &result.query;
+    let exact = ClosedReliability::default().score(q).expect("exact");
+    let mc = TraversalMc::new(60_000, 3).score(q).expect("mc");
+    let reduced = ReducedMc::new(60_000, 4).score(q).expect("reduced mc");
+    for &a in q.answers() {
+        let e = exact.get(a);
+        assert!((e - mc.get(a)).abs() < 0.02, "MC vs exact at {a}");
+        assert!((e - reduced.get(a)).abs() < 0.02, "R&MC vs exact at {a}");
+    }
+}
+
+#[test]
+fn every_protein_in_the_world_integrates() {
+    let w = world();
+    let m = mediator(&w);
+    for profile in &w.profiles {
+        let result = m
+            .execute(&ExploratoryQuery::protein_functions(&profile.name))
+            .unwrap_or_else(|e| panic!("{}: {e}", profile.name));
+        assert_eq!(
+            result.query.answers().len(),
+            profile.functions.len(),
+            "{}: answer set must match ground truth",
+            profile.name
+        );
+    }
+}
+
+#[test]
+fn scenario_evaluation_end_to_end() {
+    let w = world();
+    for scenario in Scenario::ALL {
+        let cases = build_cases(&w, scenario).expect("cases build");
+        let results = evaluate(
+            &[Box::new(Propagation::auto()) as Box<dyn Ranker + Send + Sync>],
+            &cases,
+        )
+        .expect("evaluation succeeds");
+        let base = random_baseline(&cases);
+        assert!(
+            results[0].summary.mean > base.summary.mean,
+            "{scenario:?}: propagation {} must beat random {}",
+            results[0].summary.mean,
+            base.summary.mean
+        );
+    }
+}
+
+#[test]
+fn world_regeneration_is_fully_deterministic() {
+    let w1 = world();
+    let w2 = world();
+    let m1 = mediator(&w1);
+    let m2 = mediator(&w2);
+    let q = ExploratoryQuery::protein_functions("RYR2");
+    let r1 = m1.execute(&q).expect("first run");
+    let r2 = m2.execute(&q).expect("second run");
+    assert_eq!(r1.stats, r2.stats);
+    let s1 = Propagation::auto().score(&r1.query).expect("scores");
+    let s2 = Propagation::auto().score(&r2.query).expect("scores");
+    for (&a1, &a2) in r1.query.answers().iter().zip(r2.query.answers()) {
+        assert_eq!(s1.get(a1), s2.get(a2));
+    }
+}
+
+#[test]
+fn different_seeds_give_different_worlds() {
+    let w1 = World::generate(WorldParams { seed: 1, ..WorldParams::default() });
+    let w2 = World::generate(WorldParams { seed: 2, ..WorldParams::default() });
+    // Population structure is pinned by the paper's tables...
+    assert_eq!(w1.profiles.len(), w2.profiles.len());
+    // ...but the evidence draws differ.
+    assert_ne!(w1.blast.hits, w2.blast.hits);
+}

@@ -1,0 +1,146 @@
+//! Regression tests pinning the paper's headline claims on the default
+//! world. If a refactor or retune breaks the reproduced *shape* of the
+//! evaluation (Figs. 5–8), these tests fail.
+//!
+//! Thresholds are deliberately loose — they encode orderings and coarse
+//! gaps, not decimals.
+
+use biorank::eval::{evaluate, random_baseline, Scenario};
+use biorank::prelude::*;
+
+fn scenario_aps(scenario: Scenario) -> (Vec<(String, f64)>, f64) {
+    let world = World::generate(WorldParams::default());
+    let cases = build_cases(&world, scenario).expect("cases build");
+    let rankers = biorank::rank::paper_rankers(10_000, 0xB10_C0DE);
+    let results = evaluate(&rankers, &cases).expect("evaluation succeeds");
+    let aps = results
+        .iter()
+        .map(|m| (m.method.clone(), m.summary.mean))
+        .collect();
+    (aps, random_baseline(&cases).summary.mean)
+}
+
+fn ap(aps: &[(String, f64)], name: &str) -> f64 {
+    aps.iter()
+        .find(|(m, _)| m.starts_with(name))
+        .unwrap_or_else(|| panic!("method {name} missing"))
+        .1
+}
+
+#[test]
+fn scenario1_deterministic_methods_hold_their_own() {
+    // Paper Fig. 5a: InEdge/PathCount perform slightly better than
+    // reliability/propagation on well-known functions; diffusion worst;
+    // everything far above random.
+    let (aps, random) = scenario_aps(Scenario::WellKnown);
+    let (rel, prop, diff) = (ap(&aps, "Rel"), ap(&aps, "Prop"), ap(&aps, "Diff"));
+    let (inedge, pathc) = (ap(&aps, "InEdge"), ap(&aps, "PathC"));
+    assert!(inedge >= rel - 0.03, "InEdge {inedge} vs Rel {rel}");
+    assert!(pathc >= rel - 0.05, "PathC {pathc} vs Rel {rel}");
+    assert!(diff < rel - 0.05, "Diff {diff} must be clearly worst vs Rel {rel}");
+    for (name, v) in [("Rel", rel), ("Prop", prop), ("InEdge", inedge), ("PathC", pathc)] {
+        assert!(v > 0.8, "{name} = {v} too low for scenario 1");
+        assert!(v > random + 0.3, "{name} barely beats random");
+    }
+    assert!((random - 0.42).abs() < 0.03, "random baseline {random} (paper: 0.42)");
+}
+
+#[test]
+fn scenario2_probabilistic_methods_win() {
+    // Paper Fig. 5b: the probabilistic methods clearly beat the
+    // deterministic ones on less-known functions; diffusion leads;
+    // InEdge/PathCount do not significantly beat random.
+    let (aps, random) = scenario_aps(Scenario::LessKnown);
+    let (rel, prop, diff) = (ap(&aps, "Rel"), ap(&aps, "Prop"), ap(&aps, "Diff"));
+    let (inedge, pathc) = (ap(&aps, "InEdge"), ap(&aps, "PathC"));
+    assert!(rel > inedge + 0.1, "Rel {rel} must beat InEdge {inedge}");
+    assert!(prop > pathc + 0.1, "Prop {prop} must beat PathC {pathc}");
+    assert!(diff > rel, "Diff {diff} leads scenario 2 (paper: 0.62 vs 0.46)");
+    assert!(inedge < random + 0.1, "InEdge {inedge} ≈ random {random}");
+    assert!(pathc < random + 0.1, "PathC {pathc} ≈ random {random}");
+}
+
+#[test]
+fn scenario3_reliability_and_propagation_best() {
+    // Paper Fig. 5c: reliability and propagation perform best on
+    // hypothetical proteins.
+    let (aps, random) = scenario_aps(Scenario::Hypothetical);
+    let (rel, prop) = (ap(&aps, "Rel"), ap(&aps, "Prop"));
+    let (inedge, pathc) = (ap(&aps, "InEdge"), ap(&aps, "PathC"));
+    assert!(rel > inedge + 0.1, "Rel {rel} vs InEdge {inedge}");
+    assert!(prop > pathc + 0.1, "Prop {prop} vs PathC {pathc}");
+    assert!(rel >= prop - 0.02, "Rel {rel} at least matches Prop {prop}");
+    assert!(inedge > random, "counting still beats random here");
+    assert!((random - 0.29).abs() < 0.03, "random baseline {random} (paper: 0.29)");
+}
+
+#[test]
+fn reductions_shrink_query_graphs_substantially() {
+    // Paper §4: reductions remove ~78% of nodes+edges on the 20
+    // scenario-1 graphs. The paper's figure includes dead-branch
+    // deletion, which our mediator already performs during integration;
+    // we require ≥25% from the rewrite rules alone and ≥40% combined.
+    let world = World::generate(WorldParams::default());
+    let cases = build_cases(&world, Scenario::WellKnown).expect("cases build");
+    let mut rule_ratios = Vec::new();
+    let mut combined_ratios = Vec::new();
+    for case in &cases {
+        let mut q = case.result.query.clone();
+        let src = q.source();
+        let answers = q.answers().to_vec();
+        let stats = biorank::graph::reduction::reduce(q.graph_mut(), src, &answers);
+        rule_ratios.push(stats.shrink_ratio());
+        let raw = (case.result.stats.nodes_raw + case.result.stats.edges_raw) as f64;
+        combined_ratios.push(1.0 - (stats.nodes_after + stats.edges_after) as f64 / raw);
+    }
+    let rule_avg = rule_ratios.iter().sum::<f64>() / rule_ratios.len() as f64;
+    let combined_avg = combined_ratios.iter().sum::<f64>() / combined_ratios.len() as f64;
+    assert!(rule_avg > 0.25, "rule-only shrink ratio {rule_avg} too small");
+    assert!(combined_avg > 0.4, "combined shrink ratio {combined_avg} too small");
+}
+
+#[test]
+fn monte_carlo_with_1000_trials_is_already_accurate() {
+    // Paper Fig. 7: "already 1000 trials achieve high average accuracy".
+    let world = World::generate(WorldParams::default());
+    let cases = build_cases(&world, Scenario::WellKnown).expect("cases build");
+    let thousand = evaluate(
+        &[Box::new(ReducedMc::new(1_000, 5)) as Box<dyn Ranker + Send + Sync>],
+        &cases,
+    )
+    .expect("1k evaluation")[0]
+        .summary
+        .mean;
+    let exact = evaluate(
+        &[Box::new(ClosedReliability::default()) as Box<dyn Ranker + Send + Sync>],
+        &cases,
+    )
+    .expect("exact evaluation")[0]
+        .summary
+        .mean;
+    assert!(
+        (thousand - exact).abs() < 0.03,
+        "1000-trial AP {thousand} vs exact AP {exact}"
+    );
+}
+
+#[test]
+fn theorem_31_bound_matches_paper_example() {
+    let n = biorank::rank::bounds::trials_needed(0.02, 0.05).expect("valid");
+    assert!(n <= 10_000, "paper: 10,000 trials should be enough (bound {n})");
+    assert!(n >= 5_000, "bound {n} suspiciously small");
+}
+
+#[test]
+fn fig1_schema_reducibility_claims() {
+    use biorank::schema::{check_query_reducible, check_reducible};
+    let b = biorank::schema::biorank_schema();
+    assert!(
+        !check_reducible(&b.schema, b.query, &b.hints).is_reducible(),
+        "whole Fig. 1 schema must NOT be reducible (final [n:m])"
+    );
+    assert!(
+        check_query_reducible(&b.schema, b.query, b.amigo, &b.hints).is_reducible(),
+        "per-answer queries must be reducible"
+    );
+}
