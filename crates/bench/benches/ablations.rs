@@ -21,7 +21,11 @@ fn mc_sampling(c: &mut Criterion) {
         b.iter(|| NaiveMc::new(5_000, 1).score(black_box(q)).expect("scores"))
     });
     group.bench_function("traversal_5000", |b| {
-        b.iter(|| TraversalMc::new(5_000, 1).score(black_box(q)).expect("scores"))
+        b.iter(|| {
+            TraversalMc::new(5_000, 1)
+                .score(black_box(q))
+                .expect("scores")
+        })
     });
     group.finish();
 }

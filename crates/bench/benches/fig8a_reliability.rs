@@ -18,19 +18,39 @@ fn fig8a(c: &mut Criterion) {
     group.sample_size(20);
 
     group.bench_function("M1_traversal_mc_10000", |b| {
-        b.iter(|| TraversalMc::new(10_000, 1).score(black_box(q)).expect("scores"))
+        b.iter(|| {
+            TraversalMc::new(10_000, 1)
+                .score(black_box(q))
+                .expect("scores")
+        })
     });
     group.bench_function("M2_traversal_mc_1000", |b| {
-        b.iter(|| TraversalMc::new(1_000, 1).score(black_box(q)).expect("scores"))
+        b.iter(|| {
+            TraversalMc::new(1_000, 1)
+                .score(black_box(q))
+                .expect("scores")
+        })
     });
     group.bench_function("C_closed_solution", |b| {
-        b.iter(|| ClosedReliability::default().score(black_box(q)).expect("scores"))
+        b.iter(|| {
+            ClosedReliability::default()
+                .score(black_box(q))
+                .expect("scores")
+        })
     });
     group.bench_function("R&M1_reduce_mc_10000", |b| {
-        b.iter(|| ReducedMc::new(10_000, 1).score(black_box(q)).expect("scores"))
+        b.iter(|| {
+            ReducedMc::new(10_000, 1)
+                .score(black_box(q))
+                .expect("scores")
+        })
     });
     group.bench_function("R&M2_reduce_mc_1000", |b| {
-        b.iter(|| ReducedMc::new(1_000, 1).score(black_box(q)).expect("scores"))
+        b.iter(|| {
+            ReducedMc::new(1_000, 1)
+                .score(black_box(q))
+                .expect("scores")
+        })
     });
     group.bench_function("naive_mc_10000", |b| {
         b.iter(|| NaiveMc::new(10_000, 1).score(black_box(q)).expect("scores"))

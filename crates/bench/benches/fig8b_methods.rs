@@ -16,7 +16,11 @@ fn fig8b(c: &mut Criterion) {
     group.sample_size(30);
 
     group.bench_function("Rel_reduce_mc_1000", |b| {
-        b.iter(|| ReducedMc::new(1_000, 1).score(black_box(q)).expect("scores"))
+        b.iter(|| {
+            ReducedMc::new(1_000, 1)
+                .score(black_box(q))
+                .expect("scores")
+        })
     });
     group.bench_function("Prop", |b| {
         b.iter(|| Propagation::auto().score(black_box(q)).expect("scores"))

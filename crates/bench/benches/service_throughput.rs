@@ -1,0 +1,116 @@
+//! Throughput of the serving layer: cached vs uncached queries/sec
+//! through `QueryEngine`, plus the worker-pool batch path.
+//!
+//! The acceptance numbers to look at: `cached_result_hit` must be
+//! orders of magnitude faster than `uncached_cold` (it skips both
+//! integration and scoring), and `graph_hit_rescore` sits in between
+//! (integration cached, scoring recomputed).
+
+use std::sync::Arc;
+
+use biorank_mediator::Mediator;
+use biorank_schema::biorank_schema_with_ontology;
+use biorank_service::{Method, QueryEngine, QueryRequest, RankerSpec, WorkerPool};
+use biorank_sources::{World, WorldParams};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn mediator() -> Mediator {
+    let world = World::generate(WorldParams::default());
+    Mediator::new(biorank_schema_with_ontology().schema, world.registry())
+}
+
+fn request(protein: &str) -> QueryRequest {
+    QueryRequest::protein_functions(
+        protein,
+        RankerSpec {
+            method: Method::Reliability,
+            trials: 1_000,
+            seed: 42,
+        },
+    )
+}
+
+fn service_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("service_throughput");
+    group.sample_size(20);
+
+    // Cold path: cache disabled, every call integrates + scores.
+    let uncached = QueryEngine::with_cache_capacity(mediator(), 0);
+    let req = request("GALT");
+    group.bench_function("uncached_cold", |b| {
+        b.iter(|| uncached.execute(black_box(&req)).expect("query"))
+    });
+
+    // Graph cache hit, scores recomputed: alternate two specs that
+    // share the integration but miss the (tiny) result cache.
+    let rescore = QueryEngine::with_cache_capacity(mediator(), 1);
+    rescore.execute(&req).expect("warm the graph cache");
+    let specs = [
+        request("GALT"),
+        QueryRequest::protein_functions(
+            "GALT",
+            RankerSpec {
+                method: Method::Reliability,
+                trials: 1_000,
+                seed: 43,
+            },
+        ),
+    ];
+    let mut flip = 0usize;
+    group.bench_function("graph_hit_rescore", |b| {
+        b.iter(|| {
+            flip += 1;
+            rescore.execute(black_box(&specs[flip % 2])).expect("query")
+        })
+    });
+
+    // Fully cached: the acceptance-criteria "repeated identical query".
+    let cached = QueryEngine::new(mediator());
+    cached.execute(&req).expect("warm both caches");
+    group.bench_function("cached_result_hit", |b| {
+        b.iter(|| cached.execute(black_box(&req)).expect("query"))
+    });
+
+    group.finish();
+}
+
+fn batch_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("service_batch");
+    group.sample_size(10);
+
+    let batch = || -> Vec<QueryRequest> {
+        ["GALT", "ABCC8", "CFTR", "EYA1", "LPL", "MLH1"]
+            .iter()
+            .flat_map(|p| {
+                [42u64, 43, 44].map(|s| {
+                    QueryRequest::protein_functions(
+                        p,
+                        RankerSpec {
+                            method: Method::Reliability,
+                            trials: 500,
+                            seed: s,
+                        },
+                    )
+                })
+            })
+            .collect()
+    };
+
+    for workers in [1usize, 4] {
+        // Cache disabled so every batch does real work.
+        let engine = Arc::new(QueryEngine::with_cache_capacity(mediator(), 0));
+        let pool = WorkerPool::new(workers);
+        group.bench_function(&format!("uncached_batch18_workers{workers}"), |b| {
+            b.iter(|| {
+                let out = pool.run_batch(&engine, black_box(batch()));
+                assert!(out.iter().all(Result::is_ok));
+            })
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, service_throughput, batch_scaling);
+criterion_main!(benches);

@@ -6,25 +6,44 @@
 //! biorank explain <PROTEIN> <GO>       show the evidence paths behind one answer
 //! biorank topk <PROTEIN> <K>           adaptive top-k with a confidence certificate
 //! biorank scenarios                     the paper's Fig. 5 evaluation
+//! biorank serve [options]               run the concurrent query service
 //!
 //! query options:
-//!   --method rel|prop|diff|inedge|pathc   ranking semantics (default rel)
+//!   --method rel|mc|prop|diff|inedge|pathc   ranking semantics (default rel)
 //!   --top N                               rows to print (default 10)
 //!   --extended                            use the full 11-source federation
 //!   --seed S                              world seed (default paper seed)
+//!   --trials N                            Monte Carlo trials (default 10000)
+//!   --addr HOST:PORT                      send the query to a running
+//!                                         `biorank serve` instead of
+//!                                         executing locally
+//!
+//! serve options:
+//!   --addr HOST:PORT                      bind address (default 127.0.0.1:7878)
+//!   --workers N                           query worker threads (default 4)
+//!   --cache N                             per-layer LRU capacity (default 512)
+//!   --extended / --seed S                 world selection, as above
 //! ```
 
 use std::process::ExitCode;
+use std::sync::Arc;
 
 use biorank::prelude::*;
 use biorank::rank::{explain::explain, TopK};
 use biorank::schema::biorank_schema_full;
+use biorank::service::{
+    Client, Method, QueryEngine, QueryRequest, RankerSpec, ServeOptions, Server,
+};
 
 struct Options {
     method: String,
     top: usize,
     extended: bool,
     seed: u64,
+    trials: u32,
+    addr: Option<String>,
+    workers: usize,
+    cache: usize,
     positional: Vec<String>,
 }
 
@@ -34,6 +53,10 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         top: 10,
         extended: false,
         seed: 0xB10_C0DE,
+        trials: 10_000,
+        addr: None,
+        workers: 4,
+        cache: biorank::service::DEFAULT_CACHE_CAPACITY,
         positional: Vec::new(),
     };
     let mut i = 0;
@@ -41,10 +64,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         match args[i].as_str() {
             "--method" => {
                 i += 1;
-                opts.method = args
-                    .get(i)
-                    .ok_or("--method needs a value")?
-                    .to_lowercase();
+                opts.method = args.get(i).ok_or("--method needs a value")?.to_lowercase();
             }
             "--top" => {
                 i += 1;
@@ -59,6 +79,35 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     .get(i)
                     .and_then(|v| v.parse().ok())
                     .ok_or("--seed needs a number")?;
+            }
+            "--trials" => {
+                i += 1;
+                opts.trials = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--trials needs a number")?;
+            }
+            "--addr" => {
+                i += 1;
+                opts.addr = Some(
+                    args.get(i)
+                        .ok_or("--addr needs a HOST:PORT value")?
+                        .to_string(),
+                );
+            }
+            "--workers" => {
+                i += 1;
+                opts.workers = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--workers needs a number")?;
+            }
+            "--cache" => {
+                i += 1;
+                opts.cache = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--cache needs a number")?;
             }
             "--extended" => opts.extended = true,
             flag if flag.starts_with("--") => {
@@ -86,9 +135,10 @@ fn build(opts: &Options) -> (World, Mediator) {
     (world, mediator)
 }
 
-fn ranker_for(method: &str) -> Result<Box<dyn Ranker + Send + Sync>, String> {
+fn ranker_for(method: &str, trials: u32) -> Result<Box<dyn Ranker + Send + Sync>, String> {
     Ok(match method {
-        "rel" | "reliability" => Box::new(ReducedMc::new(10_000, 42)),
+        "rel" | "reliability" => Box::new(ReducedMc::new(trials, 42)),
+        "mc" | "relmc" => Box::new(TraversalMc::new(trials, 42)),
         "prop" | "propagation" => Box::new(Propagation::auto()),
         "diff" | "diffusion" => Box::new(Diffusion::auto()),
         "inedge" => Box::new(InEdge),
@@ -110,7 +160,94 @@ fn cmd_proteins(opts: &Options) -> Result<(), String> {
     Ok(())
 }
 
+fn remote_spec(opts: &Options) -> Result<RankerSpec, String> {
+    let method = Method::parse(&opts.method).ok_or_else(|| {
+        format!(
+            "unknown method {:?} (expected rel|mc|prop|diff|inedge|pathc)",
+            opts.method
+        )
+    })?;
+    Ok(RankerSpec {
+        method,
+        trials: opts.trials,
+        seed: RankerSpec::DEFAULT_SEED,
+    })
+}
+
+/// `biorank query <PROTEIN> --addr HOST:PORT`: execute against a
+/// running `biorank serve` over the line protocol.
+fn cmd_query_remote(opts: &Options, addr: &str) -> Result<(), String> {
+    let protein = opts
+        .positional
+        .first()
+        .ok_or("usage: biorank query <PROTEIN> --addr HOST:PORT")?;
+    let mut client = Client::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let request = QueryRequest {
+        query: ExploratoryQuery::protein_functions(protein),
+        spec: remote_spec(opts)?,
+        top: Some(opts.top),
+    };
+    let response = client.query(&request).map_err(|e| e.to_string())?;
+    println!(
+        "{protein}: {} candidate functions via {addr}, method {} ({}, {} µs)",
+        response.total_answers,
+        opts.method,
+        match (response.cached_graph, response.cached_scores) {
+            (_, true) => "result cache hit",
+            (true, false) => "graph cache hit",
+            (false, false) => "cold",
+        },
+        response.micros
+    );
+    for a in &response.answers {
+        let rank = if a.rank_lo == a.rank_hi {
+            a.rank_lo.to_string()
+        } else {
+            format!("{}-{}", a.rank_lo, a.rank_hi)
+        };
+        println!(
+            "{rank:>6}  {:<12} {:<42} {:>8.4}",
+            a.key,
+            truncate(&a.label, 42),
+            a.score
+        );
+    }
+    Ok(())
+}
+
+/// `biorank serve`: bind the concurrent query service and run until
+/// killed.
+fn cmd_serve(opts: &Options) -> Result<(), String> {
+    let (_, mediator) = build(opts);
+    let engine = Arc::new(QueryEngine::with_cache_capacity(mediator, opts.cache));
+    let addr = opts.addr.as_deref().unwrap_or("127.0.0.1:7878");
+    let server = Server::bind(
+        addr,
+        engine,
+        ServeOptions {
+            workers: opts.workers,
+        },
+    )
+    .map_err(|e| format!("bind {addr}: {e}"))?;
+    println!(
+        "biorank-serve listening on {} ({} workers, cache capacity {}, world seed {:#x}{})",
+        server.local_addr().map_err(|e| e.to_string())?,
+        opts.workers.max(1),
+        opts.cache,
+        opts.seed,
+        if opts.extended {
+            ", extended federation"
+        } else {
+            ""
+        }
+    );
+    server.run().map_err(|e| e.to_string())
+}
+
 fn cmd_query(opts: &Options) -> Result<(), String> {
+    if let Some(addr) = opts.addr.clone() {
+        return cmd_query_remote(opts, &addr);
+    }
     let protein = opts
         .positional
         .first()
@@ -120,7 +257,7 @@ fn cmd_query(opts: &Options) -> Result<(), String> {
         .execute(&ExploratoryQuery::protein_functions(protein))
         .map_err(|e| e.to_string())?;
     let q = &result.query;
-    let ranker = ranker_for(&opts.method)?;
+    let ranker = ranker_for(&opts.method, opts.trials)?;
     let scores = ranker.score(q).map_err(|e| e.to_string())?;
     let ranking = Ranking::rank(scores.answers(q));
     println!(
@@ -170,11 +307,7 @@ fn cmd_explain(opts: &Options) -> Result<(), String> {
         .find(|&a| result.answer_key(a) == Some(go_key.as_str()))
         .ok_or_else(|| format!("{go_key} is not a candidate function of {protein}"))?;
     let ex = explain(q, answer, Some(32)).map_err(|e| e.to_string())?;
-    println!(
-        "{} ({}) for {protein}:",
-        go_key,
-        result.label(answer)
-    );
+    println!("{} ({}) for {protein}:", go_key, result.label(answer));
     println!(
         "  reliability {:.4}; {} evidence path{}{}; independent-paths bound {:.4}",
         ex.reliability,
@@ -186,12 +319,13 @@ fn cmd_explain(opts: &Options) -> Result<(), String> {
     // The explanation subgraph carries its own labels.
     let st = q.single_target(answer).map_err(|e| e.to_string())?;
     for (i, path) in ex.paths.iter().enumerate().take(opts.top) {
-        let hops: Vec<&str> = path
-            .nodes
-            .iter()
-            .map(|&n| st.graph.node_label(n))
-            .collect();
-        println!("  #{:<2} p={:.4}  {}", i + 1, path.probability, hops.join(" → "));
+        let hops: Vec<&str> = path.nodes.iter().map(|&n| st.graph.node_label(n)).collect();
+        println!(
+            "  #{:<2} p={:.4}  {}",
+            i + 1,
+            path.probability,
+            hops.join(" → ")
+        );
     }
     Ok(())
 }
@@ -210,9 +344,7 @@ fn cmd_topk(opts: &Options) -> Result<(), String> {
     let result = mediator
         .execute(&ExploratoryQuery::protein_functions(protein))
         .map_err(|e| e.to_string())?;
-    let out = TopK::new(k)
-        .run(&result.query)
-        .map_err(|e| e.to_string())?;
+    let out = TopK::new(k).run(&result.query).map_err(|e| e.to_string())?;
     println!(
         "top-{k} of {} candidates after {} trials ({}):",
         result.query.answers().len(),
@@ -265,7 +397,7 @@ fn truncate(s: &str, n: usize) -> String {
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = args.first().cloned() else {
-        eprintln!("usage: biorank <proteins|query|explain|topk|scenarios> [args]");
+        eprintln!("usage: biorank <proteins|query|explain|topk|scenarios|serve> [args]");
         eprintln!("see `biorank --help` in the README for details");
         return ExitCode::FAILURE;
     };
@@ -282,6 +414,7 @@ fn main() -> ExitCode {
         "explain" => cmd_explain(&opts),
         "topk" => cmd_topk(&opts),
         "scenarios" => cmd_scenarios(&opts),
+        "serve" => cmd_serve(&opts),
         other => Err(format!("unknown command {other:?}")),
     };
     match run {

@@ -19,6 +19,8 @@
 //! * [`rank`] — the five ranking semantics ([`biorank_rank`]).
 //! * [`eval`] — average precision, scenarios, sensitivity analysis
 //!   ([`biorank_eval`]).
+//! * [`service`] — the concurrent query service: cached integration,
+//!   batched scoring, TCP line protocol ([`biorank_service`]).
 //!
 //! ## Quick start
 //!
@@ -52,6 +54,7 @@ pub use biorank_graph as graph;
 pub use biorank_mediator as mediator;
 pub use biorank_rank as rank;
 pub use biorank_schema as schema;
+pub use biorank_service as service;
 pub use biorank_sources as sources;
 
 /// The most common imports, re-exported flat.
@@ -62,16 +65,15 @@ pub mod prelude {
     };
     pub use biorank_graph::{EdgeId, NodeId, Prob, ProbGraph, QueryGraph};
     pub use biorank_mediator::{ExploratoryQuery, IntegrationResult, Mediator};
-    pub use biorank_schema::{
-        biorank_schema, biorank_schema_with_ontology, Cardinality, EvidenceCode, Schema,
-        StatusCode,
-    };
-    pub use biorank_sources::{
-        FunctionClass, GoTerm, Link, Record, Registry, Source, World, WorldParams,
-    };
     pub use biorank_rank::{
         ClosedReliability, Diffusion, InEdge, NaiveMc, PathCount, Propagation, Ranker, Ranking,
         ReducedMc, Scores, TraversalMc,
+    };
+    pub use biorank_schema::{
+        biorank_schema, biorank_schema_with_ontology, Cardinality, EvidenceCode, Schema, StatusCode,
+    };
+    pub use biorank_sources::{
+        FunctionClass, GoTerm, Link, Record, Registry, Source, World, WorldParams,
     };
 }
 

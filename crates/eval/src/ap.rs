@@ -121,7 +121,10 @@ mod tests {
         let mut last_score = f64::INFINITY;
         for &(id, score) in &sorted {
             if score == last_score {
-                groups.last_mut().expect("non-empty on equal score").push(id);
+                groups
+                    .last_mut()
+                    .expect("non-empty on equal score")
+                    .push(id);
             } else {
                 groups.push(vec![id]);
                 last_score = score;
@@ -186,16 +189,10 @@ mod tests {
 
     #[test]
     fn tie_free_ranking_matches_strict_ap() {
-        let ranking = Ranking::rank(vec![
-            (n(0), 0.9),
-            (n(1), 0.7),
-            (n(2), 0.5),
-            (n(3), 0.3),
-        ]);
+        let ranking = Ranking::rank(vec![(n(0), 0.9), (n(1), 0.7), (n(2), 0.5), (n(3), 0.3)]);
         let relevant = |x: NodeId| x == n(0) || x == n(2);
         let tie_aware = average_precision(&ranking, relevant).unwrap();
-        let strict =
-            average_precision_strict(&ranking.relevance_vector(relevant)).unwrap();
+        let strict = average_precision_strict(&ranking.relevance_vector(relevant)).unwrap();
         assert!((tie_aware - strict).abs() < 1e-12);
     }
 
@@ -205,12 +202,8 @@ mod tests {
         let scored = [(0, 0.9), (1, 0.5), (2, 0.5), (3, 0.5), (4, 0.1)];
         let relevant = [1usize, 4];
         let brute = brute_force_expected_ap(&scored, &relevant);
-        let ranking =
-            Ranking::rank(scored.iter().map(|&(i, s)| (n(i), s)).collect());
-        let fast = average_precision(&ranking, |x| {
-            relevant.contains(&x.index())
-        })
-        .unwrap();
+        let ranking = Ranking::rank(scored.iter().map(|&(i, s)| (n(i), s)).collect());
+        let fast = average_precision(&ranking, |x| relevant.contains(&x.index())).unwrap();
         assert!((brute - fast).abs() < 1e-9, "brute {brute} vs fast {fast}");
     }
 
@@ -219,10 +212,8 @@ mod tests {
         let scored = [(0, 0.5), (1, 0.5), (2, 0.5), (3, 0.5)];
         let relevant = [0usize, 2];
         let brute = brute_force_expected_ap(&scored, &relevant);
-        let ranking =
-            Ranking::rank(scored.iter().map(|&(i, s)| (n(i), s)).collect());
-        let fast =
-            average_precision(&ranking, |x| relevant.contains(&x.index())).unwrap();
+        let ranking = Ranking::rank(scored.iter().map(|&(i, s)| (n(i), s)).collect());
+        let fast = average_precision(&ranking, |x| relevant.contains(&x.index())).unwrap();
         assert!((brute - fast).abs() < 1e-9, "brute {brute} vs fast {fast}");
     }
 
@@ -261,7 +252,10 @@ mod tests {
         }
         let sim = total / m as f64;
         let formula = random_ap(k, nn).unwrap();
-        assert!((sim - formula).abs() < 0.01, "sim {sim} vs formula {formula}");
+        assert!(
+            (sim - formula).abs() < 0.01,
+            "sim {sim} vs formula {formula}"
+        );
     }
 
     #[test]
@@ -275,8 +269,7 @@ mod tests {
 
     #[test]
     fn perfect_ranking_has_ap_one() {
-        let scored: Vec<(NodeId, f64)> =
-            (0..8).map(|i| (n(i), 1.0 - 0.1 * i as f64)).collect();
+        let scored: Vec<(NodeId, f64)> = (0..8).map(|i| (n(i), 1.0 - 0.1 * i as f64)).collect();
         let ranking = Ranking::rank(scored);
         let ap = average_precision(&ranking, |x| x.index() < 3).unwrap();
         assert!((ap - 1.0).abs() < 1e-12);
@@ -287,7 +280,11 @@ mod tests {
         use biorank_rank::TieGroup;
         // One group of 2 with 1 relevant: E[AP] over [R,N] and [N,R]
         // = (1 + 1/2) / 2 = 0.75.
-        let groups = [TieGroup { rank_lo: 1, size: 2, relevant: 1 }];
+        let groups = [TieGroup {
+            rank_lo: 1,
+            size: 2,
+            relevant: 1,
+        }];
         let ap = average_precision_groups(&groups).unwrap();
         assert!((ap - 0.75).abs() < 1e-12);
         assert_eq!(average_precision_groups(&[]), None);

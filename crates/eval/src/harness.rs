@@ -185,11 +185,8 @@ mod tests {
     fn sensitivity_with_zero_sigma_equals_default() {
         let cases = small_cases();
         let ranker = Propagation::auto();
-        let direct = evaluate(
-            &[Box::new(ranker) as Box<dyn Ranker + Send + Sync>],
-            &cases,
-        )
-        .unwrap();
+        let direct =
+            evaluate(&[Box::new(ranker) as Box<dyn Ranker + Send + Sync>], &cases).unwrap();
         let sens = sensitivity_ap(&ranker, &cases, 0.0, 3, 1).unwrap();
         assert!((sens.mean - direct[0].summary.mean).abs() < 1e-12);
         assert!(sens.std_dev < 1e-12, "zero noise has zero spread");
@@ -199,11 +196,8 @@ mod tests {
     fn random_assignment_degrades_ranking() {
         let cases = small_cases();
         let ranker = Propagation::auto();
-        let default_ap = evaluate(
-            &[Box::new(ranker) as Box<dyn Ranker + Send + Sync>],
-            &cases,
-        )
-        .unwrap()[0]
+        let default_ap = evaluate(&[Box::new(ranker) as Box<dyn Ranker + Send + Sync>], &cases)
+            .unwrap()[0]
             .summary
             .mean;
         let randomized = random_assignment_ap(&ranker, &cases, 5, 3).unwrap();

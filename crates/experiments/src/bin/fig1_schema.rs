@@ -10,14 +10,23 @@ fn main() {
     let b = biorank_schema();
     println!("Fig. 1 mediated query schema (entity sets and relationships):");
     for (_, es) in b.schema.entity_sets() {
-        println!("  entity {:<14} source={:<14} ps={:.2}", es.name, es.source, es.ps.get());
+        println!(
+            "  entity {:<14} source={:<14} ps={:.2}",
+            es.name,
+            es.source,
+            es.ps.get()
+        );
     }
     for (_, r) in b.schema.relationships() {
         let from = &b.schema.entity_set(r.from).name;
         let to = &b.schema.entity_set(r.to).name;
         println!(
             "  rel    {:<14} {:<14} → {:<14} {}  qs={:.2}",
-            r.name, from, to, r.cardinality, r.qs.get()
+            r.name,
+            from,
+            to,
+            r.cardinality,
+            r.qs.get()
         );
     }
 

@@ -38,9 +38,9 @@ fn main() {
     println!("Fig. 2c  Wheatstone bridge (data level):");
     let (g, src, t) = reduction::wheatstone(Prob::HALF);
     match reduction::closed_form(g, src, t) {
-        reduction::ClosedForm::Stuck { nodes, edges } => println!(
-            "  reduction rules stuck at {nodes} nodes / {edges} edges (irreducible)"
-        ),
+        reduction::ClosedForm::Stuck { nodes, edges } => {
+            println!("  reduction rules stuck at {nodes} nodes / {edges} edges (irreducible)")
+        }
         reduction::ClosedForm::Solved(r) => println!("  unexpectedly solved: r = {r}"),
     }
 

@@ -10,9 +10,7 @@
 //! Usage: `fig6 [reps]` (default 20; the paper used m = 100).
 
 use biorank_eval::report::table;
-use biorank_eval::{
-    evaluate, random_assignment_ap, sensitivity_ap, Scenario,
-};
+use biorank_eval::{evaluate, random_assignment_ap, sensitivity_ap, Scenario};
 use biorank_experiments::{all_scenarios, default_world, DEFAULT_SEED, DEFAULT_TRIALS};
 use biorank_rank::{Diffusion, Propagation, Ranker, ReducedMc};
 
@@ -29,7 +27,11 @@ fn main() {
         Box::new(Propagation::auto()),
         Box::new(Diffusion::auto()),
     ];
-    let scenario_names = [Scenario::WellKnown, Scenario::LessKnown, Scenario::Hypothetical];
+    let scenario_names = [
+        Scenario::WellKnown,
+        Scenario::LessKnown,
+        Scenario::Hypothetical,
+    ];
 
     for (scenario, cases) in scenario_names.iter().zip([&s1, &s2, &s3]) {
         let mut rows = Vec::new();

@@ -86,24 +86,42 @@ fn main() {
 
     // (a) reliability strategies.
     let strategies: Vec<Timed<'_>> = vec![
-        ("naive M1", Box::new(|c: &ScenarioCase| {
-            let _ = NaiveMc::new(10_000, DEFAULT_SEED).score(&c.result.query);
-        })),
-        ("M1", Box::new(|c: &ScenarioCase| {
-            let _ = TraversalMc::new(10_000, DEFAULT_SEED).score(&c.result.query);
-        })),
-        ("M2", Box::new(|c: &ScenarioCase| {
-            let _ = TraversalMc::new(1_000, DEFAULT_SEED).score(&c.result.query);
-        })),
-        ("C", Box::new(|c: &ScenarioCase| {
-            let _ = ClosedReliability::default().score(&c.result.query);
-        })),
-        ("R&M1", Box::new(|c: &ScenarioCase| {
-            let _ = ReducedMc::new(10_000, DEFAULT_SEED).score(&c.result.query);
-        })),
-        ("R&M2", Box::new(|c: &ScenarioCase| {
-            let _ = ReducedMc::new(1_000, DEFAULT_SEED).score(&c.result.query);
-        })),
+        (
+            "naive M1",
+            Box::new(|c: &ScenarioCase| {
+                let _ = NaiveMc::new(10_000, DEFAULT_SEED).score(&c.result.query);
+            }),
+        ),
+        (
+            "M1",
+            Box::new(|c: &ScenarioCase| {
+                let _ = TraversalMc::new(10_000, DEFAULT_SEED).score(&c.result.query);
+            }),
+        ),
+        (
+            "M2",
+            Box::new(|c: &ScenarioCase| {
+                let _ = TraversalMc::new(1_000, DEFAULT_SEED).score(&c.result.query);
+            }),
+        ),
+        (
+            "C",
+            Box::new(|c: &ScenarioCase| {
+                let _ = ClosedReliability::default().score(&c.result.query);
+            }),
+        ),
+        (
+            "R&M1",
+            Box::new(|c: &ScenarioCase| {
+                let _ = ReducedMc::new(10_000, DEFAULT_SEED).score(&c.result.query);
+            }),
+        ),
+        (
+            "R&M2",
+            Box::new(|c: &ScenarioCase| {
+                let _ = ReducedMc::new(1_000, DEFAULT_SEED).score(&c.result.query);
+            }),
+        ),
     ];
     let mut rows = Vec::new();
     let mut naive_ms = 0.0;
@@ -129,21 +147,36 @@ fn main() {
 
     // (b) the five ranking methods.
     let methods: Vec<Timed<'_>> = vec![
-        ("Rel", Box::new(|c: &ScenarioCase| {
-            let _ = ReducedMc::new(1_000, DEFAULT_SEED).score(&c.result.query);
-        })),
-        ("Prop", Box::new(|c: &ScenarioCase| {
-            let _ = Propagation::auto().score(&c.result.query);
-        })),
-        ("Diff", Box::new(|c: &ScenarioCase| {
-            let _ = Diffusion::auto().score(&c.result.query);
-        })),
-        ("InEdge", Box::new(|c: &ScenarioCase| {
-            let _ = InEdge.score(&c.result.query);
-        })),
-        ("PathC", Box::new(|c: &ScenarioCase| {
-            let _ = PathCount.score(&c.result.query);
-        })),
+        (
+            "Rel",
+            Box::new(|c: &ScenarioCase| {
+                let _ = ReducedMc::new(1_000, DEFAULT_SEED).score(&c.result.query);
+            }),
+        ),
+        (
+            "Prop",
+            Box::new(|c: &ScenarioCase| {
+                let _ = Propagation::auto().score(&c.result.query);
+            }),
+        ),
+        (
+            "Diff",
+            Box::new(|c: &ScenarioCase| {
+                let _ = Diffusion::auto().score(&c.result.query);
+            }),
+        ),
+        (
+            "InEdge",
+            Box::new(|c: &ScenarioCase| {
+                let _ = InEdge.score(&c.result.query);
+            }),
+        ),
+        (
+            "PathC",
+            Box::new(|c: &ScenarioCase| {
+                let _ = PathCount.score(&c.result.query);
+            }),
+        ),
     ];
     let mut rows = Vec::new();
     for (name, f) in &methods {

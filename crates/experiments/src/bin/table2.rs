@@ -36,8 +36,7 @@ fn main() {
             let meta = TABLE2
                 .iter()
                 .find(|r| {
-                    r.protein == case.protein
-                        && biorank_sources::GoTerm(r.go).to_string() == *key
+                    r.protein == case.protein && biorank_sources::GoTerm(r.go).to_string() == *key
                 })
                 .expect("table2 row");
             let mut row = vec![
@@ -56,8 +55,15 @@ fn main() {
         "{}",
         table(
             &[
-                "Protein", "Function", "PubMedID (year)", "Rel", "Prop", "Diff", "InEdge",
-                "PathC", "Random"
+                "Protein",
+                "Function",
+                "PubMedID (year)",
+                "Rel",
+                "Prop",
+                "Diff",
+                "InEdge",
+                "PathC",
+                "Random"
             ],
             &rows
         )

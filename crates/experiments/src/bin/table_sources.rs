@@ -37,7 +37,12 @@ fn main() {
     println!("e-value → qr = −(1/300)·ln(e)");
     let rows: Vec<Vec<String>> = [1.0, 1e-10, 1e-30, 1e-65, 1e-100, 1e-130, 1e-300]
         .iter()
-        .map(|&e| vec![format!("{e:.0e}"), format!("{:.3}", evalue_to_prob(e).get())])
+        .map(|&e| {
+            vec![
+                format!("{e:.0e}"),
+                format!("{:.3}", evalue_to_prob(e).get()),
+            ]
+        })
         .collect();
     println!("{}", table(&["e-value", "qr"], &rows));
 }

@@ -88,9 +88,7 @@ pub fn enumerate(g: &ProbGraph, source: NodeId, target: NodeId) -> Result<f64, E
         if weight == 0.0 {
             continue;
         }
-        if world_connects(
-            g, source, target, &node_on, &edge_on, &mut stack, &mut seen,
-        ) {
+        if world_connects(g, source, target, &node_on, &edge_on, &mut stack, &mut seen) {
             total += weight;
         }
     }
@@ -235,7 +233,10 @@ fn factor_rec(
 /// reached); `w` is removed.
 fn contract_into_source(g: &mut ProbGraph, source: NodeId, w: NodeId) {
     debug_assert!(g.node_p(w).is_one(), "contract requires reified nodes");
-    let outs: Vec<(NodeId, Prob)> = g.out_edges(w).map(|e| (g.edge_dst(e), g.edge_q(e))).collect();
+    let outs: Vec<(NodeId, Prob)> = g
+        .out_edges(w)
+        .map(|e| (g.edge_dst(e), g.edge_q(e)))
+        .collect();
     g.remove_node(w);
     for (dst, q) in outs {
         if dst != source {
@@ -274,7 +275,8 @@ impl Reified {
 /// having distinct in/out handles for them.
 pub fn reify(g: &ProbGraph, split_even_if_certain: &[NodeId]) -> Reified {
     let bound = g.node_bound();
-    let mut out_graph = ProbGraph::with_capacity(g.node_count() * 2, g.edge_count() + g.node_count());
+    let mut out_graph =
+        ProbGraph::with_capacity(g.node_count() * 2, g.edge_count() + g.node_count());
     let sentinel = NodeId::from_index(0);
     let mut input_of = vec![sentinel; bound];
     let mut output_of = vec![sentinel; bound];
@@ -423,10 +425,7 @@ mod tests {
             prev = n;
         }
         g.add_edge(prev, t, p(0.5)).unwrap();
-        assert!(matches!(
-            enumerate(&g, s, t),
-            Err(Error::TooLarge { .. })
-        ));
+        assert!(matches!(enumerate(&g, s, t), Err(Error::TooLarge { .. })));
         // Factoring handles it fine (chain reduces to one edge).
         let r = factoring(&g, s, t, None).unwrap();
         assert!(r > 0.0 && r < 1e-9, "0.5^41 ≈ 4.5e-13, got {r}");

@@ -107,7 +107,12 @@ fn connect_layers(
 ///
 /// Trees are the graphs on which Proposition 3.1 says reliability and
 /// propagation coincide; property tests lean on this generator.
-pub fn random_tree(n: usize, seed: u64, node_prob: (f64, f64), edge_prob: (f64, f64)) -> (ProbGraph, NodeId) {
+pub fn random_tree(
+    n: usize,
+    seed: u64,
+    node_prob: (f64, f64),
+    edge_prob: (f64, f64),
+) -> (ProbGraph, NodeId) {
     assert!(n >= 1, "tree needs at least a root");
     let mut rng = StdRng::seed_from_u64(seed);
     let mut g = ProbGraph::new();
@@ -180,10 +185,7 @@ pub fn divergent_star(
     for i in 0..answers {
         let mut prev = source;
         for h in 0..hops - 1 {
-            let n = g.add_labeled_node(
-                sample_prob(&mut rng, node_prob),
-                format!("chain{i}hop{h}"),
-            );
+            let n = g.add_labeled_node(sample_prob(&mut rng, node_prob), format!("chain{i}hop{h}"));
             g.add_edge(prev, n, sample_prob(&mut rng, edge_prob))
                 .expect("chain edge");
             prev = n;
@@ -255,8 +257,16 @@ mod tests {
             a.graph().edge_count() != c.graph().edge_count()
                 || a.graph().node_count() != c.graph().node_count()
                 || {
-                    let ea: Vec<_> = a.graph().edges().map(|e| a.graph().edge_q(e).get()).collect();
-                    let ec: Vec<_> = c.graph().edges().map(|e| c.graph().edge_q(e).get()).collect();
+                    let ea: Vec<_> = a
+                        .graph()
+                        .edges()
+                        .map(|e| a.graph().edge_q(e).get())
+                        .collect();
+                    let ec: Vec<_> = c
+                        .graph()
+                        .edges()
+                        .map(|e| c.graph().edge_q(e).get())
+                        .collect();
                     ea != ec
                 }
         );

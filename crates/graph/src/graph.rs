@@ -262,10 +262,7 @@ impl ProbGraph {
         if !self.node_alive(n) {
             return;
         }
-        let incident: Vec<EdgeId> = self
-            .out_edges(n)
-            .chain(self.in_edges(n))
-            .collect();
+        let incident: Vec<EdgeId> = self.out_edges(n).chain(self.in_edges(n)).collect();
         for e in incident {
             self.remove_edge(e);
         }

@@ -134,16 +134,9 @@ fn delete_dead_nodes(
 }
 
 /// Rule 2: collapse every serial node (1 in-edge, 1 out-edge).
-fn collapse_serial(
-    g: &mut ProbGraph,
-    is_protected: &[bool],
-    stats: &mut ReductionStats,
-) -> bool {
+fn collapse_serial(g: &mut ProbGraph, is_protected: &[bool], stats: &mut ReductionStats) -> bool {
     let mut any = false;
-    let candidates: Vec<NodeId> = g
-        .nodes()
-        .filter(|n| !is_protected[n.index()])
-        .collect();
+    let candidates: Vec<NodeId> = g.nodes().filter(|n| !is_protected[n.index()]).collect();
     let mut worklist = candidates;
     while let Some(x) = worklist.pop() {
         if !g.node_alive(x) || is_protected[x.index()] {

@@ -125,8 +125,7 @@ mod tests {
     fn toposort_orders_diamond() {
         let (g, s, a, b, t) = diamond();
         let order = toposort(&g).unwrap();
-        let pos =
-            |n: NodeId| order.iter().position(|&x| x == n).unwrap();
+        let pos = |n: NodeId| order.iter().position(|&x| x == n).unwrap();
         assert!(pos(s) < pos(a) && pos(s) < pos(b));
         assert!(pos(a) < pos(t) && pos(b) < pos(t));
         assert_eq!(order.len(), 4);

@@ -17,10 +17,7 @@ fn small_graph() -> impl Strategy<Value = (ProbGraph, NodeId, NodeId)> {
     (2usize..=7)
         .prop_flat_map(|n| {
             let probs = proptest::collection::vec(0u8..=8, n);
-            let edges = proptest::collection::vec(
-                ((0usize..n), (0usize..n), 1u8..=8),
-                0..=12,
-            );
+            let edges = proptest::collection::vec(((0usize..n), (0usize..n), 1u8..=8), 0..=12);
             (Just(n), probs, edges)
         })
         .prop_map(|(n, probs, edges)| {

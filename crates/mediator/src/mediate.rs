@@ -144,8 +144,7 @@ impl Mediator {
                 let to = match node_of.get(&node_key) {
                     Some(&n) => n,
                     None => {
-                        let Some(rec) = self.registry.get(&link.to_entity_set, &link.to_key)
-                        else {
+                        let Some(rec) = self.registry.get(&link.to_entity_set, &link.to_key) else {
                             stats.dangling_links += 1;
                             continue;
                         };
@@ -287,7 +286,12 @@ mod tests {
             .unwrap_err();
         assert!(matches!(err, Error::UnknownEntitySet(_)));
         let err = m
-            .execute(&ExploratoryQuery::new("EntrezProtein", "name", "ABCC8", ["Nope"]))
+            .execute(&ExploratoryQuery::new(
+                "EntrezProtein",
+                "name",
+                "ABCC8",
+                ["Nope"],
+            ))
             .unwrap_err();
         assert!(matches!(err, Error::UnknownEntitySet(_)));
     }

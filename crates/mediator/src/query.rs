@@ -7,7 +7,7 @@ use serde::{Deserialize, Serialize};
 /// BioRank's query interface replaced conjunctive queries because
 /// "biologists were not using such an interface effectively" — they
 /// needed exploration, not retrieval (§2).
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct ExploratoryQuery {
     /// The input entity set `P`.
     pub input: String,
@@ -73,10 +73,7 @@ mod tests {
         assert_eq!(q.value, "ABCC8");
         assert!(q.is_output("AmiGO"));
         assert!(!q.is_output("Pfam"));
-        assert_eq!(
-            q.to_string(),
-            "(EntrezProtein.name = \"ABCC8\", {AmiGO})"
-        );
+        assert_eq!(q.to_string(), "(EntrezProtein.name = \"ABCC8\", {AmiGO})");
     }
 
     #[test]

@@ -120,6 +120,9 @@ mod tests {
 
     #[test]
     fn zero_trials_rejected() {
-        assert!(matches!(resolvable_epsilon(0, 0.05), Err(Error::ZeroTrials)));
+        assert!(matches!(
+            resolvable_epsilon(0, 0.05),
+            Err(Error::ZeroTrials)
+        ));
     }
 }

@@ -42,9 +42,7 @@ impl Ranker for PathCount {
 
     fn score(&self, q: &QueryGraph) -> Result<Scores, Error> {
         let counts = topo::count_paths_from(q.graph(), q.source())?;
-        Ok(Scores::from_vec(
-            counts.iter().map(|&c| c as f64).collect(),
-        ))
+        Ok(Scores::from_vec(counts.iter().map(|&c| c as f64).collect()))
     }
 }
 

@@ -124,10 +124,7 @@ fn solve_rbar(inputs: &[(f64, f64)], solver: InnerSolver) -> f64 {
         InnerSolver::FixedPoint => {
             let mut v = 0.0f64;
             for _ in 0..200 {
-                let next: f64 = inputs
-                    .iter()
-                    .map(|&(r, q)| ((r - v) * q).max(0.0))
-                    .sum();
+                let next: f64 = inputs.iter().map(|&(r, q)| ((r - v) * q).max(0.0)).sum();
                 // Damping keeps the iteration from oscillating when the
                 // sum of edge weights exceeds 1.
                 let damped = 0.5 * (v + next);
@@ -245,7 +242,10 @@ mod tests {
             .score(&q)
             .unwrap()
             .get(u);
-        assert!((bis - fp).abs() < 1e-6, "bisection {bis} vs fixed point {fp}");
+        assert!(
+            (bis - fp).abs() < 1e-6,
+            "bisection {bis} vs fixed point {fp}"
+        );
     }
 
     #[test]

@@ -128,9 +128,7 @@ pub fn explain(
                 .unwrap_or(std::cmp::Ordering::Equal)
         });
     }
-    let reliability = crate::ClosedReliability::default()
-        .score(q)?
-        .get(answer);
+    let reliability = crate::ClosedReliability::default().score(q)?.get(answer);
     let independent = Prob::any(paths.iter().map(|p| Prob::clamped(p.probability)));
     Ok(Explanation {
         answer,
@@ -159,8 +157,16 @@ pub fn render(
         label(explanation.answer),
         explanation.reliability,
         explanation.paths.len(),
-        if explanation.paths.len() == 1 { "" } else { "s" },
-        if explanation.truncated { "+, truncated" } else { "" },
+        if explanation.paths.len() == 1 {
+            ""
+        } else {
+            "s"
+        },
+        if explanation.truncated {
+            "+, truncated"
+        } else {
+            ""
+        },
         explanation.independent_paths_score,
     );
     out

@@ -124,10 +124,7 @@ mod tests {
     fn paper_rankers_have_figure_names() {
         let rankers = paper_rankers(100, 1);
         let names: Vec<_> = rankers.iter().map(|r| r.name()).collect();
-        assert_eq!(
-            names,
-            vec!["Rel(R&MC)", "Prop", "Diff", "InEdge", "PathC"]
-        );
+        assert_eq!(names, vec!["Rel(R&MC)", "Prop", "Diff", "InEdge", "PathC"]);
     }
 
     #[test]

@@ -115,8 +115,8 @@ impl TraversalMc {
         TraversalMc { trials, seed }
     }
 
-    /// Runs the trials split across `threads` OS threads (crossbeam
-    /// scoped), merging the per-thread reach counters. Deterministic for
+    /// Runs the trials split across `threads` scoped OS threads,
+    /// merging the per-thread reach counters. Deterministic for
     /// a fixed `(seed, threads)` pair: thread `i` seeds its RNG with
     /// `seed + i` and runs a fixed share of the trials.
     pub fn score_parallel(&self, q: &QueryGraph, threads: usize) -> Result<Scores, Error> {
@@ -128,11 +128,11 @@ impl TraversalMc {
         let extra = self.trials % threads as u32;
         let nb = q.graph().node_bound();
         let mut total = vec![0u64; nb];
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             let handles: Vec<_> = (0..threads)
                 .map(|i| {
                     let share = base + u32::from((i as u32) < extra);
-                    scope.spawn(move |_| run_trials(q, share, self.seed.wrapping_add(i as u64)))
+                    scope.spawn(move || run_trials(q, share, self.seed.wrapping_add(i as u64)))
                 })
                 .collect();
             for h in handles {
@@ -141,8 +141,7 @@ impl TraversalMc {
                     *t += p;
                 }
             }
-        })
-        .expect("crossbeam scope");
+        });
         let n = f64::from(self.trials);
         Ok(Scores::from_vec(
             total.iter().map(|&c| c as f64 / n).collect(),
@@ -235,7 +234,10 @@ mod tests {
             TraversalMc::new(0, 1).score(&q),
             Err(Error::ZeroTrials)
         ));
-        assert!(matches!(NaiveMc::new(0, 1).score(&q), Err(Error::ZeroTrials)));
+        assert!(matches!(
+            NaiveMc::new(0, 1).score(&q),
+            Err(Error::ZeroTrials)
+        ));
     }
 
     #[test]
@@ -324,8 +326,14 @@ mod tests {
     #[test]
     fn parallel_is_deterministic_per_thread_count() {
         let (q, t) = diamond();
-        let a = TraversalMc::new(8_000, 2).score_parallel(&q, 3).unwrap().get(t);
-        let b = TraversalMc::new(8_000, 2).score_parallel(&q, 3).unwrap().get(t);
+        let a = TraversalMc::new(8_000, 2)
+            .score_parallel(&q, 3)
+            .unwrap()
+            .get(t);
+        let b = TraversalMc::new(8_000, 2)
+            .score_parallel(&q, 3)
+            .unwrap()
+            .get(t);
         assert_eq!(a, b);
     }
 

@@ -110,16 +110,20 @@ impl ClosedReliability {
                     modes.push(SolveMode::Closed);
                 }
                 reduction::ClosedForm::Stuck { .. } => {
-                    match exact::factoring(&st.graph, st.source, target, Some(self.factoring_budget))
-                    {
+                    match exact::factoring(
+                        &st.graph,
+                        st.source,
+                        target,
+                        Some(self.factoring_budget),
+                    ) {
                         Ok(r) => {
                             scores.set(t, r);
                             modes.push(SolveMode::Factoring);
                         }
                         Err(biorank_graph::Error::TooLarge { .. }) => {
                             let sub = QueryGraph::new(st.graph, st.source, vec![target])?;
-                            let est = TraversalMc::new(self.fallback_trials, self.seed)
-                                .score(&sub)?;
+                            let est =
+                                TraversalMc::new(self.fallback_trials, self.seed).score(&sub)?;
                             scores.set(t, est.get(target));
                             modes.push(SolveMode::MonteCarlo);
                         }
@@ -204,7 +208,12 @@ mod tests {
         assert!(stats.shrink_ratio() > 0.0, "workflow graphs must shrink");
         for &a in q.answers() {
             let d = (plain.get(a) - reduced.get(a)).abs();
-            assert!(d < 0.02, "answer {a}: plain {} vs reduced {}", plain.get(a), reduced.get(a));
+            assert!(
+                d < 0.02,
+                "answer {a}: plain {} vs reduced {}",
+                plain.get(a),
+                reduced.get(a)
+            );
         }
     }
 

@@ -191,10 +191,8 @@ mod tests {
 
     #[test]
     fn epsilon_grouping_tolerates_noise() {
-        let r = Ranking::rank_with_epsilon(
-            vec![(n(0), 0.5000), (n(1), 0.5001), (n(2), 0.40)],
-            0.001,
-        );
+        let r =
+            Ranking::rank_with_epsilon(vec![(n(0), 0.5000), (n(1), 0.5001), (n(2), 0.40)], 0.001);
         let e = r.rank_of(n(0)).unwrap();
         assert_eq!((e.rank_lo, e.rank_hi), (1, 2));
         assert_eq!(r.rank_of(n(2)).unwrap().rank_lo, 3);
@@ -221,9 +219,21 @@ mod tests {
         assert_eq!(
             groups,
             vec![
-                TieGroup { rank_lo: 1, size: 1, relevant: 1 },
-                TieGroup { rank_lo: 2, size: 3, relevant: 1 },
-                TieGroup { rank_lo: 5, size: 1, relevant: 0 },
+                TieGroup {
+                    rank_lo: 1,
+                    size: 1,
+                    relevant: 1
+                },
+                TieGroup {
+                    rank_lo: 2,
+                    size: 3,
+                    relevant: 1
+                },
+                TieGroup {
+                    rank_lo: 5,
+                    size: 1,
+                    relevant: 0
+                },
             ]
         );
     }

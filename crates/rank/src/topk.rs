@@ -236,11 +236,25 @@ mod tests {
     fn invalid_parameters_rejected() {
         let (q, _) = separated_star();
         assert!(matches!(
-            TopK { k: 1, delta: 0.05, batch: 0, max_trials: 10, seed: 0 }.run(&q),
+            TopK {
+                k: 1,
+                delta: 0.05,
+                batch: 0,
+                max_trials: 10,
+                seed: 0
+            }
+            .run(&q),
             Err(Error::ZeroTrials)
         ));
         assert!(matches!(
-            TopK { k: 1, delta: 1.5, batch: 10, max_trials: 10, seed: 0 }.run(&q),
+            TopK {
+                k: 1,
+                delta: 1.5,
+                batch: 10,
+                max_trials: 10,
+                seed: 0
+            }
+            .run(&q),
             Err(Error::InvalidParameter { .. })
         ));
     }

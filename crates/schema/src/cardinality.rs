@@ -129,7 +129,10 @@ mod tests {
 
     #[test]
     fn fan_in_then_out_is_many_to_many() {
-        assert_eq!(ManyToOne.compose(OneToMany), Composition::Always(ManyToMany));
+        assert_eq!(
+            ManyToOne.compose(OneToMany),
+            Composition::Always(ManyToMany)
+        );
     }
 
     #[test]

@@ -27,17 +27,61 @@ pub struct SourceDecl {
 /// The 11 data sources of paper §2, in table order.
 pub fn source_catalog() -> Vec<SourceDecl> {
     vec![
-        SourceDecl { name: "AmiGO", entity_sets: 1, relationships: 4 },
-        SourceDecl { name: "NCBIBlast", entity_sets: 2, relationships: 3 },
-        SourceDecl { name: "CDD", entity_sets: 3, relationships: 1 },
-        SourceDecl { name: "EntrezGene", entity_sets: 2, relationships: 3 },
-        SourceDecl { name: "EntrezProtein", entity_sets: 1, relationships: 11 },
-        SourceDecl { name: "PDB", entity_sets: 1, relationships: 0 },
-        SourceDecl { name: "Pfam", entity_sets: 2, relationships: 2 },
-        SourceDecl { name: "PIRSF", entity_sets: 2, relationships: 2 },
-        SourceDecl { name: "UniProt", entity_sets: 2, relationships: 2 },
-        SourceDecl { name: "SuperFamily", entity_sets: 3, relationships: 1 },
-        SourceDecl { name: "TIGRFAM", entity_sets: 2, relationships: 2 },
+        SourceDecl {
+            name: "AmiGO",
+            entity_sets: 1,
+            relationships: 4,
+        },
+        SourceDecl {
+            name: "NCBIBlast",
+            entity_sets: 2,
+            relationships: 3,
+        },
+        SourceDecl {
+            name: "CDD",
+            entity_sets: 3,
+            relationships: 1,
+        },
+        SourceDecl {
+            name: "EntrezGene",
+            entity_sets: 2,
+            relationships: 3,
+        },
+        SourceDecl {
+            name: "EntrezProtein",
+            entity_sets: 1,
+            relationships: 11,
+        },
+        SourceDecl {
+            name: "PDB",
+            entity_sets: 1,
+            relationships: 0,
+        },
+        SourceDecl {
+            name: "Pfam",
+            entity_sets: 2,
+            relationships: 2,
+        },
+        SourceDecl {
+            name: "PIRSF",
+            entity_sets: 2,
+            relationships: 2,
+        },
+        SourceDecl {
+            name: "UniProt",
+            entity_sets: 2,
+            relationships: 2,
+        },
+        SourceDecl {
+            name: "SuperFamily",
+            entity_sets: 3,
+            relationships: 1,
+        },
+        SourceDecl {
+            name: "TIGRFAM",
+            entity_sets: 2,
+            relationships: 2,
+        },
     ]
 }
 
@@ -111,18 +155,74 @@ pub fn biorank_schema() -> BiorankSchema {
             .expect("fresh schema relationships")
     };
     // Keyword match from the query node to matching proteins.
-    relationships.push(rel(&mut s, "match", query, entrez_protein, Cardinality::OneToMany, 1.0));
+    relationships.push(rel(
+        &mut s,
+        "match",
+        query,
+        entrez_protein,
+        Cardinality::OneToMany,
+        1.0,
+    ));
     // Sequence-similarity matchers; HMM algorithms (Pfam/TIGRFAM) carry a
     // higher relationship confidence than BLAST.
-    relationships.push(rel(&mut s, "prot2pfam", entrez_protein, pfam, Cardinality::OneToMany, 0.9));
-    relationships.push(rel(&mut s, "prot2tigrfam", entrez_protein, tigrfam, Cardinality::OneToMany, 0.9));
-    relationships.push(rel(&mut s, "prot2blast", entrez_protein, ncbi_blast, Cardinality::OneToMany, 0.7));
+    relationships.push(rel(
+        &mut s,
+        "prot2pfam",
+        entrez_protein,
+        pfam,
+        Cardinality::OneToMany,
+        0.9,
+    ));
+    relationships.push(rel(
+        &mut s,
+        "prot2tigrfam",
+        entrez_protein,
+        tigrfam,
+        Cardinality::OneToMany,
+        0.9,
+    ));
+    relationships.push(rel(
+        &mut s,
+        "prot2blast",
+        entrez_protein,
+        ncbi_blast,
+        Cardinality::OneToMany,
+        0.7,
+    ));
     // NCBIBlast2: foreign key into EntrezGene (qr = 1 on records).
-    relationships.push(rel(&mut s, "blast2gene", ncbi_blast, entrez_gene, Cardinality::ManyToOne, 1.0));
+    relationships.push(rel(
+        &mut s,
+        "blast2gene",
+        ncbi_blast,
+        entrez_gene,
+        Cardinality::ManyToOne,
+        1.0,
+    ));
     // Function annotations: the convergent [n:m] relations into AmiGO.
-    relationships.push(rel(&mut s, "pfam2go", pfam, amigo, Cardinality::ManyToMany, 1.0));
-    relationships.push(rel(&mut s, "tigrfam2go", tigrfam, amigo, Cardinality::ManyToMany, 1.0));
-    relationships.push(rel(&mut s, "gene2go", entrez_gene, amigo, Cardinality::ManyToMany, 1.0));
+    relationships.push(rel(
+        &mut s,
+        "pfam2go",
+        pfam,
+        amigo,
+        Cardinality::ManyToMany,
+        1.0,
+    ));
+    relationships.push(rel(
+        &mut s,
+        "tigrfam2go",
+        tigrfam,
+        amigo,
+        Cardinality::ManyToMany,
+        1.0,
+    ));
+    relationships.push(rel(
+        &mut s,
+        "gene2go",
+        entrez_gene,
+        amigo,
+        Cardinality::ManyToMany,
+        1.0,
+    ));
 
     // Domain knowledge: following a blast hit to its unique gene keeps
     // the fan-out character of the query→hits expansion.
@@ -197,12 +297,33 @@ pub fn biorank_schema_full() -> BiorankSchema {
     let new_rels = [
         rel(s, "prot2pirsf", ep, pirsf, Cardinality::OneToMany, 0.95),
         rel(s, "pirsf2go", pirsf, b.amigo, Cardinality::ManyToMany, 1.0),
-        rel(s, "prot2superfamily", ep, superfamily, Cardinality::OneToMany, 0.8),
-        rel(s, "superfamily2go", superfamily, b.amigo, Cardinality::ManyToMany, 1.0),
+        rel(
+            s,
+            "prot2superfamily",
+            ep,
+            superfamily,
+            Cardinality::OneToMany,
+            0.8,
+        ),
+        rel(
+            s,
+            "superfamily2go",
+            superfamily,
+            b.amigo,
+            Cardinality::ManyToMany,
+            1.0,
+        ),
         rel(s, "prot2cdd", ep, cdd, Cardinality::OneToMany, 0.8),
         rel(s, "cdd2go", cdd, b.amigo, Cardinality::ManyToMany, 1.0),
         rel(s, "prot2uniprot", ep, uniprot, Cardinality::OneToOne, 1.0),
-        rel(s, "uniprot2gene", uniprot, b.entrez_gene, Cardinality::ManyToOne, 1.0),
+        rel(
+            s,
+            "uniprot2gene",
+            uniprot,
+            b.entrez_gene,
+            Cardinality::ManyToOne,
+            1.0,
+        ),
         rel(s, "prot2pdb", ep, pdb, Cardinality::OneToMany, 1.0),
     ];
     b.relationships.extend(new_rels);

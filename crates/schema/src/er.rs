@@ -179,12 +179,18 @@ impl Schema {
     }
 
     /// Relationships leaving entity set `p` (where `from == p`).
-    pub fn outgoing(&self, p: EntitySetId) -> impl Iterator<Item = (RelationshipId, &RelationshipDef)> {
+    pub fn outgoing(
+        &self,
+        p: EntitySetId,
+    ) -> impl Iterator<Item = (RelationshipId, &RelationshipDef)> {
         self.relationships().filter(move |(_, d)| d.from == p)
     }
 
     /// Relationships entering entity set `p` (where `to == p`).
-    pub fn incoming(&self, p: EntitySetId) -> impl Iterator<Item = (RelationshipId, &RelationshipDef)> {
+    pub fn incoming(
+        &self,
+        p: EntitySetId,
+    ) -> impl Iterator<Item = (RelationshipId, &RelationshipDef)> {
         self.relationships().filter(move |(_, d)| d.to == p)
     }
 }
@@ -195,7 +201,9 @@ mod tests {
 
     fn toy() -> Schema {
         let mut s = Schema::new();
-        let gene = s.entity("EntrezGene", "Entrez", &["StatusCode", "idGO"], 0.9).unwrap();
+        let gene = s
+            .entity("EntrezGene", "Entrez", &["StatusCode", "idGO"], 0.9)
+            .unwrap();
         let go = s.entity("AmiGO", "AmiGO", &["EvidenceCode"], 1.0).unwrap();
         s.relationship("gene2go", gene, go, Cardinality::OneToMany, 1.0)
             .unwrap();

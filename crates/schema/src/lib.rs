@@ -18,8 +18,8 @@
 #![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
-pub mod catalog;
 mod cardinality;
+pub mod catalog;
 mod er;
 pub mod metrics;
 pub mod reducible;

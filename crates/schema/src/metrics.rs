@@ -219,7 +219,11 @@ impl std::error::Error for UnknownCode {}
 pub fn evalue_to_prob(e_value: f64) -> Prob {
     if !e_value.is_finite() || e_value <= 0.0 {
         // A mathematically zero e-value means a perfect match.
-        return if e_value == 0.0 { Prob::ONE } else { Prob::ZERO };
+        return if e_value == 0.0 {
+            Prob::ONE
+        } else {
+            Prob::ZERO
+        };
     }
     // `.max(0.0)` also normalizes the negative zero of −ln(1)/300.
     Prob::clamped((-e_value.ln() / 300.0).max(0.0))

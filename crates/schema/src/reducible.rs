@@ -52,13 +52,14 @@ impl ComposeHints {
 
     /// Declares that `left ∘ right` has the given cardinality.
     pub fn declare(&mut self, left: &str, right: &str, card: Cardinality) -> &mut Self {
-        self.map
-            .insert((left.to_string(), right.to_string()), card);
+        self.map.insert((left.to_string(), right.to_string()), card);
         self
     }
 
     fn lookup(&self, left: &str, right: &str) -> Option<Cardinality> {
-        self.map.get(&(left.to_string(), right.to_string())).copied()
+        self.map
+            .get(&(left.to_string(), right.to_string()))
+            .copied()
     }
 }
 
@@ -190,7 +191,9 @@ impl View {
     }
 
     fn out_rels(&self, e: usize) -> Vec<usize> {
-        self.live_rels().filter(|&i| self.rels[i].from == e).collect()
+        self.live_rels()
+            .filter(|&i| self.rels[i].from == e)
+            .collect()
     }
 
     /// Part A base case, extended for per-target mode.
@@ -442,11 +445,16 @@ mod tests {
         let ids: Vec<_> = (0..6)
             .map(|i| s.entity(&format!("P{i}"), "src", &[], 1.0).unwrap())
             .collect();
-        s.relationship("q01", ids[0], ids[1], OneToMany, 1.0).unwrap();
-        s.relationship("q12", ids[1], ids[2], ManyToOne, 1.0).unwrap();
-        s.relationship("q23", ids[2], ids[3], OneToMany, 1.0).unwrap();
-        s.relationship("q34", ids[3], ids[4], ManyToOne, 1.0).unwrap();
-        s.relationship("q45", ids[4], ids[5], OneToMany, 1.0).unwrap();
+        s.relationship("q01", ids[0], ids[1], OneToMany, 1.0)
+            .unwrap();
+        s.relationship("q12", ids[1], ids[2], ManyToOne, 1.0)
+            .unwrap();
+        s.relationship("q23", ids[2], ids[3], OneToMany, 1.0)
+            .unwrap();
+        s.relationship("q34", ids[3], ids[4], ManyToOne, 1.0)
+            .unwrap();
+        s.relationship("q45", ids[4], ids[5], OneToMany, 1.0)
+            .unwrap();
         let mut hints = ComposeHints::none();
         // Innermost compositions first (the theorem's key insight is
         // that order matters); both resolve so that the residual chain
@@ -481,9 +489,12 @@ mod tests {
         let ids: Vec<_> = (0..4)
             .map(|i| s.entity(&format!("P{i}"), "x", &[], 1.0).unwrap())
             .collect();
-        s.relationship("q01", ids[0], ids[1], OneToMany, 1.0).unwrap();
-        s.relationship("q12", ids[1], ids[2], ManyToMany, 1.0).unwrap();
-        s.relationship("q23", ids[2], ids[3], ManyToOne, 1.0).unwrap();
+        s.relationship("q01", ids[0], ids[1], OneToMany, 1.0)
+            .unwrap();
+        s.relationship("q12", ids[1], ids[2], ManyToMany, 1.0)
+            .unwrap();
+        s.relationship("q23", ids[2], ids[3], ManyToOne, 1.0)
+            .unwrap();
         let r = check_reducible(&s, ids[0], &ComposeHints::none());
         assert!(!r.is_reducible(), "got {r:?}");
     }
@@ -496,10 +507,14 @@ mod tests {
         let ids: Vec<_> = (0..5)
             .map(|i| s.entity(&format!("P{i}"), "x", &[], 1.0).unwrap())
             .collect();
-        s.relationship("q01", ids[0], ids[1], OneToMany, 1.0).unwrap();
-        s.relationship("q12", ids[1], ids[2], OneToMany, 1.0).unwrap();
-        s.relationship("q23", ids[2], ids[3], ManyToOne, 1.0).unwrap();
-        s.relationship("q34", ids[3], ids[4], ManyToOne, 1.0).unwrap();
+        s.relationship("q01", ids[0], ids[1], OneToMany, 1.0)
+            .unwrap();
+        s.relationship("q12", ids[1], ids[2], OneToMany, 1.0)
+            .unwrap();
+        s.relationship("q23", ids[2], ids[3], ManyToOne, 1.0)
+            .unwrap();
+        s.relationship("q34", ids[3], ids[4], ManyToOne, 1.0)
+            .unwrap();
         let r = check_reducible(&s, ids[0], &ComposeHints::none());
         assert!(!r.is_reducible(), "got {r:?}");
     }
@@ -538,9 +553,12 @@ mod tests {
         let ids: Vec<_> = (0..4)
             .map(|i| s.entity(&format!("P{i}"), "x", &[], 1.0).unwrap())
             .collect();
-        s.relationship("q01", ids[0], ids[1], OneToMany, 1.0).unwrap();
-        s.relationship("q12", ids[1], ids[2], ManyToOne, 1.0).unwrap();
-        s.relationship("q23", ids[2], ids[3], ManyToOne, 1.0).unwrap();
+        s.relationship("q01", ids[0], ids[1], OneToMany, 1.0)
+            .unwrap();
+        s.relationship("q12", ids[1], ids[2], ManyToOne, 1.0)
+            .unwrap();
+        s.relationship("q23", ids[2], ids[3], ManyToOne, 1.0)
+            .unwrap();
         let mut hints = ComposeHints::none();
         hints.declare("q01", "q12", OneToMany);
         hints.declare("q01∘q12", "q23", OneToMany);
@@ -579,8 +597,10 @@ mod tests {
         let ids: Vec<_> = (0..3)
             .map(|i| s.entity(&format!("P{i}"), "x", &[], 1.0).unwrap())
             .collect();
-        s.relationship("q01", ids[0], ids[1], OneToMany, 1.0).unwrap();
-        s.relationship("q12", ids[1], ids[2], ManyToMany, 1.0).unwrap();
+        s.relationship("q01", ids[0], ids[1], OneToMany, 1.0)
+            .unwrap();
+        s.relationship("q12", ids[1], ids[2], ManyToMany, 1.0)
+            .unwrap();
         assert!(!check_reducible(&s, ids[0], &ComposeHints::none()).is_reducible());
         let r = check_query_reducible(&s, ids[0], ids[2], &ComposeHints::none());
         assert!(r.is_reducible(), "got {r:?}");

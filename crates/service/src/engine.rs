@@ -1,0 +1,411 @@
+//! The query engine: a resident world behind two sharded LRU caches.
+//!
+//! `QueryEngine` wraps a [`Mediator`] plus ranker construction behind
+//! two cache layers:
+//!
+//! 1. **Graph cache** — `ExploratoryQuery → Arc<IntegrationResult>`:
+//!    repeated exploratory queries (the dominant interactive pattern —
+//!    the same protein ranked under different semantics) skip
+//!    re-integrating the world entirely.
+//! 2. **Result cache** — `(ExploratoryQuery, RankerSpec) → ranked
+//!    answers`: an identical query+ranker pair is answered without
+//!    scoring at all.
+//!
+//! Determinism is load-bearing: Monte Carlo rankers are seeded from
+//! `mix(spec.seed, fnv1a(query))`, a value derived only from request
+//! *content*, never from arrival order or worker identity. A batch
+//! therefore produces bit-identical rankings on one worker and on N,
+//! and a cache hit returns exactly what recomputation would.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use biorank_mediator::{ExploratoryQuery, IntegrationResult, Mediator};
+use biorank_rank::{
+    Diffusion, InEdge, PathCount, Propagation, Ranker, Ranking, ReducedMc, TraversalMc,
+};
+
+use crate::cache::{CacheStats, ShardedLru};
+use crate::Error;
+
+/// The ranking semantics a request can ask for, mirroring the paper's
+/// five methods (§3) plus the plain traversal-MC estimator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Method {
+    /// Possible-worlds reliability via reduction + Monte Carlo
+    /// (`ReducedMc`, the paper's headline configuration).
+    Reliability,
+    /// Reliability via plain traversal Monte Carlo (Algorithm 3.1).
+    TraversalMc,
+    /// Propagation (Algorithm 3.2).
+    Propagation,
+    /// Diffusion (Algorithm 3.3).
+    Diffusion,
+    /// Deterministic in-edge count.
+    InEdge,
+    /// Deterministic s→t path count.
+    PathCount,
+}
+
+impl Method {
+    /// Parses the wire / CLI spelling (`rel`, `mc`, `prop`, `diff`,
+    /// `inedge`, `pathc` and a few obvious synonyms).
+    pub fn parse(name: &str) -> Option<Method> {
+        Some(match name.to_ascii_lowercase().as_str() {
+            "rel" | "reliability" => Method::Reliability,
+            "mc" | "relmc" => Method::TraversalMc,
+            "prop" | "propagation" => Method::Propagation,
+            "diff" | "diffusion" => Method::Diffusion,
+            "inedge" => Method::InEdge,
+            "pathc" | "pathcount" => Method::PathCount,
+            _ => return None,
+        })
+    }
+
+    /// The canonical wire spelling.
+    pub fn wire_name(&self) -> &'static str {
+        match self {
+            Method::Reliability => "rel",
+            Method::TraversalMc => "mc",
+            Method::Propagation => "prop",
+            Method::Diffusion => "diff",
+            Method::InEdge => "inedge",
+            Method::PathCount => "pathc",
+        }
+    }
+
+    /// `true` for the Monte Carlo methods whose output depends on
+    /// `(trials, seed)`.
+    pub fn is_stochastic(&self) -> bool {
+        matches!(self, Method::Reliability | Method::TraversalMc)
+    }
+}
+
+/// A ranker configuration — part of the result-cache key.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct RankerSpec {
+    /// Ranking semantics.
+    pub method: Method,
+    /// Monte Carlo trial count (ignored by deterministic methods).
+    pub trials: u32,
+    /// Base RNG seed (ignored by deterministic methods). The effective
+    /// per-query seed also mixes in the query content; see
+    /// [`RankerSpec::effective_seed`].
+    pub seed: u64,
+}
+
+impl RankerSpec {
+    /// Default trial count — the paper's M1 configuration (Theorem 3.1
+    /// bound for ε = 0.02 at 95% confidence).
+    pub const DEFAULT_TRIALS: u32 = 10_000;
+    /// Default base seed, shared with the experiment binaries.
+    pub const DEFAULT_SEED: u64 = 0xB10_C0DE;
+
+    /// A spec for `method` with the default trials/seed.
+    pub fn new(method: Method) -> Self {
+        RankerSpec {
+            method,
+            trials: Self::DEFAULT_TRIALS,
+            seed: Self::DEFAULT_SEED,
+        }
+    }
+
+    /// The seed actually handed to a Monte Carlo ranker for `query`:
+    /// a content-derived mix, so concurrent execution order cannot
+    /// influence results.
+    pub fn effective_seed(&self, query: &ExploratoryQuery) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325; // FNV-1a offset basis
+        let mut eat = |s: &str| {
+            for b in s.as_bytes() {
+                h ^= u64::from(*b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            h ^= 0xff; // field separator
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        };
+        eat(&query.input);
+        eat(&query.attribute);
+        eat(&query.value);
+        for o in &query.outputs {
+            eat(o);
+        }
+        // SplitMix64 finalizer over seed ⊕ content hash.
+        let mut z = self.seed ^ h;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// The spec as used in the result-cache key. Deterministic
+    /// methods ignore `trials`/`seed`, so those fields are normalized
+    /// to zero — requests differing only in an irrelevant seed share
+    /// one cache entry instead of recomputing identical rankings.
+    pub fn cache_key(&self) -> RankerSpec {
+        if self.method.is_stochastic() {
+            *self
+        } else {
+            RankerSpec {
+                method: self.method,
+                trials: 0,
+                seed: 0,
+            }
+        }
+    }
+
+    /// Builds the ranker for one query.
+    pub fn build(&self, query: &ExploratoryQuery) -> Box<dyn Ranker + Send + Sync> {
+        let seed = self.effective_seed(query);
+        match self.method {
+            Method::Reliability => Box::new(ReducedMc::new(self.trials, seed)),
+            Method::TraversalMc => Box::new(TraversalMc::new(self.trials, seed)),
+            Method::Propagation => Box::new(Propagation::auto()),
+            Method::Diffusion => Box::new(Diffusion::auto()),
+            Method::InEdge => Box::new(InEdge),
+            Method::PathCount => Box::new(PathCount),
+        }
+    }
+}
+
+/// One query to execute: what to integrate and how to rank it.
+#[derive(Clone, Debug, PartialEq)]
+pub struct QueryRequest {
+    /// The exploratory query.
+    pub query: ExploratoryQuery,
+    /// Ranker configuration.
+    pub spec: RankerSpec,
+    /// Truncate the response to the first `top` ranked answers
+    /// (`None` = all). Truncation happens at response assembly; the
+    /// cache always holds the full ranking.
+    pub top: Option<usize>,
+}
+
+impl QueryRequest {
+    /// The common case: rank a protein's candidate functions.
+    pub fn protein_functions(protein: &str, spec: RankerSpec) -> Self {
+        QueryRequest {
+            query: ExploratoryQuery::protein_functions(protein),
+            spec,
+            top: None,
+        }
+    }
+}
+
+/// One ranked answer, fully resolved for transport.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RankedAnswer {
+    /// Record key (e.g. the GO term id).
+    pub key: String,
+    /// Display label.
+    pub label: String,
+    /// Relevance score under the requested semantics.
+    pub score: f64,
+    /// First rank of the answer's tie group (1-based).
+    pub rank_lo: usize,
+    /// Last rank of the answer's tie group (1-based).
+    pub rank_hi: usize,
+}
+
+/// The outcome of executing one [`QueryRequest`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct QueryResponse {
+    /// Ranked answers, best first, truncated to the request's `top`.
+    pub answers: Vec<RankedAnswer>,
+    /// Size of the full answer set before truncation.
+    pub total_answers: usize,
+    /// `true` when this call did not have to run integration — the
+    /// query graph came from the graph cache, or scoring was skipped
+    /// entirely via the result cache. (It does not assert the graph
+    /// entry is *still* resident: on a result-cache hit the graph
+    /// layer is never consulted.)
+    pub cached_graph: bool,
+    /// `true` when the ranking was served from the result cache.
+    pub cached_scores: bool,
+    /// Wall-clock execution time of this call, in microseconds.
+    pub micros: u64,
+}
+
+/// Combined cache counters for an engine.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Graph-cache (integration) counters.
+    pub graphs: CacheStats,
+    /// Result-cache (ranking) counters.
+    pub results: CacheStats,
+}
+
+/// A long-lived, thread-safe query engine over a resident world.
+///
+/// Cheap to share: wrap it in an [`Arc`] and call
+/// [`execute`](QueryEngine::execute) from any number of threads.
+pub struct QueryEngine {
+    mediator: Mediator,
+    graphs: ShardedLru<ExploratoryQuery, Arc<IntegrationResult>>,
+    results: ShardedLru<(ExploratoryQuery, RankerSpec), Arc<Vec<RankedAnswer>>>,
+}
+
+/// Default number of cached integration results / rankings.
+pub const DEFAULT_CACHE_CAPACITY: usize = 512;
+
+/// Default shard count for the engine caches.
+pub const DEFAULT_CACHE_SHARDS: usize = 16;
+
+impl QueryEngine {
+    /// Creates an engine over a mediator with the default cache size.
+    pub fn new(mediator: Mediator) -> Self {
+        Self::with_cache_capacity(mediator, DEFAULT_CACHE_CAPACITY)
+    }
+
+    /// Creates an engine with an explicit per-layer cache capacity.
+    /// Capacity 0 disables caching (every request recomputes) — the
+    /// benchmark baseline.
+    pub fn with_cache_capacity(mediator: Mediator, capacity: usize) -> Self {
+        QueryEngine {
+            mediator,
+            graphs: ShardedLru::new(capacity, DEFAULT_CACHE_SHARDS),
+            results: ShardedLru::new(capacity, DEFAULT_CACHE_SHARDS),
+        }
+    }
+
+    /// The wrapped mediator.
+    pub fn mediator(&self) -> &Mediator {
+        &self.mediator
+    }
+
+    /// Executes one request, consulting both cache layers.
+    pub fn execute(&self, req: &QueryRequest) -> Result<QueryResponse, Error> {
+        let start = Instant::now();
+        let result_key = (req.query.clone(), req.spec.cache_key());
+
+        if let Some(ranked) = self.results.get(&result_key) {
+            return Ok(Self::assemble(&ranked, req.top, true, true, start));
+        }
+
+        let (integration, cached_graph) = match self.graphs.get(&req.query) {
+            Some(hit) => (hit, true),
+            None => {
+                let computed = Arc::new(self.mediator.execute(&req.query)?);
+                self.graphs.insert(req.query.clone(), computed.clone());
+                (computed, false)
+            }
+        };
+
+        let ranked = Arc::new(Self::rank(&integration, &req.query, &req.spec)?);
+        self.results.insert(result_key, ranked.clone());
+        Ok(Self::assemble(&ranked, req.top, cached_graph, false, start))
+    }
+
+    /// Integrates and ranks without touching the caches (used by the
+    /// cache-coherence test to cross-check cached responses).
+    pub fn execute_uncached(&self, req: &QueryRequest) -> Result<QueryResponse, Error> {
+        let start = Instant::now();
+        let integration = self.mediator.execute(&req.query)?;
+        let ranked = Self::rank(&integration, &req.query, &req.spec)?;
+        Ok(Self::assemble(&ranked, req.top, false, false, start))
+    }
+
+    fn rank(
+        integration: &IntegrationResult,
+        query: &ExploratoryQuery,
+        spec: &RankerSpec,
+    ) -> Result<Vec<RankedAnswer>, Error> {
+        let q = &integration.query;
+        let scores = spec.build(query).score(q)?;
+        let ranking = Ranking::rank(scores.answers(q));
+        Ok(ranking
+            .entries()
+            .iter()
+            .map(|e| RankedAnswer {
+                key: integration.answer_key(e.node).unwrap_or("?").to_string(),
+                label: integration.label(e.node).to_string(),
+                score: e.score,
+                rank_lo: e.rank_lo,
+                rank_hi: e.rank_hi,
+            })
+            .collect())
+    }
+
+    fn assemble(
+        ranked: &[RankedAnswer],
+        top: Option<usize>,
+        cached_graph: bool,
+        cached_scores: bool,
+        start: Instant,
+    ) -> QueryResponse {
+        let total_answers = ranked.len();
+        let take = top.unwrap_or(total_answers).min(total_answers);
+        QueryResponse {
+            answers: ranked[..take].to_vec(),
+            total_answers,
+            cached_graph,
+            cached_scores,
+            micros: start.elapsed().as_micros() as u64,
+        }
+    }
+
+    /// Cache counters for observability (`stats` responses, logs).
+    pub fn stats(&self) -> EngineStats {
+        EngineStats {
+            graphs: self.graphs.stats(),
+            results: self.results.stats(),
+        }
+    }
+}
+
+// The whole point of the serving layer: the engine must be shareable
+// across worker threads. Compile-time proof, so a future `Rc` or
+// `RefCell` slipped into the mediator/ranker stack fails here, not in
+// a downstream crate.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<QueryEngine>();
+    assert_send_sync::<Mediator>();
+    assert_send_sync::<IntegrationResult>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn method_parse_roundtrip() {
+        for m in [
+            Method::Reliability,
+            Method::TraversalMc,
+            Method::Propagation,
+            Method::Diffusion,
+            Method::InEdge,
+            Method::PathCount,
+        ] {
+            assert_eq!(Method::parse(m.wire_name()), Some(m));
+        }
+        assert_eq!(Method::parse("nope"), None);
+        assert_eq!(Method::parse("RELIABILITY"), Some(Method::Reliability));
+    }
+
+    #[test]
+    fn effective_seed_depends_on_content_not_order() {
+        let spec = RankerSpec::new(Method::Reliability);
+        let a = spec.effective_seed(&ExploratoryQuery::protein_functions("GALT"));
+        let b = spec.effective_seed(&ExploratoryQuery::protein_functions("GALT"));
+        let c = spec.effective_seed(&ExploratoryQuery::protein_functions("CFTR"));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        // Different base seeds give different effective seeds.
+        let spec2 = RankerSpec {
+            seed: 1,
+            ..RankerSpec::new(Method::Reliability)
+        };
+        assert_ne!(
+            a,
+            spec2.effective_seed(&ExploratoryQuery::protein_functions("GALT"))
+        );
+    }
+
+    #[test]
+    fn field_separation_avoids_concat_collisions() {
+        let spec = RankerSpec::new(Method::Reliability);
+        let q1 = ExploratoryQuery::new("AB", "x", "v", ["O"]);
+        let q2 = ExploratoryQuery::new("A", "Bx", "v", ["O"]);
+        assert_ne!(spec.effective_seed(&q1), spec.effective_seed(&q2));
+    }
+}

@@ -1,0 +1,149 @@
+//! # biorank-serve
+//!
+//! The serving layer of the BioRank reproduction: a long-lived,
+//! multi-threaded query service over a resident
+//! [`World`](biorank_sources::World).
+//!
+//! The experiment binaries re-integrate the world from scratch on
+//! every invocation; a production deployment cannot. This crate keeps
+//! everything resident and adds the three pieces a service needs:
+//!
+//! * [`QueryEngine`] — wraps a [`Mediator`](biorank_mediator::Mediator)
+//!   and ranker construction behind a sharded LRU cache keyed by
+//!   `(entity_set, keyword, ranker, params)`, at two layers:
+//!   integrated query graphs and ranked score vectors.
+//! * [`WorkerPool`] — a fixed pool of std threads draining an `mpsc`
+//!   job queue. Monte Carlo seeds are derived from request *content*
+//!   ([`RankerSpec::effective_seed`]), so an N-worker batch is
+//!   bit-identical to a sequential one.
+//! * [`Server`] / [`Client`] — a line-delimited JSON protocol
+//!   (hand-rolled in [`wire`]; the workspace is deliberately std-only)
+//!   over `std::net::TcpListener`, surfaced as the `biorank serve` and
+//!   `biorank query --addr` subcommands.
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use biorank_mediator::Mediator;
+//! use biorank_schema::biorank_schema_with_ontology;
+//! use biorank_service::{
+//!     Method, QueryEngine, QueryRequest, RankerSpec, ServeOptions, Server,
+//! };
+//! use biorank_sources::{World, WorldParams};
+//!
+//! let world = World::generate(WorldParams::default());
+//! let mediator = Mediator::new(biorank_schema_with_ontology().schema, world.registry());
+//! let engine = Arc::new(QueryEngine::new(mediator));
+//!
+//! // In-process use: no sockets needed.
+//! let response = engine
+//!     .execute(&QueryRequest::protein_functions(
+//!         "GALT",
+//!         RankerSpec::new(Method::Reliability),
+//!     ))
+//!     .unwrap();
+//! assert_eq!(response.total_answers, 15); // Table 1: GALT → 15
+//!
+//! // Or serve it over TCP.
+//! let server = Server::bind("127.0.0.1:7878", engine, ServeOptions::default()).unwrap();
+//! server.run().unwrap();
+//! ```
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod cache;
+pub mod engine;
+pub mod pool;
+pub mod server;
+pub mod wire;
+
+pub use cache::{CacheStats, ShardedLru};
+pub use engine::{
+    EngineStats, Method, QueryEngine, QueryRequest, QueryResponse, RankedAnswer, RankerSpec,
+    DEFAULT_CACHE_CAPACITY,
+};
+pub use pool::WorkerPool;
+pub use server::{Client, ServeOptions, Server, ServerHandle};
+
+use std::fmt;
+
+/// Errors produced by the serving layer.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum Error {
+    /// Integration failed.
+    Mediator(biorank_mediator::Error),
+    /// Ranking failed.
+    Rank(biorank_rank::Error),
+    /// A malformed protocol message.
+    Wire(wire::WireError),
+    /// Socket-level failure.
+    Io(std::io::Error),
+    /// The server answered with an error, rendered as text.
+    Remote(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Mediator(e) => write!(f, "integration failed: {e}"),
+            Error::Rank(e) => write!(f, "ranking failed: {e}"),
+            Error::Wire(e) => write!(f, "{e}"),
+            Error::Io(e) => write!(f, "io: {e}"),
+            Error::Remote(msg) => write!(f, "remote: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Mediator(e) => Some(e),
+            Error::Rank(e) => Some(e),
+            Error::Wire(e) => Some(e),
+            Error::Io(e) => Some(e),
+            Error::Remote(_) => None,
+        }
+    }
+}
+
+impl From<biorank_mediator::Error> for Error {
+    fn from(e: biorank_mediator::Error) -> Self {
+        Error::Mediator(e)
+    }
+}
+
+impl From<biorank_rank::Error> for Error {
+    fn from(e: biorank_rank::Error) -> Self {
+        Error::Rank(e)
+    }
+}
+
+impl From<wire::WireError> for Error {
+    fn from(e: wire::WireError) -> Self {
+        Error::Wire(e)
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display_and_source() {
+        let e: Error = biorank_mediator::Error::EmptyAnswerSet.into();
+        assert!(e.to_string().contains("integration"));
+        assert!(std::error::Error::source(&e).is_some());
+        let e: Error = biorank_rank::Error::ZeroTrials.into();
+        assert!(e.to_string().contains("ranking"));
+        let e = Error::Remote("boom".into());
+        assert!(e.to_string().contains("boom"));
+        assert!(std::error::Error::source(&e).is_none());
+    }
+}

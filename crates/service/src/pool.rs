@@ -1,0 +1,156 @@
+//! A fixed-size worker pool over std threads and mpsc channels.
+//!
+//! The workspace is deliberately std-only, so this is the classic
+//! shared-receiver pattern: one `mpsc` job channel whose receiver sits
+//! behind a `Mutex`, `N` threads looping on it. Jobs are boxed
+//! `FnOnce` closures; batch submission tags each job with its index so
+//! results reassemble in submission order regardless of which worker
+//! ran what — combined with content-derived RNG seeding in the engine,
+//! this makes an N-worker batch bit-identical to a 1-worker one.
+
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+use crate::engine::{QueryEngine, QueryRequest, QueryResponse};
+use crate::Error;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A fixed pool of worker threads executing submitted closures.
+pub struct WorkerPool {
+    tx: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawns `workers` threads (at least one).
+    pub fn new(workers: usize) -> Self {
+        let workers = workers.max(1);
+        let (tx, rx) = channel::<Job>();
+        let rx = Arc::new(Mutex::new(rx));
+        let handles = (0..workers)
+            .map(|i| {
+                let rx = Arc::clone(&rx);
+                std::thread::Builder::new()
+                    .name(format!("biorank-worker-{i}"))
+                    .spawn(move || loop {
+                        // Hold the lock only while dequeuing, never
+                        // while running a job.
+                        let job = match rx.lock().expect("job queue poisoned").recv() {
+                            Ok(job) => job,
+                            Err(_) => break, // all senders dropped
+                        };
+                        job();
+                    })
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        WorkerPool {
+            tx: Some(tx),
+            workers: handles,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Submits one fire-and-forget job.
+    pub fn submit(&self, job: impl FnOnce() + Send + 'static) {
+        self.tx
+            .as_ref()
+            .expect("pool shut down")
+            .send(Box::new(job))
+            .expect("workers exited early");
+    }
+
+    /// Executes a batch of queries concurrently against `engine`,
+    /// returning outcomes in submission order.
+    ///
+    /// Because each request's result depends only on its own content
+    /// (the engine mixes the RNG seed from the query itself), the
+    /// returned vector is identical for any pool size.
+    pub fn run_batch(
+        &self,
+        engine: &Arc<QueryEngine>,
+        requests: Vec<QueryRequest>,
+    ) -> Vec<Result<QueryResponse, Error>> {
+        let n = requests.len();
+        let (done_tx, done_rx): (
+            Sender<(usize, Result<QueryResponse, Error>)>,
+            Receiver<(usize, Result<QueryResponse, Error>)>,
+        ) = channel();
+        for (i, req) in requests.into_iter().enumerate() {
+            let engine = Arc::clone(engine);
+            let done = done_tx.clone();
+            self.submit(move || {
+                let outcome = engine.execute(&req);
+                // The batch owner may have given up (it never does
+                // today); a dead receiver must not kill the worker.
+                let _ = done.send((i, outcome));
+            });
+        }
+        drop(done_tx);
+        let mut slots: Vec<Option<Result<QueryResponse, Error>>> = (0..n).map(|_| None).collect();
+        for (i, outcome) in done_rx {
+            slots[i] = Some(outcome);
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("worker dropped a batch slot"))
+            .collect()
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Closing the channel lets each worker's recv() fail and exit.
+        self.tx.take();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn all_submitted_jobs_run() {
+        let pool = WorkerPool::new(4);
+        let counter = Arc::new(AtomicUsize::new(0));
+        let (tx, rx) = channel();
+        for _ in 0..100 {
+            let counter = Arc::clone(&counter);
+            let tx = tx.clone();
+            pool.submit(move || {
+                counter.fetch_add(1, Ordering::SeqCst);
+                let _ = tx.send(());
+            });
+        }
+        drop(tx);
+        assert_eq!(rx.iter().count(), 100);
+        assert_eq!(counter.load(Ordering::SeqCst), 100);
+    }
+
+    #[test]
+    fn zero_workers_clamps_to_one() {
+        let pool = WorkerPool::new(0);
+        assert_eq!(pool.workers(), 1);
+    }
+
+    #[test]
+    fn drop_joins_workers() {
+        let pool = WorkerPool::new(2);
+        let (tx, rx) = channel();
+        pool.submit(move || {
+            let _ = tx.send(42);
+        });
+        drop(pool); // must not hang
+        assert_eq!(rx.recv(), Ok(42));
+    }
+}

@@ -1,0 +1,285 @@
+//! The TCP front end: line-delimited JSON over `std::net`.
+//!
+//! One thread accepts connections; each connection gets a reader
+//! thread that decodes request lines and submits them to the shared
+//! [`WorkerPool`], plus a writer thread that puts responses back on
+//! the socket **in request order** (a `BTreeMap` re-sequencing buffer
+//! absorbs out-of-order completions). Clients may therefore pipeline
+//! requests freely and match responses positionally or by id.
+
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Sender};
+use std::sync::Arc;
+
+use crate::engine::QueryEngine;
+use crate::pool::WorkerPool;
+use crate::wire;
+
+/// Server tuning knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct ServeOptions {
+    /// Worker threads executing queries (shared across connections).
+    pub workers: usize,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions { workers: 4 }
+    }
+}
+
+/// A running query service bound to a TCP address.
+pub struct Server {
+    listener: TcpListener,
+    engine: Arc<QueryEngine>,
+    pool: Arc<WorkerPool>,
+    shutdown: Arc<AtomicBool>,
+}
+
+/// A handle that can stop a running [`Server`] from another thread.
+#[derive(Clone)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl ServerHandle {
+    /// The bound address (useful with an ephemeral port 0 bind).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Signals the accept loop to exit. Existing connections finish
+    /// their in-flight requests and close on client disconnect.
+    pub fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Unblock accept() with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+impl Server {
+    /// Binds the service. Use port 0 to let the OS pick (tests do).
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        engine: Arc<QueryEngine>,
+        opts: ServeOptions,
+    ) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        Ok(Server {
+            listener,
+            engine,
+            pool: Arc::new(WorkerPool::new(opts.workers)),
+            shutdown: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The bound address.
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A shutdown handle for this server.
+    pub fn handle(&self) -> std::io::Result<ServerHandle> {
+        Ok(ServerHandle {
+            addr: self.local_addr()?,
+            shutdown: Arc::clone(&self.shutdown),
+        })
+    }
+
+    /// Runs the accept loop until [`ServerHandle::shutdown`] is called.
+    pub fn run(self) -> std::io::Result<()> {
+        for conn in self.listener.incoming() {
+            if self.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let stream = match conn {
+                Ok(s) => s,
+                Err(_) => {
+                    // Persistent accept errors (e.g. EMFILE under fd
+                    // exhaustion) fail instantly; back off instead of
+                    // spinning a core until the condition clears.
+                    std::thread::sleep(std::time::Duration::from_millis(50));
+                    continue;
+                }
+            };
+            let engine = Arc::clone(&self.engine);
+            let pool = Arc::clone(&self.pool);
+            std::thread::spawn(move || {
+                let _ = handle_connection(stream, engine, pool);
+            });
+        }
+        Ok(())
+    }
+}
+
+fn handle_connection(
+    stream: TcpStream,
+    engine: Arc<QueryEngine>,
+    pool: Arc<WorkerPool>,
+) -> std::io::Result<()> {
+    let peer_write = stream.try_clone()?;
+    let reader = BufReader::new(stream);
+
+    // Writer thread: re-sequences (seq, line) pairs into socket order.
+    let (line_tx, line_rx) = channel::<(u64, String)>();
+    let writer = std::thread::spawn(move || -> std::io::Result<()> {
+        let mut out = BufWriter::new(peer_write);
+        let mut next: u64 = 0;
+        let mut pending: BTreeMap<u64, String> = BTreeMap::new();
+        for (seq, line) in line_rx {
+            pending.insert(seq, line);
+            while let Some(line) = pending.remove(&next) {
+                out.write_all(line.as_bytes())?;
+                out.write_all(b"\n")?;
+                out.flush()?;
+                next += 1;
+            }
+        }
+        Ok(())
+    });
+
+    let mut seq: u64 = 0;
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        dispatch_line(line, seq, &engine, &pool, &line_tx);
+        seq += 1;
+    }
+    drop(line_tx);
+    let _ = writer.join();
+    Ok(())
+}
+
+/// Parses one request line and schedules its execution; encoding
+/// failures answer immediately with an error response (id 0 when the
+/// id itself was unreadable).
+fn dispatch_line(
+    line: String,
+    seq: u64,
+    engine: &Arc<QueryEngine>,
+    pool: &Arc<WorkerPool>,
+    line_tx: &Sender<(u64, String)>,
+) {
+    match wire::decode_request(&line) {
+        Ok(request) => {
+            let engine = Arc::clone(engine);
+            let line_tx = line_tx.clone();
+            pool.submit(move || {
+                let outcome = engine.execute(&request.req).map_err(|e| e.to_string());
+                let response = wire::Response {
+                    id: request.id,
+                    outcome,
+                };
+                let _ = line_tx.send((seq, wire::encode_response(&response)));
+            });
+        }
+        Err(e) => {
+            // Salvage the id if the line was valid JSON with one.
+            let id = wire::Json::parse(&line)
+                .ok()
+                .and_then(|v| match v {
+                    wire::Json::Obj(f) => f.get("id").cloned(),
+                    _ => None,
+                })
+                .and_then(|v| match v {
+                    wire::Json::Num(n) if n >= 0.0 => Some(n as u64),
+                    _ => None,
+                })
+                .unwrap_or(0);
+            let response = wire::Response {
+                id,
+                outcome: Err(e.to_string()),
+            };
+            let _ = line_tx.send((seq, wire::encode_response(&response)));
+        }
+    }
+}
+
+/// A blocking client for the line protocol.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    next_id: u64,
+}
+
+impl Client {
+    /// Connects to a running service.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        let writer = BufWriter::new(stream.try_clone()?);
+        Ok(Client {
+            reader: BufReader::new(stream),
+            writer,
+            next_id: 1,
+        })
+    }
+
+    fn read_response(&mut self) -> Result<wire::Response, crate::Error> {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(crate::Error::Remote("server closed connection".into()));
+        }
+        Ok(wire::decode_response(line.trim_end())?)
+    }
+
+    /// Executes one query, blocking for the response.
+    pub fn query(
+        &mut self,
+        req: &crate::engine::QueryRequest,
+    ) -> Result<crate::engine::QueryResponse, crate::Error> {
+        self.query_batch(std::slice::from_ref(req))?.remove(0)
+    }
+
+    /// Pipelines a batch of queries over the connection and collects
+    /// their responses, in request order.
+    pub fn query_batch(
+        &mut self,
+        reqs: &[crate::engine::QueryRequest],
+    ) -> Result<Vec<Result<crate::engine::QueryResponse, crate::Error>>, crate::Error> {
+        let first_id = self.next_id;
+        for req in reqs {
+            let request = wire::Request {
+                id: self.next_id,
+                req: req.clone(),
+            };
+            self.next_id += 1;
+            self.writer
+                .write_all(wire::encode_request(&request).as_bytes())?;
+            self.writer.write_all(b"\n")?;
+        }
+        self.writer.flush()?;
+        let mut out = Vec::with_capacity(reqs.len());
+        for i in 0..reqs.len() {
+            let response = self.read_response()?;
+            let expect = first_id + i as u64;
+            if response.id != expect {
+                return Err(crate::Error::Remote(format!(
+                    "response id {} does not match request id {expect}",
+                    response.id
+                )));
+            }
+            out.push(response.outcome.map_err(crate::Error::Remote));
+        }
+        Ok(out)
+    }
+}
+
+impl Client {
+    /// Convenience: `query` + unwrap into (answers, total).
+    pub fn protein_functions(
+        &mut self,
+        protein: &str,
+        spec: crate::engine::RankerSpec,
+    ) -> Result<crate::engine::QueryResponse, crate::Error> {
+        self.query(&crate::engine::QueryRequest::protein_functions(
+            protein, spec,
+        ))
+    }
+}

@@ -1,0 +1,790 @@
+//! The line-delimited wire protocol of `biorank serve`.
+//!
+//! One JSON object per line in each direction. Hand-rolled encoder and
+//! recursive-descent parser — the workspace is deliberately std-only,
+//! and the protocol surface is small enough that a dependency would
+//! cost more than these ~300 lines.
+//!
+//! Request line:
+//!
+//! ```json
+//! {"id":1,"input":"EntrezProtein","attribute":"name","value":"GALT",
+//!  "outputs":["AmiGO"],"method":"rel","trials":1000,"seed":"42","top":10}
+//! ```
+//!
+//! Response line (success):
+//!
+//! ```json
+//! {"id":1,"ok":true,"total":15,"cached_graph":false,"cached_scores":false,
+//!  "micros":8123,"answers":[{"key":"GO:0004335","label":"galactokinase
+//!  activity","score":0.91,"rank_lo":1,"rank_hi":1}]}
+//! ```
+//!
+//! Response line (failure): `{"id":1,"ok":false,"error":"..."}`.
+//!
+//! Floats are printed with Rust's shortest-roundtrip formatting, so a
+//! score survives encode→decode bit-exactly — the cross-wire
+//! determinism test relies on this.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use biorank_mediator::ExploratoryQuery;
+
+use crate::engine::{Method, QueryRequest, QueryResponse, RankedAnswer, RankerSpec};
+
+/// A parsed JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number (parsed as `f64`).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object. `BTreeMap` so encoding is order-stable.
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= u64::MAX as f64 => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Serializes to a single-line JSON string.
+    pub fn encode(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(true) => out.push_str("true"),
+            Json::Bool(false) => out.push_str("false"),
+            Json::Num(n) => {
+                if n.is_finite() {
+                    // Shortest roundtrip representation; integers print
+                    // without a trailing `.0` which JSON permits.
+                    let _ = write!(out, "{n}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(k, out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parses a complete JSON document (rejecting trailing garbage).
+    pub fn parse(input: &str) -> Result<Json, WireError> {
+        let mut p = Parser {
+            bytes: input.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing characters after JSON value"));
+        }
+        Ok(v)
+    }
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// A protocol decoding error.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WireError {
+    /// Human-readable description, including byte position for syntax
+    /// errors.
+    pub message: String,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "wire: {}", self.message)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+fn wire_err(message: impl Into<String>) -> WireError {
+    WireError {
+        message: message.into(),
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, msg: &str) -> WireError {
+        wire_err(format!("{msg} at byte {}", self.pos))
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), WireError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected {:?}", b as char)))
+        }
+    }
+
+    fn literal(&mut self, lit: &str, value: Json) -> Result<Json, WireError> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            Err(self.err(&format!("expected {lit}")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, WireError> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-') | Some(b'0'..=b'9') => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, WireError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e') | Some(b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| self.err("invalid number"))
+    }
+
+    fn string(&mut self) -> Result<String, WireError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(b) = self.peek() else {
+                return Err(self.err("unterminated string"));
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(esc) = self.peek() else {
+                        return Err(self.err("unterminated escape"));
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let cp = self.hex4()?;
+                            // Surrogate pairs: a high surrogate must be
+                            // followed by \uXXXX with a low surrogate.
+                            let c = if (0xD800..0xDC00).contains(&cp) {
+                                if self.peek() == Some(b'\\') {
+                                    self.pos += 1;
+                                    self.expect(b'u')?;
+                                    let lo = self.hex4()?;
+                                    if (0xDC00..0xE000).contains(&lo) {
+                                        char::from_u32(
+                                            0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00),
+                                        )
+                                    } else {
+                                        None // high surrogate not followed by a low one
+                                    }
+                                } else {
+                                    None
+                                }
+                            } else {
+                                char::from_u32(cp)
+                            };
+                            out.push(c.ok_or_else(|| self.err("invalid \\u escape"))?);
+                        }
+                        _ => return Err(self.err("invalid escape")),
+                    }
+                }
+                _ => {
+                    // Re-synchronize on UTF-8 boundaries: step back and
+                    // take the full character.
+                    self.pos -= 1;
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.err("invalid UTF-8"))?;
+                    let c = rest
+                        .chars()
+                        .next()
+                        .ok_or_else(|| self.err("unterminated string"))?;
+                    if (c as u32) < 0x20 {
+                        return Err(self.err("unescaped control character"));
+                    }
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, WireError> {
+        if self.pos + 4 > self.bytes.len() {
+            return Err(self.err("truncated \\u escape"));
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+            .map_err(|_| self.err("invalid \\u escape"))?;
+        let cp = u32::from_str_radix(hex, 16).map_err(|_| self.err("invalid \\u escape"))?;
+        self.pos += 4;
+        Ok(cp)
+    }
+
+    fn array(&mut self) -> Result<Json, WireError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, WireError> {
+        self.expect(b'{')?;
+        let mut fields = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            fields.insert(key, value);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+}
+
+/// One request line: an id chosen by the client plus the query.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Request {
+    /// Client-chosen correlation id, echoed on the response.
+    pub id: u64,
+    /// The query to execute.
+    pub req: QueryRequest,
+}
+
+/// One response line: the echoed id plus outcome.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Response {
+    /// The correlation id of the request this answers.
+    pub id: u64,
+    /// Ranked answers, or a rendered error message.
+    pub outcome: Result<QueryResponse, String>,
+}
+
+fn obj(fields: Vec<(&str, Json)>) -> Json {
+    Json::Obj(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn get<'a>(fields: &'a BTreeMap<String, Json>, key: &str) -> Result<&'a Json, WireError> {
+    fields
+        .get(key)
+        .ok_or_else(|| wire_err(format!("missing field {key:?}")))
+}
+
+fn get_str(fields: &BTreeMap<String, Json>, key: &str) -> Result<String, WireError> {
+    get(fields, key)?
+        .as_str()
+        .map(str::to_string)
+        .ok_or_else(|| wire_err(format!("field {key:?} must be a string")))
+}
+
+fn get_u64(fields: &BTreeMap<String, Json>, key: &str) -> Result<u64, WireError> {
+    get(fields, key)?
+        .as_u64()
+        .ok_or_else(|| wire_err(format!("field {key:?} must be a non-negative integer")))
+}
+
+/// Encodes a request as one JSON line (no trailing newline).
+pub fn encode_request(r: &Request) -> String {
+    let q = &r.req.query;
+    let mut fields = vec![
+        ("id", Json::Num(r.id as f64)),
+        ("input", Json::Str(q.input.clone())),
+        ("attribute", Json::Str(q.attribute.clone())),
+        ("value", Json::Str(q.value.clone())),
+        (
+            "outputs",
+            Json::Arr(q.outputs.iter().cloned().map(Json::Str).collect()),
+        ),
+        ("method", Json::Str(r.req.spec.method.wire_name().into())),
+        ("trials", Json::Num(f64::from(r.req.spec.trials))),
+        // As a decimal string: JSON numbers are f64 here, which would
+        // silently corrupt seeds above 2^53 and break the cross-wire
+        // determinism guarantee.
+        ("seed", Json::Str(r.req.spec.seed.to_string())),
+    ];
+    if let Some(top) = r.req.top {
+        fields.push(("top", Json::Num(top as f64)));
+    }
+    obj(fields).encode()
+}
+
+/// Decodes one request line.
+pub fn decode_request(line: &str) -> Result<Request, WireError> {
+    let Json::Obj(fields) = Json::parse(line)? else {
+        return Err(wire_err("request must be a JSON object"));
+    };
+    let outputs = match get(&fields, "outputs")? {
+        Json::Arr(items) => items
+            .iter()
+            .map(|i| {
+                i.as_str()
+                    .map(str::to_string)
+                    .ok_or_else(|| wire_err("outputs must be strings"))
+            })
+            .collect::<Result<Vec<_>, _>>()?,
+        _ => return Err(wire_err("field \"outputs\" must be an array")),
+    };
+    let method = get_str(&fields, "method")?;
+    let method =
+        Method::parse(&method).ok_or_else(|| wire_err(format!("unknown method {method:?}")))?;
+    let trials = fields
+        .get("trials")
+        .map(|v| {
+            v.as_u64()
+                .and_then(|t| u32::try_from(t).ok())
+                .ok_or_else(|| wire_err("field \"trials\" must fit in u32"))
+        })
+        .transpose()?
+        .unwrap_or(RankerSpec::DEFAULT_TRIALS);
+    // Accept both a decimal string (the canonical encoding, exact for
+    // all u64) and a small JSON integer (hand-written clients).
+    let seed = fields
+        .get("seed")
+        .map(|v| match v {
+            Json::Str(s) => s
+                .parse::<u64>()
+                .map_err(|_| wire_err("field \"seed\" must be a u64 decimal string")),
+            _ => v
+                .as_u64()
+                .ok_or_else(|| wire_err("field \"seed\" must be a non-negative integer")),
+        })
+        .transpose()?
+        .unwrap_or(RankerSpec::DEFAULT_SEED);
+    let top = fields
+        .get("top")
+        .map(|v| {
+            v.as_u64()
+                .map(|t| t as usize)
+                .ok_or_else(|| wire_err("field \"top\" must be a non-negative integer"))
+        })
+        .transpose()?;
+    Ok(Request {
+        id: get_u64(&fields, "id")?,
+        req: QueryRequest {
+            query: ExploratoryQuery {
+                input: get_str(&fields, "input")?,
+                attribute: get_str(&fields, "attribute")?,
+                value: get_str(&fields, "value")?,
+                outputs,
+            },
+            spec: RankerSpec {
+                method,
+                trials,
+                seed,
+            },
+            top,
+        },
+    })
+}
+
+/// Encodes a response as one JSON line (no trailing newline).
+pub fn encode_response(r: &Response) -> String {
+    match &r.outcome {
+        Ok(resp) => obj(vec![
+            ("id", Json::Num(r.id as f64)),
+            ("ok", Json::Bool(true)),
+            ("total", Json::Num(resp.total_answers as f64)),
+            ("cached_graph", Json::Bool(resp.cached_graph)),
+            ("cached_scores", Json::Bool(resp.cached_scores)),
+            ("micros", Json::Num(resp.micros as f64)),
+            (
+                "answers",
+                Json::Arr(
+                    resp.answers
+                        .iter()
+                        .map(|a| {
+                            obj(vec![
+                                ("key", Json::Str(a.key.clone())),
+                                ("label", Json::Str(a.label.clone())),
+                                ("score", Json::Num(a.score)),
+                                ("rank_lo", Json::Num(a.rank_lo as f64)),
+                                ("rank_hi", Json::Num(a.rank_hi as f64)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+        .encode(),
+        Err(msg) => obj(vec![
+            ("id", Json::Num(r.id as f64)),
+            ("ok", Json::Bool(false)),
+            ("error", Json::Str(msg.clone())),
+        ])
+        .encode(),
+    }
+}
+
+/// Decodes one response line.
+pub fn decode_response(line: &str) -> Result<Response, WireError> {
+    let Json::Obj(fields) = Json::parse(line)? else {
+        return Err(wire_err("response must be a JSON object"));
+    };
+    let id = get_u64(&fields, "id")?;
+    let ok = get(&fields, "ok")?
+        .as_bool()
+        .ok_or_else(|| wire_err("field \"ok\" must be a boolean"))?;
+    if !ok {
+        return Ok(Response {
+            id,
+            outcome: Err(get_str(&fields, "error")?),
+        });
+    }
+    let answers = match get(&fields, "answers")? {
+        Json::Arr(items) => items
+            .iter()
+            .map(|item| {
+                let Json::Obj(f) = item else {
+                    return Err(wire_err("answers must be objects"));
+                };
+                Ok(RankedAnswer {
+                    key: get_str(f, "key")?,
+                    label: get_str(f, "label")?,
+                    score: get(f, "score")?
+                        .as_f64()
+                        .ok_or_else(|| wire_err("field \"score\" must be a number"))?,
+                    rank_lo: get_u64(f, "rank_lo")? as usize,
+                    rank_hi: get_u64(f, "rank_hi")? as usize,
+                })
+            })
+            .collect::<Result<Vec<_>, _>>()?,
+        _ => return Err(wire_err("field \"answers\" must be an array")),
+    };
+    Ok(Response {
+        id,
+        outcome: Ok(QueryResponse {
+            answers,
+            total_answers: get_u64(&fields, "total")? as usize,
+            cached_graph: get(&fields, "cached_graph")?
+                .as_bool()
+                .ok_or_else(|| wire_err("field \"cached_graph\" must be a boolean"))?,
+            cached_scores: get(&fields, "cached_scores")?
+                .as_bool()
+                .ok_or_else(|| wire_err("field \"cached_scores\" must be a boolean"))?,
+            micros: get_u64(&fields, "micros")?,
+        }),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_roundtrip_basics() {
+        for text in [
+            "null",
+            "true",
+            "false",
+            "0",
+            "-12.5",
+            "1e-3",
+            "\"hi \\\"there\\\" \\n\"",
+            "[1,2,[3],{}]",
+            "{\"a\":1,\"b\":[true,null]}",
+        ] {
+            let v = Json::parse(text).unwrap_or_else(|e| panic!("{text}: {e}"));
+            let re = Json::parse(&v.encode()).unwrap();
+            assert_eq!(v, re, "{text}");
+        }
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        for text in [
+            "",
+            "{",
+            "[1,",
+            "nul",
+            "{\"a\"}",
+            "1 2",
+            "\"\\x\"",
+            "\"unterminated",
+        ] {
+            assert!(Json::parse(text).is_err(), "{text:?} should fail");
+        }
+    }
+
+    #[test]
+    fn unicode_escapes() {
+        let v = Json::parse("\"\\u00e9\\ud83d\\ude00\"").unwrap();
+        assert_eq!(v, Json::Str("é😀".to_string()));
+        // Raw UTF-8 also passes through.
+        let v = Json::parse("\"é😀\"").unwrap();
+        assert_eq!(v, Json::Str("é😀".to_string()));
+        // A high surrogate must pair with a low one.
+        for bad in [
+            "\"\\ud800\"",
+            "\"\\ud800\\u0061\"",
+            "\"\\ud800x\"",
+            "\"\\udc00\"",
+        ] {
+            assert!(Json::parse(bad).is_err(), "{bad} should fail");
+        }
+    }
+
+    #[test]
+    fn float_roundtrip_is_bit_exact() {
+        for f in [0.123456789012345678, 1.0 / 3.0, 1e-17, 0.4375] {
+            let enc = Json::Num(f).encode();
+            let Json::Num(back) = Json::parse(&enc).unwrap() else {
+                panic!("not a number");
+            };
+            assert_eq!(f.to_bits(), back.to_bits(), "{enc}");
+        }
+    }
+
+    #[test]
+    fn request_roundtrip() {
+        let r = Request {
+            id: 7,
+            req: QueryRequest {
+                query: ExploratoryQuery::protein_functions("GALT"),
+                spec: RankerSpec {
+                    method: Method::Reliability,
+                    trials: 1000,
+                    seed: 42,
+                },
+                top: Some(5),
+            },
+        };
+        let line = encode_request(&r);
+        assert!(!line.contains('\n'));
+        assert_eq!(decode_request(&line).unwrap(), r);
+    }
+
+    #[test]
+    fn seeds_above_2_pow_53_survive_the_wire_exactly() {
+        let mut r = Request {
+            id: 1,
+            req: QueryRequest {
+                query: ExploratoryQuery::protein_functions("GALT"),
+                spec: RankerSpec {
+                    method: Method::TraversalMc,
+                    trials: 10,
+                    seed: (1u64 << 60) + 1,
+                },
+                top: None,
+            },
+        };
+        for seed in [(1u64 << 60) + 1, u64::MAX, 0] {
+            r.req.spec.seed = seed;
+            let back = decode_request(&encode_request(&r)).unwrap();
+            assert_eq!(back.req.spec.seed, seed);
+        }
+        // Hand-written clients may still send a small JSON integer.
+        let line = "{\"id\":1,\"input\":\"A\",\"attribute\":\"x\",\"value\":\"v\",\
+                    \"outputs\":[\"B\"],\"method\":\"mc\",\"seed\":42}";
+        assert_eq!(decode_request(line).unwrap().req.spec.seed, 42);
+    }
+
+    #[test]
+    fn request_defaults_apply() {
+        let line = "{\"id\":1,\"input\":\"EntrezProtein\",\"attribute\":\"name\",\
+                    \"value\":\"GALT\",\"outputs\":[\"AmiGO\"],\"method\":\"pathc\"}";
+        let r = decode_request(line).unwrap();
+        assert_eq!(r.req.spec.trials, RankerSpec::DEFAULT_TRIALS);
+        assert_eq!(r.req.spec.seed, RankerSpec::DEFAULT_SEED);
+        assert_eq!(r.req.top, None);
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        let resp = Response {
+            id: 3,
+            outcome: Ok(QueryResponse {
+                answers: vec![RankedAnswer {
+                    key: "GO:0004335".into(),
+                    label: "galactokinase \"activity\"".into(),
+                    score: 1.0 / 3.0,
+                    rank_lo: 1,
+                    rank_hi: 2,
+                }],
+                total_answers: 15,
+                cached_graph: true,
+                cached_scores: false,
+                micros: 812,
+            }),
+        };
+        let line = encode_response(&resp);
+        assert_eq!(decode_response(&line).unwrap(), resp);
+        let err = Response {
+            id: 4,
+            outcome: Err("no records in EntrezProtein match \"NOPE\"".into()),
+        };
+        assert_eq!(decode_response(&encode_response(&err)).unwrap(), err);
+    }
+
+    #[test]
+    fn decode_request_rejects_unknown_method() {
+        let line = "{\"id\":1,\"input\":\"A\",\"attribute\":\"x\",\"value\":\"v\",\
+                    \"outputs\":[\"B\"],\"method\":\"magic\"}";
+        assert!(decode_request(line).is_err());
+    }
+}

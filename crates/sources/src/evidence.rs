@@ -205,7 +205,12 @@ impl Default for EvidenceModel {
             well_known: ClassProfile {
                 paths: (3, 7),
                 strength: (0.25, 0.9),
-                kinds: KindWeights { gene_direct: 0.25, pfam: 0.15, tigrfam: 0.1, blast: 0.5 },
+                kinds: KindWeights {
+                    gene_direct: 0.25,
+                    pfam: 0.15,
+                    tigrfam: 0.1,
+                    blast: 0.5,
+                },
                 neighbor_statuses: vec![Validated, Provisional, Validated],
                 evidence_codes: vec![Ida, Tas, Imp, Iss, Iep, Iea, Iea, Nas],
                 reuse: 0.5,
@@ -214,7 +219,12 @@ impl Default for EvidenceModel {
             less_known: ClassProfile {
                 paths: (1, 1),
                 strength: (0.85, 0.98),
-                kinds: KindWeights { gene_direct: 0.0, pfam: 0.4, tigrfam: 0.6, blast: 0.0 },
+                kinds: KindWeights {
+                    gene_direct: 0.0,
+                    pfam: 0.4,
+                    tigrfam: 0.6,
+                    blast: 0.0,
+                },
                 neighbor_statuses: vec![Reviewed],
                 evidence_codes: vec![Igi, Imp, Ipi],
                 reuse: 0.0,
@@ -223,7 +233,12 @@ impl Default for EvidenceModel {
             noise: ClassProfile {
                 paths: (1, 3),
                 strength: (0.08, 0.45),
-                kinds: KindWeights { gene_direct: 0.0, pfam: 0.3, tigrfam: 0.15, blast: 0.55 },
+                kinds: KindWeights {
+                    gene_direct: 0.0,
+                    pfam: 0.3,
+                    tigrfam: 0.15,
+                    blast: 0.55,
+                },
                 neighbor_statuses: vec![Predicted, Model, Inferred],
                 evidence_codes: vec![Tas, Imp, Iss, Iep, Iea, Nas],
                 reuse: 0.85,
@@ -232,7 +247,12 @@ impl Default for EvidenceModel {
             strong_noise: ClassProfile {
                 paths: (1, 2),
                 strength: (0.6, 0.9),
-                kinds: KindWeights { gene_direct: 0.0, pfam: 0.0, tigrfam: 0.0, blast: 1.0 },
+                kinds: KindWeights {
+                    gene_direct: 0.0,
+                    pfam: 0.0,
+                    tigrfam: 0.0,
+                    blast: 1.0,
+                },
                 neighbor_statuses: vec![Validated, Provisional],
                 evidence_codes: vec![Imp, Iss, Iep],
                 reuse: 0.5,
@@ -242,7 +262,12 @@ impl Default for EvidenceModel {
             hypo_true: ClassProfile {
                 paths: (1, 3),
                 strength: (0.4, 0.75),
-                kinds: KindWeights { gene_direct: 0.0, pfam: 0.2, tigrfam: 0.1, blast: 0.7 },
+                kinds: KindWeights {
+                    gene_direct: 0.0,
+                    pfam: 0.2,
+                    tigrfam: 0.1,
+                    blast: 0.7,
+                },
                 neighbor_statuses: vec![Provisional, Predicted],
                 evidence_codes: vec![Iss, Rca, Iep],
                 reuse: 0.2,
@@ -251,7 +276,12 @@ impl Default for EvidenceModel {
             hypo_noise: ClassProfile {
                 paths: (1, 2),
                 strength: (0.12, 0.55),
-                kinds: KindWeights { gene_direct: 0.0, pfam: 0.35, tigrfam: 0.15, blast: 0.5 },
+                kinds: KindWeights {
+                    gene_direct: 0.0,
+                    pfam: 0.35,
+                    tigrfam: 0.15,
+                    blast: 0.5,
+                },
                 neighbor_statuses: vec![Predicted, Model, Inferred],
                 evidence_codes: vec![Iss, Iep, Iea, Nas],
                 reuse: 0.5,
@@ -291,7 +321,12 @@ mod tests {
     #[test]
     fn kind_weights_sample_respects_zero_weights() {
         let mut rng = StdRng::seed_from_u64(1);
-        let w = KindWeights { gene_direct: 0.0, pfam: 1.0, tigrfam: 0.0, blast: 0.0 };
+        let w = KindWeights {
+            gene_direct: 0.0,
+            pfam: 1.0,
+            tigrfam: 0.0,
+            blast: 0.0,
+        };
         for _ in 0..100 {
             assert_eq!(w.sample(&mut rng), PathKind::Pfam);
         }
@@ -300,7 +335,12 @@ mod tests {
     #[test]
     fn kind_weights_cover_all_kinds() {
         let mut rng = StdRng::seed_from_u64(2);
-        let w = KindWeights { gene_direct: 1.0, pfam: 1.0, tigrfam: 1.0, blast: 1.0 };
+        let w = KindWeights {
+            gene_direct: 1.0,
+            pfam: 1.0,
+            tigrfam: 1.0,
+            blast: 1.0,
+        };
         let mut seen = [false; 4];
         for _ in 0..1000 {
             match w.sample(&mut rng) {

@@ -69,14 +69,40 @@ pub const PAPER_TERMS: &[(u32, &str)] = &[
 
 /// Vocabulary for synthesizing plausible names for generated terms.
 const NOUNS: &[&str] = &[
-    "kinase", "transporter", "receptor", "oxidase", "reductase", "ligase",
-    "hydrolase", "transferase", "isomerase", "binding", "channel",
-    "polymerase", "protease", "phosphatase", "synthase", "dehydrogenase",
+    "kinase",
+    "transporter",
+    "receptor",
+    "oxidase",
+    "reductase",
+    "ligase",
+    "hydrolase",
+    "transferase",
+    "isomerase",
+    "binding",
+    "channel",
+    "polymerase",
+    "protease",
+    "phosphatase",
+    "synthase",
+    "dehydrogenase",
 ];
 const QUALIFIERS: &[&str] = &[
-    "ATP-dependent", "membrane", "cytoplasmic", "nuclear", "mitochondrial",
-    "zinc ion", "calcium ion", "potassium ion", "amino acid", "lipid",
-    "carbohydrate", "nucleotide", "iron-sulfur", "heme", "RNA", "DNA",
+    "ATP-dependent",
+    "membrane",
+    "cytoplasmic",
+    "nuclear",
+    "mitochondrial",
+    "zinc ion",
+    "calcium ion",
+    "potassium ion",
+    "amino acid",
+    "lipid",
+    "carbohydrate",
+    "nucleotide",
+    "iron-sulfur",
+    "heme",
+    "RNA",
+    "DNA",
 ];
 
 impl GoUniverse {
@@ -159,7 +185,10 @@ mod tests {
     fn universe_contains_paper_terms() {
         let u = GoUniverse::with_terms(100);
         assert!(u.contains(GoTerm(8281)));
-        assert_eq!(u.name(GoTerm(8281)), Some("sulphonylurea receptor activity"));
+        assert_eq!(
+            u.name(GoTerm(8281)),
+            Some("sulphonylurea receptor activity")
+        );
         assert_eq!(u.len(), PAPER_TERMS.len() + 100);
     }
 
@@ -178,10 +207,7 @@ mod tests {
     fn with_terms_is_deterministic() {
         let a = GoUniverse::with_terms(30);
         let b = GoUniverse::with_terms(30);
-        assert_eq!(
-            a.terms().collect::<Vec<_>>(),
-            b.terms().collect::<Vec<_>>()
-        );
+        assert_eq!(a.terms().collect::<Vec<_>>(), b.terms().collect::<Vec<_>>());
     }
 
     #[test]

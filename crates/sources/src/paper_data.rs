@@ -25,26 +25,106 @@ pub struct Table1Row {
 
 /// Table 1: the 20 golden-standard proteins.
 pub const TABLE1: &[Table1Row] = &[
-    Table1Row { protein: "ABCC8", iproclass_functions: 13, biorank_functions: 97 },
-    Table1Row { protein: "ABCD1", iproclass_functions: 15, biorank_functions: 79 },
-    Table1Row { protein: "AGPAT2", iproclass_functions: 10, biorank_functions: 16 },
-    Table1Row { protein: "ATP1A2", iproclass_functions: 31, biorank_functions: 108 },
-    Table1Row { protein: "ATP7A", iproclass_functions: 35, biorank_functions: 130 },
-    Table1Row { protein: "CFTR", iproclass_functions: 19, biorank_functions: 90 },
-    Table1Row { protein: "CNTS", iproclass_functions: 8, biorank_functions: 15 },
-    Table1Row { protein: "DARE", iproclass_functions: 18, biorank_functions: 39 },
-    Table1Row { protein: "EIF2B1", iproclass_functions: 15, biorank_functions: 35 },
-    Table1Row { protein: "EYA1", iproclass_functions: 12, biorank_functions: 38 },
-    Table1Row { protein: "FGFR3", iproclass_functions: 16, biorank_functions: 65 },
-    Table1Row { protein: "GALT", iproclass_functions: 8, biorank_functions: 15 },
-    Table1Row { protein: "GCH1", iproclass_functions: 10, biorank_functions: 21 },
-    Table1Row { protein: "GLDC", iproclass_functions: 7, biorank_functions: 17 },
-    Table1Row { protein: "GNE", iproclass_functions: 13, biorank_functions: 24 },
-    Table1Row { protein: "LPL", iproclass_functions: 13, biorank_functions: 36 },
-    Table1Row { protein: "MLH1", iproclass_functions: 19, biorank_functions: 52 },
-    Table1Row { protein: "MUTL", iproclass_functions: 13, biorank_functions: 28 },
-    Table1Row { protein: "RYR2", iproclass_functions: 18, biorank_functions: 66 },
-    Table1Row { protein: "SLC17A5", iproclass_functions: 13, biorank_functions: 66 },
+    Table1Row {
+        protein: "ABCC8",
+        iproclass_functions: 13,
+        biorank_functions: 97,
+    },
+    Table1Row {
+        protein: "ABCD1",
+        iproclass_functions: 15,
+        biorank_functions: 79,
+    },
+    Table1Row {
+        protein: "AGPAT2",
+        iproclass_functions: 10,
+        biorank_functions: 16,
+    },
+    Table1Row {
+        protein: "ATP1A2",
+        iproclass_functions: 31,
+        biorank_functions: 108,
+    },
+    Table1Row {
+        protein: "ATP7A",
+        iproclass_functions: 35,
+        biorank_functions: 130,
+    },
+    Table1Row {
+        protein: "CFTR",
+        iproclass_functions: 19,
+        biorank_functions: 90,
+    },
+    Table1Row {
+        protein: "CNTS",
+        iproclass_functions: 8,
+        biorank_functions: 15,
+    },
+    Table1Row {
+        protein: "DARE",
+        iproclass_functions: 18,
+        biorank_functions: 39,
+    },
+    Table1Row {
+        protein: "EIF2B1",
+        iproclass_functions: 15,
+        biorank_functions: 35,
+    },
+    Table1Row {
+        protein: "EYA1",
+        iproclass_functions: 12,
+        biorank_functions: 38,
+    },
+    Table1Row {
+        protein: "FGFR3",
+        iproclass_functions: 16,
+        biorank_functions: 65,
+    },
+    Table1Row {
+        protein: "GALT",
+        iproclass_functions: 8,
+        biorank_functions: 15,
+    },
+    Table1Row {
+        protein: "GCH1",
+        iproclass_functions: 10,
+        biorank_functions: 21,
+    },
+    Table1Row {
+        protein: "GLDC",
+        iproclass_functions: 7,
+        biorank_functions: 17,
+    },
+    Table1Row {
+        protein: "GNE",
+        iproclass_functions: 13,
+        biorank_functions: 24,
+    },
+    Table1Row {
+        protein: "LPL",
+        iproclass_functions: 13,
+        biorank_functions: 36,
+    },
+    Table1Row {
+        protein: "MLH1",
+        iproclass_functions: 19,
+        biorank_functions: 52,
+    },
+    Table1Row {
+        protein: "MUTL",
+        iproclass_functions: 13,
+        biorank_functions: 28,
+    },
+    Table1Row {
+        protein: "RYR2",
+        iproclass_functions: 18,
+        biorank_functions: 66,
+    },
+    Table1Row {
+        protein: "SLC17A5",
+        iproclass_functions: 13,
+        biorank_functions: 66,
+    },
 ];
 
 /// Sum of Table 1's `#iProClass` column (the paper reports 306).
@@ -79,13 +159,48 @@ pub struct Table2Row {
 /// Note the paper spells the second protein `Cftr` in Table 2 while
 /// Table 1 has `CFTR`; we normalize to the Table 1 symbol.
 pub const TABLE2: &[Table2Row] = &[
-    Table2Row { protein: "ABCC8", go: 6855, pubmed_id: 18025464, year: 2007 },
-    Table2Row { protein: "ABCC8", go: 15559, pubmed_id: 18025464, year: 2007 },
-    Table2Row { protein: "ABCC8", go: 42493, pubmed_id: 18025464, year: 2007 },
-    Table2Row { protein: "CFTR", go: 30321, pubmed_id: 17869070, year: 2007 },
-    Table2Row { protein: "CFTR", go: 42493, pubmed_id: 18045536, year: 2007 },
-    Table2Row { protein: "EYA1", go: 7501, pubmed_id: 17637804, year: 2007 },
-    Table2Row { protein: "EYA1", go: 42472, pubmed_id: 17637804, year: 2007 },
+    Table2Row {
+        protein: "ABCC8",
+        go: 6855,
+        pubmed_id: 18025464,
+        year: 2007,
+    },
+    Table2Row {
+        protein: "ABCC8",
+        go: 15559,
+        pubmed_id: 18025464,
+        year: 2007,
+    },
+    Table2Row {
+        protein: "ABCC8",
+        go: 42493,
+        pubmed_id: 18025464,
+        year: 2007,
+    },
+    Table2Row {
+        protein: "CFTR",
+        go: 30321,
+        pubmed_id: 17869070,
+        year: 2007,
+    },
+    Table2Row {
+        protein: "CFTR",
+        go: 42493,
+        pubmed_id: 18045536,
+        year: 2007,
+    },
+    Table2Row {
+        protein: "EYA1",
+        go: 7501,
+        pubmed_id: 17637804,
+        year: 2007,
+    },
+    Table2Row {
+        protein: "EYA1",
+        go: 42472,
+        pubmed_id: 17637804,
+        year: 2007,
+    },
 ];
 
 /// One row of Table 3: a hypothetical protein and its expert-validated
@@ -103,17 +218,61 @@ pub struct Table3Row {
 
 /// Table 3: the 11 hypothetical proteins.
 pub const TABLE3: &[Table3Row] = &[
-    Table3Row { protein: "DP0843", go: 3973, answer_set_size: 47 },
-    Table3Row { protein: "DP1954", go: 19175, answer_set_size: 18 },
-    Table3Row { protein: "NMC0498", go: 16226, answer_set_size: 5 },
-    Table3Row { protein: "NMC1442", go: 50518, answer_set_size: 17 },
-    Table3Row { protein: "NMC1815", go: 19143, answer_set_size: 14 },
-    Table3Row { protein: "SO_0025", go: 4729, answer_set_size: 5 },
-    Table3Row { protein: "SO_0599", go: 5524, answer_set_size: 19 },
-    Table3Row { protein: "SO_0828", go: 8990, answer_set_size: 4 },
-    Table3Row { protein: "SO_0887", go: 47632, answer_set_size: 6 },
-    Table3Row { protein: "SO_1523", go: 3951, answer_set_size: 24 },
-    Table3Row { protein: "WGLp528", go: 4017, answer_set_size: 9 },
+    Table3Row {
+        protein: "DP0843",
+        go: 3973,
+        answer_set_size: 47,
+    },
+    Table3Row {
+        protein: "DP1954",
+        go: 19175,
+        answer_set_size: 18,
+    },
+    Table3Row {
+        protein: "NMC0498",
+        go: 16226,
+        answer_set_size: 5,
+    },
+    Table3Row {
+        protein: "NMC1442",
+        go: 50518,
+        answer_set_size: 17,
+    },
+    Table3Row {
+        protein: "NMC1815",
+        go: 19143,
+        answer_set_size: 14,
+    },
+    Table3Row {
+        protein: "SO_0025",
+        go: 4729,
+        answer_set_size: 5,
+    },
+    Table3Row {
+        protein: "SO_0599",
+        go: 5524,
+        answer_set_size: 19,
+    },
+    Table3Row {
+        protein: "SO_0828",
+        go: 8990,
+        answer_set_size: 4,
+    },
+    Table3Row {
+        protein: "SO_0887",
+        go: 47632,
+        answer_set_size: 6,
+    },
+    Table3Row {
+        protein: "SO_1523",
+        go: 3951,
+        answer_set_size: 24,
+    },
+    Table3Row {
+        protein: "WGLp528",
+        go: 4017,
+        answer_set_size: 9,
+    },
 ];
 
 /// Less-known functions of one protein as [`GoTerm`]s.

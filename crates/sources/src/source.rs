@@ -202,8 +202,14 @@ mod tests {
     #[test]
     fn registry_routes_to_owner() {
         let mut r = Registry::new();
-        r.register(Box::new(Stub { name: "S1", es: "A" }));
-        r.register(Box::new(Stub { name: "S2", es: "B" }));
+        r.register(Box::new(Stub {
+            name: "S1",
+            es: "A",
+        }));
+        r.register(Box::new(Stub {
+            name: "S2",
+            es: "B",
+        }));
         assert_eq!(r.len(), 2);
         assert_eq!(r.search("A", "hit").len(), 1);
         assert_eq!(r.search("B", "miss").len(), 0);
@@ -214,8 +220,14 @@ mod tests {
     #[test]
     fn links_aggregate_across_sources() {
         let mut r = Registry::new();
-        r.register(Box::new(Stub { name: "S1", es: "A" }));
-        r.register(Box::new(Stub { name: "S2", es: "B" }));
+        r.register(Box::new(Stub {
+            name: "S1",
+            es: "A",
+        }));
+        r.register(Box::new(Stub {
+            name: "S2",
+            es: "B",
+        }));
         // Both stubs contribute a link from entity set A.
         let links = r.links_from("A", "k1");
         assert_eq!(links.len(), 2);
@@ -226,8 +238,14 @@ mod tests {
     #[test]
     fn first_owner_wins() {
         let mut r = Registry::new();
-        r.register(Box::new(Stub { name: "S1", es: "A" }));
-        r.register(Box::new(Stub { name: "S2", es: "A" }));
+        r.register(Box::new(Stub {
+            name: "S1",
+            es: "A",
+        }));
+        r.register(Box::new(Stub {
+            name: "S2",
+            es: "A",
+        }));
         assert_eq!(r.owner("A").unwrap().name(), "S1");
     }
 

@@ -119,10 +119,7 @@ impl Source for FamilySource {
         if entity_set != self.entity_set || !self.annotations.contains_key(key) {
             return None;
         }
-        Some(
-            Record::new(&self.entity_set, key, key, Prob::ONE)
-                .with_attr("family", key),
-        )
+        Some(Record::new(&self.entity_set, key, key, Prob::ONE).with_attr("family", key))
     }
 
     fn links_from(&self, entity_set: &str, key: &str) -> Vec<Link> {
@@ -341,10 +338,7 @@ impl Source for AmigoSource {
         let term = GoTerm::parse(key)?;
         let code = self.evidence.get(&term)?;
         let name = self.universe.name(term).unwrap_or("unknown function");
-        Some(
-            Record::new("AmiGO", key, name, code.pr())
-                .with_attr("EvidenceCode", code.to_string()),
-        )
+        Some(Record::new("AmiGO", key, name, code.pr()).with_attr("EvidenceCode", code.to_string()))
     }
 
     fn links_from(&self, entity_set: &str, key: &str) -> Vec<Link> {
@@ -533,7 +527,10 @@ mod tests {
         let mut f = FamilySource::new("Pfam", "prot2pfam", "pfam2go");
         f.hits.insert(
             "ABCC8".into(),
-            vec![FamilyHit { family: "PF00005".into(), e_value: 1e-65 }],
+            vec![FamilyHit {
+                family: "PF00005".into(),
+                e_value: 1e-65,
+            }],
         );
         f.annotations
             .insert("PF00005".into(), vec![GoTerm(5524), GoTerm(8281)]);
@@ -605,7 +602,8 @@ mod tests {
     #[test]
     fn iproclass_gold_standard_lookup() {
         let mut i = IproclassSource::default();
-        i.gold.insert("ABCC8".into(), vec![GoTerm(8281), GoTerm(5524)]);
+        i.gold
+            .insert("ABCC8".into(), vec![GoTerm(8281), GoTerm(5524)]);
         assert!(i.is_known("ABCC8", GoTerm(8281)));
         assert!(!i.is_known("ABCC8", GoTerm(42493)));
         assert!(!i.is_known("NOPE", GoTerm(8281)));

@@ -164,7 +164,11 @@ impl World {
             uniprot: UniProtSource::default(),
             pdb: PdbSource::default(),
         };
-        let mut counters = Counters { family: 0, gene: 0, hit: 0 };
+        let mut counters = Counters {
+            family: 0,
+            gene: 0,
+            hit: 0,
+        };
         let mut evidence_of: BTreeMap<GoTerm, biorank_schema::EvidenceCode> = BTreeMap::new();
 
         // ---- The 20 well-studied proteins (Tables 1 & 2). -------------
@@ -195,9 +199,7 @@ impl World {
                 &mut counters,
                 &mut evidence_of,
             );
-            w.iproclass
-                .gold
-                .insert(row.protein.to_string(), well_known);
+            w.iproclass.gold.insert(row.protein.to_string(), well_known);
         }
 
         // ---- The 11 hypothetical proteins (Table 3). -------------------
@@ -269,15 +271,23 @@ impl World {
                 },
             );
             let hit_key = format!("HIT:{name}:self");
-            self.blast.hits.entry(name.to_string()).or_default().push(BlastHit {
-                hit_key,
-                e_value: prob_to_evalue(biorank_graph::Prob::new(0.98).expect("const")),
-                id_eg: gene_id.clone(),
-            });
+            self.blast
+                .hits
+                .entry(name.to_string())
+                .or_default()
+                .push(BlastHit {
+                    hit_key,
+                    e_value: prob_to_evalue(biorank_graph::Prob::new(0.98).expect("const")),
+                    id_eg: gene_id.clone(),
+                });
             Some(gene_id)
         };
 
-        let mut pools = Pools { pfam: Vec::new(), tigr: Vec::new(), neighbors: Vec::new() };
+        let mut pools = Pools {
+            pfam: Vec::new(),
+            tigr: Vec::new(),
+            neighbors: Vec::new(),
+        };
 
         for &(go, class) in functions {
             // Strong-noise selection happens here so the fraction is a
@@ -403,13 +413,15 @@ impl World {
                     annotations: Vec::new(),
                 },
             );
-            self.blast.hits.entry(name.to_string()).or_default().push(BlastHit {
-                hit_key,
-                e_value: prob_to_evalue(biorank_graph::Prob::clamped(
-                    rng.gen_range(0.05..0.5),
-                )),
-                id_eg: gene_id,
-            });
+            self.blast
+                .hits
+                .entry(name.to_string())
+                .or_default()
+                .push(BlastHit {
+                    hit_key,
+                    e_value: prob_to_evalue(biorank_graph::Prob::clamped(rng.gen_range(0.05..0.5))),
+                    id_eg: gene_id,
+                });
         }
         let live_fams = self.pfam.hits.get(name).map_or(0, Vec::len)
             + self.tigrfam.hits.get(name).map_or(0, Vec::len);
@@ -417,13 +429,18 @@ impl World {
         for i in 0..dead_fams {
             counters.family += 1;
             let fam = format!("PF{:05}", counters.family);
-            let src = if i % 2 == 0 { &mut self.pfam } else { &mut self.tigrfam };
-            src.hits.entry(name.to_string()).or_default().push(FamilyHit {
-                family: fam.clone(),
-                e_value: prob_to_evalue(biorank_graph::Prob::clamped(
-                    rng.gen_range(0.05..0.5),
-                )),
-            });
+            let src = if i % 2 == 0 {
+                &mut self.pfam
+            } else {
+                &mut self.tigrfam
+            };
+            src.hits
+                .entry(name.to_string())
+                .or_default()
+                .push(FamilyHit {
+                    family: fam.clone(),
+                    e_value: prob_to_evalue(biorank_graph::Prob::clamped(rng.gen_range(0.05..0.5))),
+                });
             src.annotations.insert(fam, Vec::new());
         }
 
@@ -466,8 +483,7 @@ impl World {
                 .filter(|(g, c)| *c == class && g.0 >= GENERATED && g.0 < child.0)
                 .map(|(g, _)| *g)
                 .collect();
-            let Some(&parent) = parents.get(rng.gen_range(0..parents.len().max(1)))
-            else {
+            let Some(&parent) = parents.get(rng.gen_range(0..parents.len().max(1))) else {
                 continue;
             };
             let entry = self.amigo.isa.entry(child).or_default();
@@ -644,12 +660,16 @@ impl World {
             if !truths.is_empty() {
                 ext_counter += 1;
                 let fam = format!("SF{ext_counter:05}");
-                self.pirsf.hits.entry(name.clone()).or_default().push(FamilyHit {
-                    family: fam.clone(),
-                    e_value: prob_to_evalue(biorank_graph::Prob::clamped(
-                        rng.gen_range(0.7..0.95),
-                    )),
-                });
+                self.pirsf
+                    .hits
+                    .entry(name.clone())
+                    .or_default()
+                    .push(FamilyHit {
+                        family: fam.clone(),
+                        e_value: prob_to_evalue(biorank_graph::Prob::clamped(
+                            rng.gen_range(0.7..0.95),
+                        )),
+                    });
                 let take = truths.len().min(2);
                 self.pirsf.annotations.insert(fam, truths[..take].to_vec());
             }
@@ -658,12 +678,16 @@ impl World {
             {
                 ext_counter += 1;
                 let fam = format!("SSF{ext_counter:05}");
-                self.superfamily.hits.entry(name.clone()).or_default().push(FamilyHit {
-                    family: fam.clone(),
-                    e_value: prob_to_evalue(biorank_graph::Prob::clamped(
-                        rng.gen_range(0.35..0.7),
-                    )),
-                });
+                self.superfamily
+                    .hits
+                    .entry(name.clone())
+                    .or_default()
+                    .push(FamilyHit {
+                        family: fam.clone(),
+                        e_value: prob_to_evalue(biorank_graph::Prob::clamped(
+                            rng.gen_range(0.35..0.7),
+                        )),
+                    });
                 let mut anns: Vec<GoTerm> = truths.iter().take(1).copied().collect();
                 anns.extend(noise.iter().take(2).copied());
                 self.superfamily.annotations.insert(fam, anns);
@@ -673,12 +697,16 @@ impl World {
             if !noise.is_empty() {
                 ext_counter += 1;
                 let dom = format!("CD{ext_counter:05}");
-                self.cdd.hits.entry(name.clone()).or_default().push(FamilyHit {
-                    family: dom.clone(),
-                    e_value: prob_to_evalue(biorank_graph::Prob::clamped(
-                        rng.gen_range(0.1..0.45),
-                    )),
-                });
+                self.cdd
+                    .hits
+                    .entry(name.clone())
+                    .or_default()
+                    .push(FamilyHit {
+                        family: dom.clone(),
+                        e_value: prob_to_evalue(biorank_graph::Prob::clamped(
+                            rng.gen_range(0.1..0.45),
+                        )),
+                    });
                 let take = noise.len().min(3);
                 self.cdd.annotations.insert(dom, noise[..take].to_vec());
             }
@@ -721,9 +749,10 @@ fn pick_family(
     prefix: &str,
     already_annotates: impl Fn(&str) -> bool,
 ) -> String {
-    if let Some((_, fam)) = pool.iter().find(|(s, fam)| {
-        (s - strength).abs() <= model.pool_tolerance && !already_annotates(fam)
-    }) {
+    if let Some((_, fam)) = pool
+        .iter()
+        .find(|(s, fam)| (s - strength).abs() <= model.pool_tolerance && !already_annotates(fam))
+    {
         if pool.len() >= model.max_pool || rng.gen::<f64>() < reuse {
             return fam.clone();
         }
@@ -858,7 +887,10 @@ mod tests {
             let truth = p.functions_of(FunctionClass::Expert);
             assert_eq!(truth, vec![GoTerm(row.go)], "{}", row.protein);
             // Hypothetical proteins have no curated self gene.
-            assert!(!w.entrez_gene.records.contains_key(&format!("EG:{}", row.protein)));
+            assert!(!w
+                .entrez_gene
+                .records
+                .contains_key(&format!("EG:{}", row.protein)));
         }
     }
 
@@ -866,8 +898,7 @@ mod tests {
     fn every_function_is_evidenced_somewhere() {
         let w = world();
         // Collect all GO terms reachable through any annotation table.
-        let mut annotated: std::collections::BTreeSet<GoTerm> =
-            std::collections::BTreeSet::new();
+        let mut annotated: std::collections::BTreeSet<GoTerm> = std::collections::BTreeSet::new();
         for gos in w.pfam.annotations.values() {
             annotated.extend(gos.iter().copied());
         }
@@ -907,7 +938,14 @@ mod tests {
     fn registry_covers_the_fig1_entity_sets() {
         let w = world();
         let r = w.registry();
-        for es in ["EntrezProtein", "Pfam", "TigrFam", "NCBIBlast", "EntrezGene", "AmiGO"] {
+        for es in [
+            "EntrezProtein",
+            "Pfam",
+            "TigrFam",
+            "NCBIBlast",
+            "EntrezGene",
+            "AmiGO",
+        ] {
             assert!(r.owner(es).is_some(), "{es} unowned");
         }
         // The query for ABCC8 finds the protein record.

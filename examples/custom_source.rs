@@ -40,7 +40,12 @@ impl Source for LabNotes {
             .iter()
             .find(|(p, _, _)| format!("assay:{p}") == key)
             .map(|(p, _, _)| {
-                Record::new("LabNotes", format!("assay:{p}"), format!("assay for {p}"), Prob::ONE)
+                Record::new(
+                    "LabNotes",
+                    format!("assay:{p}"),
+                    format!("assay for {p}"),
+                    Prob::ONE,
+                )
             })
     }
 
@@ -96,7 +101,13 @@ fn main() {
         .entity("LabNotes", "LabNotes", &["assay", "confidence"], 0.95)
         .expect("fresh entity set");
     b.schema
-        .relationship("prot2lab", b.entrez_protein, lab, Cardinality::OneToMany, 1.0)
+        .relationship(
+            "prot2lab",
+            b.entrez_protein,
+            lab,
+            Cardinality::OneToMany,
+            1.0,
+        )
         .expect("fresh relationship");
     b.schema
         .relationship("lab2go", lab, b.amigo, Cardinality::ManyToMany, 0.95)
@@ -112,7 +123,10 @@ fn main() {
     let baseline = Mediator::new(biorank_schema_with_ontology().schema, world.registry());
     let extended = Mediator::new(b.schema, registry);
     let query = ExploratoryQuery::protein_functions(protein);
-    for (label, mediator) in [("without LabNotes", &baseline), ("with LabNotes", &extended)] {
+    for (label, mediator) in [
+        ("without LabNotes", &baseline),
+        ("with LabNotes", &extended),
+    ] {
         let result = mediator.execute(&query).expect("integration succeeds");
         let scores = ReducedMc::new(10_000, 11)
             .score(&result.query)
@@ -133,6 +147,8 @@ fn main() {
             entry.score
         );
     }
-    println!("→ one strong assay pulls the function up the ranking, exactly the \
-              \"few strong paths\" effect the probabilistic semantics reward.");
+    println!(
+        "→ one strong assay pulls the function up the ranking, exactly the \
+              \"few strong paths\" effect the probabilistic semantics reward."
+    );
 }

@@ -10,7 +10,9 @@
 use biorank::prelude::*;
 
 fn main() {
-    let protein = std::env::args().nth(1).unwrap_or_else(|| "ABCC8".to_string());
+    let protein = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "ABCC8".to_string());
 
     // 1. A deterministic synthetic world standing in for the 11 live
     //    web sources of the paper (see DESIGN.md for the substitution).

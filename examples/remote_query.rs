@@ -1,0 +1,62 @@
+//! Querying a `biorank serve` instance from Rust, end to end.
+//!
+//! This example starts an in-process server on an ephemeral port (so
+//! it runs standalone), then talks to it exactly the way an external
+//! client would: over TCP with the line-delimited JSON protocol.
+//!
+//! ```text
+//! cargo run --example remote_query
+//! ```
+
+use std::sync::Arc;
+
+use biorank::mediator::Mediator;
+use biorank::prelude::*;
+use biorank::service::{
+    Client, Method, QueryEngine, QueryRequest, RankerSpec, ServeOptions, Server,
+};
+
+fn main() {
+    // Server side: a resident world behind a cached, concurrent engine.
+    let world = World::generate(WorldParams::default());
+    let mediator = Mediator::new(biorank_schema_with_ontology().schema, world.registry());
+    let engine = Arc::new(QueryEngine::new(mediator));
+    let server = Server::bind("127.0.0.1:0", engine, ServeOptions { workers: 4 })
+        .expect("bind ephemeral port");
+    let handle = server.handle().expect("server handle");
+    std::thread::spawn(move || server.run().expect("server run"));
+    println!("serving on {}", handle.addr());
+
+    // Client side: one protein under two semantics, then a repeat to
+    // show the cache.
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    for spec in [
+        RankerSpec::new(Method::Reliability),
+        RankerSpec::new(Method::PathCount),
+    ] {
+        let response = client
+            .query(&QueryRequest {
+                query: ExploratoryQuery::protein_functions("GALT"),
+                spec,
+                top: Some(5),
+            })
+            .expect("query GALT");
+        println!(
+            "\nGALT top-5 of {} via {:?} ({} µs, graph cached: {}):",
+            response.total_answers, spec.method, response.micros, response.cached_graph
+        );
+        for a in &response.answers {
+            println!("  {:<12} {:<40} {:.4}", a.key, a.label, a.score);
+        }
+    }
+
+    let repeat = client
+        .protein_functions("GALT", RankerSpec::new(Method::Reliability))
+        .expect("repeat query");
+    println!(
+        "\nrepeat: served from cache = {}, {} µs",
+        repeat.cached_scores, repeat.micros
+    );
+
+    handle.shutdown();
+}

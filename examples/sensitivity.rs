@@ -40,11 +40,8 @@ fn main() {
     );
 
     // The full study on scenario 3.
-    let baseline = evaluate(
-        &[Box::new(ranker) as Box<dyn Ranker + Send + Sync>],
-        &cases,
-    )
-    .expect("baseline evaluation")[0]
+    let baseline = evaluate(&[Box::new(ranker) as Box<dyn Ranker + Send + Sync>], &cases)
+        .expect("baseline evaluation")[0]
         .summary
         .mean;
     println!("scenario 3, propagation: default AP = {baseline:.3}");

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# The tier-1 verification gate, runnable locally and from CI:
+#
+#   scripts/ci.sh
+#
+# Steps: format check, release build of every target (libs, bins,
+# tests, examples, benches), then the full test suite.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo build --release --all-targets"
+cargo build --release --all-targets
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "OK"

@@ -26,9 +26,15 @@ fn four_reliability_evaluators_agree_on_small_queries() {
             if let Some(t) = st.target {
                 let truth = biorank::graph::exact::factoring(&st.graph, st.source, t, None)
                     .expect("factoring");
-                assert!((c - truth).abs() < 1e-9, "{protein}/{a}: closed {c} vs {truth}");
+                assert!(
+                    (c - truth).abs() < 1e-9,
+                    "{protein}/{a}: closed {c} vs {truth}"
+                );
             }
-            assert!((c - mc.get(a)).abs() < 0.02, "{protein}/{a}: closed {c} vs MC");
+            assert!(
+                (c - mc.get(a)).abs() < 0.02,
+                "{protein}/{a}: closed {c} vs MC"
+            );
         }
     }
 }

@@ -103,7 +103,9 @@ fn pirsf_corroboration_strengthens_true_functions() {
         .answers()
         .iter()
         .filter(|&&a| {
-            let Some(key) = with.answer_key(a) else { return false };
+            let Some(key) = with.answer_key(a) else {
+                return false;
+            };
             if !pirsf_terms.iter().any(|t| t == key) {
                 return false;
             }
@@ -143,7 +145,11 @@ fn pdb_structures_are_pruned_leaves() {
     // ...but no PDB record survives into the query graph (they are
     // answer-less leaves).
     for rec in r.records.values() {
-        assert_ne!(rec.entity_set, "PDB", "PDB leaf {} survived pruning", rec.key);
+        assert_ne!(
+            rec.entity_set, "PDB",
+            "PDB leaf {} survived pruning",
+            rec.key
+        );
     }
 }
 

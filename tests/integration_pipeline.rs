@@ -116,8 +116,14 @@ fn world_regeneration_is_fully_deterministic() {
 
 #[test]
 fn different_seeds_give_different_worlds() {
-    let w1 = World::generate(WorldParams { seed: 1, ..WorldParams::default() });
-    let w2 = World::generate(WorldParams { seed: 2, ..WorldParams::default() });
+    let w1 = World::generate(WorldParams {
+        seed: 1,
+        ..WorldParams::default()
+    });
+    let w2 = World::generate(WorldParams {
+        seed: 2,
+        ..WorldParams::default()
+    });
     // Population structure is pinned by the paper's tables...
     assert_eq!(w1.profiles.len(), w2.profiles.len());
     // ...but the evidence draws differ.

@@ -37,12 +37,23 @@ fn scenario1_deterministic_methods_hold_their_own() {
     let (inedge, pathc) = (ap(&aps, "InEdge"), ap(&aps, "PathC"));
     assert!(inedge >= rel - 0.03, "InEdge {inedge} vs Rel {rel}");
     assert!(pathc >= rel - 0.05, "PathC {pathc} vs Rel {rel}");
-    assert!(diff < rel - 0.05, "Diff {diff} must be clearly worst vs Rel {rel}");
-    for (name, v) in [("Rel", rel), ("Prop", prop), ("InEdge", inedge), ("PathC", pathc)] {
+    assert!(
+        diff < rel - 0.05,
+        "Diff {diff} must be clearly worst vs Rel {rel}"
+    );
+    for (name, v) in [
+        ("Rel", rel),
+        ("Prop", prop),
+        ("InEdge", inedge),
+        ("PathC", pathc),
+    ] {
         assert!(v > 0.8, "{name} = {v} too low for scenario 1");
         assert!(v > random + 0.3, "{name} barely beats random");
     }
-    assert!((random - 0.42).abs() < 0.03, "random baseline {random} (paper: 0.42)");
+    assert!(
+        (random - 0.42).abs() < 0.03,
+        "random baseline {random} (paper: 0.42)"
+    );
 }
 
 #[test]
@@ -55,7 +66,10 @@ fn scenario2_probabilistic_methods_win() {
     let (inedge, pathc) = (ap(&aps, "InEdge"), ap(&aps, "PathC"));
     assert!(rel > inedge + 0.1, "Rel {rel} must beat InEdge {inedge}");
     assert!(prop > pathc + 0.1, "Prop {prop} must beat PathC {pathc}");
-    assert!(diff > rel, "Diff {diff} leads scenario 2 (paper: 0.62 vs 0.46)");
+    assert!(
+        diff > rel,
+        "Diff {diff} leads scenario 2 (paper: 0.62 vs 0.46)"
+    );
     assert!(inedge < random + 0.1, "InEdge {inedge} ≈ random {random}");
     assert!(pathc < random + 0.1, "PathC {pathc} ≈ random {random}");
 }
@@ -71,7 +85,10 @@ fn scenario3_reliability_and_propagation_best() {
     assert!(prop > pathc + 0.1, "Prop {prop} vs PathC {pathc}");
     assert!(rel >= prop - 0.02, "Rel {rel} at least matches Prop {prop}");
     assert!(inedge > random, "counting still beats random here");
-    assert!((random - 0.29).abs() < 0.03, "random baseline {random} (paper: 0.29)");
+    assert!(
+        (random - 0.29).abs() < 0.03,
+        "random baseline {random} (paper: 0.29)"
+    );
 }
 
 #[test]
@@ -95,8 +112,14 @@ fn reductions_shrink_query_graphs_substantially() {
     }
     let rule_avg = rule_ratios.iter().sum::<f64>() / rule_ratios.len() as f64;
     let combined_avg = combined_ratios.iter().sum::<f64>() / combined_ratios.len() as f64;
-    assert!(rule_avg > 0.25, "rule-only shrink ratio {rule_avg} too small");
-    assert!(combined_avg > 0.4, "combined shrink ratio {combined_avg} too small");
+    assert!(
+        rule_avg > 0.25,
+        "rule-only shrink ratio {rule_avg} too small"
+    );
+    assert!(
+        combined_avg > 0.4,
+        "combined shrink ratio {combined_avg} too small"
+    );
 }
 
 #[test]
@@ -127,7 +150,10 @@ fn monte_carlo_with_1000_trials_is_already_accurate() {
 #[test]
 fn theorem_31_bound_matches_paper_example() {
     let n = biorank::rank::bounds::trials_needed(0.02, 0.05).expect("valid");
-    assert!(n <= 10_000, "paper: 10,000 trials should be enough (bound {n})");
+    assert!(
+        n <= 10_000,
+        "paper: 10,000 trials should be enough (bound {n})"
+    );
     assert!(n >= 5_000, "bound {n} suspiciously small");
 }
 

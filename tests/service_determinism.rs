@@ -1,0 +1,162 @@
+//! Concurrency-determinism guarantees of the serving layer: the same
+//! seeded query batch must produce bit-identical rankings on 1 worker
+//! and on N workers, and cache hits must return exactly what
+//! recomputation would.
+
+use std::sync::Arc;
+
+use biorank::mediator::Mediator;
+use biorank::prelude::*;
+use biorank::service::{Method, QueryEngine, QueryRequest, RankerSpec, WorkerPool};
+
+fn engine() -> Arc<QueryEngine> {
+    let world = World::generate(WorldParams::default());
+    Arc::new(QueryEngine::new(Mediator::new(
+        biorank_schema_with_ontology().schema,
+        world.registry(),
+    )))
+}
+
+/// A batch mixing stochastic and deterministic methods, with repeats
+/// so the cache path is exercised inside the batch itself.
+fn batch() -> Vec<QueryRequest> {
+    let proteins = ["GALT", "ABCC8", "CFTR", "EYA1", "GALT", "ABCC8"];
+    let methods = [
+        Method::Reliability,
+        Method::TraversalMc,
+        Method::Propagation,
+        Method::Diffusion,
+        Method::InEdge,
+        Method::PathCount,
+    ];
+    let mut out = Vec::new();
+    for (i, protein) in proteins.iter().enumerate() {
+        for method in methods {
+            out.push(QueryRequest {
+                query: ExploratoryQuery::protein_functions(protein),
+                spec: RankerSpec {
+                    method,
+                    trials: 500,
+                    seed: 7 + (i % 2) as u64,
+                },
+                top: None,
+            });
+        }
+    }
+    out
+}
+
+fn rankings(
+    results: Vec<Result<biorank::service::QueryResponse, biorank::service::Error>>,
+) -> Vec<Vec<(String, f64, usize, usize)>> {
+    results
+        .into_iter()
+        .map(|r| {
+            r.expect("batch query succeeds")
+                .answers
+                .into_iter()
+                .map(|a| (a.key, a.score, a.rank_lo, a.rank_hi))
+                .collect()
+        })
+        .collect()
+}
+
+#[test]
+fn one_worker_and_n_workers_rank_identically() {
+    // Fresh engines per pool size: no cross-run cache reuse, so the
+    // comparison is between genuinely independent executions.
+    let sequential = rankings(WorkerPool::new(1).run_batch(&engine(), batch()));
+    let concurrent = rankings(WorkerPool::new(8).run_batch(&engine(), batch()));
+    assert_eq!(
+        sequential, concurrent,
+        "8-worker batch must be bit-identical to the 1-worker batch"
+    );
+    // And stable across repetition.
+    let again = rankings(WorkerPool::new(4).run_batch(&engine(), batch()));
+    assert_eq!(sequential, again);
+}
+
+#[test]
+fn pool_batch_matches_direct_sequential_execution() {
+    let eng = engine();
+    let direct: Vec<_> = batch().iter().map(|r| eng.execute(r)).collect();
+    let direct = rankings(direct);
+    let pooled = rankings(WorkerPool::new(6).run_batch(&engine(), batch()));
+    assert_eq!(direct, pooled);
+}
+
+#[test]
+fn cached_responses_equal_uncached_recomputation() {
+    let eng = engine();
+    let req = QueryRequest::protein_functions("GALT", RankerSpec::new(Method::Reliability));
+    let cold = eng.execute(&req).expect("cold query");
+    assert!(!cold.cached_graph && !cold.cached_scores);
+    let warm = eng.execute(&req).expect("warm query");
+    assert!(warm.cached_graph && warm.cached_scores);
+    let recomputed = eng.execute_uncached(&req).expect("uncached query");
+    assert_eq!(cold.answers, warm.answers);
+    assert_eq!(cold.answers, recomputed.answers);
+    assert_eq!(cold.total_answers, 15, "Table 1: GALT → 15");
+}
+
+#[test]
+fn graph_cache_is_shared_across_methods() {
+    let eng = engine();
+    let rel = QueryRequest::protein_functions("CFTR", RankerSpec::new(Method::Reliability));
+    let prop = QueryRequest::protein_functions("CFTR", RankerSpec::new(Method::Propagation));
+    let first = eng.execute(&rel).expect("rel query");
+    assert!(!first.cached_graph);
+    // Same protein, different ranker: integration is reused, scoring
+    // is not.
+    let second = eng.execute(&prop).expect("prop query");
+    assert!(second.cached_graph && !second.cached_scores);
+    let stats = eng.stats();
+    assert_eq!(stats.graphs.hits, 1);
+    assert_eq!(stats.results.misses, 2);
+}
+
+#[test]
+fn distinct_seeds_change_stochastic_rankings_only() {
+    let eng = engine();
+    let spec_a = RankerSpec {
+        method: Method::TraversalMc,
+        trials: 50,
+        seed: 1,
+    };
+    let spec_b = RankerSpec {
+        method: Method::TraversalMc,
+        trials: 50,
+        seed: 2,
+    };
+    let a = eng
+        .execute(&QueryRequest::protein_functions("ABCC8", spec_a))
+        .expect("seed 1");
+    let b = eng
+        .execute(&QueryRequest::protein_functions("ABCC8", spec_b))
+        .expect("seed 2");
+    // 50 trials over 97 answers: scores almost surely differ somewhere.
+    let scores =
+        |r: &biorank::service::QueryResponse| r.answers.iter().map(|x| x.score).collect::<Vec<_>>();
+    assert_ne!(scores(&a), scores(&b), "different seeds, same scores");
+
+    // Deterministic methods ignore the seed entirely; the cache key
+    // normalizes it away, so the second call is a result-cache hit.
+    let det = |seed| {
+        eng.execute(&QueryRequest::protein_functions(
+            "ABCC8",
+            RankerSpec {
+                method: Method::PathCount,
+                trials: 50,
+                seed,
+            },
+        ))
+        .expect("pathcount")
+    };
+    let first = det(1);
+    let second = det(2);
+    assert_eq!(first.answers, second.answers);
+    assert!(
+        !first.cached_scores && second.cached_scores,
+        "seed must not split the cache for deterministic methods"
+    );
+}

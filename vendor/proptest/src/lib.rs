@@ -1,0 +1,438 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build container has no registry access, so this vendored crate
+//! implements the subset of proptest the workspace's property tests
+//! use: the [`Strategy`] trait with `prop_map` / `prop_flat_map` /
+//! `prop_filter`, range and tuple strategies, [`collection::vec`],
+//! [`bool::ANY`], [`Just`], the [`proptest!`] macro and the
+//! `prop_assert*` macros.
+//!
+//! Differences from the real crate: generation is driven by a fixed
+//! deterministic RNG (so failures reproduce exactly across runs) and
+//! there is **no shrinking** — a failing case reports its panic
+//! directly.
+
+#![deny(missing_docs)]
+
+/// Deterministic RNG driving test-case generation (SplitMix64).
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// A fresh deterministic generator; every `proptest!` test fn
+    /// starts from the same stream so failures reproduce.
+    pub fn deterministic() -> Self {
+        TestRng {
+            state: 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `usize` in `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: usize) -> usize {
+        assert!(bound > 0, "below(0)");
+        (self.next_u64() % bound as u64) as usize
+    }
+}
+
+/// A generator of test values.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transforms generated values.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { base: self, f }
+    }
+
+    /// Chains a dependent strategy off each generated value.
+    fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { base: self, f }
+    }
+
+    /// Rejects values failing the predicate, retrying generation.
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(
+        self,
+        reason: impl Into<String>,
+        f: F,
+    ) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter {
+            base: self,
+            reason: reason.into(),
+            f,
+        }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.base.generate(rng))
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (self.f)(self.base.generate(rng)).generate(rng)
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    base: S,
+    reason: String,
+    f: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        for _ in 0..10_000 {
+            let v = self.base.generate(rng);
+            if (self.f)(&v) {
+                return v;
+            }
+        }
+        panic!(
+            "prop_filter rejected 10000 consecutive cases: {}",
+            self.reason
+        );
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as u128).wrapping_sub(self.start as u128);
+                self.start + (rng.next_u64() as u128 % span) as $t
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as u128) - (lo as u128) + 1;
+                lo + (rng.next_u64() as u128 % span) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize);
+
+impl Strategy for core::ops::Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.next_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for core::ops::RangeInclusive<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty range strategy");
+        // Split one draw so both endpoints are actually reachable —
+        // tests branch on exact 0.0 / 1.0 fixed points.
+        match rng.next_u64() % 64 {
+            0 => lo,
+            1 => hi,
+            _ => lo + rng.next_f64() * (hi - lo),
+        }
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);
+
+pub mod bool {
+    //! Boolean strategies.
+
+    /// The strategy of [`ANY`].
+    #[derive(Clone, Copy, Debug)]
+    pub struct Any;
+
+    /// Generates `true` or `false` with equal probability.
+    pub const ANY: Any = Any;
+
+    impl super::Strategy for Any {
+        type Value = bool;
+        fn generate(&self, rng: &mut super::TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::{Strategy, TestRng};
+
+    /// An inclusive length range for [`vec`], built from the usual
+    /// range syntax (`1..40`, `0..=12`, or a fixed `usize`).
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    /// Strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        elem: S,
+        len: SizeRange,
+    }
+
+    /// Generates `Vec`s whose length is drawn from `len` and whose
+    /// elements are drawn from `elem`.
+    pub fn vec<S: Strategy>(elem: S, len: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            elem,
+            len: len.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.len.lo + rng.below(self.len.hi - self.len.lo + 1);
+            (0..n).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    //! Test-runner configuration.
+
+    /// Configuration accepted by `#![proptest_config(..)]`. Only
+    /// `cases` is honoured by this stand-in.
+    #[derive(Clone, Debug)]
+    pub struct Config {
+        /// Number of generated cases per test.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 256 }
+        }
+    }
+}
+
+/// Re-export matching proptest's prelude name.
+pub use test_runner::Config as ProptestConfig;
+
+/// Defines property tests: `#[test]` functions whose arguments are
+/// drawn from strategies via `pat in strategy` clauses.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Internal expansion helper for [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($config:expr)) => {};
+    (($config:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat in $strategy:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            let mut rng = $crate::TestRng::deterministic();
+            for case in 0..config.cases {
+                let strat = ($($strategy,)+);
+                let ($($pat,)+) = $crate::Strategy::generate(&strat, &mut rng);
+                let run = || -> ::core::result::Result<(), ::std::string::String> {
+                    $body
+                    #[allow(unreachable_code)]
+                    Ok(())
+                };
+                if let Err(msg) = run() {
+                    panic!("proptest case {case} failed: {msg}");
+                }
+            }
+        }
+        $crate::__proptest_fns! { ($config) $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err(format!("assertion failed: {}", stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        if !(a == b) {
+            return Err(format!("assertion failed: {:?} != {:?}", a, b));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        if !(a == b) {
+            return Err(format!($($fmt)+));
+        }
+    }};
+}
+
+pub mod prelude {
+    //! The usual imports.
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, proptest, Just, Strategy};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn strategies_compose() {
+        let mut rng = crate::TestRng::deterministic();
+        let s = (1usize..=4)
+            .prop_flat_map(|n| (Just(n), crate::collection::vec(0u8..10, 1..5)))
+            .prop_map(|(n, v)| (n, v.len()))
+            .prop_filter("nonempty", |(_, l)| *l > 0);
+        for _ in 0..100 {
+            let (n, l) = s.generate(&mut rng);
+            assert!((1..=4).contains(&n));
+            assert!((1..5).contains(&l));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The macro binds tuple patterns and runs bodies.
+        #[test]
+        fn macro_works((a, b) in (0u8..10, 0u8..10), flip in crate::bool::ANY) {
+            prop_assert!(a < 10 && b < 10);
+            prop_assert_eq!(flip, flip);
+        }
+    }
+}

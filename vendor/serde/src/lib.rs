@@ -1,0 +1,20 @@
+//! Offline API stand-in for the `serde` crate.
+//!
+//! The build container cannot reach a cargo registry, so this vendored
+//! crate supplies just enough surface for the workspace's
+//! `#[derive(Serialize, Deserialize)]` annotations to compile: the two
+//! marker traits and no-op derive macros (which also swallow
+//! `#[serde(...)]` helper attributes). Nothing in the workspace
+//! requires a `T: Serialize` bound — the service wire format is
+//! hand-rolled JSON in `biorank-serve` — so no real data model is
+//! needed.
+
+#![deny(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}

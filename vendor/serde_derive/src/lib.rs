@@ -1,0 +1,26 @@
+//! No-op `Serialize` / `Deserialize` derive macros.
+//!
+//! The workspace builds offline, so `serde` is vendored as an API-only
+//! stand-in. These derives accept the usual `#[serde(...)]` helper
+//! attributes and expand to nothing: no code in the workspace consumes
+//! `T: Serialize` bounds (the service layer hand-rolls its JSON wire
+//! format), so the annotations compile without pulling in a real
+//! serialization framework.
+
+#![deny(missing_docs)]
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` (and `#[serde(...)]` attributes) and
+/// expands to nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` (and `#[serde(...)]` attributes)
+/// and expands to nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
