@@ -10,7 +10,9 @@ use std::sync::Arc;
 
 use biorank_mediator::Mediator;
 use biorank_schema::biorank_schema_with_ontology;
-use biorank_service::{Method, QueryEngine, QueryRequest, RankerSpec, WorkerPool};
+use biorank_service::{
+    Method, QueryEngine, QueryRequest, RankerSpec, WorkerPool, WorldManager, WorldSpec,
+};
 use biorank_sources::{World, WorldParams};
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
@@ -27,6 +29,7 @@ fn request(protein: &str) -> QueryRequest {
             method: Method::Reliability,
             trials: 1_000,
             seed: 42,
+            parallel: false,
         },
     )
 }
@@ -54,6 +57,7 @@ fn service_throughput(c: &mut Criterion) {
                 method: Method::Reliability,
                 trials: 1_000,
                 seed: 43,
+                parallel: false,
             },
         ),
     ];
@@ -90,6 +94,7 @@ fn batch_scaling(c: &mut Criterion) {
                             method: Method::Reliability,
                             trials: 500,
                             seed: s,
+                            parallel: false,
                         },
                     )
                 })
@@ -112,5 +117,52 @@ fn batch_scaling(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, service_throughput, batch_scaling);
+/// Tenancy overhead: resolve + cached execution round-robined across
+/// three resident worlds, vs the same traffic pinned to one engine.
+/// The delta is the cost of the registry lock + `Arc` clone per query.
+fn multi_world_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("service_throughput");
+    group.sample_size(20);
+
+    let manager = WorldManager::new(4);
+    let worlds = ["default", "staging", "snapshot"];
+    for (i, name) in worlds.iter().enumerate() {
+        manager
+            .load(
+                name,
+                WorldSpec {
+                    seed: 42 + i as u64,
+                    extended: false,
+                    cache_capacity: 64,
+                },
+            )
+            .expect("load world");
+    }
+    let req = request("GALT");
+    // Warm every world's caches so the loop measures steady state.
+    for name in worlds {
+        let engine = manager.resolve(Some(name)).expect("resolve");
+        engine.execute(&req).expect("warm");
+    }
+
+    let mut flip = 0usize;
+    group.bench_function("multi_world_cached_hit", |b| {
+        b.iter(|| {
+            flip += 1;
+            let engine = manager
+                .resolve(Some(black_box(worlds[flip % worlds.len()])))
+                .expect("resolve");
+            engine.execute(black_box(&req)).expect("query")
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    service_throughput,
+    batch_scaling,
+    multi_world_throughput
+);
 criterion_main!(benches);

@@ -7,6 +7,7 @@
 //! biorank topk <PROTEIN> <K>           adaptive top-k with a confidence certificate
 //! biorank scenarios                     the paper's Fig. 5 evaluation
 //! biorank serve [options]               run the concurrent query service
+//! biorank admin <CMD> [NAME] [options]  drive a running server's world registry
 //!
 //! query options:
 //!   --method rel|mc|prop|diff|inedge|pathc   ranking semantics (default rel)
@@ -14,15 +15,25 @@
 //!   --extended                            use the full 11-source federation
 //!   --seed S                              world seed (default paper seed)
 //!   --trials N                            Monte Carlo trials (default 10000)
+//!   --parallel                            intra-query parallel MC (mc method)
 //!   --addr HOST:PORT                      send the query to a running
 //!                                         `biorank serve` instead of
 //!                                         executing locally
+//!   --world NAME                          resident world to query (remote only)
 //!
 //! serve options:
 //!   --addr HOST:PORT                      bind address (default 127.0.0.1:7878)
 //!   --workers N                           query worker threads (default 4)
 //!   --cache N                             per-layer LRU capacity (default 512)
-//!   --extended / --seed S                 world selection, as above
+//!   --worlds N                            resident-world budget (default 4)
+//!   --extended / --seed S                 default-world selection, as above
+//!
+//! admin commands (all need --addr, default 127.0.0.1:7878):
+//!   world.load NAME [--seed S] [--extended] [--cache N]   make a world resident
+//!   world.swap NAME [--seed S] [--extended] [--cache N]   replace + invalidate caches
+//!   world.evict NAME                                      drop a resident world
+//!   world.list                                            show the registry
+//!   stats                                                 per-world cache counters
 //! ```
 
 use std::process::ExitCode;
@@ -32,7 +43,8 @@ use biorank::prelude::*;
 use biorank::rank::{explain::explain, TopK};
 use biorank::schema::biorank_schema_full;
 use biorank::service::{
-    Client, Method, QueryEngine, QueryRequest, RankerSpec, ServeOptions, Server,
+    Client, Method, QueryRequest, RankerSpec, ServeOptions, Server, WorldManager, WorldSpec,
+    DEFAULT_WORLD_BUDGET,
 };
 
 struct Options {
@@ -41,9 +53,12 @@ struct Options {
     extended: bool,
     seed: u64,
     trials: u32,
+    parallel: bool,
     addr: Option<String>,
     workers: usize,
     cache: usize,
+    worlds: usize,
+    world: Option<String>,
     positional: Vec<String>,
 }
 
@@ -54,9 +69,12 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         extended: false,
         seed: 0xB10_C0DE,
         trials: 10_000,
+        parallel: false,
         addr: None,
         workers: 4,
         cache: biorank::service::DEFAULT_CACHE_CAPACITY,
+        worlds: DEFAULT_WORLD_BUDGET,
+        world: None,
         positional: Vec::new(),
     };
     let mut i = 0;
@@ -109,6 +127,18 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     .and_then(|v| v.parse().ok())
                     .ok_or("--cache needs a number")?;
             }
+            "--worlds" => {
+                i += 1;
+                opts.worlds = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--worlds needs a number")?;
+            }
+            "--world" => {
+                i += 1;
+                opts.world = Some(args.get(i).ok_or("--world needs a name")?.to_string());
+            }
+            "--parallel" => opts.parallel = true,
             "--extended" => opts.extended = true,
             flag if flag.starts_with("--") => {
                 return Err(format!("unknown flag {flag}"));
@@ -171,6 +201,7 @@ fn remote_spec(opts: &Options) -> Result<RankerSpec, String> {
         method,
         trials: opts.trials,
         seed: RankerSpec::DEFAULT_SEED,
+        parallel: opts.parallel,
     })
 }
 
@@ -186,11 +217,16 @@ fn cmd_query_remote(opts: &Options, addr: &str) -> Result<(), String> {
         query: ExploratoryQuery::protein_functions(protein),
         spec: remote_spec(opts)?,
         top: Some(opts.top),
+        world: opts.world.clone(),
     };
     let response = client.query(&request).map_err(|e| e.to_string())?;
     println!(
-        "{protein}: {} candidate functions via {addr}, method {} ({}, {} µs)",
+        "{protein}: {} candidate functions via {addr}{}, method {} ({}, {} µs)",
         response.total_answers,
+        opts.world
+            .as_deref()
+            .map(|w| format!(" world {w:?}"))
+            .unwrap_or_default(),
         opts.method,
         match (response.cached_graph, response.cached_scores) {
             (_, true) => "result cache hit",
@@ -216,24 +252,38 @@ fn cmd_query_remote(opts: &Options, addr: &str) -> Result<(), String> {
 }
 
 /// `biorank serve`: bind the concurrent query service and run until
-/// killed.
+/// killed. The world built from `--seed`/`--extended` becomes the
+/// pinned default of a registry holding up to `--worlds` worlds;
+/// `biorank admin` loads and swaps the rest at runtime.
 fn cmd_serve(opts: &Options) -> Result<(), String> {
-    let (_, mediator) = build(opts);
-    let engine = Arc::new(QueryEngine::with_cache_capacity(mediator, opts.cache));
+    let spec = WorldSpec {
+        seed: opts.seed,
+        extended: opts.extended,
+        cache_capacity: opts.cache,
+    };
+    // Built via the same WorldSpec::build an admin world.load would
+    // use, so "equal spec" always means "equal engine".
+    let manager = Arc::new(WorldManager::with_default(
+        Arc::new(spec.build()),
+        spec,
+        opts.worlds,
+    ));
     let addr = opts.addr.as_deref().unwrap_or("127.0.0.1:7878");
-    let server = Server::bind(
+    let server = Server::bind_manager(
         addr,
-        engine,
+        manager,
         ServeOptions {
             workers: opts.workers,
         },
     )
     .map_err(|e| format!("bind {addr}: {e}"))?;
     println!(
-        "biorank-serve listening on {} ({} workers, cache capacity {}, world seed {:#x}{})",
+        "biorank-serve listening on {} ({} workers, cache capacity {}, world budget {}, \
+         default seed {:#x}{})",
         server.local_addr().map_err(|e| e.to_string())?,
         opts.workers.max(1),
         opts.cache,
+        opts.worlds.max(1),
         opts.seed,
         if opts.extended {
             ", extended federation"
@@ -244,9 +294,90 @@ fn cmd_serve(opts: &Options) -> Result<(), String> {
     server.run().map_err(|e| e.to_string())
 }
 
+/// `biorank admin`: drive a running server's world registry.
+fn cmd_admin(opts: &Options) -> Result<(), String> {
+    let cmd = opts
+        .positional
+        .first()
+        .ok_or("usage: biorank admin <world.load|world.swap|world.evict|world.list|stats>")?;
+    let addr = opts.addr.as_deref().unwrap_or("127.0.0.1:7878");
+    let mut client = Client::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let name = || -> Result<&str, String> {
+        opts.positional
+            .get(1)
+            .map(String::as_str)
+            .ok_or(format!("usage: biorank admin {cmd} <NAME>"))
+    };
+    let spec = WorldSpec {
+        seed: opts.seed,
+        extended: opts.extended,
+        cache_capacity: opts.cache,
+    };
+    match cmd.as_str() {
+        "world.load" => {
+            let world = name()?;
+            let generation = client.world_load(world, spec).map_err(|e| e.to_string())?;
+            println!("world {world:?} resident (generation {generation})");
+        }
+        "world.swap" => {
+            let world = name()?;
+            let generation = client.world_swap(world, spec).map_err(|e| e.to_string())?;
+            println!("world {world:?} swapped (generation {generation}, caches invalidated)");
+        }
+        "world.evict" => {
+            let world = name()?;
+            client.world_evict(world).map_err(|e| e.to_string())?;
+            println!("world {world:?} evicted");
+        }
+        "world.list" => {
+            let worlds = client.world_list().map_err(|e| e.to_string())?;
+            println!(
+                "{:<12} {:>4} {:>18} {:>9} {:>7}",
+                "World", "Gen", "Seed", "Federation", "Cache"
+            );
+            for w in worlds {
+                println!(
+                    "{:<12} {:>4} {:>#18x} {:>9} {:>7}",
+                    w.name,
+                    w.generation,
+                    w.spec.seed,
+                    if w.spec.extended { "extended" } else { "fig1" },
+                    w.spec.cache_capacity
+                );
+            }
+        }
+        "stats" => {
+            let stats = client.stats().map_err(|e| e.to_string())?;
+            println!(
+                "{} resident world(s), budget {}",
+                stats.resident, stats.budget
+            );
+            for w in stats.worlds {
+                println!(
+                    "  {:<12} gen {:<3} graphs {:>6}h/{:<6}m ({:>5.1}%)  \
+                     results {:>6}h/{:<6}m ({:>5.1}%)",
+                    w.name,
+                    w.generation,
+                    w.engine.graphs.hits,
+                    w.engine.graphs.misses,
+                    100.0 * w.engine.graphs.hit_rate(),
+                    w.engine.results.hits,
+                    w.engine.results.misses,
+                    100.0 * w.engine.results.hit_rate(),
+                );
+            }
+        }
+        other => return Err(format!("unknown admin command {other:?}")),
+    }
+    Ok(())
+}
+
 fn cmd_query(opts: &Options) -> Result<(), String> {
     if let Some(addr) = opts.addr.clone() {
         return cmd_query_remote(opts, &addr);
+    }
+    if opts.world.is_some() {
+        return Err("--world routes to a server world; it requires --addr".to_string());
     }
     let protein = opts
         .positional
@@ -258,7 +389,16 @@ fn cmd_query(opts: &Options) -> Result<(), String> {
         .map_err(|e| e.to_string())?;
     let q = &result.query;
     let ranker = ranker_for(&opts.method, opts.trials)?;
-    let scores = ranker.score(q).map_err(|e| e.to_string())?;
+    let scores = if opts.parallel && matches!(opts.method.as_str(), "mc" | "relmc") {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        TraversalMc::new(opts.trials, 42)
+            .score_chunked(q, biorank::service::PARALLEL_MC_CHUNKS, threads)
+            .map_err(|e| e.to_string())?
+    } else {
+        ranker.score(q).map_err(|e| e.to_string())?
+    };
     let ranking = Ranking::rank(scores.answers(q));
     println!(
         "{protein}: {} candidate functions ({} graph nodes, {} edges), method {}",
@@ -397,7 +537,7 @@ fn truncate(s: &str, n: usize) -> String {
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = args.first().cloned() else {
-        eprintln!("usage: biorank <proteins|query|explain|topk|scenarios|serve> [args]");
+        eprintln!("usage: biorank <proteins|query|explain|topk|scenarios|serve|admin> [args]");
         eprintln!("see `biorank --help` in the README for details");
         return ExitCode::FAILURE;
     };
@@ -415,6 +555,7 @@ fn main() -> ExitCode {
         "topk" => cmd_topk(&opts),
         "scenarios" => cmd_scenarios(&opts),
         "serve" => cmd_serve(&opts),
+        "admin" => cmd_admin(&opts),
         other => Err(format!("unknown command {other:?}")),
     };
     match run {

@@ -20,7 +20,8 @@
 //! * [`eval`] — average precision, scenarios, sensitivity analysis
 //!   ([`biorank_eval`]).
 //! * [`service`] — the concurrent query service: cached integration,
-//!   batched scoring, TCP line protocol ([`biorank_service`]).
+//!   batched scoring, multi-world tenancy with an admin control
+//!   plane, TCP line protocol ([`biorank_service`]).
 //!
 //! ## Quick start
 //!

@@ -120,25 +120,50 @@ impl TraversalMc {
     /// a fixed `(seed, threads)` pair: thread `i` seeds its RNG with
     /// `seed + i` and runs a fixed share of the trials.
     pub fn score_parallel(&self, q: &QueryGraph, threads: usize) -> Result<Scores, Error> {
+        self.score_chunked(q, threads, threads)
+    }
+
+    /// Runs the trials split into `chunks` independent RNG streams
+    /// (chunk `i` seeds its RNG with `seed + i`), executed on up to
+    /// `threads` scoped OS threads.
+    ///
+    /// The estimate depends only on `(trials, seed, chunks)` — the
+    /// thread count affects scheduling, never the result — so
+    /// `score_chunked(q, 8, 1)` is bit-identical to
+    /// `score_chunked(q, 8, 8)`. This is what makes intra-query
+    /// parallelism safe behind a result cache: the serving layer pins
+    /// `chunks` and lets `threads` follow the hardware.
+    pub fn score_chunked(
+        &self,
+        q: &QueryGraph,
+        chunks: usize,
+        threads: usize,
+    ) -> Result<Scores, Error> {
         if self.trials == 0 {
             return Err(Error::ZeroTrials);
         }
-        let threads = threads.max(1).min(self.trials as usize);
-        let base = self.trials / threads as u32;
-        let extra = self.trials % threads as u32;
+        let chunks = chunks.max(1).min(self.trials as usize);
+        let threads = threads.clamp(1, chunks);
+        let base = self.trials / chunks as u32;
+        let extra = self.trials % chunks as u32;
         let nb = q.graph().node_bound();
         let mut total = vec![0u64; nb];
+        // Chunks are handed out in waves of `threads`; every chunk's
+        // counts are summed, so the wave layout is invisible in the
+        // output (u64 addition is associative and commutative).
         std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..threads)
-                .map(|i| {
-                    let share = base + u32::from((i as u32) < extra);
-                    scope.spawn(move || run_trials(q, share, self.seed.wrapping_add(i as u64)))
-                })
-                .collect();
-            for h in handles {
-                let partial = h.join().expect("MC worker panicked");
-                for (t, p) in total.iter_mut().zip(partial) {
-                    *t += p;
+            for wave in (0..chunks).step_by(threads) {
+                let handles: Vec<_> = (wave..(wave + threads).min(chunks))
+                    .map(|i| {
+                        let share = base + u32::from((i as u32) < extra);
+                        scope.spawn(move || run_trials(q, share, self.seed.wrapping_add(i as u64)))
+                    })
+                    .collect();
+                for h in handles {
+                    let partial = h.join().expect("MC worker panicked");
+                    for (t, p) in total.iter_mut().zip(partial) {
+                        *t += p;
+                    }
                 }
             }
         });
@@ -335,6 +360,33 @@ mod tests {
             .unwrap()
             .get(t);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn chunked_result_is_independent_of_thread_count() {
+        let (q, _) = diamond();
+        let mc = TraversalMc::new(8_000, 2);
+        let sequential = mc.score_chunked(&q, 8, 1).unwrap();
+        for threads in [2usize, 3, 8, 16] {
+            let parallel = mc.score_chunked(&q, 8, threads).unwrap();
+            for n in 0..q.graph().node_bound() {
+                let node = NodeId::from_index(n);
+                assert_eq!(
+                    sequential.get(node).to_bits(),
+                    parallel.get(node).to_bits(),
+                    "threads={threads} node={n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_chunk_equals_plain_score() {
+        let (q, t) = diamond();
+        let mc = TraversalMc::new(4_000, 13);
+        let plain = mc.score(&q).unwrap().get(t);
+        let chunked = mc.score_chunked(&q, 1, 4).unwrap().get(t);
+        assert_eq!(plain.to_bits(), chunked.to_bits());
     }
 
     #[test]

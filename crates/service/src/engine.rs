@@ -92,6 +92,13 @@ pub struct RankerSpec {
     /// per-query seed also mixes in the query content; see
     /// [`RankerSpec::effective_seed`].
     pub seed: u64,
+    /// Opt into intra-query parallel Monte Carlo. Only meaningful for
+    /// [`Method::TraversalMc`]: the trials run as
+    /// [`PARALLEL_MC_CHUNKS`] fixed RNG streams spread over OS
+    /// threads, so the estimate depends only on request content —
+    /// never on the thread count — and stays cache-coherent with
+    /// repeated parallel executions. Other methods ignore the flag.
+    pub parallel: bool,
 }
 
 impl RankerSpec {
@@ -101,12 +108,13 @@ impl RankerSpec {
     /// Default base seed, shared with the experiment binaries.
     pub const DEFAULT_SEED: u64 = 0xB10_C0DE;
 
-    /// A spec for `method` with the default trials/seed.
+    /// A spec for `method` with the default trials/seed, sequential.
     pub fn new(method: Method) -> Self {
         RankerSpec {
             method,
             trials: Self::DEFAULT_TRIALS,
             seed: Self::DEFAULT_SEED,
+            parallel: false,
         }
     }
 
@@ -140,14 +148,21 @@ impl RankerSpec {
     /// methods ignore `trials`/`seed`, so those fields are normalized
     /// to zero — requests differing only in an irrelevant seed share
     /// one cache entry instead of recomputing identical rankings.
+    /// `parallel` is likewise normalized away except for
+    /// [`Method::TraversalMc`], the one method where it selects a
+    /// (different, chunked) estimator.
     pub fn cache_key(&self) -> RankerSpec {
         if self.method.is_stochastic() {
-            *self
+            RankerSpec {
+                parallel: self.parallel && self.method == Method::TraversalMc,
+                ..*self
+            }
         } else {
             RankerSpec {
                 method: self.method,
                 trials: 0,
                 seed: 0,
+                parallel: false,
             }
         }
     }
@@ -177,16 +192,30 @@ pub struct QueryRequest {
     /// (`None` = all). Truncation happens at response assembly; the
     /// cache always holds the full ranking.
     pub top: Option<usize>,
+    /// Which resident world to execute against (`None` = the server's
+    /// default world). Routed by the server via
+    /// [`WorldManager`](crate::tenancy::WorldManager); a
+    /// [`QueryEngine`] itself is always single-world, so the field is
+    /// not part of any cache key.
+    pub world: Option<String>,
 }
 
 impl QueryRequest {
-    /// The common case: rank a protein's candidate functions.
+    /// The common case: rank a protein's candidate functions on the
+    /// default world.
     pub fn protein_functions(protein: &str, spec: RankerSpec) -> Self {
         QueryRequest {
             query: ExploratoryQuery::protein_functions(protein),
             spec,
             top: None,
+            world: None,
         }
+    }
+
+    /// The same request routed to a named world.
+    pub fn on_world(mut self, world: impl Into<String>) -> Self {
+        self.world = Some(world.into());
+        self
     }
 }
 
@@ -249,6 +278,12 @@ pub const DEFAULT_CACHE_CAPACITY: usize = 512;
 /// Default shard count for the engine caches.
 pub const DEFAULT_CACHE_SHARDS: usize = 16;
 
+/// RNG-stream count for `parallel` traversal-MC requests. Pinned (not
+/// derived from the host CPU count) so a parallel request ranks
+/// bit-identically on every machine and on every thread budget; only
+/// the scheduling of the chunks follows the hardware.
+pub const PARALLEL_MC_CHUNKS: usize = 8;
+
 impl QueryEngine {
     /// Creates an engine over a mediator with the default cache size.
     pub fn new(mediator: Mediator) -> Self {
@@ -309,7 +344,21 @@ impl QueryEngine {
         spec: &RankerSpec,
     ) -> Result<Vec<RankedAnswer>, Error> {
         let q = &integration.query;
-        let scores = spec.build(query).score(q)?;
+        let scores = if spec.method == Method::TraversalMc && spec.parallel {
+            // Intra-query parallelism: chunk count pinned for
+            // determinism, thread budget following the hardware.
+            let threads = std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .min(PARALLEL_MC_CHUNKS);
+            TraversalMc::new(spec.trials, spec.effective_seed(query)).score_chunked(
+                q,
+                PARALLEL_MC_CHUNKS,
+                threads,
+            )?
+        } else {
+            spec.build(query).score(q)?
+        };
         let ranking = Ranking::rank(scores.answers(q));
         Ok(ranking
             .entries()

@@ -16,10 +16,18 @@
 //!   job queue. Monte Carlo seeds are derived from request *content*
 //!   ([`RankerSpec::effective_seed`]), so an N-worker batch is
 //!   bit-identical to a sequential one.
+//! * [`WorldManager`] — multi-world tenancy: a registry of named
+//!   worlds (seed + federation config → engine) with concurrent-read /
+//!   exclusive-swap semantics, LRU eviction under a resident budget,
+//!   and per-world generation counters. A swap installs a fresh
+//!   engine, atomically invalidating both cache layers of the
+//!   replaced one.
 //! * [`Server`] / [`Client`] — a line-delimited JSON protocol
 //!   (hand-rolled in [`wire`]; the workspace is deliberately std-only)
-//!   over `std::net::TcpListener`, surfaced as the `biorank serve` and
-//!   `biorank query --addr` subcommands.
+//!   over `std::net::TcpListener`, surfaced as the `biorank serve`,
+//!   `biorank query --addr`, and `biorank admin` subcommands. Admin
+//!   lines (`world.load`, `world.swap`, `world.evict`, `world.list`,
+//!   `stats`) drive the registry over the same connection.
 //!
 //! ```no_run
 //! use std::sync::Arc;
@@ -55,15 +63,21 @@ pub mod cache;
 pub mod engine;
 pub mod pool;
 pub mod server;
+pub mod tenancy;
 pub mod wire;
 
 pub use cache::{CacheStats, ShardedLru};
 pub use engine::{
     EngineStats, Method, QueryEngine, QueryRequest, QueryResponse, RankedAnswer, RankerSpec,
-    DEFAULT_CACHE_CAPACITY,
+    DEFAULT_CACHE_CAPACITY, PARALLEL_MC_CHUNKS,
 };
 pub use pool::WorkerPool;
 pub use server::{Client, ServeOptions, Server, ServerHandle};
+pub use tenancy::{
+    ServiceStats, TenancyError, WorldInfo, WorldManager, WorldSpec, WorldStats, DEFAULT_WORLD,
+    DEFAULT_WORLD_BUDGET,
+};
+pub use wire::{AdminRequest, AdminResponse};
 
 use std::fmt;
 
@@ -77,6 +91,8 @@ pub enum Error {
     Rank(biorank_rank::Error),
     /// A malformed protocol message.
     Wire(wire::WireError),
+    /// A world-registry failure (unknown world, budget, pinning).
+    Tenancy(tenancy::TenancyError),
     /// Socket-level failure.
     Io(std::io::Error),
     /// The server answered with an error, rendered as text.
@@ -89,6 +105,7 @@ impl fmt::Display for Error {
             Error::Mediator(e) => write!(f, "integration failed: {e}"),
             Error::Rank(e) => write!(f, "ranking failed: {e}"),
             Error::Wire(e) => write!(f, "{e}"),
+            Error::Tenancy(e) => write!(f, "tenancy: {e}"),
             Error::Io(e) => write!(f, "io: {e}"),
             Error::Remote(msg) => write!(f, "remote: {msg}"),
         }
@@ -101,6 +118,7 @@ impl std::error::Error for Error {
             Error::Mediator(e) => Some(e),
             Error::Rank(e) => Some(e),
             Error::Wire(e) => Some(e),
+            Error::Tenancy(e) => Some(e),
             Error::Io(e) => Some(e),
             Error::Remote(_) => None,
         }
@@ -122,6 +140,12 @@ impl From<biorank_rank::Error> for Error {
 impl From<wire::WireError> for Error {
     fn from(e: wire::WireError) -> Self {
         Error::Wire(e)
+    }
+}
+
+impl From<tenancy::TenancyError> for Error {
+    fn from(e: tenancy::TenancyError) -> Self {
+        Error::Tenancy(e)
     }
 }
 

@@ -6,17 +6,27 @@
 //! the socket **in request order** (a `BTreeMap` re-sequencing buffer
 //! absorbs out-of-order completions). Clients may therefore pipeline
 //! requests freely and match responses positionally or by id.
+//!
+//! Requests route through a [`WorldManager`]: a query names a resident
+//! world (or defaults to [`DEFAULT_WORLD`](crate::tenancy::DEFAULT_WORLD)),
+//! and admin lines (`world.load`, `world.swap`, `world.evict`,
+//! `world.list`, `stats`) drive the registry itself over the same
+//! connection. Admin commands are a per-connection barrier: queries
+//! pipelined before a `world.swap` finish before it executes, and
+//! queries after it see the new world.
 
 use std::collections::BTreeMap;
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{channel, Sender};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
 
 use crate::engine::QueryEngine;
 use crate::pool::WorkerPool;
+use crate::tenancy::{ServiceStats, WorldInfo, WorldManager, WorldSpec, DEFAULT_WORLD_BUDGET};
 use crate::wire;
+use crate::wire::{AdminRequest, AdminResponse, RequestBody, ResponseBody};
 
 /// Server tuning knobs.
 #[derive(Clone, Copy, Debug)]
@@ -34,7 +44,7 @@ impl Default for ServeOptions {
 /// A running query service bound to a TCP address.
 pub struct Server {
     listener: TcpListener,
-    engine: Arc<QueryEngine>,
+    manager: Arc<WorldManager>,
     pool: Arc<WorkerPool>,
     shutdown: Arc<AtomicBool>,
 }
@@ -62,16 +72,44 @@ impl ServerHandle {
 }
 
 impl Server {
-    /// Binds the service. Use port 0 to let the OS pick (tests do).
+    /// Binds a single-world service: `engine` becomes the default
+    /// world of a fresh [`WorldManager`] with the default resident
+    /// budget, so admin commands work out of the box. Use port 0 to
+    /// let the OS pick (tests do).
+    ///
+    /// The registry records [`WorldSpec::default()`] as the default
+    /// world's spec — `bind` cannot know how an arbitrary engine was
+    /// built. If yours came from a different seed, federation, or
+    /// cache capacity (so `world.list` should say so and
+    /// `world.load("default", ...)` idempotence should compare
+    /// against the real spec), use [`Server::bind_manager`] with
+    /// [`WorldManager::with_default`] and the actual spec.
     pub fn bind(
         addr: impl ToSocketAddrs,
         engine: Arc<QueryEngine>,
         opts: ServeOptions,
     ) -> std::io::Result<Server> {
+        Self::bind_manager(
+            addr,
+            Arc::new(WorldManager::with_default(
+                engine,
+                WorldSpec::default(),
+                DEFAULT_WORLD_BUDGET,
+            )),
+            opts,
+        )
+    }
+
+    /// Binds the service over an explicit world registry.
+    pub fn bind_manager(
+        addr: impl ToSocketAddrs,
+        manager: Arc<WorldManager>,
+        opts: ServeOptions,
+    ) -> std::io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         Ok(Server {
             listener,
-            engine,
+            manager,
             pool: Arc::new(WorkerPool::new(opts.workers)),
             shutdown: Arc::new(AtomicBool::new(false)),
         })
@@ -90,7 +128,8 @@ impl Server {
         })
     }
 
-    /// Runs the accept loop until [`ServerHandle::shutdown`] is called.
+    /// Runs the accept loop until [`ServerHandle::shutdown`] is
+    /// called, then logs the final per-world cache hit-rates.
     pub fn run(self) -> std::io::Result<()> {
         for conn in self.listener.incoming() {
             if self.shutdown.load(Ordering::SeqCst) {
@@ -106,11 +145,23 @@ impl Server {
                     continue;
                 }
             };
-            let engine = Arc::clone(&self.engine);
+            let manager = Arc::clone(&self.manager);
             let pool = Arc::clone(&self.pool);
             std::thread::spawn(move || {
-                let _ = handle_connection(stream, engine, pool);
+                let _ = handle_connection(stream, manager, pool);
             });
+        }
+        // Graceful shutdown: leave a final observability record.
+        // `hit_rate` is zero-lookup safe, so an unused world logs 0%.
+        for w in self.manager.stats().worlds {
+            eprintln!(
+                "biorank-serve shutdown: world {:?} gen {}: graph cache {:.1}% hit, \
+                 result cache {:.1}% hit",
+                w.name,
+                w.generation,
+                100.0 * w.engine.graphs.hit_rate(),
+                100.0 * w.engine.results.hit_rate(),
+            );
         }
         Ok(())
     }
@@ -118,7 +169,7 @@ impl Server {
 
 fn handle_connection(
     stream: TcpStream,
-    engine: Arc<QueryEngine>,
+    manager: Arc<WorldManager>,
     pool: Arc<WorkerPool>,
 ) -> std::io::Result<()> {
     let peer_write = stream.try_clone()?;
@@ -142,13 +193,16 @@ fn handle_connection(
         Ok(())
     });
 
+    // Queries this connection has handed to the pool but not yet
+    // answered; admin commands barrier on it going to zero.
+    let in_flight = Arc::new((Mutex::new(0u64), Condvar::new()));
     let mut seq: u64 = 0;
     for line in reader.lines() {
         let line = line?;
         if line.trim().is_empty() {
             continue;
         }
-        dispatch_line(line, seq, &engine, &pool, &line_tx);
+        dispatch_line(line, seq, &manager, &pool, &line_tx, &in_flight);
         seq += 1;
     }
     drop(line_tx);
@@ -159,26 +213,64 @@ fn handle_connection(
 /// Parses one request line and schedules its execution; encoding
 /// failures answer immediately with an error response (id 0 when the
 /// id itself was unreadable).
+///
+/// Queries go to the worker pool and run concurrently. Admin commands
+/// are a **per-connection barrier**: the reader first waits for every
+/// query it already dispatched to finish, then executes the command
+/// inline before reading the next line. A client may therefore
+/// pipeline `query, world.swap, query` in one write and the second
+/// query is guaranteed to see the post-swap world — without the
+/// barrier it could race the swap and be answered from the replaced
+/// engine's cache. (Queries in flight on *other* connections still
+/// finish against the engine they resolved; that is the documented
+/// swap semantics, not staleness a client of this connection can
+/// observe.)
 fn dispatch_line(
     line: String,
     seq: u64,
-    engine: &Arc<QueryEngine>,
+    manager: &Arc<WorldManager>,
     pool: &Arc<WorkerPool>,
     line_tx: &Sender<(u64, String)>,
+    in_flight: &Arc<(Mutex<u64>, Condvar)>,
 ) {
     match wire::decode_request(&line) {
-        Ok(request) => {
-            let engine = Arc::clone(engine);
-            let line_tx = line_tx.clone();
-            pool.submit(move || {
-                let outcome = engine.execute(&request.req).map_err(|e| e.to_string());
+        Ok(request) => match request.body {
+            RequestBody::Query(req) => {
+                let manager = Arc::clone(manager);
+                let line_tx = line_tx.clone();
+                let in_flight = Arc::clone(in_flight);
+                *in_flight.0.lock().expect("in-flight counter") += 1;
+                pool.submit(move || {
+                    let outcome = execute_query(&manager, &req);
+                    let response = wire::Response {
+                        id: request.id,
+                        outcome,
+                    };
+                    let _ = line_tx.send((seq, wire::encode_response(&response)));
+                    // Decrement only after the response is queued, so
+                    // a barriered admin command cannot overtake it.
+                    let (count, cv) = &*in_flight;
+                    *count.lock().expect("in-flight counter") -= 1;
+                    cv.notify_all();
+                });
+            }
+            RequestBody::Admin(admin) => {
+                let (count, cv) = &**in_flight;
+                let mut n = count.lock().expect("in-flight counter");
+                while *n > 0 {
+                    n = cv.wait(n).expect("in-flight counter");
+                }
+                drop(n);
+                let outcome = execute_admin(manager, admin)
+                    .map(ResponseBody::Admin)
+                    .map_err(|e| e.to_string());
                 let response = wire::Response {
                     id: request.id,
                     outcome,
                 };
                 let _ = line_tx.send((seq, wire::encode_response(&response)));
-            });
-        }
+            }
+        },
         Err(e) => {
             // Salvage the id if the line was valid JSON with one.
             let id = wire::Json::parse(&line)
@@ -198,6 +290,46 @@ fn dispatch_line(
             };
             let _ = line_tx.send((seq, wire::encode_response(&response)));
         }
+    }
+}
+
+/// Executes one query against the world registry: resolve the named
+/// world, then execute against its engine holding no tenancy lock.
+fn execute_query(
+    manager: &WorldManager,
+    req: &crate::engine::QueryRequest,
+) -> Result<ResponseBody, String> {
+    let engine = manager
+        .resolve(req.world.as_deref())
+        .map_err(|e| e.to_string())?;
+    engine
+        .execute(req)
+        .map(ResponseBody::Query)
+        .map_err(|e| e.to_string())
+}
+
+fn execute_admin(
+    manager: &WorldManager,
+    admin: AdminRequest,
+) -> Result<AdminResponse, crate::tenancy::TenancyError> {
+    match admin {
+        AdminRequest::Load { world, spec } => {
+            let generation = manager.load(&world, spec)?;
+            Ok(AdminResponse::World { world, generation })
+        }
+        AdminRequest::Swap { world, spec } => {
+            let generation = manager.swap(&world, spec)?;
+            Ok(AdminResponse::World { world, generation })
+        }
+        AdminRequest::Evict { world } => {
+            manager.evict(&world)?;
+            Ok(AdminResponse::World {
+                world,
+                generation: 0,
+            })
+        }
+        AdminRequest::List => Ok(AdminResponse::List(manager.list())),
+        AdminRequest::Stats => Ok(AdminResponse::Stats(manager.stats())),
     }
 }
 
@@ -247,7 +379,7 @@ impl Client {
         for req in reqs {
             let request = wire::Request {
                 id: self.next_id,
-                req: req.clone(),
+                body: RequestBody::Query(req.clone()),
             };
             self.next_id += 1;
             self.writer
@@ -265,10 +397,97 @@ impl Client {
                     response.id
                 )));
             }
-            out.push(response.outcome.map_err(crate::Error::Remote));
+            out.push(match response.outcome {
+                Ok(ResponseBody::Query(resp)) => Ok(resp),
+                Ok(ResponseBody::Admin(_)) => Err(crate::Error::Remote(
+                    "server answered a query with an admin payload".into(),
+                )),
+                Err(msg) => Err(crate::Error::Remote(msg)),
+            });
         }
         Ok(out)
     }
+
+    /// Sends one admin command, blocking for its payload.
+    pub fn admin(&mut self, admin: AdminRequest) -> Result<AdminResponse, crate::Error> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let request = wire::Request {
+            id,
+            body: RequestBody::Admin(admin),
+        };
+        self.writer
+            .write_all(wire::encode_request(&request).as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        let response = self.read_response()?;
+        if response.id != id {
+            return Err(crate::Error::Remote(format!(
+                "response id {} does not match request id {id}",
+                response.id
+            )));
+        }
+        match response.outcome {
+            Ok(ResponseBody::Admin(resp)) => Ok(resp),
+            Ok(ResponseBody::Query(_)) => Err(crate::Error::Remote(
+                "server answered an admin command with a query payload".into(),
+            )),
+            Err(msg) => Err(crate::Error::Remote(msg)),
+        }
+    }
+
+    /// `world.load`: make a world resident; returns its generation.
+    pub fn world_load(&mut self, world: &str, spec: WorldSpec) -> Result<u64, crate::Error> {
+        match self.admin(AdminRequest::Load {
+            world: world.to_string(),
+            spec,
+        })? {
+            AdminResponse::World { generation, .. } => Ok(generation),
+            other => Err(unexpected_admin(other)),
+        }
+    }
+
+    /// `world.swap`: replace a world (invalidating its caches);
+    /// returns the new generation.
+    pub fn world_swap(&mut self, world: &str, spec: WorldSpec) -> Result<u64, crate::Error> {
+        match self.admin(AdminRequest::Swap {
+            world: world.to_string(),
+            spec,
+        })? {
+            AdminResponse::World { generation, .. } => Ok(generation),
+            other => Err(unexpected_admin(other)),
+        }
+    }
+
+    /// `world.evict`: drop a resident world.
+    pub fn world_evict(&mut self, world: &str) -> Result<(), crate::Error> {
+        match self.admin(AdminRequest::Evict {
+            world: world.to_string(),
+        })? {
+            AdminResponse::World { .. } => Ok(()),
+            other => Err(unexpected_admin(other)),
+        }
+    }
+
+    /// `world.list`: snapshot the server's world registry.
+    pub fn world_list(&mut self) -> Result<Vec<WorldInfo>, crate::Error> {
+        match self.admin(AdminRequest::List)? {
+            AdminResponse::List(worlds) => Ok(worlds),
+            other => Err(unexpected_admin(other)),
+        }
+    }
+
+    /// `stats`: per-world cache counters.
+    pub fn stats(&mut self) -> Result<ServiceStats, crate::Error> {
+        match self.admin(AdminRequest::Stats)? {
+            AdminResponse::Stats(stats) => Ok(stats),
+            other => Err(unexpected_admin(other)),
+        }
+    }
+}
+
+fn unexpected_admin(resp: AdminResponse) -> crate::Error {
+    crate::Error::Remote(format!("unexpected admin payload: {resp:?}"))
 }
 
 impl Client {

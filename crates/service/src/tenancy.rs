@@ -1,0 +1,548 @@
+//! Multi-world tenancy: a registry of named resident worlds.
+//!
+//! A production deployment serves many worlds at once — per-seed
+//! snapshots, the compact vs extended federation, staging data warmed
+//! up next to live data — and must swap one out without ever serving a
+//! stale ranked answer. [`WorldManager`] owns that registry:
+//!
+//! * **Concurrent read, exclusive swap.** Resolving a world clones an
+//!   `Arc<QueryEngine>` under a briefly-held registry lock; query
+//!   execution itself never holds any tenancy lock, so a swap on one
+//!   world cannot stall queries on another (or even in-flight queries
+//!   on the same world — they complete against the engine they
+//!   resolved).
+//! * **Swap = fresh engine = cold caches.** [`WorldManager::swap`]
+//!   builds the replacement engine *outside* the lock, then replaces
+//!   the registry entry in one critical section and bumps the world's
+//!   generation counter. Both cache layers of the replaced engine die
+//!   with its last `Arc` — there is no window in which a post-swap
+//!   request can observe a pre-swap cache entry, which is exactly what
+//!   `tests/service_tenancy.rs` asserts.
+//! * **LRU eviction under a resident budget.** Worlds are heavy (a
+//!   generated world plus two cache layers), so at most
+//!   [`WorldManager::budget`] stay resident; loading past the budget
+//!   evicts the least-recently-resolved world. The default world is
+//!   pinned and never evicted.
+//!
+//! Generations are drawn from one registry-wide monotonic counter
+//! (assigned under the registry lock), so they survive eviction with
+//! no per-name bookkeeping: `world.load` → `world.evict` →
+//! `world.load` is observably a different generation, and a client
+//! can always tell whether two responses could have come from the
+//! same engine.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use biorank_mediator::Mediator;
+use biorank_schema::{biorank_schema_full, biorank_schema_with_ontology};
+use biorank_sources::{World, WorldParams};
+
+use crate::engine::{EngineStats, QueryEngine, DEFAULT_CACHE_CAPACITY};
+
+/// The name of the world queries route to when they name none.
+pub const DEFAULT_WORLD: &str = "default";
+
+/// Default resident-world budget.
+pub const DEFAULT_WORLD_BUDGET: usize = 4;
+
+/// Everything needed to (re)build one world's engine: the generation
+/// seed plus the federation configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WorldSpec {
+    /// Master world seed; equal seeds generate equal worlds.
+    pub seed: u64,
+    /// Integrate over the full 11-source federation instead of the
+    /// paper's Fig. 1 subset.
+    pub extended: bool,
+    /// Per-layer LRU capacity of the world's engine caches.
+    pub cache_capacity: usize,
+}
+
+impl Default for WorldSpec {
+    fn default() -> Self {
+        WorldSpec {
+            seed: WorldParams::default().seed,
+            extended: false,
+            cache_capacity: DEFAULT_CACHE_CAPACITY,
+        }
+    }
+}
+
+impl WorldSpec {
+    /// Generates the world and wraps it in a fresh engine (fresh, cold
+    /// caches). This is the expensive step; callers run it outside any
+    /// registry lock.
+    pub fn build(&self) -> QueryEngine {
+        let world = World::generate(WorldParams {
+            seed: self.seed,
+            extended: self.extended,
+            ..WorldParams::default()
+        });
+        let schema = if self.extended {
+            biorank_schema_full().schema
+        } else {
+            biorank_schema_with_ontology().schema
+        };
+        QueryEngine::with_cache_capacity(
+            Mediator::new(schema, world.registry()),
+            self.cache_capacity,
+        )
+    }
+}
+
+/// Tenancy-level failures, rendered over the wire as error strings.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TenancyError {
+    /// A query or admin command named a world that is not resident.
+    WorldNotFound(String),
+    /// `world.load` of an existing name with a different spec (use
+    /// `world.swap` to replace a resident world).
+    SpecMismatch(String),
+    /// The resident budget is exhausted and no world is evictable.
+    BudgetExhausted(usize),
+    /// The default world cannot be evicted.
+    DefaultPinned,
+}
+
+impl fmt::Display for TenancyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TenancyError::WorldNotFound(name) => write!(f, "world {name:?} is not resident"),
+            TenancyError::SpecMismatch(name) => write!(
+                f,
+                "world {name:?} is already resident with a different spec; use world.swap"
+            ),
+            TenancyError::BudgetExhausted(budget) => write!(
+                f,
+                "resident-world budget ({budget}) exhausted and nothing is evictable"
+            ),
+            TenancyError::DefaultPinned => {
+                write!(
+                    f,
+                    "the {DEFAULT_WORLD:?} world is pinned and cannot be evicted"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for TenancyError {}
+
+/// A snapshot of one resident world, as reported by `world.list`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WorldInfo {
+    /// Registry name.
+    pub name: String,
+    /// The spec the resident engine was built from.
+    pub spec: WorldSpec,
+    /// Generation of the resident engine, from the registry-wide
+    /// monotonic counter (every load and swap draws a fresh one).
+    pub generation: u64,
+}
+
+/// Per-world counters inside a [`ServiceStats`] report.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WorldStats {
+    /// Registry name.
+    pub name: String,
+    /// Current generation.
+    pub generation: u64,
+    /// Cache counters of the world's engine.
+    pub engine: EngineStats,
+}
+
+/// The `stats` wire command's payload: every resident world's cache
+/// counters plus the tenancy configuration.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Resident-world budget.
+    pub budget: usize,
+    /// Number of resident worlds.
+    pub resident: usize,
+    /// Per-world counters, sorted by name.
+    pub worlds: Vec<WorldStats>,
+}
+
+struct WorldEntry {
+    engine: Arc<QueryEngine>,
+    spec: WorldSpec,
+    generation: u64,
+    last_used: u64,
+}
+
+struct Registry {
+    worlds: HashMap<String, WorldEntry>,
+    /// Registry-wide monotonic generation counter. Assigned under the
+    /// lock, so later inserts always carry greater generations; being
+    /// global (not per-name) it survives eviction with no per-name
+    /// state to leak, and any re-load or swap of a name is observably
+    /// newer than every earlier engine of that name.
+    next_generation: u64,
+}
+
+impl Registry {
+    fn bump(&mut self) -> u64 {
+        self.next_generation += 1;
+        self.next_generation
+    }
+}
+
+/// A thread-safe registry of named resident worlds.
+///
+/// Share it with an `Arc`; every operation takes `&self`. The registry
+/// lock is held only for map bookkeeping — world generation and query
+/// execution always happen outside it.
+pub struct WorldManager {
+    registry: Mutex<Registry>,
+    budget: usize,
+    clock: AtomicU64,
+}
+
+impl WorldManager {
+    /// An empty manager with the given resident budget (clamped to at
+    /// least 1).
+    pub fn new(budget: usize) -> Self {
+        WorldManager {
+            registry: Mutex::new(Registry {
+                worlds: HashMap::new(),
+                next_generation: 0,
+            }),
+            budget: budget.max(1),
+            clock: AtomicU64::new(0),
+        }
+    }
+
+    /// A manager whose [`DEFAULT_WORLD`] is an already-built engine —
+    /// how a single-world `Server::bind` wraps its engine.
+    pub fn with_default(engine: Arc<QueryEngine>, spec: WorldSpec, budget: usize) -> Self {
+        let mgr = WorldManager::new(budget);
+        {
+            let mut reg = mgr.registry.lock().expect("world registry");
+            let generation = reg.bump();
+            reg.worlds.insert(
+                DEFAULT_WORLD.to_string(),
+                WorldEntry {
+                    engine,
+                    spec,
+                    generation,
+                    last_used: 0,
+                },
+            );
+        }
+        mgr
+    }
+
+    /// The resident-world budget.
+    pub fn budget(&self) -> usize {
+        self.budget
+    }
+
+    /// Resolves a world name (`None` = [`DEFAULT_WORLD`]) to its
+    /// engine, marking it most-recently-used. The returned `Arc` stays
+    /// valid across concurrent swaps and evictions — callers execute
+    /// against it without holding any lock.
+    pub fn resolve(&self, world: Option<&str>) -> Result<Arc<QueryEngine>, TenancyError> {
+        let name = world.unwrap_or(DEFAULT_WORLD);
+        let stamp = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
+        let mut reg = self.registry.lock().expect("world registry");
+        let entry = reg
+            .worlds
+            .get_mut(name)
+            .ok_or_else(|| TenancyError::WorldNotFound(name.to_string()))?;
+        entry.last_used = stamp;
+        Ok(Arc::clone(&entry.engine))
+    }
+
+    /// Ensures `name` is resident with `spec`, building it if absent.
+    /// Returns the world's generation. Loading an already-resident
+    /// world with the identical spec is a cheap no-op; with a
+    /// different spec it is an error ([`TenancyError::SpecMismatch`])
+    /// — replacement is `swap`'s job, never an accident of `load`.
+    pub fn load(&self, name: &str, spec: WorldSpec) -> Result<u64, TenancyError> {
+        if let Some(entry) = self.lookup(name) {
+            let (existing, generation) = entry;
+            if existing == spec {
+                return Ok(generation);
+            }
+            return Err(TenancyError::SpecMismatch(name.to_string()));
+        }
+        // An exhausted budget is knowable before paying for a world
+        // build; re-checked under the insert lock below (the cheap
+        // check can race evictions, never the other way).
+        self.check_room(name)?;
+        // Build outside the lock: generation takes milliseconds and
+        // must not block queries on resident worlds.
+        let engine = Arc::new(spec.build());
+        let stamp = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
+        let mut reg = self.registry.lock().expect("world registry");
+        // Lost a build race? Keep the winner.
+        if let Some(entry) = reg.worlds.get(name) {
+            if entry.spec == spec {
+                return Ok(entry.generation);
+            }
+            return Err(TenancyError::SpecMismatch(name.to_string()));
+        }
+        Self::make_room(&mut reg, self.budget, name)?;
+        let generation = reg.bump();
+        reg.worlds.insert(
+            name.to_string(),
+            WorldEntry {
+                engine,
+                spec,
+                generation,
+                last_used: stamp,
+            },
+        );
+        Ok(generation)
+    }
+
+    /// Replaces (or creates) `name` with a freshly built engine and
+    /// bumps its generation. The replaced engine's two cache layers
+    /// are dropped with its last `Arc`, so every post-swap request
+    /// recomputes — in-flight requests that already resolved the old
+    /// engine finish against it, but can never repopulate the new one.
+    pub fn swap(&self, name: &str, spec: WorldSpec) -> Result<u64, TenancyError> {
+        self.check_room(name)?;
+        let engine = Arc::new(spec.build());
+        let stamp = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
+        let mut reg = self.registry.lock().expect("world registry");
+        if !reg.worlds.contains_key(name) {
+            Self::make_room(&mut reg, self.budget, name)?;
+        }
+        let generation = reg.bump();
+        reg.worlds.insert(
+            name.to_string(),
+            WorldEntry {
+                engine,
+                spec,
+                generation,
+                last_used: stamp,
+            },
+        );
+        Ok(generation)
+    }
+
+    /// Evicts a resident world. The default world is pinned.
+    pub fn evict(&self, name: &str) -> Result<(), TenancyError> {
+        if name == DEFAULT_WORLD {
+            return Err(TenancyError::DefaultPinned);
+        }
+        let mut reg = self.registry.lock().expect("world registry");
+        reg.worlds
+            .remove(name)
+            .map(drop)
+            .ok_or_else(|| TenancyError::WorldNotFound(name.to_string()))
+    }
+
+    /// Snapshot of every resident world, sorted by name.
+    pub fn list(&self) -> Vec<WorldInfo> {
+        let reg = self.registry.lock().expect("world registry");
+        let mut out: Vec<WorldInfo> = reg
+            .worlds
+            .iter()
+            .map(|(name, e)| WorldInfo {
+                name: name.clone(),
+                spec: e.spec,
+                generation: e.generation,
+            })
+            .collect();
+        out.sort_by(|a, b| a.name.cmp(&b.name));
+        out
+    }
+
+    /// The `stats` payload: per-world cache counters, sorted by name.
+    pub fn stats(&self) -> ServiceStats {
+        // Clone the engines out of the lock, then read their counters
+        // unlocked — `QueryEngine::stats` itself takes cache-shard
+        // locks and must not nest inside the registry lock.
+        let engines: Vec<(String, u64, Arc<QueryEngine>)> = {
+            let reg = self.registry.lock().expect("world registry");
+            reg.worlds
+                .iter()
+                .map(|(name, e)| (name.clone(), e.generation, Arc::clone(&e.engine)))
+                .collect()
+        };
+        let mut worlds: Vec<WorldStats> = engines
+            .into_iter()
+            .map(|(name, generation, engine)| WorldStats {
+                name,
+                generation,
+                engine: engine.stats(),
+            })
+            .collect();
+        worlds.sort_by(|a, b| a.name.cmp(&b.name));
+        ServiceStats {
+            budget: self.budget,
+            resident: worlds.len(),
+            worlds,
+        }
+    }
+
+    /// Evicts the least-recently-resolved evictable world until there
+    /// is room for one more entry. `incoming` is the name about to be
+    /// inserted (never a candidate). The default world is pinned.
+    fn make_room(reg: &mut Registry, budget: usize, incoming: &str) -> Result<(), TenancyError> {
+        while reg.worlds.len() >= budget {
+            let victim = reg
+                .worlds
+                .iter()
+                .filter(|(name, _)| name.as_str() != DEFAULT_WORLD && name.as_str() != incoming)
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(name, _)| name.clone())
+                .ok_or(TenancyError::BudgetExhausted(budget))?;
+            reg.worlds.remove(&victim);
+        }
+        Ok(())
+    }
+
+    /// Cheap pre-flight for `load`/`swap`: would inserting `name`
+    /// succeed right now? Checked before the expensive world build so
+    /// an exhausted budget rejects in microseconds, not after
+    /// generating (and discarding) a full world.
+    fn check_room(&self, incoming: &str) -> Result<(), TenancyError> {
+        let reg = self.registry.lock().expect("world registry");
+        if reg.worlds.contains_key(incoming) || reg.worlds.len() < self.budget {
+            return Ok(());
+        }
+        let evictable = reg
+            .worlds
+            .keys()
+            .any(|name| name != DEFAULT_WORLD && name != incoming);
+        if evictable {
+            Ok(())
+        } else {
+            Err(TenancyError::BudgetExhausted(self.budget))
+        }
+    }
+
+    fn lookup(&self, name: &str) -> Option<(WorldSpec, u64)> {
+        let reg = self.registry.lock().expect("world registry");
+        reg.worlds.get(name).map(|e| (e.spec, e.generation))
+    }
+}
+
+// Tenancy is the concurrency boundary of the service; prove at compile
+// time it can cross threads.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<WorldManager>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::CacheStats;
+
+    fn tiny(seed: u64) -> WorldSpec {
+        WorldSpec {
+            seed,
+            extended: false,
+            cache_capacity: 8,
+        }
+    }
+
+    #[test]
+    fn resolve_unknown_world_errors() {
+        let mgr = WorldManager::new(2);
+        assert_eq!(
+            mgr.resolve(None).err(),
+            Some(TenancyError::WorldNotFound(DEFAULT_WORLD.to_string()))
+        );
+        assert_eq!(
+            mgr.resolve(Some("nope")).err(),
+            Some(TenancyError::WorldNotFound("nope".to_string()))
+        );
+    }
+
+    #[test]
+    fn load_is_idempotent_and_spec_guarded() {
+        let mgr = WorldManager::new(2);
+        let g1 = mgr.load("a", tiny(1)).expect("load");
+        assert_eq!(mgr.load("a", tiny(1)).expect("reload"), g1);
+        assert_eq!(
+            mgr.load("a", tiny(2)),
+            Err(TenancyError::SpecMismatch("a".to_string()))
+        );
+        assert!(mgr.resolve(Some("a")).is_ok());
+    }
+
+    #[test]
+    fn swap_bumps_generation_and_replaces_engine() {
+        let mgr = WorldManager::new(2);
+        let g1 = mgr.load("a", tiny(1)).expect("load");
+        let before = mgr.resolve(Some("a")).expect("resolve");
+        let g2 = mgr.swap("a", tiny(2)).expect("swap");
+        assert!(g2 > g1);
+        let after = mgr.resolve(Some("a")).expect("resolve");
+        assert!(
+            !Arc::ptr_eq(&before, &after),
+            "swap must install a fresh engine"
+        );
+    }
+
+    #[test]
+    fn generation_survives_eviction() {
+        let mgr = WorldManager::new(3);
+        let g1 = mgr.load("a", tiny(1)).expect("load");
+        mgr.evict("a").expect("evict");
+        let g2 = mgr.load("a", tiny(1)).expect("reload");
+        assert!(g2 > g1, "re-load must be observably a new generation");
+    }
+
+    #[test]
+    fn lru_eviction_respects_budget_and_pin() {
+        let mgr = WorldManager::new(2);
+        mgr.load(DEFAULT_WORLD, tiny(0)).expect("default");
+        mgr.load("a", tiny(1)).expect("a");
+        // Touch "a", then load "b": the budget is 2, "default" is
+        // pinned, so "a" (the only evictable world) goes.
+        mgr.resolve(Some("a")).expect("touch a");
+        mgr.load("b", tiny(2)).expect("b");
+        let names: Vec<String> = mgr.list().into_iter().map(|w| w.name).collect();
+        assert_eq!(names, vec!["b".to_string(), DEFAULT_WORLD.to_string()]);
+        assert!(mgr.resolve(Some("a")).is_err());
+    }
+
+    #[test]
+    fn default_world_cannot_be_evicted() {
+        let mgr = WorldManager::new(1);
+        mgr.load(DEFAULT_WORLD, tiny(0)).expect("default");
+        assert_eq!(mgr.evict(DEFAULT_WORLD), Err(TenancyError::DefaultPinned));
+        // Budget 1 fully pinned: nothing can make room.
+        assert_eq!(
+            mgr.load("a", tiny(1)),
+            Err(TenancyError::BudgetExhausted(1))
+        );
+    }
+
+    #[test]
+    fn stats_report_per_world_counters() {
+        let mgr = WorldManager::new(2);
+        mgr.load("a", tiny(1)).expect("a");
+        let engine = mgr.resolve(Some("a")).expect("resolve");
+        let req = crate::engine::QueryRequest::protein_functions(
+            "GALT",
+            crate::engine::RankerSpec::new(crate::engine::Method::InEdge),
+        );
+        engine.execute(&req).expect("cold");
+        engine.execute(&req).expect("warm");
+        let stats = mgr.stats();
+        assert_eq!(stats.resident, 1);
+        assert_eq!(stats.budget, 2);
+        let w = &stats.worlds[0];
+        assert_eq!(w.name, "a");
+        assert_eq!(w.engine.results.hits, 1);
+        assert_eq!(w.engine.results.misses, 1);
+        assert!((w.engine.results.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hit_rate_is_zero_without_lookups() {
+        // The zero-division guard the shutdown log relies on.
+        assert_eq!(CacheStats::default().hit_rate(), 0.0);
+    }
+}

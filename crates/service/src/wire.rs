@@ -5,11 +5,14 @@
 //! and the protocol surface is small enough that a dependency would
 //! cost more than these ~300 lines.
 //!
-//! Request line:
+//! Query request line (the optional `cmd` defaults to `"query"`;
+//! `world` routes to a resident world, `parallel` opts into chunked
+//! intra-query Monte Carlo):
 //!
 //! ```json
 //! {"id":1,"input":"EntrezProtein","attribute":"name","value":"GALT",
-//!  "outputs":["AmiGO"],"method":"rel","trials":1000,"seed":"42","top":10}
+//!  "outputs":["AmiGO"],"method":"rel","trials":1000,"seed":"42","top":10,
+//!  "world":"staging","parallel":true}
 //! ```
 //!
 //! Response line (success):
@@ -19,6 +22,18 @@
 //!  "micros":8123,"answers":[{"key":"GO:0004335","label":"galactokinase
 //!  activity","score":0.91,"rank_lo":1,"rank_hi":1}]}
 //! ```
+//!
+//! Admin request lines set `cmd` to one of `world.load`, `world.swap`,
+//! `world.evict`, `world.list`, `stats`:
+//!
+//! ```json
+//! {"id":2,"cmd":"world.load","world":"staging","seed":"99","extended":false,"cache":512}
+//! {"id":3,"cmd":"world.list"}
+//! {"id":4,"cmd":"stats"}
+//! ```
+//!
+//! answered by `{"id":2,"ok":true,"world":"staging","generation":1}`,
+//! a `worlds` array, and a per-world `stats` object respectively.
 //!
 //! Response line (failure): `{"id":1,"ok":false,"error":"..."}`.
 //!
@@ -31,7 +46,9 @@ use std::fmt::Write as _;
 
 use biorank_mediator::ExploratoryQuery;
 
-use crate::engine::{Method, QueryRequest, QueryResponse, RankedAnswer, RankerSpec};
+use crate::cache::CacheStats;
+use crate::engine::{EngineStats, Method, QueryRequest, QueryResponse, RankedAnswer, RankerSpec};
+use crate::tenancy::{ServiceStats, WorldInfo, WorldSpec, WorldStats};
 
 /// A parsed JSON value.
 #[derive(Clone, Debug, PartialEq)]
@@ -403,13 +420,67 @@ impl Parser<'_> {
     }
 }
 
-/// One request line: an id chosen by the client plus the query.
+/// One request line: an id chosen by the client plus its body.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Request {
     /// Client-chosen correlation id, echoed on the response.
     pub id: u64,
-    /// The query to execute.
-    pub req: QueryRequest,
+    /// The query or admin command to execute.
+    pub body: RequestBody,
+}
+
+/// What a request line asks the server to do.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RequestBody {
+    /// Execute a query (the default when `cmd` is absent).
+    Query(QueryRequest),
+    /// An admin control-plane command.
+    Admin(AdminRequest),
+}
+
+/// The admin control plane: world lifecycle plus observability.
+#[derive(Clone, Debug, PartialEq)]
+pub enum AdminRequest {
+    /// `world.load` — make a world resident (no-op if identical).
+    Load {
+        /// Registry name.
+        world: String,
+        /// How to build it.
+        spec: WorldSpec,
+    },
+    /// `world.swap` — replace a world with a freshly built engine,
+    /// invalidating both of its cache layers.
+    Swap {
+        /// Registry name.
+        world: String,
+        /// How to build the replacement.
+        spec: WorldSpec,
+    },
+    /// `world.evict` — drop a resident world.
+    Evict {
+        /// Registry name.
+        world: String,
+    },
+    /// `world.list` — snapshot the registry.
+    List,
+    /// `stats` — per-world cache counters.
+    Stats,
+}
+
+/// A successful admin command's payload.
+#[derive(Clone, Debug, PartialEq)]
+pub enum AdminResponse {
+    /// Outcome of `world.load` / `world.swap` / `world.evict`.
+    World {
+        /// The world operated on.
+        world: String,
+        /// Its generation after the operation (0 for an eviction).
+        generation: u64,
+    },
+    /// Outcome of `world.list`.
+    List(Vec<WorldInfo>),
+    /// Outcome of `stats`.
+    Stats(ServiceStats),
 }
 
 /// One response line: the echoed id plus outcome.
@@ -417,8 +488,17 @@ pub struct Request {
 pub struct Response {
     /// The correlation id of the request this answers.
     pub id: u64,
-    /// Ranked answers, or a rendered error message.
-    pub outcome: Result<QueryResponse, String>,
+    /// The payload, or a rendered error message.
+    pub outcome: Result<ResponseBody, String>,
+}
+
+/// A successful response's payload.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ResponseBody {
+    /// Ranked answers for a query request.
+    Query(QueryResponse),
+    /// An admin command's payload.
+    Admin(AdminResponse),
 }
 
 fn obj(fields: Vec<(&str, Json)>) -> Json {
@@ -451,9 +531,16 @@ fn get_u64(fields: &BTreeMap<String, Json>, key: &str) -> Result<u64, WireError>
 
 /// Encodes a request as one JSON line (no trailing newline).
 pub fn encode_request(r: &Request) -> String {
-    let q = &r.req.query;
+    match &r.body {
+        RequestBody::Query(req) => encode_query_request(r.id, req),
+        RequestBody::Admin(admin) => encode_admin_request(r.id, admin),
+    }
+}
+
+fn encode_query_request(id: u64, req: &QueryRequest) -> String {
+    let q = &req.query;
     let mut fields = vec![
-        ("id", Json::Num(r.id as f64)),
+        ("id", Json::Num(id as f64)),
         ("input", Json::Str(q.input.clone())),
         ("attribute", Json::Str(q.attribute.clone())),
         ("value", Json::Str(q.value.clone())),
@@ -461,25 +548,133 @@ pub fn encode_request(r: &Request) -> String {
             "outputs",
             Json::Arr(q.outputs.iter().cloned().map(Json::Str).collect()),
         ),
-        ("method", Json::Str(r.req.spec.method.wire_name().into())),
-        ("trials", Json::Num(f64::from(r.req.spec.trials))),
+        ("method", Json::Str(req.spec.method.wire_name().into())),
+        ("trials", Json::Num(f64::from(req.spec.trials))),
         // As a decimal string: JSON numbers are f64 here, which would
         // silently corrupt seeds above 2^53 and break the cross-wire
         // determinism guarantee.
-        ("seed", Json::Str(r.req.spec.seed.to_string())),
+        ("seed", Json::Str(req.spec.seed.to_string())),
     ];
-    if let Some(top) = r.req.top {
+    if req.spec.parallel {
+        fields.push(("parallel", Json::Bool(true)));
+    }
+    if let Some(top) = req.top {
         fields.push(("top", Json::Num(top as f64)));
+    }
+    if let Some(world) = &req.world {
+        fields.push(("world", Json::Str(world.clone())));
     }
     obj(fields).encode()
 }
 
-/// Decodes one request line.
+fn encode_admin_request(id: u64, admin: &AdminRequest) -> String {
+    let mut fields = vec![("id", Json::Num(id as f64))];
+    match admin {
+        AdminRequest::Load { world, spec } | AdminRequest::Swap { world, spec } => {
+            let cmd = if matches!(admin, AdminRequest::Load { .. }) {
+                "world.load"
+            } else {
+                "world.swap"
+            };
+            fields.push(("cmd", Json::Str(cmd.into())));
+            fields.push(("world", Json::Str(world.clone())));
+            fields.push(("seed", Json::Str(spec.seed.to_string())));
+            fields.push(("extended", Json::Bool(spec.extended)));
+            fields.push(("cache", Json::Num(spec.cache_capacity as f64)));
+        }
+        AdminRequest::Evict { world } => {
+            fields.push(("cmd", Json::Str("world.evict".into())));
+            fields.push(("world", Json::Str(world.clone())));
+        }
+        AdminRequest::List => fields.push(("cmd", Json::Str("world.list".into()))),
+        AdminRequest::Stats => fields.push(("cmd", Json::Str("stats".into()))),
+    }
+    obj(fields).encode()
+}
+
+/// Decodes one request line. Lines without a `cmd` field (or with
+/// `cmd: "query"`) are query requests; everything else is an admin
+/// command.
 pub fn decode_request(line: &str) -> Result<Request, WireError> {
     let Json::Obj(fields) = Json::parse(line)? else {
         return Err(wire_err("request must be a JSON object"));
     };
-    let outputs = match get(&fields, "outputs")? {
+    let id = get_u64(&fields, "id")?;
+    let cmd = match fields.get("cmd") {
+        None => "query".to_string(),
+        Some(v) => v
+            .as_str()
+            .map(str::to_string)
+            .ok_or_else(|| wire_err("field \"cmd\" must be a string"))?,
+    };
+    let body = match cmd.as_str() {
+        "query" => RequestBody::Query(decode_query_body(&fields)?),
+        "world.load" => RequestBody::Admin(AdminRequest::Load {
+            world: get_str(&fields, "world")?,
+            spec: decode_world_spec(&fields)?,
+        }),
+        "world.swap" => RequestBody::Admin(AdminRequest::Swap {
+            world: get_str(&fields, "world")?,
+            spec: decode_world_spec(&fields)?,
+        }),
+        "world.evict" => RequestBody::Admin(AdminRequest::Evict {
+            world: get_str(&fields, "world")?,
+        }),
+        "world.list" => RequestBody::Admin(AdminRequest::List),
+        "stats" => RequestBody::Admin(AdminRequest::Stats),
+        other => return Err(wire_err(format!("unknown cmd {other:?}"))),
+    };
+    Ok(Request { id, body })
+}
+
+/// Decodes the optional world-spec fields of `world.load`/`world.swap`
+/// (`seed`, `extended`, `cache`), defaulting absent ones.
+fn decode_world_spec(fields: &BTreeMap<String, Json>) -> Result<WorldSpec, WireError> {
+    let defaults = WorldSpec::default();
+    let seed = fields
+        .get("seed")
+        .map(decode_seed)
+        .transpose()?
+        .unwrap_or(defaults.seed);
+    let extended = fields
+        .get("extended")
+        .map(|v| {
+            v.as_bool()
+                .ok_or_else(|| wire_err("field \"extended\" must be a boolean"))
+        })
+        .transpose()?
+        .unwrap_or(defaults.extended);
+    let cache_capacity = fields
+        .get("cache")
+        .map(|v| {
+            v.as_u64()
+                .map(|c| c as usize)
+                .ok_or_else(|| wire_err("field \"cache\" must be a non-negative integer"))
+        })
+        .transpose()?
+        .unwrap_or(defaults.cache_capacity);
+    Ok(WorldSpec {
+        seed,
+        extended,
+        cache_capacity,
+    })
+}
+
+/// Accept both a decimal string (the canonical encoding, exact for all
+/// u64) and a small JSON integer (hand-written clients).
+fn decode_seed(v: &Json) -> Result<u64, WireError> {
+    match v {
+        Json::Str(s) => s
+            .parse::<u64>()
+            .map_err(|_| wire_err("field \"seed\" must be a u64 decimal string")),
+        _ => v
+            .as_u64()
+            .ok_or_else(|| wire_err("field \"seed\" must be a non-negative integer")),
+    }
+}
+
+fn decode_query_body(fields: &BTreeMap<String, Json>) -> Result<QueryRequest, WireError> {
+    let outputs = match get(fields, "outputs")? {
         Json::Arr(items) => items
             .iter()
             .map(|i| {
@@ -502,20 +697,19 @@ pub fn decode_request(line: &str) -> Result<Request, WireError> {
         })
         .transpose()?
         .unwrap_or(RankerSpec::DEFAULT_TRIALS);
-    // Accept both a decimal string (the canonical encoding, exact for
-    // all u64) and a small JSON integer (hand-written clients).
     let seed = fields
         .get("seed")
-        .map(|v| match v {
-            Json::Str(s) => s
-                .parse::<u64>()
-                .map_err(|_| wire_err("field \"seed\" must be a u64 decimal string")),
-            _ => v
-                .as_u64()
-                .ok_or_else(|| wire_err("field \"seed\" must be a non-negative integer")),
-        })
+        .map(decode_seed)
         .transpose()?
         .unwrap_or(RankerSpec::DEFAULT_SEED);
+    let parallel = fields
+        .get("parallel")
+        .map(|v| {
+            v.as_bool()
+                .ok_or_else(|| wire_err("field \"parallel\" must be a boolean"))
+        })
+        .transpose()?
+        .unwrap_or(false);
     let top = fields
         .get("top")
         .map(|v| {
@@ -524,29 +718,36 @@ pub fn decode_request(line: &str) -> Result<Request, WireError> {
                 .ok_or_else(|| wire_err("field \"top\" must be a non-negative integer"))
         })
         .transpose()?;
-    Ok(Request {
-        id: get_u64(&fields, "id")?,
-        req: QueryRequest {
-            query: ExploratoryQuery {
-                input: get_str(&fields, "input")?,
-                attribute: get_str(&fields, "attribute")?,
-                value: get_str(&fields, "value")?,
-                outputs,
-            },
-            spec: RankerSpec {
-                method,
-                trials,
-                seed,
-            },
-            top,
+    let world = fields
+        .get("world")
+        .map(|v| {
+            v.as_str()
+                .map(str::to_string)
+                .ok_or_else(|| wire_err("field \"world\" must be a string"))
+        })
+        .transpose()?;
+    Ok(QueryRequest {
+        query: ExploratoryQuery {
+            input: get_str(fields, "input")?,
+            attribute: get_str(fields, "attribute")?,
+            value: get_str(fields, "value")?,
+            outputs,
         },
+        spec: RankerSpec {
+            method,
+            trials,
+            seed,
+            parallel,
+        },
+        top,
+        world,
     })
 }
 
 /// Encodes a response as one JSON line (no trailing newline).
 pub fn encode_response(r: &Response) -> String {
     match &r.outcome {
-        Ok(resp) => obj(vec![
+        Ok(ResponseBody::Query(resp)) => obj(vec![
             ("id", Json::Num(r.id as f64)),
             ("ok", Json::Bool(true)),
             ("total", Json::Num(resp.total_answers as f64)),
@@ -572,6 +773,7 @@ pub fn encode_response(r: &Response) -> String {
             ),
         ])
         .encode(),
+        Ok(ResponseBody::Admin(admin)) => encode_admin_response(r.id, admin),
         Err(msg) => obj(vec![
             ("id", Json::Num(r.id as f64)),
             ("ok", Json::Bool(false)),
@@ -581,7 +783,92 @@ pub fn encode_response(r: &Response) -> String {
     }
 }
 
-/// Decodes one response line.
+fn encode_world_spec_fields(spec: &WorldSpec, fields: &mut Vec<(&'static str, Json)>) {
+    fields.push(("seed", Json::Str(spec.seed.to_string())));
+    fields.push(("extended", Json::Bool(spec.extended)));
+    fields.push(("cache", Json::Num(spec.cache_capacity as f64)));
+}
+
+fn encode_cache_stats(s: &CacheStats) -> Json {
+    obj(vec![
+        ("hits", Json::Num(s.hits as f64)),
+        ("misses", Json::Num(s.misses as f64)),
+        ("entries", Json::Num(s.entries as f64)),
+        // Derived, for humans reading transcripts; decode recomputes
+        // it from hits/misses.
+        ("hit_rate", Json::Num(s.hit_rate())),
+    ])
+}
+
+fn decode_cache_stats(v: &Json) -> Result<CacheStats, WireError> {
+    let Json::Obj(f) = v else {
+        return Err(wire_err("cache stats must be an object"));
+    };
+    Ok(CacheStats {
+        hits: get_u64(f, "hits")?,
+        misses: get_u64(f, "misses")?,
+        entries: get_u64(f, "entries")? as usize,
+    })
+}
+
+fn encode_admin_response(id: u64, admin: &AdminResponse) -> String {
+    let mut fields = vec![("id", Json::Num(id as f64)), ("ok", Json::Bool(true))];
+    match admin {
+        AdminResponse::World { world, generation } => {
+            fields.push(("world", Json::Str(world.clone())));
+            fields.push(("generation", Json::Num(*generation as f64)));
+        }
+        AdminResponse::List(worlds) => {
+            fields.push((
+                "worlds",
+                Json::Arr(
+                    worlds
+                        .iter()
+                        .map(|w| {
+                            let mut f = vec![
+                                ("world", Json::Str(w.name.clone())),
+                                ("generation", Json::Num(w.generation as f64)),
+                            ];
+                            encode_world_spec_fields(&w.spec, &mut f);
+                            obj(f)
+                        })
+                        .collect(),
+                ),
+            ));
+        }
+        AdminResponse::Stats(stats) => {
+            fields.push((
+                "stats",
+                obj(vec![
+                    ("budget", Json::Num(stats.budget as f64)),
+                    ("resident", Json::Num(stats.resident as f64)),
+                    (
+                        "worlds",
+                        Json::Arr(
+                            stats
+                                .worlds
+                                .iter()
+                                .map(|w| {
+                                    obj(vec![
+                                        ("world", Json::Str(w.name.clone())),
+                                        ("generation", Json::Num(w.generation as f64)),
+                                        ("graphs", encode_cache_stats(&w.engine.graphs)),
+                                        ("results", encode_cache_stats(&w.engine.results)),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                ]),
+            ));
+        }
+    }
+    obj(fields).encode()
+}
+
+/// Decodes one response line. The payload kind is inferred from the
+/// discriminating field: `answers` (query), `worlds` (world.list),
+/// `stats` (stats), or `world` (load/swap/evict).
 pub fn decode_response(line: &str) -> Result<Response, WireError> {
     let Json::Obj(fields) = Json::parse(line)? else {
         return Err(wire_err("response must be a JSON object"));
@@ -596,7 +883,28 @@ pub fn decode_response(line: &str) -> Result<Response, WireError> {
             outcome: Err(get_str(&fields, "error")?),
         });
     }
-    let answers = match get(&fields, "answers")? {
+    let body = if fields.contains_key("answers") {
+        ResponseBody::Query(decode_query_response(&fields)?)
+    } else if fields.contains_key("worlds") {
+        ResponseBody::Admin(AdminResponse::List(decode_world_list(&fields)?))
+    } else if fields.contains_key("stats") {
+        ResponseBody::Admin(AdminResponse::Stats(decode_service_stats(&fields)?))
+    } else if fields.contains_key("world") {
+        ResponseBody::Admin(AdminResponse::World {
+            world: get_str(&fields, "world")?,
+            generation: get_u64(&fields, "generation")?,
+        })
+    } else {
+        return Err(wire_err("response payload has no recognizable kind"));
+    };
+    Ok(Response {
+        id,
+        outcome: Ok(body),
+    })
+}
+
+fn decode_query_response(fields: &BTreeMap<String, Json>) -> Result<QueryResponse, WireError> {
+    let answers = match get(fields, "answers")? {
         Json::Arr(items) => items
             .iter()
             .map(|item| {
@@ -616,19 +924,65 @@ pub fn decode_response(line: &str) -> Result<Response, WireError> {
             .collect::<Result<Vec<_>, _>>()?,
         _ => return Err(wire_err("field \"answers\" must be an array")),
     };
-    Ok(Response {
-        id,
-        outcome: Ok(QueryResponse {
-            answers,
-            total_answers: get_u64(&fields, "total")? as usize,
-            cached_graph: get(&fields, "cached_graph")?
-                .as_bool()
-                .ok_or_else(|| wire_err("field \"cached_graph\" must be a boolean"))?,
-            cached_scores: get(&fields, "cached_scores")?
-                .as_bool()
-                .ok_or_else(|| wire_err("field \"cached_scores\" must be a boolean"))?,
-            micros: get_u64(&fields, "micros")?,
-        }),
+    Ok(QueryResponse {
+        answers,
+        total_answers: get_u64(fields, "total")? as usize,
+        cached_graph: get(fields, "cached_graph")?
+            .as_bool()
+            .ok_or_else(|| wire_err("field \"cached_graph\" must be a boolean"))?,
+        cached_scores: get(fields, "cached_scores")?
+            .as_bool()
+            .ok_or_else(|| wire_err("field \"cached_scores\" must be a boolean"))?,
+        micros: get_u64(fields, "micros")?,
+    })
+}
+
+fn decode_world_list(fields: &BTreeMap<String, Json>) -> Result<Vec<WorldInfo>, WireError> {
+    let Json::Arr(items) = get(fields, "worlds")? else {
+        return Err(wire_err("field \"worlds\" must be an array"));
+    };
+    items
+        .iter()
+        .map(|item| {
+            let Json::Obj(f) = item else {
+                return Err(wire_err("worlds must be objects"));
+            };
+            Ok(WorldInfo {
+                name: get_str(f, "world")?,
+                spec: decode_world_spec(f)?,
+                generation: get_u64(f, "generation")?,
+            })
+        })
+        .collect()
+}
+
+fn decode_service_stats(fields: &BTreeMap<String, Json>) -> Result<ServiceStats, WireError> {
+    let Json::Obj(stats) = get(fields, "stats")? else {
+        return Err(wire_err("field \"stats\" must be an object"));
+    };
+    let Json::Arr(items) = get(stats, "worlds")? else {
+        return Err(wire_err("field \"stats.worlds\" must be an array"));
+    };
+    let worlds = items
+        .iter()
+        .map(|item| {
+            let Json::Obj(f) = item else {
+                return Err(wire_err("stats worlds must be objects"));
+            };
+            Ok(WorldStats {
+                name: get_str(f, "world")?,
+                generation: get_u64(f, "generation")?,
+                engine: EngineStats {
+                    graphs: decode_cache_stats(get(f, "graphs")?)?,
+                    results: decode_cache_stats(get(f, "results")?)?,
+                },
+            })
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(ServiceStats {
+        budget: get_u64(stats, "budget")? as usize,
+        resident: get_u64(stats, "resident")? as usize,
+        worlds,
     })
 }
 
@@ -700,48 +1054,161 @@ mod tests {
         }
     }
 
+    fn query_of(r: &Request) -> &QueryRequest {
+        match &r.body {
+            RequestBody::Query(q) => q,
+            RequestBody::Admin(a) => panic!("expected a query, got {a:?}"),
+        }
+    }
+
     #[test]
     fn request_roundtrip() {
         let r = Request {
             id: 7,
-            req: QueryRequest {
+            body: RequestBody::Query(QueryRequest {
                 query: ExploratoryQuery::protein_functions("GALT"),
                 spec: RankerSpec {
                     method: Method::Reliability,
                     trials: 1000,
                     seed: 42,
+                    parallel: false,
                 },
                 top: Some(5),
-            },
+                world: None,
+            }),
         };
         let line = encode_request(&r);
         assert!(!line.contains('\n'));
         assert_eq!(decode_request(&line).unwrap(), r);
+
+        // World routing and the parallel flag survive the wire too.
+        let r = Request {
+            id: 8,
+            body: RequestBody::Query(QueryRequest {
+                query: ExploratoryQuery::protein_functions("CFTR"),
+                spec: RankerSpec {
+                    method: Method::TraversalMc,
+                    trials: 100,
+                    seed: 9,
+                    parallel: true,
+                },
+                top: None,
+                world: Some("staging".into()),
+            }),
+        };
+        assert_eq!(decode_request(&encode_request(&r)).unwrap(), r);
+    }
+
+    #[test]
+    fn admin_request_roundtrip() {
+        for admin in [
+            AdminRequest::Load {
+                world: "staging".into(),
+                spec: WorldSpec {
+                    seed: (1u64 << 60) + 3,
+                    extended: true,
+                    cache_capacity: 64,
+                },
+            },
+            AdminRequest::Swap {
+                world: "staging".into(),
+                spec: WorldSpec::default(),
+            },
+            AdminRequest::Evict {
+                world: "staging".into(),
+            },
+            AdminRequest::List,
+            AdminRequest::Stats,
+        ] {
+            let r = Request {
+                id: 11,
+                body: RequestBody::Admin(admin),
+            };
+            assert_eq!(decode_request(&encode_request(&r)).unwrap(), r);
+        }
+        // Spec fields default when omitted.
+        let r = decode_request("{\"id\":1,\"cmd\":\"world.load\",\"world\":\"w\"}").unwrap();
+        assert_eq!(
+            r.body,
+            RequestBody::Admin(AdminRequest::Load {
+                world: "w".into(),
+                spec: WorldSpec::default(),
+            })
+        );
+        assert!(decode_request("{\"id\":1,\"cmd\":\"world.revolve\"}").is_err());
+    }
+
+    #[test]
+    fn admin_response_roundtrip() {
+        let world = Response {
+            id: 1,
+            outcome: Ok(ResponseBody::Admin(AdminResponse::World {
+                world: "staging".into(),
+                generation: 3,
+            })),
+        };
+        assert_eq!(decode_response(&encode_response(&world)).unwrap(), world);
+
+        let list = Response {
+            id: 2,
+            outcome: Ok(ResponseBody::Admin(AdminResponse::List(vec![WorldInfo {
+                name: "default".into(),
+                spec: WorldSpec::default(),
+                generation: 1,
+            }]))),
+        };
+        assert_eq!(decode_response(&encode_response(&list)).unwrap(), list);
+
+        let stats = Response {
+            id: 3,
+            outcome: Ok(ResponseBody::Admin(AdminResponse::Stats(ServiceStats {
+                budget: 4,
+                resident: 1,
+                worlds: vec![WorldStats {
+                    name: "default".into(),
+                    generation: 2,
+                    engine: EngineStats {
+                        graphs: CacheStats {
+                            hits: 3,
+                            misses: 1,
+                            entries: 1,
+                        },
+                        results: CacheStats::default(),
+                    },
+                }],
+            }))),
+        };
+        assert_eq!(decode_response(&encode_response(&stats)).unwrap(), stats);
     }
 
     #[test]
     fn seeds_above_2_pow_53_survive_the_wire_exactly() {
         let mut r = Request {
             id: 1,
-            req: QueryRequest {
+            body: RequestBody::Query(QueryRequest {
                 query: ExploratoryQuery::protein_functions("GALT"),
                 spec: RankerSpec {
                     method: Method::TraversalMc,
                     trials: 10,
                     seed: (1u64 << 60) + 1,
+                    parallel: false,
                 },
                 top: None,
-            },
+                world: None,
+            }),
         };
         for seed in [(1u64 << 60) + 1, u64::MAX, 0] {
-            r.req.spec.seed = seed;
+            let RequestBody::Query(q) = &mut r.body else {
+                unreachable!()
+            };
+            q.spec.seed = seed;
             let back = decode_request(&encode_request(&r)).unwrap();
-            assert_eq!(back.req.spec.seed, seed);
+            assert_eq!(query_of(&back).spec.seed, seed);
         }
         // Hand-written clients may still send a small JSON integer.
         let line = "{\"id\":1,\"input\":\"A\",\"attribute\":\"x\",\"value\":\"v\",\
                     \"outputs\":[\"B\"],\"method\":\"mc\",\"seed\":42}";
-        assert_eq!(decode_request(line).unwrap().req.spec.seed, 42);
+        assert_eq!(query_of(&decode_request(line).unwrap()).spec.seed, 42);
     }
 
     #[test]
@@ -749,16 +1216,19 @@ mod tests {
         let line = "{\"id\":1,\"input\":\"EntrezProtein\",\"attribute\":\"name\",\
                     \"value\":\"GALT\",\"outputs\":[\"AmiGO\"],\"method\":\"pathc\"}";
         let r = decode_request(line).unwrap();
-        assert_eq!(r.req.spec.trials, RankerSpec::DEFAULT_TRIALS);
-        assert_eq!(r.req.spec.seed, RankerSpec::DEFAULT_SEED);
-        assert_eq!(r.req.top, None);
+        let q = query_of(&r);
+        assert_eq!(q.spec.trials, RankerSpec::DEFAULT_TRIALS);
+        assert_eq!(q.spec.seed, RankerSpec::DEFAULT_SEED);
+        assert!(!q.spec.parallel);
+        assert_eq!(q.top, None);
+        assert_eq!(q.world, None);
     }
 
     #[test]
     fn response_roundtrip() {
         let resp = Response {
             id: 3,
-            outcome: Ok(QueryResponse {
+            outcome: Ok(ResponseBody::Query(QueryResponse {
                 answers: vec![RankedAnswer {
                     key: "GO:0004335".into(),
                     label: "galactokinase \"activity\"".into(),
@@ -770,7 +1240,7 @@ mod tests {
                 cached_graph: true,
                 cached_scores: false,
                 micros: 812,
-            }),
+            })),
         };
         let line = encode_response(&resp);
         assert_eq!(decode_response(&line).unwrap(), resp);

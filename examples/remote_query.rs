@@ -1,8 +1,12 @@
-//! Querying a `biorank serve` instance from Rust, end to end.
+//! Querying a `biorank serve` instance from Rust, end to end —
+//! including the multi-world admin control plane.
 //!
 //! This example starts an in-process server on an ephemeral port (so
 //! it runs standalone), then talks to it exactly the way an external
-//! client would: over TCP with the line-delimited JSON protocol.
+//! client would: over TCP with the line-delimited JSON protocol. It
+//! loads a second world next to the default one, routes queries to
+//! both, swaps the second world (invalidating its caches), and reads
+//! back per-world `stats`.
 //!
 //! ```text
 //! cargo run --example remote_query
@@ -13,11 +17,12 @@ use std::sync::Arc;
 use biorank::mediator::Mediator;
 use biorank::prelude::*;
 use biorank::service::{
-    Client, Method, QueryEngine, QueryRequest, RankerSpec, ServeOptions, Server,
+    Client, Method, QueryEngine, QueryRequest, RankerSpec, ServeOptions, Server, WorldSpec,
 };
 
 fn main() {
-    // Server side: a resident world behind a cached, concurrent engine.
+    // Server side: a resident world behind a cached, concurrent
+    // engine, wrapped (by `Server::bind`) in a world registry.
     let world = World::generate(WorldParams::default());
     let mediator = Mediator::new(biorank_schema_with_ontology().schema, world.registry());
     let engine = Arc::new(QueryEngine::new(mediator));
@@ -39,6 +44,7 @@ fn main() {
                 query: ExploratoryQuery::protein_functions("GALT"),
                 spec,
                 top: Some(5),
+                world: None,
             })
             .expect("query GALT");
         println!(
@@ -57,6 +63,55 @@ fn main() {
         "\nrepeat: served from cache = {}, {} µs",
         repeat.cached_scores, repeat.micros
     );
+
+    // Admin plane: load a second world from a different seed and run
+    // the same query against both — same protein, different evidence.
+    let staging = WorldSpec {
+        seed: 0xFEED,
+        ..WorldSpec::default()
+    };
+    let generation = client.world_load("staging", staging).expect("world.load");
+    println!("\nloaded world \"staging\" (generation {generation})");
+    for world in [None, Some("staging")] {
+        let mut req = QueryRequest::protein_functions("GALT", RankerSpec::new(Method::Reliability));
+        req.world = world.map(str::to_string);
+        let response = client.query(&req).expect("routed query");
+        let top = response.answers.first().expect("non-empty ranking");
+        println!(
+            "  world {:<10} top answer {} ({:.4})",
+            world.unwrap_or("default"),
+            top.key,
+            top.score
+        );
+    }
+
+    // Swap "staging": a fresh engine replaces it, so the next query
+    // recomputes rather than serving the pre-swap cache.
+    let generation = client.world_swap("staging", staging).expect("world.swap");
+    let swapped = client
+        .query(
+            &QueryRequest::protein_functions("GALT", RankerSpec::new(Method::Reliability))
+                .on_world("staging"),
+        )
+        .expect("post-swap query");
+    println!(
+        "after swap to generation {generation}: cached_scores = {} (recomputed)",
+        swapped.cached_scores
+    );
+
+    println!("\nper-world stats:");
+    let stats = client.stats().expect("stats");
+    for w in stats.worlds {
+        println!(
+            "  {:<10} gen {} graphs {}h/{}m, results {}h/{}m",
+            w.name,
+            w.generation,
+            w.engine.graphs.hits,
+            w.engine.graphs.misses,
+            w.engine.results.hits,
+            w.engine.results.misses
+        );
+    }
 
     handle.shutdown();
 }

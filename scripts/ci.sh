@@ -18,4 +18,11 @@ cargo build --release --all-targets
 echo "==> cargo test -q"
 cargo test -q
 
+# The multi-world tenancy suite is the gate for the admin control
+# plane (world.load/swap/evict/list, stats, swap cache invalidation);
+# run it by name so a renamed or dropped target fails loudly instead
+# of silently vanishing from the suite above.
+echo "==> cargo test -q --test service_tenancy"
+cargo test -q --test service_tenancy
+
 echo "OK"

@@ -38,8 +38,10 @@ fn batch() -> Vec<QueryRequest> {
                     method,
                     trials: 500,
                     seed: 7 + (i % 2) as u64,
+                    parallel: false,
                 },
                 top: None,
+                world: None,
             });
         }
     }
@@ -115,6 +117,89 @@ fn graph_cache_is_shared_across_methods() {
     assert_eq!(stats.results.misses, 2);
 }
 
+/// The opt-in `parallel` flag: the chunked traversal-MC estimator must
+/// give bit-identical scores whether its chunks run on 1 thread or N
+/// (the chunk layout is pinned; threads only schedule), and the
+/// service path must be reproducible and cache-coherent under it.
+#[test]
+fn parallel_mc_is_bit_identical_to_sequential_chunk_execution() {
+    let world = World::generate(WorldParams::default());
+    let mediator = Mediator::new(biorank_schema_with_ontology().schema, world.registry());
+    let result = mediator
+        .execute(&ExploratoryQuery::protein_functions("CFTR"))
+        .expect("integrate CFTR");
+    let q = &result.query;
+    let mc = TraversalMc::new(2_000, 77);
+    let chunks = biorank::service::PARALLEL_MC_CHUNKS;
+    let sequential = mc.score_chunked(q, chunks, 1).expect("1 thread");
+    for threads in [2usize, 4, 8] {
+        let parallel = mc.score_chunked(q, chunks, threads).expect("N threads");
+        for &a in q.answers() {
+            assert_eq!(
+                sequential.get(a).to_bits(),
+                parallel.get(a).to_bits(),
+                "threads={threads}"
+            );
+        }
+    }
+}
+
+#[test]
+fn parallel_request_flag_is_deterministic_and_cache_coherent() {
+    let spec = RankerSpec {
+        method: Method::TraversalMc,
+        trials: 400,
+        seed: 5,
+        parallel: true,
+    };
+    let req = QueryRequest::protein_functions("ABCC8", spec);
+    // Reproducible across independent engines (fresh caches each).
+    let a = engine().execute(&req).expect("engine a");
+    let b = engine().execute(&req).expect("engine b");
+    assert_eq!(a.answers, b.answers);
+    // And a cache hit returns exactly what recomputation would.
+    let eng = engine();
+    let cold = eng.execute(&req).expect("cold");
+    let warm = eng.execute(&req).expect("warm");
+    assert!(!cold.cached_scores && warm.cached_scores);
+    assert_eq!(cold.answers, warm.answers);
+    assert_eq!(cold.answers, a.answers);
+
+    // parallel=true selects a *different* (chunked) estimator, so it
+    // must not share a result-cache entry with parallel=false.
+    let sequential = eng
+        .execute(&QueryRequest::protein_functions(
+            "ABCC8",
+            RankerSpec {
+                parallel: false,
+                ..spec
+            },
+        ))
+        .expect("sequential");
+    assert!(
+        !sequential.cached_scores,
+        "parallel and sequential requests must not share a cache entry"
+    );
+
+    // Deterministic methods normalize the flag away entirely.
+    let det = |parallel| {
+        eng.execute(&QueryRequest::protein_functions(
+            "EYA1",
+            RankerSpec {
+                method: Method::InEdge,
+                trials: 1,
+                seed: 0,
+                parallel,
+            },
+        ))
+        .expect("inedge")
+    };
+    let first = det(false);
+    let second = det(true);
+    assert!(second.cached_scores, "InEdge ignores the parallel flag");
+    assert_eq!(first.answers, second.answers);
+}
+
 #[test]
 fn distinct_seeds_change_stochastic_rankings_only() {
     let eng = engine();
@@ -122,11 +207,13 @@ fn distinct_seeds_change_stochastic_rankings_only() {
         method: Method::TraversalMc,
         trials: 50,
         seed: 1,
+        parallel: false,
     };
     let spec_b = RankerSpec {
         method: Method::TraversalMc,
         trials: 50,
         seed: 2,
+        parallel: false,
     };
     let a = eng
         .execute(&QueryRequest::protein_functions("ABCC8", spec_a))
@@ -148,6 +235,7 @@ fn distinct_seeds_change_stochastic_rankings_only() {
                 method: Method::PathCount,
                 trials: 50,
                 seed,
+                parallel: false,
             },
         ))
         .expect("pathcount")

@@ -34,6 +34,7 @@ fn galt_answers_fifteen_ranked_functions_and_caches_repeats() {
         method: Method::Reliability,
         trials: 1_000,
         seed: 42,
+        parallel: false,
     };
     let cold = client
         .protein_functions("GALT", spec)
@@ -65,6 +66,7 @@ fn pipelined_batches_and_separate_connections_agree() {
         method: Method::TraversalMc,
         trials: 300,
         seed: 9,
+        parallel: false,
     };
     let reqs: Vec<QueryRequest> = ["GALT", "CFTR", "EYA1", "GALT"]
         .iter()
@@ -156,6 +158,7 @@ fn concurrent_clients_all_get_correct_answers() {
                         method: Method::InEdge,
                         trials: 1,
                         seed: t as u64, // deterministic method: seed irrelevant
+                        parallel: false,
                     };
                     let resp = client
                         .protein_functions(protein, spec)
