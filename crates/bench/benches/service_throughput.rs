@@ -30,6 +30,7 @@ fn request(protein: &str) -> QueryRequest {
             trials: 1_000,
             seed: 42,
             parallel: false,
+            estimator: None,
         },
     )
 }
@@ -58,6 +59,7 @@ fn service_throughput(c: &mut Criterion) {
                 trials: 1_000,
                 seed: 43,
                 parallel: false,
+                estimator: None,
             },
         ),
     ];
@@ -95,6 +97,7 @@ fn batch_scaling(c: &mut Criterion) {
                             trials: 500,
                             seed: s,
                             parallel: false,
+                            estimator: None,
                         },
                     )
                 })

@@ -1,0 +1,45 @@
+//! Word-parallel vs per-trial Monte Carlo at equal trial counts.
+//!
+//! The acceptance artifact for the `WordMc` engine: on the paper's
+//! query graphs (the ABCC8 running example) and on a generated layered
+//! workflow, 64-trials-per-word bitmask propagation must beat the
+//! per-trial DFS traversal (Algorithm 3.1) by at least 5× — measured
+//! ~20× on the fig8 scenario graphs. `scripts/bench.sh` records these
+//! numbers per commit in `BENCH_mc.json`.
+
+use biorank_bench::abcc8_case;
+use biorank_graph::generate::{self, WorkflowParams};
+use biorank_rank::{NaiveMc, Ranker, TraversalMc, WordMc};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn word_vs_traversal(c: &mut Criterion) {
+    let case = abcc8_case();
+    let abcc8 = &case.result.query;
+    let workflow = generate::layered_workflow(&WorkflowParams::default(), 8);
+    let mut group = c.benchmark_group("word_vs_traversal");
+    group.sample_size(15);
+
+    for (label, q) in [("abcc8", abcc8), ("workflow", &workflow)] {
+        for trials in [1_000u32, 10_000] {
+            group.bench_function(&format!("{label}/traversal_{trials}"), |b| {
+                b.iter(|| {
+                    TraversalMc::new(trials, 1)
+                        .score(black_box(q))
+                        .expect("scores")
+                })
+            });
+            group.bench_function(&format!("{label}/word_{trials}"), |b| {
+                b.iter(|| WordMc::new(trials, 1).score(black_box(q)).expect("scores"))
+            });
+        }
+        // Context: the naive baseline the paper measures against.
+        group.bench_function(&format!("{label}/naive_10000"), |b| {
+            b.iter(|| NaiveMc::new(10_000, 1).score(black_box(q)).expect("scores"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, word_vs_traversal);
+criterion_main!(benches);

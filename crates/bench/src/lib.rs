@@ -6,6 +6,10 @@
 //! * `fig8a_reliability` — the reliability evaluation strategies of
 //!   Fig. 8a (naive/traversal Monte Carlo at 10⁴ and 10³ trials, closed
 //!   solution, each with and without graph reduction).
+//! * `word_vs_traversal` — the word-parallel engine (`WordMc`, 64
+//!   trials per bitmask pass) against the per-trial traversal at equal
+//!   trial counts; `scripts/bench.sh` appends its numbers to
+//!   `BENCH_mc.json` per commit.
 //! * `fig8b_methods` — the five ranking methods of Fig. 8b.
 //! * `ablations` — design-choice ablations called out in DESIGN.md §5:
 //!   traversal vs naive sampling, diffusion's bisection vs fixed-point

@@ -16,6 +16,10 @@
 //!   --seed S                              world seed (default paper seed)
 //!   --trials N                            Monte Carlo trials (default 10000)
 //!   --parallel                            intra-query parallel MC (mc method)
+//!   --estimator traversal|word            MC engine for the mc method:
+//!                                         per-trial DFS traversal, or
+//!                                         64-trials-per-word bitmask batches
+//!                                         (the fast path on DAG query graphs)
 //!   --addr HOST:PORT                      send the query to a running
 //!                                         `biorank serve` instead of
 //!                                         executing locally
@@ -27,6 +31,8 @@
 //!   --cache N                             per-layer LRU capacity (default 512)
 //!   --worlds N                            resident-world budget (default 4)
 //!   --extended / --seed S                 default-world selection, as above
+//!   --estimator traversal|word            default MC engine for mc requests
+//!                                         that don't pick one themselves
 //!
 //! admin commands (all need --addr, default 127.0.0.1:7878):
 //!   world.load NAME [--seed S] [--extended] [--cache N]   make a world resident
@@ -43,8 +49,8 @@ use biorank::prelude::*;
 use biorank::rank::{explain::explain, TopK};
 use biorank::schema::biorank_schema_full;
 use biorank::service::{
-    Client, Method, QueryRequest, RankerSpec, ServeOptions, Server, WorldManager, WorldSpec,
-    DEFAULT_WORLD_BUDGET,
+    Client, Estimator, Method, QueryRequest, RankerSpec, ServeOptions, Server, WorldManager,
+    WorldSpec, DEFAULT_WORLD_BUDGET,
 };
 
 struct Options {
@@ -54,6 +60,7 @@ struct Options {
     seed: u64,
     trials: u32,
     parallel: bool,
+    estimator: Option<Estimator>,
     addr: Option<String>,
     workers: usize,
     cache: usize,
@@ -70,6 +77,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         seed: 0xB10_C0DE,
         trials: 10_000,
         parallel: false,
+        estimator: None,
         addr: None,
         workers: 4,
         cache: biorank::service::DEFAULT_CACHE_CAPACITY,
@@ -138,6 +146,14 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 i += 1;
                 opts.world = Some(args.get(i).ok_or("--world needs a name")?.to_string());
             }
+            "--estimator" => {
+                i += 1;
+                let name = args.get(i).ok_or("--estimator needs a value")?;
+                opts.estimator = Some(
+                    Estimator::parse(name)
+                        .ok_or_else(|| format!("unknown estimator {name:?} (traversal|word)"))?,
+                );
+            }
             "--parallel" => opts.parallel = true,
             "--extended" => opts.extended = true,
             flag if flag.starts_with("--") => {
@@ -165,9 +181,16 @@ fn build(opts: &Options) -> (World, Mediator) {
     (world, mediator)
 }
 
-fn ranker_for(method: &str, trials: u32) -> Result<Box<dyn Ranker + Send + Sync>, String> {
+fn ranker_for(
+    method: &str,
+    trials: u32,
+    estimator: Option<Estimator>,
+) -> Result<Box<dyn Ranker + Send + Sync>, String> {
     Ok(match method {
         "rel" | "reliability" => Box::new(ReducedMc::new(trials, 42)),
+        "mc" | "relmc" if estimator == Some(Estimator::Word) => {
+            Box::new(biorank::rank::WordMc::new(trials, 42))
+        }
         "mc" | "relmc" => Box::new(TraversalMc::new(trials, 42)),
         "prop" | "propagation" => Box::new(Propagation::auto()),
         "diff" | "diffusion" => Box::new(Diffusion::auto()),
@@ -202,6 +225,7 @@ fn remote_spec(opts: &Options) -> Result<RankerSpec, String> {
         trials: opts.trials,
         seed: RankerSpec::DEFAULT_SEED,
         parallel: opts.parallel,
+        estimator: opts.estimator,
     })
 }
 
@@ -274,6 +298,7 @@ fn cmd_serve(opts: &Options) -> Result<(), String> {
         manager,
         ServeOptions {
             workers: opts.workers,
+            default_estimator: opts.estimator.unwrap_or_default(),
         },
     )
     .map_err(|e| format!("bind {addr}: {e}"))?;
@@ -388,14 +413,20 @@ fn cmd_query(opts: &Options) -> Result<(), String> {
         .execute(&ExploratoryQuery::protein_functions(protein))
         .map_err(|e| e.to_string())?;
     let q = &result.query;
-    let ranker = ranker_for(&opts.method, opts.trials)?;
+    let ranker = ranker_for(&opts.method, opts.trials, opts.estimator)?;
     let scores = if opts.parallel && matches!(opts.method.as_str(), "mc" | "relmc") {
         let threads = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1);
-        TraversalMc::new(opts.trials, 42)
-            .score_chunked(q, biorank::service::PARALLEL_MC_CHUNKS, threads)
-            .map_err(|e| e.to_string())?
+        if opts.estimator == Some(Estimator::Word) {
+            biorank::rank::WordMc::new(opts.trials, 42)
+                .score_parallel(q, threads)
+                .map_err(|e| e.to_string())?
+        } else {
+            TraversalMc::new(opts.trials, 42)
+                .score_chunked(q, biorank::service::PARALLEL_MC_CHUNKS, threads)
+                .map_err(|e| e.to_string())?
+        }
     } else {
         ranker.score(q).map_err(|e| e.to_string())?
     };

@@ -4,10 +4,13 @@
 //! (a) Reliability strategies: M1 = traversal MC 10000 trials,
 //!     M2 = traversal MC 1000 trials, C = closed solution (reductions +
 //!     factoring fallback), and each preceded by graph reduction (R&).
-//!     Also reported: the naive-MC baseline (the paper's 3.4× claim) and
-//!     the average graph shrinkage from reductions (the −78% claim).
+//!     Also reported: the naive-MC baseline (the paper's 3.4× claim),
+//!     the average graph shrinkage from reductions (the −78% claim),
+//!     and — beyond the paper — W1/W2, the word-parallel engine that
+//!     propagates 64 trials per bitmask pass.
 //! (b) The five ranking methods (reliability = R&M2, the paper's
-//!     benchmark configuration).
+//!     benchmark configuration) plus the word-parallel reliability
+//!     engine at M1's trial count for comparison.
 //!
 //! Absolute times are machine-specific; the orderings are the result.
 
@@ -22,7 +25,7 @@ use biorank_experiments::{default_world, DEFAULT_SEED};
 use biorank_graph::reduction;
 use biorank_rank::{
     ClosedReliability, Diffusion, InEdge, NaiveMc, PathCount, Propagation, Ranker, ReducedMc,
-    TraversalMc,
+    TraversalMc, WordMc,
 };
 
 /// Mean wall-clock milliseconds of `f` over all cases, repeated
@@ -122,17 +125,31 @@ fn main() {
                 let _ = ReducedMc::new(1_000, DEFAULT_SEED).score(&c.result.query);
             }),
         ),
+        (
+            "W1",
+            Box::new(|c: &ScenarioCase| {
+                let _ = WordMc::new(10_000, DEFAULT_SEED).score(&c.result.query);
+            }),
+        ),
+        (
+            "W2",
+            Box::new(|c: &ScenarioCase| {
+                let _ = WordMc::new(1_000, DEFAULT_SEED).score(&c.result.query);
+            }),
+        ),
     ];
     let mut rows = Vec::new();
     let mut naive_ms = 0.0;
     let mut m1_ms = 0.0;
     let mut rm1_ms = 0.0;
+    let mut w1_ms = 0.0;
     for (name, f) in &strategies {
         let ms = time_ms(&cases, reps, |c| f(c));
         match *name {
             "naive M1" => naive_ms = ms,
             "M1" => m1_ms = ms,
             "R&M1" => rm1_ms = ms,
+            "W1" => w1_ms = ms,
             _ => {}
         }
         rows.push(vec![name.to_string(), format!("{ms:.2}")]);
@@ -140,9 +157,14 @@ fn main() {
     println!("(a) Reliability strategies (mean msec per query graph):");
     println!("{}", table(&["Method", "Time [ms]"], &rows));
     println!(
-        "traversal-vs-naive speed-up: {:.1}x (paper: 3.4x); reduction+MC vs naive: {:.1}x (paper: 13.4x)\n",
+        "traversal-vs-naive speed-up: {:.1}x (paper: 3.4x); reduction+MC vs naive: {:.1}x (paper: 13.4x)",
         naive_ms / m1_ms,
         naive_ms / rm1_ms
+    );
+    println!(
+        "word-parallel vs traversal at 10000 trials: {:.1}x; vs naive: {:.1}x\n",
+        m1_ms / w1_ms,
+        naive_ms / w1_ms
     );
 
     // (b) the five ranking methods.
@@ -175,6 +197,12 @@ fn main() {
             "PathC",
             Box::new(|c: &ScenarioCase| {
                 let _ = PathCount.score(&c.result.query);
+            }),
+        ),
+        (
+            "Rel(word M1)",
+            Box::new(|c: &ScenarioCase| {
+                let _ = WordMc::new(10_000, DEFAULT_SEED).score(&c.result.query);
             }),
         ),
     ];

@@ -1,0 +1,263 @@
+//! Frozen compressed-sparse-row snapshots of probabilistic graphs.
+//!
+//! [`crate::ProbGraph`] is an arena store tuned for the reduction
+//! engine: adjacency is `Vec<Vec<EdgeId>>`, ids are sparse after
+//! tombstoning, and every probability lookup chases a pointer. That is
+//! the right shape for rewriting, and the wrong shape for the Monte
+//! Carlo hot loop, which wants to stream over nodes and edges in flat
+//! arrays. [`CsrGraph`] is the read-only counterpart: built once per
+//! query, it packs the live subgraph into dense `u32` offset/target
+//! arrays with probabilities alongside, and precomputes a topological
+//! order when one exists (the paper's query graphs are all convergent
+//! workflow DAGs, so the order is almost always available).
+//!
+//! The word-parallel reliability engine (`biorank_rank::WordMc`) is
+//! the primary consumer: one CSR pass propagates 64 Monte Carlo
+//! trials at a time through bitmask AND/OR.
+
+use crate::{topo, NodeId, ProbGraph};
+
+/// Sentinel in the original→dense map for dead (tombstoned) slots.
+const DEAD: u32 = u32::MAX;
+
+/// A frozen CSR snapshot of the live subgraph of a [`ProbGraph`].
+///
+/// Nodes are renumbered densely (`0..node_count()`) in ascending
+/// original-id order; edges are grouped by source node in the same
+/// order. All arrays are index-aligned: edge slot `k` holds both its
+/// target ([`CsrGraph::target`]) and its presence probability
+/// ([`CsrGraph::edge_q`]).
+#[derive(Clone, Debug)]
+pub struct CsrGraph {
+    /// `offsets[i]..offsets[i + 1]` is the out-edge slot range of
+    /// dense node `i`; length `node_count() + 1`.
+    offsets: Vec<u32>,
+    /// Dense target node of each edge slot.
+    targets: Vec<u32>,
+    /// Presence probability of each edge slot.
+    edge_q: Vec<f64>,
+    /// Presence probability of each dense node.
+    node_p: Vec<f64>,
+    /// Dense index → original id.
+    orig: Vec<NodeId>,
+    /// Original index → dense index (`DEAD` for tombstoned slots).
+    dense_of: Vec<u32>,
+    /// Dense node indices in topological order; `None` when the live
+    /// subgraph is cyclic.
+    topo: Option<Vec<u32>>,
+}
+
+impl CsrGraph {
+    /// Snapshots the live subgraph of `g`.
+    pub fn from_graph(g: &ProbGraph) -> CsrGraph {
+        let n = g.node_count();
+        let mut orig = Vec::with_capacity(n);
+        let mut dense_of = vec![DEAD; g.node_bound()];
+        for node in g.nodes() {
+            dense_of[node.index()] = orig.len() as u32;
+            orig.push(node);
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut targets = Vec::with_capacity(g.edge_count());
+        let mut edge_q = Vec::with_capacity(g.edge_count());
+        let mut node_p = Vec::with_capacity(n);
+        offsets.push(0);
+        for &node in &orig {
+            node_p.push(g.node_p(node).get());
+            for e in g.out_edges(node) {
+                targets.push(dense_of[g.edge_dst(e).index()]);
+                edge_q.push(g.edge_q(e).get());
+            }
+            offsets.push(targets.len() as u32);
+        }
+        let topo = topo::toposort(g)
+            .ok()
+            .map(|order| order.iter().map(|x| dense_of[x.index()]).collect());
+        CsrGraph {
+            offsets,
+            targets,
+            edge_q,
+            node_p,
+            orig,
+            dense_of,
+            topo,
+        }
+    }
+
+    /// Number of (live) nodes in the snapshot.
+    pub fn node_count(&self) -> usize {
+        self.orig.len()
+    }
+
+    /// Number of (live) edges in the snapshot.
+    pub fn edge_count(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Dense index of original node `n`, or `None` if `n` was dead or
+    /// out of bounds at snapshot time.
+    pub fn dense(&self, n: NodeId) -> Option<u32> {
+        match self.dense_of.get(n.index()) {
+            Some(&d) if d != DEAD => Some(d),
+            _ => None,
+        }
+    }
+
+    /// Original id of dense node `i`.
+    pub fn original(&self, i: u32) -> NodeId {
+        self.orig[i as usize]
+    }
+
+    /// Presence probability of dense node `i`.
+    pub fn node_p(&self, i: u32) -> f64 {
+        self.node_p[i as usize]
+    }
+
+    /// Out-edge slot range of dense node `i`.
+    pub fn out_range(&self, i: u32) -> std::ops::Range<usize> {
+        self.offsets[i as usize] as usize..self.offsets[i as usize + 1] as usize
+    }
+
+    /// Dense target node of edge slot `k`.
+    pub fn target(&self, k: usize) -> u32 {
+        self.targets[k]
+    }
+
+    /// Presence probability of edge slot `k`.
+    pub fn edge_q(&self, k: usize) -> f64 {
+        self.edge_q[k]
+    }
+
+    /// The full dense target array (hot loops index it directly).
+    pub fn targets(&self) -> &[u32] {
+        &self.targets
+    }
+
+    /// The full edge-probability array, aligned with
+    /// [`CsrGraph::targets`].
+    pub fn edge_probs(&self) -> &[f64] {
+        &self.edge_q
+    }
+
+    /// The full node-probability array, indexed by dense id.
+    pub fn node_probs(&self) -> &[f64] {
+        &self.node_p
+    }
+
+    /// Dense node indices in topological order, or `None` when the
+    /// snapshot contains a directed cycle.
+    pub fn topo_order(&self) -> Option<&[u32]> {
+        self.topo.as_deref()
+    }
+
+    /// `true` when the snapshot is acyclic (the single-pass
+    /// propagation fast path applies).
+    pub fn is_dag(&self) -> bool {
+        self.topo.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Prob;
+
+    fn p(v: f64) -> Prob {
+        Prob::new(v).unwrap()
+    }
+
+    fn diamond() -> (ProbGraph, NodeId, NodeId, NodeId, NodeId) {
+        let mut g = ProbGraph::new();
+        let s = g.add_node(p(1.0));
+        let a = g.add_node(p(0.8));
+        let b = g.add_node(p(0.7));
+        let t = g.add_node(p(0.6));
+        g.add_edge(s, a, p(0.5)).unwrap();
+        g.add_edge(s, b, p(0.4)).unwrap();
+        g.add_edge(a, t, p(0.3)).unwrap();
+        g.add_edge(b, t, p(0.2)).unwrap();
+        (g, s, a, b, t)
+    }
+
+    #[test]
+    fn snapshot_matches_arena_structure() {
+        let (g, s, a, b, t) = diamond();
+        let c = CsrGraph::from_graph(&g);
+        assert_eq!(c.node_count(), 4);
+        assert_eq!(c.edge_count(), 4);
+        let ds = c.dense(s).unwrap();
+        assert_eq!(c.original(ds), s);
+        assert_eq!(c.node_p(ds), 1.0);
+        assert_eq!(c.node_p(c.dense(t).unwrap()), 0.6);
+        // s has two out-edges, to a (q 0.5) and b (q 0.4), in
+        // adjacency order.
+        let range = c.out_range(ds);
+        assert_eq!(range.len(), 2);
+        let ends: Vec<(u32, f64)> = range.map(|k| (c.target(k), c.edge_q(k))).collect();
+        assert_eq!(ends[0], (c.dense(a).unwrap(), 0.5));
+        assert_eq!(ends[1], (c.dense(b).unwrap(), 0.4));
+        // t has none.
+        assert!(c.out_range(c.dense(t).unwrap()).is_empty());
+    }
+
+    #[test]
+    fn tombstoned_elements_are_skipped_and_ids_stay_dense() {
+        let (mut g, s, a, _, t) = diamond();
+        g.remove_node(a);
+        let c = CsrGraph::from_graph(&g);
+        assert_eq!(c.node_count(), 3);
+        assert_eq!(c.edge_count(), 2); // s → b and b → t survive a's removal
+        assert_eq!(c.dense(a), None);
+        // Dense ids cover 0..3 contiguously and map back to live ids.
+        let mut seen: Vec<NodeId> = (0..3).map(|i| c.original(i)).collect();
+        seen.sort();
+        assert!(seen.contains(&s) && seen.contains(&t));
+        assert_eq!(c.dense(NodeId::from_index(99)), None);
+    }
+
+    #[test]
+    fn topo_order_respects_edges() {
+        let (g, _, _, _, _) = diamond();
+        let c = CsrGraph::from_graph(&g);
+        let order = c.topo_order().expect("diamond is a DAG");
+        assert!(c.is_dag());
+        let pos = |i: u32| order.iter().position(|&x| x == i).unwrap();
+        for i in 0..c.node_count() as u32 {
+            for k in c.out_range(i) {
+                assert!(
+                    pos(i) < pos(c.target(k)),
+                    "edge {i}→{} out of order",
+                    c.target(k)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cyclic_graphs_have_no_topo_order() {
+        let mut g = ProbGraph::new();
+        let a = g.add_node(p(1.0));
+        let b = g.add_node(p(1.0));
+        g.add_edge(a, b, p(0.5)).unwrap();
+        g.add_edge(b, a, p(0.5)).unwrap();
+        let c = CsrGraph::from_graph(&g);
+        assert!(!c.is_dag());
+        assert!(c.topo_order().is_none());
+        assert_eq!(c.node_count(), 2);
+        assert_eq!(c.edge_count(), 2);
+    }
+
+    #[test]
+    fn slice_accessors_are_aligned() {
+        let (g, _, _, _, _) = diamond();
+        let c = CsrGraph::from_graph(&g);
+        assert_eq!(c.targets().len(), c.edge_probs().len());
+        assert_eq!(c.node_probs().len(), c.node_count());
+        for i in 0..c.node_count() as u32 {
+            for k in c.out_range(i) {
+                assert_eq!(c.targets()[k], c.target(k));
+                assert_eq!(c.edge_probs()[k], c.edge_q(k));
+            }
+        }
+    }
+}

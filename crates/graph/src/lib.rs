@@ -20,6 +20,9 @@
 //!   backbone of the PathCount ranking semantics).
 //! * [`reduction`] — the three reliability-preserving rewrite rules of
 //!   §3.1(2) and the closed-form evaluator of §3.1(3).
+//! * [`csr`] — frozen compressed-sparse-row snapshots: the flat,
+//!   cache-friendly counterpart of the arena store that the
+//!   word-parallel Monte Carlo engine streams over.
 //! * [`exact`] — ground-truth reliability via world enumeration, plus a
 //!   reduction-accelerated factoring evaluator.
 //! * [`generate`] — seeded workflow/tree/DAG/series-parallel generators.
@@ -54,6 +57,7 @@ mod ids;
 mod prob;
 mod query;
 
+pub mod csr;
 pub mod exact;
 pub mod generate;
 pub mod reach;

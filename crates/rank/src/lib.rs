@@ -6,7 +6,7 @@
 //!
 //! | Method | Type | Implementation |
 //! |---|---|---|
-//! | Reliability | probabilistic (possible worlds) | [`TraversalMc`] (Algorithm 3.1), [`NaiveMc`], [`ReducedMc`], [`ClosedReliability`] |
+//! | Reliability | probabilistic (possible worlds) | [`TraversalMc`] (Algorithm 3.1), [`WordMc`] (64 trials/word), [`NaiveMc`], [`ReducedMc`], [`ClosedReliability`] |
 //! | Propagation | probabilistic (local) | [`Propagation`] (Algorithm 3.2) |
 //! | Diffusion | probabilistic (additive) | [`Diffusion`] (Algorithm 3.3) |
 //! | InEdge | deterministic | [`InEdge`] |
@@ -43,6 +43,7 @@ mod reliability;
 mod score;
 mod ties;
 mod topk;
+mod word;
 
 pub use deterministic::{InEdge, PathCount};
 pub use diffusion::{Diffusion, InnerSolver};
@@ -52,6 +53,7 @@ pub use reliability::{ClosedReliability, ReducedMc, SolveMode};
 pub use score::{Ranker, Scores};
 pub use ties::{RankedEntry, Ranking, TieGroup};
 pub use topk::{TopK, TopKResult};
+pub use word::WordMc;
 
 use std::fmt;
 

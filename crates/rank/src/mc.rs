@@ -59,9 +59,14 @@ impl Ranker for NaiveMc {
         let mut edge_on = vec![false; eb];
         let mut reached = vec![0u64; nb];
         let mut stack = Vec::with_capacity(nb);
-        let mut seen = vec![false; nb];
+        // Visit stamps instead of a `seen: Vec<bool>` cleared every
+        // trial: a slot is "seen" when its stamp equals the current
+        // trial number, so no O(n) refill between trials. The sampled
+        // world buffers need no clearing either — every slot is
+        // overwritten by the full resample below.
+        let mut last_sim: Vec<Stamp> = vec![0; nb];
 
-        for _ in 0..self.trials {
+        for t in 1..=self.trials {
             // Sample the entire world up front — this is the cost the
             // traversal variant avoids.
             for n in g.nodes() {
@@ -70,13 +75,12 @@ impl Ranker for NaiveMc {
             for e in g.edges() {
                 edge_on[e.index()] = rng.gen::<f64>() < g.edge_q(e).get();
             }
-            seen.fill(false);
             if !node_on[source.index()] {
                 continue;
             }
             stack.clear();
             stack.push(source);
-            seen[source.index()] = true;
+            last_sim[source.index()] = t;
             reached[source.index()] += 1;
             while let Some(x) = stack.pop() {
                 for e in g.out_edges(x) {
@@ -84,10 +88,10 @@ impl Ranker for NaiveMc {
                         continue;
                     }
                     let y = g.edge_dst(e);
-                    if seen[y.index()] || !node_on[y.index()] {
+                    if last_sim[y.index()] == t || !node_on[y.index()] {
                         continue;
                     }
-                    seen[y.index()] = true;
+                    last_sim[y.index()] = t;
                     reached[y.index()] += 1;
                     stack.push(y);
                 }

@@ -1,0 +1,508 @@
+//! Word-parallel Monte Carlo reliability estimation.
+//!
+//! [`TraversalMc`](crate::TraversalMc) (Algorithm 3.1) walks the graph
+//! once per trial, drawing one `f64` per element it touches. For the
+//! trial counts the paper's Theorem 3.1 demands (10⁴ per query), that
+//! is thousands of pointer-chasing DFS walks. [`WordMc`] runs **64
+//! trials at once**: each node and edge gets a `u64` *inclusion mask*
+//! whose bit `t` is an independent Bernoulli draw for trial `t`, and
+//! reachability propagates through the whole batch with bitwise
+//! AND/OR over a flat [`CsrGraph`] snapshot:
+//!
+//! ```text
+//! reach[y] |= reach[x] & edge_mask[x→y] & node_mask[y]
+//! ```
+//!
+//! On a DAG — every query graph the paper's mediator produces — one
+//! pass in topological order is exact; cyclic graphs fall back to a
+//! bounded monotone fixpoint sweep, which converges because reach
+//! masks only ever gain bits. Per-node popcounts accumulate the reach
+//! counters, so 10 000 trials collapse into 157 linear sweeps.
+//!
+//! Masks are drawn by a bit-sliced fixed-point comparison
+//! ([`bernoulli_word`]): 64 uniform draws compare against `p` in
+//! parallel, consuming one `u64` of randomness per *bit of precision
+//! still undecided* — about 7 words per element per batch in
+//! expectation instead of 64, which is where most of the speed-up over
+//! per-trial sampling comes from.
+//!
+//! **Determinism contract:** batch `b` draws from its own RNG stream
+//! seeded by a SplitMix64 mix of `(seed, b)`, and batch counts merge
+//! by addition. The estimate therefore depends only on
+//! `(trials, seed)` — never on the thread count — so
+//! [`WordMc::score_parallel`] is bit-identical for every `threads`
+//! value, and results stay coherent across a result cache.
+
+use biorank_graph::csr::CsrGraph;
+use biorank_graph::QueryGraph;
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+use crate::{Error, Ranker, Scores};
+
+/// Trials per batch: one bit of a machine word each.
+const BATCH: u32 = 64;
+
+/// Word-parallel Monte Carlo: 64 trials per bitmask propagation pass.
+#[derive(Clone, Copy, Debug)]
+pub struct WordMc {
+    /// Number of independent trials (`n` in the paper).
+    pub trials: u32,
+    /// RNG seed; equal seeds give equal estimates.
+    pub seed: u64,
+}
+
+impl WordMc {
+    /// Creates a word-parallel sampler with the given trial count and
+    /// seed.
+    pub fn new(trials: u32, seed: u64) -> Self {
+        WordMc { trials, seed }
+    }
+
+    /// Runs the trial batches split across up to `threads` scoped OS
+    /// threads.
+    ///
+    /// Unlike [`TraversalMc::score_chunked`](crate::TraversalMc), no
+    /// chunk layout needs pinning: every 64-trial batch owns an
+    /// independent RNG stream and batch counts merge by `u64`
+    /// addition, so **any** split produces bit-identical scores. The
+    /// thread count is purely a latency knob.
+    pub fn score_parallel(&self, q: &QueryGraph, threads: usize) -> Result<Scores, Error> {
+        if self.trials == 0 {
+            return Err(Error::ZeroTrials);
+        }
+        let csr = CsrGraph::from_graph(q.graph());
+        let source = csr
+            .dense(q.source())
+            .expect("query source is live by construction");
+        let batches = self.trials.div_ceil(BATCH);
+        let threads = threads.clamp(1, batches as usize);
+        let mut counts = vec![0u64; csr.node_count()];
+        if threads == 1 {
+            run_batches(
+                &csr,
+                source,
+                0..batches,
+                self.trials,
+                self.seed,
+                &mut counts,
+            );
+        } else {
+            let base = batches / threads as u32;
+            let extra = batches % threads as u32;
+            std::thread::scope(|scope| {
+                let csr = &csr;
+                let handles: Vec<_> = (0..threads as u32)
+                    .scan(0u32, |start, i| {
+                        let share = base + u32::from(i < extra);
+                        let range = *start..*start + share;
+                        *start += share;
+                        Some(range)
+                    })
+                    .map(|range| {
+                        scope.spawn(move || {
+                            let mut partial = vec![0u64; csr.node_count()];
+                            run_batches(csr, source, range, self.trials, self.seed, &mut partial);
+                            partial
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    let partial = h.join().expect("word-MC worker panicked");
+                    for (t, p) in counts.iter_mut().zip(partial) {
+                        *t += p;
+                    }
+                }
+            });
+        }
+        let n = f64::from(self.trials);
+        let mut scores = Scores::zeroed(q.graph().node_bound());
+        for (i, &c) in counts.iter().enumerate() {
+            scores.set(csr.original(i as u32), c as f64 / n);
+        }
+        Ok(scores)
+    }
+}
+
+impl Ranker for WordMc {
+    fn name(&self) -> &'static str {
+        "Rel(wordMC)"
+    }
+
+    fn score(&self, q: &QueryGraph) -> Result<Scores, Error> {
+        self.score_parallel(q, 1)
+    }
+}
+
+/// Draws a 64-bit word whose bits are independent Bernoulli(`p`)
+/// samples.
+///
+/// Equivalent to comparing 64 independent 32-bit uniforms against
+/// `⌊p·2³²⌋`, evaluated bit-sliced from the most significant bit down:
+/// a comparison is decided at the first bit position where the uniform
+/// differs from `p`, so each round halves the undecided set and the
+/// loop consumes ~`log₂ 64 + 2` random words in expectation (hard cap
+/// 32). The 2⁻³² quantization of `p` is orders of magnitude below
+/// Monte Carlo noise at any feasible trial count.
+#[inline]
+fn bernoulli_word(rng: &mut StdRng, p: f64) -> u64 {
+    if p >= 1.0 {
+        return !0;
+    }
+    if p <= 0.0 {
+        return 0;
+    }
+    let pfx = (p * 4_294_967_296.0) as u64; // ⌊p·2³²⌋ < 2³² since p < 1
+    let mut decided_true = 0u64;
+    let mut undecided = !0u64;
+    let mut bit = 32u32;
+    while undecided != 0 && bit > 0 {
+        bit -= 1;
+        let r = rng.next_u64();
+        if (pfx >> bit) & 1 == 1 {
+            // Uniform bit 0 under a p bit 1: uniform < p, decided set.
+            decided_true |= undecided & !r;
+            undecided &= r;
+        } else {
+            // Uniform bit 1 over a p bit 0: uniform > p, decided clear.
+            undecided &= !r;
+        }
+    }
+    // Bits still undecided after 32 rounds equal the fixed-point prefix
+    // exactly: uniform == ⌊p·2³²⌋ means "not less than p".
+    decided_true
+}
+
+/// The RNG stream seed of batch `b` under run seed `seed`.
+///
+/// A SplitMix64-style finalizer over the pair rather than the additive
+/// `seed + b`: with 157 batches per 10⁴-trial run, additive seeding
+/// would make runs with nearby seeds share almost all of their streams
+/// (run seed `s` batch `b` ≡ run seed `s+1` batch `b−1`), silently
+/// correlating what callers reasonably treat as independent
+/// replications. Mixing keeps the determinism contract — the stream
+/// depends only on `(seed, b)` — while making stream collisions
+/// hash-unlikely instead of systematic.
+#[inline]
+fn batch_seed(seed: u64, b: u32) -> u64 {
+    let mut z = seed ^ u64::from(b).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Runs batches `range` of the `(trials, seed)` schedule, adding
+/// per-node reach popcounts into `counts` (dense indexing).
+fn run_batches(
+    csr: &CsrGraph,
+    source: u32,
+    range: std::ops::Range<u32>,
+    trials: u32,
+    seed: u64,
+    counts: &mut [u64],
+) {
+    let n = csr.node_count();
+    let m = csr.edge_count();
+    let node_p = csr.node_probs();
+    let edge_q = csr.edge_probs();
+    let targets = csr.targets();
+    let last_batch = trials.div_ceil(BATCH) - 1;
+    let mut node_mask = vec![0u64; n];
+    let mut edge_mask = vec![0u64; m];
+    let mut reach = vec![0u64; n];
+
+    for b in range {
+        let mut rng = StdRng::seed_from_u64(batch_seed(seed, b));
+        // Masks are drawn in a pinned order (nodes in dense order, then
+        // edges in CSR order) so the schedule depends only on the seed.
+        for (mask, &p) in node_mask.iter_mut().zip(node_p) {
+            *mask = bernoulli_word(&mut rng, p);
+        }
+        for (mask, &q) in edge_mask.iter_mut().zip(edge_q) {
+            *mask = bernoulli_word(&mut rng, q);
+        }
+        // The last batch may cover fewer than 64 trials; masking the
+        // source masks every downstream reach word, since reach bits
+        // only ever propagate from the source.
+        let valid = match trials % BATCH {
+            rem if rem != 0 && b == last_batch => !0u64 >> (BATCH - rem),
+            _ => !0u64,
+        };
+        reach.iter_mut().for_each(|r| *r = 0);
+        reach[source as usize] = node_mask[source as usize] & valid;
+
+        if let Some(order) = csr.topo_order() {
+            // DAG fast path: every predecessor of a node is finalized
+            // before the node is visited, so one pass is exact.
+            for &x in order {
+                let rx = reach[x as usize];
+                if rx == 0 {
+                    continue;
+                }
+                for k in csr.out_range(x) {
+                    let y = targets[k] as usize;
+                    reach[y] |= rx & edge_mask[k] & node_mask[y];
+                }
+            }
+        } else {
+            // Cyclic fallback: monotone fixpoint. Each sweep advances
+            // every frontier by at least one hop, so `n` sweeps always
+            // suffice; the loop usually exits far earlier.
+            for _ in 0..n {
+                let mut changed = false;
+                for x in 0..n as u32 {
+                    let rx = reach[x as usize];
+                    if rx == 0 {
+                        continue;
+                    }
+                    for k in csr.out_range(x) {
+                        let y = targets[k] as usize;
+                        let add = rx & edge_mask[k] & node_mask[y];
+                        if add & !reach[y] != 0 {
+                            reach[y] |= add;
+                            changed = true;
+                        }
+                    }
+                }
+                if !changed {
+                    break;
+                }
+            }
+        }
+
+        for (c, r) in counts.iter_mut().zip(&reach) {
+            *c += u64::from(r.count_ones());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use biorank_graph::{exact, generate, NodeId, Prob, ProbGraph};
+
+    use crate::TraversalMc;
+
+    fn p(v: f64) -> Prob {
+        Prob::new(v).unwrap()
+    }
+
+    fn diamond() -> (QueryGraph, NodeId) {
+        let mut g = ProbGraph::new();
+        let s = g.add_node(p(1.0));
+        let a = g.add_node(p(1.0));
+        let b = g.add_node(p(1.0));
+        let t = g.add_node(p(1.0));
+        g.add_edge(s, a, p(0.5)).unwrap();
+        g.add_edge(s, b, p(0.5)).unwrap();
+        g.add_edge(a, t, p(0.5)).unwrap();
+        g.add_edge(b, t, p(0.5)).unwrap();
+        (QueryGraph::new(g, s, vec![t]).unwrap(), t)
+    }
+
+    #[test]
+    fn zero_trials_is_an_error() {
+        let (q, _) = diamond();
+        assert!(matches!(
+            WordMc::new(0, 1).score(&q),
+            Err(Error::ZeroTrials)
+        ));
+    }
+
+    #[test]
+    fn converges_to_exact_diamond() {
+        let (q, t) = diamond();
+        // exact: 1 − (1 − 0.25)² = 0.4375
+        let est = WordMc::new(40_000, 42).score(&q).unwrap().get(t);
+        assert!((est - 0.4375).abs() < 0.01, "estimate {est}");
+    }
+
+    #[test]
+    fn source_score_equals_source_presence() {
+        let (q, _) = diamond();
+        let s = WordMc::new(5_000, 7).score(&q).unwrap();
+        assert_eq!(s.get(q.source()), 1.0);
+    }
+
+    #[test]
+    fn node_failures_respected() {
+        // s → m(p=0.5) → t: r(t) = 0.5
+        let mut g = ProbGraph::new();
+        let s = g.add_node(p(1.0));
+        let m = g.add_node(p(0.5));
+        let t = g.add_node(p(1.0));
+        g.add_edge(s, m, p(1.0)).unwrap();
+        g.add_edge(m, t, p(1.0)).unwrap();
+        let q = QueryGraph::new(g, s, vec![t]).unwrap();
+        let est = WordMc::new(40_000, 3).score(&q).unwrap().get(t);
+        assert!((est - 0.5).abs() < 0.01, "estimate {est}");
+    }
+
+    #[test]
+    fn partial_last_batch_counts_only_valid_trials() {
+        // trials not divisible by 64 must still normalize correctly; a
+        // certain s → t chain must score exactly 1.0, which fails if
+        // the padding bits of the last batch leak into the counters.
+        let mut g = ProbGraph::new();
+        let s = g.add_node(p(1.0));
+        let t = g.add_node(p(1.0));
+        g.add_edge(s, t, p(1.0)).unwrap();
+        let q = QueryGraph::new(g, s, vec![t]).unwrap();
+        for trials in [1u32, 63, 65, 1000] {
+            let est = WordMc::new(trials, 5).score(&q).unwrap().get(t);
+            assert_eq!(est, 1.0, "trials {trials}");
+        }
+    }
+
+    #[test]
+    fn agrees_with_enumeration_on_workflows() {
+        let params = generate::WorkflowParams {
+            layers: 2,
+            width: 3,
+            answers: 2,
+            density: 0.5,
+            node_prob: (0.4, 1.0),
+            edge_prob: (0.4, 1.0),
+        };
+        for seed in 0..3u64 {
+            let q = generate::layered_workflow(&params, seed);
+            let word = WordMc::new(60_000, 11).score(&q).unwrap();
+            for &a in q.answers() {
+                let truth = match exact::enumerate(q.graph(), q.source(), a) {
+                    Ok(r) => r,
+                    Err(_) => exact::factoring(q.graph(), q.source(), a, None).unwrap(),
+                };
+                let est = word.get(a);
+                assert!((est - truth).abs() < 0.015, "word {est} vs {truth}");
+            }
+        }
+    }
+
+    #[test]
+    fn matches_traversal_mc_statistically() {
+        let q = generate::layered_workflow(&generate::WorkflowParams::default(), 17);
+        let word = WordMc::new(30_000, 1).score(&q).unwrap();
+        let trav = TraversalMc::new(30_000, 2).score(&q).unwrap();
+        for &a in q.answers() {
+            let d = (word.get(a) - trav.get(a)).abs();
+            assert!(
+                d < 0.02,
+                "answer {a}: word {} vs traversal {}",
+                word.get(a),
+                trav.get(a)
+            );
+        }
+    }
+
+    #[test]
+    fn thread_count_never_changes_bits() {
+        // Exact bit-identity across thread counts for a fixed
+        // (trials, seed) — including a trial count that is not a
+        // multiple of the batch width.
+        let q = generate::layered_workflow(&generate::WorkflowParams::default(), 23);
+        let mc = WordMc::new(1_000, 9);
+        let sequential = mc.score_parallel(&q, 1).unwrap();
+        for threads in [2usize, 3, 8, 16, 64] {
+            let parallel = mc.score_parallel(&q, threads).unwrap();
+            for n in 0..q.graph().node_bound() {
+                let node = NodeId::from_index(n);
+                assert_eq!(
+                    sequential.get(node).to_bits(),
+                    parallel.get(node).to_bits(),
+                    "threads={threads} node={n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let (q, _) = diamond();
+        let a = WordMc::new(1_000, 5).score(&q).unwrap();
+        let b = WordMc::new(1_000, 5).score(&q).unwrap();
+        assert_eq!(a.as_slice(), b.as_slice());
+        let c = WordMc::new(1_000, 6).score(&q).unwrap();
+        assert_ne!(
+            a.as_slice(),
+            c.as_slice(),
+            "different seeds should (almost surely) differ"
+        );
+    }
+
+    #[test]
+    fn nearby_seeds_give_independent_estimates() {
+        // Additive batch seeding would make runs at seed s and s+1
+        // share all but one of their 64-trial batch streams; with the
+        // mixed schedule the estimates must scatter like independent
+        // replications (spread ≫ one batch's worth of samples).
+        let (q, t) = diamond();
+        let trials = 10_000u32;
+        let ests: Vec<f64> = (0..8u64)
+            .map(|s| WordMc::new(trials, s).score(&q).unwrap().get(t))
+            .collect();
+        let mean = ests.iter().sum::<f64>() / ests.len() as f64;
+        let spread = ests.iter().map(|e| (e - mean).abs()).fold(0.0f64, f64::max);
+        // One shared-batch difference could move the estimate by at
+        // most 64/trials = 0.0064; binomial σ here is ~0.005, so 8
+        // independent runs almost surely spread wider than that.
+        assert!(
+            spread > f64::from(BATCH) / f64::from(trials) * 0.5,
+            "estimates {ests:?} too tightly clustered — correlated streams?"
+        );
+    }
+
+    #[test]
+    fn handles_cyclic_graphs_via_fixpoint() {
+        // s → a ⇄ b → t exercises the non-DAG sweep.
+        let mut g = ProbGraph::new();
+        let s = g.add_node(p(1.0));
+        let a = g.add_node(p(1.0));
+        let b = g.add_node(p(1.0));
+        let t = g.add_node(p(1.0));
+        g.add_edge(s, a, p(0.8)).unwrap();
+        g.add_edge(a, b, p(0.8)).unwrap();
+        g.add_edge(b, a, p(0.8)).unwrap();
+        g.add_edge(b, t, p(0.8)).unwrap();
+        let q = QueryGraph::new(g, s, vec![t]).unwrap();
+        let est = WordMc::new(40_000, 4).score(&q).unwrap().get(t);
+        let truth = exact::enumerate(q.graph(), q.source(), t).unwrap();
+        assert!((est - truth).abs() < 0.01, "{est} vs {truth}");
+    }
+
+    #[test]
+    fn bernoulli_word_frequencies_match_p() {
+        let mut rng = StdRng::seed_from_u64(99);
+        for &prob in &[0.0, 1.0, 0.5, 0.25, 1.0 / 3.0, 0.9] {
+            let mut ones = 0u64;
+            let words = 4_000;
+            for _ in 0..words {
+                ones += u64::from(bernoulli_word(&mut rng, prob).count_ones());
+            }
+            let freq = ones as f64 / (words * 64) as f64;
+            let sigma = (prob * (1.0 - prob) / (words * 64) as f64).sqrt();
+            assert!(
+                (freq - prob).abs() <= 4.0 * sigma + 1e-12,
+                "p={prob}: frequency {freq}"
+            );
+        }
+    }
+
+    #[test]
+    fn bernoulli_word_bits_are_independent_across_trials() {
+        // Adjacent-bit correlation would break the independence of
+        // trials within a batch; check lag-1 correlation is small.
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut both = 0u64;
+        let mut total = 0u64;
+        for _ in 0..4_000 {
+            let w = bernoulli_word(&mut rng, 0.5);
+            both += u64::from((w & (w >> 1)).count_ones());
+            total += 63;
+        }
+        let pair_freq = both as f64 / total as f64;
+        assert!(
+            (pair_freq - 0.25).abs() < 0.01,
+            "lag-1 pair frequency {pair_freq}"
+        );
+    }
+}

@@ -22,7 +22,7 @@ use std::time::Instant;
 
 use biorank_mediator::{ExploratoryQuery, IntegrationResult, Mediator};
 use biorank_rank::{
-    Diffusion, InEdge, PathCount, Propagation, Ranker, Ranking, ReducedMc, TraversalMc,
+    Diffusion, InEdge, PathCount, Propagation, Ranker, Ranking, ReducedMc, TraversalMc, WordMc,
 };
 
 use crate::cache::{CacheStats, ShardedLru};
@@ -81,6 +81,45 @@ impl Method {
     }
 }
 
+/// Which Monte Carlo engine executes a [`Method::TraversalMc`]
+/// request.
+///
+/// Both estimate the same reliability semantics from the same
+/// `(trials, seed)` contract, but through different (and differently
+/// seeded) sampling schedules, so their outputs are distinct values —
+/// the result cache keys them separately.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum Estimator {
+    /// Per-trial depth-first traversal (Algorithm 3.1) — the paper's
+    /// reference engine.
+    #[default]
+    Traversal,
+    /// Word-parallel batches: 64 trials per `u64` bitmask propagated
+    /// over a frozen CSR snapshot ([`biorank_rank::WordMc`]). The fast
+    /// path for DAG query graphs — which is all of them in the
+    /// paper's workload.
+    Word,
+}
+
+impl Estimator {
+    /// Parses the wire / CLI spelling.
+    pub fn parse(name: &str) -> Option<Estimator> {
+        Some(match name.to_ascii_lowercase().as_str() {
+            "traversal" | "trav" => Estimator::Traversal,
+            "word" | "wordmc" => Estimator::Word,
+            _ => return None,
+        })
+    }
+
+    /// The canonical wire spelling.
+    pub fn wire_name(&self) -> &'static str {
+        match self {
+            Estimator::Traversal => "traversal",
+            Estimator::Word => "word",
+        }
+    }
+}
+
 /// A ranker configuration — part of the result-cache key.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct RankerSpec {
@@ -93,12 +132,22 @@ pub struct RankerSpec {
     /// [`RankerSpec::effective_seed`].
     pub seed: u64,
     /// Opt into intra-query parallel Monte Carlo. Only meaningful for
-    /// [`Method::TraversalMc`]: the trials run as
-    /// [`PARALLEL_MC_CHUNKS`] fixed RNG streams spread over OS
-    /// threads, so the estimate depends only on request content —
-    /// never on the thread count — and stays cache-coherent with
-    /// repeated parallel executions. Other methods ignore the flag.
+    /// [`Method::TraversalMc`]: under the traversal estimator the
+    /// trials run as [`PARALLEL_MC_CHUNKS`] fixed RNG streams spread
+    /// over OS threads, so the estimate depends only on request
+    /// content — never on the thread count — and stays cache-coherent
+    /// with repeated parallel executions. Under the word estimator
+    /// the flag spreads trial batches over threads without changing a
+    /// single output bit. Other methods ignore the flag.
     pub parallel: bool,
+    /// Which Monte Carlo engine runs a [`Method::TraversalMc`]
+    /// request. `None` means "unspecified": a server applies its
+    /// configured default (`biorank serve --estimator`), direct
+    /// [`QueryEngine`] callers get [`Estimator::Traversal`]. The two
+    /// engines produce different sample schedules, so the resolved
+    /// estimator is part of the result-cache key. Other methods
+    /// ignore the field.
+    pub estimator: Option<Estimator>,
 }
 
 impl RankerSpec {
@@ -108,14 +157,22 @@ impl RankerSpec {
     /// Default base seed, shared with the experiment binaries.
     pub const DEFAULT_SEED: u64 = 0xB10_C0DE;
 
-    /// A spec for `method` with the default trials/seed, sequential.
+    /// A spec for `method` with the default trials/seed, sequential,
+    /// with the default (traversal) estimator.
     pub fn new(method: Method) -> Self {
         RankerSpec {
             method,
             trials: Self::DEFAULT_TRIALS,
             seed: Self::DEFAULT_SEED,
             parallel: false,
+            estimator: None,
         }
+    }
+
+    /// The Monte Carlo engine this spec executes with: the explicit
+    /// choice, or [`Estimator::Traversal`] when unspecified.
+    pub fn resolved_estimator(&self) -> Estimator {
+        self.estimator.unwrap_or_default()
     }
 
     /// The seed actually handed to a Monte Carlo ranker for `query`:
@@ -148,13 +205,26 @@ impl RankerSpec {
     /// methods ignore `trials`/`seed`, so those fields are normalized
     /// to zero — requests differing only in an irrelevant seed share
     /// one cache entry instead of recomputing identical rankings.
-    /// `parallel` is likewise normalized away except for
-    /// [`Method::TraversalMc`], the one method where it selects a
-    /// (different, chunked) estimator.
+    ///
+    /// For [`Method::TraversalMc`] the estimator is resolved to its
+    /// concrete engine (`None` ≡ explicit traversal — same bits, one
+    /// entry), and distinct engines get distinct keys: a word-parallel
+    /// result must never answer a traversal request or vice versa.
+    /// `parallel` survives only for the traversal engine, where it
+    /// selects the (different, chunked) sampling schedule; the word
+    /// engine is bit-identical at every thread count, so the flag is
+    /// normalized away. Everywhere else both fields are irrelevant and
+    /// zeroed.
     pub fn cache_key(&self) -> RankerSpec {
         if self.method.is_stochastic() {
+            let estimator = if self.method == Method::TraversalMc {
+                Some(self.resolved_estimator())
+            } else {
+                None
+            };
             RankerSpec {
-                parallel: self.parallel && self.method == Method::TraversalMc,
+                parallel: self.parallel && estimator == Some(Estimator::Traversal),
+                estimator,
                 ..*self
             }
         } else {
@@ -163,6 +233,7 @@ impl RankerSpec {
                 trials: 0,
                 seed: 0,
                 parallel: false,
+                estimator: None,
             }
         }
     }
@@ -172,7 +243,10 @@ impl RankerSpec {
         let seed = self.effective_seed(query);
         match self.method {
             Method::Reliability => Box::new(ReducedMc::new(self.trials, seed)),
-            Method::TraversalMc => Box::new(TraversalMc::new(self.trials, seed)),
+            Method::TraversalMc => match self.resolved_estimator() {
+                Estimator::Traversal => Box::new(TraversalMc::new(self.trials, seed)),
+                Estimator::Word => Box::new(WordMc::new(self.trials, seed)),
+            },
             Method::Propagation => Box::new(Propagation::auto()),
             Method::Diffusion => Box::new(Diffusion::auto()),
             Method::InEdge => Box::new(InEdge),
@@ -345,17 +419,23 @@ impl QueryEngine {
     ) -> Result<Vec<RankedAnswer>, Error> {
         let q = &integration.query;
         let scores = if spec.method == Method::TraversalMc && spec.parallel {
-            // Intra-query parallelism: chunk count pinned for
-            // determinism, thread budget following the hardware.
             let threads = std::thread::available_parallelism()
                 .map(|n| n.get())
-                .unwrap_or(1)
-                .min(PARALLEL_MC_CHUNKS);
-            TraversalMc::new(spec.trials, spec.effective_seed(query)).score_chunked(
-                q,
-                PARALLEL_MC_CHUNKS,
-                threads,
-            )?
+                .unwrap_or(1);
+            match spec.resolved_estimator() {
+                // Traversal: chunk count pinned for determinism,
+                // thread budget following the hardware.
+                Estimator::Traversal => TraversalMc::new(spec.trials, spec.effective_seed(query))
+                    .score_chunked(
+                    q,
+                    PARALLEL_MC_CHUNKS,
+                    threads.min(PARALLEL_MC_CHUNKS),
+                )?,
+                // Word: every thread split is bit-identical, so the
+                // hardware budget needs no pinning at all.
+                Estimator::Word => WordMc::new(spec.trials, spec.effective_seed(query))
+                    .score_parallel(q, threads)?,
+            }
         } else {
             spec.build(query).score(q)?
         };
@@ -429,6 +509,61 @@ mod tests {
         }
         assert_eq!(Method::parse("nope"), None);
         assert_eq!(Method::parse("RELIABILITY"), Some(Method::Reliability));
+    }
+
+    #[test]
+    fn estimator_parse_roundtrip() {
+        for e in [Estimator::Traversal, Estimator::Word] {
+            assert_eq!(Estimator::parse(e.wire_name()), Some(e));
+        }
+        assert_eq!(Estimator::parse("WORD"), Some(Estimator::Word));
+        assert_eq!(Estimator::parse("nope"), None);
+    }
+
+    #[test]
+    fn cache_key_resolves_estimators() {
+        // Unspecified ≡ explicit traversal: one cache entry.
+        let unspecified = RankerSpec::new(Method::TraversalMc);
+        let traversal = RankerSpec {
+            estimator: Some(Estimator::Traversal),
+            ..unspecified
+        };
+        let word = RankerSpec {
+            estimator: Some(Estimator::Word),
+            ..unspecified
+        };
+        assert_eq!(unspecified.cache_key(), traversal.cache_key());
+        // Word gets its own key: no cross-estimator cache hits.
+        assert_ne!(unspecified.cache_key(), word.cache_key());
+        // The word engine is thread-count-invariant, so `parallel`
+        // normalizes away for it but not for traversal.
+        let word_parallel = RankerSpec {
+            parallel: true,
+            ..word
+        };
+        assert_eq!(word.cache_key(), word_parallel.cache_key());
+        let traversal_parallel = RankerSpec {
+            parallel: true,
+            ..traversal
+        };
+        assert_ne!(traversal.cache_key(), traversal_parallel.cache_key());
+        // Methods that never consult the estimator fold it away.
+        let pathc = RankerSpec {
+            estimator: Some(Estimator::Word),
+            ..RankerSpec::new(Method::PathCount)
+        };
+        assert_eq!(
+            pathc.cache_key(),
+            RankerSpec::new(Method::PathCount).cache_key()
+        );
+        let rel = RankerSpec {
+            estimator: Some(Estimator::Word),
+            ..RankerSpec::new(Method::Reliability)
+        };
+        assert_eq!(
+            rel.cache_key(),
+            RankerSpec::new(Method::Reliability).cache_key()
+        );
     }
 
     #[test]

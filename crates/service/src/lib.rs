@@ -68,8 +68,8 @@ pub mod wire;
 
 pub use cache::{CacheStats, ShardedLru};
 pub use engine::{
-    EngineStats, Method, QueryEngine, QueryRequest, QueryResponse, RankedAnswer, RankerSpec,
-    DEFAULT_CACHE_CAPACITY, PARALLEL_MC_CHUNKS,
+    EngineStats, Estimator, Method, QueryEngine, QueryRequest, QueryResponse, RankedAnswer,
+    RankerSpec, DEFAULT_CACHE_CAPACITY, PARALLEL_MC_CHUNKS,
 };
 pub use pool::WorkerPool;
 pub use server::{Client, ServeOptions, Server, ServerHandle};

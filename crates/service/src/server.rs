@@ -22,7 +22,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{channel, Sender};
 use std::sync::{Arc, Condvar, Mutex};
 
-use crate::engine::QueryEngine;
+use crate::engine::{Estimator, QueryEngine};
 use crate::pool::WorkerPool;
 use crate::tenancy::{ServiceStats, WorldInfo, WorldManager, WorldSpec, DEFAULT_WORLD_BUDGET};
 use crate::wire;
@@ -33,11 +33,19 @@ use crate::wire::{AdminRequest, AdminResponse, RequestBody, ResponseBody};
 pub struct ServeOptions {
     /// Worker threads executing queries (shared across connections).
     pub workers: usize,
+    /// Monte Carlo engine applied to `mc` query requests that leave
+    /// their `estimator` field unset. Requests with an explicit
+    /// estimator are never overridden, so clients can always pin
+    /// the reference traversal engine for cross-checking.
+    pub default_estimator: Estimator,
 }
 
 impl Default for ServeOptions {
     fn default() -> Self {
-        ServeOptions { workers: 4 }
+        ServeOptions {
+            workers: 4,
+            default_estimator: Estimator::default(),
+        }
     }
 }
 
@@ -47,6 +55,7 @@ pub struct Server {
     manager: Arc<WorldManager>,
     pool: Arc<WorkerPool>,
     shutdown: Arc<AtomicBool>,
+    default_estimator: Estimator,
 }
 
 /// A handle that can stop a running [`Server`] from another thread.
@@ -112,6 +121,7 @@ impl Server {
             manager,
             pool: Arc::new(WorkerPool::new(opts.workers)),
             shutdown: Arc::new(AtomicBool::new(false)),
+            default_estimator: opts.default_estimator,
         })
     }
 
@@ -147,8 +157,9 @@ impl Server {
             };
             let manager = Arc::clone(&self.manager);
             let pool = Arc::clone(&self.pool);
+            let default_estimator = self.default_estimator;
             std::thread::spawn(move || {
-                let _ = handle_connection(stream, manager, pool);
+                let _ = handle_connection(stream, manager, pool, default_estimator);
             });
         }
         // Graceful shutdown: leave a final observability record.
@@ -171,6 +182,7 @@ fn handle_connection(
     stream: TcpStream,
     manager: Arc<WorldManager>,
     pool: Arc<WorkerPool>,
+    default_estimator: Estimator,
 ) -> std::io::Result<()> {
     let peer_write = stream.try_clone()?;
     let reader = BufReader::new(stream);
@@ -202,7 +214,15 @@ fn handle_connection(
         if line.trim().is_empty() {
             continue;
         }
-        dispatch_line(line, seq, &manager, &pool, &line_tx, &in_flight);
+        dispatch_line(
+            line,
+            seq,
+            &manager,
+            &pool,
+            &line_tx,
+            &in_flight,
+            default_estimator,
+        );
         seq += 1;
     }
     drop(line_tx);
@@ -225,6 +245,7 @@ fn handle_connection(
 /// finish against the engine they resolved; that is the documented
 /// swap semantics, not staleness a client of this connection can
 /// observe.)
+#[allow(clippy::too_many_arguments)]
 fn dispatch_line(
     line: String,
     seq: u64,
@@ -232,10 +253,18 @@ fn dispatch_line(
     pool: &Arc<WorkerPool>,
     line_tx: &Sender<(u64, String)>,
     in_flight: &Arc<(Mutex<u64>, Condvar)>,
+    default_estimator: Estimator,
 ) {
     match wire::decode_request(&line) {
         Ok(request) => match request.body {
-            RequestBody::Query(req) => {
+            RequestBody::Query(mut req) => {
+                // Resolve the server's estimator default before the
+                // request reaches an engine, so the result-cache key
+                // reflects the engine that actually runs. Explicit
+                // client choices always win.
+                if req.spec.estimator.is_none() {
+                    req.spec.estimator = Some(default_estimator);
+                }
                 let manager = Arc::clone(manager);
                 let line_tx = line_tx.clone();
                 let in_flight = Arc::clone(in_flight);

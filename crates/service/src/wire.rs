@@ -6,13 +6,15 @@
 //! cost more than these ~300 lines.
 //!
 //! Query request line (the optional `cmd` defaults to `"query"`;
-//! `world` routes to a resident world, `parallel` opts into chunked
-//! intra-query Monte Carlo):
+//! `world` routes to a resident world, `parallel` opts into
+//! intra-query parallel Monte Carlo, and `estimator` — `"traversal"`
+//! or `"word"` — selects the Monte Carlo engine for the `mc` method;
+//! absent means the server's configured default):
 //!
 //! ```json
 //! {"id":1,"input":"EntrezProtein","attribute":"name","value":"GALT",
-//!  "outputs":["AmiGO"],"method":"rel","trials":1000,"seed":"42","top":10,
-//!  "world":"staging","parallel":true}
+//!  "outputs":["AmiGO"],"method":"mc","trials":1000,"seed":"42","top":10,
+//!  "world":"staging","parallel":true,"estimator":"word"}
 //! ```
 //!
 //! Response line (success):
@@ -47,7 +49,9 @@ use std::fmt::Write as _;
 use biorank_mediator::ExploratoryQuery;
 
 use crate::cache::CacheStats;
-use crate::engine::{EngineStats, Method, QueryRequest, QueryResponse, RankedAnswer, RankerSpec};
+use crate::engine::{
+    EngineStats, Estimator, Method, QueryRequest, QueryResponse, RankedAnswer, RankerSpec,
+};
 use crate::tenancy::{ServiceStats, WorldInfo, WorldSpec, WorldStats};
 
 /// A parsed JSON value.
@@ -558,6 +562,9 @@ fn encode_query_request(id: u64, req: &QueryRequest) -> String {
     if req.spec.parallel {
         fields.push(("parallel", Json::Bool(true)));
     }
+    if let Some(estimator) = req.spec.estimator {
+        fields.push(("estimator", Json::Str(estimator.wire_name().into())));
+    }
     if let Some(top) = req.top {
         fields.push(("top", Json::Num(top as f64)));
     }
@@ -710,6 +717,14 @@ fn decode_query_body(fields: &BTreeMap<String, Json>) -> Result<QueryRequest, Wi
         })
         .transpose()?
         .unwrap_or(false);
+    let estimator = fields
+        .get("estimator")
+        .map(|v| {
+            v.as_str()
+                .and_then(Estimator::parse)
+                .ok_or_else(|| wire_err("field \"estimator\" must be \"traversal\" or \"word\""))
+        })
+        .transpose()?;
     let top = fields
         .get("top")
         .map(|v| {
@@ -738,6 +753,7 @@ fn decode_query_body(fields: &BTreeMap<String, Json>) -> Result<QueryRequest, Wi
             trials,
             seed,
             parallel,
+            estimator,
         },
         top,
         world,
@@ -1072,6 +1088,7 @@ mod tests {
                     trials: 1000,
                     seed: 42,
                     parallel: false,
+                    estimator: None,
                 },
                 top: Some(5),
                 world: None,
@@ -1081,22 +1098,26 @@ mod tests {
         assert!(!line.contains('\n'));
         assert_eq!(decode_request(&line).unwrap(), r);
 
-        // World routing and the parallel flag survive the wire too.
-        let r = Request {
-            id: 8,
-            body: RequestBody::Query(QueryRequest {
-                query: ExploratoryQuery::protein_functions("CFTR"),
-                spec: RankerSpec {
-                    method: Method::TraversalMc,
-                    trials: 100,
-                    seed: 9,
-                    parallel: true,
-                },
-                top: None,
-                world: Some("staging".into()),
-            }),
-        };
-        assert_eq!(decode_request(&encode_request(&r)).unwrap(), r);
+        // World routing, the parallel flag, and the estimator
+        // selection survive the wire too.
+        for estimator in [None, Some(Estimator::Traversal), Some(Estimator::Word)] {
+            let r = Request {
+                id: 8,
+                body: RequestBody::Query(QueryRequest {
+                    query: ExploratoryQuery::protein_functions("CFTR"),
+                    spec: RankerSpec {
+                        method: Method::TraversalMc,
+                        trials: 100,
+                        seed: 9,
+                        parallel: true,
+                        estimator,
+                    },
+                    top: None,
+                    world: Some("staging".into()),
+                }),
+            };
+            assert_eq!(decode_request(&encode_request(&r)).unwrap(), r);
+        }
     }
 
     #[test]
@@ -1192,6 +1213,7 @@ mod tests {
                     trials: 10,
                     seed: (1u64 << 60) + 1,
                     parallel: false,
+                    estimator: None,
                 },
                 top: None,
                 world: None,
@@ -1220,8 +1242,20 @@ mod tests {
         assert_eq!(q.spec.trials, RankerSpec::DEFAULT_TRIALS);
         assert_eq!(q.spec.seed, RankerSpec::DEFAULT_SEED);
         assert!(!q.spec.parallel);
+        assert_eq!(q.spec.estimator, None);
         assert_eq!(q.top, None);
         assert_eq!(q.world, None);
+    }
+
+    #[test]
+    fn decode_request_rejects_unknown_estimator() {
+        let line = "{\"id\":1,\"input\":\"A\",\"attribute\":\"x\",\"value\":\"v\",\
+                    \"outputs\":[\"B\"],\"method\":\"mc\",\"estimator\":\"magic\"}";
+        assert!(decode_request(line).is_err());
+        let line = "{\"id\":1,\"input\":\"A\",\"attribute\":\"x\",\"value\":\"v\",\
+                    \"outputs\":[\"B\"],\"method\":\"mc\",\"estimator\":\"word\"}";
+        let r = decode_request(line).unwrap();
+        assert_eq!(query_of(&r).spec.estimator, Some(Estimator::Word));
     }
 
     #[test]

@@ -26,8 +26,8 @@ fn main() {
     let world = World::generate(WorldParams::default());
     let mediator = Mediator::new(biorank_schema_with_ontology().schema, world.registry());
     let engine = Arc::new(QueryEngine::new(mediator));
-    let server = Server::bind("127.0.0.1:0", engine, ServeOptions { workers: 4 })
-        .expect("bind ephemeral port");
+    let server =
+        Server::bind("127.0.0.1:0", engine, ServeOptions::default()).expect("bind ephemeral port");
     let handle = server.handle().expect("server handle");
     std::thread::spawn(move || server.run().expect("server run"));
     println!("serving on {}", handle.addr());

@@ -1,0 +1,71 @@
+#!/usr/bin/env bash
+# Records Monte Carlo benchmark timings as JSON lines, one per
+# benchmark per commit, so the perf trajectory of the reliability hot
+# path is tracked in-repo:
+#
+#   scripts/bench.sh          quick mode: run the MC benches with
+#                             reduced sampling and append
+#                             {"commit","bench","ns_per_iter"} lines
+#                             to BENCH_mc.json
+#   scripts/bench.sh smoke    CI mode: exercise the same machinery on
+#                             the word_vs_traversal bench only,
+#                             validating the output without touching
+#                             the tracked log (which is only appended
+#                             to by deliberate local runs)
+#
+# Uses the vendored criterion's BENCH_QUICK / BENCH_JSON env hooks.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+mode="${1:-quick}"
+commit=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
+# A dirty tree is not the commit it descends from: mark it, so the
+# trajectory log never attributes new code's timings to the parent.
+if [ -n "$(git status --porcelain 2>/dev/null)" ]; then
+    commit="$commit-dirty"
+fi
+out="BENCH_mc.json"
+benches=(word_vs_traversal fig8a_reliability)
+case "$mode" in
+quick) ;;
+smoke)
+    benches=(word_vs_traversal)
+    ;;
+*)
+    echo "usage: scripts/bench.sh [quick|smoke]" >&2
+    exit 2
+    ;;
+esac
+
+# Collect new rows in a temp file first: the tracked log is only
+# rewritten after every bench succeeded, so a failing bench cannot
+# lose previously recorded lines.
+fresh="$(mktemp)"
+trap 'rm -f "$fresh"' EXIT
+
+for bench in "${benches[@]}"; do
+    echo "==> cargo bench --bench $bench (quick)"
+    BENCH_QUICK=1 BENCH_JSON=1 cargo bench --bench "$bench" |
+        tee /dev/stderr |
+        sed -n "s/^BENCHJSON {/{\"commit\":\"$commit\",/p" >>"$fresh"
+done
+
+lines=$(wc -l <"$fresh")
+# The machinery must have produced at least one parseable line.
+[ "$lines" -gt 0 ]
+
+if [ "$mode" = quick ]; then
+    # Re-runs at the same commit replace that commit's lines instead
+    # of piling up duplicates: one line per (commit, bench).
+    if [ -f "$out" ]; then
+        grep -v "^{\"commit\":\"$commit\"," "$out" >"$out.tmp" || true
+    else
+        : >"$out.tmp"
+    fi
+    cat "$fresh" >>"$out.tmp"
+    mv "$out.tmp" "$out"
+    echo "recorded $lines result line(s) in $out"
+else
+    echo "smoke OK: $lines parseable result line(s)"
+fi

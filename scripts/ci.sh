@@ -25,4 +25,10 @@ cargo test -q
 echo "==> cargo test -q --test service_tenancy"
 cargo test -q --test service_tenancy
 
+# Smoke the perf-trajectory recorder: the word-parallel MC bench must
+# run and produce parseable JSON lines (quick sampling, temp output —
+# BENCH_mc.json itself is only appended by deliberate local runs).
+echo "==> scripts/bench.sh smoke"
+scripts/bench.sh smoke
+
 echo "OK"

@@ -39,6 +39,7 @@ fn batch() -> Vec<QueryRequest> {
                     trials: 500,
                     seed: 7 + (i % 2) as u64,
                     parallel: false,
+                    estimator: None,
                 },
                 top: None,
                 world: None,
@@ -151,6 +152,7 @@ fn parallel_request_flag_is_deterministic_and_cache_coherent() {
         trials: 400,
         seed: 5,
         parallel: true,
+        estimator: None,
     };
     let req = QueryRequest::protein_functions("ABCC8", spec);
     // Reproducible across independent engines (fresh caches each).
@@ -172,6 +174,7 @@ fn parallel_request_flag_is_deterministic_and_cache_coherent() {
             "ABCC8",
             RankerSpec {
                 parallel: false,
+                estimator: None,
                 ..spec
             },
         ))
@@ -190,6 +193,7 @@ fn parallel_request_flag_is_deterministic_and_cache_coherent() {
                 trials: 1,
                 seed: 0,
                 parallel,
+                estimator: None,
             },
         ))
         .expect("inedge")
@@ -208,12 +212,14 @@ fn distinct_seeds_change_stochastic_rankings_only() {
         trials: 50,
         seed: 1,
         parallel: false,
+        estimator: None,
     };
     let spec_b = RankerSpec {
         method: Method::TraversalMc,
         trials: 50,
         seed: 2,
         parallel: false,
+        estimator: None,
     };
     let a = eng
         .execute(&QueryRequest::protein_functions("ABCC8", spec_a))
@@ -236,6 +242,7 @@ fn distinct_seeds_change_stochastic_rankings_only() {
                 trials: 50,
                 seed,
                 parallel: false,
+                estimator: None,
             },
         ))
         .expect("pathcount")

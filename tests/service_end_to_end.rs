@@ -18,8 +18,15 @@ fn start_server(workers: usize) -> ServerHandle {
     let world = World::generate(WorldParams::default());
     let mediator = Mediator::new(biorank_schema_with_ontology().schema, world.registry());
     let engine = Arc::new(QueryEngine::new(mediator));
-    let server =
-        Server::bind("127.0.0.1:0", engine, ServeOptions { workers }).expect("bind ephemeral");
+    let server = Server::bind(
+        "127.0.0.1:0",
+        engine,
+        ServeOptions {
+            workers,
+            ..Default::default()
+        },
+    )
+    .expect("bind ephemeral");
     let handle = server.handle().expect("server handle");
     std::thread::spawn(move || server.run().expect("server run"));
     handle
@@ -35,6 +42,7 @@ fn galt_answers_fifteen_ranked_functions_and_caches_repeats() {
         trials: 1_000,
         seed: 42,
         parallel: false,
+        estimator: None,
     };
     let cold = client
         .protein_functions("GALT", spec)
@@ -67,6 +75,7 @@ fn pipelined_batches_and_separate_connections_agree() {
         trials: 300,
         seed: 9,
         parallel: false,
+        estimator: None,
     };
     let reqs: Vec<QueryRequest> = ["GALT", "CFTR", "EYA1", "GALT"]
         .iter()
@@ -159,6 +168,7 @@ fn concurrent_clients_all_get_correct_answers() {
                         trials: 1,
                         seed: t as u64, // deterministic method: seed irrelevant
                         parallel: false,
+                        estimator: None,
                     };
                     let resp = client
                         .protein_functions(protein, spec)

@@ -23,8 +23,15 @@ fn start_server(budget: usize, workers: usize) -> ServerHandle {
     manager
         .load(DEFAULT_WORLD, WorldSpec::default())
         .expect("load default world");
-    let server = Server::bind_manager("127.0.0.1:0", manager, ServeOptions { workers })
-        .expect("bind ephemeral");
+    let server = Server::bind_manager(
+        "127.0.0.1:0",
+        manager,
+        ServeOptions {
+            workers,
+            ..Default::default()
+        },
+    )
+    .expect("bind ephemeral");
     let handle = server.handle().expect("server handle");
     std::thread::spawn(move || server.run().expect("server run"));
     handle
@@ -38,6 +45,7 @@ fn galt(world: Option<&str>) -> QueryRequest {
             trials: 300,
             seed: 11,
             parallel: false,
+            estimator: None,
         },
     );
     req.world = world.map(str::to_string);
@@ -180,6 +188,7 @@ fn concurrent_clients_on_distinct_worlds_are_deterministic() {
                 trials: 200,
                 seed: 3,
                 parallel: false,
+                estimator: None,
             },
         );
         req.world = Some(world.to_string());

@@ -10,12 +10,31 @@
 //! briefly, then timed over `sample_size` batches; the report prints
 //! mean / best batch time per iteration. No statistics machinery, no
 //! HTML reports — enough to compare configurations on one machine.
+//!
+//! Two environment variables extend the real crate's surface for
+//! scripted runs (`scripts/bench.sh`):
+//!
+//! * `BENCH_QUICK=1` — caps every benchmark at 3 samples with short
+//!   batches, trading precision for wall-clock time (smoke/CI mode).
+//! * `BENCH_JSON=1` — after each human-readable report line, prints a
+//!   machine-readable `BENCHJSON {"bench":...,"ns_per_iter":...}`
+//!   line for the perf-trajectory log.
 
 #![deny(missing_docs)]
 
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
+
+/// `true` when `BENCH_QUICK` asks for fast, low-precision runs.
+fn quick_mode() -> bool {
+    std::env::var_os("BENCH_QUICK").is_some_and(|v| !v.is_empty() && v != "0")
+}
+
+/// `true` when `BENCH_JSON` asks for machine-readable report lines.
+fn json_mode() -> bool {
+    std::env::var_os("BENCH_JSON").is_some_and(|v| !v.is_empty() && v != "0")
+}
 
 /// Times closures passed to [`Bencher::iter`].
 pub struct Bencher {
@@ -27,11 +46,17 @@ pub struct Bencher {
 impl Bencher {
     /// Runs `f` repeatedly and records per-iteration timings.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
-        // Warm-up + calibration: target ~20ms per sample batch.
+        // Warm-up + calibration: target ~20ms per sample batch
+        // (~5ms in quick mode).
+        let target = if quick_mode() {
+            Duration::from_millis(5)
+        } else {
+            Duration::from_millis(20)
+        };
         let start = Instant::now();
         black_box(f());
         let one = start.elapsed().max(Duration::from_nanos(1));
-        let per_batch = (Duration::from_millis(20).as_nanos() / one.as_nanos()).clamp(1, 10_000);
+        let per_batch = (target.as_nanos() / one.as_nanos()).clamp(1, 10_000);
         self.iters_per_sample = per_batch as u64;
         self.samples.clear();
         for _ in 0..self.sample_count {
@@ -62,6 +87,23 @@ impl Bencher {
             self.samples.len(),
             self.iters_per_sample
         );
+        if json_mode() {
+            // Bench ids are ASCII identifiers with `/` separators, so
+            // no JSON string escaping is needed.
+            println!(
+                "BENCHJSON {{\"bench\":\"{id}\",\"ns_per_iter\":{:.0}}}",
+                mean * 1e9
+            );
+        }
+    }
+}
+
+/// Caps the configured sample count in quick mode.
+fn effective_samples(n: usize) -> usize {
+    if quick_mode() {
+        n.min(3)
+    } else {
+        n
     }
 }
 
@@ -96,7 +138,7 @@ impl BenchmarkGroup<'_> {
         let mut b = Bencher {
             samples: Vec::new(),
             iters_per_sample: 1,
-            sample_count: self.sample_size,
+            sample_count: effective_samples(self.sample_size),
         };
         f(&mut b);
         b.report(&format!("{}/{id}", self.name));
@@ -139,11 +181,11 @@ impl Criterion {
         let mut b = Bencher {
             samples: Vec::new(),
             iters_per_sample: 1,
-            sample_count: if self.sample_size == 0 {
+            sample_count: effective_samples(if self.sample_size == 0 {
                 10
             } else {
                 self.sample_size
-            },
+            }),
         };
         f(&mut b);
         b.report(id);
