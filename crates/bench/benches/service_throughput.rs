@@ -11,7 +11,7 @@ use std::sync::Arc;
 use biorank_mediator::Mediator;
 use biorank_schema::biorank_schema_with_ontology;
 use biorank_service::{
-    Method, QueryEngine, QueryRequest, RankerSpec, WorkerPool, WorldManager, WorldSpec,
+    Method, QueryEngine, QueryRequest, RankerSpec, Trials, WorkerPool, WorldManager, WorldSpec,
 };
 use biorank_sources::{World, WorldParams};
 use criterion::{criterion_group, criterion_main, Criterion};
@@ -27,7 +27,7 @@ fn request(protein: &str) -> QueryRequest {
         protein,
         RankerSpec {
             method: Method::Reliability,
-            trials: 1_000,
+            trials: Trials::Fixed(1_000),
             seed: 42,
             parallel: false,
             estimator: None,
@@ -56,7 +56,7 @@ fn service_throughput(c: &mut Criterion) {
             "GALT",
             RankerSpec {
                 method: Method::Reliability,
-                trials: 1_000,
+                trials: Trials::Fixed(1_000),
                 seed: 43,
                 parallel: false,
                 estimator: None,
@@ -94,7 +94,7 @@ fn batch_scaling(c: &mut Criterion) {
                         p,
                         RankerSpec {
                             method: Method::Reliability,
-                            trials: 500,
+                            trials: Trials::Fixed(500),
                             seed: s,
                             parallel: false,
                             estimator: None,

@@ -1,15 +1,20 @@
-//! Word-parallel vs per-trial Monte Carlo at equal trial counts.
+//! Word-parallel vs per-trial Monte Carlo at equal trial counts, plus
+//! adaptive bound-certified rows.
 //!
 //! The acceptance artifact for the `WordMc` engine: on the paper's
 //! query graphs (the ABCC8 running example) and on a generated layered
 //! workflow, 64-trials-per-word bitmask propagation must beat the
 //! per-trial DFS traversal (Algorithm 3.1) by at least 5× — measured
-//! ~20× on the fig8 scenario graphs. `scripts/bench.sh` records these
-//! numbers per commit in `BENCH_mc.json`.
+//! ~20× on the fig8 scenario graphs. The `adaptive_*` rows run the
+//! same engines under `AdaptiveRunner` at the paper's (ε = 0.02,
+//! δ = 0.05) with the fixed 10⁴ budget as ceiling, reporting
+//! **trials-to-certification** as a `trials_used` metric next to the
+//! timing. `scripts/bench.sh` records all rows per commit in
+//! `BENCH_mc.json`.
 
 use biorank_bench::abcc8_case;
 use biorank_graph::generate::{self, WorkflowParams};
-use biorank_rank::{NaiveMc, Ranker, TraversalMc, WordMc};
+use biorank_rank::{AdaptiveRunner, NaiveMc, Ranker, TraversalMc, WordMc};
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
@@ -33,6 +38,30 @@ fn word_vs_traversal(c: &mut Criterion) {
                 b.iter(|| WordMc::new(trials, 1).score(black_box(q)).expect("scores"))
             });
         }
+        // Adaptive rows: same (ε, δ) the fixed 10⁴ budget targets, so
+        // `trials_used` IS the win over the fixed schedule.
+        group.bench_function(&format!("{label}/adaptive_word_10000"), |b| {
+            let mut used = 0u32;
+            b.iter(|| {
+                let out = AdaptiveRunner::new(WordMc::new(10_000, 1), 0.02, 0.05)
+                    .run(black_box(q))
+                    .expect("adaptive scores");
+                used = out.certificate.trials_used;
+                out
+            });
+            b.metric("trials_used", f64::from(used));
+        });
+        group.bench_function(&format!("{label}/adaptive_traversal_10000"), |b| {
+            let mut used = 0u32;
+            b.iter(|| {
+                let out = AdaptiveRunner::new(TraversalMc::new(10_000, 1), 0.02, 0.05)
+                    .run(black_box(q))
+                    .expect("adaptive scores");
+                used = out.certificate.trials_used;
+                out
+            });
+            b.metric("trials_used", f64::from(used));
+        });
         // Context: the naive baseline the paper measures against.
         group.bench_function(&format!("{label}/naive_10000"), |b| {
             b.iter(|| NaiveMc::new(10_000, 1).score(black_box(q)).expect("scores"))

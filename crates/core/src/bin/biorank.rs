@@ -15,6 +15,15 @@
 //!   --extended                            use the full 11-source federation
 //!   --seed S                              world seed (default paper seed)
 //!   --trials N                            Monte Carlo trials (default 10000)
+//!   --adaptive-eps E                      adaptive trials: stop as soon as the
+//!                                         Theorem 3.1 bound certifies the
+//!                                         ranking at separation E (rel and mc
+//!                                         methods; default E 0.02 when any
+//!                                         adaptive flag is given)
+//!   --adaptive-delta D                    adaptive failure probability
+//!                                         (default 0.05)
+//!   --adaptive-max N                      adaptive trial ceiling
+//!                                         (default --trials)
 //!   --parallel                            intra-query parallel MC (mc method)
 //!   --estimator traversal|word            MC engine for the mc method:
 //!                                         per-trial DFS traversal, or
@@ -33,10 +42,21 @@
 //!   --extended / --seed S                 default-world selection, as above
 //!   --estimator traversal|word            default MC engine for mc requests
 //!                                         that don't pick one themselves
+//!   --adaptive-eps/--adaptive-delta/--adaptive-max
+//!                                         make adaptive trials the default
+//!                                         policy for requests that omit the
+//!                                         trials field
 //!
 //! admin commands (all need --addr, default 127.0.0.1:7878):
-//!   world.load NAME [--seed S] [--extended] [--cache N]   make a world resident
-//!   world.swap NAME [--seed S] [--extended] [--cache N]   replace + invalidate caches
+//!   world.load NAME [--seed S] [--extended] [--cache N] [--background]
+//!                                         make a world resident; with
+//!                                         --background, return immediately
+//!                                         and build on a worker thread
+//!   world.swap NAME [--seed S] [--extended] [--cache N] [--warm K]
+//!                                         replace + invalidate caches,
+//!                                         replaying the K hottest cached
+//!                                         queries into the fresh engine
+//!                                         (default 8; 0 installs cold)
 //!   world.evict NAME                                      drop a resident world
 //!   world.list                                            show the registry
 //!   stats                                                 per-world cache counters
@@ -46,11 +66,11 @@ use std::process::ExitCode;
 use std::sync::Arc;
 
 use biorank::prelude::*;
-use biorank::rank::{explain::explain, TopK};
+use biorank::rank::{explain::explain, Certificate, TopK};
 use biorank::schema::biorank_schema_full;
 use biorank::service::{
-    Client, Estimator, Method, QueryRequest, RankerSpec, ServeOptions, Server, WorldManager,
-    WorldSpec, DEFAULT_WORLD_BUDGET,
+    AdaptiveConfig, Client, Estimator, Method, QueryRequest, RankerSpec, ServeOptions, Server,
+    Trials, WorldManager, WorldSpec, DEFAULT_SWAP_WARM, DEFAULT_WORLD_BUDGET,
 };
 
 struct Options {
@@ -59,6 +79,9 @@ struct Options {
     extended: bool,
     seed: u64,
     trials: u32,
+    adaptive_eps: Option<f64>,
+    adaptive_delta: Option<f64>,
+    adaptive_max: Option<u32>,
     parallel: bool,
     estimator: Option<Estimator>,
     addr: Option<String>,
@@ -66,7 +89,31 @@ struct Options {
     cache: usize,
     worlds: usize,
     world: Option<String>,
+    background: bool,
+    warm: usize,
     positional: Vec<String>,
+}
+
+impl Options {
+    /// The trial policy the flags ask for: adaptive as soon as any
+    /// `--adaptive-*` flag appears (unset parameters defaulting to the
+    /// paper's ε = 0.02, δ = 0.05 and a `--trials` ceiling), otherwise
+    /// fixed `--trials`.
+    fn trials_policy(&self) -> Trials {
+        if self.adaptive_eps.is_some()
+            || self.adaptive_delta.is_some()
+            || self.adaptive_max.is_some()
+        {
+            let defaults = AdaptiveConfig::default();
+            Trials::Adaptive(AdaptiveConfig {
+                epsilon: self.adaptive_eps.unwrap_or(defaults.epsilon),
+                delta: self.adaptive_delta.unwrap_or(defaults.delta),
+                max_trials: self.adaptive_max.unwrap_or(self.trials),
+            })
+        } else {
+            Trials::Fixed(self.trials)
+        }
+    }
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
@@ -76,6 +123,9 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         extended: false,
         seed: 0xB10_C0DE,
         trials: 10_000,
+        adaptive_eps: None,
+        adaptive_delta: None,
+        adaptive_max: None,
         parallel: false,
         estimator: None,
         addr: None,
@@ -83,6 +133,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         cache: biorank::service::DEFAULT_CACHE_CAPACITY,
         worlds: DEFAULT_WORLD_BUDGET,
         world: None,
+        background: false,
+        warm: DEFAULT_SWAP_WARM,
         positional: Vec::new(),
     };
     let mut i = 0;
@@ -112,6 +164,37 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     .get(i)
                     .and_then(|v| v.parse().ok())
                     .ok_or("--trials needs a number")?;
+            }
+            "--adaptive-eps" => {
+                i += 1;
+                opts.adaptive_eps = Some(
+                    args.get(i)
+                        .and_then(|v| v.parse().ok())
+                        .ok_or("--adaptive-eps needs a number in (0, 1)")?,
+                );
+            }
+            "--adaptive-delta" => {
+                i += 1;
+                opts.adaptive_delta = Some(
+                    args.get(i)
+                        .and_then(|v| v.parse().ok())
+                        .ok_or("--adaptive-delta needs a number in (0, 1)")?,
+                );
+            }
+            "--adaptive-max" => {
+                i += 1;
+                opts.adaptive_max = Some(
+                    args.get(i)
+                        .and_then(|v| v.parse().ok())
+                        .ok_or("--adaptive-max needs a number")?,
+                );
+            }
+            "--warm" => {
+                i += 1;
+                opts.warm = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--warm needs a number")?;
             }
             "--addr" => {
                 i += 1;
@@ -156,6 +239,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             }
             "--parallel" => opts.parallel = true,
             "--extended" => opts.extended = true,
+            "--background" => opts.background = true,
             flag if flag.starts_with("--") => {
                 return Err(format!("unknown flag {flag}"));
             }
@@ -222,11 +306,26 @@ fn remote_spec(opts: &Options) -> Result<RankerSpec, String> {
     })?;
     Ok(RankerSpec {
         method,
-        trials: opts.trials,
+        trials: opts.trials_policy(),
         seed: RankerSpec::DEFAULT_SEED,
         parallel: opts.parallel,
         estimator: opts.estimator,
     })
+}
+
+/// One human-readable line for an adaptive run's stop certificate.
+fn certificate_line(cert: &Certificate) -> String {
+    if cert.certified {
+        format!(
+            "  certified after {} trials (resolves separations ≥ {:.4} at the requested confidence)",
+            cert.trials_used, cert.epsilon
+        )
+    } else {
+        format!(
+            "  NOT certified: trial ceiling {} hit (resolves ≥ {:.4}); some gap is still ambiguous",
+            cert.trials_used, cert.epsilon
+        )
+    }
 }
 
 /// `biorank query <PROTEIN> --addr HOST:PORT`: execute against a
@@ -259,6 +358,9 @@ fn cmd_query_remote(opts: &Options, addr: &str) -> Result<(), String> {
         },
         response.micros
     );
+    if let Some(cert) = &response.certificate {
+        println!("{}", certificate_line(cert));
+    }
     for a in &response.answers {
         let rank = if a.rank_lo == a.rank_hi {
             a.rank_lo.to_string()
@@ -299,6 +401,9 @@ fn cmd_serve(opts: &Options) -> Result<(), String> {
         ServeOptions {
             workers: opts.workers,
             default_estimator: opts.estimator.unwrap_or_default(),
+            // --adaptive-* flags make adaptive the house policy for
+            // requests that leave `trials` unset.
+            default_trials: opts.trials_policy(),
         },
     )
     .map_err(|e| format!("bind {addr}: {e}"))?;
@@ -339,6 +444,20 @@ fn cmd_admin(opts: &Options) -> Result<(), String> {
         cache_capacity: opts.cache,
     };
     match cmd.as_str() {
+        "world.load" if opts.background => {
+            let world = name()?;
+            match client
+                .world_load_background(world, spec)
+                .map_err(|e| e.to_string())?
+            {
+                None => println!(
+                    "world {world:?} loading in background (poll `biorank admin world.list`)"
+                ),
+                Some(generation) => {
+                    println!("world {world:?} already resident (generation {generation})");
+                }
+            }
+        }
         "world.load" => {
             let world = name()?;
             let generation = client.world_load(world, spec).map_err(|e| e.to_string())?;
@@ -346,8 +465,17 @@ fn cmd_admin(opts: &Options) -> Result<(), String> {
         }
         "world.swap" => {
             let world = name()?;
-            let generation = client.world_swap(world, spec).map_err(|e| e.to_string())?;
-            println!("world {world:?} swapped (generation {generation}, caches invalidated)");
+            let generation = client
+                .world_swap_warm(world, spec, opts.warm)
+                .map_err(|e| e.to_string())?;
+            println!(
+                "world {world:?} swapped (generation {generation}, caches invalidated{})",
+                if opts.warm > 0 {
+                    format!(", warm-up budget {}", opts.warm)
+                } else {
+                    String::new()
+                }
+            );
         }
         "world.evict" => {
             let world = name()?;
@@ -357,13 +485,14 @@ fn cmd_admin(opts: &Options) -> Result<(), String> {
         "world.list" => {
             let worlds = client.world_list().map_err(|e| e.to_string())?;
             println!(
-                "{:<12} {:>4} {:>18} {:>9} {:>7}",
-                "World", "Gen", "Seed", "Federation", "Cache"
+                "{:<12} {:<8} {:>4} {:>18} {:>9} {:>7}",
+                "World", "State", "Gen", "Seed", "Federation", "Cache"
             );
             for w in worlds {
                 println!(
-                    "{:<12} {:>4} {:>#18x} {:>9} {:>7}",
+                    "{:<12} {:<8} {:>4} {:>#18x} {:>9} {:>7}",
                     w.name,
+                    w.state.wire_name(),
                     w.generation,
                     w.spec.seed,
                     if w.spec.extended { "extended" } else { "fig1" },
@@ -414,7 +543,25 @@ fn cmd_query(opts: &Options) -> Result<(), String> {
         .map_err(|e| e.to_string())?;
     let q = &result.query;
     let ranker = ranker_for(&opts.method, opts.trials, opts.estimator)?;
-    let scores = if opts.parallel && matches!(opts.method.as_str(), "mc" | "relmc") {
+    let mut certificate = None;
+    let scores = if let Trials::Adaptive(cfg) = opts.trials_policy() {
+        // Adaptive local execution: the same `(method, estimator) →
+        // engine` dispatch the service uses (`run_adaptive`), with the
+        // local path's fixed seed 42.
+        let method = Method::parse(&opts.method)
+            .filter(Method::is_stochastic)
+            .ok_or_else(|| {
+                format!(
+                    "--adaptive-* applies to Monte Carlo methods (rel, mc), not {:?}",
+                    opts.method
+                )
+            })?;
+        let outcome =
+            biorank::service::run_adaptive(method, opts.estimator.unwrap_or_default(), cfg, 42, q)
+                .map_err(|e| e.to_string())?;
+        certificate = Some(outcome.certificate);
+        outcome.scores
+    } else if opts.parallel && matches!(opts.method.as_str(), "mc" | "relmc") {
         let threads = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1);
@@ -438,6 +585,9 @@ fn cmd_query(opts: &Options) -> Result<(), String> {
         q.graph().edge_count(),
         ranker.name()
     );
+    if let Some(cert) = &certificate {
+        println!("{}", certificate_line(cert));
+    }
     let gold = world.iproclass.functions(protein);
     for entry in ranking.entries().iter().take(opts.top) {
         let key = result.answer_key(entry.node).unwrap_or("?");

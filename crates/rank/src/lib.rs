@@ -16,6 +16,13 @@
 //! tie-interval rankings of the paper's Tables 2–3, and [`bounds`]
 //! provides the Theorem 3.1 trial-count bound.
 //!
+//! The Monte Carlo engines additionally implement the incremental
+//! [`Estimator`] contract (`begin`/`step`/`snapshot`/`finish` over
+//! 64-trial batches), which [`AdaptiveRunner`] drives with
+//! bound-certified early termination: batches stop as soon as the
+//! running ranking separates at the (ε, δ) the accumulated trials
+//! resolve, returning a [`Certificate`] alongside the scores.
+//!
 //! ```
 //! use biorank_graph::{Prob, ProbGraph, QueryGraph};
 //! use biorank_rank::{Ranker, TraversalMc, Ranking};
@@ -33,9 +40,11 @@
 #![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod adaptive;
 pub mod bounds;
 mod deterministic;
 mod diffusion;
+pub mod estimator;
 pub mod explain;
 mod mc;
 mod propagation;
@@ -45,15 +54,17 @@ mod ties;
 mod topk;
 mod word;
 
+pub use adaptive::{AdaptiveOutcome, AdaptiveRunner, Certificate};
 pub use deterministic::{InEdge, PathCount};
 pub use diffusion::{Diffusion, InnerSolver};
-pub use mc::{NaiveMc, TraversalMc};
+pub use estimator::{BatchStats, Estimator, BATCH_TRIALS};
+pub use mc::{McState, NaiveMc, NaiveState, TraversalMc};
 pub use propagation::Propagation;
 pub use reliability::{ClosedReliability, ReducedMc, SolveMode};
 pub use score::{Ranker, Scores};
 pub use ties::{RankedEntry, Ranking, TieGroup};
 pub use topk::{TopK, TopKResult};
-pub use word::WordMc;
+pub use word::{WordMc, WordState};
 
 use std::fmt;
 

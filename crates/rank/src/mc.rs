@@ -14,11 +14,20 @@
 //!
 //! Both estimate `r(t)` for **all** nodes simultaneously — one run ranks
 //! the entire answer set.
+//!
+//! Both engines implement the incremental [`Estimator`] contract: their
+//! `score` entry points drive the same 64-trial batches the
+//! [`AdaptiveRunner`](crate::AdaptiveRunner) issues, over one
+//! persistent RNG stream, so a run stopped after `b` batches is
+//! bit-identical to a fixed run of `64·b` trials.
 
-use biorank_graph::QueryGraph;
+use std::borrow::Cow;
+
+use biorank_graph::{NodeId, QueryGraph};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use crate::estimator::{merge_unit_counts, BatchStats, Estimator, BATCH_TRIALS};
 use crate::{Error, Ranker, Scores};
 
 /// The per-trial visit stamp type. Trials are numbered from 1 so that a
@@ -41,66 +50,123 @@ impl NaiveMc {
     }
 }
 
+/// In-progress state of an incremental [`NaiveMc`] run.
+pub struct NaiveState<'q> {
+    q: &'q QueryGraph,
+    rng: StdRng,
+    node_on: Vec<bool>,
+    edge_on: Vec<bool>,
+    reached: Vec<u64>,
+    last_sim: Vec<Stamp>,
+    stack: Vec<NodeId>,
+    trials_done: u32,
+    trials_total: u32,
+}
+
+impl NaiveState<'_> {
+    /// Runs trials `trials_done+1 ..= trials_done+n`, continuing the
+    /// persistent RNG stream and stamp numbering — the slicing into
+    /// batches is invisible in the counts.
+    fn advance(&mut self, n: u32) {
+        let g = self.q.graph();
+        let source = self.q.source();
+        for t in self.trials_done + 1..=self.trials_done + n {
+            // Sample the entire world up front — this is the cost the
+            // traversal variant avoids.
+            for node in g.nodes() {
+                self.node_on[node.index()] = self.rng.gen::<f64>() < g.node_p(node).get();
+            }
+            for e in g.edges() {
+                self.edge_on[e.index()] = self.rng.gen::<f64>() < g.edge_q(e).get();
+            }
+            if !self.node_on[source.index()] {
+                continue;
+            }
+            self.stack.clear();
+            self.stack.push(source);
+            self.last_sim[source.index()] = t;
+            self.reached[source.index()] += 1;
+            while let Some(x) = self.stack.pop() {
+                for e in g.out_edges(x) {
+                    if !self.edge_on[e.index()] {
+                        continue;
+                    }
+                    let y = g.edge_dst(e);
+                    if self.last_sim[y.index()] == t || !self.node_on[y.index()] {
+                        continue;
+                    }
+                    self.last_sim[y.index()] = t;
+                    self.reached[y.index()] += 1;
+                    self.stack.push(y);
+                }
+            }
+        }
+        self.trials_done += n;
+    }
+}
+
+impl Estimator for NaiveMc {
+    type State<'q> = NaiveState<'q>;
+
+    fn trials(&self) -> u32 {
+        self.trials
+    }
+
+    fn begin<'q>(&self, q: &'q QueryGraph) -> Result<NaiveState<'q>, Error> {
+        if self.trials == 0 {
+            return Err(Error::ZeroTrials);
+        }
+        let nb = q.graph().node_bound();
+        let eb = q.graph().edge_bound();
+        Ok(NaiveState {
+            q,
+            rng: StdRng::seed_from_u64(self.seed),
+            node_on: vec![false; nb],
+            edge_on: vec![false; eb],
+            reached: vec![0; nb],
+            // Visit stamps instead of a `seen: Vec<bool>` cleared every
+            // trial: a slot is "seen" when its stamp equals the current
+            // trial number, so no O(n) refill between trials. The
+            // sampled world buffers need no clearing either — every
+            // slot is overwritten by the full resample.
+            last_sim: vec![0; nb],
+            stack: Vec::with_capacity(nb),
+            trials_done: 0,
+            trials_total: self.trials,
+        })
+    }
+
+    fn step(&self, state: &mut NaiveState<'_>, batch: u32) -> BatchStats {
+        debug_assert_eq!(batch * BATCH_TRIALS, state.trials_done, "batches in order");
+        let n = BATCH_TRIALS.min(state.trials_total - state.trials_done);
+        state.advance(n);
+        BatchStats {
+            batch,
+            trials: n,
+            total_trials: state.trials_done,
+        }
+    }
+
+    fn snapshot(&self, state: &NaiveState<'_>) -> Scores {
+        normalize(&state.reached, state.trials_done)
+    }
+
+    fn estimate(&self, state: &NaiveState<'_>, node: NodeId) -> f64 {
+        estimate_count(&state.reached, node, state.trials_done)
+    }
+
+    fn finish(&self, state: NaiveState<'_>) -> Scores {
+        self.snapshot(&state)
+    }
+}
+
 impl Ranker for NaiveMc {
     fn name(&self) -> &'static str {
         "Rel(naiveMC)"
     }
 
     fn score(&self, q: &QueryGraph) -> Result<Scores, Error> {
-        if self.trials == 0 {
-            return Err(Error::ZeroTrials);
-        }
-        let g = q.graph();
-        let source = q.source();
-        let mut rng = StdRng::seed_from_u64(self.seed);
-        let nb = g.node_bound();
-        let eb = g.edge_bound();
-        let mut node_on = vec![false; nb];
-        let mut edge_on = vec![false; eb];
-        let mut reached = vec![0u64; nb];
-        let mut stack = Vec::with_capacity(nb);
-        // Visit stamps instead of a `seen: Vec<bool>` cleared every
-        // trial: a slot is "seen" when its stamp equals the current
-        // trial number, so no O(n) refill between trials. The sampled
-        // world buffers need no clearing either — every slot is
-        // overwritten by the full resample below.
-        let mut last_sim: Vec<Stamp> = vec![0; nb];
-
-        for t in 1..=self.trials {
-            // Sample the entire world up front — this is the cost the
-            // traversal variant avoids.
-            for n in g.nodes() {
-                node_on[n.index()] = rng.gen::<f64>() < g.node_p(n).get();
-            }
-            for e in g.edges() {
-                edge_on[e.index()] = rng.gen::<f64>() < g.edge_q(e).get();
-            }
-            if !node_on[source.index()] {
-                continue;
-            }
-            stack.clear();
-            stack.push(source);
-            last_sim[source.index()] = t;
-            reached[source.index()] += 1;
-            while let Some(x) = stack.pop() {
-                for e in g.out_edges(x) {
-                    if !edge_on[e.index()] {
-                        continue;
-                    }
-                    let y = g.edge_dst(e);
-                    if last_sim[y.index()] == t || !node_on[y.index()] {
-                        continue;
-                    }
-                    last_sim[y.index()] = t;
-                    reached[y.index()] += 1;
-                    stack.push(y);
-                }
-            }
-        }
-        let n = f64::from(self.trials);
-        Ok(Scores::from_vec(
-            reached.iter().map(|&c| c as f64 / n).collect(),
-        ))
+        self.drive(q)
     }
 }
 
@@ -129,7 +195,8 @@ impl TraversalMc {
 
     /// Runs the trials split into `chunks` independent RNG streams
     /// (chunk `i` seeds its RNG with `seed + i`), executed on up to
-    /// `threads` scoped OS threads.
+    /// `threads` scoped OS threads by the shared
+    /// [`Estimator`] fan-out driver.
     ///
     /// The estimate depends only on `(trials, seed, chunks)` — the
     /// thread count affects scheduling, never the result — so
@@ -147,53 +214,148 @@ impl TraversalMc {
             return Err(Error::ZeroTrials);
         }
         let chunks = chunks.max(1).min(self.trials as usize);
-        let threads = threads.clamp(1, chunks);
         let base = self.trials / chunks as u32;
         let extra = self.trials % chunks as u32;
-        let nb = q.graph().node_bound();
-        let mut total = vec![0u64; nb];
-        // Chunks are handed out in waves of `threads`; every chunk's
-        // counts are summed, so the wave layout is invisible in the
-        // output (u64 addition is associative and commutative).
-        std::thread::scope(|scope| {
-            for wave in (0..chunks).step_by(threads) {
-                let handles: Vec<_> = (wave..(wave + threads).min(chunks))
-                    .map(|i| {
-                        let share = base + u32::from((i as u32) < extra);
-                        scope.spawn(move || run_trials(q, share, self.seed.wrapping_add(i as u64)))
-                    })
-                    .collect();
-                for h in handles {
-                    let partial = h.join().expect("MC worker panicked");
-                    for (t, p) in total.iter_mut().zip(partial) {
-                        *t += p;
-                    }
-                }
-            }
+        let total = merge_unit_counts(chunks, threads, q.graph().node_bound(), |i| {
+            let share = base + u32::from((i as u32) < extra);
+            run_trials(q, share, self.seed.wrapping_add(i as u64))
         });
-        let n = f64::from(self.trials);
-        Ok(Scores::from_vec(
-            total.iter().map(|&c| c as f64 / n).collect(),
-        ))
+        Ok(normalize(&total, self.trials))
     }
 }
 
-/// Runs `trials` traversal trials and returns per-node reach counts
-/// (shared with the adaptive top-k evaluator).
-pub(crate) fn run_trials(q: &QueryGraph, trials: u32, seed: u64) -> Vec<u64> {
+/// In-progress state of an incremental per-trial traversal run, shared
+/// by [`TraversalMc`] and [`ReducedMc`](crate::ReducedMc) (which runs
+/// it over the reduced graph).
+pub struct McState<'q> {
+    q: Cow<'q, QueryGraph>,
+    rng: StdRng,
+    last_sim: Vec<Stamp>,
+    counts: Vec<u64>,
+    stack: Vec<NodeId>,
+    trials_done: u32,
+    trials_total: u32,
+}
+
+impl<'q> McState<'q> {
+    /// Builds the state over a borrowed or owned query graph (the
+    /// plain traversal engine borrows the caller's graph; the
+    /// reduction-first engine hands in its shrunken copy owned).
+    pub(crate) fn begin_over(
+        q: Cow<'q, QueryGraph>,
+        trials: u32,
+        seed: u64,
+    ) -> Result<McState<'q>, Error> {
+        if trials == 0 {
+            return Err(Error::ZeroTrials);
+        }
+        let nb = q.graph().node_bound();
+        Ok(McState {
+            q,
+            rng: StdRng::seed_from_u64(seed),
+            last_sim: vec![0; nb],
+            counts: vec![0; nb],
+            stack: Vec::with_capacity(nb),
+            trials_done: 0,
+            trials_total: trials,
+        })
+    }
+
+    /// Runs trials `trials_done+1 ..= trials_done+n` on the persistent
+    /// stream; see [`NaiveState::advance`] for why the numbering
+    /// continues across batches.
+    fn advance(&mut self, n: u32) {
+        advance_traversal(
+            &self.q,
+            &mut self.rng,
+            &mut self.last_sim,
+            &mut self.counts,
+            &mut self.stack,
+            self.trials_done,
+            n,
+        );
+        self.trials_done += n;
+    }
+
+    pub(crate) fn step(&mut self, batch: u32) -> BatchStats {
+        debug_assert_eq!(batch * BATCH_TRIALS, self.trials_done, "batches in order");
+        let n = BATCH_TRIALS.min(self.trials_total - self.trials_done);
+        self.advance(n);
+        BatchStats {
+            batch,
+            trials: n,
+            total_trials: self.trials_done,
+        }
+    }
+
+    pub(crate) fn snapshot(&self) -> Scores {
+        normalize(&self.counts, self.trials_done)
+    }
+
+    pub(crate) fn estimate(&self, node: NodeId) -> f64 {
+        estimate_count(&self.counts, node, self.trials_done)
+    }
+}
+
+impl Estimator for TraversalMc {
+    type State<'q> = McState<'q>;
+
+    fn trials(&self) -> u32 {
+        self.trials
+    }
+
+    fn begin<'q>(&self, q: &'q QueryGraph) -> Result<McState<'q>, Error> {
+        McState::begin_over(Cow::Borrowed(q), self.trials, self.seed)
+    }
+
+    fn step(&self, state: &mut McState<'_>, batch: u32) -> BatchStats {
+        state.step(batch)
+    }
+
+    fn snapshot(&self, state: &McState<'_>) -> Scores {
+        state.snapshot()
+    }
+
+    fn estimate(&self, state: &McState<'_>, node: NodeId) -> f64 {
+        state.estimate(node)
+    }
+
+    fn finish(&self, state: McState<'_>) -> Scores {
+        state.snapshot()
+    }
+}
+
+/// Turns accumulated reach counts into scores (counts / trials).
+fn normalize(counts: &[u64], trials: u32) -> Scores {
+    let n = f64::from(trials.max(1));
+    Scores::from_vec(counts.iter().map(|&c| c as f64 / n).collect())
+}
+
+/// One node's normalized count — the `Estimator::estimate` backend of
+/// the per-trial engines.
+fn estimate_count(counts: &[u64], node: NodeId, trials: u32) -> f64 {
+    counts
+        .get(node.index())
+        .map(|&c| c as f64 / f64::from(trials.max(1)))
+        .unwrap_or(0.0)
+}
+
+/// Runs trials `start+1 ..= start+n` of the iterative Traverse(G, s, t)
+/// (visit a node at most once per trial via the `lastSim` stamp, flip
+/// its presence coin, and only on success flip the coins of its
+/// out-edges and schedule the successors), adding into `counts`.
+fn advance_traversal(
+    q: &QueryGraph,
+    rng: &mut StdRng,
+    last_sim: &mut [Stamp],
+    counts: &mut [u64],
+    stack: &mut Vec<NodeId>,
+    start: u32,
+    n: u32,
+) {
     let g = q.graph();
     let source = q.source();
-    let mut rng = StdRng::seed_from_u64(seed);
-    let nb = g.node_bound();
-    let mut last_sim: Vec<Stamp> = vec![0; nb];
-    let mut reach_count = vec![0u64; nb];
-    let mut stack: Vec<biorank_graph::NodeId> = Vec::with_capacity(nb);
-
-    for t in 1..=trials {
-        // Iterative version of Traverse(G, s, t): visit a node at most
-        // once per trial (the `lastSim` stamp), flip its presence coin,
-        // and only on success flip the coins of its out-edges and
-        // schedule the successors.
+    for t in start + 1..=start + n {
         stack.clear();
         stack.push(source);
         while let Some(x) = stack.pop() {
@@ -202,7 +364,7 @@ pub(crate) fn run_trials(q: &QueryGraph, trials: u32, seed: u64) -> Vec<u64> {
             }
             last_sim[x.index()] = t;
             if rng.gen::<f64>() < g.node_p(x).get() {
-                reach_count[x.index()] += 1;
+                counts[x.index()] += 1;
                 for e in g.out_edges(x) {
                     if rng.gen::<f64>() < g.edge_q(e).get() {
                         let y = g.edge_dst(e);
@@ -214,7 +376,28 @@ pub(crate) fn run_trials(q: &QueryGraph, trials: u32, seed: u64) -> Vec<u64> {
             }
         }
     }
-    reach_count
+}
+
+/// Runs `trials` traversal trials on a fresh stream seeded `seed` and
+/// returns per-node reach counts (the chunk worker of
+/// [`TraversalMc::score_chunked`], also used by the adaptive top-k
+/// evaluator).
+pub(crate) fn run_trials(q: &QueryGraph, trials: u32, seed: u64) -> Vec<u64> {
+    let nb = q.graph().node_bound();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut last_sim: Vec<Stamp> = vec![0; nb];
+    let mut counts = vec![0u64; nb];
+    let mut stack: Vec<NodeId> = Vec::with_capacity(nb);
+    advance_traversal(
+        q,
+        &mut rng,
+        &mut last_sim,
+        &mut counts,
+        &mut stack,
+        0,
+        trials,
+    );
+    counts
 }
 
 impl Ranker for TraversalMc {
@@ -223,14 +406,7 @@ impl Ranker for TraversalMc {
     }
 
     fn score(&self, q: &QueryGraph) -> Result<Scores, Error> {
-        if self.trials == 0 {
-            return Err(Error::ZeroTrials);
-        }
-        let counts = run_trials(q, self.trials, self.seed);
-        let n = f64::from(self.trials);
-        Ok(Scores::from_vec(
-            counts.iter().map(|&c| c as f64 / n).collect(),
-        ))
+        self.drive(q)
     }
 }
 

@@ -15,6 +15,8 @@
 
 use biorank_graph::{exact, reduction, QueryGraph};
 
+use crate::estimator::{BatchStats, Estimator};
+use crate::mc::McState;
 use crate::{Error, Ranker, Scores, TraversalMc};
 
 /// Graph reductions followed by traversal Monte Carlo.
@@ -57,6 +59,45 @@ impl Ranker for ReducedMc {
 
     fn score(&self, q: &QueryGraph) -> Result<Scores, Error> {
         self.score_with_stats(q).map(|(s, _)| s)
+    }
+}
+
+/// The incremental contract for the paper's headline configuration:
+/// reduce once in [`begin`](Estimator::begin), then run the traversal
+/// batches over the shrunken graph. Protected nodes (source + answers)
+/// keep stable ids through reduction, so snapshots index the answer
+/// set exactly like every other engine — which is what lets the
+/// [`AdaptiveRunner`](crate::AdaptiveRunner) certify `rel` queries
+/// too.
+impl Estimator for ReducedMc {
+    type State<'q> = McState<'q>;
+
+    fn trials(&self) -> u32 {
+        self.trials
+    }
+
+    fn begin<'q>(&self, q: &'q QueryGraph) -> Result<McState<'q>, Error> {
+        let mut reduced = q.clone();
+        let source = reduced.source();
+        let answers: Vec<_> = reduced.answers().to_vec();
+        reduction::reduce(reduced.graph_mut(), source, &answers);
+        McState::begin_over(std::borrow::Cow::Owned(reduced), self.trials, self.seed)
+    }
+
+    fn step(&self, state: &mut McState<'_>, batch: u32) -> BatchStats {
+        state.step(batch)
+    }
+
+    fn snapshot(&self, state: &McState<'_>) -> Scores {
+        state.snapshot()
+    }
+
+    fn estimate(&self, state: &McState<'_>, node: biorank_graph::NodeId) -> f64 {
+        state.estimate(node)
+    }
+
+    fn finish(&self, state: McState<'_>) -> Scores {
+        state.snapshot()
     }
 }
 

@@ -38,10 +38,13 @@ use biorank_graph::QueryGraph;
 use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
 
+use crate::estimator::{merge_unit_counts, BatchStats, Estimator, BATCH_TRIALS};
 use crate::{Error, Ranker, Scores};
 
-/// Trials per batch: one bit of a machine word each.
-const BATCH: u32 = 64;
+/// Trials per batch: one bit of a machine word each (the incremental
+/// [`Estimator`] contract's batch width — this engine is why 64 is
+/// everyone's batch size).
+const BATCH: u32 = BATCH_TRIALS;
 
 /// Word-parallel Monte Carlo: 64 trials per bitmask propagation pass.
 #[derive(Clone, Copy, Debug)]
@@ -77,50 +80,147 @@ impl WordMc {
             .expect("query source is live by construction");
         let batches = self.trials.div_ceil(BATCH);
         let threads = threads.clamp(1, batches as usize);
-        let mut counts = vec![0u64; csr.node_count()];
-        if threads == 1 {
+        // Contiguous batch ranges, one per thread; the shared fan-out
+        // driver runs them and merges by addition. Any partition is
+        // bit-identical because every batch owns its own RNG stream.
+        let base = batches / threads as u32;
+        let extra = batches % threads as u32;
+        let ranges: Vec<std::ops::Range<u32>> = (0..threads as u32)
+            .scan(0u32, |start, i| {
+                let share = base + u32::from(i < extra);
+                let range = *start..*start + share;
+                *start += share;
+                Some(range)
+            })
+            .collect();
+        let counts = merge_unit_counts(ranges.len(), threads, csr.node_count(), |i| {
+            let mut partial = vec![0u64; csr.node_count()];
+            let mut scratch = WordScratch::for_csr(&csr);
             run_batches(
                 &csr,
                 source,
-                0..batches,
+                ranges[i].clone(),
                 self.trials,
                 self.seed,
-                &mut counts,
+                &mut scratch,
+                &mut partial,
             );
-        } else {
-            let base = batches / threads as u32;
-            let extra = batches % threads as u32;
-            std::thread::scope(|scope| {
-                let csr = &csr;
-                let handles: Vec<_> = (0..threads as u32)
-                    .scan(0u32, |start, i| {
-                        let share = base + u32::from(i < extra);
-                        let range = *start..*start + share;
-                        *start += share;
-                        Some(range)
-                    })
-                    .map(|range| {
-                        scope.spawn(move || {
-                            let mut partial = vec![0u64; csr.node_count()];
-                            run_batches(csr, source, range, self.trials, self.seed, &mut partial);
-                            partial
-                        })
-                    })
-                    .collect();
-                for h in handles {
-                    let partial = h.join().expect("word-MC worker panicked");
-                    for (t, p) in counts.iter_mut().zip(partial) {
-                        *t += p;
-                    }
-                }
-            });
+            partial
+        });
+        Ok(project(&csr, &counts, self.trials, q.graph().node_bound()))
+    }
+}
+
+/// Maps dense CSR reach counts back onto original node ids as scores.
+fn project(csr: &CsrGraph, counts: &[u64], trials: u32, node_bound: usize) -> Scores {
+    let n = f64::from(trials.max(1));
+    let mut scores = Scores::zeroed(node_bound);
+    for (i, &c) in counts.iter().enumerate() {
+        scores.set(csr.original(i as u32), c as f64 / n);
+    }
+    scores
+}
+
+/// Reusable per-run mask/reach buffers: allocated once per run (or
+/// per fan-out worker), overwritten every batch.
+struct WordScratch {
+    node_mask: Vec<u64>,
+    edge_mask: Vec<u64>,
+    reach: Vec<u64>,
+}
+
+impl WordScratch {
+    fn for_csr(csr: &CsrGraph) -> WordScratch {
+        WordScratch {
+            node_mask: vec![0; csr.node_count()],
+            edge_mask: vec![0; csr.edge_count()],
+            reach: vec![0; csr.node_count()],
         }
-        let n = f64::from(self.trials);
-        let mut scores = Scores::zeroed(q.graph().node_bound());
-        for (i, &c) in counts.iter().enumerate() {
-            scores.set(csr.original(i as u32), c as f64 / n);
+    }
+}
+
+/// In-progress state of an incremental [`WordMc`] run.
+pub struct WordState {
+    csr: CsrGraph,
+    source: u32,
+    counts: Vec<u64>,
+    scratch: WordScratch,
+    node_bound: usize,
+    trials_done: u32,
+    trials_total: u32,
+}
+
+impl Estimator for WordMc {
+    type State<'q> = WordState;
+
+    fn trials(&self) -> u32 {
+        self.trials
+    }
+
+    fn begin<'q>(&self, q: &'q QueryGraph) -> Result<WordState, Error> {
+        if self.trials == 0 {
+            return Err(Error::ZeroTrials);
         }
-        Ok(scores)
+        let csr = CsrGraph::from_graph(q.graph());
+        let source = csr
+            .dense(q.source())
+            .expect("query source is live by construction");
+        let counts = vec![0u64; csr.node_count()];
+        let scratch = WordScratch::for_csr(&csr);
+        Ok(WordState {
+            csr,
+            source,
+            counts,
+            scratch,
+            node_bound: q.graph().node_bound(),
+            trials_done: 0,
+            trials_total: self.trials,
+        })
+    }
+
+    fn step(&self, state: &mut WordState, batch: u32) -> BatchStats {
+        debug_assert_eq!(batch * BATCH, state.trials_done, "batches in order");
+        // The mask schedule (including the partial-final-batch mask) is
+        // a function of the *total* trial budget, so a run stopped
+        // early matches the prefix of the fixed run bit for bit.
+        run_batches(
+            &state.csr,
+            state.source,
+            batch..batch + 1,
+            state.trials_total,
+            self.seed,
+            &mut state.scratch,
+            &mut state.counts,
+        );
+        let trials = BATCH.min(state.trials_total - state.trials_done);
+        state.trials_done += trials;
+        BatchStats {
+            batch,
+            trials,
+            total_trials: state.trials_done,
+        }
+    }
+
+    fn snapshot(&self, state: &WordState) -> Scores {
+        project(
+            &state.csr,
+            &state.counts,
+            state.trials_done,
+            state.node_bound,
+        )
+    }
+
+    fn estimate(&self, state: &WordState, node: biorank_graph::NodeId) -> f64 {
+        state
+            .csr
+            .dense(node)
+            .and_then(|d| state.counts.get(d as usize))
+            .map(|&c| c as f64 / f64::from(state.trials_done.max(1)))
+            .unwrap_or(0.0)
+    }
+
+    fn finish(&self, state: WordState) -> Scores {
+        self.snapshot(&state)
     }
 }
 
@@ -199,17 +299,19 @@ fn run_batches(
     range: std::ops::Range<u32>,
     trials: u32,
     seed: u64,
+    scratch: &mut WordScratch,
     counts: &mut [u64],
 ) {
     let n = csr.node_count();
-    let m = csr.edge_count();
     let node_p = csr.node_probs();
     let edge_q = csr.edge_probs();
     let targets = csr.targets();
     let last_batch = trials.div_ceil(BATCH) - 1;
-    let mut node_mask = vec![0u64; n];
-    let mut edge_mask = vec![0u64; m];
-    let mut reach = vec![0u64; n];
+    let WordScratch {
+        node_mask,
+        edge_mask,
+        reach,
+    } = scratch;
 
     for b in range {
         let mut rng = StdRng::seed_from_u64(batch_seed(seed, b));
@@ -270,7 +372,7 @@ fn run_batches(
             }
         }
 
-        for (c, r) in counts.iter_mut().zip(&reach) {
+        for (c, r) in counts.iter_mut().zip(reach.iter()) {
             *c += u64::from(r.count_ones());
         }
     }

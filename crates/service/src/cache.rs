@@ -79,6 +79,18 @@ impl<K: Hash + Eq + Clone, V: Clone> LruShard<K, V> {
         Some(self.slab[i].value.clone())
     }
 
+    /// Keys in most-recently-used order (head → tail walk of the
+    /// intrusive list).
+    fn keys_mru(&self) -> Vec<K> {
+        let mut out = Vec::with_capacity(self.map.len());
+        let mut i = self.head;
+        while i != NIL {
+            out.push(self.slab[i].key.clone());
+            i = self.slab[i].next;
+        }
+        out
+    }
+
     fn insert(&mut self, key: K, value: V) {
         if self.capacity == 0 {
             return;
@@ -189,6 +201,36 @@ impl<K: Hash + Eq + Clone, V: Clone> ShardedLru<K, V> {
             .insert(key, value);
     }
 
+    /// Up to `limit` resident keys, hottest (approximately
+    /// most-recently-used) first.
+    ///
+    /// Recency is tracked per shard, so the global order is an
+    /// interleaving of per-shard MRU lists — position `i` of every
+    /// shard before position `i + 1` of any. That approximation is
+    /// exactly good enough for its one caller, cache warm-up on world
+    /// swap, where "the hot set" matters and its internal order does
+    /// not.
+    pub fn hot_keys(&self, limit: usize) -> Vec<K> {
+        let lists: Vec<Vec<K>> = self
+            .shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard").keys_mru())
+            .collect();
+        let mut out = Vec::new();
+        let longest = lists.iter().map(Vec::len).max().unwrap_or(0);
+        'fill: for rank in 0..longest {
+            for list in &lists {
+                if let Some(key) = list.get(rank) {
+                    out.push(key.clone());
+                    if out.len() == limit {
+                        break 'fill;
+                    }
+                }
+            }
+        }
+        out
+    }
+
     /// Current counters.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
@@ -257,6 +299,20 @@ mod tests {
         assert_eq!(c.get(&99), Some(99));
         assert_eq!(c.get(&98), Some(98));
         assert_eq!(c.get(&0), None);
+    }
+
+    #[test]
+    fn hot_keys_are_mru_first_and_bounded() {
+        let c: ShardedLru<u32, u32> = ShardedLru::new(8, 1);
+        for i in 0..5 {
+            c.insert(i, i);
+        }
+        c.get(&1); // promote 1 to the front
+        let hot = c.hot_keys(3);
+        assert_eq!(hot.len(), 3);
+        assert_eq!(hot[0], 1, "most recently used leads");
+        assert!(c.hot_keys(100).len() == 5, "limit caps at residency");
+        assert!(ShardedLru::<u32, u32>::new(4, 2).hot_keys(3).is_empty());
     }
 
     #[test]

@@ -22,7 +22,8 @@ use std::time::Instant;
 
 use biorank_mediator::{ExploratoryQuery, IntegrationResult, Mediator};
 use biorank_rank::{
-    Diffusion, InEdge, PathCount, Propagation, Ranker, Ranking, ReducedMc, TraversalMc, WordMc,
+    AdaptiveRunner, Certificate, Diffusion, InEdge, PathCount, Propagation, Ranker, Ranking,
+    ReducedMc, TraversalMc, WordMc,
 };
 
 use crate::cache::{CacheStats, ShardedLru};
@@ -120,13 +121,80 @@ impl Estimator {
     }
 }
 
+/// The adaptive trial policy: run Monte Carlo batches until
+/// [`biorank_rank::bounds`] certifies the ranking at (ε, δ) or the
+/// trial ceiling hits (see [`biorank_rank::AdaptiveRunner`]).
+///
+/// `PartialEq`/`Hash` compare the float parameters by bit pattern —
+/// the struct is a cache-key dimension, and two policies are "the same
+/// configuration" exactly when every parameter is bit-equal.
+#[derive(Clone, Copy, Debug)]
+pub struct AdaptiveConfig {
+    /// Smallest score separation that must be ranked correctly.
+    pub epsilon: f64,
+    /// Allowed per-pair failure probability.
+    pub delta: f64,
+    /// Hard trial ceiling when the ranking never certifies.
+    pub max_trials: u32,
+}
+
+impl Default for AdaptiveConfig {
+    /// The paper's M1 parameters: ε = 0.02 at 95% confidence, ceiling
+    /// at the fixed default of [`RankerSpec::DEFAULT_TRIALS`].
+    fn default() -> Self {
+        AdaptiveConfig {
+            epsilon: 0.02,
+            delta: 0.05,
+            max_trials: RankerSpec::DEFAULT_TRIALS,
+        }
+    }
+}
+
+impl PartialEq for AdaptiveConfig {
+    fn eq(&self, other: &Self) -> bool {
+        self.epsilon.to_bits() == other.epsilon.to_bits()
+            && self.delta.to_bits() == other.delta.to_bits()
+            && self.max_trials == other.max_trials
+    }
+}
+
+impl Eq for AdaptiveConfig {}
+
+impl std::hash::Hash for AdaptiveConfig {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.epsilon.to_bits().hash(state);
+        self.delta.to_bits().hash(state);
+        self.max_trials.hash(state);
+    }
+}
+
+/// The trial dimension of a Monte Carlo request: a fixed count, or the
+/// adaptive bound-certified policy. Part of the result-cache key —
+/// fixed and adaptive executions of the same query are distinct
+/// results and must never answer each other.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Trials {
+    /// Run exactly this many trials (the paper's fixed schedule).
+    Fixed(u32),
+    /// Run batches until the ranking certifies (or the ceiling hits),
+    /// echoing a [`Certificate`] in the response.
+    Adaptive(AdaptiveConfig),
+}
+
+impl Trials {
+    /// `true` for the adaptive policy.
+    pub fn is_adaptive(&self) -> bool {
+        matches!(self, Trials::Adaptive(_))
+    }
+}
+
 /// A ranker configuration — part of the result-cache key.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct RankerSpec {
     /// Ranking semantics.
     pub method: Method,
-    /// Monte Carlo trial count (ignored by deterministic methods).
-    pub trials: u32,
+    /// Monte Carlo trial policy (ignored by deterministic methods).
+    pub trials: Trials,
     /// Base RNG seed (ignored by deterministic methods). The effective
     /// per-query seed also mixes in the query content; see
     /// [`RankerSpec::effective_seed`].
@@ -157,12 +225,12 @@ impl RankerSpec {
     /// Default base seed, shared with the experiment binaries.
     pub const DEFAULT_SEED: u64 = 0xB10_C0DE;
 
-    /// A spec for `method` with the default trials/seed, sequential,
-    /// with the default (traversal) estimator.
+    /// A spec for `method` with the default fixed trials/seed,
+    /// sequential, with the default (traversal) estimator.
     pub fn new(method: Method) -> Self {
         RankerSpec {
             method,
-            trials: Self::DEFAULT_TRIALS,
+            trials: Trials::Fixed(Self::DEFAULT_TRIALS),
             seed: Self::DEFAULT_SEED,
             parallel: false,
             estimator: None,
@@ -210,11 +278,17 @@ impl RankerSpec {
     /// concrete engine (`None` ≡ explicit traversal — same bits, one
     /// entry), and distinct engines get distinct keys: a word-parallel
     /// result must never answer a traversal request or vice versa.
-    /// `parallel` survives only for the traversal engine, where it
-    /// selects the (different, chunked) sampling schedule; the word
-    /// engine is bit-identical at every thread count, so the flag is
-    /// normalized away. Everywhere else both fields are irrelevant and
-    /// zeroed.
+    /// `parallel` survives only for the traversal engine under
+    /// **fixed** trials, where it selects the (different, chunked)
+    /// sampling schedule; the word engine is bit-identical at every
+    /// thread count, and the adaptive runner always drives the
+    /// engine's canonical incremental schedule, so the flag is
+    /// normalized away in both cases. Everywhere else both fields are
+    /// irrelevant and zeroed.
+    ///
+    /// The trial policy itself stays verbatim for stochastic methods:
+    /// `Trials::Fixed(10_000)` and `Trials::Adaptive { .. }` are
+    /// different sampling schedules and never share an entry.
     pub fn cache_key(&self) -> RankerSpec {
         if self.method.is_stochastic() {
             let estimator = if self.method == Method::TraversalMc {
@@ -223,14 +297,16 @@ impl RankerSpec {
                 None
             };
             RankerSpec {
-                parallel: self.parallel && estimator == Some(Estimator::Traversal),
+                parallel: self.parallel
+                    && !self.trials.is_adaptive()
+                    && estimator == Some(Estimator::Traversal),
                 estimator,
                 ..*self
             }
         } else {
             RankerSpec {
                 method: self.method,
-                trials: 0,
+                trials: Trials::Fixed(0),
                 seed: 0,
                 parallel: false,
                 estimator: None,
@@ -238,14 +314,23 @@ impl RankerSpec {
         }
     }
 
-    /// Builds the ranker for one query.
+    /// Builds the ranker for one fixed-trial (or deterministic) query.
+    /// Adaptive Monte Carlo executions go through
+    /// [`biorank_rank::AdaptiveRunner`] instead (they return a
+    /// certificate, which the `Ranker` interface cannot carry); for a
+    /// stochastic method with an adaptive policy this builds the
+    /// ceiling-trials fixed engine.
     pub fn build(&self, query: &ExploratoryQuery) -> Box<dyn Ranker + Send + Sync> {
         let seed = self.effective_seed(query);
+        let trials = match self.trials {
+            Trials::Fixed(n) => n,
+            Trials::Adaptive(cfg) => cfg.max_trials,
+        };
         match self.method {
-            Method::Reliability => Box::new(ReducedMc::new(self.trials, seed)),
+            Method::Reliability => Box::new(ReducedMc::new(trials, seed)),
             Method::TraversalMc => match self.resolved_estimator() {
-                Estimator::Traversal => Box::new(TraversalMc::new(self.trials, seed)),
-                Estimator::Word => Box::new(WordMc::new(self.trials, seed)),
+                Estimator::Traversal => Box::new(TraversalMc::new(trials, seed)),
+                Estimator::Word => Box::new(WordMc::new(trials, seed)),
             },
             Method::Propagation => Box::new(Propagation::auto()),
             Method::Diffusion => Box::new(Diffusion::auto()),
@@ -315,6 +400,11 @@ pub struct QueryResponse {
     pub answers: Vec<RankedAnswer>,
     /// Size of the full answer set before truncation.
     pub total_answers: usize,
+    /// The stop certificate of an adaptive Monte Carlo execution
+    /// (`None` for fixed-trial and deterministic requests). Cached
+    /// alongside the ranking, so a result-cache hit echoes the
+    /// certificate of the run that populated the entry.
+    pub certificate: Option<Certificate>,
     /// `true` when this call did not have to run integration — the
     /// query graph came from the graph cache, or scoring was skipped
     /// entirely via the result cache. (It does not assert the graph
@@ -336,6 +426,16 @@ pub struct EngineStats {
     pub results: CacheStats,
 }
 
+/// A fully ranked (and possibly certified) result, as stored in the
+/// result cache.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RankedResult {
+    /// The full ranking, best first.
+    pub answers: Vec<RankedAnswer>,
+    /// The adaptive stop certificate, when one was produced.
+    pub certificate: Option<Certificate>,
+}
+
 /// A long-lived, thread-safe query engine over a resident world.
 ///
 /// Cheap to share: wrap it in an [`Arc`] and call
@@ -343,7 +443,7 @@ pub struct EngineStats {
 pub struct QueryEngine {
     mediator: Mediator,
     graphs: ShardedLru<ExploratoryQuery, Arc<IntegrationResult>>,
-    results: ShardedLru<(ExploratoryQuery, RankerSpec), Arc<Vec<RankedAnswer>>>,
+    results: ShardedLru<(ExploratoryQuery, RankerSpec), Arc<RankedResult>>,
 }
 
 /// Default number of cached integration results / rankings.
@@ -416,55 +516,69 @@ impl QueryEngine {
         integration: &IntegrationResult,
         query: &ExploratoryQuery,
         spec: &RankerSpec,
-    ) -> Result<Vec<RankedAnswer>, Error> {
+    ) -> Result<RankedResult, Error> {
         let q = &integration.query;
-        let scores = if spec.method == Method::TraversalMc && spec.parallel {
-            let threads = std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1);
-            match spec.resolved_estimator() {
-                // Traversal: chunk count pinned for determinism,
-                // thread budget following the hardware.
-                Estimator::Traversal => TraversalMc::new(spec.trials, spec.effective_seed(query))
-                    .score_chunked(
+        let (scores, certificate) = match spec.trials {
+            // Deterministic methods never sample, so the trial policy
+            // (fixed or adaptive) is irrelevant to them.
+            Trials::Adaptive(cfg) if spec.method.is_stochastic() => {
+                let outcome = run_adaptive(
+                    spec.method,
+                    spec.resolved_estimator(),
+                    cfg,
+                    spec.effective_seed(query),
                     q,
-                    PARALLEL_MC_CHUNKS,
-                    threads.min(PARALLEL_MC_CHUNKS),
-                )?,
-                // Word: every thread split is bit-identical, so the
-                // hardware budget needs no pinning at all.
-                Estimator::Word => WordMc::new(spec.trials, spec.effective_seed(query))
-                    .score_parallel(q, threads)?,
+                )?;
+                (outcome.scores, Some(outcome.certificate))
             }
-        } else {
-            spec.build(query).score(q)?
+            Trials::Fixed(trials) if spec.method == Method::TraversalMc && spec.parallel => {
+                let threads = std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1);
+                let scores = match spec.resolved_estimator() {
+                    // Traversal: chunk count pinned for determinism,
+                    // thread budget following the hardware.
+                    Estimator::Traversal => TraversalMc::new(trials, spec.effective_seed(query))
+                        .score_chunked(q, PARALLEL_MC_CHUNKS, threads.min(PARALLEL_MC_CHUNKS))?,
+                    // Word: every thread split is bit-identical, so the
+                    // hardware budget needs no pinning at all.
+                    Estimator::Word => WordMc::new(trials, spec.effective_seed(query))
+                        .score_parallel(q, threads)?,
+                };
+                (scores, None)
+            }
+            _ => (spec.build(query).score(q)?, None),
         };
         let ranking = Ranking::rank(scores.answers(q));
-        Ok(ranking
-            .entries()
-            .iter()
-            .map(|e| RankedAnswer {
-                key: integration.answer_key(e.node).unwrap_or("?").to_string(),
-                label: integration.label(e.node).to_string(),
-                score: e.score,
-                rank_lo: e.rank_lo,
-                rank_hi: e.rank_hi,
-            })
-            .collect())
+        Ok(RankedResult {
+            answers: ranking
+                .entries()
+                .iter()
+                .map(|e| RankedAnswer {
+                    key: integration.answer_key(e.node).unwrap_or("?").to_string(),
+                    label: integration.label(e.node).to_string(),
+                    score: e.score,
+                    rank_lo: e.rank_lo,
+                    rank_hi: e.rank_hi,
+                })
+                .collect(),
+            certificate,
+        })
     }
 
     fn assemble(
-        ranked: &[RankedAnswer],
+        ranked: &RankedResult,
         top: Option<usize>,
         cached_graph: bool,
         cached_scores: bool,
         start: Instant,
     ) -> QueryResponse {
-        let total_answers = ranked.len();
+        let total_answers = ranked.answers.len();
         let take = top.unwrap_or(total_answers).min(total_answers);
         QueryResponse {
-            answers: ranked[..take].to_vec(),
+            answers: ranked.answers[..take].to_vec(),
             total_answers,
+            certificate: ranked.certificate,
             cached_graph,
             cached_scores,
             micros: start.elapsed().as_micros() as u64,
@@ -477,6 +591,72 @@ impl QueryEngine {
             graphs: self.graphs.stats(),
             results: self.results.stats(),
         }
+    }
+
+    /// Up to `limit` hottest result-cache keys, approximately
+    /// most-recently-used first (per-shard MRU lists, interleaved).
+    /// These are the queries a replacement engine should answer fast
+    /// from its first second — see [`QueryEngine::warm`].
+    pub fn hot_result_keys(&self, limit: usize) -> Vec<(ExploratoryQuery, RankerSpec)> {
+        self.results.hot_keys(limit)
+    }
+
+    /// Replays result-cache keys (typically another engine's
+    /// [`hot_result_keys`](QueryEngine::hot_result_keys)) against this
+    /// engine, populating both cache layers with **freshly computed**
+    /// entries. Returns how many keys executed successfully; failures
+    /// (e.g. a query the new world cannot answer) are skipped — warming
+    /// is best-effort by design.
+    pub fn warm(&self, keys: &[(ExploratoryQuery, RankerSpec)]) -> usize {
+        keys.iter()
+            .filter(|(query, spec)| {
+                self.execute(&QueryRequest {
+                    query: query.clone(),
+                    spec: *spec,
+                    top: Some(0),
+                    world: None,
+                })
+                .is_ok()
+            })
+            .count()
+    }
+}
+
+/// Runs one adaptive Monte Carlo execution: the single place the
+/// `(method, estimator) → engine` dispatch lives, shared by
+/// [`QueryEngine`] and the CLI's local-query path so the two can
+/// never diverge. `method` must be stochastic; `estimator` selects
+/// the engine for [`Method::TraversalMc`] and is ignored by
+/// [`Method::Reliability`] (reduction + traversal batches).
+pub fn run_adaptive(
+    method: Method,
+    estimator: Estimator,
+    cfg: AdaptiveConfig,
+    seed: u64,
+    q: &biorank_graph::QueryGraph,
+) -> Result<biorank_rank::AdaptiveOutcome, biorank_rank::Error> {
+    match method {
+        Method::Reliability => {
+            AdaptiveRunner::new(ReducedMc::new(cfg.max_trials, seed), cfg.epsilon, cfg.delta).run(q)
+        }
+        Method::TraversalMc => match estimator {
+            Estimator::Traversal => AdaptiveRunner::new(
+                TraversalMc::new(cfg.max_trials, seed),
+                cfg.epsilon,
+                cfg.delta,
+            )
+            .run(q),
+            Estimator::Word => {
+                AdaptiveRunner::new(WordMc::new(cfg.max_trials, seed), cfg.epsilon, cfg.delta)
+                    .run(q)
+            }
+        },
+        // Deterministic methods have no trials to adapt; callers
+        // filter on `Method::is_stochastic` first.
+        _ => Err(biorank_rank::Error::InvalidParameter {
+            name: "method",
+            value: f64::NAN,
+        }),
     }
 }
 
@@ -563,6 +743,55 @@ mod tests {
         assert_eq!(
             rel.cache_key(),
             RankerSpec::new(Method::Reliability).cache_key()
+        );
+    }
+
+    #[test]
+    fn cache_key_separates_trial_policies() {
+        // Fixed and adaptive runs of the same query are different
+        // sampling schedules: no shared entry, ever.
+        let fixed = RankerSpec::new(Method::TraversalMc);
+        let adaptive = RankerSpec {
+            trials: Trials::Adaptive(AdaptiveConfig::default()),
+            ..fixed
+        };
+        assert_ne!(fixed.cache_key(), adaptive.cache_key());
+        // Same policy → same key (bit-equal floats compare equal).
+        let again = RankerSpec {
+            trials: Trials::Adaptive(AdaptiveConfig::default()),
+            ..fixed
+        };
+        assert_eq!(adaptive.cache_key(), again.cache_key());
+        // Different ε is a different policy.
+        let tighter = RankerSpec {
+            trials: Trials::Adaptive(AdaptiveConfig {
+                epsilon: 0.01,
+                ..AdaptiveConfig::default()
+            }),
+            ..fixed
+        };
+        assert_ne!(adaptive.cache_key(), tighter.cache_key());
+        // The adaptive runner drives the canonical sequential
+        // schedule, so `parallel` normalizes away under it...
+        let adaptive_parallel = RankerSpec {
+            parallel: true,
+            ..adaptive
+        };
+        assert_eq!(adaptive.cache_key(), adaptive_parallel.cache_key());
+        // ...and estimators still get distinct adaptive keys.
+        let adaptive_word = RankerSpec {
+            estimator: Some(Estimator::Word),
+            ..adaptive
+        };
+        assert_ne!(adaptive.cache_key(), adaptive_word.cache_key());
+        // Deterministic methods ignore the policy entirely.
+        let pathc_adaptive = RankerSpec {
+            trials: Trials::Adaptive(AdaptiveConfig::default()),
+            ..RankerSpec::new(Method::PathCount)
+        };
+        assert_eq!(
+            pathc_adaptive.cache_key(),
+            RankerSpec::new(Method::PathCount).cache_key()
         );
     }
 

@@ -66,18 +66,20 @@ pub mod server;
 pub mod tenancy;
 pub mod wire;
 
+pub use biorank_rank::{AdaptiveOutcome, Certificate};
 pub use cache::{CacheStats, ShardedLru};
 pub use engine::{
-    EngineStats, Estimator, Method, QueryEngine, QueryRequest, QueryResponse, RankedAnswer,
-    RankerSpec, DEFAULT_CACHE_CAPACITY, PARALLEL_MC_CHUNKS,
+    run_adaptive, AdaptiveConfig, EngineStats, Estimator, Method, QueryEngine, QueryRequest,
+    QueryResponse, RankedAnswer, RankedResult, RankerSpec, Trials, DEFAULT_CACHE_CAPACITY,
+    PARALLEL_MC_CHUNKS,
 };
 pub use pool::WorkerPool;
 pub use server::{Client, ServeOptions, Server, ServerHandle};
 pub use tenancy::{
-    ServiceStats, TenancyError, WorldInfo, WorldManager, WorldSpec, WorldStats, DEFAULT_WORLD,
-    DEFAULT_WORLD_BUDGET,
+    ServiceStats, TenancyError, WorldInfo, WorldManager, WorldSpec, WorldState, WorldStats,
+    DEFAULT_SWAP_WARM, DEFAULT_WORLD, DEFAULT_WORLD_BUDGET,
 };
-pub use wire::{AdminRequest, AdminResponse};
+pub use wire::{AdminRequest, AdminResponse, RequestDefaults};
 
 use std::fmt;
 

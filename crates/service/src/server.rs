@@ -22,11 +22,11 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{channel, Sender};
 use std::sync::{Arc, Condvar, Mutex};
 
-use crate::engine::{Estimator, QueryEngine};
+use crate::engine::{Estimator, QueryEngine, RankerSpec, Trials};
 use crate::pool::WorkerPool;
 use crate::tenancy::{ServiceStats, WorldInfo, WorldManager, WorldSpec, DEFAULT_WORLD_BUDGET};
 use crate::wire;
-use crate::wire::{AdminRequest, AdminResponse, RequestBody, ResponseBody};
+use crate::wire::{AdminRequest, AdminResponse, RequestBody, RequestDefaults, ResponseBody};
 
 /// Server tuning knobs.
 #[derive(Clone, Copy, Debug)]
@@ -38,6 +38,11 @@ pub struct ServeOptions {
     /// estimator are never overridden, so clients can always pin
     /// the reference traversal engine for cross-checking.
     pub default_estimator: Estimator,
+    /// Trial policy applied to query lines that omit the `trials`
+    /// field (`biorank serve --adaptive-eps/--adaptive-delta` makes
+    /// adaptive the house default). Requests with an explicit policy
+    /// are never overridden.
+    pub default_trials: Trials,
 }
 
 impl Default for ServeOptions {
@@ -45,6 +50,7 @@ impl Default for ServeOptions {
         ServeOptions {
             workers: 4,
             default_estimator: Estimator::default(),
+            default_trials: Trials::Fixed(RankerSpec::DEFAULT_TRIALS),
         }
     }
 }
@@ -55,7 +61,14 @@ pub struct Server {
     manager: Arc<WorldManager>,
     pool: Arc<WorkerPool>,
     shutdown: Arc<AtomicBool>,
-    default_estimator: Estimator,
+    defaults: ServerDefaults,
+}
+
+/// The per-request defaults a server substitutes for unset fields.
+#[derive(Clone, Copy)]
+struct ServerDefaults {
+    estimator: Estimator,
+    trials: Trials,
 }
 
 /// A handle that can stop a running [`Server`] from another thread.
@@ -121,7 +134,10 @@ impl Server {
             manager,
             pool: Arc::new(WorkerPool::new(opts.workers)),
             shutdown: Arc::new(AtomicBool::new(false)),
-            default_estimator: opts.default_estimator,
+            defaults: ServerDefaults {
+                estimator: opts.default_estimator,
+                trials: opts.default_trials,
+            },
         })
     }
 
@@ -157,9 +173,9 @@ impl Server {
             };
             let manager = Arc::clone(&self.manager);
             let pool = Arc::clone(&self.pool);
-            let default_estimator = self.default_estimator;
+            let defaults = self.defaults;
             std::thread::spawn(move || {
-                let _ = handle_connection(stream, manager, pool, default_estimator);
+                let _ = handle_connection(stream, manager, pool, defaults);
             });
         }
         // Graceful shutdown: leave a final observability record.
@@ -182,7 +198,7 @@ fn handle_connection(
     stream: TcpStream,
     manager: Arc<WorldManager>,
     pool: Arc<WorkerPool>,
-    default_estimator: Estimator,
+    defaults: ServerDefaults,
 ) -> std::io::Result<()> {
     let peer_write = stream.try_clone()?;
     let reader = BufReader::new(stream);
@@ -214,15 +230,7 @@ fn handle_connection(
         if line.trim().is_empty() {
             continue;
         }
-        dispatch_line(
-            line,
-            seq,
-            &manager,
-            &pool,
-            &line_tx,
-            &in_flight,
-            default_estimator,
-        );
+        dispatch_line(line, seq, &manager, &pool, &line_tx, &in_flight, defaults);
         seq += 1;
     }
     drop(line_tx);
@@ -253,17 +261,20 @@ fn dispatch_line(
     pool: &Arc<WorkerPool>,
     line_tx: &Sender<(u64, String)>,
     in_flight: &Arc<(Mutex<u64>, Condvar)>,
-    default_estimator: Estimator,
+    defaults: ServerDefaults,
 ) {
-    match wire::decode_request(&line) {
+    // Unset request fields take the server's configured defaults at
+    // decode time (`trials`) or just after (`estimator`), so the
+    // result-cache key always reflects the policy and engine that
+    // actually run. Explicit client choices always win.
+    let request_defaults = RequestDefaults {
+        trials: defaults.trials,
+    };
+    match wire::decode_request_with(&line, &request_defaults) {
         Ok(request) => match request.body {
             RequestBody::Query(mut req) => {
-                // Resolve the server's estimator default before the
-                // request reaches an engine, so the result-cache key
-                // reflects the engine that actually runs. Explicit
-                // client choices always win.
                 if req.spec.estimator.is_none() {
-                    req.spec.estimator = Some(default_estimator);
+                    req.spec.estimator = Some(defaults.estimator);
                 }
                 let manager = Arc::clone(manager);
                 let line_tx = line_tx.clone();
@@ -338,16 +349,30 @@ fn execute_query(
 }
 
 fn execute_admin(
-    manager: &WorldManager,
+    manager: &Arc<WorldManager>,
     admin: AdminRequest,
 ) -> Result<AdminResponse, crate::tenancy::TenancyError> {
     match admin {
-        AdminRequest::Load { world, spec } => {
+        AdminRequest::Load {
+            world,
+            spec,
+            background: false,
+        } => {
             let generation = manager.load(&world, spec)?;
             Ok(AdminResponse::World { world, generation })
         }
-        AdminRequest::Swap { world, spec } => {
-            let generation = manager.swap(&world, spec)?;
+        AdminRequest::Load {
+            world,
+            spec,
+            background: true,
+        } => match manager.load_background(&world, spec)? {
+            // Already resident with the identical spec: nothing to
+            // build, answer like a synchronous no-op load.
+            Some(generation) => Ok(AdminResponse::World { world, generation }),
+            None => Ok(AdminResponse::Loading { world }),
+        },
+        AdminRequest::Swap { world, spec, warm } => {
+            let generation = manager.swap(&world, spec, warm)?;
             Ok(AdminResponse::World { world, generation })
         }
         AdminRequest::Evict { world } => {
@@ -465,23 +490,63 @@ impl Client {
         }
     }
 
-    /// `world.load`: make a world resident; returns its generation.
+    /// `world.load`: make a world resident, blocking until it is;
+    /// returns its generation.
     pub fn world_load(&mut self, world: &str, spec: WorldSpec) -> Result<u64, crate::Error> {
         match self.admin(AdminRequest::Load {
             world: world.to_string(),
             spec,
+            background: false,
         })? {
             AdminResponse::World { generation, .. } => Ok(generation),
             other => Err(unexpected_admin(other)),
         }
     }
 
-    /// `world.swap`: replace a world (invalidating its caches);
-    /// returns the new generation.
+    /// `world.load` with `background: true`: the server answers
+    /// immediately and builds the world on a worker thread. Returns
+    /// `None` when the build was accepted (poll
+    /// [`world_list`](Client::world_list) for the `ready` state) or
+    /// `Some(generation)` when the world was already resident with
+    /// the identical spec.
+    pub fn world_load_background(
+        &mut self,
+        world: &str,
+        spec: WorldSpec,
+    ) -> Result<Option<u64>, crate::Error> {
+        match self.admin(AdminRequest::Load {
+            world: world.to_string(),
+            spec,
+            background: true,
+        })? {
+            AdminResponse::Loading { .. } => Ok(None),
+            AdminResponse::World { generation, .. } => Ok(Some(generation)),
+            other => Err(unexpected_admin(other)),
+        }
+    }
+
+    /// `world.swap`: replace a world (invalidating its caches) with
+    /// the default warm-up ([`DEFAULT_SWAP_WARM`]
+    /// hottest keys replayed into the fresh engine); returns the new
+    /// generation.
+    ///
+    /// [`DEFAULT_SWAP_WARM`]: crate::tenancy::DEFAULT_SWAP_WARM
     pub fn world_swap(&mut self, world: &str, spec: WorldSpec) -> Result<u64, crate::Error> {
+        self.world_swap_warm(world, spec, crate::tenancy::DEFAULT_SWAP_WARM)
+    }
+
+    /// `world.swap` with an explicit warm-up count (0 installs the
+    /// replacement engine fully cold).
+    pub fn world_swap_warm(
+        &mut self,
+        world: &str,
+        spec: WorldSpec,
+        warm: usize,
+    ) -> Result<u64, crate::Error> {
         match self.admin(AdminRequest::Swap {
             world: world.to_string(),
             spec,
+            warm,
         })? {
             AdminResponse::World { generation, .. } => Ok(generation),
             other => Err(unexpected_admin(other)),

@@ -48,6 +48,13 @@ pub const DEFAULT_WORLD: &str = "default";
 /// Default resident-world budget.
 pub const DEFAULT_WORLD_BUDGET: usize = 4;
 
+/// Default number of hot result-cache keys a `world.swap` replays into
+/// the replacement engine before installing it (pass `warm: 0` on the
+/// wire to opt out). Small on purpose: each key is one real query
+/// against the fresh engine, and the goal is only to keep the hottest
+/// requests off the post-swap latency cliff.
+pub const DEFAULT_SWAP_WARM: usize = 8;
+
 /// Everything needed to (re)build one world's engine: the generation
 /// seed plus the federation configuration.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -99,6 +106,9 @@ impl WorldSpec {
 pub enum TenancyError {
     /// A query or admin command named a world that is not resident.
     WorldNotFound(String),
+    /// A query or admin command named a world whose background build
+    /// has not finished yet.
+    WorldLoading(String),
     /// `world.load` of an existing name with a different spec (use
     /// `world.swap` to replace a resident world).
     SpecMismatch(String),
@@ -112,6 +122,9 @@ impl fmt::Display for TenancyError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TenancyError::WorldNotFound(name) => write!(f, "world {name:?} is not resident"),
+            TenancyError::WorldLoading(name) => {
+                write!(f, "world {name:?} is still loading")
+            }
             TenancyError::SpecMismatch(name) => write!(
                 f,
                 "world {name:?} is already resident with a different spec; use world.swap"
@@ -132,16 +145,50 @@ impl fmt::Display for TenancyError {
 
 impl std::error::Error for TenancyError {}
 
-/// A snapshot of one resident world, as reported by `world.list`.
+/// Residency state of a world in a `world.list` snapshot.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum WorldState {
+    /// Resident and serving queries.
+    #[default]
+    Ready,
+    /// A background `world.load` is still building the engine.
+    Loading,
+}
+
+impl WorldState {
+    /// The canonical wire spelling.
+    pub fn wire_name(&self) -> &'static str {
+        match self {
+            WorldState::Ready => "ready",
+            WorldState::Loading => "loading",
+        }
+    }
+
+    /// Parses the wire spelling.
+    pub fn parse(name: &str) -> Option<WorldState> {
+        Some(match name {
+            "ready" => WorldState::Ready,
+            "loading" => WorldState::Loading,
+            _ => return None,
+        })
+    }
+}
+
+/// A snapshot of one resident (or loading) world, as reported by
+/// `world.list`.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct WorldInfo {
     /// Registry name.
     pub name: String,
-    /// The spec the resident engine was built from.
+    /// The spec the resident engine was built from (for a loading
+    /// world: the spec being built).
     pub spec: WorldSpec,
     /// Generation of the resident engine, from the registry-wide
     /// monotonic counter (every load and swap draws a fresh one).
+    /// A loading world has no engine yet and reports 0.
     pub generation: u64,
+    /// Whether the world is serving or still building.
+    pub state: WorldState,
 }
 
 /// Per-world counters inside a [`ServiceStats`] report.
@@ -176,6 +223,10 @@ struct WorldEntry {
 
 struct Registry {
     worlds: HashMap<String, WorldEntry>,
+    /// Worlds whose background `world.load` build is still running.
+    /// Disjoint from `worlds`: installation moves a name from here to
+    /// there under one critical section.
+    loading: HashMap<String, WorldSpec>,
     /// Registry-wide monotonic generation counter. Assigned under the
     /// lock, so later inserts always carry greater generations; being
     /// global (not per-name) it survives eviction with no per-name
@@ -209,6 +260,7 @@ impl WorldManager {
         WorldManager {
             registry: Mutex::new(Registry {
                 worlds: HashMap::new(),
+                loading: HashMap::new(),
                 next_generation: 0,
             }),
             budget: budget.max(1),
@@ -249,10 +301,13 @@ impl WorldManager {
         let name = world.unwrap_or(DEFAULT_WORLD);
         let stamp = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
         let mut reg = self.registry.lock().expect("world registry");
-        let entry = reg
-            .worlds
-            .get_mut(name)
-            .ok_or_else(|| TenancyError::WorldNotFound(name.to_string()))?;
+        let Some(entry) = reg.worlds.get_mut(name) else {
+            return Err(if reg.loading.contains_key(name) {
+                TenancyError::WorldLoading(name.to_string())
+            } else {
+                TenancyError::WorldNotFound(name.to_string())
+            });
+        };
         entry.last_used = stamp;
         Ok(Arc::clone(&entry.engine))
     }
@@ -263,7 +318,7 @@ impl WorldManager {
     /// different spec it is an error ([`TenancyError::SpecMismatch`])
     /// — replacement is `swap`'s job, never an accident of `load`.
     pub fn load(&self, name: &str, spec: WorldSpec) -> Result<u64, TenancyError> {
-        if let Some(entry) = self.lookup(name) {
+        if let Some(entry) = self.lookup(name)? {
             let (existing, generation) = entry;
             if existing == spec {
                 return Ok(generation);
@@ -300,14 +355,128 @@ impl WorldManager {
         Ok(generation)
     }
 
+    /// Starts loading `name` on a detached worker thread and returns
+    /// immediately: the admin connection (and its worker slot) is free
+    /// while the world generates. The world appears in
+    /// [`list`](WorldManager::list) as `loading` until the worker
+    /// installs it; queries naming it fail with
+    /// [`TenancyError::WorldLoading`] until then.
+    ///
+    /// Returns `Ok(Some(generation))` when `name` is already resident
+    /// with the identical spec (nothing to do), `Ok(None)` when a
+    /// build is now (or was already) in flight for that spec. A
+    /// mismatched spec is refused exactly like the synchronous
+    /// [`load`](WorldManager::load). If the budget fills up while the
+    /// build runs, the finished engine is discarded and the loading
+    /// marker cleared — background loading is best-effort, and
+    /// `world.list` tells the operator the outcome either way.
+    pub fn load_background(
+        self: &Arc<Self>,
+        name: &str,
+        spec: WorldSpec,
+    ) -> Result<Option<u64>, TenancyError> {
+        {
+            let reg = self.registry.lock().expect("world registry");
+            if let Some(entry) = reg.worlds.get(name) {
+                if entry.spec == spec {
+                    return Ok(Some(entry.generation));
+                }
+                return Err(TenancyError::SpecMismatch(name.to_string()));
+            }
+            if let Some(pending) = reg.loading.get(name) {
+                if *pending == spec {
+                    return Ok(None);
+                }
+                return Err(TenancyError::WorldLoading(name.to_string()));
+            }
+        }
+        self.check_room(name)?;
+        {
+            let mut reg = self.registry.lock().expect("world registry");
+            // A concurrent load may have won the race above; redo the
+            // cheap checks under the lock before claiming the name.
+            if reg.worlds.contains_key(name) || reg.loading.contains_key(name) {
+                drop(reg);
+                return self.load_background(name, spec);
+            }
+            reg.loading.insert(name.to_string(), spec);
+        }
+        let mgr = Arc::clone(self);
+        let name = name.to_string();
+        std::thread::spawn(move || {
+            // The marker must not outlive this thread no matter how it
+            // exits: a panicking world build would otherwise wedge the
+            // name in "loading" forever. The guard clears it on every
+            // path; the happy path queries `cleared()` to learn whether
+            // it still owned the claim (an evict cancels the load by
+            // removing the marker first — see `evict`).
+            struct ClearMarker {
+                mgr: Arc<WorldManager>,
+                name: String,
+                armed: bool,
+            }
+            impl Drop for ClearMarker {
+                fn drop(&mut self) {
+                    if self.armed {
+                        let mut reg = self.mgr.registry.lock().expect("world registry");
+                        reg.loading.remove(&self.name);
+                    }
+                }
+            }
+            let mut guard = ClearMarker {
+                mgr: Arc::clone(&mgr),
+                name: name.clone(),
+                armed: true,
+            };
+            // Build outside every lock, then clear the marker and
+            // install (or give up) in one critical section.
+            let engine = Arc::new(spec.build());
+            let stamp = mgr.clock.fetch_add(1, Ordering::Relaxed) + 1;
+            let mut reg = mgr.registry.lock().expect("world registry");
+            guard.armed = false;
+            if reg.loading.remove(&name).is_none() {
+                return; // the load was cancelled (evicted) mid-build
+            }
+            if reg.worlds.contains_key(&name) {
+                return; // a sync load/swap raced us; keep the winner
+            }
+            if Self::make_room(&mut reg, mgr.budget, &name).is_err() {
+                return; // budget filled up mid-build; discard
+            }
+            let generation = reg.bump();
+            reg.worlds.insert(
+                name,
+                WorldEntry {
+                    engine,
+                    spec,
+                    generation,
+                    last_used: stamp,
+                },
+            );
+        });
+        Ok(None)
+    }
+
     /// Replaces (or creates) `name` with a freshly built engine and
     /// bumps its generation. The replaced engine's two cache layers
     /// are dropped with its last `Arc`, so every post-swap request
     /// recomputes — in-flight requests that already resolved the old
     /// engine finish against it, but can never repopulate the new one.
-    pub fn swap(&self, name: &str, spec: WorldSpec) -> Result<u64, TenancyError> {
+    ///
+    /// `warm` replays up to that many of the replaced engine's hottest
+    /// result-cache keys against the replacement **before** it is
+    /// installed, so the hottest queries don't fall off a latency
+    /// cliff at the moment of the swap. The warmed entries are fresh
+    /// computations by the new engine — warming can never resurrect a
+    /// pre-swap answer. Pass 0 to install cold.
+    pub fn swap(&self, name: &str, spec: WorldSpec, warm: usize) -> Result<u64, TenancyError> {
         self.check_room(name)?;
         let engine = Arc::new(spec.build());
+        if warm > 0 {
+            if let Some(old) = self.peek(name) {
+                engine.warm(&old.hot_result_keys(warm));
+            }
+        }
         let stamp = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
         let mut reg = self.registry.lock().expect("world registry");
         if !reg.worlds.contains_key(name) {
@@ -326,19 +495,30 @@ impl WorldManager {
         Ok(generation)
     }
 
-    /// Evicts a resident world. The default world is pinned.
+    /// The currently installed engine of `name`, without touching the
+    /// LRU clock (swap warm-up must not promote the world it is about
+    /// to replace).
+    fn peek(&self, name: &str) -> Option<Arc<QueryEngine>> {
+        let reg = self.registry.lock().expect("world registry");
+        reg.worlds.get(name).map(|e| Arc::clone(&e.engine))
+    }
+
+    /// Evicts a resident world. The default world is pinned. Evicting
+    /// a name that is still background-loading **cancels** the load:
+    /// the marker is cleared here, and the worker discards its engine
+    /// when it finds the claim gone at install time.
     pub fn evict(&self, name: &str) -> Result<(), TenancyError> {
         if name == DEFAULT_WORLD {
             return Err(TenancyError::DefaultPinned);
         }
         let mut reg = self.registry.lock().expect("world registry");
-        reg.worlds
-            .remove(name)
-            .map(drop)
-            .ok_or_else(|| TenancyError::WorldNotFound(name.to_string()))
+        if reg.worlds.remove(name).is_some() || reg.loading.remove(name).is_some() {
+            return Ok(());
+        }
+        Err(TenancyError::WorldNotFound(name.to_string()))
     }
 
-    /// Snapshot of every resident world, sorted by name.
+    /// Snapshot of every resident and loading world, sorted by name.
     pub fn list(&self) -> Vec<WorldInfo> {
         let reg = self.registry.lock().expect("world registry");
         let mut out: Vec<WorldInfo> = reg
@@ -348,7 +528,14 @@ impl WorldManager {
                 name: name.clone(),
                 spec: e.spec,
                 generation: e.generation,
+                state: WorldState::Ready,
             })
+            .chain(reg.loading.iter().map(|(name, spec)| WorldInfo {
+                name: name.clone(),
+                spec: *spec,
+                generation: 0,
+                state: WorldState::Loading,
+            }))
             .collect();
         out.sort_by(|a, b| a.name.cmp(&b.name));
         out
@@ -419,9 +606,17 @@ impl WorldManager {
         }
     }
 
-    fn lookup(&self, name: &str) -> Option<(WorldSpec, u64)> {
+    /// Spec and generation of a resident world; errors when the name
+    /// is mid-background-load (a sync load must not race the worker).
+    fn lookup(&self, name: &str) -> Result<Option<(WorldSpec, u64)>, TenancyError> {
         let reg = self.registry.lock().expect("world registry");
-        reg.worlds.get(name).map(|e| (e.spec, e.generation))
+        if let Some(e) = reg.worlds.get(name) {
+            return Ok(Some((e.spec, e.generation)));
+        }
+        if reg.loading.contains_key(name) {
+            return Err(TenancyError::WorldLoading(name.to_string()));
+        }
+        Ok(None)
     }
 }
 
@@ -475,7 +670,7 @@ mod tests {
         let mgr = WorldManager::new(2);
         let g1 = mgr.load("a", tiny(1)).expect("load");
         let before = mgr.resolve(Some("a")).expect("resolve");
-        let g2 = mgr.swap("a", tiny(2)).expect("swap");
+        let g2 = mgr.swap("a", tiny(2), 0).expect("swap");
         assert!(g2 > g1);
         let after = mgr.resolve(Some("a")).expect("resolve");
         assert!(
@@ -544,5 +739,116 @@ mod tests {
     fn hit_rate_is_zero_without_lookups() {
         // The zero-division guard the shutdown log relies on.
         assert_eq!(CacheStats::default().hit_rate(), 0.0);
+    }
+
+    fn wait_ready(mgr: &Arc<WorldManager>, name: &str) {
+        for _ in 0..600 {
+            if mgr.resolve(Some(name)).is_ok() {
+                return;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(50));
+        }
+        panic!("world {name:?} never became ready");
+    }
+
+    #[test]
+    fn background_load_installs_from_a_worker_thread() {
+        let mgr = Arc::new(WorldManager::new(3));
+        assert_eq!(mgr.load_background("bg", tiny(5)).expect("start"), None);
+        // Until the worker installs it, the world lists as loading and
+        // queries naming it get the dedicated error.
+        let listed = mgr.list();
+        if let Some(info) = listed.iter().find(|w| w.name == "bg") {
+            if info.state == WorldState::Loading {
+                assert_eq!(info.generation, 0);
+                assert_eq!(info.spec, tiny(5));
+                assert!(matches!(
+                    mgr.resolve(Some("bg")),
+                    Err(TenancyError::WorldLoading(_))
+                ));
+                // A sync load of a loading name must not race the
+                // worker; starting the same build again is a no-op.
+                assert!(matches!(
+                    mgr.load("bg", tiny(5)),
+                    Err(TenancyError::WorldLoading(_))
+                ));
+                assert_eq!(
+                    mgr.load_background("bg", tiny(5)).expect("idempotent"),
+                    None
+                );
+                assert!(matches!(
+                    mgr.load_background("bg", tiny(6)),
+                    Err(TenancyError::WorldLoading(_))
+                ));
+            }
+        }
+        wait_ready(&mgr, "bg");
+        let info = mgr
+            .list()
+            .into_iter()
+            .find(|w| w.name == "bg")
+            .expect("installed");
+        assert_eq!(info.state, WorldState::Ready);
+        assert!(info.generation > 0);
+        // Re-loading in the background when already resident reports
+        // the generation instead of rebuilding.
+        assert_eq!(
+            mgr.load_background("bg", tiny(5)).expect("resident"),
+            Some(info.generation)
+        );
+        assert!(matches!(
+            mgr.load_background("bg", tiny(7)),
+            Err(TenancyError::SpecMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn evicting_a_loading_world_cancels_the_load() {
+        let mgr = Arc::new(WorldManager::new(3));
+        mgr.load_background("c", tiny(9)).expect("start");
+        // Whether we catch the build in flight (clears the marker, the
+        // worker discards its engine) or after install (removes the
+        // resident world), eviction must leave the name gone for good.
+        mgr.evict("c").expect("evict cancels or removes");
+        assert!(matches!(
+            mgr.resolve(Some("c")),
+            Err(TenancyError::WorldNotFound(_))
+        ));
+        // Give the worker ample time to finish building; it must not
+        // resurrect the evicted name.
+        for _ in 0..20 {
+            std::thread::sleep(std::time::Duration::from_millis(50));
+            assert!(
+                mgr.list().into_iter().all(|w| w.name != "c"),
+                "cancelled load must not install"
+            );
+        }
+    }
+
+    #[test]
+    fn swap_warm_replays_hot_keys_into_the_fresh_engine() {
+        let mgr = WorldManager::new(2);
+        mgr.load("a", tiny(1)).expect("load");
+        let req = crate::engine::QueryRequest::protein_functions(
+            "GALT",
+            crate::engine::RankerSpec::new(crate::engine::Method::InEdge),
+        );
+        // Make GALT/InEdge the hot key of the outgoing engine.
+        let old = mgr.resolve(Some("a")).expect("resolve");
+        old.execute(&req).expect("warm the old engine");
+        drop(old);
+
+        mgr.swap("a", tiny(1), 4).expect("swap with warm-up");
+        let fresh = mgr.resolve(Some("a")).expect("resolve new");
+        let replayed = fresh.execute(&req).expect("hot query");
+        assert!(
+            replayed.cached_scores,
+            "the hot key must be resident in the replacement engine"
+        );
+
+        // warm: 0 installs cold — the control for the test above.
+        mgr.swap("a", tiny(1), 0).expect("cold swap");
+        let cold = mgr.resolve(Some("a")).expect("resolve cold");
+        assert!(!cold.execute(&req).expect("cold query").cached_scores);
     }
 }

@@ -17,11 +17,23 @@
 //!  "world":"staging","parallel":true,"estimator":"word"}
 //! ```
 //!
-//! Response line (success):
+//! `trials` is either a number (run exactly that many Monte Carlo
+//! trials) or an adaptive policy object — run 64-trial batches until
+//! the Theorem 3.1 bound certifies the ranking at (ε, δ) or the
+//! ceiling hits, each field defaulting as shown:
+//!
+//! ```json
+//! {"id":1, "...":"...", "method":"mc",
+//!  "trials":{"epsilon":0.02,"delta":0.05,"max":10000}}
+//! ```
+//!
+//! Response line (success). Adaptive executions echo their stop
+//! certificate; fixed and deterministic ones omit the field:
 //!
 //! ```json
 //! {"id":1,"ok":true,"total":15,"cached_graph":false,"cached_scores":false,
-//!  "micros":8123,"answers":[{"key":"GO:0004335","label":"galactokinase
+//!  "micros":8123,"certificate":{"trials_used":448,"epsilon":0.088,
+//!  "certified":true},"answers":[{"key":"GO:0004335","label":"galactokinase
 //!  activity","score":0.91,"rank_lo":1,"rank_hi":1}]}
 //! ```
 //!
@@ -35,7 +47,14 @@
 //! ```
 //!
 //! answered by `{"id":2,"ok":true,"world":"staging","generation":1}`,
-//! a `worlds` array, and a per-world `stats` object respectively.
+//! a `worlds` array (each entry carrying a `state` of `"ready"` or
+//! `"loading"`), and a per-world `stats` object respectively.
+//! `world.load` with `"background":true` answers
+//! `{"id":2,"ok":true,"world":"staging","status":"loading"}`
+//! immediately and installs the world from a worker thread when built.
+//! `world.swap` accepts a `warm` count (default 8): how many of the
+//! replaced engine's hottest cached queries to replay into the fresh
+//! engine before installing it (0 installs cold).
 //!
 //! Response line (failure): `{"id":1,"ok":false,"error":"..."}`.
 //!
@@ -48,11 +67,16 @@ use std::fmt::Write as _;
 
 use biorank_mediator::ExploratoryQuery;
 
+use biorank_rank::Certificate;
+
 use crate::cache::CacheStats;
 use crate::engine::{
-    EngineStats, Estimator, Method, QueryRequest, QueryResponse, RankedAnswer, RankerSpec,
+    AdaptiveConfig, EngineStats, Estimator, Method, QueryRequest, QueryResponse, RankedAnswer,
+    RankerSpec, Trials,
 };
-use crate::tenancy::{ServiceStats, WorldInfo, WorldSpec, WorldStats};
+use crate::tenancy::{
+    ServiceStats, WorldInfo, WorldSpec, WorldState, WorldStats, DEFAULT_SWAP_WARM,
+};
 
 /// A parsed JSON value.
 #[derive(Clone, Debug, PartialEq)]
@@ -451,6 +475,10 @@ pub enum AdminRequest {
         world: String,
         /// How to build it.
         spec: WorldSpec,
+        /// `true` answers `{"status":"loading"}` immediately and
+        /// builds the world on a worker thread; `false` (the default)
+        /// blocks until the world is resident.
+        background: bool,
     },
     /// `world.swap` — replace a world with a freshly built engine,
     /// invalidating both of its cache layers.
@@ -459,6 +487,9 @@ pub enum AdminRequest {
         world: String,
         /// How to build the replacement.
         spec: WorldSpec,
+        /// Hottest cached queries of the replaced engine to replay
+        /// into the fresh engine before installing it (0 = cold).
+        warm: usize,
     },
     /// `world.evict` — drop a resident world.
     Evict {
@@ -480,6 +511,13 @@ pub enum AdminResponse {
         world: String,
         /// Its generation after the operation (0 for an eviction).
         generation: u64,
+    },
+    /// Outcome of a background `world.load`: the build was accepted
+    /// and is running on a worker thread; poll `world.list` for the
+    /// `ready` state.
+    Loading {
+        /// The world being built.
+        world: String,
     },
     /// Outcome of `world.list`.
     List(Vec<WorldInfo>),
@@ -553,7 +591,7 @@ fn encode_query_request(id: u64, req: &QueryRequest) -> String {
             Json::Arr(q.outputs.iter().cloned().map(Json::Str).collect()),
         ),
         ("method", Json::Str(req.spec.method.wire_name().into())),
-        ("trials", Json::Num(f64::from(req.spec.trials))),
+        ("trials", encode_trials(&req.spec.trials)),
         // As a decimal string: JSON numbers are f64 here, which would
         // silently corrupt seeds above 2^53 and break the cross-wire
         // determinism guarantee.
@@ -574,20 +612,86 @@ fn encode_query_request(id: u64, req: &QueryRequest) -> String {
     obj(fields).encode()
 }
 
+/// Encodes the trial policy: a plain number for fixed counts, an
+/// object for the adaptive policy.
+fn encode_trials(trials: &Trials) -> Json {
+    match trials {
+        Trials::Fixed(n) => Json::Num(f64::from(*n)),
+        Trials::Adaptive(cfg) => obj(vec![
+            ("epsilon", Json::Num(cfg.epsilon)),
+            ("delta", Json::Num(cfg.delta)),
+            ("max", Json::Num(f64::from(cfg.max_trials))),
+        ]),
+    }
+}
+
+/// Decodes the trial policy (see [`encode_trials`]); absent adaptive
+/// fields default to the paper's M1 parameters.
+fn decode_trials(v: &Json) -> Result<Trials, WireError> {
+    match v {
+        Json::Num(_) => v
+            .as_u64()
+            .and_then(|t| u32::try_from(t).ok())
+            .map(Trials::Fixed)
+            .ok_or_else(|| wire_err("field \"trials\" must fit in u32")),
+        Json::Obj(fields) => {
+            let defaults = AdaptiveConfig::default();
+            let num = |key: &str, fallback: f64| -> Result<f64, WireError> {
+                fields
+                    .get(key)
+                    .map(|v| {
+                        v.as_f64()
+                            .filter(|x| x.is_finite())
+                            .ok_or_else(|| wire_err(format!("adaptive {key:?} must be a number")))
+                    })
+                    .transpose()
+                    .map(|v| v.unwrap_or(fallback))
+            };
+            let max_trials = fields
+                .get("max")
+                .map(|v| {
+                    v.as_u64()
+                        .and_then(|t| u32::try_from(t).ok())
+                        .ok_or_else(|| wire_err("adaptive \"max\" must fit in u32"))
+                })
+                .transpose()?
+                .unwrap_or(defaults.max_trials);
+            Ok(Trials::Adaptive(AdaptiveConfig {
+                epsilon: num("epsilon", defaults.epsilon)?,
+                delta: num("delta", defaults.delta)?,
+                max_trials,
+            }))
+        }
+        _ => Err(wire_err(
+            "field \"trials\" must be a number or an adaptive policy object",
+        )),
+    }
+}
+
 fn encode_admin_request(id: u64, admin: &AdminRequest) -> String {
     let mut fields = vec![("id", Json::Num(id as f64))];
+    let spec_fields = |world: &str, spec: &WorldSpec, fields: &mut Vec<(&str, Json)>| {
+        fields.push(("world", Json::Str(world.to_string())));
+        fields.push(("seed", Json::Str(spec.seed.to_string())));
+        fields.push(("extended", Json::Bool(spec.extended)));
+        fields.push(("cache", Json::Num(spec.cache_capacity as f64)));
+    };
     match admin {
-        AdminRequest::Load { world, spec } | AdminRequest::Swap { world, spec } => {
-            let cmd = if matches!(admin, AdminRequest::Load { .. }) {
-                "world.load"
-            } else {
-                "world.swap"
-            };
-            fields.push(("cmd", Json::Str(cmd.into())));
-            fields.push(("world", Json::Str(world.clone())));
-            fields.push(("seed", Json::Str(spec.seed.to_string())));
-            fields.push(("extended", Json::Bool(spec.extended)));
-            fields.push(("cache", Json::Num(spec.cache_capacity as f64)));
+        AdminRequest::Load {
+            world,
+            spec,
+            background,
+        } => {
+            fields.push(("cmd", Json::Str("world.load".into())));
+            spec_fields(world, spec, &mut fields);
+            if *background {
+                fields.push(("background", Json::Bool(true)));
+            }
+        }
+        AdminRequest::Swap { world, spec, warm } => {
+            fields.push(("cmd", Json::Str("world.swap".into())));
+            spec_fields(world, spec, &mut fields);
+            fields.push(("warm", Json::Num(*warm as f64)));
         }
         AdminRequest::Evict { world } => {
             fields.push(("cmd", Json::Str("world.evict".into())));
@@ -599,10 +703,36 @@ fn encode_admin_request(id: u64, admin: &AdminRequest) -> String {
     obj(fields).encode()
 }
 
-/// Decodes one request line. Lines without a `cmd` field (or with
-/// `cmd: "query"`) are query requests; everything else is an admin
-/// command.
+/// Defaults applied to request fields the client left unset. The
+/// protocol-level defaults ([`RequestDefaults::default`]) match the
+/// paper's fixed configuration; a server substitutes its own (from
+/// `biorank serve --estimator/--adaptive-*`) via
+/// [`decode_request_with`], so the result-cache key always reflects
+/// what actually executes.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RequestDefaults {
+    /// Trial policy for query lines without a `trials` field.
+    pub trials: Trials,
+}
+
+impl Default for RequestDefaults {
+    fn default() -> Self {
+        RequestDefaults {
+            trials: Trials::Fixed(RankerSpec::DEFAULT_TRIALS),
+        }
+    }
+}
+
+/// Decodes one request line with the protocol-level defaults. Lines
+/// without a `cmd` field (or with `cmd: "query"`) are query requests;
+/// everything else is an admin command.
 pub fn decode_request(line: &str) -> Result<Request, WireError> {
+    decode_request_with(line, &RequestDefaults::default())
+}
+
+/// Decodes one request line, filling unset fields from `defaults`
+/// (the server's configured policies).
+pub fn decode_request_with(line: &str, defaults: &RequestDefaults) -> Result<Request, WireError> {
     let Json::Obj(fields) = Json::parse(line)? else {
         return Err(wire_err("request must be a JSON object"));
     };
@@ -615,14 +745,31 @@ pub fn decode_request(line: &str) -> Result<Request, WireError> {
             .ok_or_else(|| wire_err("field \"cmd\" must be a string"))?,
     };
     let body = match cmd.as_str() {
-        "query" => RequestBody::Query(decode_query_body(&fields)?),
+        "query" => RequestBody::Query(decode_query_body(&fields, defaults)?),
         "world.load" => RequestBody::Admin(AdminRequest::Load {
             world: get_str(&fields, "world")?,
             spec: decode_world_spec(&fields)?,
+            background: fields
+                .get("background")
+                .map(|v| {
+                    v.as_bool()
+                        .ok_or_else(|| wire_err("field \"background\" must be a boolean"))
+                })
+                .transpose()?
+                .unwrap_or(false),
         }),
         "world.swap" => RequestBody::Admin(AdminRequest::Swap {
             world: get_str(&fields, "world")?,
             spec: decode_world_spec(&fields)?,
+            warm: fields
+                .get("warm")
+                .map(|v| {
+                    v.as_u64()
+                        .map(|w| w as usize)
+                        .ok_or_else(|| wire_err("field \"warm\" must be a non-negative integer"))
+                })
+                .transpose()?
+                .unwrap_or(DEFAULT_SWAP_WARM),
         }),
         "world.evict" => RequestBody::Admin(AdminRequest::Evict {
             world: get_str(&fields, "world")?,
@@ -680,7 +827,10 @@ fn decode_seed(v: &Json) -> Result<u64, WireError> {
     }
 }
 
-fn decode_query_body(fields: &BTreeMap<String, Json>) -> Result<QueryRequest, WireError> {
+fn decode_query_body(
+    fields: &BTreeMap<String, Json>,
+    defaults: &RequestDefaults,
+) -> Result<QueryRequest, WireError> {
     let outputs = match get(fields, "outputs")? {
         Json::Arr(items) => items
             .iter()
@@ -697,13 +847,9 @@ fn decode_query_body(fields: &BTreeMap<String, Json>) -> Result<QueryRequest, Wi
         Method::parse(&method).ok_or_else(|| wire_err(format!("unknown method {method:?}")))?;
     let trials = fields
         .get("trials")
-        .map(|v| {
-            v.as_u64()
-                .and_then(|t| u32::try_from(t).ok())
-                .ok_or_else(|| wire_err("field \"trials\" must fit in u32"))
-        })
+        .map(decode_trials)
         .transpose()?
-        .unwrap_or(RankerSpec::DEFAULT_TRIALS);
+        .unwrap_or(defaults.trials);
     let seed = fields
         .get("seed")
         .map(decode_seed)
@@ -763,32 +909,46 @@ fn decode_query_body(fields: &BTreeMap<String, Json>) -> Result<QueryRequest, Wi
 /// Encodes a response as one JSON line (no trailing newline).
 pub fn encode_response(r: &Response) -> String {
     match &r.outcome {
-        Ok(ResponseBody::Query(resp)) => obj(vec![
-            ("id", Json::Num(r.id as f64)),
-            ("ok", Json::Bool(true)),
-            ("total", Json::Num(resp.total_answers as f64)),
-            ("cached_graph", Json::Bool(resp.cached_graph)),
-            ("cached_scores", Json::Bool(resp.cached_scores)),
-            ("micros", Json::Num(resp.micros as f64)),
-            (
-                "answers",
-                Json::Arr(
-                    resp.answers
-                        .iter()
-                        .map(|a| {
-                            obj(vec![
-                                ("key", Json::Str(a.key.clone())),
-                                ("label", Json::Str(a.label.clone())),
-                                ("score", Json::Num(a.score)),
-                                ("rank_lo", Json::Num(a.rank_lo as f64)),
-                                ("rank_hi", Json::Num(a.rank_hi as f64)),
-                            ])
-                        })
-                        .collect(),
+        Ok(ResponseBody::Query(resp)) => {
+            let mut fields = vec![
+                ("id", Json::Num(r.id as f64)),
+                ("ok", Json::Bool(true)),
+                ("total", Json::Num(resp.total_answers as f64)),
+                ("cached_graph", Json::Bool(resp.cached_graph)),
+                ("cached_scores", Json::Bool(resp.cached_scores)),
+                ("micros", Json::Num(resp.micros as f64)),
+                (
+                    "answers",
+                    Json::Arr(
+                        resp.answers
+                            .iter()
+                            .map(|a| {
+                                obj(vec![
+                                    ("key", Json::Str(a.key.clone())),
+                                    ("label", Json::Str(a.label.clone())),
+                                    ("score", Json::Num(a.score)),
+                                    ("rank_lo", Json::Num(a.rank_lo as f64)),
+                                    ("rank_hi", Json::Num(a.rank_hi as f64)),
+                                ])
+                            })
+                            .collect(),
+                    ),
                 ),
-            ),
-        ])
-        .encode(),
+            ];
+            if let Some(cert) = &resp.certificate {
+                fields.push((
+                    "certificate",
+                    obj(vec![
+                        ("trials_used", Json::Num(f64::from(cert.trials_used))),
+                        // Scores round-trip bit-exactly, so the
+                        // certified ε does too.
+                        ("epsilon", Json::Num(cert.epsilon)),
+                        ("certified", Json::Bool(cert.certified)),
+                    ]),
+                ));
+            }
+            obj(fields).encode()
+        }
         Ok(ResponseBody::Admin(admin)) => encode_admin_response(r.id, admin),
         Err(msg) => obj(vec![
             ("id", Json::Num(r.id as f64)),
@@ -834,6 +994,10 @@ fn encode_admin_response(id: u64, admin: &AdminResponse) -> String {
             fields.push(("world", Json::Str(world.clone())));
             fields.push(("generation", Json::Num(*generation as f64)));
         }
+        AdminResponse::Loading { world } => {
+            fields.push(("world", Json::Str(world.clone())));
+            fields.push(("status", Json::Str("loading".into())));
+        }
         AdminResponse::List(worlds) => {
             fields.push((
                 "worlds",
@@ -844,6 +1008,7 @@ fn encode_admin_response(id: u64, admin: &AdminResponse) -> String {
                             let mut f = vec![
                                 ("world", Json::Str(w.name.clone())),
                                 ("generation", Json::Num(w.generation as f64)),
+                                ("state", Json::Str(w.state.wire_name().into())),
                             ];
                             encode_world_spec_fields(&w.spec, &mut f);
                             obj(f)
@@ -905,6 +1070,13 @@ pub fn decode_response(line: &str) -> Result<Response, WireError> {
         ResponseBody::Admin(AdminResponse::List(decode_world_list(&fields)?))
     } else if fields.contains_key("stats") {
         ResponseBody::Admin(AdminResponse::Stats(decode_service_stats(&fields)?))
+    } else if fields.contains_key("status") {
+        match get_str(&fields, "status")?.as_str() {
+            "loading" => ResponseBody::Admin(AdminResponse::Loading {
+                world: get_str(&fields, "world")?,
+            }),
+            other => return Err(wire_err(format!("unknown status {other:?}"))),
+        }
     } else if fields.contains_key("world") {
         ResponseBody::Admin(AdminResponse::World {
             world: get_str(&fields, "world")?,
@@ -940,9 +1112,29 @@ fn decode_query_response(fields: &BTreeMap<String, Json>) -> Result<QueryRespons
             .collect::<Result<Vec<_>, _>>()?,
         _ => return Err(wire_err("field \"answers\" must be an array")),
     };
+    let certificate = fields
+        .get("certificate")
+        .map(|v| {
+            let Json::Obj(f) = v else {
+                return Err(wire_err("field \"certificate\" must be an object"));
+            };
+            Ok(Certificate {
+                trials_used: get_u64(f, "trials_used")?
+                    .try_into()
+                    .map_err(|_| wire_err("field \"trials_used\" must fit in u32"))?,
+                epsilon: get(f, "epsilon")?
+                    .as_f64()
+                    .ok_or_else(|| wire_err("field \"epsilon\" must be a number"))?,
+                certified: get(f, "certified")?
+                    .as_bool()
+                    .ok_or_else(|| wire_err("field \"certified\" must be a boolean"))?,
+            })
+        })
+        .transpose()?;
     Ok(QueryResponse {
         answers,
         total_answers: get_u64(fields, "total")? as usize,
+        certificate,
         cached_graph: get(fields, "cached_graph")?
             .as_bool()
             .ok_or_else(|| wire_err("field \"cached_graph\" must be a boolean"))?,
@@ -963,10 +1155,20 @@ fn decode_world_list(fields: &BTreeMap<String, Json>) -> Result<Vec<WorldInfo>, 
             let Json::Obj(f) = item else {
                 return Err(wire_err("worlds must be objects"));
             };
+            let state = f
+                .get("state")
+                .map(|v| {
+                    v.as_str()
+                        .and_then(WorldState::parse)
+                        .ok_or_else(|| wire_err("field \"state\" must be \"ready\" or \"loading\""))
+                })
+                .transpose()?
+                .unwrap_or_default();
             Ok(WorldInfo {
                 name: get_str(f, "world")?,
                 spec: decode_world_spec(f)?,
                 generation: get_u64(f, "generation")?,
+                state,
             })
         })
         .collect()
@@ -1085,7 +1287,7 @@ mod tests {
                 query: ExploratoryQuery::protein_functions("GALT"),
                 spec: RankerSpec {
                     method: Method::Reliability,
-                    trials: 1000,
+                    trials: Trials::Fixed(1000),
                     seed: 42,
                     parallel: false,
                     estimator: None,
@@ -1107,7 +1309,7 @@ mod tests {
                     query: ExploratoryQuery::protein_functions("CFTR"),
                     spec: RankerSpec {
                         method: Method::TraversalMc,
-                        trials: 100,
+                        trials: Trials::Fixed(100),
                         seed: 9,
                         parallel: true,
                         estimator,
@@ -1121,6 +1323,78 @@ mod tests {
     }
 
     #[test]
+    fn adaptive_trials_roundtrip_and_default() {
+        // The adaptive policy object survives the wire bit-exactly.
+        let r = Request {
+            id: 9,
+            body: RequestBody::Query(QueryRequest {
+                query: ExploratoryQuery::protein_functions("GALT"),
+                spec: RankerSpec {
+                    method: Method::TraversalMc,
+                    trials: Trials::Adaptive(AdaptiveConfig {
+                        epsilon: 1.0 / 3.0,
+                        delta: 0.01,
+                        max_trials: 20_000,
+                    }),
+                    seed: 42,
+                    parallel: false,
+                    estimator: Some(Estimator::Word),
+                },
+                top: None,
+                world: None,
+            }),
+        };
+        assert_eq!(decode_request(&encode_request(&r)).unwrap(), r);
+
+        // Absent adaptive fields default to the paper's parameters.
+        let line = "{\"id\":1,\"input\":\"A\",\"attribute\":\"x\",\"value\":\"v\",\
+                    \"outputs\":[\"B\"],\"method\":\"mc\",\"trials\":{}}";
+        let q = decode_request(line).unwrap();
+        assert_eq!(
+            query_of(&q).spec.trials,
+            Trials::Adaptive(AdaptiveConfig::default())
+        );
+        // Partial objects keep what they set.
+        let line = "{\"id\":1,\"input\":\"A\",\"attribute\":\"x\",\"value\":\"v\",\
+                    \"outputs\":[\"B\"],\"method\":\"mc\",\
+                    \"trials\":{\"epsilon\":0.1,\"max\":500}}";
+        let q = decode_request(line).unwrap();
+        assert_eq!(
+            query_of(&q).spec.trials,
+            Trials::Adaptive(AdaptiveConfig {
+                epsilon: 0.1,
+                delta: 0.05,
+                max_trials: 500,
+            })
+        );
+        // Garbage is rejected.
+        for bad in [
+            "{\"id\":1,\"input\":\"A\",\"attribute\":\"x\",\"value\":\"v\",\
+             \"outputs\":[\"B\"],\"method\":\"mc\",\"trials\":\"lots\"}",
+            "{\"id\":1,\"input\":\"A\",\"attribute\":\"x\",\"value\":\"v\",\
+             \"outputs\":[\"B\"],\"method\":\"mc\",\"trials\":{\"epsilon\":\"x\"}}",
+        ] {
+            assert!(decode_request(bad).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn server_defaults_apply_to_unset_trials_only() {
+        let adaptive = RequestDefaults {
+            trials: Trials::Adaptive(AdaptiveConfig::default()),
+        };
+        let unset = "{\"id\":1,\"input\":\"A\",\"attribute\":\"x\",\"value\":\"v\",\
+                     \"outputs\":[\"B\"],\"method\":\"mc\"}";
+        let q = decode_request_with(unset, &adaptive).unwrap();
+        assert_eq!(query_of(&q).spec.trials, adaptive.trials);
+        // An explicit fixed count always wins over the house policy.
+        let explicit = "{\"id\":1,\"input\":\"A\",\"attribute\":\"x\",\"value\":\"v\",\
+                        \"outputs\":[\"B\"],\"method\":\"mc\",\"trials\":77}";
+        let q = decode_request_with(explicit, &adaptive).unwrap();
+        assert_eq!(query_of(&q).spec.trials, Trials::Fixed(77));
+    }
+
+    #[test]
     fn admin_request_roundtrip() {
         for admin in [
             AdminRequest::Load {
@@ -1130,10 +1404,22 @@ mod tests {
                     extended: true,
                     cache_capacity: 64,
                 },
+                background: false,
+            },
+            AdminRequest::Load {
+                world: "staging".into(),
+                spec: WorldSpec::default(),
+                background: true,
             },
             AdminRequest::Swap {
                 world: "staging".into(),
                 spec: WorldSpec::default(),
+                warm: 0,
+            },
+            AdminRequest::Swap {
+                world: "staging".into(),
+                spec: WorldSpec::default(),
+                warm: 32,
             },
             AdminRequest::Evict {
                 world: "staging".into(),
@@ -1147,16 +1433,40 @@ mod tests {
             };
             assert_eq!(decode_request(&encode_request(&r)).unwrap(), r);
         }
-        // Spec fields default when omitted.
+        // Spec fields default when omitted; loads default to
+        // foreground, swaps to the default warm-up count.
         let r = decode_request("{\"id\":1,\"cmd\":\"world.load\",\"world\":\"w\"}").unwrap();
         assert_eq!(
             r.body,
             RequestBody::Admin(AdminRequest::Load {
                 world: "w".into(),
                 spec: WorldSpec::default(),
+                background: false,
+            })
+        );
+        let r = decode_request("{\"id\":1,\"cmd\":\"world.swap\",\"world\":\"w\"}").unwrap();
+        assert_eq!(
+            r.body,
+            RequestBody::Admin(AdminRequest::Swap {
+                world: "w".into(),
+                spec: WorldSpec::default(),
+                warm: DEFAULT_SWAP_WARM,
             })
         );
         assert!(decode_request("{\"id\":1,\"cmd\":\"world.revolve\"}").is_err());
+    }
+
+    #[test]
+    fn loading_response_roundtrip() {
+        let loading = Response {
+            id: 5,
+            outcome: Ok(ResponseBody::Admin(AdminResponse::Loading {
+                world: "staging".into(),
+            })),
+        };
+        let line = encode_response(&loading);
+        assert!(line.contains("\"status\":\"loading\""), "{line}");
+        assert_eq!(decode_response(&line).unwrap(), loading);
     }
 
     #[test]
@@ -1172,11 +1482,20 @@ mod tests {
 
         let list = Response {
             id: 2,
-            outcome: Ok(ResponseBody::Admin(AdminResponse::List(vec![WorldInfo {
-                name: "default".into(),
-                spec: WorldSpec::default(),
-                generation: 1,
-            }]))),
+            outcome: Ok(ResponseBody::Admin(AdminResponse::List(vec![
+                WorldInfo {
+                    name: "default".into(),
+                    spec: WorldSpec::default(),
+                    generation: 1,
+                    state: WorldState::Ready,
+                },
+                WorldInfo {
+                    name: "staging".into(),
+                    spec: WorldSpec::default(),
+                    generation: 0,
+                    state: WorldState::Loading,
+                },
+            ]))),
         };
         assert_eq!(decode_response(&encode_response(&list)).unwrap(), list);
 
@@ -1210,7 +1529,7 @@ mod tests {
                 query: ExploratoryQuery::protein_functions("GALT"),
                 spec: RankerSpec {
                     method: Method::TraversalMc,
-                    trials: 10,
+                    trials: Trials::Fixed(10),
                     seed: (1u64 << 60) + 1,
                     parallel: false,
                     estimator: None,
@@ -1239,7 +1558,7 @@ mod tests {
                     \"value\":\"GALT\",\"outputs\":[\"AmiGO\"],\"method\":\"pathc\"}";
         let r = decode_request(line).unwrap();
         let q = query_of(&r);
-        assert_eq!(q.spec.trials, RankerSpec::DEFAULT_TRIALS);
+        assert_eq!(q.spec.trials, Trials::Fixed(RankerSpec::DEFAULT_TRIALS));
         assert_eq!(q.spec.seed, RankerSpec::DEFAULT_SEED);
         assert!(!q.spec.parallel);
         assert_eq!(q.spec.estimator, None);
@@ -1271,18 +1590,49 @@ mod tests {
                     rank_hi: 2,
                 }],
                 total_answers: 15,
+                certificate: None,
                 cached_graph: true,
                 cached_scores: false,
                 micros: 812,
             })),
         };
         let line = encode_response(&resp);
+        assert!(!line.contains("certificate"), "{line}");
         assert_eq!(decode_response(&line).unwrap(), resp);
         let err = Response {
             id: 4,
             outcome: Err("no records in EntrezProtein match \"NOPE\"".into()),
         };
         assert_eq!(decode_response(&encode_response(&err)).unwrap(), err);
+    }
+
+    #[test]
+    fn certificate_roundtrips_bit_exactly() {
+        let resp = Response {
+            id: 6,
+            outcome: Ok(ResponseBody::Query(QueryResponse {
+                answers: vec![],
+                total_answers: 0,
+                certificate: Some(Certificate {
+                    trials_used: 448,
+                    epsilon: 0.08839224356,
+                    certified: true,
+                }),
+                cached_graph: false,
+                cached_scores: true,
+                micros: 12,
+            })),
+        };
+        let line = encode_response(&resp);
+        let back = decode_response(&line).unwrap();
+        let Ok(ResponseBody::Query(q)) = &back.outcome else {
+            panic!("not a query response: {line}");
+        };
+        let cert = q.certificate.expect("certificate survives the wire");
+        assert_eq!(cert.trials_used, 448);
+        assert_eq!(cert.epsilon.to_bits(), 0.08839224356f64.to_bits());
+        assert!(cert.certified);
+        assert_eq!(back, resp);
     }
 
     #[test]

@@ -25,6 +25,12 @@ cargo test -q
 echo "==> cargo test -q --test service_tenancy"
 cargo test -q --test service_tenancy
 
+# Smoke the adaptive trial policy over the wire: an `mc` query with an
+# adaptive `trials` object must certify under the fixed budget and
+# echo its certificate through a real client connection.
+echo "==> cargo test -q --test service_adaptive"
+cargo test -q --test service_adaptive
+
 # Smoke the perf-trajectory recorder: the word-parallel MC bench must
 # run and produce parseable JSON lines (quick sampling, temp output —
 # BENCH_mc.json itself is only appended by deliberate local runs).

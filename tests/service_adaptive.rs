@@ -1,0 +1,167 @@
+//! Adaptive trials end to end over the wire: an `mc` query carrying an
+//! adaptive policy must certify with measurably fewer trials than the
+//! fixed default, echo its certificate (including on cache hits), keep
+//! distinct result-cache keys from fixed-trial requests, and honor a
+//! server-level adaptive default for requests that omit `trials`.
+
+use std::sync::Arc;
+
+use biorank::mediator::Mediator;
+use biorank::prelude::*;
+use biorank::rank::bounds;
+use biorank::service::{
+    AdaptiveConfig, Client, Estimator, Method, QueryEngine, RankerSpec, ServeOptions, Server,
+    ServerHandle, Trials,
+};
+
+fn start_server(opts: ServeOptions) -> ServerHandle {
+    let world = World::generate(WorldParams::default());
+    let mediator = Mediator::new(biorank_schema_with_ontology().schema, world.registry());
+    let engine = Arc::new(QueryEngine::new(mediator));
+    let server = Server::bind("127.0.0.1:0", engine, opts).expect("bind ephemeral");
+    let handle = server.handle().expect("server handle");
+    std::thread::spawn(move || server.run().expect("server run"));
+    handle
+}
+
+fn spec(trials: Trials, estimator: Option<Estimator>) -> RankerSpec {
+    RankerSpec {
+        method: Method::TraversalMc,
+        trials,
+        seed: 11,
+        parallel: false,
+        estimator,
+    }
+}
+
+#[test]
+fn adaptive_query_certifies_under_the_fixed_budget_and_echoes_certificate() {
+    let handle = start_server(ServeOptions::default());
+    let mut client = Client::connect(handle.addr()).expect("connect");
+
+    let adaptive = Trials::Adaptive(AdaptiveConfig::default());
+    for estimator in [Some(Estimator::Word), Some(Estimator::Traversal)] {
+        let response = client
+            .protein_functions("GALT", spec(adaptive, estimator))
+            .expect("adaptive query");
+        let cert = response
+            .certificate
+            .expect("adaptive responses carry a certificate");
+        assert!(cert.certified, "{cert:?}");
+        assert!(
+            cert.trials_used < RankerSpec::DEFAULT_TRIALS,
+            "adaptive must beat the fixed 10k baseline, used {}",
+            cert.trials_used
+        );
+        // The echoed ε is exactly the Theorem 3.1 inversion of the
+        // trials spent — the bound and the certificate agree.
+        let expect = bounds::resolvable_epsilon(u64::from(cert.trials_used), 0.05).unwrap();
+        assert_eq!(cert.epsilon.to_bits(), expect.to_bits());
+
+        // A repeat is a cache hit and echoes the SAME certificate.
+        let warm = client
+            .protein_functions("GALT", spec(adaptive, estimator))
+            .expect("warm adaptive query");
+        assert!(warm.cached_scores);
+        assert_eq!(warm.certificate, response.certificate);
+        assert_eq!(warm.answers, response.answers);
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn adaptive_and_fixed_requests_never_share_cache_entries() {
+    let handle = start_server(ServeOptions::default());
+    let mut client = Client::connect(handle.addr()).expect("connect");
+
+    let adaptive = Trials::Adaptive(AdaptiveConfig::default());
+    let word = Some(Estimator::Word);
+    let a = client
+        .protein_functions("CFTR", spec(adaptive, word))
+        .expect("adaptive");
+    assert!(!a.cached_scores);
+
+    // Same query, fixed trials: graph layer shared, ranking recomputed
+    // — an adaptive (early-stopped) ranking must never answer a
+    // fixed-trial request.
+    let f = client
+        .protein_functions("CFTR", spec(Trials::Fixed(10_000), word))
+        .expect("fixed");
+    assert!(f.cached_graph, "integration is shared");
+    assert!(!f.cached_scores, "no adaptive→fixed cache hits");
+    assert_eq!(f.certificate, None, "fixed runs carry no certificate");
+
+    // A different (ε, δ) policy is a different schedule: own entry.
+    let tighter = Trials::Adaptive(AdaptiveConfig {
+        epsilon: 0.01,
+        ..AdaptiveConfig::default()
+    });
+    let t = client
+        .protein_functions("CFTR", spec(tighter, word))
+        .expect("tighter adaptive");
+    assert!(!t.cached_scores, "no cross-policy cache hits");
+
+    handle.shutdown();
+}
+
+#[test]
+fn server_adaptive_default_applies_to_requests_without_trials() {
+    use std::io::{BufRead, BufReader, Write};
+    use std::net::TcpStream;
+
+    let handle = start_server(ServeOptions {
+        default_trials: Trials::Adaptive(AdaptiveConfig::default()),
+        ..ServeOptions::default()
+    });
+
+    // A hand-written line with no `trials` field takes the server's
+    // adaptive default and comes back certified.
+    let stream = TcpStream::connect(handle.addr()).expect("connect raw");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    (&stream)
+        .write_all(
+            b"{\"id\":1,\"input\":\"EntrezProtein\",\"attribute\":\"name\",\
+              \"value\":\"GALT\",\"outputs\":[\"AmiGO\"],\"method\":\"mc\"}\n",
+        )
+        .expect("write");
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("read");
+    assert!(
+        line.contains("\"certificate\"") && line.contains("\"certified\":true"),
+        "server default should run adaptively: {line}"
+    );
+
+    // An explicit fixed-trial request on the same server stays fixed.
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    let fixed = client
+        .protein_functions("GALT", spec(Trials::Fixed(400), None))
+        .expect("fixed");
+    assert_eq!(fixed.certificate, None);
+
+    handle.shutdown();
+}
+
+#[test]
+fn adaptive_reliability_method_certifies_too() {
+    // The rel method (reduction + MC) rides the same incremental
+    // contract: reduce once, then bound-certified traversal batches.
+    let handle = start_server(ServeOptions::default());
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    let response = client
+        .protein_functions(
+            "GALT",
+            RankerSpec {
+                method: Method::Reliability,
+                trials: Trials::Adaptive(AdaptiveConfig::default()),
+                seed: 11,
+                parallel: false,
+                estimator: None,
+            },
+        )
+        .expect("adaptive rel query");
+    let cert = response.certificate.expect("certificate");
+    assert!(cert.certified);
+    assert!(cert.trials_used < RankerSpec::DEFAULT_TRIALS);
+    assert_eq!(response.total_answers, 15, "Table 1: GALT → 15");
+    handle.shutdown();
+}

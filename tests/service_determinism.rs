@@ -7,7 +7,7 @@ use std::sync::Arc;
 
 use biorank::mediator::Mediator;
 use biorank::prelude::*;
-use biorank::service::{Method, QueryEngine, QueryRequest, RankerSpec, WorkerPool};
+use biorank::service::{Method, QueryEngine, QueryRequest, RankerSpec, Trials, WorkerPool};
 
 fn engine() -> Arc<QueryEngine> {
     let world = World::generate(WorldParams::default());
@@ -36,7 +36,7 @@ fn batch() -> Vec<QueryRequest> {
                 query: ExploratoryQuery::protein_functions(protein),
                 spec: RankerSpec {
                     method,
-                    trials: 500,
+                    trials: Trials::Fixed(500),
                     seed: 7 + (i % 2) as u64,
                     parallel: false,
                     estimator: None,
@@ -149,7 +149,7 @@ fn parallel_mc_is_bit_identical_to_sequential_chunk_execution() {
 fn parallel_request_flag_is_deterministic_and_cache_coherent() {
     let spec = RankerSpec {
         method: Method::TraversalMc,
-        trials: 400,
+        trials: Trials::Fixed(400),
         seed: 5,
         parallel: true,
         estimator: None,
@@ -190,7 +190,7 @@ fn parallel_request_flag_is_deterministic_and_cache_coherent() {
             "EYA1",
             RankerSpec {
                 method: Method::InEdge,
-                trials: 1,
+                trials: Trials::Fixed(1),
                 seed: 0,
                 parallel,
                 estimator: None,
@@ -209,14 +209,14 @@ fn distinct_seeds_change_stochastic_rankings_only() {
     let eng = engine();
     let spec_a = RankerSpec {
         method: Method::TraversalMc,
-        trials: 50,
+        trials: Trials::Fixed(50),
         seed: 1,
         parallel: false,
         estimator: None,
     };
     let spec_b = RankerSpec {
         method: Method::TraversalMc,
-        trials: 50,
+        trials: Trials::Fixed(50),
         seed: 2,
         parallel: false,
         estimator: None,
@@ -239,7 +239,7 @@ fn distinct_seeds_change_stochastic_rankings_only() {
             "ABCC8",
             RankerSpec {
                 method: Method::PathCount,
-                trials: 50,
+                trials: Trials::Fixed(50),
                 seed,
                 parallel: false,
                 estimator: None,

@@ -12,6 +12,7 @@ use biorank::mediator::Mediator;
 use biorank::prelude::*;
 use biorank::service::{
     Client, Method, QueryEngine, QueryRequest, RankerSpec, ServeOptions, Server, ServerHandle,
+    Trials,
 };
 
 fn start_server(workers: usize) -> ServerHandle {
@@ -39,7 +40,7 @@ fn galt_answers_fifteen_ranked_functions_and_caches_repeats() {
 
     let spec = RankerSpec {
         method: Method::Reliability,
-        trials: 1_000,
+        trials: Trials::Fixed(1_000),
         seed: 42,
         parallel: false,
         estimator: None,
@@ -72,7 +73,7 @@ fn pipelined_batches_and_separate_connections_agree() {
     let handle = start_server(4);
     let spec = RankerSpec {
         method: Method::TraversalMc,
-        trials: 300,
+        trials: Trials::Fixed(300),
         seed: 9,
         parallel: false,
         estimator: None,
@@ -165,7 +166,7 @@ fn concurrent_clients_all_get_correct_answers() {
                 for (protein, count) in expected {
                     let spec = RankerSpec {
                         method: Method::InEdge,
-                        trials: 1,
+                        trials: Trials::Fixed(1),
                         seed: t as u64, // deterministic method: seed irrelevant
                         parallel: false,
                         estimator: None,

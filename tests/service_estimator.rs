@@ -11,7 +11,7 @@ use biorank::mediator::Mediator;
 use biorank::prelude::*;
 use biorank::service::{
     Client, Estimator, Method, QueryEngine, QueryRequest, RankerSpec, ServeOptions, Server,
-    ServerHandle,
+    ServerHandle, Trials,
 };
 
 fn start_server(default_estimator: Estimator) -> ServerHandle {
@@ -24,6 +24,7 @@ fn start_server(default_estimator: Estimator) -> ServerHandle {
         ServeOptions {
             workers: 2,
             default_estimator,
+            ..Default::default()
         },
     )
     .expect("bind ephemeral");
@@ -35,7 +36,7 @@ fn start_server(default_estimator: Estimator) -> ServerHandle {
 fn mc_spec(estimator: Option<Estimator>) -> RankerSpec {
     RankerSpec {
         method: Method::TraversalMc,
-        trials: 400,
+        trials: Trials::Fixed(400),
         seed: 11,
         parallel: false,
         estimator,

@@ -7,8 +7,8 @@
 use std::sync::Arc;
 
 use biorank::service::{
-    Client, Method, QueryRequest, RankerSpec, ServeOptions, Server, ServerHandle, WorldManager,
-    WorldSpec, DEFAULT_WORLD,
+    Client, Method, QueryRequest, RankerSpec, ServeOptions, Server, ServerHandle, Trials,
+    WorldManager, WorldSpec, DEFAULT_WORLD,
 };
 
 fn spec_with_seed(seed: u64) -> WorldSpec {
@@ -42,7 +42,7 @@ fn galt(world: Option<&str>) -> QueryRequest {
         "GALT",
         RankerSpec {
             method: Method::Reliability,
-            trials: 300,
+            trials: Trials::Fixed(300),
             seed: 11,
             parallel: false,
             estimator: None,
@@ -137,10 +137,13 @@ fn swap_invalidates_both_cache_layers() {
     );
     assert_eq!(warm.answers, cold.answers);
 
-    // Swap to the *same* spec: the data is identical, but the caches
-    // must not be — the very same query recomputes from scratch.
+    // Swap to the *same* spec with warm-up disabled (`warm: 0`): the
+    // data is identical, but the caches must not be — the very same
+    // query recomputes from scratch. (Default swaps replay the hottest
+    // keys into the fresh engine; that replay is itself a fresh
+    // computation, which `swap_warmup_replays_fresh_values` pins.)
     let g2 = client
-        .world_swap("live", spec_with_seed(0xA11CE))
+        .world_swap_warm("live", spec_with_seed(0xA11CE), 0)
         .expect("swap");
     assert!(g2 > g1, "swap must bump the generation");
     let post_swap = client.query(&galt(Some("live"))).expect("post-swap");
@@ -155,7 +158,7 @@ fn swap_invalidates_both_cache_layers() {
 
     // Swap to a different seed: fresh results, not the old world's.
     client
-        .world_swap("live", spec_with_seed(0xB0B))
+        .world_swap_warm("live", spec_with_seed(0xB0B), 0)
         .expect("swap data");
     let other_world = client.query(&galt(Some("live"))).expect("new data");
     assert!(!other_world.cached_scores);
@@ -185,7 +188,7 @@ fn concurrent_clients_on_distinct_worlds_are_deterministic() {
             "CFTR",
             RankerSpec {
                 method: Method::TraversalMc,
-                trials: 200,
+                trials: Trials::Fixed(200),
                 seed: 3,
                 parallel: false,
                 estimator: None,
@@ -251,9 +254,11 @@ fn pipelined_swap_is_a_barrier_between_queries() {
              \"trials\":300,\"seed\":\"11\",\"world\":\"live\"}}"
         )
     };
-    // One write, three pipelined lines: cached query, swap, query.
+    // One write, three pipelined lines: cached query, swap (with
+    // warm-up off, so the post-swap cold recompute is observable),
+    // query.
     let burst = format!(
-        "{}\n{{\"id\":2,\"cmd\":\"world.swap\",\"world\":\"live\",\"seed\":\"7\"}}\n{}\n",
+        "{}\n{{\"id\":2,\"cmd\":\"world.swap\",\"world\":\"live\",\"seed\":\"7\",\"warm\":0}}\n{}\n",
         query_line(1),
         query_line(3)
     );
@@ -303,6 +308,110 @@ fn lru_eviction_respects_budget_over_the_wire() {
     assert!(client.query(&galt(Some("b"))).is_ok());
     // The pinned default keeps serving throughout.
     assert!(client.query(&galt(None)).is_ok());
+
+    handle.shutdown();
+}
+
+/// Default swaps replay the replaced engine's hottest cached queries
+/// into the fresh engine before install: the hot query stays a cache
+/// hit across the swap, but its value is the NEW world's — warm-up can
+/// never resurrect a pre-swap answer.
+#[test]
+fn swap_warmup_replays_fresh_values() {
+    let handle = start_server(4, 2);
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    client
+        .world_load("live", spec_with_seed(0xAA))
+        .expect("load");
+
+    // Make GALT the hot key of the outgoing engine.
+    let before = client.query(&galt(Some("live"))).expect("hot query");
+    assert!(
+        client
+            .query(&galt(Some("live")))
+            .expect("warm repeat")
+            .cached_scores
+    );
+
+    // Default swap (warm-up on) to a *different* world seed.
+    client
+        .world_swap("live", spec_with_seed(0xBB))
+        .expect("swap");
+    let after = client.query(&galt(Some("live"))).expect("post-swap");
+    assert!(
+        after.cached_scores,
+        "the hot query must not fall off a latency cliff after the swap"
+    );
+    let scores =
+        |r: &biorank::service::QueryResponse| r.answers.iter().map(|a| a.score).collect::<Vec<_>>();
+    assert_ne!(
+        scores(&after),
+        scores(&before),
+        "warmed entries are fresh computations on the new world, never replayed answers"
+    );
+
+    handle.shutdown();
+}
+
+/// `world.load` with `background: true` answers immediately, lists the
+/// world as `loading`, and installs it from a worker thread; queries
+/// routed to it fail with a dedicated error until then.
+#[test]
+fn background_load_over_the_wire() {
+    use biorank::service::WorldState;
+
+    let handle = start_server(4, 2);
+    let mut client = Client::connect(handle.addr()).expect("connect");
+
+    let started = client
+        .world_load_background("bg", spec_with_seed(0xCC))
+        .expect("accepted");
+    assert_eq!(started, None, "a fresh build is accepted, not resident");
+
+    // Either we catch the loading window (state listed, queries
+    // refused with "still loading") or the worker already finished —
+    // both are legal; what matters is the world eventually serves.
+    if let Some(info) = client
+        .world_list()
+        .expect("list")
+        .into_iter()
+        .find(|w| w.name == "bg")
+    {
+        if info.state == WorldState::Loading {
+            assert_eq!(info.generation, 0);
+            let err = client
+                .query(&galt(Some("bg")))
+                .expect_err("loading world refuses queries");
+            assert!(err.to_string().contains("loading"), "{err}");
+        }
+    }
+
+    let mut ready = false;
+    for _ in 0..600 {
+        let info = client
+            .world_list()
+            .expect("list")
+            .into_iter()
+            .find(|w| w.name == "bg");
+        if matches!(&info, Some(w) if w.state == WorldState::Ready) {
+            ready = true;
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    assert!(ready, "background load must eventually install the world");
+    assert_eq!(
+        client
+            .query(&galt(Some("bg")))
+            .expect("serves")
+            .total_answers,
+        15
+    );
+    // Re-issuing the background load now reports the live generation.
+    assert!(client
+        .world_load_background("bg", spec_with_seed(0xCC))
+        .expect("resident")
+        .is_some());
 
     handle.shutdown();
 }

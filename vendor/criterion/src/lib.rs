@@ -41,9 +41,22 @@ pub struct Bencher {
     samples: Vec<Duration>,
     iters_per_sample: u64,
     sample_count: usize,
+    metrics: Vec<(String, f64)>,
 }
 
 impl Bencher {
+    /// Attaches an extra numeric metric to this benchmark's report:
+    /// printed next to the timings and merged into the `BENCHJSON`
+    /// line (e.g. `trials_used` for adaptive Monte Carlo rows). An
+    /// extension over the real criterion API for the perf-trajectory
+    /// log; repeated keys keep the last value.
+    pub fn metric(&mut self, key: &str, value: f64) {
+        if let Some(slot) = self.metrics.iter_mut().find(|(k, _)| k == key) {
+            slot.1 = value;
+        } else {
+            self.metrics.push((key.to_string(), value));
+        }
+    }
     /// Runs `f` repeatedly and records per-iteration timings.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
         // Warm-up + calibration: target ~20ms per sample batch
@@ -80,8 +93,13 @@ impl Bencher {
             .iter()
             .map(per_iter)
             .fold(f64::INFINITY, f64::min);
+        let extras: String = self
+            .metrics
+            .iter()
+            .map(|(k, v)| format!("  {k} {v:.0}"))
+            .collect();
         println!(
-            "{id:<40} mean {:>12}  best {:>12}  ({} samples × {} iters)",
+            "{id:<40} mean {:>12}  best {:>12}  ({} samples × {} iters){extras}",
             fmt_time(mean),
             fmt_time(best),
             self.samples.len(),
@@ -89,9 +107,15 @@ impl Bencher {
         );
         if json_mode() {
             // Bench ids are ASCII identifiers with `/` separators, so
-            // no JSON string escaping is needed.
+            // no JSON string escaping is needed; metric keys are
+            // caller-chosen identifiers under the same convention.
+            let extras: String = self
+                .metrics
+                .iter()
+                .map(|(k, v)| format!(",\"{k}\":{v}"))
+                .collect();
             println!(
-                "BENCHJSON {{\"bench\":\"{id}\",\"ns_per_iter\":{:.0}}}",
+                "BENCHJSON {{\"bench\":\"{id}\",\"ns_per_iter\":{:.0}{extras}}}",
                 mean * 1e9
             );
         }
@@ -139,6 +163,7 @@ impl BenchmarkGroup<'_> {
             samples: Vec::new(),
             iters_per_sample: 1,
             sample_count: effective_samples(self.sample_size),
+            metrics: Vec::new(),
         };
         f(&mut b);
         b.report(&format!("{}/{id}", self.name));
@@ -186,6 +211,7 @@ impl Criterion {
             } else {
                 self.sample_size
             }),
+            metrics: Vec::new(),
         };
         f(&mut b);
         b.report(id);
