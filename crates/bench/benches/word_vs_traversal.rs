@@ -1,5 +1,5 @@
 //! Word-parallel vs per-trial Monte Carlo at equal trial counts, plus
-//! adaptive bound-certified rows.
+//! adaptive bound-certified rows — full and top-k.
 //!
 //! The acceptance artifact for the `WordMc` engine: on the paper's
 //! query graphs (the ABCC8 running example) and on a generated layered
@@ -9,19 +9,60 @@
 //! same engines under `AdaptiveRunner` at the paper's (ε = 0.02,
 //! δ = 0.05) with the fixed 10⁴ budget as ceiling, reporting
 //! **trials-to-certification** as a `trials_used` metric next to the
-//! timing. `scripts/bench.sh` records all rows per commit in
-//! `BENCH_mc.json`.
+//! timing. The `adaptive_topk_*_k{1,5,10}` rows restrict certification
+//! to the top-k prefix + boundary gap on the wide answer sets the
+//! feature targets (ABCC8: 97 answers; `workflow_wide`: 24) — their
+//! `trials_used` must sit strictly below the full-certification rows
+//! of the same graph. `scripts/bench.sh` records all rows per commit
+//! in `BENCH_mc.json`.
 
 use biorank_bench::abcc8_case;
 use biorank_graph::generate::{self, WorkflowParams};
-use biorank_rank::{AdaptiveRunner, NaiveMc, Ranker, TraversalMc, WordMc};
+use biorank_graph::QueryGraph;
+use biorank_rank::{AdaptiveRunner, Estimator, NaiveMc, Ranker, TraversalMc, WordMc};
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+
+/// One adaptive row: certified (optionally top-k) termination at the
+/// paper's (ε, δ) under the fixed 10⁴ ceiling, logging
+/// trials-to-certification.
+fn adaptive_row<E: Estimator + Copy>(
+    group: &mut criterion::BenchmarkGroup<'_>,
+    name: &str,
+    engine: E,
+    top_k: Option<usize>,
+    q: &QueryGraph,
+) {
+    group.bench_function(name, |b| {
+        let mut used = 0u32;
+        b.iter(|| {
+            let mut runner = AdaptiveRunner::new(engine, 0.02, 0.05);
+            if let Some(k) = top_k {
+                runner = runner.with_top_k(k);
+            }
+            let out = runner.run(black_box(q)).expect("adaptive scores");
+            used = out.certificate.trials_used;
+            out
+        });
+        b.metric("trials_used", f64::from(used));
+    });
+}
 
 fn word_vs_traversal(c: &mut Criterion) {
     let case = abcc8_case();
     let abcc8 = &case.result.query;
     let workflow = generate::layered_workflow(&WorkflowParams::default(), 8);
+    // The default workflow has 8 answers — too narrow for a top-10
+    // boundary. The wide variant keeps every other parameter and is
+    // the generated stand-in for exploratory queries with broad
+    // candidate sets.
+    let workflow_wide = generate::layered_workflow(
+        &WorkflowParams {
+            answers: 24,
+            ..WorkflowParams::default()
+        },
+        8,
+    );
     let mut group = c.benchmark_group("word_vs_traversal");
     group.sample_size(15);
 
@@ -40,32 +81,60 @@ fn word_vs_traversal(c: &mut Criterion) {
         }
         // Adaptive rows: same (ε, δ) the fixed 10⁴ budget targets, so
         // `trials_used` IS the win over the fixed schedule.
-        group.bench_function(&format!("{label}/adaptive_word_10000"), |b| {
-            let mut used = 0u32;
-            b.iter(|| {
-                let out = AdaptiveRunner::new(WordMc::new(10_000, 1), 0.02, 0.05)
-                    .run(black_box(q))
-                    .expect("adaptive scores");
-                used = out.certificate.trials_used;
-                out
-            });
-            b.metric("trials_used", f64::from(used));
-        });
-        group.bench_function(&format!("{label}/adaptive_traversal_10000"), |b| {
-            let mut used = 0u32;
-            b.iter(|| {
-                let out = AdaptiveRunner::new(TraversalMc::new(10_000, 1), 0.02, 0.05)
-                    .run(black_box(q))
-                    .expect("adaptive scores");
-                used = out.certificate.trials_used;
-                out
-            });
-            b.metric("trials_used", f64::from(used));
-        });
+        adaptive_row(
+            &mut group,
+            &format!("{label}/adaptive_word_10000"),
+            WordMc::new(10_000, 1),
+            None,
+            q,
+        );
+        adaptive_row(
+            &mut group,
+            &format!("{label}/adaptive_traversal_10000"),
+            TraversalMc::new(10_000, 1),
+            None,
+            q,
+        );
         // Context: the naive baseline the paper measures against.
         group.bench_function(&format!("{label}/naive_10000"), |b| {
             b.iter(|| NaiveMc::new(10_000, 1).score(black_box(q)).expect("scores"))
         });
+    }
+
+    // Top-k certification rows, on the graphs wide enough for k = 10
+    // to leave a tail behind the boundary. workflow_wide also gets its
+    // own full-certification rows as the in-graph baseline.
+    adaptive_row(
+        &mut group,
+        "workflow_wide/adaptive_word_10000",
+        WordMc::new(10_000, 1),
+        None,
+        &workflow_wide,
+    );
+    adaptive_row(
+        &mut group,
+        "workflow_wide/adaptive_traversal_10000",
+        TraversalMc::new(10_000, 1),
+        None,
+        &workflow_wide,
+    );
+    for (label, q) in [("abcc8", abcc8), ("workflow_wide", &workflow_wide)] {
+        for k in [1usize, 5, 10] {
+            adaptive_row(
+                &mut group,
+                &format!("{label}/adaptive_topk_word_10000_k{k}"),
+                WordMc::new(10_000, 1),
+                Some(k),
+                q,
+            );
+        }
+        adaptive_row(
+            &mut group,
+            &format!("{label}/adaptive_topk_traversal_10000_k10"),
+            TraversalMc::new(10_000, 1),
+            Some(10),
+            q,
+        );
     }
     group.finish();
 }

@@ -24,6 +24,10 @@
 //!                                         (default 0.05)
 //!   --adaptive-max N                      adaptive trial ceiling
 //!                                         (default --trials)
+//!   --certify-top                         adaptive trials, certifying only the
+//!                                         first --top answers and their
+//!                                         boundary gap (implies the adaptive
+//!                                         policy; rel and mc methods)
 //!   --parallel                            intra-query parallel MC (mc method)
 //!   --estimator traversal|word            MC engine for the mc method:
 //!                                         per-trial DFS traversal, or
@@ -42,10 +46,14 @@
 //!   --extended / --seed S                 default-world selection, as above
 //!   --estimator traversal|word            default MC engine for mc requests
 //!                                         that don't pick one themselves
+//!                                         (default word; pass traversal for
+//!                                         the paper's reference engine)
 //!   --adaptive-eps/--adaptive-delta/--adaptive-max
-//!                                         make adaptive trials the default
-//!                                         policy for requests that omit the
-//!                                         trials field
+//!                                         tune the adaptive house policy for
+//!                                         requests that omit the trials field
+//!                                         (adaptive is the default; an
+//!                                         explicit --trials N opts the server
+//!                                         back into fixed N)
 //!
 //! admin commands (all need --addr, default 127.0.0.1:7878):
 //!   world.load NAME [--seed S] [--extended] [--cache N] [--background]
@@ -66,7 +74,7 @@ use std::process::ExitCode;
 use std::sync::Arc;
 
 use biorank::prelude::*;
-use biorank::rank::{explain::explain, Certificate, TopK};
+use biorank::rank::{explain::explain, Certificate, CertificateMode, TopK};
 use biorank::schema::biorank_schema_full;
 use biorank::service::{
     AdaptiveConfig, Client, Estimator, Method, QueryRequest, RankerSpec, ServeOptions, Server,
@@ -79,9 +87,13 @@ struct Options {
     extended: bool,
     seed: u64,
     trials: u32,
+    /// `true` when `--trials` was given explicitly (the serve default
+    /// flips to adaptive only when it was not).
+    trials_explicit: bool,
     adaptive_eps: Option<f64>,
     adaptive_delta: Option<f64>,
     adaptive_max: Option<u32>,
+    certify_top: bool,
     parallel: bool,
     estimator: Option<Estimator>,
     addr: Option<String>,
@@ -95,21 +107,45 @@ struct Options {
 }
 
 impl Options {
-    /// The trial policy the flags ask for: adaptive as soon as any
-    /// `--adaptive-*` flag appears (unset parameters defaulting to the
-    /// paper's ε = 0.02, δ = 0.05 and a `--trials` ceiling), otherwise
-    /// fixed `--trials`.
-    fn trials_policy(&self) -> Trials {
-        if self.adaptive_eps.is_some()
+    /// `true` when any flag asking for adaptive trials appeared
+    /// (`--certify-top` implies the adaptive policy — there is nothing
+    /// to stop early in a fixed run).
+    fn wants_adaptive(&self) -> bool {
+        self.adaptive_eps.is_some()
             || self.adaptive_delta.is_some()
             || self.adaptive_max.is_some()
-        {
-            let defaults = AdaptiveConfig::default();
-            Trials::Adaptive(AdaptiveConfig {
-                epsilon: self.adaptive_eps.unwrap_or(defaults.epsilon),
-                delta: self.adaptive_delta.unwrap_or(defaults.delta),
-                max_trials: self.adaptive_max.unwrap_or(self.trials),
-            })
+            || self.certify_top
+    }
+
+    /// The adaptive policy the flags configure: unset parameters
+    /// default to the paper's ε = 0.02, δ = 0.05 and a `--trials`
+    /// ceiling.
+    fn adaptive_config(&self) -> AdaptiveConfig {
+        let defaults = AdaptiveConfig::default();
+        AdaptiveConfig {
+            epsilon: self.adaptive_eps.unwrap_or(defaults.epsilon),
+            delta: self.adaptive_delta.unwrap_or(defaults.delta),
+            max_trials: self.adaptive_max.unwrap_or(self.trials),
+        }
+    }
+
+    /// The trial policy a `query` asks for: adaptive as soon as any
+    /// adaptive flag appears, otherwise fixed `--trials`.
+    fn trials_policy(&self) -> Trials {
+        if self.wants_adaptive() {
+            Trials::Adaptive(self.adaptive_config())
+        } else {
+            Trials::Fixed(self.trials)
+        }
+    }
+
+    /// The house trial policy a `serve` installs for requests that
+    /// omit `trials`: adaptive by default, fixed only when the
+    /// operator pinned an explicit `--trials N` (without any adaptive
+    /// flag overruling it).
+    fn serve_trials_policy(&self) -> Trials {
+        if self.wants_adaptive() || !self.trials_explicit {
+            Trials::Adaptive(self.adaptive_config())
         } else {
             Trials::Fixed(self.trials)
         }
@@ -123,6 +159,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         extended: false,
         seed: 0xB10_C0DE,
         trials: 10_000,
+        trials_explicit: false,
+        certify_top: false,
         adaptive_eps: None,
         adaptive_delta: None,
         adaptive_max: None,
@@ -164,6 +202,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     .get(i)
                     .and_then(|v| v.parse().ok())
                     .ok_or("--trials needs a number")?;
+                opts.trials_explicit = true;
             }
             "--adaptive-eps" => {
                 i += 1;
@@ -237,6 +276,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                         .ok_or_else(|| format!("unknown estimator {name:?} (traversal|word)"))?,
                 );
             }
+            "--certify-top" => opts.certify_top = true,
             "--parallel" => opts.parallel = true,
             "--extended" => opts.extended = true,
             "--background" => opts.background = true,
@@ -315,14 +355,18 @@ fn remote_spec(opts: &Options) -> Result<RankerSpec, String> {
 
 /// One human-readable line for an adaptive run's stop certificate.
 fn certificate_line(cert: &Certificate) -> String {
+    let scope = match cert.mode {
+        CertificateMode::Full => "full ranking".to_string(),
+        CertificateMode::TopK(k) => format!("top-{k} + boundary"),
+    };
     if cert.certified {
         format!(
-            "  certified after {} trials (resolves separations ≥ {:.4} at the requested confidence)",
+            "  {scope} certified after {} trials (resolves separations ≥ {:.4} at the requested confidence)",
             cert.trials_used, cert.epsilon
         )
     } else {
         format!(
-            "  NOT certified: trial ceiling {} hit (resolves ≥ {:.4}); some gap is still ambiguous",
+            "  {scope} NOT certified: trial ceiling {} hit (resolves ≥ {:.4}); some gap is still ambiguous",
             cert.trials_used, cert.epsilon
         )
     }
@@ -340,6 +384,7 @@ fn cmd_query_remote(opts: &Options, addr: &str) -> Result<(), String> {
         query: ExploratoryQuery::protein_functions(protein),
         spec: remote_spec(opts)?,
         top: Some(opts.top),
+        certify_top: opts.certify_top,
         world: opts.world.clone(),
     };
     let response = client.query(&request).map_err(|e| e.to_string())?;
@@ -400,10 +445,11 @@ fn cmd_serve(opts: &Options) -> Result<(), String> {
         manager,
         ServeOptions {
             workers: opts.workers,
-            default_estimator: opts.estimator.unwrap_or_default(),
-            // --adaptive-* flags make adaptive the house policy for
-            // requests that leave `trials` unset.
-            default_trials: opts.trials_policy(),
+            // Word-parallel + adaptive trials are the soaked serving
+            // defaults; `--estimator traversal` / an explicit
+            // `--trials N` opt the house policy back out.
+            default_estimator: opts.estimator.unwrap_or(Estimator::Word),
+            default_trials: opts.serve_trials_policy(),
         },
     )
     .map_err(|e| format!("bind {addr}: {e}"))?;
@@ -556,9 +602,16 @@ fn cmd_query(opts: &Options) -> Result<(), String> {
                     opts.method
                 )
             })?;
-        let outcome =
-            biorank::service::run_adaptive(method, opts.estimator.unwrap_or_default(), cfg, 42, q)
-                .map_err(|e| e.to_string())?;
+        let top_k = opts.certify_top.then_some(opts.top);
+        let outcome = biorank::service::run_adaptive(
+            method,
+            opts.estimator.unwrap_or_default(),
+            cfg,
+            42,
+            top_k,
+            q,
+        )
+        .map_err(|e| e.to_string())?;
         certificate = Some(outcome.certificate);
         outcome.scores
     } else if opts.parallel && matches!(opts.method.as_str(), "mc" | "relmc") {

@@ -27,16 +27,51 @@
 //! ranking of the separations the run has seen, at per-pair
 //! confidence 1 − δ.
 //!
+//! **Top-k certification.** Ranking semantics only need scores precise
+//! enough to order the answers a user actually sees. When the caller
+//! asks for the top `k` ([`AdaptiveRunner::with_top_k`]) the stopping
+//! rule shrinks to the gaps that decide that prefix: the `k − 1` gaps
+//! *inside* the current top-k plus the **boundary gap** between rank
+//! `k` and rank `k + 1`. Gaps below the boundary are ignored — tail
+//! answers keep their running estimates and are returned unordered
+//! beyond what the spent trials happen to resolve. The certificate's
+//! [`mode`](Certificate::mode) records which contract was certified,
+//! so a top-k result is never mistaken for a fully ordered one.
+//!
 //! **Determinism:** the incremental contract guarantees a run stopped
 //! after `b` batches is bit-identical to a fixed run of `64·b` trials,
 //! and a run that reaches its ceiling is bit-identical to the fixed
 //! ceiling run — adaptive execution can share infrastructure (caches,
 //! replay, cross-checks) with fixed execution without a bit of drift.
+//! Top-k runs ride the same contract: only the stopping batch moves,
+//! never the sample schedule.
 
 use biorank_graph::QueryGraph;
 
 use crate::estimator::Estimator;
 use crate::{bounds, Error, Scores};
+
+/// Which ranking contract a [`Certificate`] asserts.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CertificateMode {
+    /// Every adjacent gap of the full answer ranking was checked.
+    Full,
+    /// Only the top-k prefix was checked: the gaps inside the prefix
+    /// plus the boundary gap to rank k + 1. Answers below the boundary
+    /// carry running estimates with no ordering claim.
+    TopK(u32),
+}
+
+impl CertificateMode {
+    /// The `k` up to which this certificate orders the ranking:
+    /// `None` means the whole answer set (full certification).
+    pub fn certified_k(&self) -> Option<u32> {
+        match self {
+            CertificateMode::Full => None,
+            CertificateMode::TopK(k) => Some(*k),
+        }
+    }
+}
 
 /// The stop certificate of an adaptive run.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -50,6 +85,9 @@ pub struct Certificate {
     /// when the engine's trial ceiling hit with some gap still in the
     /// unresolved band.
     pub certified: bool,
+    /// Which ranking contract the run checked: the full answer list,
+    /// or a top-k prefix plus its boundary.
+    pub mode: CertificateMode,
 }
 
 /// Scores plus the certificate that stopped the run.
@@ -72,16 +110,36 @@ pub struct AdaptiveRunner<E> {
     engine: E,
     epsilon: f64,
     delta: f64,
+    top_k: Option<usize>,
 }
 
 impl<E: Estimator> AdaptiveRunner<E> {
-    /// Wraps `engine` with an (ε, δ) stopping rule.
+    /// Wraps `engine` with an (ε, δ) stopping rule over the full
+    /// answer ranking.
     pub fn new(engine: E, epsilon: f64, delta: f64) -> Self {
         AdaptiveRunner {
             engine,
             epsilon,
             delta,
+            top_k: None,
         }
+    }
+
+    /// Restricts the stopping rule to the top-`k` prefix: only the
+    /// gaps inside the current top `k` and the boundary gap between
+    /// rank `k` and rank `k + 1` must resolve (or be excused by the ε
+    /// floor). Since those are a subset of the full rule's gaps, a
+    /// top-k run never stops later than the full run of the same
+    /// `(engine, ε, δ)` — and usually stops much earlier on wide
+    /// answer sets whose tail is closely bunched.
+    ///
+    /// A `k` whose checked gaps are exactly the full rule's — any
+    /// `k ≥ answers − 1`, since the boundary gap of rank `answers − 1`
+    /// already orders the last answer — is exactly full certification
+    /// and is certified (and stamped) as such.
+    pub fn with_top_k(mut self, k: usize) -> Self {
+        self.top_k = Some(k);
+        self
     }
 
     /// The wrapped engine.
@@ -96,13 +154,35 @@ impl<E: Estimator> AdaptiveRunner<E> {
                 return Err(Error::InvalidParameter { name, value });
             }
         }
+        let answers = q.answers();
+        // Leading sorted-estimate gaps the stopping rule must resolve:
+        // all `len − 1` for full certification; the k − 1 prefix gaps
+        // plus the boundary gap (= k) for top-k.
+        let full_gaps = answers.len().saturating_sub(1);
+        let checked_gaps = match self.top_k {
+            Some(k) => k.min(full_gaps),
+            None => full_gaps,
+        };
+        // Checking every gap IS full certification, whatever k the
+        // caller spelled it with — stamping it Full lets the result
+        // satisfy full-coverage consumers (e.g. cache reuse) without
+        // a bit-identical re-run.
+        let mode = match self.top_k {
+            Some(k) if checked_gaps < full_gaps => CertificateMode::TopK(k as u32),
+            _ => CertificateMode::Full,
+        };
         let mut state = self.engine.begin(q)?;
+        // The estimate buffer is reused across every 64-trial batch:
+        // the certification poll is allocation-free after the first
+        // step (the engine-side trial scratch — mask words, visit
+        // stamps — already lives for the whole run inside the state).
+        let mut est: Vec<f64> = Vec::with_capacity(answers.len());
         let mut trials_used = 0;
         let mut certified = false;
         for b in 0..self.engine.num_batches() {
             let stats = self.engine.step(&mut state, b);
             trials_used = stats.total_trials;
-            if self.certifies(&state, q, trials_used) {
+            if self.certifies(&state, answers, checked_gaps, &mut est, trials_used) {
                 certified = true;
                 break;
             }
@@ -113,36 +193,38 @@ impl<E: Estimator> AdaptiveRunner<E> {
                 trials_used,
                 epsilon: bounds::resolvable_epsilon(u64::from(trials_used), self.delta)?,
                 certified,
+                mode,
             },
         })
     }
 
-    /// The stopping rule: every adjacent gap between sorted answer
-    /// estimates is resolved by `trials` trials or excused by the ε
-    /// floor. "Gap `g` is resolved by `n` trials" is checked directly
-    /// as `n ≥ trials_needed(g, δ)` — equivalent to
+    /// The stopping rule: each of the leading `checked_gaps` gaps
+    /// between sorted answer estimates is resolved by `trials` trials
+    /// or excused by the ε floor. "Gap `g` is resolved by `n` trials"
+    /// is checked directly as `n ≥ trials_needed(g, δ)`
+    /// ([`bounds::resolves`]) — equivalent to
     /// `g ≥ resolvable_epsilon(n, δ)` by monotonicity, but one cheap
     /// closed-form evaluation per gap instead of a 200-step bisection
     /// per batch (the bisection runs once, at the end, to stamp the
     /// certificate).
-    fn certifies(&self, state: &E::State<'_>, q: &QueryGraph, trials: u32) -> bool {
-        let answers = q.answers();
-        if answers.len() < 2 {
+    fn certifies(
+        &self,
+        state: &E::State<'_>,
+        answers: &[biorank_graph::NodeId],
+        checked_gaps: usize,
+        est: &mut Vec<f64>,
+        trials: u32,
+    ) -> bool {
+        if checked_gaps == 0 {
             return true;
         }
         // Per-answer estimates only — polling the full node-bound
         // snapshot every 64 trials would dominate the check.
-        let mut est: Vec<f64> = answers
-            .iter()
-            .map(|&a| self.engine.estimate(state, a))
-            .collect();
-        est.sort_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
-        est.windows(2).all(|w| {
+        self.engine.estimates_into(state, answers, est);
+        est.sort_unstable_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
+        est.windows(2).take(checked_gaps).all(|w| {
             let gap = w[0] - w[1];
-            gap < self.epsilon
-                || bounds::trials_needed(gap.min(1.0 - 1e-9), self.delta)
-                    .map(|needed| u64::from(trials) >= needed)
-                    .unwrap_or(false)
+            gap < self.epsilon || bounds::resolves(gap, self.delta, u64::from(trials))
         })
     }
 }
@@ -163,6 +245,21 @@ mod tests {
         let s = g.add_node(p(1.0));
         let mut answers = Vec::new();
         for (i, q_val) in [0.9, 0.6, 0.3].iter().enumerate() {
+            let t = g.add_labeled_node(p(1.0), format!("t{i}"));
+            g.add_edge(s, t, p(*q_val)).unwrap();
+            answers.push(t);
+        }
+        QueryGraph::new(g, s, answers).unwrap()
+    }
+
+    /// Star with one wide leading gap and a near-tied tail: full
+    /// certification must grind on the 0.01 tail gap while top-1 only
+    /// needs the 0.6 boundary gap.
+    fn wide_then_tied_star() -> QueryGraph {
+        let mut g = ProbGraph::new();
+        let s = g.add_node(p(1.0));
+        let mut answers = Vec::new();
+        for (i, q_val) in [0.9, 0.3, 0.29].iter().enumerate() {
             let t = g.add_labeled_node(p(1.0), format!("t{i}"));
             g.add_edge(s, t, p(*q_val)).unwrap();
             answers.push(t);
@@ -274,6 +371,98 @@ mod tests {
         assert!(out.certificate.certified);
         assert_eq!(out.certificate.trials_used, 64);
         let _ = NodeId::from_index(0);
+    }
+
+    #[test]
+    fn top_k_stops_earlier_than_full_on_bunched_tails() {
+        // ε floor at 0.001 so the 0.01 tail gap is not excusable: the
+        // full rule needs tens of thousands of trials (or the ceiling)
+        // for it, while top-1 certifies off the 0.6 boundary gap in the
+        // first batches.
+        let q = wide_then_tied_star();
+        for (full, top1) in [
+            (
+                AdaptiveRunner::new(WordMc::new(20_000, 7), 0.001, 0.05)
+                    .run(&q)
+                    .unwrap(),
+                AdaptiveRunner::new(WordMc::new(20_000, 7), 0.001, 0.05)
+                    .with_top_k(1)
+                    .run(&q)
+                    .unwrap(),
+            ),
+            (
+                AdaptiveRunner::new(TraversalMc::new(20_000, 7), 0.001, 0.05)
+                    .run(&q)
+                    .unwrap(),
+                AdaptiveRunner::new(TraversalMc::new(20_000, 7), 0.001, 0.05)
+                    .with_top_k(1)
+                    .run(&q)
+                    .unwrap(),
+            ),
+        ] {
+            assert_eq!(top1.certificate.mode, CertificateMode::TopK(1));
+            assert_eq!(top1.certificate.mode.certified_k(), Some(1));
+            assert_eq!(full.certificate.mode, CertificateMode::Full);
+            assert_eq!(full.certificate.mode.certified_k(), None);
+            assert!(top1.certificate.certified);
+            assert!(
+                top1.certificate.trials_used < full.certificate.trials_used,
+                "top-1 {} vs full {}",
+                top1.certificate.trials_used,
+                full.certificate.trials_used
+            );
+        }
+    }
+
+    #[test]
+    fn top_k_run_is_bit_identical_to_fixed_run_of_trials_used() {
+        // The same contract the full runner honors: only the stopping
+        // batch moves, never the sample schedule.
+        let q = wide_then_tied_star();
+        for seed in [1u64, 2, 3] {
+            let out = AdaptiveRunner::new(WordMc::new(20_000, seed), 0.001, 0.05)
+                .with_top_k(1)
+                .run(&q)
+                .unwrap();
+            assert!(out.certificate.certified, "seed {seed}");
+            let fixed = WordMc::new(out.certificate.trials_used, seed)
+                .score(&q)
+                .unwrap();
+            assert_eq!(out.scores.as_slice(), fixed.as_slice(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn top_k_covering_all_answers_is_full_certification() {
+        let q = separated_star();
+        let full = AdaptiveRunner::new(WordMc::new(10_000, 7), 0.02, 0.05)
+            .run(&q)
+            .unwrap();
+        // k = 2 on 3 answers already checks both gaps — the k-th
+        // boundary orders the last answer — so it is full
+        // certification too, not just k ≥ answer count.
+        for k in [2usize, 3, 10] {
+            let topk = AdaptiveRunner::new(WordMc::new(10_000, 7), 0.02, 0.05)
+                .with_top_k(k)
+                .run(&q)
+                .unwrap();
+            assert_eq!(topk.certificate.mode, CertificateMode::Full, "k = {k}");
+            assert_eq!(topk.certificate, full.certificate, "k = {k}");
+            assert_eq!(topk.scores.as_slice(), full.scores.as_slice(), "k = {k}");
+        }
+    }
+
+    #[test]
+    fn top_zero_certifies_on_first_batch() {
+        // k = 0 asks for no ordered prefix at all: nothing to check.
+        let q = tied_pair(false);
+        let out = AdaptiveRunner::new(WordMc::new(10_000, 1), 0.02, 0.05)
+            .with_top_k(0)
+            .run(&q)
+            .unwrap();
+        assert!(out.certificate.certified);
+        assert_eq!(out.certificate.trials_used, 64);
+        assert_eq!(out.certificate.mode, CertificateMode::TopK(0));
     }
 
     #[test]

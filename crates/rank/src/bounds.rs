@@ -36,6 +36,23 @@ pub fn trials_needed(epsilon: f64, delta: f64) -> Result<u64, Error> {
     Ok(n.ceil() as u64)
 }
 
+/// Does `trials` trials resolve an observed separation of `gap` at
+/// failure probability `delta`?
+///
+/// The per-gap reading of the bound shared by the adaptive runner and
+/// the top-k evaluator: one cheap closed-form `trials_needed`
+/// evaluation (with the gap clamped into the bound's open domain)
+/// instead of inverting by bisection. Non-positive gaps are never
+/// resolved — a tie cannot be ordered by sampling.
+pub fn resolves(gap: f64, delta: f64, trials: u64) -> bool {
+    if !(gap > 0.0) {
+        return false;
+    }
+    trials_needed(gap.min(1.0 - 1e-9), delta)
+        .map(|needed| trials >= needed)
+        .unwrap_or(false)
+}
+
 /// Inverts the bound: the separation ε that `trials` trials resolve at
 /// failure probability `delta` (by bisection; the bound is monotone
 /// decreasing in ε).
@@ -116,6 +133,23 @@ mod tests {
         let few = resolvable_epsilon(100, 0.05).unwrap();
         let many = resolvable_epsilon(100_000, 0.05).unwrap();
         assert!(many < few);
+    }
+
+    #[test]
+    fn resolves_agrees_with_trials_needed() {
+        let n = trials_needed(0.1, 0.05).unwrap();
+        assert!(resolves(0.1, 0.05, n));
+        assert!(!resolves(0.1, 0.05, n - 1));
+        // Wider gaps resolve with the same trials; ties never do.
+        assert!(resolves(0.5, 0.05, n));
+        assert!(!resolves(0.0, 0.05, u64::MAX));
+        assert!(!resolves(-0.1, 0.05, u64::MAX));
+        assert!(!resolves(f64::NAN, 0.05, u64::MAX));
+        // Gaps at or above 1.0 are clamped into the bound's domain
+        // instead of erroring out of the stopping rule.
+        assert!(resolves(1.0, 0.05, n));
+        // An invalid δ never certifies.
+        assert!(!resolves(0.1, 0.0, u64::MAX));
     }
 
     #[test]

@@ -92,6 +92,21 @@ pub trait Estimator {
     /// its per-batch accessor.
     fn estimate(&self, state: &Self::State<'_>, node: biorank_graph::NodeId) -> f64;
 
+    /// The running estimates of a node set, written into a reusable
+    /// buffer (cleared first). This is the adaptive stopping rule's
+    /// per-batch accessor: it polls the answer set after every 64-trial
+    /// batch, and going through a caller-owned buffer keeps the hot
+    /// certification loop allocation-free.
+    fn estimates_into(
+        &self,
+        state: &Self::State<'_>,
+        nodes: &[biorank_graph::NodeId],
+        out: &mut Vec<f64>,
+    ) {
+        out.clear();
+        out.extend(nodes.iter().map(|&n| self.estimate(state, n)));
+    }
+
     /// Consumes the state into final scores. Equal to the last
     /// [`snapshot`](Estimator::snapshot) — normalized by the trials
     /// actually executed, which is what makes early-stopped runs

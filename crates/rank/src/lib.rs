@@ -21,7 +21,11 @@
 //! 64-trial batches), which [`AdaptiveRunner`] drives with
 //! bound-certified early termination: batches stop as soon as the
 //! running ranking separates at the (ε, δ) the accumulated trials
-//! resolve, returning a [`Certificate`] alongside the scores.
+//! resolve, returning a [`Certificate`] alongside the scores. When
+//! only the top `k` answers matter,
+//! [`AdaptiveRunner::with_top_k`] certifies just that prefix and its
+//! boundary gap — the certificate's [`CertificateMode`] records which
+//! contract was checked.
 //!
 //! ```
 //! use biorank_graph::{Prob, ProbGraph, QueryGraph};
@@ -54,7 +58,7 @@ mod ties;
 mod topk;
 mod word;
 
-pub use adaptive::{AdaptiveOutcome, AdaptiveRunner, Certificate};
+pub use adaptive::{AdaptiveOutcome, AdaptiveRunner, Certificate, CertificateMode};
 pub use deterministic::{InEdge, PathCount};
 pub use diffusion::{Diffusion, InnerSolver};
 pub use estimator::{BatchStats, Estimator, BATCH_TRIALS};

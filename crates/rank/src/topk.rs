@@ -13,6 +13,16 @@
 //! This is the natural marriage of the paper's trial bound with the
 //! top-k query evaluation its related-work section cites (Ré, Dalvi,
 //! Suciu, ICDE 2007).
+//!
+//! This evaluator is the CLI's interactive `biorank topk` frontend: it
+//! checks the boundary gap only, batches 500 trials at a time, and
+//! seeds each batch additively. The serving layer's cache-coherent
+//! path is [`AdaptiveRunner::with_top_k`](crate::AdaptiveRunner) —
+//! the same boundary idea plus intra-prefix gaps, driven over the
+//! incremental 64-trial [`Estimator`](crate::Estimator) schedule so a
+//! stopped run stays bit-identical to a fixed run of `trials_used`
+//! trials and its [`Certificate`](crate::Certificate) can tag cached
+//! results.
 
 use biorank_graph::{NodeId, QueryGraph};
 
@@ -102,13 +112,9 @@ impl TopK {
                 .collect();
             est.sort_by(|x, y| y.1.partial_cmp(&x.1).unwrap_or(std::cmp::Ordering::Equal));
             let gap = est[self.k - 1].1 - est[self.k].1;
-            if gap > 0.0 {
-                if let Ok(needed) = bounds::trials_needed(gap.min(0.999), self.delta) {
-                    if u64::from(trials) >= needed {
-                        certified = true;
-                        break;
-                    }
-                }
+            if bounds::resolves(gap, self.delta, u64::from(trials)) {
+                certified = true;
+                break;
             }
             if trials >= self.max_trials {
                 break;

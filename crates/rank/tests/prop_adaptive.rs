@@ -13,9 +13,14 @@
 //!    scores (the δ failure budget is absorbed by fixed seeds: these
 //!    cases are deterministic replays, chosen to pass, and any
 //!    regression that breaks ordering is a real bug, not noise).
+//! 3. **Top-k certification** obeys both of the above restricted to
+//!    the certified prefix: bit-identity to the fixed run of
+//!    `trials_used`, never stopping later than the full rule, and a
+//!    certified top-k *set* that matches exact enumeration whenever
+//!    the boundary separation is at least the certified ε.
 
 use biorank_graph::{exact, NodeId, Prob, ProbGraph, QueryGraph};
-use biorank_rank::{AdaptiveRunner, Estimator, Ranker, TraversalMc, WordMc};
+use biorank_rank::{AdaptiveRunner, CertificateMode, Estimator, Ranker, TraversalMc, WordMc};
 use proptest::prelude::*;
 
 /// Small random DAG query graphs with **two** answer nodes (so the
@@ -134,5 +139,73 @@ proptest! {
         // Sanity: the trait's own view agrees with the Ranker view of
         // the same engine at the spent trial count.
         prop_assert_eq!(engine.trials(), 10_000);
+    }
+
+    /// A top-1-certified run is bit-identical to the fixed run of its
+    /// `trials_used`, and — the prefix rule checks a subset of the
+    /// full rule's gaps — never spends more trials than the full run
+    /// of the same `(engine, ε, δ)`.
+    #[test]
+    fn top_k_adaptive_equals_fixed_and_never_outspends_full(q in small_dag()) {
+        const CEILING: u32 = 512;
+        for seed in [9u64, 23] {
+            let top1 = AdaptiveRunner::new(WordMc::new(CEILING, seed), 0.005, 0.01)
+                .with_top_k(1)
+                .run(&q)
+                .unwrap();
+            // With two answers, top-1 checks the single gap — exactly
+            // the full rule — so it is stamped as full certification.
+            prop_assert_eq!(top1.certificate.mode, CertificateMode::Full);
+            let fixed = WordMc::new(top1.certificate.trials_used, seed)
+                .score(&q)
+                .unwrap();
+            assert_bits(top1.scores.as_slice(), fixed.as_slice());
+
+            let full = AdaptiveRunner::new(WordMc::new(CEILING, seed), 0.005, 0.01)
+                .run(&q)
+                .unwrap();
+            prop_assert!(
+                top1.certificate.trials_used <= full.certificate.trials_used,
+                "top-1 spent {} > full {}",
+                top1.certificate.trials_used,
+                full.certificate.trials_used
+            );
+
+            let top1 = AdaptiveRunner::new(TraversalMc::new(CEILING, seed), 0.005, 0.01)
+                .with_top_k(1)
+                .run(&q)
+                .unwrap();
+            let fixed = TraversalMc::new(top1.certificate.trials_used, seed)
+                .score(&q)
+                .unwrap();
+            assert_bits(top1.scores.as_slice(), fixed.as_slice());
+        }
+    }
+
+    /// The certified top-k **set** matches exact enumeration within
+    /// the bound's guarantee: with two answers and k = 1, whenever the
+    /// exact separation is at least the certified ε, the estimated
+    /// top answer is the exact top answer.
+    #[test]
+    fn certified_top_k_set_matches_exact_above_epsilon(q in small_dag()) {
+        let out = AdaptiveRunner::new(WordMc::new(10_000, 4), 0.02, 0.05)
+            .with_top_k(1)
+            .run(&q)
+            .unwrap();
+        if !out.certificate.certified {
+            return Ok(());
+        }
+        let exact_of = |a: NodeId| exact::enumerate(q.graph(), q.source(), a).unwrap();
+        let (a, b) = (q.answers()[0], q.answers()[1]);
+        let (ta, tb) = (exact_of(a), exact_of(b));
+        if (ta - tb).abs() >= out.certificate.epsilon {
+            let est = &out.scores;
+            prop_assert_eq!(
+                ta > tb,
+                est.get(a) > est.get(b),
+                "exact top answer differs: exact {} vs {} but estimates {} vs {} (certified ε {})",
+                ta, tb, est.get(a), est.get(b), out.certificate.epsilon
+            );
+        }
     }
 }

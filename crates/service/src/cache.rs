@@ -79,13 +79,13 @@ impl<K: Hash + Eq + Clone, V: Clone> LruShard<K, V> {
         Some(self.slab[i].value.clone())
     }
 
-    /// Keys in most-recently-used order (head → tail walk of the
+    /// Entries in most-recently-used order (head → tail walk of the
     /// intrusive list).
-    fn keys_mru(&self) -> Vec<K> {
+    fn entries_mru(&self) -> Vec<(K, V)> {
         let mut out = Vec::with_capacity(self.map.len());
         let mut i = self.head;
         while i != NIL {
-            out.push(self.slab[i].key.clone());
+            out.push((self.slab[i].key.clone(), self.slab[i].value.clone()));
             i = self.slab[i].next;
         }
         out
@@ -201,6 +201,21 @@ impl<K: Hash + Eq + Clone, V: Clone> ShardedLru<K, V> {
             .insert(key, value);
     }
 
+    /// Inserts `value` unless a resident entry for `key` exists and
+    /// `replace(&resident)` says to keep it. The predicate runs under
+    /// the shard lock, so the decision and the write are atomic — two
+    /// racing computations cannot interleave a weaker value over the
+    /// stronger one the predicate just approved against.
+    pub fn insert_if(&self, key: K, value: V, replace: impl FnOnce(&V) -> bool) {
+        let mut shard = self.shard(&key).lock().expect("cache shard");
+        if let Some(&i) = shard.map.get(&key) {
+            if !replace(&shard.slab[i].value) {
+                return;
+            }
+        }
+        shard.insert(key, value);
+    }
+
     /// Up to `limit` resident keys, hottest (approximately
     /// most-recently-used) first.
     ///
@@ -211,17 +226,28 @@ impl<K: Hash + Eq + Clone, V: Clone> ShardedLru<K, V> {
     /// swap, where "the hot set" matters and its internal order does
     /// not.
     pub fn hot_keys(&self, limit: usize) -> Vec<K> {
-        let lists: Vec<Vec<K>> = self
+        self.hot_entries(limit)
+            .into_iter()
+            .map(|(k, _)| k)
+            .collect()
+    }
+
+    /// Like [`hot_keys`](ShardedLru::hot_keys), but each key arrives
+    /// with (a clone of) its resident value — for callers that replay
+    /// the hot set and need per-entry context, like the swap warm-up
+    /// replaying a result's certified coverage.
+    pub fn hot_entries(&self, limit: usize) -> Vec<(K, V)> {
+        let lists: Vec<Vec<(K, V)>> = self
             .shards
             .iter()
-            .map(|s| s.lock().expect("cache shard").keys_mru())
+            .map(|s| s.lock().expect("cache shard").entries_mru())
             .collect();
         let mut out = Vec::new();
         let longest = lists.iter().map(Vec::len).max().unwrap_or(0);
         'fill: for rank in 0..longest {
             for list in &lists {
-                if let Some(key) = list.get(rank) {
-                    out.push(key.clone());
+                if let Some(entry) = list.get(rank) {
+                    out.push(entry.clone());
                     if out.len() == limit {
                         break 'fill;
                     }
@@ -270,6 +296,17 @@ mod tests {
         assert_eq!(c.get(&2), None);
         assert_eq!(c.get(&1), Some(10));
         assert_eq!(c.get(&3), Some(30));
+    }
+
+    #[test]
+    fn insert_if_keeps_resident_when_predicate_declines() {
+        let c: ShardedLru<u32, u32> = ShardedLru::new(4, 1);
+        c.insert_if(1, 10, |_| unreachable!("no resident yet"));
+        assert_eq!(c.get(&1), Some(10));
+        c.insert_if(1, 5, |&resident| 5 > resident);
+        assert_eq!(c.get(&1), Some(10), "weaker value must not replace");
+        c.insert_if(1, 99, |&resident| 99 > resident);
+        assert_eq!(c.get(&1), Some(99), "stronger value replaces");
     }
 
     #[test]

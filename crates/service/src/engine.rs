@@ -22,8 +22,8 @@ use std::time::Instant;
 
 use biorank_mediator::{ExploratoryQuery, IntegrationResult, Mediator};
 use biorank_rank::{
-    AdaptiveRunner, Certificate, Diffusion, InEdge, PathCount, Propagation, Ranker, Ranking,
-    ReducedMc, TraversalMc, WordMc,
+    AdaptiveRunner, Certificate, CertificateMode, Diffusion, InEdge, PathCount, Propagation,
+    Ranker, Ranking, ReducedMc, TraversalMc, WordMc,
 };
 
 use crate::cache::{CacheStats, ShardedLru};
@@ -349,8 +349,17 @@ pub struct QueryRequest {
     pub spec: RankerSpec,
     /// Truncate the response to the first `top` ranked answers
     /// (`None` = all). Truncation happens at response assembly; the
-    /// cache always holds the full ranking.
+    /// cache always holds the full (answer-set-wide) ranking.
     pub top: Option<usize>,
+    /// Restrict adaptive certification to the `top` prefix: stop
+    /// Monte Carlo batches once the top-`top` answers and their
+    /// boundary gap resolve at (ε, δ), ignoring gaps further down
+    /// (see [`biorank_rank::AdaptiveRunner::with_top_k`]). Only
+    /// meaningful for stochastic methods under an adaptive trial
+    /// policy with `top` set; everywhere else the flag is a no-op.
+    /// Not a cache-key dimension — see [`RankedResult::covers`] for
+    /// the prefix-reuse rule that takes its place.
+    pub certify_top: bool,
     /// Which resident world to execute against (`None` = the server's
     /// default world). Routed by the server via
     /// [`WorldManager`](crate::tenancy::WorldManager); a
@@ -367,6 +376,7 @@ impl QueryRequest {
             query: ExploratoryQuery::protein_functions(protein),
             spec,
             top: None,
+            certify_top: false,
             world: None,
         }
     }
@@ -376,6 +386,41 @@ impl QueryRequest {
         self.world = Some(world.into());
         self
     }
+
+    /// The same request with top-k certification: return (and, under
+    /// an adaptive policy, certify only) the first `k` answers.
+    pub fn certified_top(mut self, k: usize) -> Self {
+        self.top = Some(k);
+        self.certify_top = true;
+        self
+    }
+
+    /// The ranking coverage this request needs from a result: a
+    /// certified top-k prefix when it opts into top-k certification
+    /// under an adaptive policy, the fully ordered ranking otherwise.
+    pub fn coverage(&self) -> Coverage {
+        match self.top {
+            Some(k)
+                if self.certify_top
+                    && self.spec.method.is_stochastic()
+                    && self.spec.trials.is_adaptive() =>
+            {
+                Coverage::TopK(k)
+            }
+            _ => Coverage::Full,
+        }
+    }
+}
+
+/// The ranking coverage a request needs: how much of the answer order
+/// must be backed by the executed trial schedule.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Coverage {
+    /// The full answer ranking (every request that does not opt into
+    /// top-k certification).
+    Full,
+    /// The top-k prefix plus its boundary gap.
+    TopK(usize),
 }
 
 /// One ranked answer, fully resolved for transport.
@@ -430,10 +475,76 @@ pub struct EngineStats {
 /// result cache.
 #[derive(Clone, Debug, PartialEq)]
 pub struct RankedResult {
-    /// The full ranking, best first.
+    /// The full ranking, best first. Under a top-k certificate only
+    /// the certified prefix is bound-backed; the tail carries running
+    /// estimates.
     pub answers: Vec<RankedAnswer>,
     /// The adaptive stop certificate, when one was produced.
     pub certificate: Option<Certificate>,
+}
+
+impl RankedResult {
+    /// The prefix-reuse rule: can this stored result answer a request
+    /// needing `coverage` exactly as well as (or better than)
+    /// recomputing would?
+    ///
+    /// * Fixed-trial and deterministic results (no certificate) ran
+    ///   the full precision schedule: they serve any coverage — two
+    ///   requests differing only in `top`/`certify_top` share one
+    ///   entry.
+    /// * A **certified full** adaptive result satisfies any `k'`.
+    /// * A **certified top-k** result serves `k' ≤ k`; a deeper
+    ///   prefix (or the full ranking) must recompute — and the fresh,
+    ///   strictly-more-certified entry then *replaces* this one.
+    /// * An **uncertified** result (ceiling hit) only answers the
+    ///   exact coverage it ran under: a narrower top-k request could
+    ///   legitimately certify where this run could not, so it must be
+    ///   allowed to try.
+    pub fn covers(&self, coverage: Coverage) -> bool {
+        let Some(cert) = &self.certificate else {
+            return true;
+        };
+        match (cert.mode, coverage) {
+            (CertificateMode::Full, Coverage::Full) => true,
+            (CertificateMode::Full, Coverage::TopK(_)) => cert.certified,
+            (CertificateMode::TopK(_), Coverage::Full) => false,
+            (CertificateMode::TopK(m), Coverage::TopK(k)) => {
+                if cert.certified {
+                    k <= m as usize
+                } else {
+                    k == m as usize
+                }
+            }
+        }
+    }
+
+    /// Does this result serve every coverage `other` serves? The
+    /// replacement guard of the result cache: a freshly computed
+    /// result only replaces a resident entry it dominates, so a run
+    /// that certified *less* (or hit its ceiling uncertified) can
+    /// never evict a stronger answer — without this, mixed top-k/full
+    /// client populations whose full runs end uncertified would
+    /// ping-pong the entry and recompute forever.
+    ///
+    /// The serving sets, per [`covers`](RankedResult::covers): no
+    /// certificate or certified-full serve everything; certified
+    /// top-m serves `k ≤ m`; uncertified runs serve only the exact
+    /// coverage they ran under.
+    pub fn serves_at_least(&self, other: &RankedResult) -> bool {
+        use CertificateMode::{Full, TopK};
+        let class = |r: &RankedResult| r.certificate.map(|c| (c.mode, c.certified));
+        match (class(self), class(other)) {
+            // Fixed/deterministic and certified-full serve everything.
+            (None | Some((Full, true)), _) => true,
+            (_, None | Some((Full, true))) => false,
+            (Some((TopK(m), true)), Some((TopK(n), _))) => n <= m,
+            (Some((Full, false)), Some((Full, false))) => true,
+            (Some((TopK(m), false)), Some((TopK(n), false))) => m == n,
+            // Remaining pairs serve disjoint coverages (an uncertified
+            // run's singleton vs anything else).
+            _ => false,
+        }
+    }
 }
 
 /// A long-lived, thread-safe query engine over a resident world.
@@ -481,12 +592,26 @@ impl QueryEngine {
     }
 
     /// Executes one request, consulting both cache layers.
+    ///
+    /// The result cache holds **one entry per `(query, spec)`** —
+    /// `top` and `certify_top` are not key dimensions. A lookup hits
+    /// when the stored entry's certification covers what the request
+    /// needs ([`RankedResult::covers`]); a request needing more (a
+    /// deeper certified prefix, or the fully certified ranking)
+    /// recomputes, and the fresh result **replaces** the entry only
+    /// when it serves at least everything the resident entry does
+    /// ([`RankedResult::serves_at_least`]) — a run that certified
+    /// less, or hit its ceiling uncertified, is returned to its
+    /// caller but never evicts a stronger cached answer.
     pub fn execute(&self, req: &QueryRequest) -> Result<QueryResponse, Error> {
         let start = Instant::now();
         let result_key = (req.query.clone(), req.spec.cache_key());
+        let coverage = req.coverage();
 
         if let Some(ranked) = self.results.get(&result_key) {
-            return Ok(Self::assemble(&ranked, req.top, true, true, start));
+            if ranked.covers(coverage) {
+                return Ok(Self::assemble(&ranked, req.top, true, true, start));
+            }
         }
 
         let (integration, cached_graph) = match self.graphs.get(&req.query) {
@@ -498,8 +623,11 @@ impl QueryEngine {
             }
         };
 
-        let ranked = Arc::new(Self::rank(&integration, &req.query, &req.spec)?);
-        self.results.insert(result_key, ranked.clone());
+        let ranked = Arc::new(Self::rank(&integration, &req.query, &req.spec, coverage)?);
+        self.results
+            .insert_if(result_key, ranked.clone(), |resident| {
+                ranked.serves_at_least(resident)
+            });
         Ok(Self::assemble(&ranked, req.top, cached_graph, false, start))
     }
 
@@ -508,7 +636,7 @@ impl QueryEngine {
     pub fn execute_uncached(&self, req: &QueryRequest) -> Result<QueryResponse, Error> {
         let start = Instant::now();
         let integration = self.mediator.execute(&req.query)?;
-        let ranked = Self::rank(&integration, &req.query, &req.spec)?;
+        let ranked = Self::rank(&integration, &req.query, &req.spec, req.coverage())?;
         Ok(Self::assemble(&ranked, req.top, false, false, start))
     }
 
@@ -516,6 +644,7 @@ impl QueryEngine {
         integration: &IntegrationResult,
         query: &ExploratoryQuery,
         spec: &RankerSpec,
+        coverage: Coverage,
     ) -> Result<RankedResult, Error> {
         let q = &integration.query;
         let (scores, certificate) = match spec.trials {
@@ -527,6 +656,10 @@ impl QueryEngine {
                     spec.resolved_estimator(),
                     cfg,
                     spec.effective_seed(query),
+                    match coverage {
+                        Coverage::TopK(k) => Some(k),
+                        Coverage::Full => None,
+                    },
                     q,
                 )?;
                 (outcome.scores, Some(outcome.certificate))
@@ -594,26 +727,43 @@ impl QueryEngine {
     }
 
     /// Up to `limit` hottest result-cache keys, approximately
-    /// most-recently-used first (per-shard MRU lists, interleaved).
-    /// These are the queries a replacement engine should answer fast
-    /// from its first second — see [`QueryEngine::warm`].
-    pub fn hot_result_keys(&self, limit: usize) -> Vec<(ExploratoryQuery, RankerSpec)> {
-        self.results.hot_keys(limit)
+    /// most-recently-used first (per-shard MRU lists, interleaved),
+    /// each tagged with the certified top-k of its stored entry
+    /// (`None` = fully covered: fixed, deterministic, or
+    /// full-certified adaptive). These are the queries a replacement
+    /// engine should answer fast from its first second — see
+    /// [`QueryEngine::warm`].
+    pub fn hot_result_keys(
+        &self,
+        limit: usize,
+    ) -> Vec<(ExploratoryQuery, RankerSpec, Option<u32>)> {
+        self.results
+            .hot_entries(limit)
+            .into_iter()
+            .map(|((query, spec), ranked)| {
+                let k = ranked.certificate.and_then(|c| c.mode.certified_k());
+                (query, spec, k)
+            })
+            .collect()
     }
 
     /// Replays result-cache keys (typically another engine's
     /// [`hot_result_keys`](QueryEngine::hot_result_keys)) against this
     /// engine, populating both cache layers with **freshly computed**
-    /// entries. Returns how many keys executed successfully; failures
-    /// (e.g. a query the new world cannot answer) are skipped — warming
-    /// is best-effort by design.
-    pub fn warm(&self, keys: &[(ExploratoryQuery, RankerSpec)]) -> usize {
+    /// entries. A key tagged with a certified top-k is replayed as the
+    /// same top-k-certified request, so warming costs what the hot
+    /// queries cost — never the full-certification trial budget a
+    /// top-k client avoided. Returns how many keys executed
+    /// successfully; failures (e.g. a query the new world cannot
+    /// answer) are skipped — warming is best-effort by design.
+    pub fn warm(&self, keys: &[(ExploratoryQuery, RankerSpec, Option<u32>)]) -> usize {
         keys.iter()
-            .filter(|(query, spec)| {
+            .filter(|(query, spec, k)| {
                 self.execute(&QueryRequest {
                     query: query.clone(),
                     spec: *spec,
-                    top: Some(0),
+                    top: Some(k.map(|k| k as usize).unwrap_or(0)),
+                    certify_top: k.is_some(),
                     world: None,
                 })
                 .is_ok()
@@ -627,29 +777,34 @@ impl QueryEngine {
 /// [`QueryEngine`] and the CLI's local-query path so the two can
 /// never diverge. `method` must be stochastic; `estimator` selects
 /// the engine for [`Method::TraversalMc`] and is ignored by
-/// [`Method::Reliability`] (reduction + traversal batches).
+/// [`Method::Reliability`] (reduction + traversal batches). A
+/// `top_k` restricts certification to that prefix and its boundary
+/// gap ([`AdaptiveRunner::with_top_k`]).
 pub fn run_adaptive(
     method: Method,
     estimator: Estimator,
     cfg: AdaptiveConfig,
     seed: u64,
+    top_k: Option<usize>,
     q: &biorank_graph::QueryGraph,
 ) -> Result<biorank_rank::AdaptiveOutcome, biorank_rank::Error> {
-    match method {
-        Method::Reliability => {
-            AdaptiveRunner::new(ReducedMc::new(cfg.max_trials, seed), cfg.epsilon, cfg.delta).run(q)
+    fn run<E: biorank_rank::Estimator>(
+        engine: E,
+        cfg: AdaptiveConfig,
+        top_k: Option<usize>,
+        q: &biorank_graph::QueryGraph,
+    ) -> Result<biorank_rank::AdaptiveOutcome, biorank_rank::Error> {
+        let mut runner = AdaptiveRunner::new(engine, cfg.epsilon, cfg.delta);
+        if let Some(k) = top_k {
+            runner = runner.with_top_k(k);
         }
+        runner.run(q)
+    }
+    match method {
+        Method::Reliability => run(ReducedMc::new(cfg.max_trials, seed), cfg, top_k, q),
         Method::TraversalMc => match estimator {
-            Estimator::Traversal => AdaptiveRunner::new(
-                TraversalMc::new(cfg.max_trials, seed),
-                cfg.epsilon,
-                cfg.delta,
-            )
-            .run(q),
-            Estimator::Word => {
-                AdaptiveRunner::new(WordMc::new(cfg.max_trials, seed), cfg.epsilon, cfg.delta)
-                    .run(q)
-            }
+            Estimator::Traversal => run(TraversalMc::new(cfg.max_trials, seed), cfg, top_k, q),
+            Estimator::Word => run(WordMc::new(cfg.max_trials, seed), cfg, top_k, q),
         },
         // Deterministic methods have no trials to adapt; callers
         // filter on `Method::is_stochastic` first.
@@ -793,6 +948,121 @@ mod tests {
             pathc_adaptive.cache_key(),
             RankerSpec::new(Method::PathCount).cache_key()
         );
+    }
+
+    #[test]
+    fn coverage_follows_certify_top_only_when_it_can_apply() {
+        let adaptive = RankerSpec {
+            trials: Trials::Adaptive(AdaptiveConfig::default()),
+            ..RankerSpec::new(Method::TraversalMc)
+        };
+        let req = QueryRequest::protein_functions("GALT", adaptive).certified_top(10);
+        assert_eq!(req.coverage(), Coverage::TopK(10));
+        // `top` alone shapes the response; it never narrows coverage.
+        let mut shaped = QueryRequest::protein_functions("GALT", adaptive);
+        shaped.top = Some(10);
+        assert_eq!(shaped.coverage(), Coverage::Full);
+        // certify_top without a top has no k to certify: full.
+        let mut no_k = QueryRequest::protein_functions("GALT", adaptive);
+        no_k.certify_top = true;
+        assert_eq!(no_k.coverage(), Coverage::Full);
+        // Fixed trials and deterministic methods run full schedules.
+        let fixed = QueryRequest::protein_functions("GALT", RankerSpec::new(Method::TraversalMc))
+            .certified_top(10);
+        assert_eq!(fixed.coverage(), Coverage::Full);
+        let pathc = QueryRequest::protein_functions(
+            "GALT",
+            RankerSpec {
+                trials: Trials::Adaptive(AdaptiveConfig::default()),
+                ..RankerSpec::new(Method::PathCount)
+            },
+        )
+        .certified_top(10);
+        assert_eq!(pathc.coverage(), Coverage::Full);
+    }
+
+    #[test]
+    fn prefix_reuse_rule_on_stored_results() {
+        let stored = |certificate: Option<Certificate>| RankedResult {
+            answers: Vec::new(),
+            certificate,
+        };
+        let cert = |mode, certified| Certificate {
+            trials_used: 640,
+            epsilon: 0.07,
+            certified,
+            mode,
+        };
+        // No certificate (fixed / deterministic): serves everything —
+        // requests differing only in top/certify_top share the entry.
+        let fixed = stored(None);
+        assert!(fixed.covers(Coverage::Full));
+        assert!(fixed.covers(Coverage::TopK(3)));
+        // Certified full: serves any k'.
+        let full = stored(Some(cert(CertificateMode::Full, true)));
+        assert!(full.covers(Coverage::Full));
+        assert!(full.covers(Coverage::TopK(100)));
+        // Certified top-10: serves k' ≤ 10; deeper needs recompute.
+        let top10 = stored(Some(cert(CertificateMode::TopK(10), true)));
+        assert!(top10.covers(Coverage::TopK(10)));
+        assert!(top10.covers(Coverage::TopK(3)));
+        assert!(!top10.covers(Coverage::TopK(11)));
+        assert!(!top10.covers(Coverage::Full));
+        // Uncertified runs only answer the exact coverage they ran
+        // under: a narrower top-k could still certify on its own.
+        let full_u = stored(Some(cert(CertificateMode::Full, false)));
+        assert!(full_u.covers(Coverage::Full));
+        assert!(!full_u.covers(Coverage::TopK(3)));
+        let top10_u = stored(Some(cert(CertificateMode::TopK(10), false)));
+        assert!(top10_u.covers(Coverage::TopK(10)));
+        assert!(!top10_u.covers(Coverage::TopK(3)));
+        assert!(!top10_u.covers(Coverage::Full));
+    }
+
+    #[test]
+    fn replacement_guard_never_lets_weaker_results_evict_stronger() {
+        let stored = |certificate: Option<Certificate>| RankedResult {
+            answers: Vec::new(),
+            certificate,
+        };
+        let cert = |mode, certified| Certificate {
+            trials_used: 640,
+            epsilon: 0.07,
+            certified,
+            mode,
+        };
+        let fixed = stored(None);
+        let full = stored(Some(cert(CertificateMode::Full, true)));
+        let full_u = stored(Some(cert(CertificateMode::Full, false)));
+        let top10 = stored(Some(cert(CertificateMode::TopK(10), true)));
+        let top3 = stored(Some(cert(CertificateMode::TopK(3), true)));
+        let top10_u = stored(Some(cert(CertificateMode::TopK(10), false)));
+
+        // All-serving results replace anything.
+        for resident in [&fixed, &full, &full_u, &top10, &top10_u] {
+            assert!(fixed.serves_at_least(resident));
+            assert!(full.serves_at_least(resident));
+        }
+        // Certified top-k dominates shallower (and equal) top-k —
+        // certified or not — but nothing full-shaped.
+        assert!(top10.serves_at_least(&top3));
+        assert!(top10.serves_at_least(&top10));
+        assert!(top10.serves_at_least(&top10_u));
+        assert!(!top3.serves_at_least(&top10));
+        assert!(!top10.serves_at_least(&full));
+        assert!(!top10.serves_at_least(&full_u));
+        assert!(!top10.serves_at_least(&fixed));
+        // The review scenario: an uncertified full (ceiling) run must
+        // NOT evict a certified top-k entry — mixed top-k/full
+        // populations would otherwise ping-pong the entry forever.
+        assert!(!full_u.serves_at_least(&top10));
+        assert!(full_u.serves_at_least(&full_u));
+        assert!(!full_u.serves_at_least(&full));
+        // Uncertified top-k serves only its exact coverage.
+        assert!(top10_u.serves_at_least(&top10_u));
+        assert!(!top10_u.serves_at_least(&top3));
+        assert!(!top10_u.serves_at_least(&top10));
+        assert!(!top10_u.serves_at_least(&full_u));
     }
 
     #[test]

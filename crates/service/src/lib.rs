@@ -66,12 +66,12 @@ pub mod server;
 pub mod tenancy;
 pub mod wire;
 
-pub use biorank_rank::{AdaptiveOutcome, Certificate};
+pub use biorank_rank::{AdaptiveOutcome, Certificate, CertificateMode};
 pub use cache::{CacheStats, ShardedLru};
 pub use engine::{
-    run_adaptive, AdaptiveConfig, EngineStats, Estimator, Method, QueryEngine, QueryRequest,
-    QueryResponse, RankedAnswer, RankedResult, RankerSpec, Trials, DEFAULT_CACHE_CAPACITY,
-    PARALLEL_MC_CHUNKS,
+    run_adaptive, AdaptiveConfig, Coverage, EngineStats, Estimator, Method, QueryEngine,
+    QueryRequest, QueryResponse, RankedAnswer, RankedResult, RankerSpec, Trials,
+    DEFAULT_CACHE_CAPACITY, PARALLEL_MC_CHUNKS,
 };
 pub use pool::WorkerPool;
 pub use server::{Client, ServeOptions, Server, ServerHandle};

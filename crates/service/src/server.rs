@@ -22,7 +22,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{channel, Sender};
 use std::sync::{Arc, Condvar, Mutex};
 
-use crate::engine::{Estimator, QueryEngine, RankerSpec, Trials};
+use crate::engine::{AdaptiveConfig, Estimator, QueryEngine, Trials};
 use crate::pool::WorkerPool;
 use crate::tenancy::{ServiceStats, WorldInfo, WorldManager, WorldSpec, DEFAULT_WORLD_BUDGET};
 use crate::wire;
@@ -39,18 +39,25 @@ pub struct ServeOptions {
     /// the reference traversal engine for cross-checking.
     pub default_estimator: Estimator,
     /// Trial policy applied to query lines that omit the `trials`
-    /// field (`biorank serve --adaptive-eps/--adaptive-delta` makes
-    /// adaptive the house default). Requests with an explicit policy
-    /// are never overridden.
+    /// field (`biorank serve --trials N` pins the house default back
+    /// to a fixed count). Requests with an explicit policy are never
+    /// overridden.
     pub default_trials: Trials,
 }
 
 impl Default for ServeOptions {
+    /// The serving defaults: word-parallel Monte Carlo under the
+    /// adaptive (ε = 0.02, δ = 0.05, ceiling 10⁴) trial policy — the
+    /// fast path soaked by `BENCH_mc.json`'s per-commit rows. Clients
+    /// opt back into the paper's fixed reference schedule with an
+    /// explicit `trials` number or `estimator: "traversal"` per
+    /// request, or server-wide via `biorank serve --trials/--estimator
+    /// traversal`.
     fn default() -> Self {
         ServeOptions {
             workers: 4,
-            default_estimator: Estimator::default(),
-            default_trials: Trials::Fixed(RankerSpec::DEFAULT_TRIALS),
+            default_estimator: Estimator::Word,
+            default_trials: Trials::Adaptive(AdaptiveConfig::default()),
         }
     }
 }

@@ -468,7 +468,11 @@ impl WorldManager {
     /// installed, so the hottest queries don't fall off a latency
     /// cliff at the moment of the swap. The warmed entries are fresh
     /// computations by the new engine — warming can never resurrect a
-    /// pre-swap answer. Pass 0 to install cold.
+    /// pre-swap answer. Keys whose stored result was top-k-certified
+    /// carry their `k` tag and are replayed as the same
+    /// top-k-certified request, so warming spends the trials the hot
+    /// clients actually spend (see [`QueryEngine::hot_result_keys`]).
+    /// Pass 0 to install cold.
     pub fn swap(&self, name: &str, spec: WorldSpec, warm: usize) -> Result<u64, TenancyError> {
         self.check_room(name)?;
         let engine = Arc::new(spec.build());
@@ -850,5 +854,37 @@ mod tests {
         mgr.swap("a", tiny(1), 0).expect("cold swap");
         let cold = mgr.resolve(Some("a")).expect("resolve cold");
         assert!(!cold.execute(&req).expect("cold query").cached_scores);
+    }
+
+    #[test]
+    fn swap_warm_replays_top_k_keys_at_their_certified_k() {
+        use crate::engine::{AdaptiveConfig, Method, RankerSpec, Trials};
+
+        let mgr = WorldManager::new(2);
+        mgr.load("a", tiny(1)).expect("load");
+        let spec = RankerSpec {
+            trials: Trials::Adaptive(AdaptiveConfig::default()),
+            ..RankerSpec::new(Method::TraversalMc)
+        };
+        let topk = crate::engine::QueryRequest::protein_functions("GALT", spec).certified_top(3);
+        let old = mgr.resolve(Some("a")).expect("resolve");
+        let cold = old.execute(&topk).expect("top-k query");
+        assert_eq!(cold.certificate.and_then(|c| c.mode.certified_k()), Some(3));
+        // The hot key carries its certified-k tag out of the cache.
+        assert_eq!(old.hot_result_keys(4)[0].2, Some(3));
+        drop(old);
+
+        mgr.swap("a", tiny(1), 4).expect("swap with warm-up");
+        let fresh = mgr.resolve(Some("a")).expect("resolve new");
+        let replayed = fresh.execute(&topk).expect("hot top-k query");
+        assert!(
+            replayed.cached_scores,
+            "the top-k entry must be warm in the replacement engine"
+        );
+        assert_eq!(
+            replayed.certificate.and_then(|c| c.mode.certified_k()),
+            Some(3),
+            "warm-up must have replayed the key as a top-3-certified run"
+        );
     }
 }

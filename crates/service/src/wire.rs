@@ -27,14 +27,21 @@
 //!  "trials":{"epsilon":0.02,"delta":0.05,"max":10000}}
 //! ```
 //!
+//! Adding `"certify_top":true` to an adaptive request restricts
+//! certification to the `top` prefix: batches stop once the top-k
+//! answers and the boundary gap to rank k+1 resolve, ignoring gaps
+//! further down.
+//!
 //! Response line (success). Adaptive executions echo their stop
-//! certificate; fixed and deterministic ones omit the field:
+//! certificate — `mode` says whether the full ranking (`"full"`) or
+//! only a `k`-prefix (`"top_k"`, with the certified `k`) was checked;
+//! fixed and deterministic executions omit the field:
 //!
 //! ```json
 //! {"id":1,"ok":true,"total":15,"cached_graph":false,"cached_scores":false,
 //!  "micros":8123,"certificate":{"trials_used":448,"epsilon":0.088,
-//!  "certified":true},"answers":[{"key":"GO:0004335","label":"galactokinase
-//!  activity","score":0.91,"rank_lo":1,"rank_hi":1}]}
+//!  "certified":true,"mode":"full"},"answers":[{"key":"GO:0004335",
+//!  "label":"galactokinase activity","score":0.91,"rank_lo":1,"rank_hi":1}]}
 //! ```
 //!
 //! Admin request lines set `cmd` to one of `world.load`, `world.swap`,
@@ -67,7 +74,7 @@ use std::fmt::Write as _;
 
 use biorank_mediator::ExploratoryQuery;
 
-use biorank_rank::Certificate;
+use biorank_rank::{Certificate, CertificateMode};
 
 use crate::cache::CacheStats;
 use crate::engine::{
@@ -606,6 +613,9 @@ fn encode_query_request(id: u64, req: &QueryRequest) -> String {
     if let Some(top) = req.top {
         fields.push(("top", Json::Num(top as f64)));
     }
+    if req.certify_top {
+        fields.push(("certify_top", Json::Bool(true)));
+    }
     if let Some(world) = &req.world {
         fields.push(("world", Json::Str(world.clone())));
     }
@@ -879,6 +889,14 @@ fn decode_query_body(
                 .ok_or_else(|| wire_err("field \"top\" must be a non-negative integer"))
         })
         .transpose()?;
+    let certify_top = fields
+        .get("certify_top")
+        .map(|v| {
+            v.as_bool()
+                .ok_or_else(|| wire_err("field \"certify_top\" must be a boolean"))
+        })
+        .transpose()?
+        .unwrap_or(false);
     let world = fields
         .get("world")
         .map(|v| {
@@ -902,6 +920,7 @@ fn decode_query_body(
             estimator,
         },
         top,
+        certify_top,
         world,
     })
 }
@@ -936,16 +955,23 @@ pub fn encode_response(r: &Response) -> String {
                 ),
             ];
             if let Some(cert) = &resp.certificate {
-                fields.push((
-                    "certificate",
-                    obj(vec![
-                        ("trials_used", Json::Num(f64::from(cert.trials_used))),
-                        // Scores round-trip bit-exactly, so the
-                        // certified ε does too.
-                        ("epsilon", Json::Num(cert.epsilon)),
-                        ("certified", Json::Bool(cert.certified)),
-                    ]),
-                ));
+                let mut cert_fields = vec![
+                    ("trials_used", Json::Num(f64::from(cert.trials_used))),
+                    // Scores round-trip bit-exactly, so the
+                    // certified ε does too.
+                    ("epsilon", Json::Num(cert.epsilon)),
+                    ("certified", Json::Bool(cert.certified)),
+                ];
+                match cert.mode {
+                    CertificateMode::Full => {
+                        cert_fields.push(("mode", Json::Str("full".into())));
+                    }
+                    CertificateMode::TopK(k) => {
+                        cert_fields.push(("mode", Json::Str("top_k".into())));
+                        cert_fields.push(("k", Json::Num(f64::from(k))));
+                    }
+                }
+                fields.push(("certificate", obj(cert_fields)));
             }
             obj(fields).encode()
         }
@@ -1118,6 +1144,21 @@ fn decode_query_response(fields: &BTreeMap<String, Json>) -> Result<QueryRespons
             let Json::Obj(f) = v else {
                 return Err(wire_err("field \"certificate\" must be an object"));
             };
+            // Absent mode means full certification (the only mode
+            // before top-k certification existed).
+            let mode = match f.get("mode").map(|m| m.as_str()) {
+                None | Some(Some("full")) => CertificateMode::Full,
+                Some(Some("top_k")) => CertificateMode::TopK(
+                    get_u64(f, "k")?
+                        .try_into()
+                        .map_err(|_| wire_err("certificate \"k\" must fit in u32"))?,
+                ),
+                _ => {
+                    return Err(wire_err(
+                        "certificate \"mode\" must be \"full\" or \"top_k\"",
+                    ))
+                }
+            };
             Ok(Certificate {
                 trials_used: get_u64(f, "trials_used")?
                     .try_into()
@@ -1128,6 +1169,7 @@ fn decode_query_response(fields: &BTreeMap<String, Json>) -> Result<QueryRespons
                 certified: get(f, "certified")?
                     .as_bool()
                     .ok_or_else(|| wire_err("field \"certified\" must be a boolean"))?,
+                mode,
             })
         })
         .transpose()?;
@@ -1293,11 +1335,13 @@ mod tests {
                     estimator: None,
                 },
                 top: Some(5),
+                certify_top: false,
                 world: None,
             }),
         };
         let line = encode_request(&r);
         assert!(!line.contains('\n'));
+        assert!(!line.contains("certify_top"), "{line}");
         assert_eq!(decode_request(&line).unwrap(), r);
 
         // World routing, the parallel flag, and the estimator
@@ -1315,11 +1359,40 @@ mod tests {
                         estimator,
                     },
                     top: None,
+                    certify_top: false,
                     world: Some("staging".into()),
                 }),
             };
             assert_eq!(decode_request(&encode_request(&r)).unwrap(), r);
         }
+    }
+
+    #[test]
+    fn certify_top_roundtrips_and_defaults_off() {
+        let r = Request {
+            id: 12,
+            body: RequestBody::Query(
+                QueryRequest::protein_functions(
+                    "GALT",
+                    RankerSpec {
+                        trials: Trials::Adaptive(AdaptiveConfig::default()),
+                        ..RankerSpec::new(Method::TraversalMc)
+                    },
+                )
+                .certified_top(10),
+            ),
+        };
+        let line = encode_request(&r);
+        assert!(line.contains("\"certify_top\":true"), "{line}");
+        assert!(line.contains("\"top\":10"), "{line}");
+        assert_eq!(decode_request(&line).unwrap(), r);
+        // Absent field decodes to false; garbage is rejected.
+        let line = "{\"id\":1,\"input\":\"A\",\"attribute\":\"x\",\"value\":\"v\",\
+                    \"outputs\":[\"B\"],\"method\":\"mc\"}";
+        assert!(!query_of(&decode_request(line).unwrap()).certify_top);
+        let line = "{\"id\":1,\"input\":\"A\",\"attribute\":\"x\",\"value\":\"v\",\
+                    \"outputs\":[\"B\"],\"method\":\"mc\",\"certify_top\":3}";
+        assert!(decode_request(line).is_err());
     }
 
     #[test]
@@ -1341,6 +1414,7 @@ mod tests {
                     estimator: Some(Estimator::Word),
                 },
                 top: None,
+                certify_top: false,
                 world: None,
             }),
         };
@@ -1535,6 +1609,7 @@ mod tests {
                     estimator: None,
                 },
                 top: None,
+                certify_top: false,
                 world: None,
             }),
         };
@@ -1617,6 +1692,7 @@ mod tests {
                     trials_used: 448,
                     epsilon: 0.08839224356,
                     certified: true,
+                    mode: CertificateMode::Full,
                 }),
                 cached_graph: false,
                 cached_scores: true,
@@ -1624,6 +1700,7 @@ mod tests {
             })),
         };
         let line = encode_response(&resp);
+        assert!(line.contains("\"mode\":\"full\""), "{line}");
         let back = decode_response(&line).unwrap();
         let Ok(ResponseBody::Query(q)) = &back.outcome else {
             panic!("not a query response: {line}");
@@ -1632,7 +1709,47 @@ mod tests {
         assert_eq!(cert.trials_used, 448);
         assert_eq!(cert.epsilon.to_bits(), 0.08839224356f64.to_bits());
         assert!(cert.certified);
+        assert_eq!(cert.mode, CertificateMode::Full);
         assert_eq!(back, resp);
+    }
+
+    #[test]
+    fn top_k_certificate_mode_survives_the_wire() {
+        let resp = Response {
+            id: 7,
+            outcome: Ok(ResponseBody::Query(QueryResponse {
+                answers: vec![],
+                total_answers: 97,
+                certificate: Some(Certificate {
+                    trials_used: 192,
+                    epsilon: 0.25,
+                    certified: true,
+                    mode: CertificateMode::TopK(10),
+                }),
+                cached_graph: true,
+                cached_scores: false,
+                micros: 3,
+            })),
+        };
+        let line = encode_response(&resp);
+        assert!(
+            line.contains("\"mode\":\"top_k\"") && line.contains("\"k\":10"),
+            "{line}"
+        );
+        assert_eq!(decode_response(&line).unwrap(), resp);
+        // A certificate without a mode is a legacy full certificate.
+        let legacy = line
+            .replace(",\"mode\":\"top_k\"", "")
+            .replace(",\"k\":10", "");
+        let Ok(ResponseBody::Query(q)) = decode_response(&legacy).unwrap().outcome else {
+            panic!("not a query response: {legacy}");
+        };
+        assert_eq!(q.certificate.unwrap().mode, CertificateMode::Full);
+        // top_k without k, or an unknown mode, is rejected.
+        let broken = line.replace(",\"k\":10", "");
+        assert!(decode_response(&broken).is_err(), "{broken}");
+        let unknown = line.replace("\"mode\":\"top_k\"", "\"mode\":\"sideways\"");
+        assert!(decode_response(&unknown).is_err(), "{unknown}");
     }
 
     #[test]

@@ -44,6 +44,7 @@ fn main() {
                 query: ExploratoryQuery::protein_functions("GALT"),
                 spec,
                 top: Some(5),
+                certify_top: false,
                 world: None,
             })
             .expect("query GALT");

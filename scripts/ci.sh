@@ -31,6 +31,30 @@ cargo test -q --test service_tenancy
 echo "==> cargo test -q --test service_adaptive"
 cargo test -q --test service_adaptive
 
+# Smoke top-k boundary certification over the wire through the real
+# binary: start a serve on an ephemeral port, issue a --certify-top
+# query, and require the top-k certificate in the human output.
+echo "==> biorank --certify-top wire smoke"
+serve_log="$(mktemp)"
+./target/release/biorank serve --addr 127.0.0.1:0 --workers 2 >"$serve_log" 2>&1 &
+serve_pid=$!
+trap 'kill "$serve_pid" 2>/dev/null || true; rm -f "$serve_log"' EXIT
+addr=""
+for _ in $(seq 1 240); do
+    addr=$(sed -n 's/^biorank-serve listening on \([0-9.:]*\) .*/\1/p' "$serve_log")
+    [ -n "$addr" ] && break
+    sleep 0.5
+done
+if [ -z "$addr" ]; then
+    echo "biorank serve never reported its address" >&2
+    cat "$serve_log" >&2
+    exit 1
+fi
+./target/release/biorank query GALT --addr "$addr" --method mc --top 5 --certify-top |
+    tee /dev/stderr |
+    grep -q "top-5 + boundary certified"
+kill "$serve_pid" 2>/dev/null || true
+
 # Smoke the perf-trajectory recorder: the word-parallel MC bench must
 # run and produce parseable JSON lines (quick sampling, temp output —
 # BENCH_mc.json itself is only appended by deliberate local runs).

@@ -3,15 +3,18 @@
 //! fixed default, echo its certificate (including on cache hits), keep
 //! distinct result-cache keys from fixed-trial requests, and honor a
 //! server-level adaptive default for requests that omit `trials`.
+//! `certify_top` requests additionally exercise the prefix-reuse cache
+//! rule: one entry per (query, spec), hit iff the stored entry
+//! certifies at least the requested k.
 
 use std::sync::Arc;
 
 use biorank::mediator::Mediator;
 use biorank::prelude::*;
-use biorank::rank::bounds;
+use biorank::rank::{bounds, CertificateMode};
 use biorank::service::{
-    AdaptiveConfig, Client, Estimator, Method, QueryEngine, RankerSpec, ServeOptions, Server,
-    ServerHandle, Trials,
+    AdaptiveConfig, Client, Estimator, Method, QueryEngine, QueryRequest, RankerSpec, ServeOptions,
+    Server, ServerHandle, Trials,
 };
 
 fn start_server(opts: ServeOptions) -> ServerHandle {
@@ -100,6 +103,144 @@ fn adaptive_and_fixed_requests_never_share_cache_entries() {
         .protein_functions("CFTR", spec(tighter, word))
         .expect("tighter adaptive");
     assert!(!t.cached_scores, "no cross-policy cache hits");
+
+    handle.shutdown();
+}
+
+#[test]
+fn certify_top_prefix_reuse_across_k_values() {
+    let handle = start_server(ServeOptions::default());
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    let word = spec(
+        Trials::Adaptive(AdaptiveConfig::default()),
+        Some(Estimator::Word),
+    );
+    let topk = |k: usize| QueryRequest::protein_functions("GALT", word).certified_top(k);
+
+    // Cold top-5: certifies only the prefix + boundary, tagged as such.
+    let k5 = client.query(&topk(5)).expect("top-5 query");
+    assert!(!k5.cached_scores);
+    assert_eq!(k5.answers.len(), 5, "top shapes the response");
+    let cert5 = k5.certificate.expect("certificate");
+    assert!(cert5.certified);
+    assert_eq!(cert5.mode, CertificateMode::TopK(5));
+
+    // A shallower prefix is a hit off the stored top-5 entry, echoing
+    // the *stored* certificate.
+    let k3 = client.query(&topk(3)).expect("top-3 query");
+    assert!(k3.cached_scores, "top-5-certified entry serves k' = 3");
+    assert_eq!(k3.answers.len(), 3);
+    assert_eq!(k3.certificate, Some(cert5));
+    assert_eq!(k3.answers, k5.answers[..3].to_vec());
+
+    // A deeper prefix recomputes and REPLACES the entry...
+    let k8 = client.query(&topk(8)).expect("top-8 query");
+    assert!(!k8.cached_scores, "k' = 8 exceeds the certified 5");
+    let cert8 = k8.certificate.expect("certificate");
+    assert_eq!(cert8.mode, CertificateMode::TopK(8));
+    assert!(
+        cert8.trials_used >= cert5.trials_used,
+        "more gaps can only demand more trials: {} < {}",
+        cert8.trials_used,
+        cert5.trials_used
+    );
+    // ...so the old k now hits the replacement.
+    let k5_again = client.query(&topk(5)).expect("top-5 again");
+    assert!(k5_again.cached_scores);
+    assert_eq!(k5_again.certificate, Some(cert8));
+
+    // Full certification does not accept any top-k entry: recompute,
+    // replace — and from then on every prefix is served from it.
+    let full = client
+        .protein_functions("GALT", word)
+        .expect("full adaptive query");
+    assert!(!full.cached_scores, "a top-k entry never answers full");
+    let cert_full = full.certificate.expect("certificate");
+    assert!(cert_full.certified);
+    assert_eq!(cert_full.mode, CertificateMode::Full);
+    assert!(
+        cert_full.trials_used >= cert8.trials_used,
+        "full certification resolves a superset of gaps"
+    );
+    let k3_off_full = client.query(&topk(3)).expect("top-3 off full");
+    assert!(
+        k3_off_full.cached_scores,
+        "full certification serves any k'"
+    );
+    assert_eq!(k3_off_full.certificate, Some(cert_full));
+
+    // The top-k prefix the cheap run certified is the same answer
+    // *set* the fully certified ranking leads with (scores differ —
+    // the runs stopped at different trial counts — and internal order
+    // below the ε floor is not part of either claim).
+    let key_set = |answers: &[biorank::service::RankedAnswer]| {
+        let mut keys: Vec<String> = answers.iter().map(|a| a.key.clone()).collect();
+        keys.sort_unstable();
+        keys
+    };
+    assert_eq!(key_set(&k5.answers), key_set(&full.answers[..5]));
+
+    handle.shutdown();
+}
+
+#[test]
+fn top_k_certification_spends_fewer_trials_than_full() {
+    let handle = start_server(ServeOptions::default());
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    // ABCC8's 97-answer set is the wide-ranking case the feature
+    // targets: separating rank 40 from 41 is pure waste for a top-1
+    // client.
+    let word = spec(
+        Trials::Adaptive(AdaptiveConfig::default()),
+        Some(Estimator::Word),
+    );
+    let top1 = client
+        .query(&QueryRequest::protein_functions("ABCC8", word).certified_top(1))
+        .expect("top-1 query");
+    let cert1 = top1.certificate.expect("certificate");
+    assert!(cert1.certified);
+    let full = client
+        .protein_functions("ABCC8", word)
+        .expect("full adaptive query");
+    let cert_full = full.certificate.expect("certificate");
+    assert!(
+        cert1.trials_used < cert_full.trials_used,
+        "top-1 {} should beat full {} on a 97-answer ranking",
+        cert1.trials_used,
+        cert_full.trials_used
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn fixed_requests_differing_only_in_top_share_one_entry() {
+    let handle = start_server(ServeOptions::default());
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    let fixed = spec(Trials::Fixed(400), Some(Estimator::Word));
+
+    let mut shaped = QueryRequest::protein_functions("GALT", fixed);
+    shaped.top = Some(5);
+    let cold = client.query(&shaped).expect("top-5 fixed query");
+    assert!(!cold.cached_scores);
+    assert_eq!(cold.answers.len(), 5);
+
+    // Different top, same spec: the fixed run computed the full
+    // ranking, so this is a hit.
+    let all = client
+        .protein_functions("GALT", fixed)
+        .expect("untruncated fixed query");
+    assert!(all.cached_scores, "top is not a cache dimension");
+    assert_eq!(all.answers.len(), 15);
+    assert_eq!(all.answers[..5].to_vec(), cold.answers);
+
+    // certify_top is meaningless under fixed trials: normalized to
+    // full coverage, so it hits the same entry too.
+    let certified = client
+        .query(&QueryRequest::protein_functions("GALT", fixed).certified_top(3))
+        .expect("certify_top fixed query");
+    assert!(certified.cached_scores);
+    assert_eq!(certified.certificate, None);
+    assert_eq!(certified.answers.len(), 3);
 
     handle.shutdown();
 }

@@ -42,6 +42,7 @@ fn batch() -> Vec<QueryRequest> {
                     estimator: None,
                 },
                 top: None,
+                certify_top: false,
                 world: None,
             });
         }
