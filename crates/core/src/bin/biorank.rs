@@ -37,6 +37,9 @@
 //!                                         `biorank serve` instead of
 //!                                         executing locally
 //!   --world NAME                          resident world to query (remote only)
+//!   --trace                               print the per-stage span breakdown
+//!                                         (remote: echoed by the server;
+//!                                         local: measured in-process)
 //!
 //! serve options:
 //!   --addr HOST:PORT                      bind address (default 127.0.0.1:7878)
@@ -54,6 +57,9 @@
 //!                                         (adaptive is the default; an
 //!                                         explicit --trials N opts the server
 //!                                         back into fixed N)
+//!   --slow-query-micros N                 log queries at least this slow to
+//!                                         the in-memory slow-query ring
+//!                                         (default 10000)
 //!
 //! admin commands (all need --addr, default 127.0.0.1:7878):
 //!   world.load NAME [--seed S] [--extended] [--cache N] [--background]
@@ -68,6 +74,10 @@
 //!   world.evict NAME                                      drop a resident world
 //!   world.list                                            show the registry
 //!   stats                                                 per-world cache counters
+//!   metrics [--reset]                     full telemetry snapshot: service and
+//!                                         per-world counters/histograms plus
+//!                                         the slow-query log; --reset zeroes
+//!                                         everything after reading
 //! ```
 
 use std::process::ExitCode;
@@ -77,8 +87,9 @@ use biorank::prelude::*;
 use biorank::rank::{explain::explain, Certificate, CertificateMode, TopK};
 use biorank::schema::biorank_schema_full;
 use biorank::service::{
-    AdaptiveConfig, Client, Estimator, Method, QueryRequest, RankerSpec, ServeOptions, Server,
-    Trials, WorldManager, WorldSpec, DEFAULT_SWAP_WARM, DEFAULT_WORLD_BUDGET,
+    AdaptiveConfig, Client, Estimator, Method, MetricsSnapshot, QueryRequest, RankerSpec,
+    ServeOptions, Server, Trials, WorldManager, WorldSpec, DEFAULT_SLOW_QUERY_MICROS,
+    DEFAULT_SWAP_WARM, DEFAULT_WORLD_BUDGET,
 };
 
 struct Options {
@@ -103,6 +114,9 @@ struct Options {
     world: Option<String>,
     background: bool,
     warm: usize,
+    trace: bool,
+    reset: bool,
+    slow_query_micros: u64,
     positional: Vec<String>,
 }
 
@@ -173,6 +187,9 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         world: None,
         background: false,
         warm: DEFAULT_SWAP_WARM,
+        trace: false,
+        reset: false,
+        slow_query_micros: DEFAULT_SLOW_QUERY_MICROS,
         positional: Vec::new(),
     };
     let mut i = 0;
@@ -276,10 +293,19 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                         .ok_or_else(|| format!("unknown estimator {name:?} (traversal|word)"))?,
                 );
             }
+            "--slow-query-micros" => {
+                i += 1;
+                opts.slow_query_micros = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--slow-query-micros needs a number")?;
+            }
             "--certify-top" => opts.certify_top = true,
             "--parallel" => opts.parallel = true,
             "--extended" => opts.extended = true,
             "--background" => opts.background = true,
+            "--trace" => opts.trace = true,
+            "--reset" => opts.reset = true,
             flag if flag.starts_with("--") => {
                 return Err(format!("unknown flag {flag}"));
             }
@@ -386,6 +412,7 @@ fn cmd_query_remote(opts: &Options, addr: &str) -> Result<(), String> {
         top: Some(opts.top),
         certify_top: opts.certify_top,
         world: opts.world.clone(),
+        trace: opts.trace,
     };
     let response = client.query(&request).map_err(|e| e.to_string())?;
     println!(
@@ -405,6 +432,17 @@ fn cmd_query_remote(opts: &Options, addr: &str) -> Result<(), String> {
     );
     if let Some(cert) = &response.certificate {
         println!("{}", certificate_line(cert));
+    }
+    if !response.trace.is_empty() {
+        let total: u64 = response.trace.iter().map(|s| s.nanos).sum();
+        println!(
+            "  trace ({} stages, {} µs accounted):",
+            response.trace.len(),
+            total / 1_000
+        );
+        for s in &response.trace {
+            println!("    {:<10} {:>12} ns", s.stage, s.nanos);
+        }
     }
     for a in &response.answers {
         let rank = if a.rank_lo == a.rank_hi {
@@ -450,6 +488,7 @@ fn cmd_serve(opts: &Options) -> Result<(), String> {
             // `--trials N` opt the house policy back out.
             default_estimator: opts.estimator.unwrap_or(Estimator::Word),
             default_trials: opts.serve_trials_policy(),
+            slow_query_micros: opts.slow_query_micros,
         },
     )
     .map_err(|e| format!("bind {addr}: {e}"))?;
@@ -472,10 +511,9 @@ fn cmd_serve(opts: &Options) -> Result<(), String> {
 
 /// `biorank admin`: drive a running server's world registry.
 fn cmd_admin(opts: &Options) -> Result<(), String> {
-    let cmd = opts
-        .positional
-        .first()
-        .ok_or("usage: biorank admin <world.load|world.swap|world.evict|world.list|stats>")?;
+    let cmd = opts.positional.first().ok_or(
+        "usage: biorank admin <world.load|world.swap|world.evict|world.list|stats|metrics>",
+    )?;
     let addr = opts.addr.as_deref().unwrap_or("127.0.0.1:7878");
     let mut client = Client::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
     let name = || -> Result<&str, String> {
@@ -555,7 +593,8 @@ fn cmd_admin(opts: &Options) -> Result<(), String> {
             for w in stats.worlds {
                 println!(
                     "  {:<12} gen {:<3} graphs {:>6}h/{:<6}m ({:>5.1}%)  \
-                     results {:>6}h/{:<6}m ({:>5.1}%)",
+                     results {:>6}h/{:<6}m ({:>5.1}%)  \
+                     inserts {}+{} rejected {}",
                     w.name,
                     w.generation,
                     w.engine.graphs.hits,
@@ -564,12 +603,62 @@ fn cmd_admin(opts: &Options) -> Result<(), String> {
                     w.engine.results.hits,
                     w.engine.results.misses,
                     100.0 * w.engine.results.hit_rate(),
+                    w.engine.graphs.inserts,
+                    w.engine.results.inserts,
+                    w.engine.results.rejected,
                 );
+            }
+        }
+        "metrics" => {
+            let report = client.metrics(opts.reset).map_err(|e| e.to_string())?;
+            println!("service:");
+            print_metrics_snapshot("  ", &report.service);
+            for w in &report.worlds {
+                println!("world {:?}:", w.name);
+                print_metrics_snapshot("  ", &w.metrics);
+            }
+            if report.slow_queries.is_empty() {
+                println!("slow queries: none");
+            } else {
+                println!("slow queries ({}):", report.slow_queries.len());
+                for s in &report.slow_queries {
+                    println!(
+                        "  {:<12} {:<14} {:<6} {:>8} µs{}",
+                        s.world,
+                        s.value,
+                        s.method,
+                        s.micros,
+                        if s.cached { "  [cached]" } else { "" }
+                    );
+                }
+            }
+            if opts.reset {
+                println!("(all counters, histograms, and the slow-query log were reset)");
             }
         }
         other => return Err(format!("unknown admin command {other:?}")),
     }
     Ok(())
+}
+
+/// Renders one registry snapshot: counters and gauges as plain totals,
+/// histograms as count/mean/max-bucket summaries.
+fn print_metrics_snapshot(indent: &str, snap: &MetricsSnapshot) {
+    for (name, value) in &snap.counters {
+        println!("{indent}{name:<28} {value}");
+    }
+    for (name, value) in &snap.gauges {
+        println!("{indent}{name:<28} {value} (gauge)");
+    }
+    for (name, h) in &snap.histograms {
+        let top = h.buckets.last().map(|b| b.hi).unwrap_or(0);
+        println!(
+            "{indent}{name:<28} n={} mean={:.0} max<{}",
+            h.count,
+            h.mean(),
+            top
+        );
+    }
 }
 
 fn cmd_query(opts: &Options) -> Result<(), String> {
@@ -584,9 +673,12 @@ fn cmd_query(opts: &Options) -> Result<(), String> {
         .first()
         .ok_or("usage: biorank query <PROTEIN>")?;
     let (world, mediator) = build(opts);
+    let integrate_start = std::time::Instant::now();
     let result = mediator
         .execute(&ExploratoryQuery::protein_functions(protein))
         .map_err(|e| e.to_string())?;
+    let integrate_ns = integrate_start.elapsed().as_nanos() as u64;
+    let score_start = std::time::Instant::now();
     let q = &result.query;
     let ranker = ranker_for(&opts.method, opts.trials, opts.estimator)?;
     let mut certificate = None;
@@ -630,7 +722,10 @@ fn cmd_query(opts: &Options) -> Result<(), String> {
     } else {
         ranker.score(q).map_err(|e| e.to_string())?
     };
+    let score_ns = score_start.elapsed().as_nanos() as u64;
+    let rank_start = std::time::Instant::now();
     let ranking = Ranking::rank(scores.answers(q));
+    let rank_ns = rank_start.elapsed().as_nanos() as u64;
     println!(
         "{protein}: {} candidate functions ({} graph nodes, {} edges), method {}",
         q.answers().len(),
@@ -640,6 +735,18 @@ fn cmd_query(opts: &Options) -> Result<(), String> {
     );
     if let Some(cert) = &certificate {
         println!("{}", certificate_line(cert));
+    }
+    if opts.trace {
+        // Local runs have no server-side spans; measure the three
+        // in-process stages directly so `--trace` is useful offline.
+        println!("  trace (local, 3 stages):");
+        for (stage, nanos) in [
+            ("integrate", integrate_ns),
+            ("score", score_ns),
+            ("rank", rank_ns),
+        ] {
+            println!("    {stage:<10} {nanos:>12} ns");
+        }
     }
     let gold = world.iproclass.functions(protein);
     for entry in ranking.entries().iter().take(opts.top) {

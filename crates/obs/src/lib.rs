@@ -1,0 +1,638 @@
+//! # biorank-obs
+//!
+//! Hand-rolled, dependency-free observability primitives for the
+//! serving layer — the same `vendor/`-era stand-in philosophy as the
+//! rest of the workspace: the container is offline, the surface we
+//! need is small, and ~500 lines beat a crate dependency.
+//!
+//! Three pieces:
+//!
+//! * [`MetricsRegistry`] — a named registry of atomic [`Counter`]s,
+//!   [`Gauge`]s, and fixed-bucket log₂-scale [`Histogram`]s.
+//!   Registration takes a write lock once per name; the returned
+//!   `Arc` handles are lock-free on the hot path (callers cache them
+//!   at construction, or pay one read-lock map probe per request —
+//!   never per trial). [`MetricsRegistry::snapshot`] materializes a
+//!   point-in-time [`MetricsSnapshot`] without stopping writers.
+//! * [`TraceRecorder`] / [`TraceSpan`] — per-request stage timing: a
+//!   plain `Vec` of `(stage, nanos)` pairs a request thread fills in
+//!   as it moves through the serve path, echoed to the client when it
+//!   opted in with `trace: true`.
+//! * [`SlowQueryLog`] — a bounded in-memory ring buffer of the most
+//!   recent queries that exceeded a latency threshold, for the
+//!   `metrics` admin op to expose.
+//!
+//! Counter and histogram updates are relaxed atomics: totals are
+//! exact once writers quiesce (every test's situation after its
+//! responses arrive), and transiently-torn cross-metric reads are an
+//! accepted property of snapshot-on-read observability.
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::Instant;
+
+/// A monotonically increasing atomic counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A counter at zero.
+    pub fn new() -> Self {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current total.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Resets to zero.
+    pub fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A last-write-wins atomic gauge (resident counts, budgets).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// A gauge at zero.
+    pub fn new() -> Self {
+        Gauge(AtomicU64::new(0))
+    }
+
+    /// Sets the current value.
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Bucket count of a [`Histogram`]: bucket 0 holds exact zeros,
+/// bucket `i ≥ 1` holds values in `[2^(i−1), 2^i)` — 64 powers cover
+/// the full `u64` range.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// A fixed-bucket log₂-scale histogram for latencies (nanoseconds)
+/// and trial counts.
+///
+/// Recording is one `leading_zeros` plus three relaxed atomic adds —
+/// no locks, no allocation — so it is safe on the per-request hot
+/// path. Bucket boundaries are powers of two: the resolution matches
+/// how latency distributions are actually read (is it 1 µs or 1 ms?),
+/// and bucket selection is branch-free.
+#[derive(Debug)]
+pub struct Histogram {
+    count: AtomicU64,
+    sum: AtomicU64,
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The bucket index `value` lands in: 0 for 0, otherwise
+    /// `⌊log₂ value⌋ + 1`.
+    pub fn bucket_index(value: u64) -> usize {
+        (64 - value.leading_zeros()) as usize
+    }
+
+    /// The half-open value range `[lo, hi)` of bucket `i` (bucket 0
+    /// is the degenerate `[0, 1)`).
+    pub fn bucket_range(i: usize) -> (u64, u64) {
+        match i {
+            0 => (0, 1),
+            64 => (1u64 << 63, u64::MAX),
+            _ => (1u64 << (i - 1), 1u64 << i),
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&self, value: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.buckets[Self::bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Observations recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all recorded values.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time copy, keeping only occupied buckets.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = Vec::new();
+        for i in 0..HISTOGRAM_BUCKETS {
+            let n = self.buckets[i].load(Ordering::Relaxed);
+            if n > 0 {
+                let (lo, hi) = Self::bucket_range(i);
+                buckets.push(HistogramBucket { lo, hi, count: n });
+            }
+        }
+        HistogramSnapshot {
+            count: self.count(),
+            sum: self.sum(),
+            buckets,
+        }
+    }
+
+    /// Resets every bucket and the totals to zero.
+    pub fn reset(&self) {
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// One occupied bucket of a [`HistogramSnapshot`]: `count`
+/// observations fell in `[lo, hi)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HistogramBucket {
+    /// Inclusive lower bound of the bucket.
+    pub lo: u64,
+    /// Exclusive upper bound of the bucket.
+    pub hi: u64,
+    /// Observations in the bucket.
+    pub count: u64,
+}
+
+/// A point-in-time copy of one [`Histogram`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all recorded values.
+    pub sum: u64,
+    /// Occupied buckets in ascending value order.
+    pub buckets: Vec<HistogramBucket>,
+}
+
+impl HistogramSnapshot {
+    /// Mean recorded value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// A named registry of counters, gauges, and histograms.
+///
+/// One instance per scope: each `QueryEngine` owns one (per-world
+/// metrics die with the engine at swap, exactly like its caches), and
+/// the service owns one for cross-world concerns (connections,
+/// tenancy events, wire timings).
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: RwLock<BTreeMap<String, Arc<Counter>>>,
+    gauges: RwLock<BTreeMap<String, Arc<Gauge>>>,
+    histograms: RwLock<BTreeMap<String, Arc<Histogram>>>,
+}
+
+/// Register-on-first-use lookup: a read-lock probe on the hot path,
+/// upgrading to a write lock only the first time a name appears.
+fn intern<T: Default>(map: &RwLock<BTreeMap<String, Arc<T>>>, name: &str) -> Arc<T> {
+    if let Some(found) = map.read().expect("metrics registry").get(name) {
+        return Arc::clone(found);
+    }
+    let mut map = map.write().expect("metrics registry");
+    Arc::clone(
+        map.entry(name.to_string())
+            .or_insert_with(|| Arc::new(T::default())),
+    )
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The counter named `name`, created at zero on first use.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        intern(&self.counters, name)
+    }
+
+    /// The gauge named `name`, created at zero on first use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        intern(&self.gauges, name)
+    }
+
+    /// The histogram named `name`, created empty on first use.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        intern(&self.histograms, name)
+    }
+
+    /// A point-in-time copy of every metric.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self
+                .counters
+                .read()
+                .expect("metrics registry")
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            gauges: self
+                .gauges
+                .read()
+                .expect("metrics registry")
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            histograms: self
+                .histograms
+                .read()
+                .expect("metrics registry")
+                .iter()
+                .map(|(k, v)| (k.clone(), v.snapshot()))
+                .collect(),
+        }
+    }
+
+    /// Zeroes every registered metric (names stay registered, so
+    /// cached handles keep working).
+    pub fn reset(&self) {
+        for c in self.counters.read().expect("metrics registry").values() {
+            c.reset();
+        }
+        for g in self.gauges.read().expect("metrics registry").values() {
+            g.set(0);
+        }
+        for h in self.histograms.read().expect("metrics registry").values() {
+            h.reset();
+        }
+    }
+}
+
+/// A point-in-time copy of a [`MetricsRegistry`].
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Counter totals by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, u64>,
+    /// Histogram snapshots by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// The counter total for `name` (0 when never registered).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// The histogram snapshot for `name` (empty when never
+    /// registered).
+    pub fn histogram(&self, name: &str) -> HistogramSnapshot {
+        self.histograms.get(name).cloned().unwrap_or_default()
+    }
+}
+
+/// One named stage of a request's execution with its wall-clock cost.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceSpan {
+    /// Stage name (`cache`, `graph`, `estimate`, `certify`, `insert`,
+    /// `serialize`, ...).
+    pub stage: String,
+    /// Wall-clock nanoseconds the stage took.
+    pub nanos: u64,
+}
+
+/// Collects [`TraceSpan`]s for one request.
+///
+/// Plain single-threaded state — a request is executed by one worker,
+/// so there is nothing to synchronize. Construction is free when
+/// disabled: spans pushed into a disabled recorder are dropped, so
+/// call sites never branch.
+#[derive(Clone, Debug, Default)]
+pub struct TraceRecorder {
+    enabled: bool,
+    spans: Vec<TraceSpan>,
+}
+
+impl TraceRecorder {
+    /// A recorder; `enabled: false` drops every span pushed into it.
+    pub fn new(enabled: bool) -> Self {
+        TraceRecorder {
+            enabled,
+            spans: Vec::new(),
+        }
+    }
+
+    /// Whether spans are being kept.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Appends a measured span.
+    pub fn span(&mut self, stage: &str, nanos: u64) {
+        if self.enabled {
+            self.spans.push(TraceSpan {
+                stage: stage.to_string(),
+                nanos,
+            });
+        }
+    }
+
+    /// Times `f` and records it as `stage`, returning both `f`'s
+    /// result and the measured nanoseconds (so callers can feed the
+    /// same measurement into a histogram whether or not the recorder
+    /// keeps the span).
+    pub fn time<T>(&mut self, stage: &str, f: impl FnOnce() -> T) -> (T, u64) {
+        let start = Instant::now();
+        let out = f();
+        let nanos = start.elapsed().as_nanos() as u64;
+        self.span(stage, nanos);
+        (out, nanos)
+    }
+
+    /// The collected spans, consuming the recorder.
+    pub fn into_spans(self) -> Vec<TraceSpan> {
+        self.spans
+    }
+}
+
+/// One entry of the [`SlowQueryLog`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SlowQueryEntry {
+    /// World the query ran against.
+    pub world: String,
+    /// The query's `value` field (e.g. the protein name).
+    pub value: String,
+    /// Ranking method (wire spelling).
+    pub method: String,
+    /// Wall-clock execution time in microseconds.
+    pub micros: u64,
+    /// Whether the ranking came from the result cache.
+    pub cached: bool,
+}
+
+/// A bounded ring buffer of the most recent slow queries.
+///
+/// Push is a short mutex hold on an already-slow path (the query it
+/// records just blew the latency threshold), so contention is not a
+/// concern by construction.
+#[derive(Debug)]
+pub struct SlowQueryLog {
+    entries: Mutex<VecDeque<SlowQueryEntry>>,
+    capacity: usize,
+}
+
+/// Default [`SlowQueryLog`] capacity.
+pub const DEFAULT_SLOW_LOG_CAPACITY: usize = 32;
+
+impl Default for SlowQueryLog {
+    fn default() -> Self {
+        Self::new(DEFAULT_SLOW_LOG_CAPACITY)
+    }
+}
+
+impl SlowQueryLog {
+    /// An empty log keeping at most `capacity` entries (the oldest
+    /// falls out first).
+    pub fn new(capacity: usize) -> Self {
+        SlowQueryLog {
+            entries: Mutex::new(VecDeque::with_capacity(capacity.min(1024))),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Appends an entry, evicting the oldest past capacity.
+    pub fn push(&self, entry: SlowQueryEntry) {
+        let mut entries = self.entries.lock().expect("slow query log");
+        if entries.len() == self.capacity {
+            entries.pop_front();
+        }
+        entries.push_back(entry);
+    }
+
+    /// The resident entries, oldest first.
+    pub fn entries(&self) -> Vec<SlowQueryEntry> {
+        self.entries
+            .lock()
+            .expect("slow query log")
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Drops every entry.
+    pub fn clear(&self) {
+        self.entries.lock().expect("slow query log").clear();
+    }
+}
+
+// The registry crosses worker threads by design; prove it at compile
+// time.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<MetricsRegistry>();
+    assert_send_sync::<Counter>();
+    assert_send_sync::<Gauge>();
+    assert_send_sync::<Histogram>();
+    assert_send_sync::<SlowQueryLog>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        c.reset();
+        assert_eq!(c.get(), 0);
+        let g = Gauge::new();
+        g.set(7);
+        assert_eq!(g.get(), 7);
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries() {
+        // 0 is its own bucket; every other value lands in
+        // [2^(i-1), 2^i).
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 1);
+        assert_eq!(Histogram::bucket_index(2), 2);
+        assert_eq!(Histogram::bucket_index(3), 2);
+        assert_eq!(Histogram::bucket_index(4), 3);
+        assert_eq!(Histogram::bucket_index(1023), 10);
+        assert_eq!(Histogram::bucket_index(1024), 11);
+        assert_eq!(Histogram::bucket_index(u64::MAX), 64);
+        for v in [0u64, 1, 2, 3, 7, 8, 1000, u64::MAX] {
+            let (lo, hi) = Histogram::bucket_range(Histogram::bucket_index(v));
+            assert!(lo <= v, "{v} below its bucket [{lo}, {hi})");
+            // Bucket 64's upper bound saturates at u64::MAX, which is
+            // also a member — treat the top bucket as closed.
+            assert!(v < hi || (hi == u64::MAX && v == u64::MAX));
+        }
+    }
+
+    #[test]
+    fn histogram_snapshot_keeps_occupied_buckets_only() {
+        let h = Histogram::new();
+        h.record(0);
+        h.record(3);
+        h.record(3);
+        h.record(1000);
+        let s = h.snapshot();
+        assert_eq!(s.count, 4);
+        assert_eq!(s.sum, 1006);
+        assert!((s.mean() - 251.5).abs() < 1e-9);
+        assert_eq!(
+            s.buckets,
+            vec![
+                HistogramBucket {
+                    lo: 0,
+                    hi: 1,
+                    count: 1
+                },
+                HistogramBucket {
+                    lo: 2,
+                    hi: 4,
+                    count: 2
+                },
+                HistogramBucket {
+                    lo: 512,
+                    hi: 1024,
+                    count: 1
+                },
+            ]
+        );
+        h.reset();
+        assert_eq!(h.snapshot(), HistogramSnapshot::default());
+    }
+
+    #[test]
+    fn registry_interns_names_and_snapshots() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("queries");
+        let b = reg.counter("queries");
+        assert!(Arc::ptr_eq(&a, &b), "one counter per name");
+        a.inc();
+        b.inc();
+        reg.gauge("resident").set(3);
+        reg.histogram("latency").record(100);
+        let s = reg.snapshot();
+        assert_eq!(s.counter("queries"), 2);
+        assert_eq!(s.counter("never-registered"), 0);
+        assert_eq!(s.gauges.get("resident"), Some(&3));
+        assert_eq!(s.histogram("latency").count, 1);
+        assert_eq!(s.histogram("absent").count, 0);
+        reg.reset();
+        let s = reg.snapshot();
+        assert_eq!(s.counter("queries"), 0);
+        assert_eq!(s.histogram("latency").count, 0);
+        // Cached handles survive a reset.
+        a.inc();
+        assert_eq!(reg.snapshot().counter("queries"), 1);
+    }
+
+    #[test]
+    fn concurrent_increments_sum_exactly() {
+        let reg = Arc::new(MetricsRegistry::new());
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let reg = Arc::clone(&reg);
+                s.spawn(move || {
+                    let c = reg.counter("hits");
+                    let h = reg.histogram("lat");
+                    for i in 0..1000u64 {
+                        c.inc();
+                        h.record(i);
+                    }
+                });
+            }
+        });
+        let s = reg.snapshot();
+        assert_eq!(s.counter("hits"), 8000);
+        let h = s.histogram("lat");
+        assert_eq!(h.count, 8000);
+        assert_eq!(h.sum, 8 * (999 * 1000 / 2));
+        assert_eq!(h.buckets.iter().map(|b| b.count).sum::<u64>(), 8000);
+    }
+
+    #[test]
+    fn trace_recorder_respects_enabled_flag() {
+        let mut on = TraceRecorder::new(true);
+        let (v, nanos) = on.time("stage", || 41 + 1);
+        assert_eq!(v, 42);
+        let spans = on.into_spans();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].stage, "stage");
+        assert_eq!(spans[0].nanos, nanos);
+
+        let mut off = TraceRecorder::new(false);
+        let (v, _) = off.time("stage", || 7);
+        assert_eq!(v, 7);
+        off.span("manual", 5);
+        assert!(off.into_spans().is_empty());
+    }
+
+    #[test]
+    fn slow_query_log_is_a_ring() {
+        let log = SlowQueryLog::new(2);
+        let entry = |n: u64| SlowQueryEntry {
+            world: "default".into(),
+            value: format!("P{n}"),
+            method: "mc".into(),
+            micros: n,
+            cached: false,
+        };
+        log.push(entry(1));
+        log.push(entry(2));
+        log.push(entry(3));
+        let got = log.entries();
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].micros, 2, "oldest entry evicted first");
+        assert_eq!(got[1].micros, 3);
+        log.clear();
+        assert!(log.entries().is_empty());
+    }
+}

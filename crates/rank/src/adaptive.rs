@@ -97,6 +97,14 @@ pub struct AdaptiveOutcome {
     pub scores: Scores,
     /// How and why the run stopped.
     pub certificate: Certificate,
+    /// Wall-clock nanoseconds spent inside estimator batches
+    /// (`begin` + every `step`). Timing observes the run; it never
+    /// feeds back into the sample schedule, so the bit-identity
+    /// contract is untouched.
+    pub step_nanos: u64,
+    /// Wall-clock nanoseconds spent in certification polls (the
+    /// sorted-gap checks between batches).
+    pub poll_nanos: u64,
 }
 
 /// Drives an incremental [`Estimator`] with bound-certified early
@@ -171,7 +179,10 @@ impl<E: Estimator> AdaptiveRunner<E> {
             Some(k) if checked_gaps < full_gaps => CertificateMode::TopK(k as u32),
             _ => CertificateMode::Full,
         };
+        let step_start = std::time::Instant::now();
         let mut state = self.engine.begin(q)?;
+        let mut step_nanos = step_start.elapsed().as_nanos() as u64;
+        let mut poll_nanos = 0u64;
         // The estimate buffer is reused across every 64-trial batch:
         // the certification poll is allocation-free after the first
         // step (the engine-side trial scratch — mask words, visit
@@ -180,9 +191,14 @@ impl<E: Estimator> AdaptiveRunner<E> {
         let mut trials_used = 0;
         let mut certified = false;
         for b in 0..self.engine.num_batches() {
+            let step_start = std::time::Instant::now();
             let stats = self.engine.step(&mut state, b);
+            step_nanos += step_start.elapsed().as_nanos() as u64;
             trials_used = stats.total_trials;
-            if self.certifies(&state, answers, checked_gaps, &mut est, trials_used) {
+            let poll_start = std::time::Instant::now();
+            let done = self.certifies(&state, answers, checked_gaps, &mut est, trials_used);
+            poll_nanos += poll_start.elapsed().as_nanos() as u64;
+            if done {
                 certified = true;
                 break;
             }
@@ -195,6 +211,8 @@ impl<E: Estimator> AdaptiveRunner<E> {
                 certified,
                 mode,
             },
+            step_nanos,
+            poll_nanos,
         })
     }
 

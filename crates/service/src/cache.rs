@@ -137,6 +137,12 @@ pub struct CacheStats {
     pub misses: u64,
     /// Entries currently resident across all shards.
     pub entries: usize,
+    /// Writes accepted (plain inserts plus guarded inserts whose
+    /// predicate approved the replacement).
+    pub inserts: u64,
+    /// Guarded inserts declined because the resident entry was at
+    /// least as strong ([`ShardedLru::insert_if`]).
+    pub rejected: u64,
 }
 
 impl CacheStats {
@@ -157,6 +163,8 @@ pub struct ShardedLru<K, V> {
     hasher: RandomState,
     hits: AtomicU64,
     misses: AtomicU64,
+    inserts: AtomicU64,
+    rejected: AtomicU64,
 }
 
 impl<K: Hash + Eq + Clone, V: Clone> ShardedLru<K, V> {
@@ -173,6 +181,8 @@ impl<K: Hash + Eq + Clone, V: Clone> ShardedLru<K, V> {
             hasher: RandomState::new(),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            inserts: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
         }
     }
 
@@ -195,6 +205,7 @@ impl<K: Hash + Eq + Clone, V: Clone> ShardedLru<K, V> {
     /// Inserts (or refreshes) an entry, evicting the least recently
     /// used entry of the target shard when it is full.
     pub fn insert(&self, key: K, value: V) {
+        self.inserts.fetch_add(1, Ordering::Relaxed);
         self.shard(&key)
             .lock()
             .expect("cache shard")
@@ -210,9 +221,11 @@ impl<K: Hash + Eq + Clone, V: Clone> ShardedLru<K, V> {
         let mut shard = self.shard(&key).lock().expect("cache shard");
         if let Some(&i) = shard.map.get(&key) {
             if !replace(&shard.slab[i].value) {
+                self.rejected.fetch_add(1, Ordering::Relaxed);
                 return;
             }
         }
+        self.inserts.fetch_add(1, Ordering::Relaxed);
         shard.insert(key, value);
     }
 
@@ -267,6 +280,8 @@ impl<K: Hash + Eq + Clone, V: Clone> ShardedLru<K, V> {
                 .iter()
                 .map(|s| s.lock().expect("cache shard").map.len())
                 .sum(),
+            inserts: self.inserts.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
         }
     }
 }
@@ -307,6 +322,8 @@ mod tests {
         assert_eq!(c.get(&1), Some(10), "weaker value must not replace");
         c.insert_if(1, 99, |&resident| 99 > resident);
         assert_eq!(c.get(&1), Some(99), "stronger value replaces");
+        let s = c.stats();
+        assert_eq!((s.inserts, s.rejected), (2, 1));
     }
 
     #[test]

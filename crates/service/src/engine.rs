@@ -17,10 +17,13 @@
 //! therefore produces bit-identical rankings on one worker and on N,
 //! and a cache hit returns exactly what recomputation would.
 
-use std::sync::Arc;
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use biorank_mediator::{ExploratoryQuery, IntegrationResult, Mediator};
+use biorank_obs::{MetricsRegistry, MetricsSnapshot, TraceRecorder, TraceSpan};
 use biorank_rank::{
     AdaptiveRunner, Certificate, CertificateMode, Diffusion, InEdge, PathCount, Propagation,
     Ranker, Ranking, ReducedMc, TraversalMc, WordMc,
@@ -314,6 +317,39 @@ impl RankerSpec {
         }
     }
 
+    /// The per-engine latency histogram this spec's executions record
+    /// into. Static strings (one per `(method, estimator)` pair) keep
+    /// the hot path free of per-request name formatting.
+    pub fn latency_metric(&self) -> &'static str {
+        match self.method {
+            Method::TraversalMc => match self.resolved_estimator() {
+                Estimator::Traversal => "query_ns.mc.traversal",
+                Estimator::Word => "query_ns.mc.word",
+            },
+            Method::Reliability => "query_ns.rel",
+            Method::Propagation => "query_ns.prop",
+            Method::Diffusion => "query_ns.diff",
+            Method::InEdge => "query_ns.inedge",
+            Method::PathCount => "query_ns.pathc",
+        }
+    }
+
+    /// The per-engine request counter this spec's executions bump,
+    /// same keying as [`latency_metric`](RankerSpec::latency_metric).
+    pub fn count_metric(&self) -> &'static str {
+        match self.method {
+            Method::TraversalMc => match self.resolved_estimator() {
+                Estimator::Traversal => "queries.mc.traversal",
+                Estimator::Word => "queries.mc.word",
+            },
+            Method::Reliability => "queries.rel",
+            Method::Propagation => "queries.prop",
+            Method::Diffusion => "queries.diff",
+            Method::InEdge => "queries.inedge",
+            Method::PathCount => "queries.pathc",
+        }
+    }
+
     /// Builds the ranker for one fixed-trial (or deterministic) query.
     /// Adaptive Monte Carlo executions go through
     /// [`biorank_rank::AdaptiveRunner`] instead (they return a
@@ -366,6 +402,12 @@ pub struct QueryRequest {
     /// [`QueryEngine`] itself is always single-world, so the field is
     /// not part of any cache key.
     pub world: Option<String>,
+    /// Echo the per-stage span breakdown in the response. Purely
+    /// observational: tracing changes neither the execution path nor
+    /// any cache key (it is not a [`RankerSpec`] field), so a traced
+    /// request is bit-identical to its untraced twin — answers,
+    /// certificates, and cache effects included.
+    pub trace: bool,
 }
 
 impl QueryRequest {
@@ -378,7 +420,14 @@ impl QueryRequest {
             top: None,
             certify_top: false,
             world: None,
+            trace: false,
         }
+    }
+
+    /// The same request with per-stage trace spans echoed back.
+    pub fn traced(mut self) -> Self {
+        self.trace = true;
+        self
     }
 
     /// The same request routed to a named world.
@@ -460,6 +509,10 @@ pub struct QueryResponse {
     pub cached_scores: bool,
     /// Wall-clock execution time of this call, in microseconds.
     pub micros: u64,
+    /// Per-stage span breakdown, present only when the request set
+    /// [`QueryRequest::trace`] (empty otherwise — and omitted from the
+    /// wire encoding when empty).
+    pub trace: Vec<TraceSpan>,
 }
 
 /// Combined cache counters for an engine.
@@ -555,6 +608,15 @@ pub struct QueryEngine {
     mediator: Mediator,
     graphs: ShardedLru<ExploratoryQuery, Arc<IntegrationResult>>,
     results: ShardedLru<(ExploratoryQuery, RankerSpec), Arc<RankedResult>>,
+    metrics: Arc<MetricsRegistry>,
+    /// Result-cache keys populated by [`QueryEngine::warm`] that no
+    /// client request has hit yet. Each key converts at most once
+    /// (`warm.hits` counts conversions, not repeat traffic), and the
+    /// atomic size mirror keeps the hit path lock-free once the set
+    /// drains — the steady state of every engine that was never
+    /// warmed, or whose warm set has fully converted.
+    warmed: Mutex<HashSet<(ExploratoryQuery, RankerSpec)>>,
+    warmed_remaining: AtomicU64,
 }
 
 /// Default number of cached integration results / rankings.
@@ -583,12 +645,28 @@ impl QueryEngine {
             mediator,
             graphs: ShardedLru::new(capacity, DEFAULT_CACHE_SHARDS),
             results: ShardedLru::new(capacity, DEFAULT_CACHE_SHARDS),
+            metrics: Arc::new(MetricsRegistry::new()),
+            warmed: Mutex::new(HashSet::new()),
+            warmed_remaining: AtomicU64::new(0),
         }
     }
 
     /// The wrapped mediator.
     pub fn mediator(&self) -> &Mediator {
         &self.mediator
+    }
+
+    /// This engine's metrics registry: per-stage timing histograms,
+    /// per-estimator latency/count series, `trials_used`, and
+    /// cache/warm-up counters. Engine-scoped on purpose — per-world
+    /// metrics die with the engine at swap, exactly like its caches.
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.metrics
+    }
+
+    /// A point-in-time copy of this engine's metrics.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
     }
 
     /// Executes one request, consulting both cache layers.
@@ -605,30 +683,121 @@ impl QueryEngine {
     /// caller but never evicts a stronger cached answer.
     pub fn execute(&self, req: &QueryRequest) -> Result<QueryResponse, Error> {
         let start = Instant::now();
+        let mut trace = TraceRecorder::new(req.trace);
         let result_key = (req.query.clone(), req.spec.cache_key());
         let coverage = req.coverage();
 
-        if let Some(ranked) = self.results.get(&result_key) {
-            if ranked.covers(coverage) {
-                return Ok(Self::assemble(&ranked, req.top, true, true, start));
-            }
+        let (hit, cache_ns) = trace.time("cache", || {
+            self.results
+                .get(&result_key)
+                .filter(|ranked| ranked.covers(coverage))
+        });
+        self.metrics.histogram("stage_ns.cache").record(cache_ns);
+
+        if let Some(ranked) = hit {
+            self.note_warm_hit(&result_key);
+            let (mut response, serialize_ns) = trace.time("serialize", || {
+                Self::assemble(&ranked, req.top, true, true, start)
+            });
+            self.metrics
+                .histogram("stage_ns.serialize")
+                .record(serialize_ns);
+            self.finish_query(req, start, true);
+            response.trace = trace.into_spans();
+            return Ok(response);
         }
 
-        let (integration, cached_graph) = match self.graphs.get(&req.query) {
-            Some(hit) => (hit, true),
-            None => {
-                let computed = Arc::new(self.mediator.execute(&req.query)?);
-                self.graphs.insert(req.query.clone(), computed.clone());
-                (computed, false)
+        let (graph, graph_ns) = trace.time("graph", || -> Result<_, Error> {
+            match self.graphs.get(&req.query) {
+                Some(hit) => Ok((hit, true)),
+                None => {
+                    let computed = Arc::new(self.mediator.execute(&req.query)?);
+                    self.graphs.insert(req.query.clone(), computed.clone());
+                    Ok((computed, false))
+                }
             }
-        };
+        });
+        self.metrics.histogram("stage_ns.graph").record(graph_ns);
+        let (integration, cached_graph) = graph?;
 
-        let ranked = Arc::new(Self::rank(&integration, &req.query, &req.spec, coverage)?);
-        self.results
-            .insert_if(result_key, ranked.clone(), |resident| {
-                ranked.serves_at_least(resident)
-            });
-        Ok(Self::assemble(&ranked, req.top, cached_graph, false, start))
+        // The scoring stage splits into "estimate" (estimator batches,
+        // plus ranking assembly) and "certify" (the adaptive runner's
+        // between-batch gap polls; zero for fixed and deterministic
+        // runs) — certify is measured inside the run, estimate is the
+        // remainder, so the two always sum to the full scoring time.
+        let rank_start = Instant::now();
+        let (ranked, certify_ns) = Self::rank(&integration, &req.query, &req.spec, coverage)?;
+        let estimate_ns = (rank_start.elapsed().as_nanos() as u64).saturating_sub(certify_ns);
+        trace.span("estimate", estimate_ns);
+        trace.span("certify", certify_ns);
+        self.metrics
+            .histogram("stage_ns.estimate")
+            .record(estimate_ns);
+        self.metrics
+            .histogram("stage_ns.certify")
+            .record(certify_ns);
+        if let Some(cert) = &ranked.certificate {
+            self.metrics
+                .histogram("trials_used")
+                .record(u64::from(cert.trials_used));
+            self.metrics
+                .counter(if cert.certified {
+                    "certified"
+                } else {
+                    "uncertified"
+                })
+                .inc();
+        }
+
+        let ranked = Arc::new(ranked);
+        let ((), insert_ns) = trace.time("insert", || {
+            self.results
+                .insert_if(result_key, ranked.clone(), |resident| {
+                    ranked.serves_at_least(resident)
+                })
+        });
+        self.metrics.histogram("stage_ns.insert").record(insert_ns);
+
+        let (mut response, serialize_ns) = trace.time("serialize", || {
+            Self::assemble(&ranked, req.top, cached_graph, false, start)
+        });
+        self.metrics
+            .histogram("stage_ns.serialize")
+            .record(serialize_ns);
+        self.finish_query(req, start, false);
+        response.trace = trace.into_spans();
+        Ok(response)
+    }
+
+    /// Per-request counters and the per-estimator latency series,
+    /// recorded on every completed execution, hit or computed.
+    fn finish_query(&self, req: &QueryRequest, start: Instant, cached: bool) {
+        self.metrics.counter("queries").inc();
+        self.metrics
+            .counter(if cached {
+                "queries.cached"
+            } else {
+                "queries.computed"
+            })
+            .inc();
+        self.metrics.counter(req.spec.count_metric()).inc();
+        self.metrics
+            .histogram(req.spec.latency_metric())
+            .record(start.elapsed().as_nanos() as u64);
+    }
+
+    /// Counts the first client hit on each warm-up-populated key
+    /// (`warm.hits`). Lock-free once the warm set has drained.
+    fn note_warm_hit(&self, result_key: &(ExploratoryQuery, RankerSpec)) {
+        if self.warmed_remaining.load(Ordering::Relaxed) == 0 {
+            return;
+        }
+        let mut warmed = self.warmed.lock().expect("warmed keys");
+        if warmed.remove(result_key) {
+            self.warmed_remaining
+                .store(warmed.len() as u64, Ordering::Relaxed);
+            self.metrics.counter("warm.hits").inc();
+        }
     }
 
     /// Integrates and ranks without touching the caches (used by the
@@ -636,17 +805,21 @@ impl QueryEngine {
     pub fn execute_uncached(&self, req: &QueryRequest) -> Result<QueryResponse, Error> {
         let start = Instant::now();
         let integration = self.mediator.execute(&req.query)?;
-        let ranked = Self::rank(&integration, &req.query, &req.spec, req.coverage())?;
+        let (ranked, _) = Self::rank(&integration, &req.query, &req.spec, req.coverage())?;
         Ok(Self::assemble(&ranked, req.top, false, false, start))
     }
 
+    /// Scores and ranks one request, returning the result plus the
+    /// nanoseconds its adaptive runner spent in certification polls
+    /// (zero for fixed and deterministic executions).
     fn rank(
         integration: &IntegrationResult,
         query: &ExploratoryQuery,
         spec: &RankerSpec,
         coverage: Coverage,
-    ) -> Result<RankedResult, Error> {
+    ) -> Result<(RankedResult, u64), Error> {
         let q = &integration.query;
+        let mut certify_nanos = 0u64;
         let (scores, certificate) = match spec.trials {
             // Deterministic methods never sample, so the trial policy
             // (fixed or adaptive) is irrelevant to them.
@@ -662,6 +835,7 @@ impl QueryEngine {
                     },
                     q,
                 )?;
+                certify_nanos = outcome.poll_nanos;
                 (outcome.scores, Some(outcome.certificate))
             }
             Trials::Fixed(trials) if spec.method == Method::TraversalMc && spec.parallel => {
@@ -683,20 +857,23 @@ impl QueryEngine {
             _ => (spec.build(query).score(q)?, None),
         };
         let ranking = Ranking::rank(scores.answers(q));
-        Ok(RankedResult {
-            answers: ranking
-                .entries()
-                .iter()
-                .map(|e| RankedAnswer {
-                    key: integration.answer_key(e.node).unwrap_or("?").to_string(),
-                    label: integration.label(e.node).to_string(),
-                    score: e.score,
-                    rank_lo: e.rank_lo,
-                    rank_hi: e.rank_hi,
-                })
-                .collect(),
-            certificate,
-        })
+        Ok((
+            RankedResult {
+                answers: ranking
+                    .entries()
+                    .iter()
+                    .map(|e| RankedAnswer {
+                        key: integration.answer_key(e.node).unwrap_or("?").to_string(),
+                        label: integration.label(e.node).to_string(),
+                        score: e.score,
+                        rank_lo: e.rank_lo,
+                        rank_hi: e.rank_hi,
+                    })
+                    .collect(),
+                certificate,
+            },
+            certify_nanos,
+        ))
     }
 
     fn assemble(
@@ -715,6 +892,7 @@ impl QueryEngine {
             cached_graph,
             cached_scores,
             micros: start.elapsed().as_micros() as u64,
+            trace: Vec::new(),
         }
     }
 
@@ -757,18 +935,33 @@ impl QueryEngine {
     /// successfully; failures (e.g. a query the new world cannot
     /// answer) are skipped — warming is best-effort by design.
     pub fn warm(&self, keys: &[(ExploratoryQuery, RankerSpec, Option<u32>)]) -> usize {
-        keys.iter()
-            .filter(|(query, spec, k)| {
-                self.execute(&QueryRequest {
+        let mut replayed = Vec::new();
+        for (query, spec, k) in keys {
+            let ok = self
+                .execute(&QueryRequest {
                     query: query.clone(),
                     spec: *spec,
                     top: Some(k.map(|k| k as usize).unwrap_or(0)),
                     certify_top: k.is_some(),
                     world: None,
+                    trace: false,
                 })
-                .is_ok()
-            })
-            .count()
+                .is_ok();
+            if ok {
+                self.metrics.counter("warm.replayed").inc();
+                replayed.push((query.clone(), spec.cache_key()));
+            } else {
+                self.metrics.counter("warm.failed").inc();
+            }
+        }
+        let count = replayed.len();
+        if count > 0 {
+            let mut warmed = self.warmed.lock().expect("warmed keys");
+            warmed.extend(replayed);
+            self.warmed_remaining
+                .store(warmed.len() as u64, Ordering::Relaxed);
+        }
+        count
     }
 }
 

@@ -27,7 +27,7 @@
 //!   over `std::net::TcpListener`, surfaced as the `biorank serve`,
 //!   `biorank query --addr`, and `biorank admin` subcommands. Admin
 //!   lines (`world.load`, `world.swap`, `world.evict`, `world.list`,
-//!   `stats`) drive the registry over the same connection.
+//!   `stats`, `metrics`) drive the registry over the same connection.
 //!
 //! ```no_run
 //! use std::sync::Arc;
@@ -66,6 +66,10 @@ pub mod server;
 pub mod tenancy;
 pub mod wire;
 
+pub use biorank_obs::{
+    HistogramBucket, HistogramSnapshot, MetricsRegistry, MetricsSnapshot, SlowQueryEntry,
+    SlowQueryLog, TraceSpan,
+};
 pub use biorank_rank::{AdaptiveOutcome, Certificate, CertificateMode};
 pub use cache::{CacheStats, ShardedLru};
 pub use engine::{
@@ -74,10 +78,10 @@ pub use engine::{
     DEFAULT_CACHE_CAPACITY, PARALLEL_MC_CHUNKS,
 };
 pub use pool::WorkerPool;
-pub use server::{Client, ServeOptions, Server, ServerHandle};
+pub use server::{Client, ServeOptions, Server, ServerHandle, DEFAULT_SLOW_QUERY_MICROS};
 pub use tenancy::{
-    ServiceStats, TenancyError, WorldInfo, WorldManager, WorldSpec, WorldState, WorldStats,
-    DEFAULT_SWAP_WARM, DEFAULT_WORLD, DEFAULT_WORLD_BUDGET,
+    MetricsReport, ServiceStats, TenancyError, WorldInfo, WorldManager, WorldMetrics, WorldSpec,
+    WorldState, WorldStats, DEFAULT_SWAP_WARM, DEFAULT_WORLD, DEFAULT_WORLD_BUDGET,
 };
 pub use wire::{AdminRequest, AdminResponse, RequestDefaults};
 

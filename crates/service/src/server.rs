@@ -10,8 +10,8 @@
 //! Requests route through a [`WorldManager`]: a query names a resident
 //! world (or defaults to [`DEFAULT_WORLD`](crate::tenancy::DEFAULT_WORLD)),
 //! and admin lines (`world.load`, `world.swap`, `world.evict`,
-//! `world.list`, `stats`) drive the registry itself over the same
-//! connection. Admin commands are a per-connection barrier: queries
+//! `world.list`, `stats`, `metrics`) drive the registry itself over
+//! the same connection. Admin commands are a per-connection barrier: queries
 //! pipelined before a `world.swap` finish before it executes, and
 //! queries after it see the new world.
 
@@ -21,12 +21,22 @@ use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{channel, Sender};
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+use biorank_obs::{SlowQueryEntry, SlowQueryLog, DEFAULT_SLOW_LOG_CAPACITY};
 
 use crate::engine::{AdaptiveConfig, Estimator, QueryEngine, Trials};
 use crate::pool::WorkerPool;
-use crate::tenancy::{ServiceStats, WorldInfo, WorldManager, WorldSpec, DEFAULT_WORLD_BUDGET};
+use crate::tenancy::{
+    MetricsReport, ServiceStats, WorldInfo, WorldManager, WorldSpec, DEFAULT_WORLD_BUDGET,
+};
 use crate::wire;
 use crate::wire::{AdminRequest, AdminResponse, RequestBody, RequestDefaults, ResponseBody};
+
+/// Default slow-query threshold: queries slower than this many
+/// microseconds land in the in-memory slow-query ring buffer exposed
+/// by the `metrics` admin command.
+pub const DEFAULT_SLOW_QUERY_MICROS: u64 = 10_000;
 
 /// Server tuning knobs.
 #[derive(Clone, Copy, Debug)]
@@ -43,6 +53,10 @@ pub struct ServeOptions {
     /// to a fixed count). Requests with an explicit policy are never
     /// overridden.
     pub default_trials: Trials,
+    /// Queries taking at least this many microseconds end-to-end are
+    /// recorded in the slow-query ring buffer ([`DEFAULT_SLOW_QUERY_MICROS`]
+    /// by default; `u64::MAX` disables the log).
+    pub slow_query_micros: u64,
 }
 
 impl Default for ServeOptions {
@@ -58,6 +72,7 @@ impl Default for ServeOptions {
             workers: 4,
             default_estimator: Estimator::Word,
             default_trials: Trials::Adaptive(AdaptiveConfig::default()),
+            slow_query_micros: DEFAULT_SLOW_QUERY_MICROS,
         }
     }
 }
@@ -69,6 +84,7 @@ pub struct Server {
     pool: Arc<WorkerPool>,
     shutdown: Arc<AtomicBool>,
     defaults: ServerDefaults,
+    slow_log: Arc<SlowQueryLog>,
 }
 
 /// The per-request defaults a server substitutes for unset fields.
@@ -76,6 +92,7 @@ pub struct Server {
 struct ServerDefaults {
     estimator: Estimator,
     trials: Trials,
+    slow_query_micros: u64,
 }
 
 /// A handle that can stop a running [`Server`] from another thread.
@@ -144,7 +161,9 @@ impl Server {
             defaults: ServerDefaults {
                 estimator: opts.default_estimator,
                 trials: opts.default_trials,
+                slow_query_micros: opts.slow_query_micros,
             },
+            slow_log: Arc::new(SlowQueryLog::new(DEFAULT_SLOW_LOG_CAPACITY)),
         })
     }
 
@@ -178,15 +197,20 @@ impl Server {
                     continue;
                 }
             };
+            self.manager.metrics().counter("server.connections").inc();
             let manager = Arc::clone(&self.manager);
             let pool = Arc::clone(&self.pool);
             let defaults = self.defaults;
+            let slow_log = Arc::clone(&self.slow_log);
             std::thread::spawn(move || {
-                let _ = handle_connection(stream, manager, pool, defaults);
+                let _ = handle_connection(stream, manager, pool, defaults, slow_log);
             });
         }
         // Graceful shutdown: leave a final observability record.
         // `hit_rate` is zero-lookup safe, so an unused world logs 0%.
+        // Deprecated in favour of the `metrics` admin command (which
+        // reports the same cache counters, live, plus much more) —
+        // still emitted so existing log scrapers keep working.
         for w in self.manager.stats().worlds {
             eprintln!(
                 "biorank-serve shutdown: world {:?} gen {}: graph cache {:.1}% hit, \
@@ -206,6 +230,7 @@ fn handle_connection(
     manager: Arc<WorldManager>,
     pool: Arc<WorkerPool>,
     defaults: ServerDefaults,
+    slow_log: Arc<SlowQueryLog>,
 ) -> std::io::Result<()> {
     let peer_write = stream.try_clone()?;
     let reader = BufReader::new(stream);
@@ -237,7 +262,9 @@ fn handle_connection(
         if line.trim().is_empty() {
             continue;
         }
-        dispatch_line(line, seq, &manager, &pool, &line_tx, &in_flight, defaults);
+        dispatch_line(
+            line, seq, &manager, &pool, &line_tx, &in_flight, defaults, &slow_log,
+        );
         seq += 1;
     }
     drop(line_tx);
@@ -269,6 +296,7 @@ fn dispatch_line(
     line_tx: &Sender<(u64, String)>,
     in_flight: &Arc<(Mutex<u64>, Condvar)>,
     defaults: ServerDefaults,
+    slow_log: &Arc<SlowQueryLog>,
 ) {
     // Unset request fields take the server's configured defaults at
     // decode time (`trials`) or just after (`estimator`), so the
@@ -277,7 +305,14 @@ fn dispatch_line(
     let request_defaults = RequestDefaults {
         trials: defaults.trials,
     };
-    match wire::decode_request_with(&line, &request_defaults) {
+    let metrics = Arc::clone(manager.metrics());
+    metrics.counter("server.requests").inc();
+    let decode_start = Instant::now();
+    let decoded = wire::decode_request_with(&line, &request_defaults);
+    metrics
+        .histogram("server.decode_ns")
+        .record(decode_start.elapsed().as_nanos() as u64);
+    match decoded {
         Ok(request) => match request.body {
             RequestBody::Query(mut req) => {
                 if req.spec.estimator.is_none() {
@@ -286,14 +321,42 @@ fn dispatch_line(
                 let manager = Arc::clone(manager);
                 let line_tx = line_tx.clone();
                 let in_flight = Arc::clone(in_flight);
+                let slow_log = Arc::clone(slow_log);
                 *in_flight.0.lock().expect("in-flight counter") += 1;
                 pool.submit(move || {
+                    let query_start = Instant::now();
                     let outcome = execute_query(&manager, &req);
+                    let micros = query_start.elapsed().as_micros() as u64;
+                    if outcome.is_err() {
+                        metrics.counter("server.errors").inc();
+                    }
+                    if micros >= defaults.slow_query_micros {
+                        let cached = match &outcome {
+                            Ok(ResponseBody::Query(resp)) => resp.cached_scores,
+                            _ => false,
+                        };
+                        slow_log.push(SlowQueryEntry {
+                            world: req
+                                .world
+                                .clone()
+                                .unwrap_or_else(|| crate::tenancy::DEFAULT_WORLD.to_string()),
+                            value: req.query.value.clone(),
+                            method: req.spec.method.wire_name().to_string(),
+                            micros,
+                            cached,
+                        });
+                        metrics.counter("server.slow_queries").inc();
+                    }
                     let response = wire::Response {
                         id: request.id,
                         outcome,
                     };
-                    let _ = line_tx.send((seq, wire::encode_response(&response)));
+                    let encode_start = Instant::now();
+                    let encoded = wire::encode_response(&response);
+                    metrics
+                        .histogram("server.encode_ns")
+                        .record(encode_start.elapsed().as_nanos() as u64);
+                    let _ = line_tx.send((seq, encoded));
                     // Decrement only after the response is queued, so
                     // a barriered admin command cannot overtake it.
                     let (count, cv) = &*in_flight;
@@ -308,9 +371,12 @@ fn dispatch_line(
                     n = cv.wait(n).expect("in-flight counter");
                 }
                 drop(n);
-                let outcome = execute_admin(manager, admin)
+                let outcome = execute_admin(manager, admin, slow_log)
                     .map(ResponseBody::Admin)
                     .map_err(|e| e.to_string());
+                if outcome.is_err() {
+                    metrics.counter("server.errors").inc();
+                }
                 let response = wire::Response {
                     id: request.id,
                     outcome,
@@ -319,6 +385,7 @@ fn dispatch_line(
             }
         },
         Err(e) => {
+            metrics.counter("server.errors.decode").inc();
             // Salvage the id if the line was valid JSON with one.
             let id = wire::Json::parse(&line)
                 .ok()
@@ -358,6 +425,7 @@ fn execute_query(
 fn execute_admin(
     manager: &Arc<WorldManager>,
     admin: AdminRequest,
+    slow_log: &Arc<SlowQueryLog>,
 ) -> Result<AdminResponse, crate::tenancy::TenancyError> {
     match admin {
         AdminRequest::Load {
@@ -391,6 +459,23 @@ fn execute_admin(
         }
         AdminRequest::List => Ok(AdminResponse::List(manager.list())),
         AdminRequest::Stats => Ok(AdminResponse::Stats(manager.stats())),
+        AdminRequest::Metrics { reset } => {
+            // Snapshot everything first, reset after, so a
+            // `metrics {reset: true}` scrape never loses a count it
+            // did not report.
+            let service = manager.metrics().snapshot();
+            let worlds = manager.world_metrics(reset);
+            let slow_queries = slow_log.entries();
+            if reset {
+                manager.metrics().reset();
+                slow_log.clear();
+            }
+            Ok(AdminResponse::Metrics(MetricsReport {
+                service,
+                worlds,
+                slow_queries,
+            }))
+        }
     }
 }
 
@@ -582,6 +667,17 @@ impl Client {
     pub fn stats(&mut self) -> Result<ServiceStats, crate::Error> {
         match self.admin(AdminRequest::Stats)? {
             AdminResponse::Stats(stats) => Ok(stats),
+            other => Err(unexpected_admin(other)),
+        }
+    }
+
+    /// `metrics`: the full telemetry snapshot — service counters,
+    /// per-world registries, and the slow-query log. `reset: true`
+    /// zeroes every counter and histogram (and drains the slow-query
+    /// log) after the snapshot is taken, for interval scraping.
+    pub fn metrics(&mut self, reset: bool) -> Result<MetricsReport, crate::Error> {
+        match self.admin(AdminRequest::Metrics { reset })? {
+            AdminResponse::Metrics(report) => Ok(report),
             other => Err(unexpected_admin(other)),
         }
     }

@@ -37,6 +37,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use biorank_mediator::Mediator;
+use biorank_obs::{MetricsRegistry, MetricsSnapshot, SlowQueryEntry};
 use biorank_schema::{biorank_schema_full, biorank_schema_with_ontology};
 use biorank_sources::{World, WorldParams};
 
@@ -214,6 +215,32 @@ pub struct ServiceStats {
     pub worlds: Vec<WorldStats>,
 }
 
+/// One resident world's full metrics snapshot inside a
+/// [`MetricsReport`]. A world's registry lives (and dies) with its
+/// engine, so a swapped world starts its counters from zero — exactly
+/// like its caches.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WorldMetrics {
+    /// Registry name.
+    pub name: String,
+    /// Snapshot of the world engine's metrics registry.
+    pub metrics: MetricsSnapshot,
+}
+
+/// The `metrics` wire command's payload: the service-level registry
+/// (tenancy + server counters), every resident world's registry, and
+/// the slow-query ring buffer.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MetricsReport {
+    /// Service-level counters, gauges, and histograms (tenancy
+    /// operations, connection/request accounting).
+    pub service: MetricsSnapshot,
+    /// Per-world snapshots, sorted by name.
+    pub worlds: Vec<WorldMetrics>,
+    /// Most recent slow queries, oldest first.
+    pub slow_queries: Vec<SlowQueryEntry>,
+}
+
 struct WorldEntry {
     engine: Arc<QueryEngine>,
     spec: WorldSpec,
@@ -251,6 +278,10 @@ pub struct WorldManager {
     registry: Mutex<Registry>,
     budget: usize,
     clock: AtomicU64,
+    /// Service-level metrics: tenancy operations live here, and the
+    /// server registers its connection/request counters into the same
+    /// registry so one `metrics` snapshot covers the whole service.
+    metrics: Arc<MetricsRegistry>,
 }
 
 impl WorldManager {
@@ -265,7 +296,22 @@ impl WorldManager {
             }),
             budget: budget.max(1),
             clock: AtomicU64::new(0),
+            metrics: Arc::new(MetricsRegistry::new()),
         }
+    }
+
+    /// The service-level metrics registry. Tenancy counters land here;
+    /// the server shares it for its own connection/request metrics.
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.metrics
+    }
+
+    /// Refreshes the `tenancy.resident` / `tenancy.loading` gauges;
+    /// called after any registry mutation, outside the registry lock
+    /// where convenient (gauges are last-write-wins by design).
+    fn update_residency_gauges(&self, resident: usize, loading: usize) {
+        self.metrics.gauge("tenancy.resident").set(resident as u64);
+        self.metrics.gauge("tenancy.loading").set(loading as u64);
     }
 
     /// A manager whose [`DEFAULT_WORLD`] is an already-built engine —
@@ -285,6 +331,8 @@ impl WorldManager {
                 },
             );
         }
+        mgr.metrics.counter("tenancy.load").inc();
+        mgr.update_residency_gauges(1, 0);
         mgr
     }
 
@@ -341,7 +389,9 @@ impl WorldManager {
             }
             return Err(TenancyError::SpecMismatch(name.to_string()));
         }
+        let before = reg.worlds.len();
         Self::make_room(&mut reg, self.budget, name)?;
+        let evicted = before - reg.worlds.len();
         let generation = reg.bump();
         reg.worlds.insert(
             name.to_string(),
@@ -352,6 +402,15 @@ impl WorldManager {
                 last_used: stamp,
             },
         );
+        let (resident, loading) = (reg.worlds.len(), reg.loading.len());
+        drop(reg);
+        self.metrics.counter("tenancy.load").inc();
+        if evicted > 0 {
+            self.metrics
+                .counter("tenancy.evict.lru")
+                .add(evicted as u64);
+        }
+        self.update_residency_gauges(resident, loading);
         Ok(generation)
     }
 
@@ -400,6 +459,10 @@ impl WorldManager {
                 return self.load_background(name, spec);
             }
             reg.loading.insert(name.to_string(), spec);
+            let (resident, loading) = (reg.worlds.len(), reg.loading.len());
+            drop(reg);
+            self.metrics.counter("tenancy.load_background").inc();
+            self.update_residency_gauges(resident, loading);
         }
         let mgr = Arc::clone(self);
         let name = name.to_string();
@@ -440,9 +503,11 @@ impl WorldManager {
             if reg.worlds.contains_key(&name) {
                 return; // a sync load/swap raced us; keep the winner
             }
+            let before = reg.worlds.len();
             if Self::make_room(&mut reg, mgr.budget, &name).is_err() {
                 return; // budget filled up mid-build; discard
             }
+            let evicted = before - reg.worlds.len();
             let generation = reg.bump();
             reg.worlds.insert(
                 name,
@@ -453,6 +518,13 @@ impl WorldManager {
                     last_used: stamp,
                 },
             );
+            let (resident, loading) = (reg.worlds.len(), reg.loading.len());
+            drop(reg);
+            mgr.metrics.counter("tenancy.load").inc();
+            if evicted > 0 {
+                mgr.metrics.counter("tenancy.evict.lru").add(evicted as u64);
+            }
+            mgr.update_residency_gauges(resident, loading);
         });
         Ok(None)
     }
@@ -478,7 +550,10 @@ impl WorldManager {
         let engine = Arc::new(spec.build());
         if warm > 0 {
             if let Some(old) = self.peek(name) {
-                engine.warm(&old.hot_result_keys(warm));
+                let replayed = engine.warm(&old.hot_result_keys(warm));
+                self.metrics
+                    .counter("tenancy.swap.warm_replayed")
+                    .add(replayed as u64);
             }
         }
         let stamp = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
@@ -496,6 +571,10 @@ impl WorldManager {
                 last_used: stamp,
             },
         );
+        let (resident, loading) = (reg.worlds.len(), reg.loading.len());
+        drop(reg);
+        self.metrics.counter("tenancy.swap").inc();
+        self.update_residency_gauges(resident, loading);
         Ok(generation)
     }
 
@@ -517,6 +596,10 @@ impl WorldManager {
         }
         let mut reg = self.registry.lock().expect("world registry");
         if reg.worlds.remove(name).is_some() || reg.loading.remove(name).is_some() {
+            let (resident, loading) = (reg.worlds.len(), reg.loading.len());
+            drop(reg);
+            self.metrics.counter("tenancy.evict").inc();
+            self.update_residency_gauges(resident, loading);
             return Ok(());
         }
         Err(TenancyError::WorldNotFound(name.to_string()))
@@ -571,6 +654,34 @@ impl WorldManager {
             resident: worlds.len(),
             worlds,
         }
+    }
+
+    /// Per-world metrics snapshots, sorted by name. Like
+    /// [`stats`](WorldManager::stats), engines are cloned out of the
+    /// registry lock and snapshotted unlocked. `reset` zeroes each
+    /// world's registry *after* its snapshot is taken, so a
+    /// `metrics {reset: true}` reads and clears atomically enough for
+    /// interval scraping.
+    pub fn world_metrics(&self, reset: bool) -> Vec<WorldMetrics> {
+        let engines: Vec<(String, Arc<QueryEngine>)> = {
+            let reg = self.registry.lock().expect("world registry");
+            reg.worlds
+                .iter()
+                .map(|(name, e)| (name.clone(), Arc::clone(&e.engine)))
+                .collect()
+        };
+        let mut worlds: Vec<WorldMetrics> = engines
+            .into_iter()
+            .map(|(name, engine)| {
+                let metrics = engine.metrics_snapshot();
+                if reset {
+                    engine.metrics().reset();
+                }
+                WorldMetrics { name, metrics }
+            })
+            .collect();
+        worlds.sort_by(|a, b| a.name.cmp(&b.name));
+        worlds
     }
 
     /// Evicts the least-recently-resolved evictable world until there

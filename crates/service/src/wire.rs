@@ -44,18 +44,28 @@
 //!  "label":"galactokinase activity","score":0.91,"rank_lo":1,"rank_hi":1}]}
 //! ```
 //!
+//! Adding `"trace":true` to a query request echoes the per-stage span
+//! breakdown in the response (`"trace":[{"stage":"cache","nanos":412},
+//! ...]`). Tracing is purely observational — it changes no answer bit
+//! and no cache key.
+//!
 //! Admin request lines set `cmd` to one of `world.load`, `world.swap`,
-//! `world.evict`, `world.list`, `stats`:
+//! `world.evict`, `world.list`, `stats`, `metrics`:
 //!
 //! ```json
 //! {"id":2,"cmd":"world.load","world":"staging","seed":"99","extended":false,"cache":512}
 //! {"id":3,"cmd":"world.list"}
 //! {"id":4,"cmd":"stats"}
+//! {"id":5,"cmd":"metrics","reset":false}
 //! ```
 //!
 //! answered by `{"id":2,"ok":true,"world":"staging","generation":1}`,
 //! a `worlds` array (each entry carrying a `state` of `"ready"` or
 //! `"loading"`), and a per-world `stats` object respectively.
+//! `metrics` answers the full registry snapshot — service-level
+//! counters/histograms, per-world engine metrics, and the slow-query
+//! ring buffer; `"reset":true` zeroes every counter after the
+//! snapshot.
 //! `world.load` with `"background":true` answers
 //! `{"id":2,"ok":true,"world":"staging","status":"loading"}`
 //! immediately and installs the world from a worker thread when built.
@@ -74,6 +84,9 @@ use std::fmt::Write as _;
 
 use biorank_mediator::ExploratoryQuery;
 
+use biorank_obs::{
+    Histogram, HistogramBucket, HistogramSnapshot, MetricsSnapshot, SlowQueryEntry, TraceSpan,
+};
 use biorank_rank::{Certificate, CertificateMode};
 
 use crate::cache::CacheStats;
@@ -82,7 +95,8 @@ use crate::engine::{
     RankerSpec, Trials,
 };
 use crate::tenancy::{
-    ServiceStats, WorldInfo, WorldSpec, WorldState, WorldStats, DEFAULT_SWAP_WARM,
+    MetricsReport, ServiceStats, WorldInfo, WorldMetrics, WorldSpec, WorldState, WorldStats,
+    DEFAULT_SWAP_WARM,
 };
 
 /// A parsed JSON value.
@@ -507,6 +521,13 @@ pub enum AdminRequest {
     List,
     /// `stats` — per-world cache counters.
     Stats,
+    /// `metrics` — the full metrics-registry snapshot (service-level
+    /// plus per-world), with the slow-query log.
+    Metrics {
+        /// Zero every counter/gauge/histogram after the snapshot (the
+        /// returned payload is always the pre-reset state).
+        reset: bool,
+    },
 }
 
 /// A successful admin command's payload.
@@ -530,6 +551,8 @@ pub enum AdminResponse {
     List(Vec<WorldInfo>),
     /// Outcome of `stats`.
     Stats(ServiceStats),
+    /// Outcome of `metrics`.
+    Metrics(MetricsReport),
 }
 
 /// One response line: the echoed id plus outcome.
@@ -618,6 +641,9 @@ fn encode_query_request(id: u64, req: &QueryRequest) -> String {
     }
     if let Some(world) = &req.world {
         fields.push(("world", Json::Str(world.clone())));
+    }
+    if req.trace {
+        fields.push(("trace", Json::Bool(true)));
     }
     obj(fields).encode()
 }
@@ -709,6 +735,12 @@ fn encode_admin_request(id: u64, admin: &AdminRequest) -> String {
         }
         AdminRequest::List => fields.push(("cmd", Json::Str("world.list".into()))),
         AdminRequest::Stats => fields.push(("cmd", Json::Str("stats".into()))),
+        AdminRequest::Metrics { reset } => {
+            fields.push(("cmd", Json::Str("metrics".into())));
+            if *reset {
+                fields.push(("reset", Json::Bool(true)));
+            }
+        }
     }
     obj(fields).encode()
 }
@@ -786,6 +818,16 @@ pub fn decode_request_with(line: &str, defaults: &RequestDefaults) -> Result<Req
         }),
         "world.list" => RequestBody::Admin(AdminRequest::List),
         "stats" => RequestBody::Admin(AdminRequest::Stats),
+        "metrics" => RequestBody::Admin(AdminRequest::Metrics {
+            reset: fields
+                .get("reset")
+                .map(|v| {
+                    v.as_bool()
+                        .ok_or_else(|| wire_err("field \"reset\" must be a boolean"))
+                })
+                .transpose()?
+                .unwrap_or(false),
+        }),
         other => return Err(wire_err(format!("unknown cmd {other:?}"))),
     };
     Ok(Request { id, body })
@@ -905,6 +947,14 @@ fn decode_query_body(
                 .ok_or_else(|| wire_err("field \"world\" must be a string"))
         })
         .transpose()?;
+    let trace = fields
+        .get("trace")
+        .map(|v| {
+            v.as_bool()
+                .ok_or_else(|| wire_err("field \"trace\" must be a boolean"))
+        })
+        .transpose()?
+        .unwrap_or(false);
     Ok(QueryRequest {
         query: ExploratoryQuery {
             input: get_str(fields, "input")?,
@@ -922,6 +972,7 @@ fn decode_query_body(
         top,
         certify_top,
         world,
+        trace,
     })
 }
 
@@ -973,6 +1024,22 @@ pub fn encode_response(r: &Response) -> String {
                 }
                 fields.push(("certificate", obj(cert_fields)));
             }
+            if !resp.trace.is_empty() {
+                fields.push((
+                    "trace",
+                    Json::Arr(
+                        resp.trace
+                            .iter()
+                            .map(|span| {
+                                obj(vec![
+                                    ("stage", Json::Str(span.stage.clone())),
+                                    ("nanos", Json::Num(span.nanos as f64)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ));
+            }
             obj(fields).encode()
         }
         Ok(ResponseBody::Admin(admin)) => encode_admin_response(r.id, admin),
@@ -996,6 +1063,8 @@ fn encode_cache_stats(s: &CacheStats) -> Json {
         ("hits", Json::Num(s.hits as f64)),
         ("misses", Json::Num(s.misses as f64)),
         ("entries", Json::Num(s.entries as f64)),
+        ("inserts", Json::Num(s.inserts as f64)),
+        ("rejected", Json::Num(s.rejected as f64)),
         // Derived, for humans reading transcripts; decode recomputes
         // it from hits/misses.
         ("hit_rate", Json::Num(s.hit_rate())),
@@ -1006,10 +1075,223 @@ fn decode_cache_stats(v: &Json) -> Result<CacheStats, WireError> {
     let Json::Obj(f) = v else {
         return Err(wire_err("cache stats must be an object"));
     };
+    // Absent insert/reject counters (pre-telemetry servers) decode to
+    // zero rather than failing the whole stats payload.
     Ok(CacheStats {
         hits: get_u64(f, "hits")?,
         misses: get_u64(f, "misses")?,
         entries: get_u64(f, "entries")? as usize,
+        inserts: match f.get("inserts") {
+            Some(v) => v
+                .as_u64()
+                .ok_or_else(|| wire_err("field \"inserts\" must be a non-negative integer"))?,
+            None => 0,
+        },
+        rejected: match f.get("rejected") {
+            Some(v) => v
+                .as_u64()
+                .ok_or_else(|| wire_err("field \"rejected\" must be a non-negative integer"))?,
+            None => 0,
+        },
+    })
+}
+
+/// Encodes a metrics snapshot. Histogram buckets travel as
+/// `[bucket_index, count]` pairs — the log₂ bucket bounds are
+/// recomputed at decode from the index, so the top buckets (whose
+/// bounds exceed 2⁵³) survive the f64 number representation exactly.
+fn encode_metrics_snapshot(s: &MetricsSnapshot) -> Json {
+    let num_map = |m: &BTreeMap<String, u64>| {
+        Json::Obj(
+            m.iter()
+                .map(|(k, v)| (k.clone(), Json::Num(*v as f64)))
+                .collect(),
+        )
+    };
+    obj(vec![
+        ("counters", num_map(&s.counters)),
+        ("gauges", num_map(&s.gauges)),
+        (
+            "histograms",
+            Json::Obj(
+                s.histograms
+                    .iter()
+                    .map(|(name, h)| {
+                        (
+                            name.clone(),
+                            obj(vec![
+                                ("count", Json::Num(h.count as f64)),
+                                ("sum", Json::Num(h.sum as f64)),
+                                (
+                                    "buckets",
+                                    Json::Arr(
+                                        h.buckets
+                                            .iter()
+                                            .map(|b| {
+                                                Json::Arr(vec![
+                                                    Json::Num(Histogram::bucket_index(b.lo) as f64),
+                                                    Json::Num(b.count as f64),
+                                                ])
+                                            })
+                                            .collect(),
+                                    ),
+                                ),
+                            ]),
+                        )
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn decode_metrics_snapshot(v: &Json) -> Result<MetricsSnapshot, WireError> {
+    let Json::Obj(f) = v else {
+        return Err(wire_err("metrics snapshot must be an object"));
+    };
+    let num_map = |key: &str| -> Result<BTreeMap<String, u64>, WireError> {
+        let Json::Obj(m) = get(f, key)? else {
+            return Err(wire_err(format!("field {key:?} must be an object")));
+        };
+        m.iter()
+            .map(|(k, v)| {
+                v.as_u64()
+                    .map(|n| (k.clone(), n))
+                    .ok_or_else(|| wire_err(format!("metric {k:?} must be a non-negative integer")))
+            })
+            .collect()
+    };
+    let Json::Obj(histograms) = get(f, "histograms")? else {
+        return Err(wire_err("field \"histograms\" must be an object"));
+    };
+    let histograms = histograms
+        .iter()
+        .map(|(name, v)| {
+            let Json::Obj(h) = v else {
+                return Err(wire_err("histogram must be an object"));
+            };
+            let Json::Arr(items) = get(h, "buckets")? else {
+                return Err(wire_err("field \"buckets\" must be an array"));
+            };
+            let buckets = items
+                .iter()
+                .map(|item| {
+                    let Json::Arr(pair) = item else {
+                        return Err(wire_err("histogram bucket must be [index, count]"));
+                    };
+                    let (Some(index), Some(count)) = (
+                        pair.first().and_then(Json::as_u64),
+                        pair.get(1).and_then(Json::as_u64),
+                    ) else {
+                        return Err(wire_err("histogram bucket must be [index, count]"));
+                    };
+                    if index as usize >= biorank_obs::HISTOGRAM_BUCKETS {
+                        return Err(wire_err("histogram bucket index out of range"));
+                    }
+                    let (lo, hi) = Histogram::bucket_range(index as usize);
+                    Ok(HistogramBucket { lo, hi, count })
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok((
+                name.clone(),
+                HistogramSnapshot {
+                    count: get_u64(h, "count")?,
+                    sum: get_u64(h, "sum")?,
+                    buckets,
+                },
+            ))
+        })
+        .collect::<Result<BTreeMap<_, _>, _>>()?;
+    Ok(MetricsSnapshot {
+        counters: num_map("counters")?,
+        gauges: num_map("gauges")?,
+        histograms,
+    })
+}
+
+fn encode_metrics_report(report: &MetricsReport) -> Json {
+    obj(vec![
+        ("service", encode_metrics_snapshot(&report.service)),
+        (
+            "worlds",
+            Json::Arr(
+                report
+                    .worlds
+                    .iter()
+                    .map(|w| {
+                        let Json::Obj(mut f) = encode_metrics_snapshot(&w.metrics) else {
+                            unreachable!("snapshot encodes as an object");
+                        };
+                        f.insert("world".into(), Json::Str(w.name.clone()));
+                        Json::Obj(f)
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "slow_queries",
+            Json::Arr(
+                report
+                    .slow_queries
+                    .iter()
+                    .map(|q| {
+                        obj(vec![
+                            ("world", Json::Str(q.world.clone())),
+                            ("value", Json::Str(q.value.clone())),
+                            ("method", Json::Str(q.method.clone())),
+                            ("micros", Json::Num(q.micros as f64)),
+                            ("cached", Json::Bool(q.cached)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn decode_metrics_report(fields: &BTreeMap<String, Json>) -> Result<MetricsReport, WireError> {
+    let Json::Obj(report) = get(fields, "metrics")? else {
+        return Err(wire_err("field \"metrics\" must be an object"));
+    };
+    let Json::Arr(worlds) = get(report, "worlds")? else {
+        return Err(wire_err("field \"metrics.worlds\" must be an array"));
+    };
+    let worlds = worlds
+        .iter()
+        .map(|item| {
+            let Json::Obj(f) = item else {
+                return Err(wire_err("metrics worlds must be objects"));
+            };
+            Ok(WorldMetrics {
+                name: get_str(f, "world")?,
+                metrics: decode_metrics_snapshot(item)?,
+            })
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    let Json::Arr(slow) = get(report, "slow_queries")? else {
+        return Err(wire_err("field \"metrics.slow_queries\" must be an array"));
+    };
+    let slow_queries = slow
+        .iter()
+        .map(|item| {
+            let Json::Obj(f) = item else {
+                return Err(wire_err("slow queries must be objects"));
+            };
+            Ok(SlowQueryEntry {
+                world: get_str(f, "world")?,
+                value: get_str(f, "value")?,
+                method: get_str(f, "method")?,
+                micros: get_u64(f, "micros")?,
+                cached: get(f, "cached")?
+                    .as_bool()
+                    .ok_or_else(|| wire_err("field \"cached\" must be a boolean"))?,
+            })
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(MetricsReport {
+        service: decode_metrics_snapshot(get(report, "service")?)?,
+        worlds,
+        slow_queries,
     })
 }
 
@@ -1069,13 +1351,17 @@ fn encode_admin_response(id: u64, admin: &AdminResponse) -> String {
                 ]),
             ));
         }
+        AdminResponse::Metrics(report) => {
+            fields.push(("metrics", encode_metrics_report(report)));
+        }
     }
     obj(fields).encode()
 }
 
 /// Decodes one response line. The payload kind is inferred from the
 /// discriminating field: `answers` (query), `worlds` (world.list),
-/// `stats` (stats), or `world` (load/swap/evict).
+/// `stats` (stats), `metrics` (metrics), or `world`
+/// (load/swap/evict).
 pub fn decode_response(line: &str) -> Result<Response, WireError> {
     let Json::Obj(fields) = Json::parse(line)? else {
         return Err(wire_err("response must be a JSON object"));
@@ -1096,6 +1382,8 @@ pub fn decode_response(line: &str) -> Result<Response, WireError> {
         ResponseBody::Admin(AdminResponse::List(decode_world_list(&fields)?))
     } else if fields.contains_key("stats") {
         ResponseBody::Admin(AdminResponse::Stats(decode_service_stats(&fields)?))
+    } else if fields.contains_key("metrics") {
+        ResponseBody::Admin(AdminResponse::Metrics(decode_metrics_report(&fields)?))
     } else if fields.contains_key("status") {
         match get_str(&fields, "status")?.as_str() {
             "loading" => ResponseBody::Admin(AdminResponse::Loading {
@@ -1184,6 +1472,27 @@ fn decode_query_response(fields: &BTreeMap<String, Json>) -> Result<QueryRespons
             .as_bool()
             .ok_or_else(|| wire_err("field \"cached_scores\" must be a boolean"))?,
         micros: get_u64(fields, "micros")?,
+        trace: fields
+            .get("trace")
+            .map(|v| {
+                let Json::Arr(items) = v else {
+                    return Err(wire_err("field \"trace\" must be an array"));
+                };
+                items
+                    .iter()
+                    .map(|item| {
+                        let Json::Obj(f) = item else {
+                            return Err(wire_err("trace spans must be objects"));
+                        };
+                        Ok(TraceSpan {
+                            stage: get_str(f, "stage")?,
+                            nanos: get_u64(f, "nanos")?,
+                        })
+                    })
+                    .collect::<Result<Vec<_>, _>>()
+            })
+            .transpose()?
+            .unwrap_or_default(),
     })
 }
 
@@ -1337,6 +1646,7 @@ mod tests {
                 top: Some(5),
                 certify_top: false,
                 world: None,
+                trace: false,
             }),
         };
         let line = encode_request(&r);
@@ -1361,6 +1671,7 @@ mod tests {
                     top: None,
                     certify_top: false,
                     world: Some("staging".into()),
+                    trace: false,
                 }),
             };
             assert_eq!(decode_request(&encode_request(&r)).unwrap(), r);
@@ -1416,6 +1727,7 @@ mod tests {
                 top: None,
                 certify_top: false,
                 world: None,
+                trace: false,
             }),
         };
         assert_eq!(decode_request(&encode_request(&r)).unwrap(), r);
@@ -1586,6 +1898,8 @@ mod tests {
                             hits: 3,
                             misses: 1,
                             entries: 1,
+                            inserts: 2,
+                            rejected: 1,
                         },
                         results: CacheStats::default(),
                     },
@@ -1611,6 +1925,7 @@ mod tests {
                 top: None,
                 certify_top: false,
                 world: None,
+                trace: false,
             }),
         };
         for seed in [(1u64 << 60) + 1, u64::MAX, 0] {
@@ -1669,6 +1984,7 @@ mod tests {
                 cached_graph: true,
                 cached_scores: false,
                 micros: 812,
+                trace: vec![],
             })),
         };
         let line = encode_response(&resp);
@@ -1697,6 +2013,7 @@ mod tests {
                 cached_graph: false,
                 cached_scores: true,
                 micros: 12,
+                trace: vec![],
             })),
         };
         let line = encode_response(&resp);
@@ -1729,6 +2046,7 @@ mod tests {
                 cached_graph: true,
                 cached_scores: false,
                 micros: 3,
+                trace: vec![],
             })),
         };
         let line = encode_response(&resp);
@@ -1750,6 +2068,151 @@ mod tests {
         assert!(decode_response(&broken).is_err(), "{broken}");
         let unknown = line.replace("\"mode\":\"top_k\"", "\"mode\":\"sideways\"");
         assert!(decode_response(&unknown).is_err(), "{unknown}");
+    }
+
+    #[test]
+    fn trace_flag_and_spans_roundtrip() {
+        // The request flag is omitted when off, present when on.
+        let plain = Request {
+            id: 20,
+            body: RequestBody::Query(QueryRequest::protein_functions(
+                "GALT",
+                RankerSpec::new(Method::TraversalMc),
+            )),
+        };
+        let line = encode_request(&plain);
+        assert!(!line.contains("trace"), "{line}");
+        assert_eq!(decode_request(&line).unwrap(), plain);
+
+        let traced = Request {
+            id: 21,
+            body: RequestBody::Query(
+                QueryRequest::protein_functions("GALT", RankerSpec::new(Method::TraversalMc))
+                    .traced(),
+            ),
+        };
+        let line = encode_request(&traced);
+        assert!(line.contains("\"trace\":true"), "{line}");
+        assert_eq!(decode_request(&line).unwrap(), traced);
+
+        // Span arrays survive the response wire; empty traces are
+        // omitted (tested by response_roundtrip above).
+        let resp = Response {
+            id: 21,
+            outcome: Ok(ResponseBody::Query(QueryResponse {
+                answers: vec![],
+                total_answers: 0,
+                certificate: None,
+                cached_graph: false,
+                cached_scores: false,
+                micros: 55,
+                trace: vec![
+                    TraceSpan {
+                        stage: "cache".into(),
+                        nanos: 412,
+                    },
+                    TraceSpan {
+                        stage: "estimate".into(),
+                        nanos: 1_000_000,
+                    },
+                ],
+            })),
+        };
+        let line = encode_response(&resp);
+        assert!(line.contains("\"stage\":\"cache\""), "{line}");
+        assert_eq!(decode_response(&line).unwrap(), resp);
+    }
+
+    #[test]
+    fn metrics_admin_roundtrip() {
+        // Request: reset defaults off and is omitted from the line.
+        for reset in [false, true] {
+            let r = Request {
+                id: 30,
+                body: RequestBody::Admin(AdminRequest::Metrics { reset }),
+            };
+            let line = encode_request(&r);
+            assert_eq!(line.contains("reset"), reset, "{line}");
+            assert_eq!(decode_request(&line).unwrap(), r);
+        }
+
+        // Response: a populated report — service + per-world snapshots
+        // and slow-query entries — survives the wire exactly,
+        // histogram bucket bounds included (the top bucket's bounds
+        // exceed 2^53 and travel as a bucket index).
+        let mut histograms = BTreeMap::new();
+        histograms.insert(
+            "stage_ns.estimate".to_string(),
+            HistogramSnapshot {
+                count: 3,
+                sum: u64::from(u32::MAX),
+                buckets: vec![
+                    HistogramBucket {
+                        lo: 512,
+                        hi: 1024,
+                        count: 2,
+                    },
+                    HistogramBucket {
+                        lo: 1u64 << 63,
+                        hi: u64::MAX,
+                        count: 1,
+                    },
+                ],
+            },
+        );
+        let snapshot = |queries: u64| MetricsSnapshot {
+            counters: [("queries".to_string(), queries)].into_iter().collect(),
+            gauges: [("tenancy.resident".to_string(), 2u64)]
+                .into_iter()
+                .collect(),
+            histograms: histograms.clone(),
+        };
+        let report = MetricsReport {
+            service: snapshot(9),
+            worlds: vec![
+                WorldMetrics {
+                    name: "default".into(),
+                    metrics: snapshot(6),
+                },
+                WorldMetrics {
+                    name: "staging".into(),
+                    metrics: snapshot(3),
+                },
+            ],
+            slow_queries: vec![SlowQueryEntry {
+                world: "default".into(),
+                value: "GALT".into(),
+                method: "mc".into(),
+                micros: 48_211,
+                cached: false,
+            }],
+        };
+        let resp = Response {
+            id: 31,
+            outcome: Ok(ResponseBody::Admin(AdminResponse::Metrics(report))),
+        };
+        let line = encode_response(&resp);
+        assert!(line.contains("\"metrics\""), "{line}");
+        assert!(line.contains("\"slow_queries\""), "{line}");
+        assert_eq!(decode_response(&line).unwrap(), resp);
+    }
+
+    #[test]
+    fn cache_stats_decode_tolerates_missing_insert_counters() {
+        // A pre-telemetry stats payload (hits/misses/entries only)
+        // still decodes; the new counters default to zero.
+        let legacy =
+            Json::parse("{\"hits\":3,\"misses\":1,\"entries\":1,\"hit_rate\":0.75}").unwrap();
+        assert_eq!(
+            decode_cache_stats(&legacy).unwrap(),
+            CacheStats {
+                hits: 3,
+                misses: 1,
+                entries: 1,
+                inserts: 0,
+                rejected: 0,
+            }
+        );
     }
 
     #[test]

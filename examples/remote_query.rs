@@ -46,6 +46,7 @@ fn main() {
                 top: Some(5),
                 certify_top: false,
                 world: None,
+                trace: false,
             })
             .expect("query GALT");
         println!(

@@ -52,20 +52,42 @@ for bench in "${benches[@]}"; do
 done
 
 lines=$(wc -l <"$fresh")
-# The machinery must have produced at least one parseable line.
-[ "$lines" -gt 0 ]
+# The machinery must have produced at least one parseable line. Fail
+# loudly with the symptom: a bare `set -e` exit here once read as a
+# passing run with a silent gap in the perf trajectory.
+if [ "$lines" -lt 1 ]; then
+    echo "error: no BENCHJSON lines captured from: ${benches[*]}" >&2
+    echo "       (BENCH_JSON output hook broken, or the bench printed nothing)" >&2
+    exit 1
+fi
 
-if [ "$mode" = quick ]; then
-    # Re-runs at the same commit replace that commit's lines instead
-    # of piling up duplicates: one line per (commit, bench).
+# Re-runs at the same commit replace that commit's lines instead of
+# piling up duplicates: one line per (commit, bench). Smoke mode runs
+# the identical dedup-and-append machinery against a temp copy of the
+# log, so CI validates the whole append path without touching the
+# tracked file.
+target="$out"
+if [ "$mode" = smoke ]; then
+    target="$(mktemp)"
+    trap 'rm -f "$fresh" "$target" "$target.tmp"' EXIT
     if [ -f "$out" ]; then
-        grep -v "^{\"commit\":\"$commit\"," "$out" >"$out.tmp" || true
-    else
-        : >"$out.tmp"
+        cat "$out" >"$target"
     fi
-    cat "$fresh" >>"$out.tmp"
-    mv "$out.tmp" "$out"
-    echo "recorded $lines result line(s) in $out"
+fi
+if [ -s "$target" ]; then
+    grep -v "^{\"commit\":\"$commit\"," "$target" >"$target.tmp" || true
 else
-    echo "smoke OK: $lines parseable result line(s)"
+    : >"$target.tmp"
+fi
+cat "$fresh" >>"$target.tmp"
+mv "$target.tmp" "$target"
+appended=$(grep -c "^{\"commit\":\"$commit\"," "$target" || true)
+if [ "$appended" -lt 1 ]; then
+    echo "error: append produced no rows for commit $commit in $target" >&2
+    exit 1
+fi
+if [ "$mode" = quick ]; then
+    echo "recorded $appended result line(s) in $out"
+else
+    echo "smoke OK: $appended row(s) appended through the temp log"
 fi

@@ -31,6 +31,12 @@ cargo test -q --test service_tenancy
 echo "==> cargo test -q --test service_adaptive"
 cargo test -q --test service_adaptive
 
+# Telemetry end to end: a live serve must echo per-stage trace spans,
+# report them through the `metrics` admin op, and stay bit-identical
+# with tracing on or off.
+echo "==> cargo test -q --test service_metrics"
+cargo test -q --test service_metrics
+
 # Smoke top-k boundary certification over the wire through the real
 # binary: start a serve on an ephemeral port, issue a --certify-top
 # query, and require the top-k certificate in the human output.
@@ -56,9 +62,11 @@ fi
 kill "$serve_pid" 2>/dev/null || true
 
 # Smoke the perf-trajectory recorder: the word-parallel MC bench must
-# run and produce parseable JSON lines (quick sampling, temp output —
-# BENCH_mc.json itself is only appended by deliberate local runs).
+# run, produce parseable JSON lines, AND survive the dedup-and-append
+# machinery — smoke mode replays the full quick-mode append against a
+# temp copy of the log and fails unless ≥1 row landed (BENCH_mc.json
+# itself is only appended by deliberate local runs).
 echo "==> scripts/bench.sh smoke"
-scripts/bench.sh smoke
+scripts/bench.sh smoke | tee /dev/stderr | grep -q "smoke OK: [1-9]"
 
 echo "OK"

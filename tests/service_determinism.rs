@@ -44,6 +44,7 @@ fn batch() -> Vec<QueryRequest> {
                 top: None,
                 certify_top: false,
                 world: None,
+                trace: false,
             });
         }
     }
