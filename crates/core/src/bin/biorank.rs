@@ -60,6 +60,12 @@
 //!   --slow-query-micros N                 log queries at least this slow to
 //!                                         the in-memory slow-query ring
 //!                                         (default 10000)
+//!   --data-dir PATH                       durable world persistence: replay
+//!                                         the directory's manifest + admin
+//!                                         WAL on boot (warm restart from
+//!                                         snapshots), and WAL-log every
+//!                                         world.load/swap/evict before
+//!                                         acknowledging it
 //!
 //! admin commands (all need --addr, default 127.0.0.1:7878):
 //!   world.load NAME [--seed S] [--extended] [--cache N] [--background]
@@ -72,6 +78,12 @@
 //!                                         queries into the fresh engine
 //!                                         (default 8; 0 installs cold)
 //!   world.evict NAME                                      drop a resident world
+//!   world.save NAME                       write NAME's snapshot (spec + both
+//!                                         cache layers) to the server's data
+//!                                         directory (serve --data-dir)
+//!   checkpoint                            snapshot every resident world,
+//!                                         rewrite the manifest, truncate the
+//!                                         WAL (log compaction)
 //!   world.list                                            show the registry
 //!   stats                                                 per-world cache counters
 //!   metrics [--reset]                     full telemetry snapshot: service and
@@ -88,8 +100,8 @@ use biorank::rank::{explain::explain, Certificate, CertificateMode, TopK};
 use biorank::schema::biorank_schema_full;
 use biorank::service::{
     AdaptiveConfig, Client, Estimator, Method, MetricsSnapshot, QueryRequest, RankerSpec,
-    ServeOptions, Server, Trials, WorldManager, WorldSpec, DEFAULT_SLOW_QUERY_MICROS,
-    DEFAULT_SWAP_WARM, DEFAULT_WORLD_BUDGET,
+    ServeOptions, Server, TenancyError, Trials, WorldManager, WorldSpec, WorldStore,
+    DEFAULT_SLOW_QUERY_MICROS, DEFAULT_SWAP_WARM, DEFAULT_WORLD, DEFAULT_WORLD_BUDGET,
 };
 
 struct Options {
@@ -117,6 +129,7 @@ struct Options {
     trace: bool,
     reset: bool,
     slow_query_micros: u64,
+    data_dir: Option<String>,
     positional: Vec<String>,
 }
 
@@ -190,6 +203,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         trace: false,
         reset: false,
         slow_query_micros: DEFAULT_SLOW_QUERY_MICROS,
+        data_dir: None,
         positional: Vec::new(),
     };
     let mut i = 0;
@@ -292,6 +306,10 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     Estimator::parse(name)
                         .ok_or_else(|| format!("unknown estimator {name:?} (traversal|word)"))?,
                 );
+            }
+            "--data-dir" => {
+                i += 1;
+                opts.data_dir = Some(args.get(i).ok_or("--data-dir needs a path")?.to_string());
             }
             "--slow-query-micros" => {
                 i += 1;
@@ -470,17 +488,20 @@ fn cmd_serve(opts: &Options) -> Result<(), String> {
         extended: opts.extended,
         cache_capacity: opts.cache,
     };
-    // Built via the same WorldSpec::build an admin world.load would
-    // use, so "equal spec" always means "equal engine".
-    let manager = Arc::new(WorldManager::with_default(
-        Arc::new(spec.build()),
-        spec,
-        opts.worlds,
-    ));
+    let manager = match opts.data_dir.as_deref() {
+        Some(dir) => durable_manager(dir, spec, opts.worlds)?,
+        // Built via the same WorldSpec::build an admin world.load
+        // would use, so "equal spec" always means "equal engine".
+        None => Arc::new(WorldManager::with_default(
+            Arc::new(spec.build()),
+            spec,
+            opts.worlds,
+        )),
+    };
     let addr = opts.addr.as_deref().unwrap_or("127.0.0.1:7878");
     let server = Server::bind_manager(
         addr,
-        manager,
+        Arc::clone(&manager),
         ServeOptions {
             workers: opts.workers,
             // Word-parallel + adaptive trials are the soaked serving
@@ -492,6 +513,12 @@ fn cmd_serve(opts: &Options) -> Result<(), String> {
         },
     )
     .map_err(|e| format!("bind {addr}: {e}"))?;
+    // A durable boot restores recovered worlds on background threads;
+    // hold the listening line — the readiness signal operators (and
+    // ci.sh) key on — until the default world resolves.
+    if opts.data_dir.is_some() {
+        wait_for_default(&manager)?;
+    }
     println!(
         "biorank-serve listening on {} ({} workers, cache capacity {}, world budget {}, \
          default seed {:#x}{})",
@@ -509,10 +536,85 @@ fn cmd_serve(opts: &Options) -> Result<(), String> {
     server.run().map_err(|e| e.to_string())
 }
 
+/// Opens (or creates) `--data-dir`, replays its manifest + admin WAL,
+/// and returns a manager with every recovered world restoring on a
+/// background thread from its snapshot (warm caches). The CLI's own
+/// `--seed`/`--extended`/`--cache` flags define the default world: a
+/// recovered default with the same spec restores warm; a mismatch is
+/// rebuilt from the flags (the operator's flags win).
+fn durable_manager(dir: &str, spec: WorldSpec, budget: usize) -> Result<Arc<WorldManager>, String> {
+    let manager = WorldManager::new(budget);
+    let store = Arc::new(
+        WorldStore::open(dir, manager.metrics())
+            .map_err(|e| format!("open data dir {dir}: {e}"))?,
+    );
+    let recovery = store
+        .recover()
+        .map_err(|e| format!("recover data dir {dir}: {e}"))?;
+    let manager = Arc::new(
+        manager
+            .with_store(Arc::clone(&store))
+            .map_err(|e| e.to_string())?,
+    );
+    manager.set_generation_floor(recovery.next_generation);
+    let mut restored = 0usize;
+    let mut default_recovered = false;
+    for (name, world) in &recovery.worlds {
+        let wspec = match biorank::service::persist::world_spec(world.spec) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("skipping recovered world {name:?}: {e}");
+                continue;
+            }
+        };
+        if name == DEFAULT_WORLD && wspec != spec {
+            continue; // the flags changed; rebuild the default below
+        }
+        let snapshot = world.snapshot.as_deref().and_then(|f| {
+            // A missing or corrupt snapshot downgrades to a cold
+            // rebuild of the recorded spec, never a boot failure.
+            store.load_snapshot(f).ok()
+        });
+        manager
+            .restore_background(name, wspec, world.generation, snapshot)
+            .map_err(|e| format!("restore world {name:?}: {e}"))?;
+        restored += 1;
+        if name == DEFAULT_WORLD {
+            default_recovered = true;
+        }
+    }
+    if !default_recovered {
+        manager
+            .load(DEFAULT_WORLD, spec)
+            .map_err(|e| e.to_string())?;
+    }
+    println!(
+        "data dir {dir}: {restored} world(s) recovered, {} WAL record(s) replayed",
+        recovery.wal_ops_replayed
+    );
+    Ok(manager)
+}
+
+/// Blocks until the default world is resident (restores run on
+/// background threads), so the listening line is a real ready signal.
+fn wait_for_default(manager: &WorldManager) -> Result<(), String> {
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(300);
+    loop {
+        match manager.resolve(None) {
+            Ok(_) => return Ok(()),
+            Err(TenancyError::WorldLoading(_)) if std::time::Instant::now() < deadline => {
+                std::thread::sleep(std::time::Duration::from_millis(25));
+            }
+            Err(e) => return Err(format!("default world never became ready: {e}")),
+        }
+    }
+}
+
 /// `biorank admin`: drive a running server's world registry.
 fn cmd_admin(opts: &Options) -> Result<(), String> {
     let cmd = opts.positional.first().ok_or(
-        "usage: biorank admin <world.load|world.swap|world.evict|world.list|stats|metrics>",
+        "usage: biorank admin <world.load|world.swap|world.evict|world.save|checkpoint\
+         |world.list|stats|metrics>",
     )?;
     let addr = opts.addr.as_deref().unwrap_or("127.0.0.1:7878");
     let mut client = Client::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
@@ -566,21 +668,31 @@ fn cmd_admin(opts: &Options) -> Result<(), String> {
             client.world_evict(world).map_err(|e| e.to_string())?;
             println!("world {world:?} evicted");
         }
+        "world.save" => {
+            let world = name()?;
+            let (generation, bytes) = client.world_save(world).map_err(|e| e.to_string())?;
+            println!("world {world:?} snapshot saved (generation {generation}, {bytes} bytes)");
+        }
+        "checkpoint" => {
+            let (worlds, bytes) = client.checkpoint().map_err(|e| e.to_string())?;
+            println!("checkpoint: {worlds} world(s) snapshotted ({bytes} bytes), WAL compacted");
+        }
         "world.list" => {
             let worlds = client.world_list().map_err(|e| e.to_string())?;
             println!(
-                "{:<12} {:<8} {:>4} {:>18} {:>9} {:>7}",
-                "World", "State", "Gen", "Seed", "Federation", "Cache"
+                "{:<12} {:<8} {:>4} {:>18} {:>9} {:>7} {:>16}",
+                "World", "State", "Gen", "Seed", "Federation", "Cache", "SpecHash"
             );
             for w in worlds {
                 println!(
-                    "{:<12} {:<8} {:>4} {:>#18x} {:>9} {:>7}",
+                    "{:<12} {:<8} {:>4} {:>#18x} {:>9} {:>7} {:>16}",
                     w.name,
                     w.state.wire_name(),
                     w.generation,
                     w.spec.seed,
                     if w.spec.extended { "extended" } else { "fig1" },
-                    w.spec.cache_capacity
+                    w.spec.cache_capacity,
+                    format!("{:016x}", w.spec.spec_hash())
                 );
             }
         }

@@ -664,8 +664,26 @@ impl QueryEngine {
         &self.metrics
     }
 
-    /// A point-in-time copy of this engine's metrics.
+    /// A point-in-time copy of this engine's metrics. Cache counters
+    /// (`cache.{graphs,results}.{hits,misses,entries,inserts,rejected}`)
+    /// are folded in as gauges at snapshot time, so every scrape —
+    /// including the final one a server takes at shutdown — carries
+    /// the hit-rate numbers without a separate log line.
     pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let stats = self.stats();
+        for (layer, c) in [("graphs", stats.graphs), ("results", stats.results)] {
+            for (field, value) in [
+                ("hits", c.hits),
+                ("misses", c.misses),
+                ("entries", c.entries as u64),
+                ("inserts", c.inserts),
+                ("rejected", c.rejected),
+            ] {
+                self.metrics
+                    .gauge(&format!("cache.{layer}.{field}"))
+                    .set(value);
+            }
+        }
         self.metrics.snapshot()
     }
 
@@ -958,6 +976,58 @@ impl QueryEngine {
         if count > 0 {
             let mut warmed = self.warmed.lock().expect("warmed keys");
             warmed.extend(replayed);
+            self.warmed_remaining
+                .store(warmed.len() as u64, Ordering::Relaxed);
+        }
+        count
+    }
+
+    /// Both cache layers' entries, most-recently-used first — the raw
+    /// material of a durable snapshot (see `crate::persist`). The
+    /// `Arc`s are clones; exporting never blocks the query path beyond
+    /// the per-shard locks a normal lookup takes.
+    #[allow(clippy::type_complexity)]
+    pub fn export_cache(
+        &self,
+    ) -> (
+        Vec<(ExploratoryQuery, Arc<IntegrationResult>)>,
+        Vec<((ExploratoryQuery, RankerSpec), Arc<RankedResult>)>,
+    ) {
+        (
+            self.graphs.hot_entries(usize::MAX),
+            self.results.hot_entries(usize::MAX),
+        )
+    }
+
+    /// Replays exported cache entries (see
+    /// [`export_cache`](QueryEngine::export_cache)) into this engine
+    /// **verbatim** — no recomputation, so a snapshot restore is
+    /// bit-identical by construction where [`QueryEngine::warm`]
+    /// merely re-runs the same requests. Entries arrive MRU-first and
+    /// are inserted in reverse, so the restored LRU order matches the
+    /// exported one. Every imported result entry counts on
+    /// `warm.replayed` and joins the warm set (first client hit counts
+    /// on `warm.hits`), exactly like a swap warm-up. Returns the
+    /// number of result entries imported.
+    #[allow(clippy::type_complexity)]
+    pub fn import_cache(
+        &self,
+        graphs: Vec<(ExploratoryQuery, Arc<IntegrationResult>)>,
+        results: Vec<((ExploratoryQuery, RankerSpec), Arc<RankedResult>)>,
+    ) -> usize {
+        for (query, res) in graphs.into_iter().rev() {
+            self.graphs.insert(query, res);
+        }
+        let mut keys = Vec::new();
+        for ((query, spec), ranked) in results.into_iter().rev() {
+            self.metrics.counter("warm.replayed").inc();
+            keys.push((query.clone(), spec));
+            self.results.insert((query, spec), ranked);
+        }
+        let count = keys.len();
+        if count > 0 {
+            let mut warmed = self.warmed.lock().expect("warmed keys");
+            warmed.extend(keys);
             self.warmed_remaining
                 .store(warmed.len() as u64, Ordering::Relaxed);
         }

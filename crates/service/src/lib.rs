@@ -26,8 +26,14 @@
 //!   (hand-rolled in [`wire`]; the workspace is deliberately std-only)
 //!   over `std::net::TcpListener`, surfaced as the `biorank serve`,
 //!   `biorank query --addr`, and `biorank admin` subcommands. Admin
-//!   lines (`world.load`, `world.swap`, `world.evict`, `world.list`,
-//!   `stats`, `metrics`) drive the registry over the same connection.
+//!   lines (`world.load`, `world.swap`, `world.evict`, `world.save`,
+//!   `checkpoint`, `world.list`, `stats`, `metrics`) drive the
+//!   registry over the same connection.
+//! * [`persist`] / [`WorldStore`] — durable world persistence: each
+//!   resident world snapshots to a checksummed container file, admin
+//!   ops append to a write-ahead log, and `serve --data-dir` replays
+//!   manifest + WAL on boot so a restarted server answers
+//!   bit-identically from its snapshots without a full rebuild.
 //!
 //! ```no_run
 //! use std::sync::Arc;
@@ -61,6 +67,7 @@
 
 pub mod cache;
 pub mod engine;
+pub mod persist;
 pub mod pool;
 pub mod server;
 pub mod tenancy;
@@ -71,12 +78,14 @@ pub use biorank_obs::{
     SlowQueryLog, TraceSpan,
 };
 pub use biorank_rank::{AdaptiveOutcome, Certificate, CertificateMode};
+pub use biorank_store::{RecoveredWorld, Recovery, StoreError, WorldStore};
 pub use cache::{CacheStats, ShardedLru};
 pub use engine::{
     run_adaptive, AdaptiveConfig, Coverage, EngineStats, Estimator, Method, QueryEngine,
     QueryRequest, QueryResponse, RankedAnswer, RankedResult, RankerSpec, Trials,
     DEFAULT_CACHE_CAPACITY, PARALLEL_MC_CHUNKS,
 };
+pub use persist::{export_snapshot, import_snapshot, snapshot_spec};
 pub use pool::WorkerPool;
 pub use server::{Client, ServeOptions, Server, ServerHandle, DEFAULT_SLOW_QUERY_MICROS};
 pub use tenancy::{

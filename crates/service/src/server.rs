@@ -181,7 +181,10 @@ impl Server {
     }
 
     /// Runs the accept loop until [`ServerHandle::shutdown`] is
-    /// called, then logs the final per-world cache hit-rates.
+    /// called. Final per-world cache hit-rates need no shutdown log
+    /// line: every metrics snapshot — including one taken on the way
+    /// down — folds the cache counters in as `cache.*` gauges (see
+    /// [`QueryEngine::metrics_snapshot`]).
     pub fn run(self) -> std::io::Result<()> {
         for conn in self.listener.incoming() {
             if self.shutdown.load(Ordering::SeqCst) {
@@ -206,21 +209,13 @@ impl Server {
                 let _ = handle_connection(stream, manager, pool, defaults, slow_log);
             });
         }
-        // Graceful shutdown: leave a final observability record.
-        // `hit_rate` is zero-lookup safe, so an unused world logs 0%.
-        // Deprecated in favour of the `metrics` admin command (which
-        // reports the same cache counters, live, plus much more) —
-        // still emitted so existing log scrapers keep working.
-        for w in self.manager.stats().worlds {
-            eprintln!(
-                "biorank-serve shutdown: world {:?} gen {}: graph cache {:.1}% hit, \
-                 result cache {:.1}% hit",
-                w.name,
-                w.generation,
-                100.0 * w.engine.graphs.hit_rate(),
-                100.0 * w.engine.results.hit_rate(),
-            );
-        }
+        // Graceful shutdown: fold the final cache counters into each
+        // world's metrics registry (as the `cache.*` gauges every
+        // snapshot carries) instead of the old stderr hit-rate log —
+        // scrapers read the same numbers from the `metrics` admin op,
+        // and this last snapshot leaves them in the registries for
+        // anything still holding an engine `Arc`.
+        let _ = self.manager.world_metrics(false);
         Ok(())
     }
 }
@@ -457,6 +452,21 @@ fn execute_admin(
                 generation: 0,
             })
         }
+        AdminRequest::Save { world } => {
+            let (generation, snapshot_bytes) = manager.save(&world)?;
+            Ok(AdminResponse::Saved {
+                world,
+                generation,
+                snapshot_bytes,
+            })
+        }
+        AdminRequest::Checkpoint => {
+            let (worlds, snapshot_bytes) = manager.checkpoint()?;
+            Ok(AdminResponse::Checkpoint {
+                worlds,
+                snapshot_bytes,
+            })
+        }
         AdminRequest::List => Ok(AdminResponse::List(manager.list())),
         AdminRequest::Stats => Ok(AdminResponse::Stats(manager.stats())),
         AdminRequest::Metrics { reset } => {
@@ -641,6 +651,35 @@ impl Client {
             warm,
         })? {
             AdminResponse::World { generation, .. } => Ok(generation),
+            other => Err(unexpected_admin(other)),
+        }
+    }
+
+    /// `world.save`: write a durable snapshot of a resident world
+    /// (server must be running with `--data-dir`); returns
+    /// `(generation, snapshot bytes)`.
+    pub fn world_save(&mut self, world: &str) -> Result<(u64, u64), crate::Error> {
+        match self.admin(AdminRequest::Save {
+            world: world.to_string(),
+        })? {
+            AdminResponse::Saved {
+                generation,
+                snapshot_bytes,
+                ..
+            } => Ok((generation, snapshot_bytes)),
+            other => Err(unexpected_admin(other)),
+        }
+    }
+
+    /// `checkpoint`: snapshot every resident world and compact the
+    /// admin WAL into the manifest; returns `(worlds, total snapshot
+    /// bytes)`.
+    pub fn checkpoint(&mut self) -> Result<(usize, u64), crate::Error> {
+        match self.admin(AdminRequest::Checkpoint)? {
+            AdminResponse::Checkpoint {
+                worlds,
+                snapshot_bytes,
+            } => Ok((worlds, snapshot_bytes)),
             other => Err(unexpected_admin(other)),
         }
     }

@@ -40,8 +40,10 @@ use biorank_mediator::Mediator;
 use biorank_obs::{MetricsRegistry, MetricsSnapshot, SlowQueryEntry};
 use biorank_schema::{biorank_schema_full, biorank_schema_with_ontology};
 use biorank_sources::{World, WorldParams};
+use biorank_store::{WalOp, WorldStore};
 
 use crate::engine::{EngineStats, QueryEngine, DEFAULT_CACHE_CAPACITY};
+use crate::persist;
 
 /// The name of the world queries route to when they name none.
 pub const DEFAULT_WORLD: &str = "default";
@@ -99,6 +101,19 @@ impl WorldSpec {
             self.cache_capacity,
         )
     }
+
+    /// A stable 64-bit fingerprint of this spec (XXH64 over its
+    /// canonical binary encoding). Surfaced in `world.list` so an
+    /// operator can confirm a restarted world was rebuilt from — or
+    /// snapshot-restored to — exactly the pre-restart configuration;
+    /// also embedded in snapshot payloads as a cheap drift check.
+    pub fn spec_hash(&self) -> u64 {
+        let mut w = biorank_store::Writer::new();
+        w.u64(self.seed);
+        w.bool(self.extended);
+        w.u64(self.cache_capacity as u64);
+        biorank_store::xxh64(&w.into_inner(), 0x5bec_6a54)
+    }
 }
 
 /// Tenancy-level failures, rendered over the wire as error strings.
@@ -117,6 +132,10 @@ pub enum TenancyError {
     BudgetExhausted(usize),
     /// The default world cannot be evicted.
     DefaultPinned,
+    /// The durability layer failed to record or restore an admin op
+    /// (WAL append, snapshot write/read). The in-memory registry may
+    /// be ahead of the log; the op itself completed.
+    Persist(String),
 }
 
 impl fmt::Display for TenancyError {
@@ -140,6 +159,7 @@ impl fmt::Display for TenancyError {
                     "the {DEFAULT_WORLD:?} world is pinned and cannot be evicted"
                 )
             }
+            TenancyError::Persist(msg) => write!(f, "persistence failed: {msg}"),
         }
     }
 }
@@ -211,6 +231,10 @@ pub struct ServiceStats {
     pub budget: usize,
     /// Number of resident worlds.
     pub resident: usize,
+    /// Whether a durable [`WorldStore`] backs this registry (`biorank
+    /// serve --data-dir`): admin ops are WAL-logged and worlds survive
+    /// a restart.
+    pub durable: bool,
     /// Per-world counters, sorted by name.
     pub worlds: Vec<WorldStats>,
 }
@@ -282,6 +306,12 @@ pub struct WorldManager {
     /// server registers its connection/request counters into the same
     /// registry so one `metrics` snapshot covers the whole service.
     metrics: Arc<MetricsRegistry>,
+    /// Durable backing, when serving with `--data-dir`: every
+    /// acknowledged load/swap/evict is WAL-logged here **after** the
+    /// registry mutation and **before** the op returns, and
+    /// [`checkpoint`](WorldManager::checkpoint) compacts the log into
+    /// the manifest plus per-world snapshots.
+    store: Option<Arc<WorldStore>>,
 }
 
 impl WorldManager {
@@ -297,7 +327,73 @@ impl WorldManager {
             budget: budget.max(1),
             clock: AtomicU64::new(0),
             metrics: Arc::new(MetricsRegistry::new()),
+            store: None,
         }
+    }
+
+    /// Attaches a durable [`WorldStore`]: every subsequent
+    /// load/swap/evict is WAL-logged before it is acknowledged. Worlds
+    /// already resident (e.g. the default world of
+    /// [`with_default`](WorldManager::with_default)) are logged
+    /// immediately so they too survive a restart. Restore paths
+    /// ([`restore_background`](WorldManager::restore_background)) do
+    /// **not** re-log — their ops are already in the manifest or WAL.
+    pub fn with_store(mut self, store: Arc<WorldStore>) -> Result<Self, TenancyError> {
+        {
+            let reg = self.registry.lock().expect("world registry");
+            for (name, entry) in &reg.worlds {
+                store
+                    .append(&WalOp::Load {
+                        world: name.clone(),
+                        spec: persist::stored_spec(entry.spec),
+                        generation: entry.generation,
+                    })
+                    .map_err(|e| TenancyError::Persist(e.to_string()))?;
+            }
+        }
+        self.store = Some(store);
+        Ok(self)
+    }
+
+    /// The attached durable store, if any.
+    pub fn store(&self) -> Option<&Arc<WorldStore>> {
+        self.store.as_ref()
+    }
+
+    /// Raises the registry's generation counter so freshly assigned
+    /// generations never collide with ones recovered from a store
+    /// (`next` is the store's "next unassigned" convention). Called
+    /// once at boot, before any restore installs.
+    pub fn set_generation_floor(&self, next: u64) {
+        let mut reg = self.registry.lock().expect("world registry");
+        reg.next_generation = reg.next_generation.max(next.saturating_sub(1));
+    }
+
+    /// WAL-logs evictions plus an optional final op, fsync'd, after
+    /// the registry mutation they describe. A failure surfaces as
+    /// [`TenancyError::Persist`]: the in-memory op stands (a restart
+    /// simply won't know about it), the caller's ack carries the
+    /// error.
+    fn log_ops(&self, victims: &[String], op: Option<WalOp>) -> Result<(), TenancyError> {
+        let Some(store) = &self.store else {
+            return Ok(());
+        };
+        for victim in victims {
+            store
+                .append(&WalOp::Evict {
+                    world: victim.clone(),
+                })
+                .map_err(|e| TenancyError::Persist(e.to_string()))?;
+            // Best-effort: a stale snapshot is also guarded against at
+            // import time by the spec check.
+            let _ = store.remove_snapshot(victim);
+        }
+        if let Some(op) = op {
+            store
+                .append(&op)
+                .map_err(|e| TenancyError::Persist(e.to_string()))?;
+        }
+        Ok(())
     }
 
     /// The service-level metrics registry. Tenancy counters land here;
@@ -389,9 +485,7 @@ impl WorldManager {
             }
             return Err(TenancyError::SpecMismatch(name.to_string()));
         }
-        let before = reg.worlds.len();
-        Self::make_room(&mut reg, self.budget, name)?;
-        let evicted = before - reg.worlds.len();
+        let victims = Self::make_room(&mut reg, self.budget, name)?;
         let generation = reg.bump();
         reg.worlds.insert(
             name.to_string(),
@@ -405,12 +499,20 @@ impl WorldManager {
         let (resident, loading) = (reg.worlds.len(), reg.loading.len());
         drop(reg);
         self.metrics.counter("tenancy.load").inc();
-        if evicted > 0 {
+        if !victims.is_empty() {
             self.metrics
                 .counter("tenancy.evict.lru")
-                .add(evicted as u64);
+                .add(victims.len() as u64);
         }
         self.update_residency_gauges(resident, loading);
+        self.log_ops(
+            &victims,
+            Some(WalOp::Load {
+                world: name.to_string(),
+                spec: persist::stored_spec(spec),
+                generation,
+            }),
+        )?;
         Ok(generation)
     }
 
@@ -503,14 +605,12 @@ impl WorldManager {
             if reg.worlds.contains_key(&name) {
                 return; // a sync load/swap raced us; keep the winner
             }
-            let before = reg.worlds.len();
-            if Self::make_room(&mut reg, mgr.budget, &name).is_err() {
+            let Ok(victims) = Self::make_room(&mut reg, mgr.budget, &name) else {
                 return; // budget filled up mid-build; discard
-            }
-            let evicted = before - reg.worlds.len();
+            };
             let generation = reg.bump();
             reg.worlds.insert(
-                name,
+                name.clone(),
                 WorldEntry {
                     engine,
                     spec,
@@ -521,10 +621,27 @@ impl WorldManager {
             let (resident, loading) = (reg.worlds.len(), reg.loading.len());
             drop(reg);
             mgr.metrics.counter("tenancy.load").inc();
-            if evicted > 0 {
-                mgr.metrics.counter("tenancy.evict.lru").add(evicted as u64);
+            if !victims.is_empty() {
+                mgr.metrics
+                    .counter("tenancy.evict.lru")
+                    .add(victims.len() as u64);
             }
             mgr.update_residency_gauges(resident, loading);
+            // No admin connection is waiting on a background install,
+            // so a WAL failure can only be surfaced as telemetry.
+            if mgr
+                .log_ops(
+                    &victims,
+                    Some(WalOp::Load {
+                        world: name,
+                        spec: persist::stored_spec(spec),
+                        generation,
+                    }),
+                )
+                .is_err()
+            {
+                mgr.metrics.counter("tenancy.persist_errors").inc();
+            }
         });
         Ok(None)
     }
@@ -558,9 +675,11 @@ impl WorldManager {
         }
         let stamp = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
         let mut reg = self.registry.lock().expect("world registry");
-        if !reg.worlds.contains_key(name) {
-            Self::make_room(&mut reg, self.budget, name)?;
-        }
+        let victims = if !reg.worlds.contains_key(name) {
+            Self::make_room(&mut reg, self.budget, name)?
+        } else {
+            Vec::new()
+        };
         let generation = reg.bump();
         reg.worlds.insert(
             name.to_string(),
@@ -575,6 +694,14 @@ impl WorldManager {
         drop(reg);
         self.metrics.counter("tenancy.swap").inc();
         self.update_residency_gauges(resident, loading);
+        self.log_ops(
+            &victims,
+            Some(WalOp::Swap {
+                world: name.to_string(),
+                spec: persist::stored_spec(spec),
+                generation,
+            }),
+        )?;
         Ok(generation)
     }
 
@@ -600,9 +727,179 @@ impl WorldManager {
             drop(reg);
             self.metrics.counter("tenancy.evict").inc();
             self.update_residency_gauges(resident, loading);
+            self.log_ops(std::slice::from_ref(&name.to_string()), None)?;
             return Ok(());
         }
         Err(TenancyError::WorldNotFound(name.to_string()))
+    }
+
+    /// `world.save`: writes a durable snapshot of one resident world —
+    /// its spec plus both engine cache layers — as an atomic,
+    /// checksummed container file in the data directory. Returns the
+    /// world's generation and the snapshot size in bytes. Requires an
+    /// attached store.
+    pub fn save(&self, name: &str) -> Result<(u64, u64), TenancyError> {
+        let store = self.require_store()?;
+        let (engine, spec, generation) = {
+            let reg = self.registry.lock().expect("world registry");
+            let Some(e) = reg.worlds.get(name) else {
+                return Err(if reg.loading.contains_key(name) {
+                    TenancyError::WorldLoading(name.to_string())
+                } else {
+                    TenancyError::WorldNotFound(name.to_string())
+                });
+            };
+            (Arc::clone(&e.engine), e.spec, e.generation)
+        };
+        // Export and write outside the registry lock: a snapshot of a
+        // busy world must not stall resolves on other worlds.
+        let payload = persist::export_snapshot(&engine, spec);
+        let (_file, bytes) = store
+            .save_snapshot(name, &payload)
+            .map_err(|e| TenancyError::Persist(e.to_string()))?;
+        Ok((generation, bytes))
+    }
+
+    /// `checkpoint`: snapshots every resident world, rewrites the
+    /// manifest to the current registry state (with snapshot
+    /// pointers), and truncates the WAL — log compaction. A restart
+    /// after a checkpoint replays zero WAL records and reloads every
+    /// world from its snapshot. Returns `(worlds, total snapshot
+    /// bytes)`. Requires an attached store.
+    pub fn checkpoint(&self) -> Result<(usize, u64), TenancyError> {
+        let store = self.require_store()?;
+        let (worlds, next_generation) = {
+            let reg = self.registry.lock().expect("world registry");
+            let worlds: Vec<(String, WorldSpec, u64, Arc<QueryEngine>)> = reg
+                .worlds
+                .iter()
+                .map(|(name, e)| (name.clone(), e.spec, e.generation, Arc::clone(&e.engine)))
+                .collect();
+            // The store convention is "next unassigned"; the registry
+            // counter holds the last assigned generation.
+            (worlds, reg.next_generation + 1)
+        };
+        let mut total_bytes = 0u64;
+        let mut entries = Vec::with_capacity(worlds.len());
+        for (name, spec, generation, engine) in &worlds {
+            let payload = persist::export_snapshot(engine, *spec);
+            let (file, bytes) = store
+                .save_snapshot(name, &payload)
+                .map_err(|e| TenancyError::Persist(e.to_string()))?;
+            total_bytes += bytes;
+            entries.push((name.clone(), *spec, *generation, Some(file)));
+        }
+        let mut manifest = WorldStore::manifest_from_worlds(
+            next_generation,
+            entries.iter().map(|(name, spec, generation, file)| {
+                (
+                    name.as_str(),
+                    persist::stored_spec(*spec),
+                    *generation,
+                    file.clone(),
+                )
+            }),
+        );
+        store
+            .checkpoint(&mut manifest)
+            .map_err(|e| TenancyError::Persist(e.to_string()))?;
+        Ok((worlds.len(), total_bytes))
+    }
+
+    /// Warm-restart install: rebuilds a recovered world on a detached
+    /// worker thread under its **recorded** generation (no counter
+    /// bump, no WAL append — the op being replayed is already
+    /// durable), then replays the snapshot payload's cache entries
+    /// into the fresh engine so it answers bit-identically from its
+    /// first request. A payload whose embedded spec mismatches `spec`
+    /// is skipped (cold caches) — the stale-snapshot guard. The world
+    /// lists as `loading` until installed, exactly like a background
+    /// load.
+    pub fn restore_background(
+        self: &Arc<Self>,
+        name: &str,
+        spec: WorldSpec,
+        generation: u64,
+        snapshot: Option<Vec<u8>>,
+    ) -> Result<(), TenancyError> {
+        {
+            let mut reg = self.registry.lock().expect("world registry");
+            if reg.worlds.contains_key(name) || reg.loading.contains_key(name) {
+                return Err(TenancyError::SpecMismatch(name.to_string()));
+            }
+            reg.loading.insert(name.to_string(), spec);
+            let (resident, loading) = (reg.worlds.len(), reg.loading.len());
+            drop(reg);
+            self.metrics.counter("tenancy.restore").inc();
+            self.update_residency_gauges(resident, loading);
+        }
+        let mgr = Arc::clone(self);
+        let name = name.to_string();
+        std::thread::spawn(move || {
+            struct ClearMarker {
+                mgr: Arc<WorldManager>,
+                name: String,
+                armed: bool,
+            }
+            impl Drop for ClearMarker {
+                fn drop(&mut self) {
+                    if self.armed {
+                        let mut reg = self.mgr.registry.lock().expect("world registry");
+                        reg.loading.remove(&self.name);
+                    }
+                }
+            }
+            let mut guard = ClearMarker {
+                mgr: Arc::clone(&mgr),
+                name: name.clone(),
+                armed: true,
+            };
+            let engine = Arc::new(spec.build());
+            if let Some(payload) = snapshot {
+                match persist::import_snapshot(&engine, &payload, spec) {
+                    Ok(_) => {
+                        mgr.metrics.counter("tenancy.restore.snapshot").inc();
+                    }
+                    Err(_) => {
+                        // Corrupt or stale payload: serve cold rather
+                        // than wrong.
+                        mgr.metrics.counter("tenancy.restore.cold").inc();
+                    }
+                }
+            }
+            let stamp = mgr.clock.fetch_add(1, Ordering::Relaxed) + 1;
+            let mut reg = mgr.registry.lock().expect("world registry");
+            guard.armed = false;
+            if reg.loading.remove(&name).is_none() {
+                return; // cancelled by an evict mid-restore
+            }
+            if reg.worlds.contains_key(&name) {
+                return; // an admin op raced the restore; keep it
+            }
+            if Self::make_room(&mut reg, mgr.budget, &name).is_err() {
+                return; // budget filled mid-restore; discard
+            }
+            reg.next_generation = reg.next_generation.max(generation);
+            reg.worlds.insert(
+                name,
+                WorldEntry {
+                    engine,
+                    spec,
+                    generation,
+                    last_used: stamp,
+                },
+            );
+            let (resident, loading) = (reg.worlds.len(), reg.loading.len());
+            drop(reg);
+            mgr.update_residency_gauges(resident, loading);
+        });
+        Ok(())
+    }
+
+    fn require_store(&self) -> Result<&Arc<WorldStore>, TenancyError> {
+        self.store.as_ref().ok_or_else(|| {
+            TenancyError::Persist("no data directory attached (serve with --data-dir)".into())
+        })
     }
 
     /// Snapshot of every resident and loading world, sorted by name.
@@ -652,6 +949,7 @@ impl WorldManager {
         ServiceStats {
             budget: self.budget,
             resident: worlds.len(),
+            durable: self.store.is_some(),
             worlds,
         }
     }
@@ -687,7 +985,13 @@ impl WorldManager {
     /// Evicts the least-recently-resolved evictable world until there
     /// is room for one more entry. `incoming` is the name about to be
     /// inserted (never a candidate). The default world is pinned.
-    fn make_room(reg: &mut Registry, budget: usize, incoming: &str) -> Result<(), TenancyError> {
+    /// Returns the evicted names so the caller can WAL-log them.
+    fn make_room(
+        reg: &mut Registry,
+        budget: usize,
+        incoming: &str,
+    ) -> Result<Vec<String>, TenancyError> {
+        let mut victims = Vec::new();
         while reg.worlds.len() >= budget {
             let victim = reg
                 .worlds
@@ -697,8 +1001,9 @@ impl WorldManager {
                 .map(|(name, _)| name.clone())
                 .ok_or(TenancyError::BudgetExhausted(budget))?;
             reg.worlds.remove(&victim);
+            victims.push(victim);
         }
-        Ok(())
+        Ok(victims)
     }
 
     /// Cheap pre-flight for `load`/`swap`: would inserting `name`
@@ -852,7 +1157,7 @@ mod tests {
 
     #[test]
     fn hit_rate_is_zero_without_lookups() {
-        // The zero-division guard the shutdown log relies on.
+        // The zero-division guard `admin stats` rendering relies on.
         assert_eq!(CacheStats::default().hit_rate(), 0.0);
     }
 

@@ -517,6 +517,15 @@ pub enum AdminRequest {
         /// Registry name.
         world: String,
     },
+    /// `world.save` — write a durable snapshot of one resident world
+    /// (requires `biorank serve --data-dir`).
+    Save {
+        /// Registry name.
+        world: String,
+    },
+    /// `checkpoint` — snapshot every resident world, rewrite the
+    /// manifest, and truncate the admin WAL (requires `--data-dir`).
+    Checkpoint,
     /// `world.list` — snapshot the registry.
     List,
     /// `stats` — per-world cache counters.
@@ -546,6 +555,23 @@ pub enum AdminResponse {
     Loading {
         /// The world being built.
         world: String,
+    },
+    /// Outcome of `world.save`: the snapshot was written and fsync'd.
+    Saved {
+        /// The world snapshotted.
+        world: String,
+        /// Its generation at snapshot time.
+        generation: u64,
+        /// On-disk size of the snapshot container, in bytes.
+        snapshot_bytes: u64,
+    },
+    /// Outcome of `checkpoint`: the manifest was rewritten and the
+    /// WAL truncated.
+    Checkpoint {
+        /// Resident worlds snapshotted.
+        worlds: usize,
+        /// Total on-disk size of the snapshots written, in bytes.
+        snapshot_bytes: u64,
     },
     /// Outcome of `world.list`.
     List(Vec<WorldInfo>),
@@ -733,6 +759,11 @@ fn encode_admin_request(id: u64, admin: &AdminRequest) -> String {
             fields.push(("cmd", Json::Str("world.evict".into())));
             fields.push(("world", Json::Str(world.clone())));
         }
+        AdminRequest::Save { world } => {
+            fields.push(("cmd", Json::Str("world.save".into())));
+            fields.push(("world", Json::Str(world.clone())));
+        }
+        AdminRequest::Checkpoint => fields.push(("cmd", Json::Str("checkpoint".into()))),
         AdminRequest::List => fields.push(("cmd", Json::Str("world.list".into()))),
         AdminRequest::Stats => fields.push(("cmd", Json::Str("stats".into()))),
         AdminRequest::Metrics { reset } => {
@@ -816,6 +847,10 @@ pub fn decode_request_with(line: &str, defaults: &RequestDefaults) -> Result<Req
         "world.evict" => RequestBody::Admin(AdminRequest::Evict {
             world: get_str(&fields, "world")?,
         }),
+        "world.save" => RequestBody::Admin(AdminRequest::Save {
+            world: get_str(&fields, "world")?,
+        }),
+        "checkpoint" => RequestBody::Admin(AdminRequest::Checkpoint),
         "world.list" => RequestBody::Admin(AdminRequest::List),
         "stats" => RequestBody::Admin(AdminRequest::Stats),
         "metrics" => RequestBody::Admin(AdminRequest::Metrics {
@@ -1306,6 +1341,27 @@ fn encode_admin_response(id: u64, admin: &AdminResponse) -> String {
             fields.push(("world", Json::Str(world.clone())));
             fields.push(("status", Json::Str("loading".into())));
         }
+        AdminResponse::Saved {
+            world,
+            generation,
+            snapshot_bytes,
+        } => {
+            fields.push(("world", Json::Str(world.clone())));
+            fields.push(("generation", Json::Num(*generation as f64)));
+            fields.push(("snapshot_bytes", Json::Num(*snapshot_bytes as f64)));
+        }
+        AdminResponse::Checkpoint {
+            worlds,
+            snapshot_bytes,
+        } => {
+            fields.push((
+                "checkpoint",
+                obj(vec![
+                    ("worlds", Json::Num(*worlds as f64)),
+                    ("snapshot_bytes", Json::Num(*snapshot_bytes as f64)),
+                ]),
+            ));
+        }
         AdminResponse::List(worlds) => {
             fields.push((
                 "worlds",
@@ -1317,6 +1373,12 @@ fn encode_admin_response(id: u64, admin: &AdminResponse) -> String {
                                 ("world", Json::Str(w.name.clone())),
                                 ("generation", Json::Num(w.generation as f64)),
                                 ("state", Json::Str(w.state.wire_name().into())),
+                                // As a hex string: u64 hashes exceed
+                                // the exact-f64 range.
+                                (
+                                    "spec_hash",
+                                    Json::Str(format!("{:016x}", w.spec.spec_hash())),
+                                ),
                             ];
                             encode_world_spec_fields(&w.spec, &mut f);
                             obj(f)
@@ -1331,6 +1393,7 @@ fn encode_admin_response(id: u64, admin: &AdminResponse) -> String {
                 obj(vec![
                     ("budget", Json::Num(stats.budget as f64)),
                     ("resident", Json::Num(stats.resident as f64)),
+                    ("durable", Json::Bool(stats.durable)),
                     (
                         "worlds",
                         Json::Arr(
@@ -1384,6 +1447,22 @@ pub fn decode_response(line: &str) -> Result<Response, WireError> {
         ResponseBody::Admin(AdminResponse::Stats(decode_service_stats(&fields)?))
     } else if fields.contains_key("metrics") {
         ResponseBody::Admin(AdminResponse::Metrics(decode_metrics_report(&fields)?))
+    } else if let Some(v) = fields.get("checkpoint") {
+        let Json::Obj(f) = v else {
+            return Err(wire_err("field \"checkpoint\" must be an object"));
+        };
+        ResponseBody::Admin(AdminResponse::Checkpoint {
+            worlds: get_u64(f, "worlds")? as usize,
+            snapshot_bytes: get_u64(f, "snapshot_bytes")?,
+        })
+    } else if fields.contains_key("snapshot_bytes") {
+        // Checked before the generic "world" payload: a `world.save`
+        // ack carries all three fields.
+        ResponseBody::Admin(AdminResponse::Saved {
+            world: get_str(&fields, "world")?,
+            generation: get_u64(&fields, "generation")?,
+            snapshot_bytes: get_u64(&fields, "snapshot_bytes")?,
+        })
     } else if fields.contains_key("status") {
         match get_str(&fields, "status")?.as_str() {
             "loading" => ResponseBody::Admin(AdminResponse::Loading {
@@ -1551,6 +1630,13 @@ fn decode_service_stats(fields: &BTreeMap<String, Json>) -> Result<ServiceStats,
     Ok(ServiceStats {
         budget: get_u64(stats, "budget")? as usize,
         resident: get_u64(stats, "resident")? as usize,
+        // Absent on pre-durability servers: decode to false.
+        durable: match stats.get("durable") {
+            Some(v) => v
+                .as_bool()
+                .ok_or_else(|| wire_err("field \"durable\" must be a boolean"))?,
+            None => false,
+        },
         worlds,
     })
 }
@@ -1890,6 +1976,7 @@ mod tests {
             outcome: Ok(ResponseBody::Admin(AdminResponse::Stats(ServiceStats {
                 budget: 4,
                 resident: 1,
+                durable: true,
                 worlds: vec![WorldStats {
                     name: "default".into(),
                     generation: 2,
@@ -1907,6 +1994,73 @@ mod tests {
             }))),
         };
         assert_eq!(decode_response(&encode_response(&stats)).unwrap(), stats);
+    }
+
+    #[test]
+    fn durability_admin_roundtrip() {
+        // Requests: world.save and checkpoint.
+        for admin in [
+            AdminRequest::Save {
+                world: "staging".into(),
+            },
+            AdminRequest::Checkpoint,
+        ] {
+            let r = Request {
+                id: 9,
+                body: RequestBody::Admin(admin),
+            };
+            assert_eq!(decode_request(&encode_request(&r)).unwrap(), r);
+        }
+
+        // Responses: Saved must win the discrimination against the
+        // plain World payload (it also carries "world"/"generation").
+        let saved = Response {
+            id: 10,
+            outcome: Ok(ResponseBody::Admin(AdminResponse::Saved {
+                world: "staging".into(),
+                generation: 7,
+                snapshot_bytes: 4096,
+            })),
+        };
+        let line = encode_response(&saved);
+        assert!(line.contains("\"snapshot_bytes\":4096"), "{line}");
+        assert_eq!(decode_response(&line).unwrap(), saved);
+
+        let checkpoint = Response {
+            id: 11,
+            outcome: Ok(ResponseBody::Admin(AdminResponse::Checkpoint {
+                worlds: 2,
+                snapshot_bytes: 8192,
+            })),
+        };
+        assert_eq!(
+            decode_response(&encode_response(&checkpoint)).unwrap(),
+            checkpoint
+        );
+
+        // world.list carries a stable spec_hash string; decode ignores
+        // it (the spec itself round-trips) but operators diff it.
+        let list = Response {
+            id: 12,
+            outcome: Ok(ResponseBody::Admin(AdminResponse::List(vec![WorldInfo {
+                name: "default".into(),
+                spec: WorldSpec::default(),
+                generation: 1,
+                state: WorldState::Ready,
+            }]))),
+        };
+        let line = encode_response(&list);
+        let hash = format!("{:016x}", WorldSpec::default().spec_hash());
+        assert!(line.contains(&hash), "{line}");
+        assert_eq!(decode_response(&line).unwrap(), list);
+
+        // A pre-durability stats payload (no "durable") decodes to
+        // durable: false.
+        let line = "{\"id\":1,\"ok\":true,\"stats\":{\"budget\":4,\"resident\":0,\"worlds\":[]}}";
+        match decode_response(line).unwrap().outcome.unwrap() {
+            ResponseBody::Admin(AdminResponse::Stats(s)) => assert!(!s.durable),
+            other => panic!("unexpected payload: {other:?}"),
+        }
     }
 
     #[test]

@@ -1,0 +1,232 @@
+//! Slot-preserving binary codec for [`QueryGraph`]s.
+//!
+//! Integrated query graphs arrive *pruned*: node slots removed by
+//! `QueryGraph::prune` are tombstoned, and the surviving `NodeId`s —
+//! which key the record map, the answer set, and every score vector —
+//! are sparse. A decoded graph must therefore reproduce the exact
+//! slot layout, not just the live structure:
+//!
+//! * every node **slot** up to `node_bound` is encoded (alive flag,
+//!   probability bits, label), so rebuilt `NodeId`s are numerically
+//!   identical;
+//! * live edges are encoded in slot order, which preserves both the
+//!   global `edges()` iteration order and every per-node adjacency
+//!   order (insertion-ordered, `retain`-pruned) — the two orders that
+//!   determine Monte Carlo draw sequences.
+//!
+//! Payload layout:
+//!
+//! ```text
+//! [node_bound: u64]
+//!   node_bound × [alive: u8][p: f64 bits][label: str]   (dead: p = 0)
+//! [edge_count: u64]
+//!   edge_count × [src: u64][dst: u64][q: f64 bits]
+//! [source: u64]
+//! [answers: u64 count, count × u64]
+//! ```
+//!
+//! Decoding rebuilds every slot, adds the live edges, then re-removes
+//! the dead slots — leaving a graph whose live queries are
+//! bit-identical to the original under every estimator.
+
+use biorank_graph::{NodeId, Prob, ProbGraph, QueryGraph};
+
+use crate::bytes::{Reader, Writer};
+use crate::StoreError;
+
+/// Encodes a query graph into `w` (slot-preserving, see module docs).
+pub fn encode_query_graph(q: &QueryGraph, w: &mut Writer) {
+    let g = q.graph();
+    w.u64(g.node_bound() as u64);
+    for i in 0..g.node_bound() {
+        let n = NodeId::from_index(i);
+        let alive = g.node_alive(n);
+        w.bool(alive);
+        w.f64(if alive { g.node_p(n).get() } else { 0.0 });
+        w.str(g.node_label(n));
+    }
+    w.u64(g.edge_count() as u64);
+    for e in g.edges() {
+        let (src, dst, prob) = g.edge(e);
+        w.u64(src.index() as u64);
+        w.u64(dst.index() as u64);
+        w.f64(prob.get());
+    }
+    w.u64(q.source().index() as u64);
+    w.u64(q.answers().len() as u64);
+    for &a in q.answers() {
+        w.u64(a.index() as u64);
+    }
+}
+
+fn prob(v: f64) -> crate::Result<Prob> {
+    Prob::new(v).map_err(|e| StoreError::Corrupt(format!("invalid probability: {e}")))
+}
+
+fn node_index(r: &mut Reader<'_>, bound: usize) -> crate::Result<NodeId> {
+    let i = r.u64()?;
+    let i = usize::try_from(i)
+        .ok()
+        .filter(|&i| i < bound)
+        .ok_or_else(|| StoreError::Corrupt(format!("node index {i} out of bound {bound}")))?;
+    Ok(NodeId::from_index(i))
+}
+
+/// Decodes a query graph from `r` (the inverse of
+/// [`encode_query_graph`]).
+pub fn decode_query_graph(r: &mut Reader<'_>) -> crate::Result<QueryGraph> {
+    let node_bound = r.u64()?;
+    let node_bound = usize::try_from(node_bound)
+        .ok()
+        .filter(|&n| n <= u32::MAX as usize)
+        .ok_or_else(|| StoreError::Corrupt(format!("implausible node bound {node_bound}")))?;
+    let mut g = ProbGraph::with_capacity(node_bound, 0);
+    let mut dead = Vec::new();
+    for i in 0..node_bound {
+        let alive = r.bool()?;
+        let p = r.f64()?;
+        let label = r.str()?;
+        let n = g.add_labeled_node(if alive { prob(p)? } else { Prob::ZERO }, label);
+        debug_assert_eq!(n.index(), i);
+        if !alive {
+            dead.push(n);
+        }
+    }
+    let edge_count = r.u64()?;
+    for _ in 0..edge_count {
+        let src = node_index(r, node_bound)?;
+        let dst = node_index(r, node_bound)?;
+        let q = prob(r.f64()?)?;
+        g.add_edge(src, dst, q)
+            .map_err(|e| StoreError::Corrupt(format!("invalid edge: {e}")))?;
+    }
+    // Re-tombstone the dead slots *after* the edges went in: live
+    // edges never touch dead endpoints (add_edge above would have
+    // rejected them anyway, since dead slots are still alive at that
+    // point only as placeholders with no incident edges).
+    for n in dead {
+        g.remove_node(n);
+    }
+    let source = node_index(r, node_bound)?;
+    let answers_len = r.u64()?;
+    let answers_len = usize::try_from(answers_len)
+        .ok()
+        .filter(|&n| n <= node_bound)
+        .ok_or_else(|| StoreError::Corrupt(format!("implausible answer count {answers_len}")))?;
+    let mut answers = Vec::with_capacity(answers_len);
+    for _ in 0..answers_len {
+        answers.push(node_index(r, node_bound)?);
+    }
+    QueryGraph::new(g, source, answers)
+        .map_err(|e| StoreError::Corrupt(format!("invalid query graph: {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds a pruned query graph with tombstoned slots, the shape
+    /// the mediator actually caches.
+    fn pruned_graph() -> QueryGraph {
+        let mut g = ProbGraph::new();
+        let s = g.add_labeled_node(Prob::ONE, "query");
+        let a = g.add_labeled_node(Prob::new(0.9).unwrap(), "protein GALT");
+        let orphan = g.add_labeled_node(Prob::new(0.3).unwrap(), "unreachable");
+        let b = g.add_labeled_node(Prob::new(0.75).unwrap(), "function");
+        let dead_end = g.add_labeled_node(Prob::new(0.5).unwrap(), "dead end");
+        g.add_edge(s, a, Prob::new(0.8).unwrap()).unwrap();
+        g.add_edge(a, b, Prob::new(0.6).unwrap()).unwrap();
+        g.add_edge(s, dead_end, Prob::HALF).unwrap();
+        g.add_edge(orphan, b, Prob::HALF).unwrap();
+        let mut q = QueryGraph::new(g, s, vec![a, b]).unwrap();
+        // Prune tombstones `orphan` (unreachable from s) and
+        // `dead_end` (reaches no answer), leaving sparse NodeIds.
+        q.prune();
+        assert!(q.graph().node_count() < q.graph().node_bound());
+        q
+    }
+
+    fn encode(q: &QueryGraph) -> Vec<u8> {
+        let mut w = Writer::new();
+        encode_query_graph(q, &mut w);
+        w.into_inner()
+    }
+
+    #[test]
+    fn round_trip_preserves_slots_and_structure() {
+        let q = pruned_graph();
+        let buf = encode(&q);
+        let mut r = Reader::new(&buf);
+        let back = decode_query_graph(&mut r).unwrap();
+        r.finish().unwrap();
+
+        let (g0, g1) = (q.graph(), back.graph());
+        assert_eq!(back.source(), q.source());
+        assert_eq!(back.answers(), q.answers());
+        assert_eq!(g1.node_bound(), g0.node_bound());
+        assert_eq!(g1.node_count(), g0.node_count());
+        assert_eq!(g1.edge_count(), g0.edge_count());
+        for i in 0..g0.node_bound() {
+            let n = NodeId::from_index(i);
+            assert_eq!(g1.node_alive(n), g0.node_alive(n), "slot {i}");
+            assert_eq!(g1.node_label(n), g0.node_label(n), "slot {i}");
+            if g0.node_alive(n) {
+                assert_eq!(g1.node_p(n).get().to_bits(), g0.node_p(n).get().to_bits());
+                // Adjacency order drives MC draw order: must match
+                // exactly as (dst, q) sequences.
+                let adj = |g: &ProbGraph, n| {
+                    g.out_edges(n)
+                        .map(|e| {
+                            let (_, d, p) = g.edge(e);
+                            (d, p.get().to_bits())
+                        })
+                        .collect::<Vec<_>>()
+                };
+                assert_eq!(adj(g1, n), adj(g0, n), "out-adjacency of slot {i}");
+            }
+        }
+        // Global edge iteration yields identical (src, dst, q) order.
+        let all = |g: &ProbGraph| {
+            g.edges()
+                .map(|e| {
+                    let (s, d, p) = g.edge(e);
+                    (s, d, p.get().to_bits())
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(all(g1), all(g0));
+        g1.check_invariants();
+        // And a re-encode is byte-identical: the codec is a fixpoint.
+        assert_eq!(encode(&back), buf);
+    }
+
+    #[test]
+    fn unpruned_graph_round_trips_too() {
+        let mut g = ProbGraph::new();
+        let s = g.add_labeled_node(Prob::ONE, "query");
+        let t = g.add_labeled_node(Prob::new(0.25).unwrap(), "t");
+        g.add_edge(s, t, Prob::new(0.125).unwrap()).unwrap();
+        let q = QueryGraph::new(g, s, vec![t]).unwrap();
+        let buf = encode(&q);
+        let back = decode_query_graph(&mut Reader::new(&buf)).unwrap();
+        assert_eq!(encode(&back), buf);
+    }
+
+    #[test]
+    fn truncations_and_corruptions_rejected() {
+        let buf = encode(&pruned_graph());
+        for cut in [0, 3, buf.len() / 3, buf.len() - 1] {
+            assert!(
+                decode_query_graph(&mut Reader::new(&buf[..cut])).is_err(),
+                "cut {cut} accepted"
+            );
+        }
+        // An out-of-bound node index in the edge list is corrupt, not
+        // a panic.
+        let mut bad = buf.clone();
+        // node_bound sits in the first 8 bytes; shrink it to 1 so
+        // every later index is out of bounds.
+        bad[..8].copy_from_slice(&1u64.to_le_bytes());
+        assert!(decode_query_graph(&mut Reader::new(&bad)).is_err());
+    }
+}

@@ -1,0 +1,175 @@
+//! The resident-world manifest: the compacted, authoritative record of
+//! which worlds a data directory holds, their specs and generations,
+//! and which snapshot file (if any) backs each one. The WAL is a delta
+//! on top of the most recent manifest; [`crate::WorldStore::recover`]
+//! folds the two back together.
+
+use crate::bytes::{Reader, Writer};
+
+/// A world build spec as persisted on disk. This mirrors the serving
+/// layer's `WorldSpec` without depending on it — the store crate sits
+/// below the service and only needs a stable, encodable record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoredSpec {
+    /// World-generation seed.
+    pub seed: u64,
+    /// Whether the extended federation (full schema) is enabled.
+    pub extended: bool,
+    /// Per-layer result cache capacity.
+    pub cache_capacity: u64,
+}
+
+impl StoredSpec {
+    pub(crate) fn encode(&self, w: &mut Writer) {
+        w.u64(self.seed);
+        w.bool(self.extended);
+        w.u64(self.cache_capacity);
+    }
+
+    pub(crate) fn decode(r: &mut Reader<'_>) -> crate::Result<Self> {
+        Ok(Self {
+            seed: r.u64()?,
+            extended: r.bool()?,
+            cache_capacity: r.u64()?,
+        })
+    }
+}
+
+/// One resident world in the manifest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ManifestEntry {
+    /// World name (registry key).
+    pub name: String,
+    /// The spec the world was built from.
+    pub spec: StoredSpec,
+    /// The generation counter the world held when recorded.
+    pub generation: u64,
+    /// Snapshot file name inside the data directory, if one was saved.
+    pub snapshot: Option<String>,
+}
+
+/// The decoded manifest: the next generation to hand out plus every
+/// resident world, sorted by name for stable round trips.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Manifest {
+    /// The registry's next unassigned generation counter.
+    pub next_generation: u64,
+    /// Resident worlds.
+    pub worlds: Vec<ManifestEntry>,
+}
+
+impl Manifest {
+    /// Encodes the manifest into a container payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.u64(self.next_generation);
+        w.u64(self.worlds.len() as u64);
+        for entry in &self.worlds {
+            w.str(&entry.name);
+            entry.spec.encode(&mut w);
+            w.u64(entry.generation);
+            match &entry.snapshot {
+                Some(file) => {
+                    w.bool(true);
+                    w.str(file);
+                }
+                None => w.bool(false),
+            }
+        }
+        w.into_inner()
+    }
+
+    /// Decodes a manifest from a verified container payload.
+    pub fn decode(payload: &[u8]) -> crate::Result<Self> {
+        let mut r = Reader::new(payload);
+        let next_generation = r.u64()?;
+        let count = r.u64()?;
+        let mut worlds = Vec::new();
+        for _ in 0..count {
+            let name = r.str()?;
+            let spec = StoredSpec::decode(&mut r)?;
+            let generation = r.u64()?;
+            let snapshot = if r.bool()? { Some(r.str()?) } else { None };
+            worlds.push(ManifestEntry {
+                name,
+                spec,
+                generation,
+                snapshot,
+            });
+        }
+        r.finish()?;
+        Ok(Self {
+            next_generation,
+            worlds,
+        })
+    }
+
+    /// Sorts entries by world name — called before encoding so byte
+    /// output is independent of registry iteration order.
+    pub fn normalize(&mut self) {
+        self.worlds.sort_by(|a, b| a.name.cmp(&b.name));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Manifest {
+        Manifest {
+            next_generation: 9,
+            worlds: vec![
+                ManifestEntry {
+                    name: "default".into(),
+                    spec: StoredSpec {
+                        seed: 0xB10_C0DE,
+                        extended: true,
+                        cache_capacity: 512,
+                    },
+                    generation: 1,
+                    snapshot: Some("default.snap".into()),
+                },
+                ManifestEntry {
+                    name: "staging/w2".into(),
+                    spec: StoredSpec {
+                        seed: 42,
+                        extended: false,
+                        cache_capacity: 0,
+                    },
+                    generation: 8,
+                    snapshot: None,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn round_trip() {
+        let m = sample();
+        assert_eq!(Manifest::decode(&m.encode()).unwrap(), m);
+    }
+
+    #[test]
+    fn empty_round_trip() {
+        let m = Manifest::default();
+        assert_eq!(Manifest::decode(&m.encode()).unwrap(), m);
+    }
+
+    #[test]
+    fn normalize_is_stable() {
+        let mut a = sample();
+        a.worlds.reverse();
+        a.normalize();
+        let mut b = sample();
+        b.normalize();
+        assert_eq!(a.encode(), b.encode());
+    }
+
+    #[test]
+    fn truncated_payload_rejected() {
+        let raw = sample().encode();
+        for cut in [0, 1, raw.len() / 2, raw.len() - 1] {
+            assert!(Manifest::decode(&raw[..cut]).is_err(), "cut {cut} accepted");
+        }
+    }
+}

@@ -1,0 +1,486 @@
+//! [`WorldStore`] — the directory-level durability manager gluing the
+//! pieces together: manifest + WAL recovery on open, fsync'd WAL
+//! appends, checkpoint compaction, and per-world snapshot files.
+
+use std::collections::BTreeMap;
+use std::fs::{self, File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use biorank_obs::{Counter, Histogram, MetricsRegistry};
+
+use crate::container::{read_container, write_container, FileKind};
+use crate::manifest::{Manifest, ManifestEntry, StoredSpec};
+use crate::wal::{frame_record, replay_records, WalOp};
+use crate::StoreError;
+
+/// Manifest file name inside a data directory.
+pub const MANIFEST_FILE: &str = "MANIFEST";
+/// WAL file name inside a data directory.
+pub const WAL_FILE: &str = "wal.log";
+
+/// Percent-escapes a world name into a filesystem-safe snapshot stem:
+/// ASCII alphanumerics plus `.`, `_`, `-` pass through, everything
+/// else becomes `%XX` per byte. Injective, so distinct world names
+/// never collide on disk.
+pub fn escape_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for &b in name.as_bytes() {
+        match b {
+            b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'.' | b'_' | b'-' => out.push(b as char),
+            _ => out.push_str(&format!("%{b:02X}")),
+        }
+    }
+    out
+}
+
+/// The effective state recovered from a data directory: the manifest
+/// with the surviving WAL suffix folded in.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Recovery {
+    /// Next generation the registry should hand out.
+    pub next_generation: u64,
+    /// Resident worlds by name, with the generation each held and the
+    /// snapshot file (if any) recorded for it at the last checkpoint.
+    pub worlds: BTreeMap<String, RecoveredWorld>,
+    /// How many WAL records were replayed on top of the manifest.
+    pub wal_ops_replayed: usize,
+}
+
+/// One world recovered from manifest + WAL.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveredWorld {
+    /// Build spec to reconstruct the world from.
+    pub spec: StoredSpec,
+    /// The generation the world held pre-crash.
+    pub generation: u64,
+    /// Snapshot file name, when a checkpoint saved one for this spec.
+    pub snapshot: Option<String>,
+}
+
+struct StoreMetrics {
+    snapshot_write: Arc<Counter>,
+    snapshot_load: Arc<Counter>,
+    wal_append: Arc<Counter>,
+    wal_replay: Arc<Counter>,
+    checkpoint: Arc<Counter>,
+    snapshot_bytes: Arc<Histogram>,
+    load_ns: Arc<Histogram>,
+}
+
+impl StoreMetrics {
+    fn new(registry: &MetricsRegistry) -> Self {
+        Self {
+            snapshot_write: registry.counter("store.snapshot_write"),
+            snapshot_load: registry.counter("store.snapshot_load"),
+            wal_append: registry.counter("store.wal_append"),
+            wal_replay: registry.counter("store.wal_replay"),
+            checkpoint: registry.counter("store.checkpoint"),
+            snapshot_bytes: registry.histogram("store.snapshot_bytes"),
+            load_ns: registry.histogram("store.load_ns"),
+        }
+    }
+}
+
+/// A durable world store rooted at one data directory.
+pub struct WorldStore {
+    dir: PathBuf,
+    wal: Mutex<File>,
+    metrics: StoreMetrics,
+}
+
+impl std::fmt::Debug for WorldStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorldStore")
+            .field("dir", &self.dir)
+            .finish()
+    }
+}
+
+impl WorldStore {
+    /// Opens (creating if needed) a data directory, and opens the WAL
+    /// for appending. Persistence telemetry is published into
+    /// `registry` under `store.*` names.
+    pub fn open(dir: impl Into<PathBuf>, registry: &MetricsRegistry) -> crate::Result<Self> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        let wal = OpenOptions::new()
+            .append(true)
+            .create(true)
+            .open(dir.join(WAL_FILE))?;
+        Ok(Self {
+            dir,
+            wal: Mutex::new(wal),
+            metrics: StoreMetrics::new(registry),
+        })
+    }
+
+    /// The data directory this store manages.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Recovers the effective registry state: loads the manifest (if
+    /// any), then folds in every surviving WAL record. A torn WAL
+    /// tail truncates silently — those ops were never acknowledged.
+    pub fn recover(&self) -> crate::Result<Recovery> {
+        let manifest_path = self.dir.join(MANIFEST_FILE);
+        let manifest = if manifest_path.exists() {
+            Manifest::decode(&read_container(&manifest_path, FileKind::Manifest)?)?
+        } else {
+            Manifest::default()
+        };
+
+        let mut worlds: BTreeMap<String, RecoveredWorld> = BTreeMap::new();
+        let mut next_generation = manifest.next_generation;
+        for entry in manifest.worlds {
+            worlds.insert(
+                entry.name,
+                RecoveredWorld {
+                    spec: entry.spec,
+                    generation: entry.generation,
+                    snapshot: entry.snapshot,
+                },
+            );
+        }
+
+        let raw = {
+            // Hold the WAL lock across the read so recovery never
+            // races a concurrent append into seeing half a record.
+            let _wal = self.wal.lock().unwrap();
+            let mut raw = Vec::new();
+            File::open(self.dir.join(WAL_FILE))?.read_to_end(&mut raw)?;
+            raw
+        };
+        let ops = replay_records(&raw);
+        self.metrics.wal_replay.add(ops.len() as u64);
+        let replayed = ops.len();
+        for op in ops {
+            match op {
+                WalOp::Load {
+                    world,
+                    spec,
+                    generation,
+                }
+                | WalOp::Swap {
+                    world,
+                    spec,
+                    generation,
+                } => {
+                    next_generation = next_generation.max(generation + 1);
+                    worlds.insert(
+                        world,
+                        RecoveredWorld {
+                            spec,
+                            generation,
+                            // Any snapshot on disk predates this op's
+                            // spec change only if the spec differs;
+                            // keep the pointer and let the loader
+                            // verify the spec before trusting it.
+                            snapshot: None,
+                        },
+                    );
+                }
+                WalOp::Evict { world } => {
+                    worlds.remove(&world);
+                }
+            }
+        }
+        // Re-attach snapshot pointers for worlds whose file exists and
+        // was not invalidated by a later spec change above.
+        for (name, world) in worlds.iter_mut() {
+            if world.snapshot.is_none() {
+                let file = format!("{}.snap", escape_name(name));
+                if self.dir.join(&file).exists() {
+                    world.snapshot = Some(file);
+                }
+            }
+        }
+        Ok(Recovery {
+            next_generation,
+            worlds,
+            wal_ops_replayed: replayed,
+        })
+    }
+
+    /// Appends one admin op to the WAL and fsyncs before returning.
+    /// Callers acknowledge the op to the client only after this
+    /// succeeds.
+    pub fn append(&self, op: &WalOp) -> crate::Result<()> {
+        let record = frame_record(op);
+        let mut wal = self.wal.lock().unwrap();
+        wal.write_all(&record)?;
+        wal.sync_data()?;
+        self.metrics.wal_append.inc();
+        Ok(())
+    }
+
+    /// Checkpoints the registry state: writes `manifest` atomically,
+    /// then truncates the WAL (its ops are now folded into the
+    /// manifest). Crash ordering is safe at every point — before the
+    /// manifest rename the old manifest + full WAL reconstruct the
+    /// same state; after it the WAL is redundant until truncated.
+    pub fn checkpoint(&self, manifest: &mut Manifest) -> crate::Result<()> {
+        manifest.normalize();
+        write_container(
+            &self.dir.join(MANIFEST_FILE),
+            FileKind::Manifest,
+            &manifest.encode(),
+        )?;
+        let wal = self.wal.lock().unwrap();
+        wal.set_len(0)?;
+        wal.sync_data()?;
+        self.metrics.checkpoint.inc();
+        Ok(())
+    }
+
+    /// Writes a world snapshot payload atomically, returning the
+    /// snapshot file name (manifest-relative) and its size in bytes.
+    pub fn save_snapshot(&self, world: &str, payload: &[u8]) -> crate::Result<(String, u64)> {
+        let file = format!("{}.snap", escape_name(world));
+        let bytes = write_container(&self.dir.join(&file), FileKind::Snapshot, payload)?;
+        self.metrics.snapshot_write.inc();
+        self.metrics.snapshot_bytes.record(bytes);
+        Ok((file, bytes))
+    }
+
+    /// Reads and verifies a snapshot file, returning its payload.
+    pub fn load_snapshot(&self, file: &str) -> crate::Result<Vec<u8>> {
+        let start = Instant::now();
+        let payload = read_container(&self.dir.join(file), FileKind::Snapshot)?;
+        self.metrics.snapshot_load.inc();
+        self.metrics
+            .load_ns
+            .record(start.elapsed().as_nanos() as u64);
+        Ok(payload)
+    }
+
+    /// Removes the snapshot file for `world`, if present. Called on
+    /// evict so a later world under the same name cannot resurrect
+    /// stale cached results.
+    pub fn remove_snapshot(&self, world: &str) -> crate::Result<()> {
+        let path = self.dir.join(format!("{}.snap", escape_name(world)));
+        match fs::remove_file(&path) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(StoreError::Io(e)),
+        }
+    }
+
+    /// Builds a manifest from recovered or live registry state.
+    pub fn manifest_from_worlds<'a>(
+        next_generation: u64,
+        worlds: impl IntoIterator<Item = (&'a str, StoredSpec, u64, Option<String>)>,
+    ) -> Manifest {
+        let mut manifest = Manifest {
+            next_generation,
+            worlds: worlds
+                .into_iter()
+                .map(|(name, spec, generation, snapshot)| ManifestEntry {
+                    name: name.to_string(),
+                    spec,
+                    generation,
+                    snapshot,
+                })
+                .collect(),
+        };
+        manifest.normalize();
+        manifest
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn registry() -> MetricsRegistry {
+        MetricsRegistry::new()
+    }
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("biorank-store-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn spec(seed: u64) -> StoredSpec {
+        StoredSpec {
+            seed,
+            extended: false,
+            cache_capacity: 8,
+        }
+    }
+
+    #[test]
+    fn escape_name_is_injective_and_safe() {
+        for name in ["default", "a/b", "a%b", "../../etc", "w–2", "a b"] {
+            let escaped = escape_name(name);
+            assert!(
+                escaped
+                    .bytes()
+                    .all(|b| b.is_ascii_alphanumeric() | matches!(b, b'.' | b'_' | b'-' | b'%')),
+                "{escaped}"
+            );
+            assert!(!escaped.contains('/'));
+        }
+        assert_ne!(escape_name("a/b"), escape_name("a%2Fb"));
+        assert_eq!(escape_name("world-1.x"), "world-1.x");
+    }
+
+    #[test]
+    fn fresh_directory_recovers_empty() {
+        let dir = tmpdir("fresh");
+        let reg = registry();
+        let store = WorldStore::open(&dir, &reg).unwrap();
+        let rec = store.recover().unwrap();
+        assert_eq!(rec, Recovery::default());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn wal_appends_survive_reopen() {
+        let dir = tmpdir("wal");
+        let reg = registry();
+        {
+            let store = WorldStore::open(&dir, &reg).unwrap();
+            store
+                .append(&WalOp::Load {
+                    world: "default".into(),
+                    spec: spec(1),
+                    generation: 1,
+                })
+                .unwrap();
+            store
+                .append(&WalOp::Load {
+                    world: "w2".into(),
+                    spec: spec(2),
+                    generation: 2,
+                })
+                .unwrap();
+            store.append(&WalOp::Evict { world: "w2".into() }).unwrap();
+        }
+        let store = WorldStore::open(&dir, &reg).unwrap();
+        let rec = store.recover().unwrap();
+        assert_eq!(rec.wal_ops_replayed, 3);
+        assert_eq!(rec.next_generation, 3);
+        assert_eq!(rec.worlds.len(), 1);
+        assert_eq!(rec.worlds["default"].spec, spec(1));
+        assert_eq!(rec.worlds["default"].generation, 1);
+        assert_eq!(reg.snapshot().counters["store.wal_replay"], 3);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpoint_compacts_wal_into_manifest() {
+        let dir = tmpdir("ckpt");
+        let reg = registry();
+        let store = WorldStore::open(&dir, &reg).unwrap();
+        store
+            .append(&WalOp::Load {
+                world: "default".into(),
+                spec: spec(7),
+                generation: 1,
+            })
+            .unwrap();
+        let mut manifest = WorldStore::manifest_from_worlds(
+            2,
+            [("default", spec(7), 1, Some("default.snap".to_string()))],
+        );
+        store.checkpoint(&mut manifest).unwrap();
+        assert_eq!(fs::metadata(dir.join(WAL_FILE)).unwrap().len(), 0);
+
+        let rec = store.recover().unwrap();
+        assert_eq!(rec.wal_ops_replayed, 0);
+        assert_eq!(rec.next_generation, 2);
+        assert_eq!(rec.worlds["default"].generation, 1);
+        // Snapshot pointer survives in the manifest even though the
+        // file itself was never written in this test.
+        assert_eq!(
+            rec.worlds["default"].snapshot.as_deref(),
+            Some("default.snap")
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn wal_op_after_checkpoint_clears_stale_snapshot_pointer() {
+        let dir = tmpdir("stale");
+        let reg = registry();
+        let store = WorldStore::open(&dir, &reg).unwrap();
+        let mut manifest = WorldStore::manifest_from_worlds(
+            2,
+            [("default", spec(7), 1, Some("missing.snap".to_string()))],
+        );
+        store.checkpoint(&mut manifest).unwrap();
+        // A post-checkpoint swap changes the spec; the old snapshot
+        // pointer must not survive (and the file doesn't exist).
+        store
+            .append(&WalOp::Swap {
+                world: "default".into(),
+                spec: spec(8),
+                generation: 5,
+            })
+            .unwrap();
+        let rec = store.recover().unwrap();
+        assert_eq!(rec.worlds["default"].spec, spec(8));
+        assert_eq!(rec.worlds["default"].generation, 5);
+        assert_eq!(rec.worlds["default"].snapshot, None);
+        assert_eq!(rec.next_generation, 6);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn snapshot_save_load_remove() {
+        let dir = tmpdir("snap");
+        let reg = registry();
+        let store = WorldStore::open(&dir, &reg).unwrap();
+        let payload = vec![42u8; 1000];
+        let (file, bytes) = store.save_snapshot("my/world", &payload).unwrap();
+        assert_eq!(file, "my%2Fworld.snap");
+        assert!(bytes > 1000);
+        assert_eq!(store.load_snapshot(&file).unwrap(), payload);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters["store.snapshot_write"], 1);
+        assert_eq!(snap.counters["store.snapshot_load"], 1);
+        assert_eq!(snap.histograms["store.snapshot_bytes"].count, 1);
+        assert_eq!(snap.histograms["store.load_ns"].count, 1);
+        store.remove_snapshot("my/world").unwrap();
+        assert!(store.load_snapshot(&file).is_err());
+        // Removing again is a no-op, not an error.
+        store.remove_snapshot("my/world").unwrap();
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_wal_tail_loses_only_unacked_op() {
+        let dir = tmpdir("torn");
+        let reg = registry();
+        let store = WorldStore::open(&dir, &reg).unwrap();
+        store
+            .append(&WalOp::Load {
+                world: "default".into(),
+                spec: spec(1),
+                generation: 1,
+            })
+            .unwrap();
+        store
+            .append(&WalOp::Load {
+                world: "w2".into(),
+                spec: spec(2),
+                generation: 2,
+            })
+            .unwrap();
+        // Simulate a crash mid-append: chop bytes off the tail.
+        let wal_path = dir.join(WAL_FILE);
+        let raw = fs::read(&wal_path).unwrap();
+        fs::write(&wal_path, &raw[..raw.len() - 5]).unwrap();
+        let store = WorldStore::open(&dir, &reg).unwrap();
+        let rec = store.recover().unwrap();
+        assert_eq!(rec.wal_ops_replayed, 1);
+        assert!(rec.worlds.contains_key("default"));
+        assert!(!rec.worlds.contains_key("w2"));
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

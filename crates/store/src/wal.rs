@@ -1,0 +1,243 @@
+//! The admin write-ahead log: every registry mutation
+//! (`load`/`swap`/`evict`) is recorded here and fsync'd *before* the
+//! op is acknowledged to the client, so an acknowledged op survives
+//! any crash. Record framing:
+//!
+//! ```text
+//! [len: u32 LE][xxh64(payload): u64 LE][payload: len bytes]
+//! ```
+//!
+//! Replay walks records until the buffer ends or a record fails
+//! (short header, short payload, checksum mismatch) — a torn tail
+//! from a crash mid-append silently truncates to the last good
+//! record, which is exactly the set of ops that were acknowledged.
+
+use crate::bytes::{Reader, Writer};
+use crate::manifest::StoredSpec;
+use crate::{xxh64, StoreError};
+
+/// Seed for WAL record checksums (distinct from the container seed so
+/// a WAL record pasted into a container body never verifies).
+const WAL_SEED: u64 = 0x57A1_10C0;
+
+const RECORD_HEADER: usize = 12;
+
+/// Maximum accepted record payload — a sanity bound so a corrupt
+/// length prefix cannot trigger a giant allocation.
+const MAX_RECORD: u32 = 16 * 1024 * 1024;
+
+/// One durable admin operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WalOp {
+    /// A world was loaded under `generation`.
+    Load {
+        /// Registry key.
+        world: String,
+        /// Build spec.
+        spec: StoredSpec,
+        /// Generation assigned at install.
+        generation: u64,
+    },
+    /// A world was swapped to a new spec under `generation`.
+    Swap {
+        /// Registry key.
+        world: String,
+        /// The replacement spec.
+        spec: StoredSpec,
+        /// Generation assigned at install.
+        generation: u64,
+    },
+    /// A world was evicted (explicitly or by LRU pressure).
+    Evict {
+        /// Registry key.
+        world: String,
+    },
+}
+
+const TAG_LOAD: u8 = 1;
+const TAG_SWAP: u8 = 2;
+const TAG_EVICT: u8 = 3;
+
+impl WalOp {
+    /// Encodes the op payload (without record framing).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        match self {
+            WalOp::Load {
+                world,
+                spec,
+                generation,
+            } => {
+                w.u8(TAG_LOAD);
+                w.str(world);
+                spec.encode(&mut w);
+                w.u64(*generation);
+            }
+            WalOp::Swap {
+                world,
+                spec,
+                generation,
+            } => {
+                w.u8(TAG_SWAP);
+                w.str(world);
+                spec.encode(&mut w);
+                w.u64(*generation);
+            }
+            WalOp::Evict { world } => {
+                w.u8(TAG_EVICT);
+                w.str(world);
+            }
+        }
+        w.into_inner()
+    }
+
+    /// Decodes one op payload.
+    pub fn decode(payload: &[u8]) -> crate::Result<Self> {
+        let mut r = Reader::new(payload);
+        let op = match r.u8()? {
+            TAG_LOAD => WalOp::Load {
+                world: r.str()?,
+                spec: StoredSpec::decode(&mut r)?,
+                generation: r.u64()?,
+            },
+            TAG_SWAP => WalOp::Swap {
+                world: r.str()?,
+                spec: StoredSpec::decode(&mut r)?,
+                generation: r.u64()?,
+            },
+            TAG_EVICT => WalOp::Evict { world: r.str()? },
+            tag => return Err(StoreError::Corrupt(format!("unknown WAL op tag {tag}"))),
+        };
+        r.finish()?;
+        Ok(op)
+    }
+
+    /// The world this op targets.
+    pub fn world(&self) -> &str {
+        match self {
+            WalOp::Load { world, .. } | WalOp::Swap { world, .. } | WalOp::Evict { world } => world,
+        }
+    }
+}
+
+/// Frames an op as one on-disk WAL record.
+pub(crate) fn frame_record(op: &WalOp) -> Vec<u8> {
+    let payload = op.encode();
+    let mut out = Vec::with_capacity(RECORD_HEADER + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&xxh64(&payload, WAL_SEED).to_le_bytes());
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// Replays a raw WAL buffer, returning every op up to (excluding) the
+/// first torn or corrupt record. Never errors: a damaged tail is the
+/// expected shape of a crash mid-append, and everything before it was
+/// acknowledged and must be applied.
+pub(crate) fn replay_records(mut buf: &[u8]) -> Vec<WalOp> {
+    let mut ops = Vec::new();
+    loop {
+        if buf.len() < RECORD_HEADER {
+            return ops; // torn or absent header
+        }
+        let len = u32::from_le_bytes(buf[0..4].try_into().unwrap());
+        if len > MAX_RECORD {
+            return ops; // corrupt length prefix
+        }
+        let sum = u64::from_le_bytes(buf[4..12].try_into().unwrap());
+        let len = len as usize;
+        if buf.len() < RECORD_HEADER + len {
+            return ops; // torn payload
+        }
+        let payload = &buf[RECORD_HEADER..RECORD_HEADER + len];
+        if xxh64(payload, WAL_SEED) != sum {
+            return ops; // bit-flipped record: stop, don't skip
+        }
+        match WalOp::decode(payload) {
+            Ok(op) => ops.push(op),
+            Err(_) => return ops,
+        }
+        buf = &buf[RECORD_HEADER + len..];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ops() -> Vec<WalOp> {
+        let spec = |seed| StoredSpec {
+            seed,
+            extended: false,
+            cache_capacity: 8,
+        };
+        vec![
+            WalOp::Load {
+                world: "default".into(),
+                spec: spec(1),
+                generation: 1,
+            },
+            WalOp::Load {
+                world: "w2".into(),
+                spec: spec(2),
+                generation: 2,
+            },
+            WalOp::Swap {
+                world: "w2".into(),
+                spec: spec(3),
+                generation: 3,
+            },
+            WalOp::Evict { world: "w2".into() },
+        ]
+    }
+
+    #[test]
+    fn op_round_trip() {
+        for op in ops() {
+            assert_eq!(WalOp::decode(&op.encode()).unwrap(), op);
+        }
+    }
+
+    #[test]
+    fn replay_full_log() {
+        let mut buf = Vec::new();
+        for op in ops() {
+            buf.extend_from_slice(&frame_record(&op));
+        }
+        assert_eq!(replay_records(&buf), ops());
+    }
+
+    #[test]
+    fn replay_stops_at_torn_tail() {
+        let mut buf = Vec::new();
+        for op in ops() {
+            buf.extend_from_slice(&frame_record(&op));
+        }
+        let full = replay_records(&buf).len();
+        // Any truncation strictly inside the last record loses only
+        // that record.
+        let last = frame_record(ops().last().unwrap()).len();
+        for cut in 1..last {
+            let got = replay_records(&buf[..buf.len() - cut]);
+            assert_eq!(got.len(), full - 1, "cut {cut}");
+            assert_eq!(got, ops()[..full - 1]);
+        }
+    }
+
+    #[test]
+    fn replay_stops_at_bit_flip() {
+        let mut buf = Vec::new();
+        for op in ops() {
+            buf.extend_from_slice(&frame_record(&op));
+        }
+        // Corrupt a byte inside the second record's payload.
+        let first = frame_record(&ops()[0]).len();
+        buf[first + RECORD_HEADER + 2] ^= 0x40;
+        assert_eq!(replay_records(&buf), ops()[..1]);
+    }
+
+    #[test]
+    fn unknown_tag_rejected() {
+        assert!(WalOp::decode(&[99]).is_err());
+    }
+}

@@ -1,0 +1,127 @@
+//! A from-scratch implementation of the XXH64 hash (Yann Collet's
+//! xxHash, 64-bit variant) used as the integrity checksum for every
+//! persisted payload. Not cryptographic — it guards against torn
+//! writes and bit rot, not adversaries.
+
+const P1: u64 = 0x9E37_79B1_85EB_CA87;
+const P2: u64 = 0xC2B2_AE3D_27D4_EB4F;
+const P3: u64 = 0x1656_67B1_9E37_79F9;
+const P4: u64 = 0x85EB_CA77_C2B2_AE63;
+const P5: u64 = 0x27D4_EB2F_1656_67C5;
+
+#[inline]
+fn read_u64(b: &[u8]) -> u64 {
+    u64::from_le_bytes(b[..8].try_into().unwrap())
+}
+
+#[inline]
+fn read_u32(b: &[u8]) -> u32 {
+    u32::from_le_bytes(b[..4].try_into().unwrap())
+}
+
+#[inline]
+fn round(acc: u64, input: u64) -> u64 {
+    acc.wrapping_add(input.wrapping_mul(P2))
+        .rotate_left(31)
+        .wrapping_mul(P1)
+}
+
+#[inline]
+fn merge_round(acc: u64, val: u64) -> u64 {
+    (acc ^ round(0, val)).wrapping_mul(P1).wrapping_add(P4)
+}
+
+/// Computes the XXH64 hash of `data` under `seed`.
+pub fn xxh64(data: &[u8], seed: u64) -> u64 {
+    let len = data.len() as u64;
+    let mut input = data;
+    let mut h = if input.len() >= 32 {
+        let mut v1 = seed.wrapping_add(P1).wrapping_add(P2);
+        let mut v2 = seed.wrapping_add(P2);
+        let mut v3 = seed;
+        let mut v4 = seed.wrapping_sub(P1);
+        while input.len() >= 32 {
+            v1 = round(v1, read_u64(&input[0..8]));
+            v2 = round(v2, read_u64(&input[8..16]));
+            v3 = round(v3, read_u64(&input[16..24]));
+            v4 = round(v4, read_u64(&input[24..32]));
+            input = &input[32..];
+        }
+        let mut h = v1
+            .rotate_left(1)
+            .wrapping_add(v2.rotate_left(7))
+            .wrapping_add(v3.rotate_left(12))
+            .wrapping_add(v4.rotate_left(18));
+        h = merge_round(h, v1);
+        h = merge_round(h, v2);
+        h = merge_round(h, v3);
+        merge_round(h, v4)
+    } else {
+        seed.wrapping_add(P5)
+    };
+    h = h.wrapping_add(len);
+    while input.len() >= 8 {
+        h ^= round(0, read_u64(input));
+        h = h.rotate_left(27).wrapping_mul(P1).wrapping_add(P4);
+        input = &input[8..];
+    }
+    if input.len() >= 4 {
+        h ^= u64::from(read_u32(input)).wrapping_mul(P1);
+        h = h.rotate_left(23).wrapping_mul(P2).wrapping_add(P3);
+        input = &input[4..];
+    }
+    for &b in input {
+        h ^= u64::from(b).wrapping_mul(P5);
+        h = h.rotate_left(11).wrapping_mul(P1);
+    }
+    h ^= h >> 33;
+    h = h.wrapping_mul(P2);
+    h ^= h >> 29;
+    h = h.wrapping_mul(P3);
+    h ^ (h >> 32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_input_reference_vector() {
+        // The canonical XXH64 test vector: hash of the empty string.
+        assert_eq!(xxh64(b"", 0), 0xEF46_DB37_51D8_E999);
+    }
+
+    #[test]
+    fn deterministic_and_seed_sensitive() {
+        let data = b"the quick brown fox jumps over the lazy dog";
+        assert_eq!(xxh64(data, 0), xxh64(data, 0));
+        assert_ne!(xxh64(data, 0), xxh64(data, 1));
+        assert_ne!(xxh64(data, 0), xxh64(&data[..data.len() - 1], 0));
+    }
+
+    #[test]
+    fn covers_every_tail_length() {
+        // Exercise the 32-byte stripe loop plus all tail branches
+        // (>=8, >=4, byte-at-a-time): lengths 0..=67 must all hash to
+        // distinct values for a counting byte pattern.
+        let data: Vec<u8> = (0u8..=67).collect();
+        let mut seen = std::collections::HashSet::new();
+        for len in 0..=data.len() {
+            assert!(
+                seen.insert(xxh64(&data[..len], 7)),
+                "collision at len {len}"
+            );
+        }
+    }
+
+    #[test]
+    fn single_bit_flip_changes_hash() {
+        let mut data = vec![0xA5u8; 64];
+        let base = xxh64(&data, 0);
+        for byte in 0..data.len() {
+            data[byte] ^= 1;
+            assert_ne!(xxh64(&data, 0), base, "flip at byte {byte} undetected");
+            data[byte] ^= 1;
+        }
+    }
+}

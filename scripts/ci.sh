@@ -37,6 +37,12 @@ cargo test -q --test service_adaptive
 echo "==> cargo test -q --test service_metrics"
 cargo test -q --test service_metrics
 
+# Durability end to end: a server with an attached world store must
+# survive a restart with bit-identical answers and certificates served
+# from its snapshots (warm result cache), under the same generations.
+echo "==> cargo test -q --test service_store"
+cargo test -q --test service_store
+
 # Smoke top-k boundary certification over the wire through the real
 # binary: start a serve on an ephemeral port, issue a --certify-top
 # query, and require the top-k certificate in the human output.
@@ -59,6 +65,54 @@ fi
 ./target/release/biorank query GALT --addr "$addr" --method mc --top 5 --certify-top |
     tee /dev/stderr |
     grep -q "top-5 + boundary certified"
+kill "$serve_pid" 2>/dev/null || true
+wait "$serve_pid" 2>/dev/null || true
+
+# Restart recovery smoke through the real binary: a --data-dir serve
+# answers a certified query, checkpoints, dies, and the restarted
+# process serves the identical answers + certificate from its
+# snapshots (result cache hit, warm.replayed > 0) — never by
+# re-running integration or Monte Carlo.
+echo "==> biorank --data-dir restart recovery smoke"
+data_dir="$(mktemp -d)"
+answers_a="$(mktemp)"
+answers_b="$(mktemp)"
+trap 'kill "$serve_pid" 2>/dev/null || true;
+      rm -f "$serve_log" "$answers_a" "$answers_b"; rm -rf "$data_dir"' EXIT
+start_durable_serve() {
+    : >"$serve_log"
+    ./target/release/biorank serve --addr 127.0.0.1:0 --workers 2 \
+        --data-dir "$data_dir" >"$serve_log" 2>&1 &
+    serve_pid=$!
+    addr=""
+    for _ in $(seq 1 240); do
+        addr=$(sed -n 's/^biorank-serve listening on \([0-9.:]*\) .*/\1/p' "$serve_log")
+        [ -n "$addr" ] && break
+        sleep 0.5
+    done
+    if [ -z "$addr" ]; then
+        echo "durable biorank serve never reported its address" >&2
+        cat "$serve_log" >&2
+        exit 1
+    fi
+}
+# The per-query header carries the address and wall-clock micros;
+# compare only the certificate and answer rows.
+start_durable_serve
+./target/release/biorank query GALT --addr "$addr" --method mc --top 5 --certify-top |
+    grep -v "candidate functions via" >"$answers_a"
+./target/release/biorank admin world.load aux --seed 99 --addr "$addr"
+./target/release/biorank admin checkpoint --addr "$addr" |
+    tee /dev/stderr | grep -q "2 world(s) snapshotted"
+kill "$serve_pid" 2>/dev/null || true
+wait "$serve_pid" 2>/dev/null || true
+start_durable_serve
+grep -q "2 world(s) recovered" "$serve_log"
+restart_out="$(./target/release/biorank query GALT --addr "$addr" --method mc --top 5 --certify-top)"
+echo "$restart_out" | grep -q "result cache hit"
+echo "$restart_out" | grep -v "candidate functions via" >"$answers_b"
+diff "$answers_a" "$answers_b"
+./target/release/biorank admin metrics --addr "$addr" | grep -q "warm.replayed"
 kill "$serve_pid" 2>/dev/null || true
 
 # Smoke the perf-trajectory recorder: the word-parallel MC bench must
