@@ -19,18 +19,28 @@
 use biorank_bench::abcc8_case;
 use biorank_graph::generate::{self, WorkflowParams};
 use biorank_graph::QueryGraph;
-use biorank_rank::{AdaptiveRunner, Estimator, NaiveMc, Ranker, TraversalMc, WordMc};
+use biorank_rank::{
+    run_fused, AdaptiveRunner, Estimator, FusedJob, FusedPolicy, NaiveMc, Ranker, TraversalMc,
+    WordMc,
+};
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
+/// Lane width of the wide word rows — mirrors the service's
+/// `FUSION_LANES`. Recorded as a `lanes` metric next to the timing so
+/// the perf log distinguishes wide-block rows from the single-mask
+/// rows of earlier commits.
+const LANES: usize = 8;
+
 /// One adaptive row: certified (optionally top-k) termination at the
 /// paper's (ε, δ) under the fixed 10⁴ ceiling, logging
-/// trials-to-certification.
+/// trials-to-certification. `lanes` tags wide word engines.
 fn adaptive_row<E: Estimator + Copy>(
     group: &mut criterion::BenchmarkGroup<'_>,
     name: &str,
     engine: E,
     top_k: Option<usize>,
+    lanes: Option<usize>,
     q: &QueryGraph,
 ) {
     group.bench_function(name, |b| {
@@ -45,6 +55,9 @@ fn adaptive_row<E: Estimator + Copy>(
             out
         });
         b.metric("trials_used", f64::from(used));
+        if let Some(lanes) = lanes {
+            b.metric("lanes", lanes as f64);
+        }
     });
 }
 
@@ -76,7 +89,12 @@ fn word_vs_traversal(c: &mut Criterion) {
                 })
             });
             group.bench_function(&format!("{label}/word_{trials}"), |b| {
-                b.iter(|| WordMc::new(trials, 1).score(black_box(q)).expect("scores"))
+                b.iter(|| {
+                    WordMc::<LANES>::wide(trials, 1)
+                        .score(black_box(q))
+                        .expect("scores")
+                });
+                b.metric("lanes", LANES as f64);
             });
         }
         // Adaptive rows: same (ε, δ) the fixed 10⁴ budget targets, so
@@ -84,14 +102,16 @@ fn word_vs_traversal(c: &mut Criterion) {
         adaptive_row(
             &mut group,
             &format!("{label}/adaptive_word_10000"),
-            WordMc::new(10_000, 1),
+            WordMc::<LANES>::wide(10_000, 1),
             None,
+            Some(LANES),
             q,
         );
         adaptive_row(
             &mut group,
             &format!("{label}/adaptive_traversal_10000"),
             TraversalMc::new(10_000, 1),
+            None,
             None,
             q,
         );
@@ -107,14 +127,16 @@ fn word_vs_traversal(c: &mut Criterion) {
     adaptive_row(
         &mut group,
         "workflow_wide/adaptive_word_10000",
-        WordMc::new(10_000, 1),
+        WordMc::<LANES>::wide(10_000, 1),
         None,
+        Some(LANES),
         &workflow_wide,
     );
     adaptive_row(
         &mut group,
         "workflow_wide/adaptive_traversal_10000",
         TraversalMc::new(10_000, 1),
+        None,
         None,
         &workflow_wide,
     );
@@ -123,8 +145,9 @@ fn word_vs_traversal(c: &mut Criterion) {
             adaptive_row(
                 &mut group,
                 &format!("{label}/adaptive_topk_word_10000_k{k}"),
-                WordMc::new(10_000, 1),
+                WordMc::<LANES>::wide(10_000, 1),
                 Some(k),
+                Some(LANES),
                 q,
             );
         }
@@ -133,11 +156,76 @@ fn word_vs_traversal(c: &mut Criterion) {
             &format!("{label}/adaptive_topk_traversal_10000_k10"),
             TraversalMc::new(10_000, 1),
             Some(10),
+            None,
             q,
         );
     }
     group.finish();
 }
 
-criterion_group!(benches, word_vs_traversal);
+/// Multi-query fusion: `jobs` concurrent 10⁴-trial word queries on one
+/// resident CSR as a single `run_fused` sweep, vs the same jobs run
+/// back-to-back as solo engines. `ns_per_iter` is the whole sweep;
+/// divide by `jobs` for per-query cost — the fusion win is that cost
+/// falling as lanes fill with batches from different queries.
+fn fused(c: &mut Criterion) {
+    let case = abcc8_case();
+    let abcc8 = &case.result.query;
+    let workflow = generate::layered_workflow(&WorkflowParams::default(), 8);
+    let mut group = c.benchmark_group("fused");
+    group.sample_size(15);
+
+    for (label, q, jobs) in [
+        ("abcc8_x1", abcc8, 1u64),
+        ("abcc8_x2", abcc8, 2),
+        ("abcc8_x8", abcc8, 8),
+        ("workflow_x4", &workflow, 4),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let initial = (0..jobs)
+                    .map(|i| {
+                        (
+                            i,
+                            FusedJob {
+                                seed: i + 1,
+                                trials: 10_000,
+                                policy: FusedPolicy::Fixed,
+                            },
+                        )
+                    })
+                    .collect();
+                let mut outs = 0usize;
+                run_fused::<LANES>(
+                    black_box(q),
+                    initial,
+                    Vec::new,
+                    |_, res| {
+                        res.expect("fused scores");
+                        outs += 1;
+                    },
+                    |_| {},
+                );
+                outs
+            });
+            b.metric("jobs", jobs as f64);
+            b.metric("lanes", LANES as f64);
+        });
+        // The unfused baseline: the same jobs as sequential solo runs.
+        group.bench_function(&format!("{label}_solo"), |b| {
+            b.iter(|| {
+                for i in 0..jobs {
+                    WordMc::<LANES>::wide(10_000, i + 1)
+                        .score(black_box(q))
+                        .expect("scores");
+                }
+            });
+            b.metric("jobs", jobs as f64);
+            b.metric("lanes", LANES as f64);
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, word_vs_traversal, fused);
 criterion_main!(benches);

@@ -15,10 +15,102 @@
 //! the primary consumer: one CSR pass propagates 64 Monte Carlo
 //! trials at a time through bitmask AND/OR.
 
+use std::sync::OnceLock;
+
 use crate::{topo, NodeId, ProbGraph};
 
 /// Sentinel in the original→dense map for dead (tombstoned) slots.
 const DEAD: u32 = u32::MAX;
+
+/// A topologically streamed edge layout of a [`CsrGraph`].
+///
+/// The Monte Carlo propagation loop visits nodes in topological order,
+/// which under dense-id indexing means striding the mask and reach
+/// arrays in whatever order the toposort produced — on large worlds
+/// every edge is a potential cache miss. The layout renames nodes to
+/// their topological *position* and re-groups the edge arrays by
+/// source position, so a propagation sweep reads its per-node state,
+/// its out-edge targets, and its edge masks as forward streams: the
+/// working set moves through L2 once per batch instead of striding the
+/// full arrays at random.
+///
+/// For cyclic snapshots (no topological order) the layout degenerates
+/// to the identity renaming with the original CSR edge grouping, so
+/// consumers can index through it unconditionally.
+#[derive(Clone, Debug)]
+pub struct TopoLayout {
+    /// Dense node id → position in the propagation sweep.
+    pos_of_dense: Vec<u32>,
+    /// Position → dense node id (the sweep order itself).
+    dense_of_pos: Vec<u32>,
+    /// `offsets[p]..offsets[p + 1]` is the layout-edge range of the
+    /// node at position `p`; length `node_count + 1`.
+    offsets: Vec<u32>,
+    /// Target *position* of each layout edge slot.
+    targets: Vec<u32>,
+    /// CSR edge slot `k` → layout edge slot. Mask drawing walks edges
+    /// in pinned CSR order (the RNG schedule) while writing into
+    /// layout slots, so the sweep can read them sequentially.
+    slot_of_edge: Vec<u32>,
+}
+
+impl TopoLayout {
+    fn build(csr: &CsrGraph) -> TopoLayout {
+        let n = csr.node_count();
+        let dense_of_pos: Vec<u32> = match csr.topo_order() {
+            Some(order) => order.to_vec(),
+            None => (0..n as u32).collect(),
+        };
+        let mut pos_of_dense = vec![0u32; n];
+        for (p, &d) in dense_of_pos.iter().enumerate() {
+            pos_of_dense[d as usize] = p as u32;
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut targets = Vec::with_capacity(csr.edge_count());
+        let mut slot_of_edge = vec![0u32; csr.edge_count()];
+        offsets.push(0);
+        for &d in &dense_of_pos {
+            for k in csr.out_range(d) {
+                slot_of_edge[k] = targets.len() as u32;
+                targets.push(pos_of_dense[csr.target(k) as usize]);
+            }
+            offsets.push(targets.len() as u32);
+        }
+        TopoLayout {
+            pos_of_dense,
+            dense_of_pos,
+            offsets,
+            targets,
+            slot_of_edge,
+        }
+    }
+
+    /// Sweep position of dense node `d`.
+    pub fn position(&self, d: u32) -> u32 {
+        self.pos_of_dense[d as usize]
+    }
+
+    /// Dense node id at sweep position `p` (the sweep order array).
+    pub fn dense_of_pos(&self) -> &[u32] {
+        &self.dense_of_pos
+    }
+
+    /// Layout-edge range of the node at position `p`.
+    pub fn out_range(&self, p: u32) -> std::ops::Range<usize> {
+        self.offsets[p as usize] as usize..self.offsets[p as usize + 1] as usize
+    }
+
+    /// Target positions, indexed by layout edge slot.
+    pub fn targets(&self) -> &[u32] {
+        &self.targets
+    }
+
+    /// Layout edge slot of CSR edge slot `k`, aligned with the pinned
+    /// drawing order.
+    pub fn slot_of_edge(&self) -> &[u32] {
+        &self.slot_of_edge
+    }
+}
 
 /// A frozen CSR snapshot of the live subgraph of a [`ProbGraph`].
 ///
@@ -45,6 +137,8 @@ pub struct CsrGraph {
     /// Dense node indices in topological order; `None` when the live
     /// subgraph is cyclic.
     topo: Option<Vec<u32>>,
+    /// Lazily built propagation layout (see [`TopoLayout`]).
+    layout: OnceLock<TopoLayout>,
 }
 
 impl CsrGraph {
@@ -81,6 +175,7 @@ impl CsrGraph {
             orig,
             dense_of,
             topo,
+            layout: OnceLock::new(),
         }
     }
 
@@ -154,6 +249,12 @@ impl CsrGraph {
     /// propagation fast path applies).
     pub fn is_dag(&self) -> bool {
         self.topo.is_some()
+    }
+
+    /// The topologically streamed propagation layout, built on first
+    /// use and cached for the lifetime of the snapshot.
+    pub fn topo_layout(&self) -> &TopoLayout {
+        self.layout.get_or_init(|| TopoLayout::build(self))
     }
 }
 

@@ -4,9 +4,11 @@
 //! distinguished query node `s` and an answer set `A ⊂ N`. Every ranking
 //! semantics in `biorank-rank` consumes this type.
 
+use std::sync::{Arc, OnceLock};
+
 use serde::{Deserialize, Serialize};
 
-use crate::{reach, Error, NodeId, ProbGraph};
+use crate::{csr::CsrGraph, reach, Error, NodeId, ProbGraph};
 
 /// A probabilistic entity graph with a query source node and answer set.
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -14,6 +16,12 @@ pub struct QueryGraph {
     graph: ProbGraph,
     source: NodeId,
     answers: Vec<NodeId>,
+    /// Lazily built CSR snapshot of the live subgraph, shared by every
+    /// estimator batch and fused sweep against this query. Invalidated
+    /// by any mutation ([`QueryGraph::graph_mut`], [`QueryGraph::prune`]);
+    /// never serialized.
+    #[serde(skip)]
+    csr: OnceLock<Arc<CsrGraph>>,
 }
 
 impl QueryGraph {
@@ -42,6 +50,7 @@ impl QueryGraph {
             graph,
             source,
             answers: dedup,
+            csr: OnceLock::new(),
         })
     }
 
@@ -55,7 +64,18 @@ impl QueryGraph {
     /// Callers must not remove the source or answer nodes; the ranking
     /// algorithms assert liveness.
     pub fn graph_mut(&mut self) -> &mut ProbGraph {
+        self.csr = OnceLock::new();
         &mut self.graph
+    }
+
+    /// The CSR snapshot of the live subgraph, built on first use and
+    /// shared (via `Arc`) across estimator batches, worker threads, and
+    /// fused sweeps until the graph is next mutated.
+    pub fn csr(&self) -> Arc<CsrGraph> {
+        Arc::clone(
+            self.csr
+                .get_or_init(|| Arc::new(CsrGraph::from_graph(&self.graph))),
+        )
     }
 
     /// The query node `s`.
@@ -81,6 +101,7 @@ impl QueryGraph {
     /// nodes. This mirrors the query-graph construction in the paper: the
     /// mediator only materializes reachable records.
     pub fn prune(&mut self) -> usize {
+        self.csr = OnceLock::new();
         let reachable = reach::reachable_from(&self.graph, self.source);
         let kept: Vec<NodeId> = self
             .answers
@@ -114,6 +135,7 @@ impl QueryGraph {
             graph: g,
             source,
             answers,
+            csr: OnceLock::new(),
         }
     }
 

@@ -157,28 +157,9 @@ impl<E: Estimator> AdaptiveRunner<E> {
 
     /// Runs batches until the ranking certifies or the ceiling hits.
     pub fn run(&self, q: &QueryGraph) -> Result<AdaptiveOutcome, Error> {
-        for (name, value) in [("epsilon", self.epsilon), ("delta", self.delta)] {
-            if !(value > 0.0 && value < 1.0) {
-                return Err(Error::InvalidParameter { name, value });
-            }
-        }
+        validate_params(self.epsilon, self.delta)?;
         let answers = q.answers();
-        // Leading sorted-estimate gaps the stopping rule must resolve:
-        // all `len − 1` for full certification; the k − 1 prefix gaps
-        // plus the boundary gap (= k) for top-k.
-        let full_gaps = answers.len().saturating_sub(1);
-        let checked_gaps = match self.top_k {
-            Some(k) => k.min(full_gaps),
-            None => full_gaps,
-        };
-        // Checking every gap IS full certification, whatever k the
-        // caller spelled it with — stamping it Full lets the result
-        // satisfy full-coverage consumers (e.g. cache reuse) without
-        // a bit-identical re-run.
-        let mode = match self.top_k {
-            Some(k) if checked_gaps < full_gaps => CertificateMode::TopK(k as u32),
-            _ => CertificateMode::Full,
-        };
+        let (checked_gaps, mode) = checked_gaps_and_mode(answers.len(), self.top_k);
         let step_start = std::time::Instant::now();
         let mut state = self.engine.begin(q)?;
         let mut step_nanos = step_start.elapsed().as_nanos() as u64;
@@ -239,12 +220,68 @@ impl<E: Estimator> AdaptiveRunner<E> {
         // Per-answer estimates only — polling the full node-bound
         // snapshot every 64 trials would dominate the check.
         self.engine.estimates_into(state, answers, est);
-        est.sort_unstable_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
-        est.windows(2).take(checked_gaps).all(|w| {
-            let gap = w[0] - w[1];
-            gap < self.epsilon || bounds::resolves(gap, self.delta, u64::from(trials))
-        })
+        sorted_gaps_certified(est, checked_gaps, self.epsilon, self.delta, trials)
     }
+}
+
+/// Rejects an (ε, δ) pair outside `(0, 1)`.
+///
+/// Shared by [`AdaptiveRunner::run`] and the fused multi-query runner
+/// ([`crate::fused`]), which admits each job's parameters
+/// independently.
+pub(crate) fn validate_params(epsilon: f64, delta: f64) -> Result<(), Error> {
+    for (name, value) in [("epsilon", epsilon), ("delta", delta)] {
+        if !(value > 0.0 && value < 1.0) {
+            return Err(Error::InvalidParameter { name, value });
+        }
+    }
+    Ok(())
+}
+
+/// How many leading sorted-estimate gaps the stopping rule must
+/// resolve, and the certificate mode that contract is stamped with:
+/// all `answers − 1` gaps for full certification; the `k − 1` prefix
+/// gaps plus the boundary gap (= `k`) for top-k. Checking every gap IS
+/// full certification, whatever `k` the caller spelled it with —
+/// stamping it `Full` lets the result satisfy full-coverage consumers
+/// (e.g. cache reuse) without a bit-identical re-run.
+pub(crate) fn checked_gaps_and_mode(
+    answers: usize,
+    top_k: Option<usize>,
+) -> (usize, CertificateMode) {
+    let full_gaps = answers.saturating_sub(1);
+    let checked_gaps = match top_k {
+        Some(k) => k.min(full_gaps),
+        None => full_gaps,
+    };
+    let mode = match top_k {
+        Some(k) if checked_gaps < full_gaps => CertificateMode::TopK(k as u32),
+        _ => CertificateMode::Full,
+    };
+    (checked_gaps, mode)
+}
+
+/// The certification predicate over one poll's answer estimates:
+/// sorts `est` descending in place, then requires each of the leading
+/// `checked_gaps` adjacent gaps to be resolved by `trials` trials or
+/// excused by the ε floor. "Gap `g` is resolved by `n` trials" is
+/// checked directly as `n ≥ trials_needed(g, δ)` ([`bounds::resolves`])
+/// — equivalent to `g ≥ resolvable_epsilon(n, δ)` by monotonicity, but
+/// one cheap closed-form evaluation per gap instead of a 200-step
+/// bisection per batch (the bisection runs once, at the end, to stamp
+/// the certificate).
+pub(crate) fn sorted_gaps_certified(
+    est: &mut [f64],
+    checked_gaps: usize,
+    epsilon: f64,
+    delta: f64,
+    trials: u32,
+) -> bool {
+    est.sort_unstable_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
+    est.windows(2).take(checked_gaps).all(|w| {
+        let gap = w[0] - w[1];
+        gap < epsilon || bounds::resolves(gap, delta, u64::from(trials))
+    })
 }
 
 #[cfg(test)]

@@ -1,0 +1,573 @@
+//! Multi-query fusion: many Monte Carlo runs through one sweep.
+//!
+//! Concurrent queries against the same resident [`QueryGraph`] all
+//! propagate masks over the same CSR. Running them back to back repeats
+//! the sweep bookkeeping (topo walk, offset/target loads, mask reads)
+//! once per query; [`run_fused`] instead assigns each in-flight query a
+//! group of lanes in a shared `W`-lane block, propagates all lanes in
+//! one pass, and demultiplexes the per-lane popcounts back into each
+//! query's own counters.
+//!
+//! **Bit-identity.** A job's lane `l` draws from the RNG stream of its
+//! *own* `(seed, batch)` — exactly the stream the solo engine would use
+//! — and its counts merge by addition in batch order, so a fused run
+//! returns byte-identical scores to a solo [`WordMc`](crate::WordMc)
+//! run of the same `(trials, seed)`. Adaptive jobs poll the
+//! certification rule after every folded 64-trial batch, in batch
+//! order, with the same predicate the solo
+//! [`AdaptiveRunner`](crate::AdaptiveRunner) applies — identical stop
+//! points, identical [`Certificate`]s. Fusion is therefore invisible
+//! everywhere except wall-clock: no request fields, no cache-key
+//! dimensions, no score drift.
+//!
+//! **Scheduling.** Blocks run in rounds. Before each round the
+//! `source` callback may admit newly arrived jobs; lanes are then dealt
+//! round-robin across active jobs (each lane is that job's next batch,
+//! in order), the block propagates once, and each job folds its lanes,
+//! polls certification (if adaptive), and finalizes through `sink` the
+//! moment it certifies or exhausts its budget. A job stopping mid-block
+//! wastes only the propagation of its remaining assigned lanes — never
+//! a bit of its output.
+
+use biorank_graph::QueryGraph;
+
+use crate::adaptive::{checked_gaps_and_mode, sorted_gaps_certified, validate_params, Certificate};
+use crate::estimator::BATCH_TRIALS;
+use crate::word::{
+    batch_seed, batch_valid, draw_lane, fold_lane, project, propagate_block, WidePlan, WideScratch,
+};
+use crate::{bounds, Error, Scores};
+
+/// Stopping policy of one fused job.
+#[derive(Clone, Copy, Debug)]
+pub enum FusedPolicy {
+    /// Run the full trial budget; no certificate.
+    Fixed,
+    /// Bound-certified early termination, identical to
+    /// [`AdaptiveRunner`](crate::AdaptiveRunner) with the same
+    /// parameters over a `WordMc` engine of the job's `(trials, seed)`.
+    Adaptive {
+        /// Smallest separation the caller needs ranked correctly.
+        epsilon: f64,
+        /// Allowed per-pair failure probability.
+        delta: f64,
+        /// Restrict certification to the top-k prefix (see
+        /// [`AdaptiveRunner::with_top_k`](crate::AdaptiveRunner::with_top_k)).
+        top_k: Option<usize>,
+    },
+}
+
+/// One query's slice of a fused sweep.
+#[derive(Clone, Copy, Debug)]
+pub struct FusedJob {
+    /// RNG seed of the job's trial schedule.
+    pub seed: u64,
+    /// Trial budget: the fixed count for [`FusedPolicy::Fixed`], the
+    /// ceiling for [`FusedPolicy::Adaptive`].
+    pub trials: u32,
+    /// When (and whether) the job stops early.
+    pub policy: FusedPolicy,
+}
+
+/// The finished result of one fused job.
+#[derive(Clone, Debug)]
+pub struct FusedOutcome {
+    /// Final estimates, normalized by the trials actually used.
+    pub scores: Scores,
+    /// Stop certificate for adaptive jobs; `None` for fixed jobs.
+    pub certificate: Option<Certificate>,
+    /// Trials actually executed (equals the budget for fixed jobs).
+    pub trials_used: u32,
+    /// Wall-clock nanoseconds of sweep work attributed to this job
+    /// (its share of each block's draw + propagate, plus its own
+    /// demux). Observational only — never feeds back into the sample
+    /// schedule.
+    pub step_nanos: u64,
+    /// Wall-clock nanoseconds spent in this job's certification polls.
+    pub poll_nanos: u64,
+}
+
+/// Telemetry for one fused propagation block, handed to the `observe`
+/// callback after every sweep.
+#[derive(Clone, Copy, Debug)]
+pub struct FusedBlockStats {
+    /// Lanes that carried a batch this block (≤ `W`).
+    pub lanes: u32,
+    /// Distinct jobs sharing the block.
+    pub jobs: u32,
+}
+
+/// Internal per-job progress inside a fused sweep.
+struct JobRun {
+    id: u64,
+    seed: u64,
+    trials_total: u32,
+    num_batches: u32,
+    batches_done: u32,
+    trials_done: u32,
+    /// Reach popcounts in dense CSR space, folded in batch order.
+    counts: Vec<u64>,
+    /// `None` for fixed jobs.
+    adaptive: Option<AdaptiveRule>,
+    certified: bool,
+    done: bool,
+    step_nanos: u64,
+    poll_nanos: u64,
+}
+
+struct AdaptiveRule {
+    epsilon: f64,
+    delta: f64,
+    checked_gaps: usize,
+    mode: crate::CertificateMode,
+}
+
+/// Runs a set of Monte Carlo jobs over `q` as fused `W`-lane sweeps.
+///
+/// - `initial`: jobs present at the start, as `(caller id, job)`.
+/// - `source`: polled before every block for newly arrived jobs; return
+///   an empty vec when none. It stops being polled once the active set
+///   drains, so callers gating admission (e.g. the service's fusion
+///   queue) must treat jobs still queued at return as *not run*.
+/// - `sink`: receives each job's result the moment it completes, in
+///   completion order. A job with invalid parameters fails through the
+///   sink without disturbing its block-mates.
+/// - `observe`: per-block telemetry (lane occupancy, job sharing).
+///
+/// Returns the number of jobs completed (successfully or not).
+pub fn run_fused<const W: usize>(
+    q: &QueryGraph,
+    initial: Vec<(u64, FusedJob)>,
+    mut source: impl FnMut() -> Vec<(u64, FusedJob)>,
+    mut sink: impl FnMut(u64, Result<FusedOutcome, Error>),
+    mut observe: impl FnMut(FusedBlockStats),
+) -> usize {
+    const { assert!(W >= 1, "lane width must be at least 1") };
+    let csr = q.csr();
+    let source_dense = csr
+        .dense(q.source())
+        .expect("query source is live by construction");
+    let plan = WidePlan::new(csr, source_dense);
+    let mut scratch = WideScratch::<W>::for_plan(&plan);
+    let node_bound = q.graph().node_bound();
+
+    // Answer dense ids, shared by every job's certification poll.
+    let answer_dense: Vec<Option<u32>> = q.answers().iter().map(|&a| plan.csr.dense(a)).collect();
+
+    let mut completed = 0usize;
+    let mut jobs: Vec<JobRun> = Vec::new();
+    let mut est: Vec<f64> = Vec::with_capacity(answer_dense.len());
+    let admit = |batch: Vec<(u64, FusedJob)>,
+                 jobs: &mut Vec<JobRun>,
+                 sink: &mut dyn FnMut(u64, Result<FusedOutcome, Error>),
+                 completed: &mut usize| {
+        for (id, job) in batch {
+            match admit_job(id, job, answer_dense.len(), plan.n) {
+                Ok(run) => jobs.push(run),
+                Err(e) => {
+                    sink(id, Err(e));
+                    *completed += 1;
+                }
+            }
+        }
+    };
+    admit(initial, &mut jobs, &mut sink, &mut completed);
+
+    while !jobs.is_empty() {
+        admit(source(), &mut jobs, &mut sink, &mut completed);
+
+        // Deal lanes round-robin: each pass hands every unfinished job
+        // its next batch, so W lanes split evenly across block-mates
+        // and a lone job fills the whole block (solo wide behavior).
+        let mut lanes: Vec<(usize, u32)> = Vec::with_capacity(W);
+        let mut next_batch: Vec<u32> = jobs.iter().map(|j| j.batches_done).collect();
+        'fill: loop {
+            let mut progressed = false;
+            for (ji, job) in jobs.iter().enumerate() {
+                if lanes.len() == W {
+                    break 'fill;
+                }
+                if next_batch[ji] < job.num_batches {
+                    lanes.push((ji, next_batch[ji]));
+                    next_batch[ji] += 1;
+                    progressed = true;
+                }
+            }
+            if !progressed {
+                break;
+            }
+        }
+        debug_assert!(!lanes.is_empty(), "active jobs always have batches left");
+
+        let sweep_start = std::time::Instant::now();
+        let mut valid = [0u64; W];
+        for (l, &(ji, b)) in lanes.iter().enumerate() {
+            let job = &jobs[ji];
+            draw_lane(&plan, &mut scratch, l, batch_seed(job.seed, b));
+            valid[l] = batch_valid(b, job.trials_total);
+        }
+        propagate_block(&plan, &mut scratch, &valid);
+        // Sweep cost is shared work; attribute it per lane so each
+        // job's telemetry reflects its share of the fused block.
+        let lane_share = sweep_start.elapsed().as_nanos() as u64 / lanes.len() as u64;
+
+        let mut seen = vec![false; jobs.len()];
+        let mut distinct_jobs = 0u32;
+        for &(ji, _) in &lanes {
+            if !seen[ji] {
+                seen[ji] = true;
+                distinct_jobs += 1;
+            }
+        }
+        observe(FusedBlockStats {
+            lanes: lanes.len() as u32,
+            jobs: distinct_jobs,
+        });
+
+        // Demux lanes in deal order — each job consumes its lanes in
+        // batch order, polling certification after every folded batch
+        // exactly like the solo adaptive driver. Lanes of a job that
+        // already stopped this block are wasted propagation, never
+        // wrong output.
+        for (l, &(ji, b)) in lanes.iter().enumerate() {
+            let job = &mut jobs[ji];
+            if job.done {
+                continue;
+            }
+            debug_assert_eq!(b, job.batches_done, "lanes folded in batch order");
+            let fold_start = std::time::Instant::now();
+            fold_lane(&plan, &scratch, l, &mut job.counts);
+            job.batches_done += 1;
+            job.trials_done += BATCH_TRIALS.min(job.trials_total - job.trials_done);
+            job.step_nanos += lane_share + fold_start.elapsed().as_nanos() as u64;
+            if let Some(rule) = &job.adaptive {
+                let poll_start = std::time::Instant::now();
+                if rule.checked_gaps == 0 {
+                    job.certified = true;
+                } else {
+                    est.clear();
+                    let n = f64::from(job.trials_done.max(1));
+                    est.extend(answer_dense.iter().map(|d| {
+                        d.and_then(|d| job.counts.get(d as usize))
+                            .map(|&c| c as f64 / n)
+                            .unwrap_or(0.0)
+                    }));
+                    job.certified = sorted_gaps_certified(
+                        &mut est,
+                        rule.checked_gaps,
+                        rule.epsilon,
+                        rule.delta,
+                        job.trials_done,
+                    );
+                }
+                job.poll_nanos += poll_start.elapsed().as_nanos() as u64;
+            }
+            if job.certified || job.batches_done == job.num_batches {
+                job.done = true;
+                sink(job.id, finalize(&plan, job, node_bound));
+                completed += 1;
+            }
+        }
+        jobs.retain(|j| !j.done);
+    }
+    completed
+}
+
+/// Validates and prepares one job for the sweep.
+fn admit_job(id: u64, job: FusedJob, answers: usize, n: usize) -> Result<JobRun, Error> {
+    if job.trials == 0 {
+        return Err(Error::ZeroTrials);
+    }
+    let adaptive = match job.policy {
+        FusedPolicy::Fixed => None,
+        FusedPolicy::Adaptive {
+            epsilon,
+            delta,
+            top_k,
+        } => {
+            validate_params(epsilon, delta)?;
+            let (checked_gaps, mode) = checked_gaps_and_mode(answers, top_k);
+            Some(AdaptiveRule {
+                epsilon,
+                delta,
+                checked_gaps,
+                mode,
+            })
+        }
+    };
+    Ok(JobRun {
+        id,
+        seed: job.seed,
+        trials_total: job.trials,
+        num_batches: job.trials.div_ceil(BATCH_TRIALS),
+        batches_done: 0,
+        trials_done: 0,
+        counts: vec![0u64; n],
+        adaptive,
+        certified: false,
+        done: false,
+        step_nanos: 0,
+        poll_nanos: 0,
+    })
+}
+
+/// Stamps a finished job's scores (and certificate, for adaptive
+/// jobs) exactly as the solo runners would.
+fn finalize(plan: &WidePlan, job: &JobRun, node_bound: usize) -> Result<FusedOutcome, Error> {
+    let scores = project(&plan.csr, &job.counts, job.trials_done, node_bound);
+    let certificate = match &job.adaptive {
+        None => None,
+        Some(rule) => Some(Certificate {
+            trials_used: job.trials_done,
+            epsilon: bounds::resolvable_epsilon(u64::from(job.trials_done), rule.delta)?,
+            certified: job.certified,
+            mode: rule.mode,
+        }),
+    };
+    Ok(FusedOutcome {
+        scores,
+        certificate,
+        trials_used: job.trials_done,
+        step_nanos: job.step_nanos,
+        poll_nanos: job.poll_nanos,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AdaptiveRunner, Ranker, WordMc};
+    use biorank_graph::{generate, Prob, ProbGraph};
+
+    fn p(v: f64) -> Prob {
+        Prob::new(v).unwrap()
+    }
+
+    fn star() -> QueryGraph {
+        let mut g = ProbGraph::new();
+        let s = g.add_node(p(1.0));
+        let mut answers = Vec::new();
+        for q_val in [0.9, 0.6, 0.3] {
+            let t = g.add_node(p(1.0));
+            g.add_edge(s, t, p(q_val)).unwrap();
+            answers.push(t);
+        }
+        QueryGraph::new(g, s, answers).unwrap()
+    }
+
+    fn run_all(q: &QueryGraph, jobs: Vec<(u64, FusedJob)>) -> Vec<(u64, FusedOutcome)> {
+        let mut out = Vec::new();
+        run_fused::<8>(
+            q,
+            jobs,
+            Vec::new,
+            |id, r| out.push((id, r.unwrap())),
+            |_| {},
+        );
+        out.sort_by_key(|(id, _)| *id);
+        out
+    }
+
+    #[test]
+    fn fused_fixed_jobs_match_solo_bits() {
+        let q = generate::layered_workflow(&generate::WorkflowParams::default(), 23);
+        let jobs = vec![
+            (
+                0,
+                FusedJob {
+                    seed: 1,
+                    trials: 1_000,
+                    policy: FusedPolicy::Fixed,
+                },
+            ),
+            (
+                1,
+                FusedJob {
+                    seed: 2,
+                    trials: 777,
+                    policy: FusedPolicy::Fixed,
+                },
+            ),
+            (
+                2,
+                FusedJob {
+                    seed: 1,
+                    trials: 64,
+                    policy: FusedPolicy::Fixed,
+                },
+            ),
+        ];
+        let out = run_all(&q, jobs);
+        assert_eq!(
+            out[0].1.scores.as_slice(),
+            WordMc::new(1_000, 1).score(&q).unwrap().as_slice()
+        );
+        assert_eq!(
+            out[1].1.scores.as_slice(),
+            WordMc::new(777, 2).score(&q).unwrap().as_slice()
+        );
+        assert_eq!(
+            out[2].1.scores.as_slice(),
+            WordMc::new(64, 1).score(&q).unwrap().as_slice()
+        );
+    }
+
+    #[test]
+    fn fused_adaptive_jobs_match_solo_certificates() {
+        let q = star();
+        let jobs: Vec<(u64, FusedJob)> = (0..4)
+            .map(|i| {
+                (
+                    i,
+                    FusedJob {
+                        seed: i + 1,
+                        trials: 10_000,
+                        policy: FusedPolicy::Adaptive {
+                            epsilon: 0.02,
+                            delta: 0.05,
+                            top_k: if i == 3 { Some(1) } else { None },
+                        },
+                    },
+                )
+            })
+            .collect();
+        let out = run_all(&q, jobs);
+        for (id, outcome) in &out {
+            let runner = AdaptiveRunner::new(WordMc::new(10_000, id + 1), 0.02, 0.05);
+            let solo = if *id == 3 {
+                runner.with_top_k(1).run(&q).unwrap()
+            } else {
+                runner.run(&q).unwrap()
+            };
+            assert_eq!(outcome.certificate, Some(solo.certificate), "job {id}");
+            assert_eq!(
+                outcome.scores.as_slice(),
+                solo.scores.as_slice(),
+                "job {id}"
+            );
+        }
+    }
+
+    #[test]
+    fn source_admits_jobs_mid_sweep() {
+        let q = star();
+        let mut pending = vec![(
+            7u64,
+            FusedJob {
+                seed: 9,
+                trials: 640,
+                policy: FusedPolicy::Fixed,
+            },
+        )];
+        let mut results = Vec::new();
+        run_fused::<4>(
+            &q,
+            vec![(
+                0,
+                FusedJob {
+                    seed: 3,
+                    trials: 2_000,
+                    policy: FusedPolicy::Fixed,
+                },
+            )],
+            || std::mem::take(&mut pending),
+            |id, r| results.push((id, r.unwrap())),
+            |_| {},
+        );
+        results.sort_by_key(|(id, _)| *id);
+        assert_eq!(results.len(), 2);
+        assert_eq!(
+            results[0].1.scores.as_slice(),
+            WordMc::new(2_000, 3).score(&q).unwrap().as_slice()
+        );
+        assert_eq!(
+            results[1].1.scores.as_slice(),
+            WordMc::new(640, 9).score(&q).unwrap().as_slice()
+        );
+    }
+
+    #[test]
+    fn invalid_jobs_fail_through_sink_without_killing_blockmates() {
+        let q = star();
+        let mut ok = Vec::new();
+        let mut failed = Vec::new();
+        run_fused::<8>(
+            &q,
+            vec![
+                (
+                    0,
+                    FusedJob {
+                        seed: 1,
+                        trials: 0,
+                        policy: FusedPolicy::Fixed,
+                    },
+                ),
+                (
+                    1,
+                    FusedJob {
+                        seed: 1,
+                        trials: 128,
+                        policy: FusedPolicy::Adaptive {
+                            epsilon: 2.0,
+                            delta: 0.05,
+                            top_k: None,
+                        },
+                    },
+                ),
+                (
+                    2,
+                    FusedJob {
+                        seed: 4,
+                        trials: 128,
+                        policy: FusedPolicy::Fixed,
+                    },
+                ),
+            ],
+            Vec::new,
+            |id, r| match r {
+                Ok(o) => ok.push((id, o)),
+                Err(e) => failed.push((id, e)),
+            },
+            |_| {},
+        );
+        assert_eq!(ok.len(), 1);
+        assert_eq!(ok[0].0, 2);
+        failed.sort_by_key(|(id, _)| *id);
+        assert!(matches!(failed[0], (0, Error::ZeroTrials)));
+        assert!(matches!(failed[1], (1, Error::InvalidParameter { .. })));
+    }
+
+    #[test]
+    fn observe_reports_shared_blocks() {
+        let q = star();
+        let mut widths = Vec::new();
+        run_fused::<8>(
+            &q,
+            vec![
+                (
+                    0,
+                    FusedJob {
+                        seed: 1,
+                        trials: 512,
+                        policy: FusedPolicy::Fixed,
+                    },
+                ),
+                (
+                    1,
+                    FusedJob {
+                        seed: 2,
+                        trials: 512,
+                        policy: FusedPolicy::Fixed,
+                    },
+                ),
+            ],
+            Vec::new,
+            |_, r| {
+                r.unwrap();
+            },
+            |stats| widths.push((stats.lanes, stats.jobs)),
+        );
+        // 8 + 8 batches over 8-lane blocks: two full shared blocks.
+        assert_eq!(widths, vec![(8, 2), (8, 2)]);
+    }
+}

@@ -50,6 +50,7 @@ mod deterministic;
 mod diffusion;
 pub mod estimator;
 pub mod explain;
+pub mod fused;
 mod mc;
 mod propagation;
 mod reliability;
@@ -62,6 +63,7 @@ pub use adaptive::{AdaptiveOutcome, AdaptiveRunner, Certificate, CertificateMode
 pub use deterministic::{InEdge, PathCount};
 pub use diffusion::{Diffusion, InnerSolver};
 pub use estimator::{BatchStats, Estimator, BATCH_TRIALS};
+pub use fused::{run_fused, FusedBlockStats, FusedJob, FusedOutcome, FusedPolicy};
 pub use mc::{McState, NaiveMc, NaiveState, TraversalMc};
 pub use propagation::Propagation;
 pub use reliability::{ClosedReliability, ReducedMc, SolveMode};

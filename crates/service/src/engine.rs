@@ -11,22 +11,40 @@
 //!    answers`: an identical query+ranker pair is answered without
 //!    scoring at all.
 //!
+//! Below the caches sit two concurrency collapses, both invisible on
+//! the wire:
+//!
+//! - **Single-flight** — concurrent misses on the same result key
+//!   elect one leader; followers block, then serve the leader's
+//!   freshly cached entry (`queries.coalesced` counts them).
+//! - **Fusion sweeps** — concurrent word-estimator Monte Carlo jobs
+//!   on the same exploratory query (same resident CSR) share one
+//!   [`run_fused`] multi-query sweep: each job owns a lane group of
+//!   the [`FUSION_LANES`]-wide propagation blocks, and counts demux
+//!   per job. `fusion.{batches,lanes_used}` and the `fusion_width`
+//!   histogram record the sharing.
+//!
 //! Determinism is load-bearing: Monte Carlo rankers are seeded from
 //! `mix(spec.seed, fnv1a(query))`, a value derived only from request
 //! *content*, never from arrival order or worker identity. A batch
 //! therefore produces bit-identical rankings on one worker and on N,
-//! and a cache hit returns exactly what recomputation would.
+//! and a cache hit returns exactly what recomputation would. Lane
+//! widening and fusion preserve this bit-for-bit: batch `b` of a job
+//! draws from the stream keyed `(seed, b)` no matter which lane of
+//! whose block executes it, so a fused response is byte-identical to
+//! the same request computed alone.
 
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
 use biorank_mediator::{ExploratoryQuery, IntegrationResult, Mediator};
 use biorank_obs::{MetricsRegistry, MetricsSnapshot, TraceRecorder, TraceSpan};
 use biorank_rank::{
-    AdaptiveRunner, Certificate, CertificateMode, Diffusion, InEdge, PathCount, Propagation,
-    Ranker, Ranking, ReducedMc, TraversalMc, WordMc,
+    run_fused, AdaptiveRunner, Certificate, CertificateMode, Diffusion, FusedJob, FusedOutcome,
+    FusedPolicy, InEdge, PathCount, Propagation, Ranker, Ranking, ReducedMc, Scores, TraversalMc,
+    WordMc,
 };
 
 use crate::cache::{CacheStats, ShardedLru};
@@ -366,7 +384,7 @@ impl RankerSpec {
             Method::Reliability => Box::new(ReducedMc::new(trials, seed)),
             Method::TraversalMc => match self.resolved_estimator() {
                 Estimator::Traversal => Box::new(TraversalMc::new(trials, seed)),
-                Estimator::Word => Box::new(WordMc::new(trials, seed)),
+                Estimator::Word => Box::new(WordMc::<FUSION_LANES>::wide(trials, seed)),
             },
             Method::Propagation => Box::new(Propagation::auto()),
             Method::Diffusion => Box::new(Diffusion::auto()),
@@ -617,6 +635,86 @@ pub struct QueryEngine {
     /// warmed, or whose warm set has fully converted.
     warmed: Mutex<HashSet<(ExploratoryQuery, RankerSpec)>>,
     warmed_remaining: AtomicU64,
+    /// Single-flight table: one in-progress computation per result
+    /// key. Concurrent identical misses block here instead of
+    /// recomputing, then serve the leader's cached entry.
+    flights: Mutex<HashMap<(ExploratoryQuery, RankerSpec), Arc<Flight>>>,
+    /// Open fusion sweeps, one per exploratory query: word-estimator
+    /// Monte Carlo jobs arriving while a sweep over the same resident
+    /// CSR is running join its lane groups instead of propagating
+    /// alone.
+    sweeps: Mutex<HashMap<ExploratoryQuery, Arc<Sweep>>>,
+}
+
+/// A single-flight entry: followers block on `done` until the leader
+/// finishes (successfully or not) and re-check the result cache.
+struct Flight {
+    done: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl Flight {
+    fn new() -> Self {
+        Flight {
+            done: Mutex::new(false),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn wait(&self) {
+        let mut done = self.done.lock().expect("flight");
+        while !*done {
+            done = self.cv.wait(done).expect("flight");
+        }
+    }
+
+    fn signal(&self) {
+        *self.done.lock().expect("flight") = true;
+        self.cv.notify_all();
+    }
+}
+
+/// One fused sweep over a query's resident CSR. The leader drives
+/// [`run_fused`]; joiners enqueue a [`FusedJob`] and block until their
+/// result lands (or the sweep closes without serving them, in which
+/// case they retry — typically becoming the next leader).
+///
+/// Lock order: the engine's `sweeps` map lock is always taken before
+/// a sweep's `state` lock; the sweep callbacks take only `state`.
+struct Sweep {
+    state: Mutex<SweepState>,
+    cv: Condvar,
+}
+
+struct SweepState {
+    /// New jobs may still join. Cleared as soon as the leader's own
+    /// job completes, so a leader never drives other queries'
+    /// batches longer than its own request lives.
+    accepting: bool,
+    /// The sweep has returned; queued-but-unserved jobs must retry.
+    closed: bool,
+    /// Next joiner id (the leader owns id 0).
+    next_id: u64,
+    /// Jobs waiting to be dealt into lanes, drained by the sweep's
+    /// `source` callback before every block.
+    queue: Vec<(u64, FusedJob)>,
+    /// Finished joiner results, keyed by id.
+    results: HashMap<u64, Result<FusedOutcome, biorank_rank::Error>>,
+}
+
+impl Sweep {
+    fn new() -> Self {
+        Sweep {
+            state: Mutex::new(SweepState {
+                accepting: true,
+                closed: false,
+                next_id: 1,
+                queue: Vec::new(),
+                results: HashMap::new(),
+            }),
+            cv: Condvar::new(),
+        }
+    }
 }
 
 /// Default number of cached integration results / rankings.
@@ -630,6 +728,13 @@ pub const DEFAULT_CACHE_SHARDS: usize = 16;
 /// bit-identically on every machine and on every thread budget; only
 /// the scheduling of the chunks follows the hardware.
 pub const PARALLEL_MC_CHUNKS: usize = 8;
+
+/// Lane width of the service's word engines and fusion sweeps: every
+/// propagation block carries 8 × 64 trials. Width never changes
+/// results — batch `b` draws from the stream keyed `(seed, b)`
+/// regardless of lane placement — so this is purely a throughput
+/// knob.
+pub const FUSION_LANES: usize = 8;
 
 impl QueryEngine {
     /// Creates an engine over a mediator with the default cache size.
@@ -648,6 +753,8 @@ impl QueryEngine {
             metrics: Arc::new(MetricsRegistry::new()),
             warmed: Mutex::new(HashSet::new()),
             warmed_remaining: AtomicU64::new(0),
+            flights: Mutex::new(HashMap::new()),
+            sweeps: Mutex::new(HashMap::new()),
         }
     }
 
@@ -705,26 +812,79 @@ impl QueryEngine {
         let result_key = (req.query.clone(), req.spec.cache_key());
         let coverage = req.coverage();
 
-        let (hit, cache_ns) = trace.time("cache", || {
-            self.results
-                .get(&result_key)
-                .filter(|ranked| ranked.covers(coverage))
-        });
-        self.metrics.histogram("stage_ns.cache").record(cache_ns);
-
-        if let Some(ranked) = hit {
-            self.note_warm_hit(&result_key);
-            let (mut response, serialize_ns) = trace.time("serialize", || {
-                Self::assemble(&ranked, req.top, true, true, start)
+        loop {
+            let (hit, cache_ns) = trace.time("cache", || {
+                self.results
+                    .get(&result_key)
+                    .filter(|ranked| ranked.covers(coverage))
             });
-            self.metrics
-                .histogram("stage_ns.serialize")
-                .record(serialize_ns);
-            self.finish_query(req, start, true);
-            response.trace = trace.into_spans();
-            return Ok(response);
-        }
+            self.metrics.histogram("stage_ns.cache").record(cache_ns);
 
+            if let Some(ranked) = hit {
+                self.note_warm_hit(&result_key);
+                let (mut response, serialize_ns) = trace.time("serialize", || {
+                    Self::assemble(&ranked, req.top, true, true, start)
+                });
+                self.metrics
+                    .histogram("stage_ns.serialize")
+                    .record(serialize_ns);
+                self.finish_query(req, start, true);
+                response.trace = trace.into_spans();
+                return Ok(response);
+            }
+
+            // Single-flight: one computation per result key at a time.
+            // A follower blocks on the resident leader, then loops to
+            // serve the entry the leader just cached; if the leader
+            // failed — or certified less coverage than this request
+            // needs — the re-check misses and this request becomes
+            // the next leader.
+            let role = {
+                let mut flights = self.flights.lock().expect("flight map");
+                match flights.get(&result_key) {
+                    Some(leader) => {
+                        self.metrics.counter("queries.coalesced").inc();
+                        Err(Arc::clone(leader))
+                    }
+                    None => {
+                        let flight = Arc::new(Flight::new());
+                        flights.insert(result_key.clone(), Arc::clone(&flight));
+                        Ok(flight)
+                    }
+                }
+            };
+            match role {
+                Err(leader) => {
+                    let waited = Instant::now();
+                    leader.wait();
+                    trace.span("coalesce", waited.elapsed().as_nanos() as u64);
+                }
+                Ok(flight) => {
+                    let out = self.compute(req, &result_key, coverage, &mut trace, start);
+                    self.flights.lock().expect("flight map").remove(&result_key);
+                    flight.signal();
+                    return out.map(|mut response| {
+                        response.trace = trace.into_spans();
+                        response
+                    });
+                }
+            }
+        }
+    }
+
+    /// The miss path of [`execute`](QueryEngine::execute), run under
+    /// single-flight leadership of `result_key`: integrate (through
+    /// the graph cache), rank — joining the query's fusion sweep for
+    /// Monte Carlo word jobs — record stage metrics, and publish to
+    /// the result cache.
+    fn compute(
+        &self,
+        req: &QueryRequest,
+        result_key: &(ExploratoryQuery, RankerSpec),
+        coverage: Coverage,
+        trace: &mut TraceRecorder,
+        start: Instant,
+    ) -> Result<QueryResponse, Error> {
         let (graph, graph_ns) = trace.time("graph", || -> Result<_, Error> {
             match self.graphs.get(&req.query) {
                 Some(hit) => Ok((hit, true)),
@@ -744,7 +904,8 @@ impl QueryEngine {
         // runs) — certify is measured inside the run, estimate is the
         // remainder, so the two always sum to the full scoring time.
         let rank_start = Instant::now();
-        let (ranked, certify_ns) = Self::rank(&integration, &req.query, &req.spec, coverage)?;
+        let (ranked, certify_ns) =
+            self.rank_resident(&integration, &req.query, &req.spec, coverage)?;
         let estimate_ns = (rank_start.elapsed().as_nanos() as u64).saturating_sub(certify_ns);
         trace.span("estimate", estimate_ns);
         trace.span("certify", certify_ns);
@@ -770,20 +931,19 @@ impl QueryEngine {
         let ranked = Arc::new(ranked);
         let ((), insert_ns) = trace.time("insert", || {
             self.results
-                .insert_if(result_key, ranked.clone(), |resident| {
+                .insert_if(result_key.clone(), ranked.clone(), |resident| {
                     ranked.serves_at_least(resident)
                 })
         });
         self.metrics.histogram("stage_ns.insert").record(insert_ns);
 
-        let (mut response, serialize_ns) = trace.time("serialize", || {
+        let (response, serialize_ns) = trace.time("serialize", || {
             Self::assemble(&ranked, req.top, cached_graph, false, start)
         });
         self.metrics
             .histogram("stage_ns.serialize")
             .record(serialize_ns);
         self.finish_query(req, start, false);
-        response.trace = trace.into_spans();
         Ok(response)
     }
 
@@ -827,6 +987,193 @@ impl QueryEngine {
         Ok(Self::assemble(&ranked, req.top, false, false, start))
     }
 
+    /// Scores one resident-world request. Stochastic word-estimator
+    /// jobs — fixed and adaptive alike — are routed through the
+    /// query's fusion sweep, sharing [`FUSION_LANES`]-wide
+    /// propagation blocks with any concurrent word job on the same
+    /// integration; everything else delegates to the stateless
+    /// [`rank`](Self::rank). Either path produces byte-identical
+    /// results: fusion only changes which sweep executes a batch,
+    /// never what the batch draws.
+    fn rank_resident(
+        &self,
+        integration: &IntegrationResult,
+        query: &ExploratoryQuery,
+        spec: &RankerSpec,
+        coverage: Coverage,
+    ) -> Result<(RankedResult, u64), Error> {
+        if spec.method != Method::TraversalMc || spec.resolved_estimator() != Estimator::Word {
+            return Self::rank(integration, query, spec, coverage);
+        }
+        let job = FusedJob {
+            seed: spec.effective_seed(query),
+            trials: match spec.trials {
+                Trials::Fixed(n) => n,
+                Trials::Adaptive(cfg) => cfg.max_trials,
+            },
+            policy: match spec.trials {
+                Trials::Fixed(_) => FusedPolicy::Fixed,
+                Trials::Adaptive(cfg) => FusedPolicy::Adaptive {
+                    epsilon: cfg.epsilon,
+                    delta: cfg.delta,
+                    top_k: match coverage {
+                        Coverage::TopK(k) => Some(k),
+                        Coverage::Full => None,
+                    },
+                },
+            },
+        };
+        let outcome = self.run_in_sweep(query, &integration.query, job)?;
+        Ok((
+            Self::ranked_result(integration, &outcome.scores, outcome.certificate),
+            outcome.poll_nanos,
+        ))
+    }
+
+    /// Executes one word job inside the query's fusion sweep: join the
+    /// open sweep if one is accepting, otherwise become the leader and
+    /// drive [`run_fused`] — coalescing any jobs that arrive while it
+    /// runs. A job queued into a sweep that closes before dealing it
+    /// simply retries (becoming the next leader); [`run_fused`]
+    /// guarantees every *dealt* job completes through the sink.
+    fn run_in_sweep(
+        &self,
+        query: &ExploratoryQuery,
+        q: &biorank_graph::QueryGraph,
+        job: FusedJob,
+    ) -> Result<FusedOutcome, Error> {
+        loop {
+            // Ok(sweep) = lead it; Err((sweep, Some(id))) = enqueued as
+            // joiner `id`; Err((sweep, None)) = sweep is draining, wait
+            // for it to close and retry. Map lock before state lock,
+            // always.
+            let role = {
+                let mut sweeps = self.sweeps.lock().expect("sweep map");
+                match sweeps.get(query) {
+                    Some(sweep) => {
+                        let mut state = sweep.state.lock().expect("sweep state");
+                        if state.accepting {
+                            let id = state.next_id;
+                            state.next_id += 1;
+                            state.queue.push((id, job));
+                            Err((Arc::clone(sweep), Some(id)))
+                        } else {
+                            Err((Arc::clone(sweep), None))
+                        }
+                    }
+                    None => {
+                        let sweep = Arc::new(Sweep::new());
+                        sweeps.insert(query.clone(), Arc::clone(&sweep));
+                        Ok(sweep)
+                    }
+                }
+            };
+            match role {
+                Ok(sweep) => return self.lead_sweep(query, q, &sweep, job),
+                Err((sweep, joined)) => {
+                    let mut state = sweep.state.lock().expect("sweep state");
+                    loop {
+                        if let Some(id) = joined {
+                            if let Some(res) = state.results.remove(&id) {
+                                return res.map_err(Error::Rank);
+                            }
+                        }
+                        if state.closed {
+                            break; // never dealt — retry from the top
+                        }
+                        state = sweep.cv.wait(state).expect("sweep state");
+                    }
+                }
+            }
+        }
+    }
+
+    /// Drives one fused sweep to completion: the leader's own job
+    /// starts it, the sweep's source callback admits queued joiners
+    /// before every block, and its sink hands each joiner's result
+    /// back through the sweep. Admission stops the moment the
+    /// leader's own job finishes (already-dealt joiners still run to
+    /// completion), and the sweep is closed and unpublished before
+    /// this returns.
+    fn lead_sweep(
+        &self,
+        query: &ExploratoryQuery,
+        q: &biorank_graph::QueryGraph,
+        sweep: &Arc<Sweep>,
+        job: FusedJob,
+    ) -> Result<FusedOutcome, Error> {
+        const LEADER_ID: u64 = 0;
+        let batches = self.metrics.counter("fusion.batches");
+        let lanes_used = self.metrics.counter("fusion.lanes_used");
+        let width = self.metrics.histogram("fusion_width");
+        let mut own = None;
+        run_fused::<FUSION_LANES>(
+            q,
+            vec![(LEADER_ID, job)],
+            || {
+                let mut state = sweep.state.lock().expect("sweep state");
+                if state.accepting {
+                    std::mem::take(&mut state.queue)
+                } else {
+                    Vec::new()
+                }
+            },
+            |id, res| {
+                if id == LEADER_ID {
+                    sweep.state.lock().expect("sweep state").accepting = false;
+                    own = Some(res);
+                } else {
+                    let mut state = sweep.state.lock().expect("sweep state");
+                    state.results.insert(id, res);
+                    drop(state);
+                    sweep.cv.notify_all();
+                }
+            },
+            |stats| {
+                batches.inc();
+                lanes_used.add(u64::from(stats.lanes));
+                width.record(u64::from(stats.jobs));
+            },
+        );
+        {
+            let mut sweeps = self.sweeps.lock().expect("sweep map");
+            if sweeps.get(query).is_some_and(|s| Arc::ptr_eq(s, sweep)) {
+                sweeps.remove(query);
+            }
+            let mut state = sweep.state.lock().expect("sweep state");
+            state.accepting = false;
+            state.closed = true;
+        }
+        sweep.cv.notify_all();
+        own.expect("leader's job completes before its sweep returns")
+            .map_err(Error::Rank)
+    }
+
+    /// Turns a score vector (plus optional certificate) into the
+    /// cached [`RankedResult`] form, resolving answer keys and labels
+    /// against the integration.
+    fn ranked_result(
+        integration: &IntegrationResult,
+        scores: &Scores,
+        certificate: Option<Certificate>,
+    ) -> RankedResult {
+        let ranking = Ranking::rank(scores.answers(&integration.query));
+        RankedResult {
+            answers: ranking
+                .entries()
+                .iter()
+                .map(|e| RankedAnswer {
+                    key: integration.answer_key(e.node).unwrap_or("?").to_string(),
+                    label: integration.label(e.node).to_string(),
+                    score: e.score,
+                    rank_lo: e.rank_lo,
+                    rank_hi: e.rank_hi,
+                })
+                .collect(),
+            certificate,
+        }
+    }
+
     /// Scores and ranks one request, returning the result plus the
     /// nanoseconds its adaptive runner spent in certification polls
     /// (zero for fixed and deterministic executions).
@@ -867,29 +1214,17 @@ impl QueryEngine {
                         .score_chunked(q, PARALLEL_MC_CHUNKS, threads.min(PARALLEL_MC_CHUNKS))?,
                     // Word: every thread split is bit-identical, so the
                     // hardware budget needs no pinning at all.
-                    Estimator::Word => WordMc::new(trials, spec.effective_seed(query))
-                        .score_parallel(q, threads)?,
+                    Estimator::Word => {
+                        WordMc::<FUSION_LANES>::wide(trials, spec.effective_seed(query))
+                            .score_parallel(q, threads)?
+                    }
                 };
                 (scores, None)
             }
             _ => (spec.build(query).score(q)?, None),
         };
-        let ranking = Ranking::rank(scores.answers(q));
         Ok((
-            RankedResult {
-                answers: ranking
-                    .entries()
-                    .iter()
-                    .map(|e| RankedAnswer {
-                        key: integration.answer_key(e.node).unwrap_or("?").to_string(),
-                        label: integration.label(e.node).to_string(),
-                        score: e.score,
-                        rank_lo: e.rank_lo,
-                        rank_hi: e.rank_hi,
-                    })
-                    .collect(),
-                certificate,
-            },
+            Self::ranked_result(integration, &scores, certificate),
             certify_nanos,
         ))
     }
@@ -1067,7 +1402,12 @@ pub fn run_adaptive(
         Method::Reliability => run(ReducedMc::new(cfg.max_trials, seed), cfg, top_k, q),
         Method::TraversalMc => match estimator {
             Estimator::Traversal => run(TraversalMc::new(cfg.max_trials, seed), cfg, top_k, q),
-            Estimator::Word => run(WordMc::new(cfg.max_trials, seed), cfg, top_k, q),
+            Estimator::Word => run(
+                WordMc::<FUSION_LANES>::wide(cfg.max_trials, seed),
+                cfg,
+                top_k,
+                q,
+            ),
         },
         // Deterministic methods have no trials to adapt; callers
         // filter on `Method::is_stochastic` first.

@@ -83,7 +83,7 @@ pub use cache::{CacheStats, ShardedLru};
 pub use engine::{
     run_adaptive, AdaptiveConfig, Coverage, EngineStats, Estimator, Method, QueryEngine,
     QueryRequest, QueryResponse, RankedAnswer, RankedResult, RankerSpec, Trials,
-    DEFAULT_CACHE_CAPACITY, PARALLEL_MC_CHUNKS,
+    DEFAULT_CACHE_CAPACITY, FUSION_LANES, PARALLEL_MC_CHUNKS,
 };
 pub use persist::{export_snapshot, import_snapshot, snapshot_spec};
 pub use pool::WorkerPool;

@@ -14,6 +14,15 @@
 //! the same connection. Admin commands are a per-connection barrier: queries
 //! pipelined before a `world.swap` finish before it executes, and
 //! queries after it see the new world.
+//!
+//! **Fusion is invisible on the wire.** Concurrent identical queries
+//! may be answered by one computation (single-flight), and concurrent
+//! word-estimator Monte Carlo queries on the same exploratory query
+//! may share fused propagation sweeps — but there is no request field
+//! to ask for either, no response field that reveals them, and the
+//! response bytes are identical to an unfused execution. Only the
+//! `metrics` admin op shows the coalescing (`queries.coalesced`,
+//! `fusion.batches`, `fusion.lanes_used`, `fusion_width`).
 
 use std::collections::BTreeMap;
 use std::io::{BufRead, BufReader, BufWriter, Write};

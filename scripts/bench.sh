@@ -20,9 +20,14 @@ cd "$(dirname "$0")/.."
 
 mode="${1:-quick}"
 commit=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
-# A dirty tree is not the commit it descends from: mark it, so the
-# trajectory log never attributes new code's timings to the parent.
-if [ -n "$(git status --porcelain 2>/dev/null)" ]; then
+# A dirty *tracked* tree is not the commit it descends from: mark it,
+# so the trajectory log never attributes new code's timings to the
+# parent. Untracked files must not taint the label — they don't change
+# what was built, and counting them (the old behavior) stamped "-dirty"
+# on clean checkouts that merely carried bench artifacts or editor
+# droppings. `git status --porcelain` also refreshes the stat cache,
+# so stale mtimes alone never read as modifications.
+if [ -n "$(git status --porcelain --untracked-files=no 2>/dev/null)" ]; then
     commit="$commit-dirty"
 fi
 out="BENCH_mc.json"
@@ -89,5 +94,13 @@ fi
 if [ "$mode" = quick ]; then
     echo "recorded $appended result line(s) in $out"
 else
-    echo "smoke OK: $appended row(s) appended through the temp log"
+    # The fused bench family is part of the tracked perf surface: a
+    # smoke run that silently dropped it would leave multi-query
+    # sweeps unmeasured.
+    fused=$(grep -c "^{\"commit\":\"$commit\",\"bench\":\"fused/" "$target" || true)
+    if [ "$fused" -lt 1 ]; then
+        echo "error: smoke run recorded no fused/* rows" >&2
+        exit 1
+    fi
+    echo "smoke OK: $appended row(s) appended through the temp log ($fused fused)"
 fi

@@ -62,9 +62,53 @@ if [ -z "$addr" ]; then
     cat "$serve_log" >&2
     exit 1
 fi
-./target/release/biorank query GALT --addr "$addr" --method mc --top 5 --certify-top |
-    tee /dev/stderr |
-    grep -q "top-5 + boundary certified"
+# Capture, then match: `grep -q` exits on first match and would close
+# the pipe while the client is still printing answer rows, panicking
+# it with a broken stdout.
+certify_out="$(./target/release/biorank query GALT --addr "$addr" --method mc --top 5 --certify-top)"
+echo "$certify_out" >&2
+echo "$certify_out" | grep -q "top-5 + boundary certified"
+kill "$serve_pid" 2>/dev/null || true
+wait "$serve_pid" 2>/dev/null || true
+
+# Concurrency collapse smoke through the real binary: concurrent
+# identical word-estimator queries must coalesce onto one flight
+# (queries.coalesced > 0 in `admin metrics`) and concurrent distinct
+# ones may share fused sweeps — while every client still gets its
+# answer. The trial count is sized so the first flight is still
+# computing when the later clients connect.
+echo "==> biorank fusion/coalescing wire smoke"
+: >"$serve_log"
+./target/release/biorank serve --addr 127.0.0.1:0 --workers 4 >"$serve_log" 2>&1 &
+serve_pid=$!
+addr=""
+for _ in $(seq 1 240); do
+    addr=$(sed -n 's/^biorank-serve listening on \([0-9.:]*\) .*/\1/p' "$serve_log")
+    [ -n "$addr" ] && break
+    sleep 0.5
+done
+if [ -z "$addr" ]; then
+    echo "fusion smoke serve never reported its address" >&2
+    cat "$serve_log" >&2
+    exit 1
+fi
+query_pids=()
+for _ in 1 2 3 4; do
+    ./target/release/biorank query GALT --addr "$addr" --method mc \
+        --estimator word --trials 8000000 --top 3 >/dev/null &
+    query_pids+=($!)
+done
+for seed in 5 6; do
+    ./target/release/biorank query GALT --addr "$addr" --method mc \
+        --estimator word --trials 8000000 --seed "$seed" --top 3 >/dev/null &
+    query_pids+=($!)
+done
+for pid in "${query_pids[@]}"; do
+    wait "$pid"
+done
+metrics_out="$(./target/release/biorank admin metrics --addr "$addr")"
+echo "$metrics_out" >&2
+echo "$metrics_out" | grep -Eq "queries\.coalesced +[1-9]"
 kill "$serve_pid" 2>/dev/null || true
 wait "$serve_pid" 2>/dev/null || true
 

@@ -160,6 +160,7 @@ pub mod rngs {
     }
 
     impl SeedableRng for StdRng {
+        #[inline]
         fn seed_from_u64(seed: u64) -> Self {
             let mut sm = seed;
             let s = [
@@ -173,6 +174,7 @@ pub mod rngs {
     }
 
     impl RngCore for StdRng {
+        #[inline]
         fn next_u64(&mut self) -> u64 {
             let result = self.s[0]
                 .wrapping_add(self.s[3])
