@@ -20,8 +20,9 @@ use biorank_bench::abcc8_case;
 use biorank_graph::generate::{self, WorkflowParams};
 use biorank_graph::QueryGraph;
 use biorank_rank::{
-    run_fused, AdaptiveRunner, Estimator, FusedJob, FusedPolicy, NaiveMc, Ranker, TraversalMc,
-    WordMc,
+    plan, run_fused, AdaptiveRunner, ClosedReliability, CostModel, Estimator, FusedJob,
+    FusedPolicy, GraphFeatures, NaiveMc, PlanFeatures, Ranker, ReducedMc, Strategy, TraversalMc,
+    TrialsPolicy, WordMc,
 };
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
@@ -159,6 +160,68 @@ fn word_vs_traversal(c: &mut Criterion) {
             None,
             q,
         );
+    }
+
+    // Cost-based planner rows: `planner_auto_*` scores the seed cost
+    // model each iteration and executes whatever strategy it picks,
+    // next to a forced row for each of the four strategies on the
+    // same graph. Acceptance: auto lands within 10% of the best
+    // forced row and never below the worst. Features are extracted
+    // once per graph — mirroring the service's features cache — so
+    // the row prices the per-query planning decision, not the
+    // one-time reduction.
+    for (label, q) in [
+        ("abcc8", abcc8),
+        ("workflow", &workflow),
+        ("workflow_wide", &workflow_wide),
+    ] {
+        let features = PlanFeatures {
+            graph: GraphFeatures::extract(q),
+            top_k: None,
+            trials: TrialsPolicy::Fixed(10_000),
+        };
+        let chosen = plan(&features, &CostModel::default()).strategy;
+        group.bench_function(&format!("{label}/planner_auto_10000"), |b| {
+            b.iter(|| {
+                let p = plan(black_box(&features), &CostModel::default());
+                match p.strategy {
+                    Strategy::Exact => ClosedReliability::default().score(black_box(q)),
+                    Strategy::ReducedMc => ReducedMc::new(10_000, 1).score(black_box(q)),
+                    Strategy::WordMc => WordMc::<LANES>::wide(10_000, 1).score(black_box(q)),
+                    Strategy::TraversalMc => TraversalMc::new(10_000, 1).score(black_box(q)),
+                }
+                .expect("planned scores")
+            });
+            b.metric("strategy", chosen.index() as f64);
+        });
+        group.bench_function(&format!("{label}/planner_forced_exact"), |b| {
+            b.iter(|| {
+                ClosedReliability::default()
+                    .score(black_box(q))
+                    .expect("scores")
+            })
+        });
+        group.bench_function(&format!("{label}/planner_forced_reduced_10000"), |b| {
+            b.iter(|| {
+                ReducedMc::new(10_000, 1)
+                    .score(black_box(q))
+                    .expect("scores")
+            })
+        });
+        group.bench_function(&format!("{label}/planner_forced_word_10000"), |b| {
+            b.iter(|| {
+                WordMc::<LANES>::wide(10_000, 1)
+                    .score(black_box(q))
+                    .expect("scores")
+            })
+        });
+        group.bench_function(&format!("{label}/planner_forced_traversal_10000"), |b| {
+            b.iter(|| {
+                TraversalMc::new(10_000, 1)
+                    .score(black_box(q))
+                    .expect("scores")
+            })
+        });
     }
     group.finish();
 }

@@ -10,7 +10,7 @@
 //! biorank admin <CMD> [NAME] [options]  drive a running server's world registry
 //!
 //! query options:
-//!   --method rel|mc|prop|diff|inedge|pathc   ranking semantics (default rel)
+//!   --method rel|mc|exact|prop|diff|inedge|pathc   ranking semantics (default rel)
 //!   --top N                               rows to print (default 10)
 //!   --extended                            use the full 11-source federation
 //!   --seed S                              world seed (default paper seed)
@@ -29,10 +29,18 @@
 //!                                         boundary gap (implies the adaptive
 //!                                         policy; rel and mc methods)
 //!   --parallel                            intra-query parallel MC (mc method)
-//!   --estimator traversal|word            MC engine for the mc method:
-//!                                         per-trial DFS traversal, or
+//!   --estimator traversal|word|auto       MC engine for the mc method:
+//!                                         per-trial DFS traversal,
 //!                                         64-trials-per-word bitmask batches
-//!                                         (the fast path on DAG query graphs)
+//!                                         (the fast path on DAG query graphs),
+//!                                         or auto — the cost-based planner
+//!                                         picks the cheapest strategy (exact /
+//!                                         reduced / word / traversal) per query
+//!   --explain                             print the planner's chosen strategy,
+//!                                         predicted vs actual time, and the
+//!                                         feature vector it scored (implies
+//!                                         --estimator auto unless one was
+//!                                         given explicitly)
 //!   --addr HOST:PORT                      send the query to a running
 //!                                         `biorank serve` instead of
 //!                                         executing locally
@@ -47,10 +55,11 @@
 //!   --cache N                             per-layer LRU capacity (default 512)
 //!   --worlds N                            resident-world budget (default 4)
 //!   --extended / --seed S                 default-world selection, as above
-//!   --estimator traversal|word            default MC engine for mc requests
+//!   --estimator traversal|word|auto       default MC engine for mc requests
 //!                                         that don't pick one themselves
-//!                                         (default word; pass traversal for
-//!                                         the paper's reference engine)
+//!                                         (default auto — the cost-based
+//!                                         planner; pass word or traversal to
+//!                                         pin one engine server-wide)
 //!   --adaptive-eps/--adaptive-delta/--adaptive-max
 //!                                         tune the adaptive house policy for
 //!                                         requests that omit the trials field
@@ -84,7 +93,9 @@
 //!   checkpoint                            snapshot every resident world,
 //!                                         rewrite the manifest, truncate the
 //!                                         WAL (log compaction)
-//!   world.list                                            show the registry
+//!   world.list                            show the registry, including each
+//!                                         world's planner strategy mix
+//!                                         (exact/reduced/word/traversal picks)
 //!   stats                                                 per-world cache counters
 //!   metrics [--reset]                     full telemetry snapshot: service and
 //!                                         per-world counters/histograms plus
@@ -96,12 +107,15 @@ use std::process::ExitCode;
 use std::sync::Arc;
 
 use biorank::prelude::*;
-use biorank::rank::{explain::explain, Certificate, CertificateMode, TopK};
-use biorank::schema::biorank_schema_full;
+use biorank::rank::{
+    explain::explain, plan, Certificate, CertificateMode, ClosedReliability, CostModel,
+    GraphFeatures, Plan, PlanFeatures, Strategy, TopK, TrialsPolicy,
+};
+use biorank::schema::{biorank_schema_full, ComposeHints};
 use biorank::service::{
-    AdaptiveConfig, Client, Estimator, Method, MetricsSnapshot, QueryRequest, RankerSpec,
-    ServeOptions, Server, TenancyError, Trials, WorldManager, WorldSpec, WorldStore,
-    DEFAULT_SLOW_QUERY_MICROS, DEFAULT_SWAP_WARM, DEFAULT_WORLD, DEFAULT_WORLD_BUDGET,
+    query_schema_reducible, AdaptiveConfig, Client, Estimator, Method, MetricsSnapshot,
+    QueryRequest, RankerSpec, ServeOptions, Server, TenancyError, Trials, WorldManager, WorldSpec,
+    WorldStore, DEFAULT_SLOW_QUERY_MICROS, DEFAULT_SWAP_WARM, DEFAULT_WORLD, DEFAULT_WORLD_BUDGET,
 };
 
 struct Options {
@@ -119,6 +133,9 @@ struct Options {
     certify_top: bool,
     parallel: bool,
     estimator: Option<Estimator>,
+    /// `query --explain`: print the planner's chosen strategy,
+    /// predicted vs actual time, and the scored feature vector.
+    explain: bool,
     addr: Option<String>,
     workers: usize,
     cache: usize,
@@ -166,6 +183,17 @@ impl Options {
         }
     }
 
+    /// The estimator a `query` asks for: `--explain` wants a plan to
+    /// print, so it implies the planner unless an engine was pinned
+    /// explicitly.
+    fn effective_estimator(&self) -> Option<Estimator> {
+        if self.explain && self.estimator.is_none() {
+            Some(Estimator::Auto)
+        } else {
+            self.estimator
+        }
+    }
+
     /// The house trial policy a `serve` installs for requests that
     /// omit `trials`: adaptive by default, fixed only when the
     /// operator pinned an explicit `--trials N` (without any adaptive
@@ -193,6 +221,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         adaptive_max: None,
         parallel: false,
         estimator: None,
+        explain: false,
         addr: None,
         workers: 4,
         cache: biorank::service::DEFAULT_CACHE_CAPACITY,
@@ -302,10 +331,10 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--estimator" => {
                 i += 1;
                 let name = args.get(i).ok_or("--estimator needs a value")?;
-                opts.estimator = Some(
-                    Estimator::parse(name)
-                        .ok_or_else(|| format!("unknown estimator {name:?} (traversal|word)"))?,
-                );
+                opts.estimator =
+                    Some(Estimator::parse(name).ok_or_else(|| {
+                        format!("unknown estimator {name:?} (traversal|word|auto)")
+                    })?);
             }
             "--data-dir" => {
                 i += 1;
@@ -319,6 +348,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     .ok_or("--slow-query-micros needs a number")?;
             }
             "--certify-top" => opts.certify_top = true,
+            "--explain" => opts.explain = true,
             "--parallel" => opts.parallel = true,
             "--extended" => opts.extended = true,
             "--background" => opts.background = true,
@@ -334,19 +364,20 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     Ok(opts)
 }
 
-fn build(opts: &Options) -> (World, Mediator) {
+fn build(opts: &Options) -> (World, Mediator, ComposeHints) {
     let world = World::generate(WorldParams {
         seed: opts.seed,
         extended: opts.extended,
         ..WorldParams::default()
     });
-    let schema = if opts.extended {
-        biorank_schema_full().schema
+    let bundle = if opts.extended {
+        biorank_schema_full()
     } else {
-        biorank_schema_with_ontology().schema
+        biorank_schema_with_ontology()
     };
-    let mediator = Mediator::new(schema, world.registry());
-    (world, mediator)
+    let hints = bundle.hints.clone();
+    let mediator = Mediator::new(bundle.schema, world.registry());
+    (world, mediator, hints)
 }
 
 fn ranker_for(
@@ -360,6 +391,8 @@ fn ranker_for(
             Box::new(biorank::rank::WordMc::new(trials, 42))
         }
         "mc" | "relmc" => Box::new(TraversalMc::new(trials, 42)),
+        // The planner's exact strategy (trials/seed do not apply).
+        "exact" | "closed" => Box::new(ClosedReliability::default()),
         "prop" | "propagation" => Box::new(Propagation::auto()),
         "diff" | "diffusion" => Box::new(Diffusion::auto()),
         "inedge" => Box::new(InEdge),
@@ -369,7 +402,7 @@ fn ranker_for(
 }
 
 fn cmd_proteins(opts: &Options) -> Result<(), String> {
-    let (world, _) = build(opts);
+    let (world, _, _) = build(opts);
     println!("{:<10} {:<14} {:>10}", "Protein", "Kind", "Candidates");
     for p in &world.profiles {
         let kind = match p.kind {
@@ -393,8 +426,47 @@ fn remote_spec(opts: &Options) -> Result<RankerSpec, String> {
         trials: opts.trials_policy(),
         seed: RankerSpec::DEFAULT_SEED,
         parallel: opts.parallel,
-        estimator: opts.estimator,
+        estimator: opts.effective_estimator(),
     })
+}
+
+/// The human-readable `--explain` rendering of one plan echo, shared
+/// by the local and remote query paths.
+fn print_plan(plan: &Plan, actual_ns: u64) {
+    println!(
+        "  plan: {}{} (predicted {} ns, actual {} ns)",
+        plan.strategy.wire_name(),
+        if plan.fallback {
+            " [fallback: a cheaper strategy was ineligible]"
+        } else {
+            ""
+        },
+        plan.predicted_ns,
+        actual_ns
+    );
+    let f = &plan.features;
+    let trials = match f.trials {
+        TrialsPolicy::Fixed(n) => format!("{n} fixed trials"),
+        TrialsPolicy::Adaptive { max_trials } => format!("adaptive trials ≤ {max_trials}"),
+    };
+    println!(
+        "    features: {} nodes, {} edges, {} answers, {}, reduced {}/{}, schema {}, {}{}",
+        f.graph.nodes,
+        f.graph.edges,
+        f.graph.answers,
+        if f.graph.acyclic { "acyclic" } else { "cyclic" },
+        f.graph.reduced_nodes,
+        f.graph.reduced_edges,
+        if f.graph.schema_reducible {
+            "reducible"
+        } else {
+            "irreducible"
+        },
+        trials,
+        f.top_k
+            .map(|k| format!(", top-{k} certified"))
+            .unwrap_or_default()
+    );
 }
 
 /// One human-readable line for an adaptive run's stop certificate.
@@ -451,6 +523,14 @@ fn cmd_query_remote(opts: &Options, addr: &str) -> Result<(), String> {
     if let Some(cert) = &response.certificate {
         println!("{}", certificate_line(cert));
     }
+    if opts.explain {
+        match &response.plan {
+            Some(plan) => print_plan(plan, response.micros.saturating_mul(1_000)),
+            None => println!(
+                "  plan: none (an explicit estimator or non-MC method routes around the planner)"
+            ),
+        }
+    }
     if !response.trace.is_empty() {
         let total: u64 = response.trace.iter().map(|s| s.nanos).sum();
         println!(
@@ -504,10 +584,10 @@ fn cmd_serve(opts: &Options) -> Result<(), String> {
         Arc::clone(&manager),
         ServeOptions {
             workers: opts.workers,
-            // Word-parallel + adaptive trials are the soaked serving
-            // defaults; `--estimator traversal` / an explicit
+            // Cost-based planning + adaptive trials are the serving
+            // defaults; `--estimator word|traversal` / an explicit
             // `--trials N` opt the house policy back out.
-            default_estimator: opts.estimator.unwrap_or(Estimator::Word),
+            default_estimator: opts.estimator.unwrap_or(Estimator::Auto),
             default_trials: opts.serve_trials_policy(),
             slow_query_micros: opts.slow_query_micros,
         },
@@ -680,19 +760,35 @@ fn cmd_admin(opts: &Options) -> Result<(), String> {
         "world.list" => {
             let worlds = client.world_list().map_err(|e| e.to_string())?;
             println!(
-                "{:<12} {:<8} {:>4} {:>18} {:>9} {:>7} {:>16}",
-                "World", "State", "Gen", "Seed", "Federation", "Cache", "SpecHash"
+                "{:<12} {:<8} {:>4} {:>18} {:>9} {:>7} {:>16} {:>18}",
+                "World",
+                "State",
+                "Gen",
+                "Seed",
+                "Federation",
+                "Cache",
+                "SpecHash",
+                "Planned(e/r/w/t)"
             );
             for w in worlds {
+                // The per-world planner strategy mix, in
+                // exact/reduced/word/traversal order.
+                let planned = w
+                    .planner_chosen
+                    .iter()
+                    .map(u64::to_string)
+                    .collect::<Vec<_>>()
+                    .join("/");
                 println!(
-                    "{:<12} {:<8} {:>4} {:>#18x} {:>9} {:>7} {:>16}",
+                    "{:<12} {:<8} {:>4} {:>#18x} {:>9} {:>7} {:>16} {:>18}",
                     w.name,
                     w.state.wire_name(),
                     w.generation,
                     w.spec.seed,
                     if w.spec.extended { "extended" } else { "fig1" },
                     w.spec.cache_capacity,
-                    format!("{:016x}", w.spec.spec_hash())
+                    format!("{:016x}", w.spec.spec_hash()),
+                    planned
                 );
             }
         }
@@ -784,32 +880,69 @@ fn cmd_query(opts: &Options) -> Result<(), String> {
         .positional
         .first()
         .ok_or("usage: biorank query <PROTEIN>")?;
-    let (world, mediator) = build(opts);
+    let (world, mediator, hints) = build(opts);
+    let query = ExploratoryQuery::protein_functions(protein);
     let integrate_start = std::time::Instant::now();
-    let result = mediator
-        .execute(&ExploratoryQuery::protein_functions(protein))
-        .map_err(|e| e.to_string())?;
+    let result = mediator.execute(&query).map_err(|e| e.to_string())?;
     let integrate_ns = integrate_start.elapsed().as_nanos() as u64;
-    let score_start = std::time::Instant::now();
     let q = &result.query;
-    let ranker = ranker_for(&opts.method, opts.trials, opts.estimator)?;
+    // `--estimator auto` (which `--explain` implies unless an engine
+    // was pinned): run the cost-based planner over the integrated
+    // graph and execute the chosen strategy — the same features, model
+    // seed, and strategy → method mapping the service's auto path
+    // uses, so a local plan matches what a fresh server would pick.
+    let mut method = opts.method.clone();
+    let mut estimator = opts.effective_estimator();
+    let mut chosen_plan = None;
+    if estimator == Some(Estimator::Auto) {
+        if Method::parse(&method).is_some_and(|m| m.is_plannable()) {
+            let graph = GraphFeatures::extract(q).with_schema_reducible(query_schema_reducible(
+                mediator.schema(),
+                &hints,
+                &query,
+            ));
+            let features = PlanFeatures {
+                graph,
+                top_k: opts.certify_top.then(|| opts.top as u32),
+                trials: match opts.trials_policy() {
+                    Trials::Fixed(n) => TrialsPolicy::Fixed(n),
+                    Trials::Adaptive(cfg) => TrialsPolicy::Adaptive {
+                        max_trials: cfg.max_trials,
+                    },
+                },
+            };
+            let p = plan(&features, &CostModel::default());
+            (method, estimator) = match p.strategy {
+                Strategy::Exact => ("exact".to_string(), None),
+                Strategy::ReducedMc => ("rel".to_string(), None),
+                Strategy::WordMc => ("mc".to_string(), Some(Estimator::Word)),
+                Strategy::TraversalMc => ("mc".to_string(), Some(Estimator::Traversal)),
+            };
+            chosen_plan = Some(p);
+        } else {
+            // Non-plannable methods ignore the estimator everywhere.
+            estimator = None;
+        }
+    }
+    let score_start = std::time::Instant::now();
+    let ranker = ranker_for(&method, opts.trials, estimator)?;
     let mut certificate = None;
-    let scores = if let Trials::Adaptive(cfg) = opts.trials_policy() {
+    let scores = if matches!(method.as_str(), "exact" | "closed") {
+        // The closed solution has no trials to adapt or parallelize.
+        ranker.score(q).map_err(|e| e.to_string())?
+    } else if let Trials::Adaptive(cfg) = opts.trials_policy() {
         // Adaptive local execution: the same `(method, estimator) →
         // engine` dispatch the service uses (`run_adaptive`), with the
         // local path's fixed seed 42.
-        let method = Method::parse(&opts.method)
+        let method = Method::parse(&method)
             .filter(Method::is_stochastic)
             .ok_or_else(|| {
-                format!(
-                    "--adaptive-* applies to Monte Carlo methods (rel, mc), not {:?}",
-                    opts.method
-                )
+                format!("--adaptive-* applies to Monte Carlo methods (rel, mc), not {method:?}")
             })?;
         let top_k = opts.certify_top.then_some(opts.top);
         let outcome = biorank::service::run_adaptive(
             method,
-            opts.estimator.unwrap_or_default(),
+            estimator.unwrap_or_default(),
             cfg,
             42,
             top_k,
@@ -818,11 +951,11 @@ fn cmd_query(opts: &Options) -> Result<(), String> {
         .map_err(|e| e.to_string())?;
         certificate = Some(outcome.certificate);
         outcome.scores
-    } else if opts.parallel && matches!(opts.method.as_str(), "mc" | "relmc") {
+    } else if opts.parallel && matches!(method.as_str(), "mc" | "relmc") {
         let threads = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1);
-        if opts.estimator == Some(Estimator::Word) {
+        if estimator == Some(Estimator::Word) {
             biorank::rank::WordMc::new(opts.trials, 42)
                 .score_parallel(q, threads)
                 .map_err(|e| e.to_string())?
@@ -847,6 +980,14 @@ fn cmd_query(opts: &Options) -> Result<(), String> {
     );
     if let Some(cert) = &certificate {
         println!("{}", certificate_line(cert));
+    }
+    if opts.explain {
+        match &chosen_plan {
+            Some(p) => print_plan(p, score_ns),
+            None => println!(
+                "  plan: none (an explicit estimator or non-MC method routes around the planner)"
+            ),
+        }
     }
     if opts.trace {
         // Local runs have no server-side spans; measure the three
@@ -888,7 +1029,7 @@ fn cmd_explain(opts: &Options) -> Result<(), String> {
         .positional
         .get(1)
         .ok_or("usage: biorank explain <PROTEIN> <GO:xxxxxxx>")?;
-    let (_, mediator) = build(opts);
+    let (_, mediator, _) = build(opts);
     let result = mediator
         .execute(&ExploratoryQuery::protein_functions(protein))
         .map_err(|e| e.to_string())?;
@@ -933,7 +1074,7 @@ fn cmd_topk(opts: &Options) -> Result<(), String> {
         .get(1)
         .and_then(|v| v.parse().ok())
         .ok_or("usage: biorank topk <PROTEIN> <K>")?;
-    let (_, mediator) = build(opts);
+    let (_, mediator, _) = build(opts);
     let result = mediator
         .execute(&ExploratoryQuery::protein_functions(protein))
         .map_err(|e| e.to_string())?;

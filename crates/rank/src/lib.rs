@@ -50,8 +50,10 @@ mod deterministic;
 mod diffusion;
 pub mod estimator;
 pub mod explain;
+pub mod features;
 pub mod fused;
 mod mc;
+pub mod planner;
 mod propagation;
 mod reliability;
 mod score;
@@ -63,8 +65,10 @@ pub use adaptive::{AdaptiveOutcome, AdaptiveRunner, Certificate, CertificateMode
 pub use deterministic::{InEdge, PathCount};
 pub use diffusion::{Diffusion, InnerSolver};
 pub use estimator::{BatchStats, Estimator, BATCH_TRIALS};
+pub use features::{GraphFeatures, PlanFeatures, TrialsPolicy};
 pub use fused::{run_fused, FusedBlockStats, FusedJob, FusedOutcome, FusedPolicy};
 pub use mc::{McState, NaiveMc, NaiveState, TraversalMc};
+pub use planner::{plan, CalibrationInput, CostModel, Plan, Strategy, StrategyTelemetry};
 pub use propagation::Propagation;
 pub use reliability::{ClosedReliability, ReducedMc, SolveMode};
 pub use score::{Ranker, Scores};

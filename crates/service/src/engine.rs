@@ -42,10 +42,12 @@ use std::time::Instant;
 use biorank_mediator::{ExploratoryQuery, IntegrationResult, Mediator};
 use biorank_obs::{MetricsRegistry, MetricsSnapshot, TraceRecorder, TraceSpan};
 use biorank_rank::{
-    run_fused, AdaptiveRunner, Certificate, CertificateMode, Diffusion, FusedJob, FusedOutcome,
-    FusedPolicy, InEdge, PathCount, Propagation, Ranker, Ranking, ReducedMc, Scores, TraversalMc,
-    WordMc,
+    run_fused, AdaptiveRunner, CalibrationInput, Certificate, CertificateMode, ClosedReliability,
+    CostModel, Diffusion, FusedJob, FusedOutcome, FusedPolicy, GraphFeatures, InEdge, PathCount,
+    Plan, PlanFeatures, Propagation, Ranker, Ranking, ReducedMc, Scores, Strategy,
+    StrategyTelemetry, TraversalMc, TrialsPolicy, WordMc,
 };
+use biorank_schema::{check_query_reducible, ComposeHints, Schema};
 
 use crate::cache::{CacheStats, ShardedLru};
 use crate::Error;
@@ -67,6 +69,13 @@ pub enum Method {
     InEdge,
     /// Deterministic s→t path count.
     PathCount,
+    /// Per-answer closed-form reliability
+    /// ([`biorank_rank::ClosedReliability`], the paper's "C"
+    /// strategy, §3.1(3)): exact where the reduction theory applies,
+    /// with deterministic factoring / fixed-seed sampling backstops
+    /// elsewhere. Deterministic with respect to the request spec —
+    /// `trials`/`seed` are ignored.
+    Exact,
 }
 
 impl Method {
@@ -80,6 +89,7 @@ impl Method {
             "diff" | "diffusion" => Method::Diffusion,
             "inedge" => Method::InEdge,
             "pathc" | "pathcount" => Method::PathCount,
+            "exact" | "closed" => Method::Exact,
             _ => return None,
         })
     }
@@ -93,12 +103,23 @@ impl Method {
             Method::Diffusion => "diff",
             Method::InEdge => "inedge",
             Method::PathCount => "pathc",
+            Method::Exact => "exact",
         }
     }
 
     /// `true` for the Monte Carlo methods whose output depends on
-    /// `(trials, seed)`.
+    /// `(trials, seed)`. [`Method::Exact`] is deliberately *not* one
+    /// of them: its backstops are seeded by fixed internal constants,
+    /// so its output is a function of the query alone.
     pub fn is_stochastic(&self) -> bool {
+        matches!(self, Method::Reliability | Method::TraversalMc)
+    }
+
+    /// `true` for the methods whose execution strategy the cost-based
+    /// planner may choose (`estimator: "auto"`): the reliability
+    /// semantics the paper's Fig. 8a compares across exact, reduced,
+    /// and sampled evaluations.
+    pub fn is_plannable(&self) -> bool {
         matches!(self, Method::Reliability | Method::TraversalMc)
     }
 }
@@ -121,6 +142,14 @@ pub enum Estimator {
     /// path for DAG query graphs — which is all of them in the
     /// paper's workload.
     Word,
+    /// Defer the choice to the cost-based planner
+    /// ([`biorank_rank::planner`]). The engine resolves `auto` into a
+    /// concrete strategy — possibly re-routing the method to the
+    /// closed solution or reduction + Monte Carlo — *before* any
+    /// cache key is formed, so a planned request shares cache entries
+    /// with (and is byte-identical to) an explicit request for the
+    /// chosen strategy. The `serve` default.
+    Auto,
 }
 
 impl Estimator {
@@ -129,6 +158,7 @@ impl Estimator {
         Some(match name.to_ascii_lowercase().as_str() {
             "traversal" | "trav" => Estimator::Traversal,
             "word" | "wordmc" => Estimator::Word,
+            "auto" => Estimator::Auto,
             _ => return None,
         })
     }
@@ -138,6 +168,7 @@ impl Estimator {
         match self {
             Estimator::Traversal => "traversal",
             Estimator::Word => "word",
+            Estimator::Auto => "auto",
         }
     }
 }
@@ -342,13 +373,17 @@ impl RankerSpec {
         match self.method {
             Method::TraversalMc => match self.resolved_estimator() {
                 Estimator::Traversal => "query_ns.mc.traversal",
-                Estimator::Word => "query_ns.mc.word",
+                // `auto` is resolved by the engine before execution;
+                // an unresolved spec runs (and records as) the word
+                // engine, the strongest single default.
+                Estimator::Word | Estimator::Auto => "query_ns.mc.word",
             },
             Method::Reliability => "query_ns.rel",
             Method::Propagation => "query_ns.prop",
             Method::Diffusion => "query_ns.diff",
             Method::InEdge => "query_ns.inedge",
             Method::PathCount => "query_ns.pathc",
+            Method::Exact => "query_ns.exact",
         }
     }
 
@@ -358,13 +393,14 @@ impl RankerSpec {
         match self.method {
             Method::TraversalMc => match self.resolved_estimator() {
                 Estimator::Traversal => "queries.mc.traversal",
-                Estimator::Word => "queries.mc.word",
+                Estimator::Word | Estimator::Auto => "queries.mc.word",
             },
             Method::Reliability => "queries.rel",
             Method::Propagation => "queries.prop",
             Method::Diffusion => "queries.diff",
             Method::InEdge => "queries.inedge",
             Method::PathCount => "queries.pathc",
+            Method::Exact => "queries.exact",
         }
     }
 
@@ -384,12 +420,18 @@ impl RankerSpec {
             Method::Reliability => Box::new(ReducedMc::new(trials, seed)),
             Method::TraversalMc => match self.resolved_estimator() {
                 Estimator::Traversal => Box::new(TraversalMc::new(trials, seed)),
-                Estimator::Word => Box::new(WordMc::<FUSION_LANES>::wide(trials, seed)),
+                Estimator::Word | Estimator::Auto => {
+                    Box::new(WordMc::<FUSION_LANES>::wide(trials, seed))
+                }
             },
             Method::Propagation => Box::new(Propagation::auto()),
             Method::Diffusion => Box::new(Diffusion::auto()),
             Method::InEdge => Box::new(InEdge),
             Method::PathCount => Box::new(PathCount),
+            // `trials`/`seed` are deliberately not forwarded: the
+            // closed solution's backstops run fixed internal budgets,
+            // keeping the method deterministic w.r.t. the spec.
+            Method::Exact => Box::new(ClosedReliability::default()),
         }
     }
 }
@@ -531,6 +573,13 @@ pub struct QueryResponse {
     /// [`QueryRequest::trace`] (empty otherwise — and omitted from the
     /// wire encoding when empty).
     pub trace: Vec<TraceSpan>,
+    /// The cost-based planner's verdict when this execution was
+    /// planned (`estimator: "auto"`): chosen strategy, predicted
+    /// cost, and the feature vector it scored. `None` for explicit
+    /// requests. Echo-only, like `trace` — never a cache-key
+    /// dimension; a result-cache hit echoes the *requesting* call's
+    /// plan, whatever populated the entry.
+    pub plan: Option<Plan>,
 }
 
 /// Combined cache counters for an engine.
@@ -644,6 +693,21 @@ pub struct QueryEngine {
     /// CSR is running join its lane groups instead of propagating
     /// alone.
     sweeps: Mutex<HashMap<ExploratoryQuery, Arc<Sweep>>>,
+    /// Structural planner features per integrated query, so repeat
+    /// `auto` requests skip re-extraction (and re-integration)
+    /// entirely. Same capacity policy as the other cache layers.
+    features: ShardedLru<ExploratoryQuery, GraphFeatures>,
+    /// Theorem 3.2 compose hints of the resident schema, consulted
+    /// for the planner's schema-reducibility feature (see
+    /// [`QueryEngine::with_hints`]).
+    hints: ComposeHints,
+    /// The calibrated planner cost model. A plain mutex: planning
+    /// copies the (small, `Copy`) model out; only the rare
+    /// recalibration writes.
+    planner: Mutex<CostModel>,
+    /// Planned executions since startup, driving the periodic
+    /// recalibration cadence ([`RECALIBRATION_INTERVAL`]).
+    planned: AtomicU64,
 }
 
 /// A single-flight entry: followers block on `done` until the leader
@@ -736,6 +800,22 @@ pub const PARALLEL_MC_CHUNKS: usize = 8;
 /// knob.
 pub const FUSION_LANES: usize = 8;
 
+/// Planned executions between automatic cost-model recalibrations
+/// ([`QueryEngine::recalibrate`]). Small enough that a warm server
+/// converges toward its own hardware within the first minutes of
+/// traffic, large enough that calibration cost is noise.
+pub const RECALIBRATION_INTERVAL: u64 = 64;
+
+/// The outcome of resolving one `estimator: auto` request: the
+/// rewritten request that actually executes, the plan to echo, and
+/// whether feature extraction had to run integration itself (so the
+/// response's `cached_graph` can stay truthful).
+struct Planned {
+    request: QueryRequest,
+    plan: Plan,
+    fresh_graph: bool,
+}
+
 impl QueryEngine {
     /// Creates an engine over a mediator with the default cache size.
     pub fn new(mediator: Mediator) -> Self {
@@ -755,7 +835,27 @@ impl QueryEngine {
             warmed_remaining: AtomicU64::new(0),
             flights: Mutex::new(HashMap::new()),
             sweeps: Mutex::new(HashMap::new()),
+            features: ShardedLru::new(capacity, DEFAULT_CACHE_SHARDS),
+            hints: ComposeHints::none(),
+            planner: Mutex::new(CostModel::default()),
+            planned: AtomicU64::new(0),
         }
+    }
+
+    /// This engine with the schema's Theorem 3.2 compose hints, so
+    /// the planner can recognize schema-reducible queries and offer
+    /// the closed solution. Engines built without hints still plan —
+    /// the exact strategy is then only eligible on instance-trivial
+    /// reduction residuals.
+    pub fn with_hints(mut self, hints: ComposeHints) -> Self {
+        self.hints = hints;
+        self
+    }
+
+    /// A copy of the planner's current (possibly calibrated) cost
+    /// model.
+    pub fn planner_model(&self) -> CostModel {
+        *self.planner.lock().expect("planner model")
     }
 
     /// The wrapped mediator.
@@ -809,10 +909,16 @@ impl QueryEngine {
     pub fn execute(&self, req: &QueryRequest) -> Result<QueryResponse, Error> {
         let start = Instant::now();
         let mut trace = TraceRecorder::new(req.trace);
+        // `estimator: auto` resolves into a concrete strategy *here*,
+        // before the result key is formed — planned and explicit
+        // requests for the chosen strategy share one cache entry and
+        // execute identical code paths.
+        let planned = self.resolve_plan(req, &mut trace)?;
+        let req = planned.as_ref().map_or(req, |p| &p.request);
         let result_key = (req.query.clone(), req.spec.cache_key());
         let coverage = req.coverage();
 
-        loop {
+        let mut response = loop {
             let (hit, cache_ns) = trace.time("cache", || {
                 self.results
                     .get(&result_key)
@@ -822,15 +928,14 @@ impl QueryEngine {
 
             if let Some(ranked) = hit {
                 self.note_warm_hit(&result_key);
-                let (mut response, serialize_ns) = trace.time("serialize", || {
+                let (response, serialize_ns) = trace.time("serialize", || {
                     Self::assemble(&ranked, req.top, true, true, start)
                 });
                 self.metrics
                     .histogram("stage_ns.serialize")
                     .record(serialize_ns);
                 self.finish_query(req, start, true);
-                response.trace = trace.into_spans();
-                return Ok(response);
+                break response;
             }
 
             // Single-flight: one computation per result key at a time.
@@ -863,13 +968,15 @@ impl QueryEngine {
                     let out = self.compute(req, &result_key, coverage, &mut trace, start);
                     self.flights.lock().expect("flight map").remove(&result_key);
                     flight.signal();
-                    return out.map(|mut response| {
-                        response.trace = trace.into_spans();
-                        response
-                    });
+                    break out?;
                 }
             }
+        };
+        if let Some(planned) = &planned {
+            self.note_planned(&mut response, planned);
         }
+        response.trace = trace.into_spans();
+        Ok(response)
     }
 
     /// The miss path of [`execute`](QueryEngine::execute), run under
@@ -978,13 +1085,196 @@ impl QueryEngine {
         }
     }
 
+    /// Resolves an `estimator: auto` request into the concrete
+    /// strategy the planner chooses, or `None` when the request
+    /// doesn't ask for planning. Bumps `planner.chosen.<strategy>` and
+    /// `planner.fallback`, and records the whole resolution as the
+    /// `plan` trace span.
+    fn resolve_plan(
+        &self,
+        req: &QueryRequest,
+        trace: &mut TraceRecorder,
+    ) -> Result<Option<Planned>, Error> {
+        if req.spec.estimator != Some(Estimator::Auto) || !req.spec.method.is_plannable() {
+            // Non-plannable methods ignore the estimator field
+            // everywhere (cache keys included), so `auto` on them
+            // needs no rewriting at all.
+            return Ok(None);
+        }
+        let (planned, plan_ns) = trace.time("plan", || -> Result<_, Error> {
+            let (graph, fresh_graph) = self.plan_features(&req.query)?;
+            let features = PlanFeatures::for_request(
+                graph,
+                match req.coverage() {
+                    Coverage::TopK(k) => Some(k as u32),
+                    Coverage::Full => None,
+                },
+                Self::trials_policy(req.spec.trials),
+            );
+            let model = self.planner_model();
+            let plan = biorank_rank::plan(&features, &model);
+            self.metrics.counter(chosen_metric(plan.strategy)).inc();
+            if plan.fallback {
+                self.metrics.counter("planner.fallback").inc();
+            }
+            let mut request = req.clone();
+            request.spec = spec_for_strategy(plan.strategy, &req.spec);
+            Ok(Planned {
+                request,
+                plan,
+                fresh_graph,
+            })
+        });
+        self.metrics.histogram("stage_ns.plan").record(plan_ns);
+        planned.map(Some)
+    }
+
+    /// The planner features of one query's integrated graph, through
+    /// the feature cache (and, on a miss, the graph cache). The bool
+    /// reports whether this call had to run integration itself.
+    fn plan_features(&self, query: &ExploratoryQuery) -> Result<(GraphFeatures, bool), Error> {
+        if let Some(features) = self.features.get(query) {
+            return Ok((features, false));
+        }
+        let (integration, fresh) = match self.graphs.get(query) {
+            Some(hit) => (hit, false),
+            None => {
+                let computed = Arc::new(self.mediator.execute(query)?);
+                self.graphs.insert(query.clone(), computed.clone());
+                (computed, true)
+            }
+        };
+        let features = GraphFeatures::extract(&integration.query)
+            .with_schema_reducible(self.schema_reducible(query));
+        self.features.insert(query.clone(), features);
+        Ok((features, fresh))
+    }
+
+    /// Theorem 3.2 verdict for one query's schema shape under this
+    /// engine's compose hints (see [`query_schema_reducible`]).
+    fn schema_reducible(&self, query: &ExploratoryQuery) -> bool {
+        query_schema_reducible(self.mediator.schema(), &self.hints, query)
+    }
+
+    /// Post-execution bookkeeping of a planned request: patches the
+    /// response's provenance flags, attaches the plan echo, and — for
+    /// computed (non-cache-hit) executions — feeds the
+    /// observed/predicted latency pair into the calibration
+    /// histograms, recalibrating every [`RECALIBRATION_INTERVAL`]
+    /// planned computations.
+    fn note_planned(&self, response: &mut QueryResponse, planned: &Planned) {
+        if planned.fresh_graph {
+            response.cached_graph = false;
+        }
+        if !response.cached_scores {
+            let strategy = planned.plan.strategy;
+            self.metrics
+                .histogram(observed_metric(strategy))
+                .record(response.micros.saturating_mul(1_000));
+            self.metrics
+                .histogram(predicted_metric(strategy))
+                .record(planned.plan.predicted_ns);
+            let planned_so_far = self.planned.fetch_add(1, Ordering::Relaxed) + 1;
+            if planned_so_far % RECALIBRATION_INTERVAL == 0 {
+                self.recalibrate();
+            }
+        }
+        response.plan = Some(planned.plan);
+    }
+
+    /// One cost-model calibration round against this engine's current
+    /// metrics. Returns `true` (and bumps `planner.recalibrations`)
+    /// when any model constant moved. Runs automatically every
+    /// [`RECALIBRATION_INTERVAL`] planned computations; public so
+    /// operators and tests can force a round.
+    pub fn recalibrate(&self) -> bool {
+        let snapshot = self.metrics.snapshot();
+        self.recalibrate_from(&snapshot)
+    }
+
+    /// Calibration from an explicit snapshot. Deterministic: the same
+    /// snapshot applied to the same model always yields the same
+    /// blended model (see [`CostModel::calibrate`]).
+    pub fn recalibrate_from(&self, snapshot: &MetricsSnapshot) -> bool {
+        let input = Self::calibration_input(snapshot);
+        let moved = self
+            .planner
+            .lock()
+            .expect("planner model")
+            .calibrate(&input);
+        if moved {
+            self.metrics.counter("planner.recalibrations").inc();
+        }
+        moved
+    }
+
+    /// Distills a metrics snapshot into the planner's calibration
+    /// shape: per-strategy observed/predicted latency means from the
+    /// `planner.{observed,predicted}_ns.*` histograms, plus the mean
+    /// adaptive trial fraction from `trials_used` (normalized against
+    /// the default ceiling every adaptive client inherits).
+    fn calibration_input(snapshot: &MetricsSnapshot) -> CalibrationInput {
+        let mut input = CalibrationInput::default();
+        for strategy in Strategy::ALL {
+            let observed = snapshot.histogram(observed_metric(strategy));
+            let predicted = snapshot.histogram(predicted_metric(strategy));
+            if observed.count > 0 && predicted.count > 0 {
+                input.observed[strategy.index()] = Some(StrategyTelemetry {
+                    observed_mean_ns: observed.mean(),
+                    predicted_mean_ns: predicted.mean(),
+                    samples: observed.count,
+                });
+            }
+        }
+        let trials = snapshot.histogram("trials_used");
+        if trials.count >= biorank_rank::planner::MIN_CALIBRATION_SAMPLES {
+            input.mean_trials_frac = Some(trials.mean() / f64::from(RankerSpec::DEFAULT_TRIALS));
+        }
+        input
+    }
+
+    /// The planner's view of one trial policy.
+    fn trials_policy(trials: Trials) -> TrialsPolicy {
+        match trials {
+            Trials::Fixed(n) => TrialsPolicy::Fixed(n),
+            Trials::Adaptive(cfg) => TrialsPolicy::Adaptive {
+                max_trials: cfg.max_trials,
+            },
+        }
+    }
+
     /// Integrates and ranks without touching the caches (used by the
-    /// cache-coherence test to cross-check cached responses).
+    /// cache-coherence test to cross-check cached responses). `auto`
+    /// requests are planned here too — against the same live model,
+    /// so an uncached cross-check sees the same strategy `execute`
+    /// resolves to.
     pub fn execute_uncached(&self, req: &QueryRequest) -> Result<QueryResponse, Error> {
         let start = Instant::now();
         let integration = self.mediator.execute(&req.query)?;
-        let (ranked, _) = Self::rank(&integration, &req.query, &req.spec, req.coverage())?;
-        Ok(Self::assemble(&ranked, req.top, false, false, start))
+        let mut spec = req.spec;
+        let mut plan_echo = None;
+        if spec.estimator == Some(Estimator::Auto) && spec.method.is_plannable() {
+            let features = PlanFeatures::for_request(
+                GraphFeatures::extract(&integration.query)
+                    .with_schema_reducible(self.schema_reducible(&req.query)),
+                match req.coverage() {
+                    Coverage::TopK(k) => Some(k as u32),
+                    Coverage::Full => None,
+                },
+                Self::trials_policy(spec.trials),
+            );
+            let plan = biorank_rank::plan(&features, &self.planner_model());
+            spec = spec_for_strategy(plan.strategy, &req.spec);
+            plan_echo = Some(plan);
+        }
+        let resolved = QueryRequest {
+            spec,
+            ..req.clone()
+        };
+        let (ranked, _) = Self::rank(&integration, &resolved.query, &spec, resolved.coverage())?;
+        let mut response = Self::assemble(&ranked, req.top, false, false, start);
+        response.plan = plan_echo;
+        Ok(response)
     }
 
     /// Scores one resident-world request. Stochastic word-estimator
@@ -1213,8 +1503,10 @@ impl QueryEngine {
                     Estimator::Traversal => TraversalMc::new(trials, spec.effective_seed(query))
                         .score_chunked(q, PARALLEL_MC_CHUNKS, threads.min(PARALLEL_MC_CHUNKS))?,
                     // Word: every thread split is bit-identical, so the
-                    // hardware budget needs no pinning at all.
-                    Estimator::Word => {
+                    // hardware budget needs no pinning at all. (`auto`
+                    // is resolved before execution; unresolved specs
+                    // run the word engine, matching `build`.)
+                    Estimator::Word | Estimator::Auto => {
                         WordMc::<FUSION_LANES>::wide(trials, spec.effective_seed(query))
                             .score_parallel(q, threads)?
                     }
@@ -1246,6 +1538,7 @@ impl QueryEngine {
             cached_scores,
             micros: start.elapsed().as_micros() as u64,
             trace: Vec::new(),
+            plan: None,
         }
     }
 
@@ -1370,6 +1663,81 @@ impl QueryEngine {
     }
 }
 
+/// The explicit [`RankerSpec`] one planner strategy maps onto:
+/// `trials`, `seed`, and `parallel` survive verbatim, only the
+/// `(method, estimator)` pair is rewritten — so a planned execution
+/// is byte-identical to a client naming the strategy outright.
+/// Shared by [`QueryEngine`] and the CLI's local `--estimator auto`
+/// path.
+pub fn spec_for_strategy(strategy: Strategy, spec: &RankerSpec) -> RankerSpec {
+    let (method, estimator) = match strategy {
+        Strategy::Exact => (Method::Exact, None),
+        Strategy::ReducedMc => (Method::Reliability, None),
+        Strategy::WordMc => (Method::TraversalMc, Some(Estimator::Word)),
+        Strategy::TraversalMc => (Method::TraversalMc, Some(Estimator::Traversal)),
+    };
+    RankerSpec {
+        method,
+        estimator,
+        ..*spec
+    }
+}
+
+/// Theorem 3.2 verdict for one query's schema shape: every output
+/// set must check out reducible from the query root under the given
+/// compose hints. Conservative by design — unknown entity sets (or
+/// empty hints) read as irreducible, which only costs the planner the
+/// exact strategy. Shared by [`QueryEngine`] and the CLI's local
+/// `--estimator auto` path.
+pub fn query_schema_reducible(
+    schema: &Schema,
+    hints: &ComposeHints,
+    query: &ExploratoryQuery,
+) -> bool {
+    let Some(root) = schema
+        .entity_set_by_name("Query")
+        .or_else(|| schema.entity_set_by_name(&query.input))
+    else {
+        return false;
+    };
+    !query.outputs.is_empty()
+        && query.outputs.iter().all(|output| {
+            schema.entity_set_by_name(output).is_some_and(|answers| {
+                check_query_reducible(schema, root, answers, hints).is_reducible()
+            })
+        })
+}
+
+/// `planner.chosen.<strategy>` counter name, statically interned.
+fn chosen_metric(strategy: Strategy) -> &'static str {
+    match strategy {
+        Strategy::Exact => "planner.chosen.exact",
+        Strategy::ReducedMc => "planner.chosen.reduced",
+        Strategy::WordMc => "planner.chosen.word",
+        Strategy::TraversalMc => "planner.chosen.traversal",
+    }
+}
+
+/// `planner.observed_ns.<strategy>` histogram name.
+fn observed_metric(strategy: Strategy) -> &'static str {
+    match strategy {
+        Strategy::Exact => "planner.observed_ns.exact",
+        Strategy::ReducedMc => "planner.observed_ns.reduced",
+        Strategy::WordMc => "planner.observed_ns.word",
+        Strategy::TraversalMc => "planner.observed_ns.traversal",
+    }
+}
+
+/// `planner.predicted_ns.<strategy>` histogram name.
+fn predicted_metric(strategy: Strategy) -> &'static str {
+    match strategy {
+        Strategy::Exact => "planner.predicted_ns.exact",
+        Strategy::ReducedMc => "planner.predicted_ns.reduced",
+        Strategy::WordMc => "planner.predicted_ns.word",
+        Strategy::TraversalMc => "planner.predicted_ns.traversal",
+    }
+}
+
 /// Runs one adaptive Monte Carlo execution: the single place the
 /// `(method, estimator) → engine` dispatch lives, shared by
 /// [`QueryEngine`] and the CLI's local-query path so the two can
@@ -1402,7 +1770,9 @@ pub fn run_adaptive(
         Method::Reliability => run(ReducedMc::new(cfg.max_trials, seed), cfg, top_k, q),
         Method::TraversalMc => match estimator {
             Estimator::Traversal => run(TraversalMc::new(cfg.max_trials, seed), cfg, top_k, q),
-            Estimator::Word => run(
+            // `auto` is resolved before execution; unresolved callers
+            // get the word engine, matching `RankerSpec::build`.
+            Estimator::Word | Estimator::Auto => run(
                 WordMc::<FUSION_LANES>::wide(cfg.max_trials, seed),
                 cfg,
                 top_k,
@@ -1442,20 +1812,74 @@ mod tests {
             Method::Diffusion,
             Method::InEdge,
             Method::PathCount,
+            Method::Exact,
         ] {
             assert_eq!(Method::parse(m.wire_name()), Some(m));
         }
         assert_eq!(Method::parse("nope"), None);
         assert_eq!(Method::parse("RELIABILITY"), Some(Method::Reliability));
+        assert_eq!(Method::parse("closed"), Some(Method::Exact));
+        assert!(!Method::Exact.is_stochastic());
+        assert!(!Method::Exact.is_plannable());
     }
 
     #[test]
     fn estimator_parse_roundtrip() {
-        for e in [Estimator::Traversal, Estimator::Word] {
+        for e in [Estimator::Traversal, Estimator::Word, Estimator::Auto] {
             assert_eq!(Estimator::parse(e.wire_name()), Some(e));
         }
         assert_eq!(Estimator::parse("WORD"), Some(Estimator::Word));
         assert_eq!(Estimator::parse("nope"), None);
+    }
+
+    #[test]
+    fn strategy_specs_are_explicitly_requestable() {
+        // Every planner strategy must map onto a spec a client can
+        // name outright — that's what makes a planned execution
+        // byte-identical to an explicit request, and lets auto and
+        // explicit traffic share cache entries.
+        let base = RankerSpec {
+            estimator: Some(Estimator::Auto),
+            ..RankerSpec::new(Method::TraversalMc)
+        };
+        for (strategy, method, estimator) in [
+            (Strategy::Exact, Method::Exact, None),
+            (Strategy::ReducedMc, Method::Reliability, None),
+            (Strategy::WordMc, Method::TraversalMc, Some(Estimator::Word)),
+            (
+                Strategy::TraversalMc,
+                Method::TraversalMc,
+                Some(Estimator::Traversal),
+            ),
+        ] {
+            let resolved = spec_for_strategy(strategy, &base);
+            assert_eq!(resolved.method, method);
+            assert_eq!(resolved.estimator, estimator);
+            // Trials/seed/parallel survive verbatim.
+            assert_eq!(resolved.trials, base.trials);
+            assert_eq!(resolved.seed, base.seed);
+            assert_eq!(resolved.parallel, base.parallel);
+            // And the resolved spec keys exactly like the explicit one.
+            let explicit = RankerSpec {
+                method,
+                estimator,
+                ..base
+            };
+            assert_eq!(resolved.cache_key(), explicit.cache_key());
+        }
+    }
+
+    #[test]
+    fn exact_cache_key_ignores_trials_and_seed() {
+        let a = RankerSpec::new(Method::Exact);
+        let b = RankerSpec {
+            trials: Trials::Adaptive(AdaptiveConfig::default()),
+            seed: 99,
+            parallel: true,
+            estimator: Some(Estimator::Auto),
+            ..a
+        };
+        assert_eq!(a.cache_key(), b.cache_key());
     }
 
     #[test]

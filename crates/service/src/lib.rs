@@ -81,9 +81,10 @@ pub use biorank_rank::{AdaptiveOutcome, Certificate, CertificateMode};
 pub use biorank_store::{RecoveredWorld, Recovery, StoreError, WorldStore};
 pub use cache::{CacheStats, ShardedLru};
 pub use engine::{
-    run_adaptive, AdaptiveConfig, Coverage, EngineStats, Estimator, Method, QueryEngine,
-    QueryRequest, QueryResponse, RankedAnswer, RankedResult, RankerSpec, Trials,
-    DEFAULT_CACHE_CAPACITY, FUSION_LANES, PARALLEL_MC_CHUNKS,
+    query_schema_reducible, run_adaptive, spec_for_strategy, AdaptiveConfig, Coverage, EngineStats,
+    Estimator, Method, QueryEngine, QueryRequest, QueryResponse, RankedAnswer, RankedResult,
+    RankerSpec, Trials, DEFAULT_CACHE_CAPACITY, FUSION_LANES, PARALLEL_MC_CHUNKS,
+    RECALIBRATION_INTERVAL,
 };
 pub use persist::{export_snapshot, import_snapshot, snapshot_spec};
 pub use pool::WorkerPool;

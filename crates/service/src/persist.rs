@@ -120,6 +120,7 @@ fn method_tag(m: Method) -> u8 {
         Method::Diffusion => 3,
         Method::InEdge => 4,
         Method::PathCount => 5,
+        Method::Exact => 6,
     }
 }
 
@@ -131,6 +132,7 @@ fn method_from(tag: u8) -> Result<Method> {
         3 => Method::Diffusion,
         4 => Method::InEdge,
         5 => Method::PathCount,
+        6 => Method::Exact,
         t => return Err(corrupt(format!("unknown method tag {t}"))),
     })
 }
@@ -151,10 +153,14 @@ fn encode_ranker(spec: &RankerSpec, w: &mut Writer) {
     }
     w.u64(spec.seed);
     w.bool(spec.parallel);
+    // Cached specs are always post-resolution (`cache_key` output),
+    // so `auto` never reaches a snapshot in practice — but the codec
+    // round-trips it anyway rather than panic on a hand-built spec.
     w.u8(match spec.estimator {
         None => 0,
         Some(Estimator::Traversal) => 1,
         Some(Estimator::Word) => 2,
+        Some(Estimator::Auto) => 3,
     });
 }
 
@@ -175,6 +181,7 @@ fn decode_ranker(r: &mut Reader<'_>) -> Result<RankerSpec> {
         0 => None,
         1 => Some(Estimator::Traversal),
         2 => Some(Estimator::Word),
+        3 => Some(Estimator::Auto),
         t => return Err(corrupt(format!("unknown estimator tag {t}"))),
     };
     Ok(RankerSpec {

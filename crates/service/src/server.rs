@@ -23,6 +23,26 @@
 //! response bytes are identical to an unfused execution. Only the
 //! `metrics` admin op shows the coalescing (`queries.coalesced`,
 //! `fusion.batches`, `fusion.lanes_used`, `fusion_width`).
+//!
+//! **Planning is opt-out, not invisible.** The serve default is
+//! `estimator: "auto"`: the engine scores exact / reduced / word /
+//! traversal strategies against a calibrated cost model and runs the
+//! cheapest, echoing `plan: {strategy, predicted_ns, fallback,
+//! features}` on the response next to the certificate. The echo is
+//! observational only — a planned request and an explicit request for
+//! the chosen strategy share one cache entry and identical answer
+//! bytes. An explicit `estimator` (or a non-`mc` method) routes
+//! around the planner entirely. Per-world `planner.chosen.<strategy>`,
+//! `planner.fallback`, and `planner.recalibrations` counters appear in
+//! the `metrics` admin op, and `world.list` rows carry the same
+//! chosen-strategy rollup.
+//!
+//! **Metrics histogram echo.** The `metrics` admin op serialises each
+//! histogram's non-empty buckets as `[bucket_index, count]` pairs —
+//! the first element is the log₂ bucket *index* (bucket 0 holds exact
+//! zeros, bucket `i ≥ 1` holds `[2^(i−1), 2^i)`), never a value
+//! bound, so the top buckets' > 2⁵³ bounds survive f64 JSON exactly;
+//! decoders recompute bounds from the index.
 
 use std::collections::BTreeMap;
 use std::io::{BufRead, BufReader, BufWriter, Write};
@@ -69,17 +89,21 @@ pub struct ServeOptions {
 }
 
 impl Default for ServeOptions {
-    /// The serving defaults: word-parallel Monte Carlo under the
-    /// adaptive (ε = 0.02, δ = 0.05, ceiling 10⁴) trial policy — the
-    /// fast path soaked by `BENCH_mc.json`'s per-commit rows. Clients
-    /// opt back into the paper's fixed reference schedule with an
-    /// explicit `trials` number or `estimator: "traversal"` per
-    /// request, or server-wide via `biorank serve --trials/--estimator
-    /// traversal`.
+    /// The serving defaults: cost-based planning (`estimator: "auto"`)
+    /// under the adaptive (ε = 0.02, δ = 0.05, ceiling 10⁴) trial
+    /// policy. The planner scores the closed exact solution, reduced
+    /// traversal MC, the wide word engine, and plain traversal MC
+    /// against a telemetry-calibrated cost model per query and runs
+    /// the cheapest — the chosen plan is echoed on the response.
+    /// Clients opt out of planning with an explicit `estimator:
+    /// "word"`/`"traversal"` per request (never overridden), or pin
+    /// the paper's fixed reference schedule with an explicit `trials`
+    /// number, or server-wide via `biorank serve
+    /// --trials/--estimator`.
     fn default() -> Self {
         ServeOptions {
             workers: 4,
-            default_estimator: Estimator::Word,
+            default_estimator: Estimator::Auto,
             default_trials: Trials::Adaptive(AdaptiveConfig::default()),
             slow_query_micros: DEFAULT_SLOW_QUERY_MICROS,
         }

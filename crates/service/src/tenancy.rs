@@ -38,6 +38,7 @@ use std::sync::{Arc, Mutex};
 
 use biorank_mediator::Mediator;
 use biorank_obs::{MetricsRegistry, MetricsSnapshot, SlowQueryEntry};
+use biorank_rank::Strategy;
 use biorank_schema::{biorank_schema_full, biorank_schema_with_ontology};
 use biorank_sources::{World, WorldParams};
 use biorank_store::{WalOp, WorldStore};
@@ -91,15 +92,19 @@ impl WorldSpec {
             extended: self.extended,
             ..WorldParams::default()
         });
-        let schema = if self.extended {
-            biorank_schema_full().schema
+        let bundle = if self.extended {
+            biorank_schema_full()
         } else {
-            biorank_schema_with_ontology().schema
+            biorank_schema_with_ontology()
         };
+        let hints = bundle.hints.clone();
         QueryEngine::with_cache_capacity(
-            Mediator::new(schema, world.registry()),
+            Mediator::new(bundle.schema, world.registry()),
             self.cache_capacity,
         )
+        // The bundle's Theorem 3.2 compose hints feed the query
+        // planner's schema-reducibility feature.
+        .with_hints(hints)
     }
 
     /// A stable 64-bit fingerprint of this spec (XXH64 over its
@@ -210,6 +215,12 @@ pub struct WorldInfo {
     pub generation: u64,
     /// Whether the world is serving or still building.
     pub state: WorldState,
+    /// This world's planner strategy mix — its `planner.chosen.*`
+    /// counters, indexed by [`biorank_rank::Strategy::index`]
+    /// (exact, reduced, word, traversal) — so operators can read the
+    /// per-world strategy distribution straight off `world.list`.
+    /// All zero for loading worlds (no engine yet).
+    pub planner_chosen: [u64; 4],
 }
 
 /// Per-world counters inside a [`ServiceStats`] report.
@@ -904,21 +915,46 @@ impl WorldManager {
 
     /// Snapshot of every resident and loading world, sorted by name.
     pub fn list(&self) -> Vec<WorldInfo> {
-        let reg = self.registry.lock().expect("world registry");
-        let mut out: Vec<WorldInfo> = reg
-            .worlds
-            .iter()
-            .map(|(name, e)| WorldInfo {
-                name: name.clone(),
-                spec: e.spec,
-                generation: e.generation,
-                state: WorldState::Ready,
+        // Clone the engines out of the lock, then read their planner
+        // counters unlocked — metric reads must not nest inside the
+        // registry lock.
+        let (ready, loading) = {
+            let reg = self.registry.lock().expect("world registry");
+            (
+                reg.worlds
+                    .iter()
+                    .map(|(name, e)| (name.clone(), e.spec, e.generation, Arc::clone(&e.engine)))
+                    .collect::<Vec<_>>(),
+                reg.loading
+                    .iter()
+                    .map(|(name, spec)| (name.clone(), *spec))
+                    .collect::<Vec<_>>(),
+            )
+        };
+        let mut out: Vec<WorldInfo> = ready
+            .into_iter()
+            .map(|(name, spec, generation, engine)| {
+                let mut planner_chosen = [0u64; 4];
+                for strategy in Strategy::ALL {
+                    planner_chosen[strategy.index()] = engine
+                        .metrics()
+                        .counter(&format!("planner.chosen.{}", strategy.wire_name()))
+                        .get();
+                }
+                WorldInfo {
+                    name,
+                    spec,
+                    generation,
+                    state: WorldState::Ready,
+                    planner_chosen,
+                }
             })
-            .chain(reg.loading.iter().map(|(name, spec)| WorldInfo {
-                name: name.clone(),
-                spec: *spec,
+            .chain(loading.into_iter().map(|(name, spec)| WorldInfo {
+                name,
+                spec,
                 generation: 0,
                 state: WorldState::Loading,
+                planner_chosen: [0; 4],
             }))
             .collect();
         out.sort_by(|a, b| a.name.cmp(&b.name));

@@ -7,9 +7,11 @@
 //!
 //! Query request line (the optional `cmd` defaults to `"query"`;
 //! `world` routes to a resident world, `parallel` opts into
-//! intra-query parallel Monte Carlo, and `estimator` — `"traversal"`
-//! or `"word"` — selects the Monte Carlo engine for the `mc` method;
-//! absent means the server's configured default):
+//! intra-query parallel Monte Carlo, and `estimator` — `"traversal"`,
+//! `"word"`, or `"auto"` — selects the Monte Carlo engine for the
+//! `mc` method, with `"auto"` deferring to the cost-based planner;
+//! absent means the server's configured default, which is `"auto"`
+//! unless `biorank serve --estimator` says otherwise):
 //!
 //! ```json
 //! {"id":1,"input":"EntrezProtein","attribute":"name","value":"GALT",
@@ -49,6 +51,23 @@
 //! ...]`). Tracing is purely observational — it changes no answer bit
 //! and no cache key.
 //!
+//! A planned execution (`"estimator":"auto"` on a reliability /
+//! Monte Carlo method) additionally echoes the planner's verdict next
+//! to the certificate:
+//!
+//! ```json
+//! {"id":1,"ok":true,"...":"...","plan":{"strategy":"word",
+//!  "predicted_ns":1685000,"fallback":false,"features":{"nodes":185,
+//!  "edges":329,"answers":97,"acyclic":true,"reduced_nodes":129,
+//!  "reduced_edges":269,"schema_reducible":false,"max_trials":10000}}}
+//! ```
+//!
+//! Like `trace`, the plan echo is observational only: the planner
+//! resolves `auto` onto a concrete strategy *before* cache keying, so
+//! the answers and certificate are byte-identical to explicitly
+//! requesting that strategy, and auto/explicit traffic share cache
+//! entries.
+//!
 //! Admin request lines set `cmd` to one of `world.load`, `world.swap`,
 //! `world.evict`, `world.list`, `stats`, `metrics`:
 //!
@@ -87,7 +106,9 @@ use biorank_mediator::ExploratoryQuery;
 use biorank_obs::{
     Histogram, HistogramBucket, HistogramSnapshot, MetricsSnapshot, SlowQueryEntry, TraceSpan,
 };
-use biorank_rank::{Certificate, CertificateMode};
+use biorank_rank::{
+    Certificate, CertificateMode, GraphFeatures, Plan, PlanFeatures, Strategy, TrialsPolicy,
+};
 
 use crate::cache::CacheStats;
 use crate::engine::{
@@ -953,9 +974,9 @@ fn decode_query_body(
     let estimator = fields
         .get("estimator")
         .map(|v| {
-            v.as_str()
-                .and_then(Estimator::parse)
-                .ok_or_else(|| wire_err("field \"estimator\" must be \"traversal\" or \"word\""))
+            v.as_str().and_then(Estimator::parse).ok_or_else(|| {
+                wire_err("field \"estimator\" must be \"traversal\", \"word\", or \"auto\"")
+            })
         })
         .transpose()?;
     let top = fields
@@ -1075,6 +1096,9 @@ pub fn encode_response(r: &Response) -> String {
                     ),
                 ));
             }
+            if let Some(plan) = &resp.plan {
+                fields.push(("plan", encode_plan(plan)));
+            }
             obj(fields).encode()
         }
         Ok(ResponseBody::Admin(admin)) => encode_admin_response(r.id, admin),
@@ -1085,6 +1109,87 @@ pub fn encode_response(r: &Response) -> String {
         ])
         .encode(),
     }
+}
+
+/// Encodes the planner's verdict: the chosen strategy, its predicted
+/// cost, whether the choice was a fallback, and the feature vector it
+/// was scored on — everything `biorank query --explain` prints.
+fn encode_plan(plan: &Plan) -> Json {
+    let g = &plan.features.graph;
+    let mut features = vec![
+        ("nodes", Json::Num(f64::from(g.nodes))),
+        ("edges", Json::Num(f64::from(g.edges))),
+        ("answers", Json::Num(f64::from(g.answers))),
+        ("acyclic", Json::Bool(g.acyclic)),
+        ("reduced_nodes", Json::Num(f64::from(g.reduced_nodes))),
+        ("reduced_edges", Json::Num(f64::from(g.reduced_edges))),
+        ("schema_reducible", Json::Bool(g.schema_reducible)),
+    ];
+    match plan.features.trials {
+        TrialsPolicy::Fixed(n) => features.push(("trials", Json::Num(f64::from(n)))),
+        TrialsPolicy::Adaptive { max_trials } => {
+            features.push(("max_trials", Json::Num(f64::from(max_trials))))
+        }
+    }
+    if let Some(k) = plan.features.top_k {
+        features.push(("top_k", Json::Num(f64::from(k))));
+    }
+    obj(vec![
+        ("strategy", Json::Str(plan.strategy.wire_name().into())),
+        ("predicted_ns", Json::Num(plan.predicted_ns as f64)),
+        ("fallback", Json::Bool(plan.fallback)),
+        ("features", obj(features)),
+    ])
+}
+
+fn decode_plan(v: &Json) -> Result<Plan, WireError> {
+    let Json::Obj(f) = v else {
+        return Err(wire_err("field \"plan\" must be an object"));
+    };
+    let strategy = get_str(f, "strategy")?;
+    let strategy = Strategy::parse(&strategy)
+        .ok_or_else(|| wire_err(format!("unknown plan strategy {strategy:?}")))?;
+    let Json::Obj(g) = get(f, "features")? else {
+        return Err(wire_err("plan \"features\" must be an object"));
+    };
+    let graph = GraphFeatures {
+        nodes: get_u32(g, "nodes")?,
+        edges: get_u32(g, "edges")?,
+        answers: get_u32(g, "answers")?,
+        acyclic: get(g, "acyclic")?
+            .as_bool()
+            .ok_or_else(|| wire_err("field \"acyclic\" must be a boolean"))?,
+        reduced_nodes: get_u32(g, "reduced_nodes")?,
+        reduced_edges: get_u32(g, "reduced_edges")?,
+        schema_reducible: get(g, "schema_reducible")?
+            .as_bool()
+            .ok_or_else(|| wire_err("field \"schema_reducible\" must be a boolean"))?,
+    };
+    let trials = if g.contains_key("trials") {
+        TrialsPolicy::Fixed(get_u32(g, "trials")?)
+    } else {
+        TrialsPolicy::Adaptive {
+            max_trials: get_u32(g, "max_trials")?,
+        }
+    };
+    let top_k = g
+        .contains_key("top_k")
+        .then(|| get_u32(g, "top_k"))
+        .transpose()?;
+    Ok(Plan {
+        strategy,
+        predicted_ns: get_u64(f, "predicted_ns")?,
+        features: PlanFeatures::for_request(graph, top_k, trials),
+        fallback: get(f, "fallback")?
+            .as_bool()
+            .ok_or_else(|| wire_err("field \"fallback\" must be a boolean"))?,
+    })
+}
+
+fn get_u32(fields: &BTreeMap<String, Json>, name: &str) -> Result<u32, WireError> {
+    get_u64(fields, name)?
+        .try_into()
+        .map_err(|_| wire_err(format!("field {name:?} must fit in u32")))
 }
 
 fn encode_world_spec_fields(spec: &WorldSpec, fields: &mut Vec<(&'static str, Json)>) {
@@ -1379,6 +1484,20 @@ fn encode_admin_response(id: u64, admin: &AdminResponse) -> String {
                                     "spec_hash",
                                     Json::Str(format!("{:016x}", w.spec.spec_hash())),
                                 ),
+                                // Per-world planner strategy mix (the
+                                // world's planner.chosen.* counters).
+                                (
+                                    "planner_chosen",
+                                    obj(Strategy::ALL
+                                        .iter()
+                                        .map(|s| {
+                                            (
+                                                s.wire_name(),
+                                                Json::Num(w.planner_chosen[s.index()] as f64),
+                                            )
+                                        })
+                                        .collect()),
+                                ),
                             ];
                             encode_world_spec_fields(&w.spec, &mut f);
                             obj(f)
@@ -1572,6 +1691,7 @@ fn decode_query_response(fields: &BTreeMap<String, Json>) -> Result<QueryRespons
             })
             .transpose()?
             .unwrap_or_default(),
+        plan: fields.get("plan").map(decode_plan).transpose()?,
     })
 }
 
@@ -1594,11 +1714,27 @@ fn decode_world_list(fields: &BTreeMap<String, Json>) -> Result<Vec<WorldInfo>, 
                 })
                 .transpose()?
                 .unwrap_or_default();
+            // Absent on pre-planner servers: default to all-zero.
+            let mut planner_chosen = [0u64; 4];
+            if let Some(Json::Obj(counts)) = f.get("planner_chosen") {
+                for s in Strategy::ALL {
+                    if let Some(v) = counts.get(s.wire_name()) {
+                        planner_chosen[s.index()] = v
+                            .as_f64()
+                            .filter(|n| *n >= 0.0)
+                            .map(|n| n as u64)
+                            .ok_or_else(|| {
+                                wire_err("planner_chosen counts must be non-negative numbers")
+                            })?;
+                    }
+                }
+            }
             Ok(WorldInfo {
                 name: get_str(f, "world")?,
                 spec: decode_world_spec(f)?,
                 generation: get_u64(f, "generation")?,
                 state,
+                planner_chosen,
             })
         })
         .collect()
@@ -1742,7 +1878,12 @@ mod tests {
 
         // World routing, the parallel flag, and the estimator
         // selection survive the wire too.
-        for estimator in [None, Some(Estimator::Traversal), Some(Estimator::Word)] {
+        for estimator in [
+            None,
+            Some(Estimator::Traversal),
+            Some(Estimator::Word),
+            Some(Estimator::Auto),
+        ] {
             let r = Request {
                 id: 8,
                 body: RequestBody::Query(QueryRequest {
@@ -1960,12 +2101,14 @@ mod tests {
                     spec: WorldSpec::default(),
                     generation: 1,
                     state: WorldState::Ready,
+                    planner_chosen: [2, 0, 17, 1],
                 },
                 WorldInfo {
                     name: "staging".into(),
                     spec: WorldSpec::default(),
                     generation: 0,
                     state: WorldState::Loading,
+                    planner_chosen: [0; 4],
                 },
             ]))),
         };
@@ -2047,6 +2190,7 @@ mod tests {
                 spec: WorldSpec::default(),
                 generation: 1,
                 state: WorldState::Ready,
+                planner_chosen: [0; 4],
             }]))),
         };
         let line = encode_response(&list);
@@ -2139,6 +2283,7 @@ mod tests {
                 cached_scores: false,
                 micros: 812,
                 trace: vec![],
+                plan: None,
             })),
         };
         let line = encode_response(&resp);
@@ -2168,6 +2313,7 @@ mod tests {
                 cached_scores: true,
                 micros: 12,
                 trace: vec![],
+                plan: None,
             })),
         };
         let line = encode_response(&resp);
@@ -2201,6 +2347,7 @@ mod tests {
                 cached_scores: false,
                 micros: 3,
                 trace: vec![],
+                plan: None,
             })),
         };
         let line = encode_response(&resp);
@@ -2270,11 +2417,61 @@ mod tests {
                         nanos: 1_000_000,
                     },
                 ],
+                plan: None,
             })),
         };
         let line = encode_response(&resp);
         assert!(line.contains("\"stage\":\"cache\""), "{line}");
         assert_eq!(decode_response(&line).unwrap(), resp);
+    }
+
+    #[test]
+    fn plan_echo_roundtrips() {
+        // The planner echo rides the response next to the certificate:
+        // strategy, prediction, and the full feature vector survive the
+        // wire, and both trial policies keep their distinct keys.
+        for (trials, key) in [
+            (TrialsPolicy::Fixed(10_000), "\"trials\":10000"),
+            (
+                TrialsPolicy::Adaptive { max_trials: 65_536 },
+                "\"max_trials\":65536",
+            ),
+        ] {
+            let resp = Response {
+                id: 40,
+                outcome: Ok(ResponseBody::Query(QueryResponse {
+                    answers: vec![],
+                    total_answers: 97,
+                    certificate: None,
+                    cached_graph: true,
+                    cached_scores: false,
+                    micros: 210,
+                    trace: vec![],
+                    plan: Some(Plan {
+                        strategy: Strategy::WordMc,
+                        predicted_ns: 1_480_000,
+                        features: PlanFeatures {
+                            graph: GraphFeatures {
+                                nodes: 185,
+                                edges: 329,
+                                answers: 97,
+                                acyclic: true,
+                                reduced_nodes: 129,
+                                reduced_edges: 269,
+                                schema_reducible: true,
+                            },
+                            top_k: Some(10),
+                            trials,
+                        },
+                        fallback: false,
+                    }),
+                })),
+            };
+            let line = encode_response(&resp);
+            assert!(line.contains("\"strategy\":\"word\""), "{line}");
+            assert!(line.contains(key), "{line}");
+            assert_eq!(decode_response(&line).unwrap(), resp);
+        }
     }
 
     #[test]

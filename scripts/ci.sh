@@ -112,6 +112,54 @@ echo "$metrics_out" | grep -Eq "queries\.coalesced +[1-9]"
 kill "$serve_pid" 2>/dev/null || true
 wait "$serve_pid" 2>/dev/null || true
 
+# Cost-based planner smoke through the real binary: a default serve
+# plans every `mc` query that doesn't pin an estimator (the serve
+# default is `auto`), counting each decision under
+# planner.chosen.<strategy> — the counters must sum to exactly the
+# planned request count. A forced --estimator request then routes
+# around the planner: the query counter moves, the chosen counters
+# don't.
+echo "==> biorank planner auto/opt-out wire smoke"
+: >"$serve_log"
+./target/release/biorank serve --addr 127.0.0.1:0 --workers 2 >"$serve_log" 2>&1 &
+serve_pid=$!
+addr=""
+for _ in $(seq 1 240); do
+    addr=$(sed -n 's/^biorank-serve listening on \([0-9.:]*\) .*/\1/p' "$serve_log")
+    [ -n "$addr" ] && break
+    sleep 0.5
+done
+if [ -z "$addr" ]; then
+    echo "planner smoke serve never reported its address" >&2
+    cat "$serve_log" >&2
+    exit 1
+fi
+for protein in GALT CFTR LPL; do
+    ./target/release/biorank query "$protein" --addr "$addr" --method mc --top 3 >/dev/null
+done
+# The fourth planned request asks for its plan back: --explain must
+# print the chosen strategy, prediction, and feature vector.
+explain_out="$(./target/release/biorank query GALT --addr "$addr" --method mc --top 3 --explain)"
+echo "$explain_out" >&2
+echo "$explain_out" | grep -q "  plan: "
+echo "$explain_out" | grep -q "    features: "
+# Explicit opt-out: a pinned estimator must not touch the planner.
+./target/release/biorank query GALT --addr "$addr" --method mc --estimator word --top 3 >/dev/null
+metrics_out="$(./target/release/biorank admin metrics --addr "$addr")"
+echo "$metrics_out" >&2
+chosen_total=$(echo "$metrics_out" | awk '/planner\.chosen\./ {sum += $2} END {print sum + 0}')
+served_total=$(echo "$metrics_out" | awk '$1 == "queries" {sum += $2} END {print sum + 0}')
+if [ "$chosen_total" -ne 4 ]; then
+    echo "planner.chosen.* counters sum to $chosen_total, expected 4 (one per planned request)" >&2
+    exit 1
+fi
+if [ "$served_total" -ne 5 ]; then
+    echo "queries counter reads $served_total, expected 5 (4 planned + 1 forced)" >&2
+    exit 1
+fi
+kill "$serve_pid" 2>/dev/null || true
+wait "$serve_pid" 2>/dev/null || true
+
 # Restart recovery smoke through the real binary: a --data-dir serve
 # answers a certified query, checkpoints, dies, and the restarted
 # process serves the identical answers + certificate from its
@@ -156,7 +204,10 @@ restart_out="$(./target/release/biorank query GALT --addr "$addr" --method mc --
 echo "$restart_out" | grep -q "result cache hit"
 echo "$restart_out" | grep -v "candidate functions via" >"$answers_b"
 diff "$answers_a" "$answers_b"
-./target/release/biorank admin metrics --addr "$addr" | grep -q "warm.replayed"
+# Capture, then match — `grep -q` would close the pipe mid-print
+# (the planner histograms pushed `warm.replayed` off the tail).
+restart_metrics="$(./target/release/biorank admin metrics --addr "$addr")"
+echo "$restart_metrics" | grep -q "warm.replayed"
 kill "$serve_pid" 2>/dev/null || true
 
 # Smoke the perf-trajectory recorder: the word-parallel MC bench must
