@@ -1,0 +1,176 @@
+//! Open-loop overload rows: a Zipf-skewed load generator fires
+//! connection waves at a deliberately tiny admission budget and
+//! records how the server degrades.
+//!
+//! *Open loop* means arrivals never wait for completions — each wave
+//! launches its connections on a fixed inter-arrival clock regardless
+//! of how the previous ones fared, which is what a real flood looks
+//! like (closed-loop generators self-throttle and hide collapse).
+//! The `overload_shed_{1,2,4}x` rows scale offered load against the
+//! same budget; next to the timing each records `served`, `shed`, and
+//! `shed_rate` metrics. The acceptance shape: the server *sheds
+//! instead of queueing without bound* — served stays roughly flat
+//! while shed absorbs the excess, and every refusal is an explicit
+//! overload notice, never a hang (any other client error fails the
+//! bench).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use biorank_mediator::Mediator;
+use biorank_schema::biorank_schema_with_ontology;
+use biorank_service::{
+    Client, Method, QueryEngine, QueryRequest, RankerSpec, ServeOptions, Server, Trials,
+};
+use biorank_sources::{World, WorldParams};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+/// The paper's running-example proteins, hottest first — the Zipf
+/// ranks of the generated request stream.
+const PROTEINS: &[&str] = &["GALT", "CFTR", "ABCC8", "EYA1", "LPL"];
+
+/// Arrivals per wave at 1× load; the `Nx` rows multiply this against
+/// an unchanged budget of 6 connections / 2 queue slots.
+const BASE_ARRIVALS: usize = 12;
+
+/// Deterministic xorshift64 stream — the bench must offer the same
+/// request sequence on every run and machine.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+}
+
+/// Draws a protein index with P(rank r) ∝ 1/(r+1) — the classic
+/// Zipf skew: the hot protein dominates, the tail still shows up.
+fn zipf_pick(rng: &mut Rng) -> usize {
+    let weights: Vec<f64> = (0..PROTEINS.len())
+        .map(|r| 1.0 / (r as f64 + 1.0))
+        .collect();
+    let total: f64 = weights.iter().sum();
+    let mut u = (rng.next() % 1_000_000) as f64 / 1_000_000.0 * total;
+    for (i, w) in weights.iter().enumerate() {
+        if u < *w {
+            return i;
+        }
+        u -= w;
+    }
+    PROTEINS.len() - 1
+}
+
+fn request(protein: &str) -> QueryRequest {
+    QueryRequest::protein_functions(
+        protein,
+        RankerSpec {
+            // Deterministic single-trial method: the rows measure
+            // admission behavior, not ranking cost.
+            method: Method::InEdge,
+            trials: Trials::Fixed(1),
+            seed: 0,
+            parallel: false,
+            estimator: None,
+        },
+    )
+}
+
+/// Fires one open-loop wave of `arrivals` connections at `addr`,
+/// 200 µs apart, and tallies (served, shed). Every outcome must be
+/// an answer or an explicit overload notice — anything else panics.
+fn wave(addr: std::net::SocketAddr, arrivals: usize, seed: u64) -> (u64, u64) {
+    let mut rng = Rng(seed | 1);
+    let picks: Vec<&str> = (0..arrivals)
+        .map(|_| PROTEINS[zipf_pick(&mut rng)])
+        .collect();
+    let handles: Vec<_> = picks
+        .into_iter()
+        .map(|protein| {
+            let h = std::thread::spawn(move || {
+                let mut client = match Client::connect(addr) {
+                    Ok(c) => c,
+                    // The listener itself is saturated (kernel
+                    // backlog): that is a shed, not a failure.
+                    Err(_) => return false,
+                };
+                match client.query(&request(protein)) {
+                    Ok(resp) => {
+                        assert!(resp.total_answers > 0);
+                        true
+                    }
+                    Err(e) if e.is_overload() => false,
+                    Err(e) => panic!("overload must shed cleanly, got: {e}"),
+                }
+            });
+            std::thread::sleep(Duration::from_micros(200));
+            h
+        })
+        .collect();
+    let mut served = 0u64;
+    let mut shed = 0u64;
+    for h in handles {
+        if h.join().expect("arrival thread") {
+            served += 1;
+        } else {
+            shed += 1;
+        }
+    }
+    (served, shed)
+}
+
+fn overload_shed(c: &mut Criterion) {
+    let world = World::generate(WorldParams::default());
+    let mediator = Mediator::new(biorank_schema_with_ontology().schema, world.registry());
+    let engine = Arc::new(QueryEngine::new(mediator));
+    let server = Server::bind(
+        "127.0.0.1:0",
+        engine,
+        ServeOptions {
+            workers: 2,
+            max_connections: 6,
+            queue_depth: 2,
+            ..Default::default()
+        },
+    )
+    .expect("bind ephemeral");
+    let handle = server.handle().expect("server handle");
+    std::thread::spawn(move || server.run().expect("server run"));
+    let addr = handle.addr();
+
+    // Warm the caches so served requests are admission-bound, not
+    // compute-bound.
+    let mut warm = Client::connect(addr).expect("warm connect");
+    for protein in PROTEINS {
+        warm.query(&request(protein)).expect("warm query");
+    }
+    drop(warm);
+
+    let mut group = c.benchmark_group("overload_shed");
+    group.sample_size(10);
+    for mult in [1usize, 2, 4] {
+        let mut served = 0u64;
+        let mut shed = 0u64;
+        let mut seed = 0x5eed + mult as u64;
+        group.bench_function(&format!("overload_shed_{mult}x"), |b| {
+            b.iter(|| {
+                seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let (ok, no) = wave(addr, BASE_ARRIVALS * mult, seed);
+                served += ok;
+                shed += no;
+                (ok, no)
+            });
+            b.metric("served", served as f64);
+            b.metric("shed", shed as f64);
+            b.metric("shed_rate", shed as f64 / (served + shed).max(1) as f64);
+        });
+    }
+    group.finish();
+
+    handle.shutdown();
+}
+
+criterion_group!(benches, overload_shed);
+criterion_main!(benches);

@@ -254,6 +254,7 @@ fn fused(c: &mut Criterion) {
                                 seed: i + 1,
                                 trials: 10_000,
                                 policy: FusedPolicy::Fixed,
+                                deadline: None,
                             },
                         )
                     })

@@ -48,6 +48,16 @@
 //!   --trace                               print the per-stage span breakdown
 //!                                         (remote: echoed by the server;
 //!                                         local: measured in-process)
+//!   --deadline-ms N                       total execution budget (remote only):
+//!                                         a query still running when it
+//!                                         expires aborts between Monte Carlo
+//!                                         batches with deadline_exceeded
+//!   --timeout-ms N                        client-side connect + socket i/o
+//!                                         timeout (remote only)
+//!   --retries N                           retry overload sheds up to N times
+//!                                         with the server's retry_after_ms
+//!                                         hint and jittered exponential
+//!                                         backoff (remote only; default 0)
 //!
 //! serve options:
 //!   --addr HOST:PORT                      bind address (default 127.0.0.1:7878)
@@ -75,6 +85,31 @@
 //!                                         snapshots), and WAL-log every
 //!                                         world.load/swap/evict before
 //!                                         acknowledging it
+//!   --max-connections N                   concurrent-connection budget
+//!                                         (default 256); past it the accept
+//!                                         loop sheds with an id-less
+//!                                         {"error":"overloaded",
+//!                                         "retry_after_ms":N} line
+//!   --queue-depth N                       bound on admitted-but-unanswered
+//!                                         queries (default 1024); at the
+//!                                         bound requests are refused with an
+//!                                         overloaded error response
+//!   --rate-limit N                        per-connection token-bucket limit,
+//!                                         requests/second (default off)
+//!   --default-deadline-ms N               deadline for query lines that omit
+//!                                         deadline_ms (default: none)
+//!   --drain-deadline-ms N                 how long a drain waits for
+//!                                         in-flight queries (default 30000)
+//!   --fault-plan SPEC                     fault injection for overload
+//!                                         testing: comma-separated
+//!                                         key=value among accept_delay_ms,
+//!                                         response_delay_ms, blackhole,
+//!                                         short_write, close_after,
+//!                                         stall_batch_ms
+//!
+//! `biorank serve` drains gracefully on SIGTERM: the listener stops,
+//! in-flight queries finish under --drain-deadline-ms, durable worlds
+//! checkpoint, and the process exits 0.
 //!
 //! admin commands (all need --addr, default 127.0.0.1:7878):
 //!   world.load NAME [--seed S] [--extended] [--cache N] [--background]
@@ -101,6 +136,10 @@
 //!                                         per-world counters/histograms plus
 //!                                         the slow-query log; --reset zeroes
 //!                                         everything after reading
+//!   server.drain                          graceful shutdown: stop accepting,
+//!                                         finish in-flight queries under the
+//!                                         drain deadline, checkpoint durable
+//!                                         worlds, then exit 0
 //! ```
 
 use std::process::ExitCode;
@@ -113,9 +152,10 @@ use biorank::rank::{
 };
 use biorank::schema::{biorank_schema_full, ComposeHints};
 use biorank::service::{
-    query_schema_reducible, AdaptiveConfig, Client, Estimator, Method, MetricsSnapshot,
-    QueryRequest, RankerSpec, ServeOptions, Server, TenancyError, Trials, WorldManager, WorldSpec,
-    WorldStore, DEFAULT_SLOW_QUERY_MICROS, DEFAULT_SWAP_WARM, DEFAULT_WORLD, DEFAULT_WORLD_BUDGET,
+    query_schema_reducible, AdaptiveConfig, Client, ClientOptions, Estimator, FaultPlan, Method,
+    MetricsSnapshot, QueryRequest, RankerSpec, ServeOptions, Server, TenancyError, Trials,
+    WorldManager, WorldSpec, WorldStore, DEFAULT_SLOW_QUERY_MICROS, DEFAULT_SWAP_WARM,
+    DEFAULT_WORLD, DEFAULT_WORLD_BUDGET,
 };
 
 struct Options {
@@ -147,6 +187,18 @@ struct Options {
     reset: bool,
     slow_query_micros: u64,
     data_dir: Option<String>,
+    /// `query --deadline-ms`: the request's total execution budget.
+    deadline_ms: Option<u64>,
+    /// `query --timeout-ms`: client connect + socket i/o timeout.
+    timeout_ms: Option<u64>,
+    /// `query --retries`: bounded retry on overload sheds.
+    retries: u32,
+    max_connections: usize,
+    queue_depth: usize,
+    rate_limit: Option<u32>,
+    default_deadline_ms: Option<u64>,
+    drain_deadline_ms: u64,
+    fault_plan: Option<FaultPlan>,
     positional: Vec<String>,
 }
 
@@ -233,6 +285,15 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         reset: false,
         slow_query_micros: DEFAULT_SLOW_QUERY_MICROS,
         data_dir: None,
+        deadline_ms: None,
+        timeout_ms: None,
+        retries: 0,
+        max_connections: biorank::service::DEFAULT_MAX_CONNECTIONS,
+        queue_depth: biorank::service::DEFAULT_QUEUE_DEPTH,
+        rate_limit: None,
+        default_deadline_ms: None,
+        drain_deadline_ms: biorank::service::DEFAULT_DRAIN_DEADLINE_MS,
+        fault_plan: None,
         positional: Vec::new(),
     };
     let mut i = 0;
@@ -346,6 +407,73 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     .get(i)
                     .and_then(|v| v.parse().ok())
                     .ok_or("--slow-query-micros needs a number")?;
+            }
+            "--deadline-ms" => {
+                i += 1;
+                opts.deadline_ms = Some(
+                    args.get(i)
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&ms: &u64| ms > 0)
+                        .ok_or("--deadline-ms needs a positive number")?,
+                );
+            }
+            "--timeout-ms" => {
+                i += 1;
+                opts.timeout_ms = Some(
+                    args.get(i)
+                        .and_then(|v| v.parse().ok())
+                        .ok_or("--timeout-ms needs a number")?,
+                );
+            }
+            "--retries" => {
+                i += 1;
+                opts.retries = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--retries needs a number")?;
+            }
+            "--max-connections" => {
+                i += 1;
+                opts.max_connections = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--max-connections needs a number")?;
+            }
+            "--queue-depth" => {
+                i += 1;
+                opts.queue_depth = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--queue-depth needs a number")?;
+            }
+            "--rate-limit" => {
+                i += 1;
+                opts.rate_limit = Some(
+                    args.get(i)
+                        .and_then(|v| v.parse().ok())
+                        .ok_or("--rate-limit needs a number")?,
+                );
+            }
+            "--default-deadline-ms" => {
+                i += 1;
+                opts.default_deadline_ms = Some(
+                    args.get(i)
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&ms: &u64| ms > 0)
+                        .ok_or("--default-deadline-ms needs a positive number")?,
+                );
+            }
+            "--drain-deadline-ms" => {
+                i += 1;
+                opts.drain_deadline_ms = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--drain-deadline-ms needs a number")?;
+            }
+            "--fault-plan" => {
+                i += 1;
+                let spec = args.get(i).ok_or("--fault-plan needs a spec")?;
+                opts.fault_plan = Some(FaultPlan::parse(spec)?);
             }
             "--certify-top" => opts.certify_top = true,
             "--explain" => opts.explain = true,
@@ -495,7 +623,6 @@ fn cmd_query_remote(opts: &Options, addr: &str) -> Result<(), String> {
         .positional
         .first()
         .ok_or("usage: biorank query <PROTEIN> --addr HOST:PORT")?;
-    let mut client = Client::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
     let request = QueryRequest {
         query: ExploratoryQuery::protein_functions(protein),
         spec: remote_spec(opts)?,
@@ -503,8 +630,18 @@ fn cmd_query_remote(opts: &Options, addr: &str) -> Result<(), String> {
         certify_top: opts.certify_top,
         world: opts.world.clone(),
         trace: opts.trace,
+        deadline_ms: opts.deadline_ms,
     };
-    let response = client.query(&request).map_err(|e| e.to_string())?;
+    let copts = client_options(opts);
+    let response = if opts.retries > 0 {
+        // Retrying reconnects per attempt (an overload shed closes
+        // the connection), honoring the server's retry_after_ms hint.
+        Client::query_with_retry(addr, copts, &request, opts.retries).map_err(|e| e.to_string())?
+    } else {
+        let mut client =
+            Client::connect_with(addr, copts).map_err(|e| format!("connect {addr}: {e}"))?;
+        client.query(&request).map_err(|e| e.to_string())?
+    };
     println!(
         "{protein}: {} candidate functions via {addr}{}, method {} ({}, {} µs)",
         response.total_answers,
@@ -558,9 +695,20 @@ fn cmd_query_remote(opts: &Options, addr: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// The client-side timeouts `--timeout-ms` configures.
+fn client_options(opts: &Options) -> ClientOptions {
+    let timeout = opts.timeout_ms.map(std::time::Duration::from_millis);
+    ClientOptions {
+        connect_timeout: timeout,
+        io_timeout: timeout,
+    }
+}
+
 /// `biorank serve`: bind the concurrent query service and run until
-/// killed. The world built from `--seed`/`--extended` becomes the
-/// pinned default of a registry holding up to `--worlds` worlds;
+/// killed (or drained — `admin server.drain` / SIGTERM both stop the
+/// listener, finish in-flight queries, checkpoint durable worlds,
+/// and exit 0). The world built from `--seed`/`--extended` becomes
+/// the pinned default of a registry holding up to `--worlds` worlds;
 /// `biorank admin` loads and swaps the rest at runtime.
 fn cmd_serve(opts: &Options) -> Result<(), String> {
     let spec = WorldSpec {
@@ -590,6 +738,13 @@ fn cmd_serve(opts: &Options) -> Result<(), String> {
             default_estimator: opts.estimator.unwrap_or(Estimator::Auto),
             default_trials: opts.serve_trials_policy(),
             slow_query_micros: opts.slow_query_micros,
+            max_connections: opts.max_connections,
+            queue_depth: opts.queue_depth,
+            rate_limit_per_sec: opts.rate_limit,
+            default_deadline_ms: opts.default_deadline_ms,
+            drain_deadline_ms: opts.drain_deadline_ms,
+            fault_plan: opts.fault_plan,
+            ..ServeOptions::default()
         },
     )
     .map_err(|e| format!("bind {addr}: {e}"))?;
@@ -613,7 +768,46 @@ fn cmd_serve(opts: &Options) -> Result<(), String> {
             ""
         }
     );
+    // Graceful drain on SIGTERM: the handler itself only flips a
+    // flag (async-signal-safe); a monitor thread runs the actual
+    // drain, which makes run() return and the process exit 0.
+    #[cfg(unix)]
+    install_sigterm_drain(server.handle().map_err(|e| e.to_string())?);
     server.run().map_err(|e| e.to_string())
+}
+
+/// Set by the raw SIGTERM handler; polled by the drain monitor.
+#[cfg(unix)]
+static SIGTERM_RECEIVED: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+
+/// Installs the SIGTERM → graceful-drain path without a libc crate:
+/// a raw `signal(2)` registration whose handler does one atomic
+/// store, plus a monitor thread that performs the drain outside
+/// signal context.
+#[cfg(unix)]
+fn install_sigterm_drain(handle: biorank::service::ServerHandle) {
+    use std::sync::atomic::Ordering;
+    extern "C" fn on_sigterm(_signum: i32) {
+        SIGTERM_RECEIVED.store(true, Ordering::SeqCst);
+    }
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGTERM, on_sigterm as *const () as usize);
+    }
+    std::thread::spawn(move || loop {
+        if SIGTERM_RECEIVED.load(Ordering::SeqCst) {
+            eprintln!("SIGTERM: draining (in-flight queries finish, durable worlds checkpoint)");
+            match handle.drain() {
+                Ok(worlds) => eprintln!("drained: {worlds} world(s) checkpointed"),
+                Err(e) => eprintln!("drain error: {e}"),
+            }
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    });
 }
 
 /// Opens (or creates) `--data-dir`, replays its manifest + admin WAL,
@@ -694,7 +888,7 @@ fn wait_for_default(manager: &WorldManager) -> Result<(), String> {
 fn cmd_admin(opts: &Options) -> Result<(), String> {
     let cmd = opts.positional.first().ok_or(
         "usage: biorank admin <world.load|world.swap|world.evict|world.save|checkpoint\
-         |world.list|stats|metrics>",
+         |server.drain|world.list|stats|metrics>",
     )?;
     let addr = opts.addr.as_deref().unwrap_or("127.0.0.1:7878");
     let mut client = Client::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
@@ -756,6 +950,13 @@ fn cmd_admin(opts: &Options) -> Result<(), String> {
         "checkpoint" => {
             let (worlds, bytes) = client.checkpoint().map_err(|e| e.to_string())?;
             println!("checkpoint: {worlds} world(s) snapshotted ({bytes} bytes), WAL compacted");
+        }
+        "server.drain" => {
+            let worlds = client.drain().map_err(|e| e.to_string())?;
+            println!(
+                "server drained: in-flight queries finished, {worlds} world(s) checkpointed, \
+                 listener closed"
+            );
         }
         "world.list" => {
             let worlds = client.world_list().map_err(|e| e.to_string())?;

@@ -119,6 +119,7 @@ pub struct AdaptiveRunner<E> {
     epsilon: f64,
     delta: f64,
     top_k: Option<usize>,
+    deadline: Option<std::time::Instant>,
 }
 
 impl<E: Estimator> AdaptiveRunner<E> {
@@ -130,6 +131,7 @@ impl<E: Estimator> AdaptiveRunner<E> {
             epsilon,
             delta,
             top_k: None,
+            deadline: None,
         }
     }
 
@@ -147,6 +149,19 @@ impl<E: Estimator> AdaptiveRunner<E> {
     /// and is certified (and stamped) as such.
     pub fn with_top_k(mut self, k: usize) -> Self {
         self.top_k = Some(k);
+        self
+    }
+
+    /// Aborts the run with [`Error::DeadlineExceeded`] once `deadline`
+    /// passes. The check sits *between* estimator batches, next to the
+    /// certification poll: a run that completes (certifies or hits its
+    /// ceiling) before the deadline executes the exact same sample
+    /// schedule as an undeadlined run, so bit-identity is preserved —
+    /// the deadline can only cut a run short, never reshape it. The
+    /// error carries the trials completed so callers can report
+    /// partial-trial telemetry.
+    pub fn with_deadline(mut self, deadline: std::time::Instant) -> Self {
+        self.deadline = Some(deadline);
         self
     }
 
@@ -182,6 +197,14 @@ impl<E: Estimator> AdaptiveRunner<E> {
             if done {
                 certified = true;
                 break;
+            }
+            // Deadline poll AFTER the certification check: a batch that
+            // certifies on time is never discarded by a deadline that
+            // fired during its poll.
+            if let Some(deadline) = self.deadline {
+                if std::time::Instant::now() > deadline {
+                    return Err(Error::DeadlineExceeded { trials_used });
+                }
             }
         }
         Ok(AdaptiveOutcome {
@@ -518,6 +541,42 @@ mod tests {
         assert!(out.certificate.certified);
         assert_eq!(out.certificate.trials_used, 64);
         assert_eq!(out.certificate.mode, CertificateMode::TopK(0));
+    }
+
+    #[test]
+    fn expired_deadline_aborts_with_partial_trials() {
+        // A deadline already in the past: the run must abort after its
+        // first batch (the poll sits between batches, so one batch
+        // always completes) and report the trials it spent.
+        let q = tied_pair(true);
+        let deadline = std::time::Instant::now() - std::time::Duration::from_millis(1);
+        let err = AdaptiveRunner::new(WordMc::new(1_000_000, 5), 0.0001, 0.0001)
+            .with_deadline(deadline)
+            .run(&q)
+            .unwrap_err();
+        match err {
+            Error::DeadlineExceeded { trials_used } => {
+                assert_eq!(trials_used, 64, "aborts after exactly one batch");
+            }
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+        assert!(err.to_string().contains("deadline_exceeded"));
+    }
+
+    #[test]
+    fn generous_deadline_is_bit_identical_to_undeadlined_run() {
+        // A deadline far in the future must not perturb the outcome:
+        // same scores, same certificate, batch for batch.
+        let q = separated_star();
+        let plain = AdaptiveRunner::new(WordMc::new(10_000, 7), 0.02, 0.05)
+            .run(&q)
+            .unwrap();
+        let deadlined = AdaptiveRunner::new(WordMc::new(10_000, 7), 0.02, 0.05)
+            .with_deadline(std::time::Instant::now() + std::time::Duration::from_secs(3600))
+            .run(&q)
+            .unwrap();
+        assert_eq!(plain.scores.as_slice(), deadlined.scores.as_slice());
+        assert_eq!(plain.certificate, deadlined.certificate);
     }
 
     #[test]

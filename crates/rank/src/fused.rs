@@ -67,6 +67,14 @@ pub struct FusedJob {
     pub trials: u32,
     /// When (and whether) the job stops early.
     pub policy: FusedPolicy,
+    /// Abort the job with [`Error::DeadlineExceeded`] once this instant
+    /// passes. Polled after every folded batch, *after* the
+    /// certification check — exactly mirroring
+    /// [`AdaptiveRunner::with_deadline`](crate::AdaptiveRunner::with_deadline)
+    /// — so a job that completes on time runs the same sample schedule
+    /// as an undeadlined one, and an aborted job fails through the sink
+    /// without disturbing its block-mates.
+    pub deadline: Option<std::time::Instant>,
 }
 
 /// The finished result of one fused job.
@@ -109,6 +117,7 @@ struct JobRun {
     counts: Vec<u64>,
     /// `None` for fixed jobs.
     adaptive: Option<AdaptiveRule>,
+    deadline: Option<std::time::Instant>,
     certified: bool,
     done: bool,
     step_nanos: u64,
@@ -266,6 +275,19 @@ pub fn run_fused<const W: usize>(
                 job.done = true;
                 sink(job.id, finalize(&plan, job, node_bound));
                 completed += 1;
+            } else if job.deadline.is_some_and(|d| std::time::Instant::now() > d) {
+                // Deadline poll after the certification check: a batch
+                // that finishes the job on time always lands. An
+                // aborted job reports its partial-trial telemetry and
+                // frees its lanes for the next block.
+                job.done = true;
+                sink(
+                    job.id,
+                    Err(Error::DeadlineExceeded {
+                        trials_used: job.trials_done,
+                    }),
+                );
+                completed += 1;
             }
         }
         jobs.retain(|j| !j.done);
@@ -304,6 +326,7 @@ fn admit_job(id: u64, job: FusedJob, answers: usize, n: usize) -> Result<JobRun,
         trials_done: 0,
         counts: vec![0u64; n],
         adaptive,
+        deadline: job.deadline,
         certified: false,
         done: false,
         step_nanos: 0,
@@ -378,6 +401,7 @@ mod tests {
                     seed: 1,
                     trials: 1_000,
                     policy: FusedPolicy::Fixed,
+                    deadline: None,
                 },
             ),
             (
@@ -386,6 +410,7 @@ mod tests {
                     seed: 2,
                     trials: 777,
                     policy: FusedPolicy::Fixed,
+                    deadline: None,
                 },
             ),
             (
@@ -394,6 +419,7 @@ mod tests {
                     seed: 1,
                     trials: 64,
                     policy: FusedPolicy::Fixed,
+                    deadline: None,
                 },
             ),
         ];
@@ -427,6 +453,7 @@ mod tests {
                             delta: 0.05,
                             top_k: if i == 3 { Some(1) } else { None },
                         },
+                        deadline: None,
                     },
                 )
             })
@@ -457,6 +484,7 @@ mod tests {
                 seed: 9,
                 trials: 640,
                 policy: FusedPolicy::Fixed,
+                deadline: None,
             },
         )];
         let mut results = Vec::new();
@@ -468,6 +496,7 @@ mod tests {
                     seed: 3,
                     trials: 2_000,
                     policy: FusedPolicy::Fixed,
+                    deadline: None,
                 },
             )],
             || std::mem::take(&mut pending),
@@ -500,6 +529,7 @@ mod tests {
                         seed: 1,
                         trials: 0,
                         policy: FusedPolicy::Fixed,
+                        deadline: None,
                     },
                 ),
                 (
@@ -512,6 +542,7 @@ mod tests {
                             delta: 0.05,
                             top_k: None,
                         },
+                        deadline: None,
                     },
                 ),
                 (
@@ -520,6 +551,7 @@ mod tests {
                         seed: 4,
                         trials: 128,
                         policy: FusedPolicy::Fixed,
+                        deadline: None,
                     },
                 ),
             ],
@@ -538,6 +570,84 @@ mod tests {
     }
 
     #[test]
+    fn expired_deadline_fails_job_without_killing_blockmates() {
+        // Job 0 carries a deadline already in the past; job 1 has none.
+        // Job 0 must abort with DeadlineExceeded after its first folded
+        // batch (the poll sits between batches) while job 1 completes
+        // bit-identically to its solo run.
+        let q = star();
+        let mut ok = Vec::new();
+        let mut failed = Vec::new();
+        run_fused::<8>(
+            &q,
+            vec![
+                (
+                    0,
+                    FusedJob {
+                        seed: 1,
+                        trials: 1_000_000,
+                        policy: FusedPolicy::Fixed,
+                        deadline: Some(
+                            std::time::Instant::now() - std::time::Duration::from_millis(1),
+                        ),
+                    },
+                ),
+                (
+                    1,
+                    FusedJob {
+                        seed: 2,
+                        trials: 512,
+                        policy: FusedPolicy::Fixed,
+                        deadline: None,
+                    },
+                ),
+            ],
+            Vec::new,
+            |id, r| match r {
+                Ok(o) => ok.push((id, o)),
+                Err(e) => failed.push((id, e)),
+            },
+            |_| {},
+        );
+        assert_eq!(ok.len(), 1);
+        assert_eq!(ok[0].0, 1);
+        assert_eq!(
+            ok[0].1.scores.as_slice(),
+            WordMc::new(512, 2).score(&q).unwrap().as_slice()
+        );
+        assert_eq!(failed.len(), 1);
+        match &failed[0] {
+            (0, Error::DeadlineExceeded { trials_used }) => {
+                assert!(*trials_used >= 64, "at least one batch folded");
+                assert!(*trials_used < 1_000_000, "aborted well short of budget");
+            }
+            other => panic!("expected job 0 DeadlineExceeded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn generous_deadline_matches_undeadlined_bits() {
+        let q = star();
+        let far = std::time::Instant::now() + std::time::Duration::from_secs(3600);
+        let out = run_all(
+            &q,
+            vec![(
+                0,
+                FusedJob {
+                    seed: 3,
+                    trials: 2_000,
+                    policy: FusedPolicy::Fixed,
+                    deadline: Some(far),
+                },
+            )],
+        );
+        assert_eq!(
+            out[0].1.scores.as_slice(),
+            WordMc::new(2_000, 3).score(&q).unwrap().as_slice()
+        );
+    }
+
+    #[test]
     fn observe_reports_shared_blocks() {
         let q = star();
         let mut widths = Vec::new();
@@ -550,6 +660,7 @@ mod tests {
                         seed: 1,
                         trials: 512,
                         policy: FusedPolicy::Fixed,
+                        deadline: None,
                     },
                 ),
                 (
@@ -558,6 +669,7 @@ mod tests {
                         seed: 2,
                         trials: 512,
                         policy: FusedPolicy::Fixed,
+                        deadline: None,
                     },
                 ),
             ],

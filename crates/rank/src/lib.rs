@@ -94,6 +94,16 @@ pub enum Error {
     /// An underlying graph operation failed (e.g. PathCount on a cyclic
     /// graph).
     Graph(biorank_graph::Error),
+    /// A deadline-bounded run was aborted between estimator batches
+    /// before it certified or reached its trial ceiling. `trials_used`
+    /// is the partial-trial telemetry: how many Monte Carlo trials had
+    /// completed when the deadline fired. Aborting never alters the
+    /// sample schedule of runs that do complete — the deadline poll
+    /// sits between batches, exactly like the certification poll.
+    DeadlineExceeded {
+        /// Trials completed before the deadline fired.
+        trials_used: u32,
+    },
 }
 
 impl fmt::Display for Error {
@@ -104,6 +114,9 @@ impl fmt::Display for Error {
                 write!(f, "parameter {name} = {value} outside valid range")
             }
             Error::Graph(e) => write!(f, "{e}"),
+            Error::DeadlineExceeded { trials_used } => {
+                write!(f, "deadline_exceeded after {trials_used} trials")
+            }
         }
     }
 }

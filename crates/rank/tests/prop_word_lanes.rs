@@ -307,6 +307,7 @@ proptest! {
                 } else {
                     FusedPolicy::Adaptive { epsilon: 0.05, delta: 0.05, top_k: None }
                 },
+                deadline: None,
             })
             .collect();
         let fused = solo_fused(&q, &jobs);

@@ -37,7 +37,7 @@
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use biorank_mediator::{ExploratoryQuery, IntegrationResult, Mediator};
 use biorank_obs::{MetricsRegistry, MetricsSnapshot, TraceRecorder, TraceSpan};
@@ -468,6 +468,17 @@ pub struct QueryRequest {
     /// request is bit-identical to its untraced twin — answers,
     /// certificates, and cache effects included.
     pub trace: bool,
+    /// Execution time budget in milliseconds, measured from
+    /// [`QueryEngine::execute`] entry. A stochastic run still going
+    /// when the budget expires is aborted between estimator batches
+    /// with [`Error::Rank`] over
+    /// [`biorank_rank::Error::DeadlineExceeded`], carrying
+    /// partial-trial telemetry. Like `world` and `trace` this is not
+    /// part of any cache key: the deadline only decides whether a run
+    /// finishes, never what a finished run computes — a request that
+    /// beats its deadline is bit-identical to the undeadlined twin,
+    /// and an aborted run never reaches the result cache.
+    pub deadline_ms: Option<u64>,
 }
 
 impl QueryRequest {
@@ -481,12 +492,20 @@ impl QueryRequest {
             certify_top: false,
             world: None,
             trace: false,
+            deadline_ms: None,
         }
     }
 
     /// The same request with per-stage trace spans echoed back.
     pub fn traced(mut self) -> Self {
         self.trace = true;
+        self
+    }
+
+    /// The same request under an execution deadline of `ms`
+    /// milliseconds (see [`QueryRequest::deadline_ms`]).
+    pub fn with_deadline_ms(mut self, ms: u64) -> Self {
+        self.deadline_ms = Some(ms);
         self
     }
 
@@ -908,6 +927,11 @@ impl QueryEngine {
     /// caller but never evicts a stronger cached answer.
     pub fn execute(&self, req: &QueryRequest) -> Result<QueryResponse, Error> {
         let start = Instant::now();
+        // The budget starts counting here: queueing upstream of the
+        // engine (server queue, worker pool) is the caller's to
+        // account — the server rewrites `deadline_ms` to the budget
+        // remaining at submission.
+        let deadline = req.deadline_ms.map(|ms| start + Duration::from_millis(ms));
         let mut trace = TraceRecorder::new(req.trace);
         // `estimator: auto` resolves into a concrete strategy *here*,
         // before the result key is formed — planned and explicit
@@ -965,7 +989,7 @@ impl QueryEngine {
                     trace.span("coalesce", waited.elapsed().as_nanos() as u64);
                 }
                 Ok(flight) => {
-                    let out = self.compute(req, &result_key, coverage, &mut trace, start);
+                    let out = self.compute(req, &result_key, coverage, &mut trace, start, deadline);
                     self.flights.lock().expect("flight map").remove(&result_key);
                     flight.signal();
                     break out?;
@@ -991,6 +1015,7 @@ impl QueryEngine {
         coverage: Coverage,
         trace: &mut TraceRecorder,
         start: Instant,
+        deadline: Option<Instant>,
     ) -> Result<QueryResponse, Error> {
         let (graph, graph_ns) = trace.time("graph", || -> Result<_, Error> {
             match self.graphs.get(&req.query) {
@@ -1012,7 +1037,7 @@ impl QueryEngine {
         // remainder, so the two always sum to the full scoring time.
         let rank_start = Instant::now();
         let (ranked, certify_ns) =
-            self.rank_resident(&integration, &req.query, &req.spec, coverage)?;
+            self.rank_resident(&integration, &req.query, &req.spec, coverage, deadline)?;
         let estimate_ns = (rank_start.elapsed().as_nanos() as u64).saturating_sub(certify_ns);
         trace.span("estimate", estimate_ns);
         trace.span("certify", certify_ns);
@@ -1271,7 +1296,13 @@ impl QueryEngine {
             spec,
             ..req.clone()
         };
-        let (ranked, _) = Self::rank(&integration, &resolved.query, &spec, resolved.coverage())?;
+        let (ranked, _) = Self::rank(
+            &integration,
+            &resolved.query,
+            &spec,
+            resolved.coverage(),
+            None,
+        )?;
         let mut response = Self::assemble(&ranked, req.top, false, false, start);
         response.plan = plan_echo;
         Ok(response)
@@ -1291,9 +1322,10 @@ impl QueryEngine {
         query: &ExploratoryQuery,
         spec: &RankerSpec,
         coverage: Coverage,
+        deadline: Option<Instant>,
     ) -> Result<(RankedResult, u64), Error> {
         if spec.method != Method::TraversalMc || spec.resolved_estimator() != Estimator::Word {
-            return Self::rank(integration, query, spec, coverage);
+            return Self::rank(integration, query, spec, coverage, deadline);
         }
         let job = FusedJob {
             seed: spec.effective_seed(query),
@@ -1312,6 +1344,7 @@ impl QueryEngine {
                     },
                 },
             },
+            deadline,
         };
         let outcome = self.run_in_sweep(query, &integration.query, job)?;
         Ok((
@@ -1420,6 +1453,12 @@ impl QueryEngine {
                 }
             },
             |stats| {
+                // Fault-injection hook: one relaxed load per batch
+                // when no stall is installed. Sitting in the observe
+                // callback keeps it between batches, where a stalled
+                // job's deadline can fire without perturbing the
+                // sample schedule of jobs that finish on time.
+                crate::admission::maybe_stall_batch();
                 batches.inc();
                 lanes_used.add(u64::from(stats.lanes));
                 width.record(u64::from(stats.jobs));
@@ -1472,6 +1511,7 @@ impl QueryEngine {
         query: &ExploratoryQuery,
         spec: &RankerSpec,
         coverage: Coverage,
+        deadline: Option<Instant>,
     ) -> Result<(RankedResult, u64), Error> {
         let q = &integration.query;
         let mut certify_nanos = 0u64;
@@ -1479,7 +1519,7 @@ impl QueryEngine {
             // Deterministic methods never sample, so the trial policy
             // (fixed or adaptive) is irrelevant to them.
             Trials::Adaptive(cfg) if spec.method.is_stochastic() => {
-                let outcome = run_adaptive(
+                let outcome = run_adaptive_with_deadline(
                     spec.method,
                     spec.resolved_estimator(),
                     cfg,
@@ -1488,6 +1528,7 @@ impl QueryEngine {
                         Coverage::TopK(k) => Some(k),
                         Coverage::Full => None,
                     },
+                    deadline,
                     q,
                 )?;
                 certify_nanos = outcome.poll_nanos;
@@ -1591,6 +1632,7 @@ impl QueryEngine {
                     certify_top: k.is_some(),
                     world: None,
                     trace: false,
+                    deadline_ms: None,
                 })
                 .is_ok();
             if ok {
@@ -1754,28 +1796,62 @@ pub fn run_adaptive(
     top_k: Option<usize>,
     q: &biorank_graph::QueryGraph,
 ) -> Result<biorank_rank::AdaptiveOutcome, biorank_rank::Error> {
+    run_adaptive_with_deadline(method, estimator, cfg, seed, top_k, None, q)
+}
+
+/// [`run_adaptive`] under an optional execution deadline: the runner
+/// aborts between batches with
+/// [`biorank_rank::Error::DeadlineExceeded`] once `deadline` passes
+/// (see [`AdaptiveRunner::with_deadline`]). A run that completes in
+/// time is bit-identical to an undeadlined run.
+pub fn run_adaptive_with_deadline(
+    method: Method,
+    estimator: Estimator,
+    cfg: AdaptiveConfig,
+    seed: u64,
+    top_k: Option<usize>,
+    deadline: Option<Instant>,
+    q: &biorank_graph::QueryGraph,
+) -> Result<biorank_rank::AdaptiveOutcome, biorank_rank::Error> {
     fn run<E: biorank_rank::Estimator>(
         engine: E,
         cfg: AdaptiveConfig,
         top_k: Option<usize>,
+        deadline: Option<Instant>,
         q: &biorank_graph::QueryGraph,
     ) -> Result<biorank_rank::AdaptiveOutcome, biorank_rank::Error> {
         let mut runner = AdaptiveRunner::new(engine, cfg.epsilon, cfg.delta);
         if let Some(k) = top_k {
             runner = runner.with_top_k(k);
         }
+        if let Some(d) = deadline {
+            runner = runner.with_deadline(d);
+        }
         runner.run(q)
     }
     match method {
-        Method::Reliability => run(ReducedMc::new(cfg.max_trials, seed), cfg, top_k, q),
+        Method::Reliability => run(
+            ReducedMc::new(cfg.max_trials, seed),
+            cfg,
+            top_k,
+            deadline,
+            q,
+        ),
         Method::TraversalMc => match estimator {
-            Estimator::Traversal => run(TraversalMc::new(cfg.max_trials, seed), cfg, top_k, q),
+            Estimator::Traversal => run(
+                TraversalMc::new(cfg.max_trials, seed),
+                cfg,
+                top_k,
+                deadline,
+                q,
+            ),
             // `auto` is resolved before execution; unresolved callers
             // get the word engine, matching `RankerSpec::build`.
             Estimator::Word | Estimator::Auto => run(
                 WordMc::<FUSION_LANES>::wide(cfg.max_trials, seed),
                 cfg,
                 top_k,
+                deadline,
                 q,
             ),
         },

@@ -65,6 +65,7 @@
 #![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod admission;
 pub mod cache;
 pub mod engine;
 pub mod persist;
@@ -73,6 +74,7 @@ pub mod server;
 pub mod tenancy;
 pub mod wire;
 
+pub use admission::{ConnectionBudget, ConnectionPermit, FaultPlan, InFlightGauge, TokenBucket};
 pub use biorank_obs::{
     HistogramBucket, HistogramSnapshot, MetricsRegistry, MetricsSnapshot, SlowQueryEntry,
     SlowQueryLog, TraceSpan,
@@ -88,7 +90,12 @@ pub use engine::{
 };
 pub use persist::{export_snapshot, import_snapshot, snapshot_spec};
 pub use pool::WorkerPool;
-pub use server::{Client, ServeOptions, Server, ServerHandle, DEFAULT_SLOW_QUERY_MICROS};
+pub use server::{
+    Client, ClientOptions, ServeOptions, Server, ServerHandle, DEFAULT_DRAIN_DEADLINE_MS,
+    DEFAULT_MAX_CONNECTIONS, DEFAULT_MAX_REQUEST_BYTES, DEFAULT_QUEUE_DEPTH,
+    DEFAULT_READ_TIMEOUT_MS, DEFAULT_RETRY_AFTER_MS, DEFAULT_SLOW_QUERY_MICROS,
+    DEFAULT_WRITE_TIMEOUT_MS,
+};
 pub use tenancy::{
     MetricsReport, ServiceStats, TenancyError, WorldInfo, WorldManager, WorldMetrics, WorldSpec,
     WorldState, WorldStats, DEFAULT_SWAP_WARM, DEFAULT_WORLD, DEFAULT_WORLD_BUDGET,
@@ -113,6 +120,40 @@ pub enum Error {
     Io(std::io::Error),
     /// The server answered with an error, rendered as text.
     Remote(String),
+    /// The server shed the request at admission (connection budget,
+    /// queue depth, or rate limit); retry after the hinted backoff.
+    Overloaded {
+        /// The server's backoff hint, in milliseconds.
+        retry_after_ms: u64,
+    },
+}
+
+impl Error {
+    /// `true` when the server shed this request under overload —
+    /// either at the connection level ([`Error::Overloaded`]) or as a
+    /// per-request `overloaded` error line — and a bounded retry with
+    /// backoff is the right client response.
+    pub fn is_overload(&self) -> bool {
+        match self {
+            Error::Overloaded { .. } => true,
+            Error::Remote(msg) => msg.contains("overloaded"),
+            _ => false,
+        }
+    }
+
+    /// The server's `retry_after_ms` backoff hint, when this error
+    /// carries one (shed notices embed it in the message as
+    /// `retry_after_ms=N`).
+    pub fn retry_after_ms(&self) -> Option<u64> {
+        match self {
+            Error::Overloaded { retry_after_ms } => Some(*retry_after_ms),
+            Error::Remote(msg) => msg.split("retry_after_ms=").nth(1).and_then(|rest| {
+                let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
+                digits.parse().ok()
+            }),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for Error {
@@ -124,6 +165,9 @@ impl fmt::Display for Error {
             Error::Tenancy(e) => write!(f, "tenancy: {e}"),
             Error::Io(e) => write!(f, "io: {e}"),
             Error::Remote(msg) => write!(f, "remote: {msg}"),
+            Error::Overloaded { retry_after_ms } => {
+                write!(f, "overloaded: retry after {retry_after_ms} ms")
+            }
         }
     }
 }
@@ -136,7 +180,7 @@ impl std::error::Error for Error {
             Error::Wire(e) => Some(e),
             Error::Tenancy(e) => Some(e),
             Error::Io(e) => Some(e),
-            Error::Remote(_) => None,
+            Error::Remote(_) | Error::Overloaded { .. } => None,
         }
     }
 }

@@ -43,6 +43,47 @@
 //! zeros, bucket `i ≥ 1` holds `[2^(i−1), 2^i)`), never a value
 //! bound, so the top buckets' > 2⁵³ bounds survive f64 JSON exactly;
 //! decoders recompute bounds from the index.
+//!
+//! **Overload behavior.** Admission control is layered
+//! (see [`crate::admission`]):
+//!
+//! 1. *Connection budget* — when all `max_connections` permits are
+//!    out, the accept loop writes one id-less
+//!    `{"error":"overloaded","retry_after_ms":N}` line and closes
+//!    instead of spawning a thread (`shed.connections`).
+//! 2. *Bounded request queue* — a query arriving while `queue_depth`
+//!    requests are already admitted-but-unanswered is refused with a
+//!    normal error response whose message starts with `overloaded`
+//!    and embeds `retry_after_ms=N` (`shed.requests`).
+//! 3. *Rate limit* — an optional per-connection token bucket sheds
+//!    the same way (`shed.rate_limited`).
+//! 4. *Line limits* — a request line larger than `max_request_bytes`
+//!    is answered with one error and the connection closed, without
+//!    buffering past the cap (`limits.oversized_requests`); a
+//!    connection that stalls **mid-line** past the read timeout is
+//!    reaped silently (`limits.read_timeouts`) — idle connections
+//!    with no partial line pending are never reaped.
+//!
+//! **Deadlines.** A query line may carry `deadline_ms` (or inherit
+//! the server default): its total budget, measured from decode time,
+//! so queue wait counts against it. An entry whose deadline expires
+//! while queued is shed before touching the engine
+//! (`deadline.shed_queued`); one that expires mid-estimate aborts
+//! between Monte Carlo batches (`deadline.exceeded`) and answers
+//! `{"id":N,"ok":false,"error":"deadline_exceeded after T trials"}`.
+//! The deadline poll sits after each batch's certification check, so
+//! a run that finishes on time is bit-identical to an undeadlined
+//! one — deadlines never alter the sample schedule of completing
+//! runs.
+//!
+//! **Drain.** The `server.drain` admin op (or SIGTERM under `biorank
+//! serve`) stops the accept loop, waits up to `drain_deadline_ms`
+//! for every in-flight query on every connection to answer,
+//! checkpoints durable worlds when a store is attached, and then
+//! lets [`Server::run`] return — so `biorank serve` exits 0. The
+//! `{"drained":{"worlds":W}}` response is written before the
+//! process goes away. `drain.{requested,completed,
+//! worlds_checkpointed,dropped_in_flight}` account for the shutdown.
 
 use std::collections::BTreeMap;
 use std::io::{BufRead, BufReader, BufWriter, Write};
@@ -50,10 +91,13 @@ use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{channel, Sender};
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use biorank_obs::{SlowQueryEntry, SlowQueryLog, DEFAULT_SLOW_LOG_CAPACITY};
 
+use crate::admission::{
+    self, ConnectionBudget, FaultPlan, InFlightGauge, LineError, LineReader, TokenBucket,
+};
 use crate::engine::{AdaptiveConfig, Estimator, QueryEngine, Trials};
 use crate::pool::WorkerPool;
 use crate::tenancy::{
@@ -66,6 +110,31 @@ use crate::wire::{AdminRequest, AdminResponse, RequestBody, RequestDefaults, Res
 /// microseconds land in the in-memory slow-query ring buffer exposed
 /// by the `metrics` admin command.
 pub const DEFAULT_SLOW_QUERY_MICROS: u64 = 10_000;
+
+/// Default concurrent-connection budget; the accept loop sheds past it.
+pub const DEFAULT_MAX_CONNECTIONS: usize = 256;
+
+/// Default bound on admitted-but-unanswered queries across all
+/// connections; query lines arriving at the bound are shed.
+pub const DEFAULT_QUEUE_DEPTH: usize = 1024;
+
+/// Default per-connection socket read timeout. Only a connection
+/// stalled **mid-line** is reaped when it fires; idle connections
+/// survive it indefinitely.
+pub const DEFAULT_READ_TIMEOUT_MS: u64 = 30_000;
+
+/// Default per-connection socket write timeout.
+pub const DEFAULT_WRITE_TIMEOUT_MS: u64 = 30_000;
+
+/// Default cap on a single request line (1 MiB). The reader never
+/// buffers past it.
+pub const DEFAULT_MAX_REQUEST_BYTES: usize = 1 << 20;
+
+/// Default ceiling on how long a drain waits for in-flight queries.
+pub const DEFAULT_DRAIN_DEADLINE_MS: u64 = 30_000;
+
+/// Default `retry_after_ms` hint on shed responses.
+pub const DEFAULT_RETRY_AFTER_MS: u64 = 100;
 
 /// Server tuning knobs.
 #[derive(Clone, Copy, Debug)]
@@ -86,6 +155,47 @@ pub struct ServeOptions {
     /// recorded in the slow-query ring buffer ([`DEFAULT_SLOW_QUERY_MICROS`]
     /// by default; `u64::MAX` disables the log).
     pub slow_query_micros: u64,
+    /// Concurrent-connection budget. The accept loop answers
+    /// connection number `max_connections + 1` with one id-less
+    /// `{"error":"overloaded","retry_after_ms":N}` line and closes it
+    /// instead of spawning a thread, so connection count — and thread
+    /// count, see the permit-gated accept loop — stays bounded under
+    /// a flood.
+    pub max_connections: usize,
+    /// Bound on admitted-but-unanswered queries across every
+    /// connection. Query lines arriving at the bound are refused with
+    /// an `overloaded` error response carrying `retry_after_ms=N`.
+    pub queue_depth: usize,
+    /// Socket read timeout per connection (0 disables). Only a
+    /// connection with a *partial request line* pending is reaped
+    /// when it fires — the slow-loris case; idle connections wait
+    /// forever.
+    pub read_timeout_ms: u64,
+    /// Socket write timeout per connection (0 disables), so a peer
+    /// that stops reading cannot wedge a writer thread forever.
+    pub write_timeout_ms: u64,
+    /// Hard cap on one request line's bytes; larger lines are
+    /// answered with an error and the connection closed, without the
+    /// server ever buffering past the cap.
+    pub max_request_bytes: usize,
+    /// Optional per-connection token-bucket rate limit
+    /// (requests/second with a one-second burst). `None` (the
+    /// default) disables it.
+    pub rate_limit_per_sec: Option<u32>,
+    /// Deadline applied to query lines that omit `deadline_ms`
+    /// (`None`, the default, leaves them undeadlined). Explicit
+    /// client deadlines always win.
+    pub default_deadline_ms: Option<u64>,
+    /// How long a drain waits for in-flight queries before giving up
+    /// on the stragglers (they are counted in
+    /// `drain.dropped_in_flight`, never silently lost).
+    pub drain_deadline_ms: u64,
+    /// The backoff hint stamped on shed notices and responses.
+    pub retry_after_ms: u64,
+    /// Fault injection for overload testing (`biorank serve
+    /// --fault-plan`). `None` — the default — costs nothing on the
+    /// request path.
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl Default for ServeOptions {
@@ -106,6 +216,16 @@ impl Default for ServeOptions {
             default_estimator: Estimator::Auto,
             default_trials: Trials::Adaptive(AdaptiveConfig::default()),
             slow_query_micros: DEFAULT_SLOW_QUERY_MICROS,
+            max_connections: DEFAULT_MAX_CONNECTIONS,
+            queue_depth: DEFAULT_QUEUE_DEPTH,
+            read_timeout_ms: DEFAULT_READ_TIMEOUT_MS,
+            write_timeout_ms: DEFAULT_WRITE_TIMEOUT_MS,
+            max_request_bytes: DEFAULT_MAX_REQUEST_BYTES,
+            rate_limit_per_sec: None,
+            default_deadline_ms: None,
+            drain_deadline_ms: DEFAULT_DRAIN_DEADLINE_MS,
+            retry_after_ms: DEFAULT_RETRY_AFTER_MS,
+            fault_plan: None,
         }
     }
 }
@@ -116,23 +236,41 @@ pub struct Server {
     manager: Arc<WorldManager>,
     pool: Arc<WorkerPool>,
     shutdown: Arc<AtomicBool>,
+    draining: Arc<AtomicBool>,
     defaults: ServerDefaults,
     slow_log: Arc<SlowQueryLog>,
+    budget: Arc<ConnectionBudget>,
+    in_flight: Arc<InFlightGauge>,
+    drain_deadline_ms: u64,
 }
 
-/// The per-request defaults a server substitutes for unset fields.
+/// The per-request defaults a server substitutes for unset fields,
+/// plus the per-connection limits every handler thread enforces.
 #[derive(Clone, Copy)]
 struct ServerDefaults {
     estimator: Estimator,
     trials: Trials,
     slow_query_micros: u64,
+    queue_depth: usize,
+    default_deadline_ms: Option<u64>,
+    retry_after_ms: u64,
+    read_timeout_ms: u64,
+    write_timeout_ms: u64,
+    max_request_bytes: usize,
+    rate_limit_per_sec: Option<u32>,
+    fault: FaultPlan,
 }
 
-/// A handle that can stop a running [`Server`] from another thread.
+/// A handle that can stop — or gracefully drain — a running
+/// [`Server`] from another thread.
 #[derive(Clone)]
 pub struct ServerHandle {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
+    draining: Arc<AtomicBool>,
+    in_flight: Arc<InFlightGauge>,
+    drain_deadline_ms: u64,
+    manager: Arc<WorldManager>,
 }
 
 impl ServerHandle {
@@ -147,6 +285,24 @@ impl ServerHandle {
         self.shutdown.store(true, Ordering::SeqCst);
         // Unblock accept() with a throwaway connection.
         let _ = TcpStream::connect(self.addr);
+    }
+
+    /// Gracefully drains the server: stops the accept loop, waits up
+    /// to the configured drain deadline for every in-flight query on
+    /// every connection to answer, and checkpoints durable worlds
+    /// when a store is attached. Returns the number of worlds
+    /// checkpointed. This is what the `server.drain` admin op and the
+    /// CLI's SIGTERM handler call.
+    pub fn drain(&self) -> Result<usize, crate::Error> {
+        perform_drain(self).map_err(crate::Error::Tenancy)
+    }
+
+    /// The service metrics registry — the same counters the `metrics`
+    /// admin op reports. In-process access matters after a drain,
+    /// when the wire is gone but `drain.*` accounting still needs
+    /// auditing.
+    pub fn metrics(&self) -> Arc<crate::MetricsRegistry> {
+        Arc::clone(self.manager.metrics())
     }
 }
 
@@ -186,17 +342,34 @@ impl Server {
         opts: ServeOptions,
     ) -> std::io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
+        // A configured fault plan owns the process-global estimator
+        // stall; fault-free servers never touch it.
+        if let Some(fault) = opts.fault_plan {
+            admission::set_stall_batch_ms(fault.stall_batch_ms);
+        }
         Ok(Server {
             listener,
             manager,
             pool: Arc::new(WorkerPool::new(opts.workers)),
             shutdown: Arc::new(AtomicBool::new(false)),
+            draining: Arc::new(AtomicBool::new(false)),
             defaults: ServerDefaults {
                 estimator: opts.default_estimator,
                 trials: opts.default_trials,
                 slow_query_micros: opts.slow_query_micros,
+                queue_depth: opts.queue_depth.max(1),
+                default_deadline_ms: opts.default_deadline_ms,
+                retry_after_ms: opts.retry_after_ms,
+                read_timeout_ms: opts.read_timeout_ms,
+                write_timeout_ms: opts.write_timeout_ms,
+                max_request_bytes: opts.max_request_bytes,
+                rate_limit_per_sec: opts.rate_limit_per_sec,
+                fault: opts.fault_plan.unwrap_or_default(),
             },
             slow_log: Arc::new(SlowQueryLog::new(DEFAULT_SLOW_LOG_CAPACITY)),
+            budget: ConnectionBudget::new(opts.max_connections),
+            in_flight: InFlightGauge::new(),
+            drain_deadline_ms: opts.drain_deadline_ms,
         })
     }
 
@@ -205,11 +378,15 @@ impl Server {
         self.listener.local_addr()
     }
 
-    /// A shutdown handle for this server.
+    /// A shutdown/drain handle for this server.
     pub fn handle(&self) -> std::io::Result<ServerHandle> {
         Ok(ServerHandle {
             addr: self.local_addr()?,
             shutdown: Arc::clone(&self.shutdown),
+            draining: Arc::clone(&self.draining),
+            in_flight: Arc::clone(&self.in_flight),
+            drain_deadline_ms: self.drain_deadline_ms,
+            manager: Arc::clone(&self.manager),
         })
     }
 
@@ -219,6 +396,8 @@ impl Server {
     /// down — folds the cache counters in as `cache.*` gauges (see
     /// [`QueryEngine::metrics_snapshot`]).
     pub fn run(self) -> std::io::Result<()> {
+        let handle = self.handle()?;
+        let mut conn_id: u64 = 0;
         for conn in self.listener.incoming() {
             if self.shutdown.load(Ordering::SeqCst) {
                 break;
@@ -229,7 +408,21 @@ impl Server {
                     // Persistent accept errors (e.g. EMFILE under fd
                     // exhaustion) fail instantly; back off instead of
                     // spinning a core until the condition clears.
-                    std::thread::sleep(std::time::Duration::from_millis(50));
+                    std::thread::sleep(Duration::from_millis(50));
+                    continue;
+                }
+            };
+            if self.defaults.fault.accept_delay_ms > 0 {
+                std::thread::sleep(Duration::from_millis(self.defaults.fault.accept_delay_ms));
+            }
+            // Admission: one permit per live connection. No permit →
+            // shed with a one-line notice instead of spawning, so a
+            // connection flood is bounded in both threads and memory.
+            let permit = match self.budget.try_acquire() {
+                Some(permit) => permit,
+                None => {
+                    self.manager.metrics().counter("shed.connections").inc();
+                    shed_connection(stream, self.defaults.retry_after_ms);
                     continue;
                 }
             };
@@ -238,9 +431,31 @@ impl Server {
             let pool = Arc::clone(&self.pool);
             let defaults = self.defaults;
             let slow_log = Arc::clone(&self.slow_log);
-            std::thread::spawn(move || {
-                let _ = handle_connection(stream, manager, pool, defaults, slow_log);
-            });
+            let handle = handle.clone();
+            conn_id += 1;
+            let spawned = std::thread::Builder::new()
+                .name(format!("biorank-conn-{conn_id}"))
+                .spawn(move || {
+                    let _permit = permit;
+                    let _ = handle_connection(stream, manager, pool, defaults, slow_log, handle);
+                });
+            if spawned.is_err() {
+                // Thread exhaustion is an overload signal too; the
+                // moved-in stream and permit were dropped with the
+                // failed closure, closing the connection.
+                self.manager.metrics().counter("shed.connections").inc();
+            }
+        }
+        // A drain promised its caller the response line goes out
+        // before the process can exit: linger until every connection
+        // thread has returned its permit (the drain client disconnects
+        // right after reading its answer), bounded so an unrelated
+        // idle connection cannot hold the exit hostage.
+        if self.draining.load(Ordering::SeqCst) {
+            let linger = Instant::now() + Duration::from_secs(5);
+            while self.budget.active() > 0 && Instant::now() < linger {
+                std::thread::sleep(Duration::from_millis(10));
+            }
         }
         // Graceful shutdown: fold the final cache counters into each
         // world's metrics registry (as the `cache.*` gauges every
@@ -253,51 +468,171 @@ impl Server {
     }
 }
 
+/// Best-effort shed notice on a connection the budget refused: write
+/// the id-less `overloaded` line (under a short timeout so a
+/// non-reading flooder cannot slow the accept loop) and close.
+fn shed_connection(stream: TcpStream, retry_after_ms: u64) {
+    let mut stream = stream;
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(1_000)));
+    let mut line = wire::encode_overload_line(retry_after_ms);
+    line.push('\n');
+    let _ = stream.write_all(line.as_bytes());
+}
+
+/// The drain sequence behind [`ServerHandle::drain`] and the
+/// `server.drain` admin op.
+fn perform_drain(handle: &ServerHandle) -> Result<usize, crate::tenancy::TenancyError> {
+    let metrics = handle.manager.metrics();
+    metrics.counter("drain.requested").inc();
+    handle.draining.store(true, Ordering::SeqCst);
+    handle.shutdown();
+    let dropped = handle
+        .in_flight
+        .wait_idle(Duration::from_millis(handle.drain_deadline_ms));
+    if dropped > 0 {
+        metrics.counter("drain.dropped_in_flight").add(dropped);
+    }
+    // Checkpoint durable worlds on the way down; a storeless server
+    // has nothing durable to write and drains with worlds = 0.
+    let worlds = if handle.manager.store().is_some() {
+        let (worlds, _) = handle.manager.checkpoint()?;
+        metrics
+            .counter("drain.worlds_checkpointed")
+            .add(worlds as u64);
+        worlds
+    } else {
+        0
+    };
+    metrics.counter("drain.completed").inc();
+    Ok(worlds)
+}
+
 fn handle_connection(
     stream: TcpStream,
     manager: Arc<WorldManager>,
     pool: Arc<WorkerPool>,
     defaults: ServerDefaults,
     slow_log: Arc<SlowQueryLog>,
+    handle: ServerHandle,
 ) -> std::io::Result<()> {
+    if defaults.read_timeout_ms > 0 {
+        stream.set_read_timeout(Some(Duration::from_millis(defaults.read_timeout_ms)))?;
+    }
     let peer_write = stream.try_clone()?;
-    let reader = BufReader::new(stream);
+    if defaults.write_timeout_ms > 0 {
+        peer_write.set_write_timeout(Some(Duration::from_millis(defaults.write_timeout_ms)))?;
+    }
+    let fault = defaults.fault;
 
     // Writer thread: re-sequences (seq, line) pairs into socket order.
     let (line_tx, line_rx) = channel::<(u64, String)>();
     let writer = std::thread::spawn(move || -> std::io::Result<()> {
         let mut out = BufWriter::new(peer_write);
         let mut next: u64 = 0;
+        let mut written: u64 = 0;
         let mut pending: BTreeMap<u64, String> = BTreeMap::new();
         for (seq, line) in line_rx {
             pending.insert(seq, line);
             while let Some(line) = pending.remove(&next) {
+                next += 1;
+                if fault.response_delay_ms > 0 {
+                    std::thread::sleep(Duration::from_millis(fault.response_delay_ms));
+                }
+                if fault.blackhole {
+                    continue; // injected: swallow the response
+                }
+                if fault.short_write {
+                    // Injected: half the bytes, then hang up.
+                    out.write_all(&line.as_bytes()[..line.len() / 2])?;
+                    out.flush()?;
+                    return Ok(());
+                }
                 out.write_all(line.as_bytes())?;
                 out.write_all(b"\n")?;
                 out.flush()?;
-                next += 1;
+                written += 1;
+                if fault.close_after > 0 && written >= fault.close_after {
+                    return Ok(()); // injected: close mid-conversation
+                }
             }
         }
         Ok(())
     });
 
+    let metrics = Arc::clone(manager.metrics());
+    let mut rate = defaults.rate_limit_per_sec.map(TokenBucket::new);
     // Queries this connection has handed to the pool but not yet
     // answered; admin commands barrier on it going to zero.
     let in_flight = Arc::new((Mutex::new(0u64), Condvar::new()));
+    let mut reader = LineReader::new(stream, defaults.max_request_bytes);
     let mut seq: u64 = 0;
-    for line in reader.lines() {
-        let line = line?;
+    let outcome = loop {
+        let line = match reader.read_line() {
+            Ok(Some(line)) => line,
+            Ok(None) => break Ok(()),
+            Err(LineError::Oversized { limit }) => {
+                // Line framing is lost past the cap: answer once and
+                // close. Nothing beyond the cap was ever buffered.
+                metrics.counter("limits.oversized_requests").inc();
+                let response = wire::Response {
+                    id: 0,
+                    outcome: Err(format!("request line exceeds {limit} bytes")),
+                };
+                let _ = line_tx.send((seq, wire::encode_response(&response)));
+                break Ok(());
+            }
+            Err(LineError::Stalled) => {
+                // Slow loris: a partial line outlived the read
+                // timeout. Reap silently — a peer dribbling bytes is
+                // not reading responses either.
+                metrics.counter("limits.read_timeouts").inc();
+                break Ok(());
+            }
+            Err(LineError::Io(e)) => break Err(e),
+        };
         if line.trim().is_empty() {
             continue;
         }
+        if let Some(bucket) = rate.as_mut() {
+            if !bucket.try_take() {
+                metrics.counter("shed.rate_limited").inc();
+                let response = wire::Response {
+                    id: salvage_id(&line),
+                    outcome: Err(format!(
+                        "overloaded: rate limit exceeded; retry_after_ms={}",
+                        bucket.retry_after_ms()
+                    )),
+                };
+                let _ = line_tx.send((seq, wire::encode_response(&response)));
+                seq += 1;
+                continue;
+            }
+        }
         dispatch_line(
-            line, seq, &manager, &pool, &line_tx, &in_flight, defaults, &slow_log,
+            line, seq, &manager, &pool, &line_tx, &in_flight, defaults, &slow_log, &handle,
         );
         seq += 1;
-    }
+    };
     drop(line_tx);
     let _ = writer.join();
-    Ok(())
+    outcome
+}
+
+/// Best-effort id recovery from a request line that will not (or did
+/// not) decode: a valid JSON object with a non-negative numeric `id`
+/// yields it, anything else yields 0.
+fn salvage_id(line: &str) -> u64 {
+    wire::Json::parse(line)
+        .ok()
+        .and_then(|v| match v {
+            wire::Json::Obj(f) => f.get("id").cloned(),
+            _ => None,
+        })
+        .and_then(|v| match v {
+            wire::Json::Num(n) if n >= 0.0 => Some(n as u64),
+            _ => None,
+        })
+        .unwrap_or(0)
 }
 
 /// Parses one request line and schedules its execution; encoding
@@ -325,13 +660,16 @@ fn dispatch_line(
     in_flight: &Arc<(Mutex<u64>, Condvar)>,
     defaults: ServerDefaults,
     slow_log: &Arc<SlowQueryLog>,
+    handle: &ServerHandle,
 ) {
     // Unset request fields take the server's configured defaults at
-    // decode time (`trials`) or just after (`estimator`), so the
-    // result-cache key always reflects the policy and engine that
-    // actually run. Explicit client choices always win.
+    // decode time (`trials`, `deadline_ms`) or just after
+    // (`estimator`), so the result-cache key always reflects the
+    // policy and engine that actually run. Explicit client choices
+    // always win.
     let request_defaults = RequestDefaults {
         trials: defaults.trials,
+        deadline_ms: defaults.default_deadline_ms,
     };
     let metrics = Arc::clone(manager.metrics());
     metrics.counter("server.requests").inc();
@@ -346,14 +684,66 @@ fn dispatch_line(
                 if req.spec.estimator.is_none() {
                     req.spec.estimator = Some(defaults.estimator);
                 }
+                // Bounded request queue: at `queue_depth`
+                // admitted-but-unanswered queries (across every
+                // connection), shed now — the client gets its
+                // backpressure signal immediately instead of an
+                // answer long after it stopped caring.
+                if handle.in_flight.current() >= defaults.queue_depth as u64 {
+                    metrics.counter("shed.requests").inc();
+                    let response = wire::Response {
+                        id: request.id,
+                        outcome: Err(format!(
+                            "overloaded: request queue full; retry_after_ms={}",
+                            defaults.retry_after_ms
+                        )),
+                    };
+                    let _ = line_tx.send((seq, wire::encode_response(&response)));
+                    return;
+                }
+                // The deadline clock starts here, at decode: time the
+                // request spends queued behind other work counts
+                // against its budget.
+                let deadline = req
+                    .deadline_ms
+                    .map(|ms| Instant::now() + Duration::from_millis(ms));
+                let global = handle.in_flight.enter();
                 let manager = Arc::clone(manager);
                 let line_tx = line_tx.clone();
                 let in_flight = Arc::clone(in_flight);
                 let slow_log = Arc::clone(slow_log);
                 *in_flight.0.lock().expect("in-flight counter") += 1;
                 pool.submit(move || {
+                    let _global = global;
                     let query_start = Instant::now();
-                    let outcome = execute_query(&manager, &req);
+                    let outcome = match deadline {
+                        // Expired while queued: shed before touching
+                        // the engine (no trials were spent).
+                        Some(d) if query_start >= d => {
+                            metrics.counter("deadline.shed_queued").inc();
+                            Err(format!(
+                                "deadline_exceeded after 0 trials: the {} ms budget was \
+                                 spent queued",
+                                req.deadline_ms.unwrap_or(0)
+                            ))
+                        }
+                        Some(d) => {
+                            // Hand the engine only the remaining
+                            // budget; its own clock starts at
+                            // `execute` entry.
+                            req.deadline_ms = Some((d - query_start).as_millis().max(1) as u64);
+                            let outcome = execute_query(&manager, &req);
+                            // The engine's deadline abort surfaces as
+                            // a rendered `deadline_exceeded after N
+                            // trials` error (`biorank_rank::Error::
+                            // DeadlineExceeded`).
+                            if matches!(&outcome, Err(e) if e.contains("deadline_exceeded")) {
+                                metrics.counter("deadline.exceeded").inc();
+                            }
+                            outcome
+                        }
+                        None => execute_query(&manager, &req),
+                    };
                     let micros = query_start.elapsed().as_micros() as u64;
                     if outcome.is_err() {
                         metrics.counter("server.errors").inc();
@@ -399,7 +789,7 @@ fn dispatch_line(
                     n = cv.wait(n).expect("in-flight counter");
                 }
                 drop(n);
-                let outcome = execute_admin(manager, admin, slow_log)
+                let outcome = execute_admin(manager, admin, slow_log, handle)
                     .map(ResponseBody::Admin)
                     .map_err(|e| e.to_string());
                 if outcome.is_err() {
@@ -415,19 +805,8 @@ fn dispatch_line(
         Err(e) => {
             metrics.counter("server.errors.decode").inc();
             // Salvage the id if the line was valid JSON with one.
-            let id = wire::Json::parse(&line)
-                .ok()
-                .and_then(|v| match v {
-                    wire::Json::Obj(f) => f.get("id").cloned(),
-                    _ => None,
-                })
-                .and_then(|v| match v {
-                    wire::Json::Num(n) if n >= 0.0 => Some(n as u64),
-                    _ => None,
-                })
-                .unwrap_or(0);
             let response = wire::Response {
-                id,
+                id: salvage_id(&line),
                 outcome: Err(e.to_string()),
             };
             let _ = line_tx.send((seq, wire::encode_response(&response)));
@@ -454,8 +833,18 @@ fn execute_admin(
     manager: &Arc<WorldManager>,
     admin: AdminRequest,
     slow_log: &Arc<SlowQueryLog>,
+    handle: &ServerHandle,
 ) -> Result<AdminResponse, crate::tenancy::TenancyError> {
     match admin {
+        AdminRequest::Drain => {
+            // The connection barrier already answered this
+            // connection's earlier queries; perform_drain waits for
+            // everyone else's. The Drained response is encoded and
+            // written after drain completes, before run() lets the
+            // process exit.
+            let worlds = perform_drain(handle)?;
+            Ok(AdminResponse::Drained { worlds })
+        }
         AdminRequest::Load {
             world,
             spec,
@@ -522,6 +911,18 @@ fn execute_admin(
     }
 }
 
+/// Connection and socket timeouts for [`Client::connect_with`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ClientOptions {
+    /// Bound on establishing the TCP connection (`None`: the OS
+    /// default, typically minutes).
+    pub connect_timeout: Option<Duration>,
+    /// Bound on each socket read and write once connected (`None`:
+    /// block indefinitely). A fired timeout surfaces as
+    /// [`crate::Error::Io`] with a `WouldBlock`/`TimedOut` kind.
+    pub io_timeout: Option<Duration>,
+}
+
 /// A blocking client for the line protocol.
 pub struct Client {
     reader: BufReader<TcpStream>,
@@ -530,9 +931,44 @@ pub struct Client {
 }
 
 impl Client {
-    /// Connects to a running service.
+    /// Connects to a running service with default (unbounded)
+    /// timeouts.
     pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
-        let stream = TcpStream::connect(addr)?;
+        Self::connect_with(addr, ClientOptions::default())
+    }
+
+    /// Connects with explicit connection/io timeouts.
+    pub fn connect_with(addr: impl ToSocketAddrs, opts: ClientOptions) -> std::io::Result<Client> {
+        let stream = match opts.connect_timeout {
+            None => TcpStream::connect(addr)?,
+            Some(timeout) => {
+                // connect_timeout needs resolved addresses; try each
+                // like TcpStream::connect does.
+                let mut last: Option<std::io::Error> = None;
+                let mut stream = None;
+                for resolved in addr.to_socket_addrs()? {
+                    match TcpStream::connect_timeout(&resolved, timeout) {
+                        Ok(s) => {
+                            stream = Some(s);
+                            break;
+                        }
+                        Err(e) => last = Some(e),
+                    }
+                }
+                stream.ok_or_else(|| {
+                    last.unwrap_or_else(|| {
+                        std::io::Error::new(
+                            std::io::ErrorKind::InvalidInput,
+                            "address resolved to nothing",
+                        )
+                    })
+                })?
+            }
+        };
+        if let Some(timeout) = opts.io_timeout {
+            stream.set_read_timeout(Some(timeout))?;
+            stream.set_write_timeout(Some(timeout))?;
+        }
         let writer = BufWriter::new(stream.try_clone()?);
         Ok(Client {
             reader: BufReader::new(stream),
@@ -547,7 +983,53 @@ impl Client {
         if n == 0 {
             return Err(crate::Error::Remote("server closed connection".into()));
         }
-        Ok(wire::decode_response(line.trim_end())?)
+        let line = line.trim_end();
+        // The accept loop's connection-shed notice is id-less — it
+        // answers the connection, not a request.
+        if let Some(retry_after_ms) = wire::parse_overload_line(line) {
+            return Err(crate::Error::Overloaded { retry_after_ms });
+        }
+        Ok(wire::decode_response(line)?)
+    }
+
+    /// Executes one query with bounded retries on overload sheds:
+    /// connection-level shed notices and per-request `overloaded`
+    /// errors (queue depth, rate limit) wait out the server's
+    /// `retry_after_ms` hint — growing exponentially per attempt,
+    /// with decorrelating jitter — and reconnect, since a shed
+    /// connection is closed by the server. Any other error, and an
+    /// overload persisting past `retries` extra attempts, returns
+    /// immediately.
+    pub fn query_with_retry(
+        addr: impl ToSocketAddrs + Copy,
+        opts: ClientOptions,
+        req: &crate::engine::QueryRequest,
+        retries: u32,
+    ) -> Result<crate::engine::QueryResponse, crate::Error> {
+        // xorshift64 jitter state; the seed only decorrelates
+        // concurrent clients, it carries no meaning.
+        let mut jitter = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| u64::from(d.subsec_nanos()) | 1)
+            .unwrap_or(1);
+        let mut attempt: u32 = 0;
+        loop {
+            let outcome = Client::connect_with(addr, opts)
+                .map_err(crate::Error::Io)
+                .and_then(|mut client| client.query(req));
+            match outcome {
+                Err(e) if e.is_overload() && attempt < retries => {
+                    let base = e.retry_after_ms().unwrap_or(DEFAULT_RETRY_AFTER_MS).max(1);
+                    let backoff = base.saturating_mul(1u64 << attempt.min(6));
+                    jitter ^= jitter << 13;
+                    jitter ^= jitter >> 7;
+                    jitter ^= jitter << 17;
+                    std::thread::sleep(Duration::from_millis(backoff + jitter % backoff));
+                    attempt += 1;
+                }
+                other => return other,
+            }
+        }
     }
 
     /// Executes one query, blocking for the response.
@@ -713,6 +1195,19 @@ impl Client {
                 worlds,
                 snapshot_bytes,
             } => Ok((worlds, snapshot_bytes)),
+            other => Err(unexpected_admin(other)),
+        }
+    }
+
+    /// `server.drain`: gracefully stop the server — no new
+    /// connections, in-flight queries finish under the drain
+    /// deadline, durable worlds checkpoint. Returns the number of
+    /// worlds checkpointed (0 on a storeless server). After the
+    /// response, the server's `run()` returns and `biorank serve`
+    /// exits 0.
+    pub fn drain(&mut self) -> Result<usize, crate::Error> {
+        match self.admin(AdminRequest::Drain)? {
+            AdminResponse::Drained { worlds } => Ok(worlds),
             other => Err(unexpected_admin(other)),
         }
     }

@@ -558,6 +558,11 @@ pub enum AdminRequest {
         /// returned payload is always the pre-reset state).
         reset: bool,
     },
+    /// `server.drain` — graceful shutdown: stop accepting connections,
+    /// let in-flight requests finish under the serve's drain deadline,
+    /// checkpoint durable worlds (when `--data-dir` is attached), then
+    /// exit 0. The response is sent before the process exits.
+    Drain,
 }
 
 /// A successful admin command's payload.
@@ -600,6 +605,13 @@ pub enum AdminResponse {
     Stats(ServiceStats),
     /// Outcome of `metrics`.
     Metrics(MetricsReport),
+    /// Outcome of `server.drain`: every in-flight request finished (or
+    /// the drain deadline fired) and durable worlds were checkpointed.
+    Drained {
+        /// Resident worlds checkpointed on the way out (0 when the
+        /// serve has no `--data-dir`).
+        worlds: usize,
+    },
 }
 
 /// One response line: the echoed id plus outcome.
@@ -691,6 +703,9 @@ fn encode_query_request(id: u64, req: &QueryRequest) -> String {
     }
     if req.trace {
         fields.push(("trace", Json::Bool(true)));
+    }
+    if let Some(ms) = req.deadline_ms {
+        fields.push(("deadline_ms", Json::Num(ms as f64)));
     }
     obj(fields).encode()
 }
@@ -793,6 +808,7 @@ fn encode_admin_request(id: u64, admin: &AdminRequest) -> String {
                 fields.push(("reset", Json::Bool(true)));
             }
         }
+        AdminRequest::Drain => fields.push(("cmd", Json::Str("server.drain".into()))),
     }
     obj(fields).encode()
 }
@@ -807,12 +823,18 @@ fn encode_admin_request(id: u64, admin: &AdminRequest) -> String {
 pub struct RequestDefaults {
     /// Trial policy for query lines without a `trials` field.
     pub trials: Trials,
+    /// Execution deadline for query lines without a `deadline_ms`
+    /// field (`None` = no default deadline, the protocol-level
+    /// default). A request can always pin its own `deadline_ms`; there
+    /// is no wire spelling for "opt out of the server default".
+    pub deadline_ms: Option<u64>,
 }
 
 impl Default for RequestDefaults {
     fn default() -> Self {
         RequestDefaults {
             trials: Trials::Fixed(RankerSpec::DEFAULT_TRIALS),
+            deadline_ms: None,
         }
     }
 }
@@ -872,6 +894,7 @@ pub fn decode_request_with(line: &str, defaults: &RequestDefaults) -> Result<Req
             world: get_str(&fields, "world")?,
         }),
         "checkpoint" => RequestBody::Admin(AdminRequest::Checkpoint),
+        "server.drain" => RequestBody::Admin(AdminRequest::Drain),
         "world.list" => RequestBody::Admin(AdminRequest::List),
         "stats" => RequestBody::Admin(AdminRequest::Stats),
         "metrics" => RequestBody::Admin(AdminRequest::Metrics {
@@ -1011,6 +1034,15 @@ fn decode_query_body(
         })
         .transpose()?
         .unwrap_or(false);
+    let deadline_ms = fields
+        .get("deadline_ms")
+        .map(|v| {
+            v.as_u64()
+                .filter(|&ms| ms > 0)
+                .ok_or_else(|| wire_err("field \"deadline_ms\" must be a positive integer"))
+        })
+        .transpose()?
+        .or(defaults.deadline_ms);
     Ok(QueryRequest {
         query: ExploratoryQuery {
             input: get_str(fields, "input")?,
@@ -1029,6 +1061,7 @@ fn decode_query_body(
         certify_top,
         world,
         trace,
+        deadline_ms,
     })
 }
 
@@ -1536,6 +1569,9 @@ fn encode_admin_response(id: u64, admin: &AdminResponse) -> String {
         AdminResponse::Metrics(report) => {
             fields.push(("metrics", encode_metrics_report(report)));
         }
+        AdminResponse::Drained { worlds } => {
+            fields.push(("drained", obj(vec![("worlds", Json::Num(*worlds as f64))])));
+        }
     }
     obj(fields).encode()
 }
@@ -1566,6 +1602,13 @@ pub fn decode_response(line: &str) -> Result<Response, WireError> {
         ResponseBody::Admin(AdminResponse::Stats(decode_service_stats(&fields)?))
     } else if fields.contains_key("metrics") {
         ResponseBody::Admin(AdminResponse::Metrics(decode_metrics_report(&fields)?))
+    } else if let Some(v) = fields.get("drained") {
+        let Json::Obj(f) = v else {
+            return Err(wire_err("field \"drained\" must be an object"));
+        };
+        ResponseBody::Admin(AdminResponse::Drained {
+            worlds: get_u64(f, "worlds")? as usize,
+        })
     } else if let Some(v) = fields.get("checkpoint") {
         let Json::Obj(f) = v else {
             return Err(wire_err("field \"checkpoint\" must be an object"));
@@ -1601,6 +1644,32 @@ pub fn decode_response(line: &str) -> Result<Response, WireError> {
         id,
         outcome: Ok(body),
     })
+}
+
+/// Encodes the **id-less** connection-shed notice the accept loop
+/// writes instead of serving a connection when the connection budget
+/// is exhausted: `{"error":"overloaded","retry_after_ms":N}`. It has
+/// no `id` because no request was read — the notice applies to the
+/// connection itself, which the server closes right after.
+pub fn encode_overload_line(retry_after_ms: u64) -> String {
+    obj(vec![
+        ("error", Json::Str("overloaded".to_string())),
+        ("retry_after_ms", Json::Num(retry_after_ms as f64)),
+    ])
+    .encode()
+}
+
+/// Recognizes a connection-shed notice (see [`encode_overload_line`])
+/// and returns its `retry_after_ms` hint. Lines carrying an `id` are
+/// ordinary responses, never shed notices.
+pub fn parse_overload_line(line: &str) -> Option<u64> {
+    let Ok(Json::Obj(fields)) = Json::parse(line) else {
+        return None;
+    };
+    if fields.contains_key("id") || fields.get("error")?.as_str()? != "overloaded" {
+        return None;
+    }
+    fields.get("retry_after_ms")?.as_u64()
 }
 
 fn decode_query_response(fields: &BTreeMap<String, Json>) -> Result<QueryResponse, WireError> {
@@ -1869,6 +1938,7 @@ mod tests {
                 certify_top: false,
                 world: None,
                 trace: false,
+                deadline_ms: None,
             }),
         };
         let line = encode_request(&r);
@@ -1899,6 +1969,7 @@ mod tests {
                     certify_top: false,
                     world: Some("staging".into()),
                     trace: false,
+                    deadline_ms: None,
                 }),
             };
             assert_eq!(decode_request(&encode_request(&r)).unwrap(), r);
@@ -1955,6 +2026,7 @@ mod tests {
                 certify_top: false,
                 world: None,
                 trace: false,
+                deadline_ms: None,
             }),
         };
         assert_eq!(decode_request(&encode_request(&r)).unwrap(), r);
@@ -1995,6 +2067,7 @@ mod tests {
     fn server_defaults_apply_to_unset_trials_only() {
         let adaptive = RequestDefaults {
             trials: Trials::Adaptive(AdaptiveConfig::default()),
+            ..RequestDefaults::default()
         };
         let unset = "{\"id\":1,\"input\":\"A\",\"attribute\":\"x\",\"value\":\"v\",\
                      \"outputs\":[\"B\"],\"method\":\"mc\"}";
@@ -2224,6 +2297,7 @@ mod tests {
                 certify_top: false,
                 world: None,
                 trace: false,
+                deadline_ms: None,
             }),
         };
         for seed in [(1u64 << 60) + 1, u64::MAX, 0] {
@@ -2252,6 +2326,84 @@ mod tests {
         assert_eq!(q.spec.estimator, None);
         assert_eq!(q.top, None);
         assert_eq!(q.world, None);
+        assert_eq!(q.deadline_ms, None);
+    }
+
+    #[test]
+    fn deadline_ms_roundtrips_and_server_default_applies() {
+        // Explicit field survives encode → decode.
+        let r = Request {
+            id: 3,
+            body: RequestBody::Query(
+                QueryRequest::protein_functions("GALT", RankerSpec::new(Method::TraversalMc))
+                    .with_deadline_ms(2_500),
+            ),
+        };
+        let line = encode_request(&r);
+        assert!(line.contains("\"deadline_ms\":2500"), "{line}");
+        assert_eq!(decode_request(&line).unwrap(), r);
+
+        // The serve-level default fills unset requests; an explicit
+        // field always wins over it.
+        let with_default = RequestDefaults {
+            deadline_ms: Some(750),
+            ..RequestDefaults::default()
+        };
+        let unset = "{\"id\":1,\"input\":\"A\",\"attribute\":\"x\",\"value\":\"v\",\
+                     \"outputs\":[\"B\"],\"method\":\"mc\"}";
+        let q = decode_request_with(unset, &with_default).unwrap();
+        assert_eq!(query_of(&q).deadline_ms, Some(750));
+        let explicit = "{\"id\":1,\"input\":\"A\",\"attribute\":\"x\",\"value\":\"v\",\
+                        \"outputs\":[\"B\"],\"method\":\"mc\",\"deadline_ms\":100}";
+        let q = decode_request_with(explicit, &with_default).unwrap();
+        assert_eq!(query_of(&q).deadline_ms, Some(100));
+
+        // Garbage is rejected: zero, negative, or non-numeric.
+        for bad in [
+            "{\"id\":1,\"input\":\"A\",\"attribute\":\"x\",\"value\":\"v\",\
+             \"outputs\":[\"B\"],\"method\":\"mc\",\"deadline_ms\":0}",
+            "{\"id\":1,\"input\":\"A\",\"attribute\":\"x\",\"value\":\"v\",\
+             \"outputs\":[\"B\"],\"method\":\"mc\",\"deadline_ms\":\"soon\"}",
+            "{\"id\":1,\"input\":\"A\",\"attribute\":\"x\",\"value\":\"v\",\
+             \"outputs\":[\"B\"],\"method\":\"mc\",\"deadline_ms\":-5}",
+        ] {
+            assert!(decode_request(bad).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn drain_roundtrips() {
+        // Request: cmd form and typed form agree.
+        let r = Request {
+            id: 11,
+            body: RequestBody::Admin(AdminRequest::Drain),
+        };
+        let line = encode_request(&r);
+        assert!(line.contains("\"cmd\":\"server.drain\""), "{line}");
+        assert_eq!(decode_request(&line).unwrap(), r);
+
+        // Response roundtrip.
+        let resp = Response {
+            id: 11,
+            outcome: Ok(ResponseBody::Admin(AdminResponse::Drained { worlds: 2 })),
+        };
+        let line = encode_response(&resp);
+        assert!(line.contains("\"drained\""), "{line}");
+        assert_eq!(decode_response(&line).unwrap(), resp);
+    }
+
+    #[test]
+    fn overload_line_roundtrips_and_rejects_lookalikes() {
+        let line = encode_overload_line(250);
+        assert_eq!(line, "{\"error\":\"overloaded\",\"retry_after_ms\":250}");
+        assert_eq!(parse_overload_line(&line), Some(250));
+        // An ordinary error response has an id: not a shed notice.
+        assert_eq!(
+            parse_overload_line("{\"id\":3,\"ok\":false,\"error\":\"overloaded\"}"),
+            None
+        );
+        assert_eq!(parse_overload_line("{\"error\":\"boom\"}"), None);
+        assert_eq!(parse_overload_line("not json"), None);
     }
 
     #[test]

@@ -47,6 +47,7 @@ fn main() {
                 certify_top: false,
                 world: None,
                 trace: false,
+                deadline_ms: None,
             })
             .expect("query GALT");
         println!(

@@ -31,7 +31,7 @@ if [ -n "$(git status --porcelain --untracked-files=no 2>/dev/null)" ]; then
     commit="$commit-dirty"
 fi
 out="BENCH_mc.json"
-benches=(word_vs_traversal fig8a_reliability)
+benches=(word_vs_traversal fig8a_reliability overload_shed)
 case "$mode" in
 quick) ;;
 smoke)

@@ -210,6 +210,76 @@ restart_metrics="$(./target/release/biorank admin metrics --addr "$addr")"
 echo "$restart_metrics" | grep -q "warm.replayed"
 kill "$serve_pid" 2>/dev/null || true
 
+# Overload + graceful-drain smoke through the real binary: flood past
+# a tiny connection budget and require the id-less shed notice, require
+# the shed to be accounted in `admin metrics`, then drain with a query
+# still in flight — the query must answer and the serve must exit 0.
+echo "==> biorank overload shed + graceful drain smoke"
+: >"$serve_log"
+./target/release/biorank serve --addr 127.0.0.1:0 --workers 2 \
+    --max-connections 2 >"$serve_log" 2>&1 &
+serve_pid=$!
+addr=""
+for _ in $(seq 1 240); do
+    addr=$(sed -n 's/^biorank-serve listening on \([0-9.:]*\) .*/\1/p' "$serve_log")
+    [ -n "$addr" ] && break
+    sleep 0.5
+done
+if [ -z "$addr" ]; then
+    echo "overload smoke serve never reported its address" >&2
+    cat "$serve_log" >&2
+    exit 1
+fi
+host="${addr%:*}"
+port="${addr##*:}"
+# Fill the budget with two held connections, each proven live by a
+# round-trip (even an unparseable line gets an error response).
+exec 3<>"/dev/tcp/$host/$port"
+printf 'not json\n' >&3
+IFS= read -r _probe <&3
+exec 4<>"/dev/tcp/$host/$port"
+printf 'not json\n' >&4
+IFS= read -r _probe <&4
+# Connection three is over budget: one id-less overload notice, then
+# close — no thread was spawned for it.
+exec 5<>"/dev/tcp/$host/$port"
+shed_line=""
+IFS= read -r shed_line <&5 || true
+echo "shed notice: $shed_line" >&2
+echo "$shed_line" | grep -q '"error":"overloaded"'
+echo "$shed_line" | grep -q '"retry_after_ms"'
+exec 5<&- 5>&- 3<&- 3>&- 4<&- 4>&-
+# Freed slots readmit; the permit release races the next accept, so
+# retry until metrics answer and account for the shed.
+shed_count=""
+metrics_out=""
+for _ in $(seq 1 50); do
+    if metrics_out="$(./target/release/biorank admin metrics --addr "$addr" 2>/dev/null)"; then
+        shed_count=$(echo "$metrics_out" | awk '$1 == "shed.connections" {print $2}')
+        [ -n "$shed_count" ] && [ "$shed_count" -ge 1 ] && break
+    fi
+    sleep 0.2
+done
+if [ -z "$shed_count" ] || [ "$shed_count" -lt 1 ]; then
+    echo "shed.connections never accounted for the flood" >&2
+    echo "$metrics_out" >&2
+    exit 1
+fi
+# Drain with a slow word-estimator query in flight: zero dropped.
+./target/release/biorank query GALT --addr "$addr" --method mc \
+    --estimator word --trials 8000000 --top 3 >/dev/null &
+query_pid=$!
+sleep 1
+./target/release/biorank admin server.drain --addr "$addr" |
+    tee /dev/stderr | grep -q "server drained"
+wait "$query_pid"
+if wait "$serve_pid"; then
+    echo "serve exited 0 after drain" >&2
+else
+    echo "serve exited nonzero after drain" >&2
+    exit 1
+fi
+
 # Smoke the perf-trajectory recorder: the word-parallel MC bench must
 # run, produce parseable JSON lines, AND survive the dedup-and-append
 # machinery — smoke mode replays the full quick-mode append against a

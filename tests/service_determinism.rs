@@ -45,6 +45,7 @@ fn batch() -> Vec<QueryRequest> {
                 certify_top: false,
                 world: None,
                 trace: false,
+                deadline_ms: None,
             });
         }
     }
